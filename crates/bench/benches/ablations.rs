@@ -1,0 +1,158 @@
+//! Ablations of the design choices DESIGN.md §5 calls out:
+//! stripe size (ORC vs RCFile-class row groups), index-group stride
+//! (stats size vs skipping precision), and the dictionary threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hive_codec::block::Compression;
+use hive_common::{Row, Schema, Value};
+use hive_dfs::{Dfs, DfsConfig};
+use hive_formats::orc::reader::{OrcReadOptions, OrcReader};
+use hive_formats::orc::writer::{OrcWriter, OrcWriterOptions};
+use hive_formats::{PredicateLeaf, SearchArgument, TableReader, TableWriter};
+use std::hint::black_box;
+
+const N: i64 = 60_000;
+
+fn dfs() -> Dfs {
+    Dfs::new(DfsConfig {
+        block_size: 16 << 20,
+        replication: 1,
+        nodes: 2,
+    })
+}
+
+fn schema() -> Schema {
+    Schema::parse(&[("x", "bigint"), ("v", "double")]).unwrap()
+}
+
+fn sorted_rows() -> Vec<Row> {
+    (0..N)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Double(i as f64)]))
+        .collect()
+}
+
+fn write(fs: &Dfs, path: &str, stripe: usize, stride: usize, rows: &[Row]) {
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        fs,
+        path,
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: stripe,
+            row_index_stride: stride,
+            compression: Compression::None,
+            ..Default::default()
+        },
+        None,
+    ));
+    for r in rows {
+        w.write_row(r).unwrap();
+    }
+    w.close().unwrap();
+}
+
+/// Full scans against stripe size: larger stripes → fewer seeks.
+fn bench_stripe_size(c: &mut Criterion) {
+    let rows = sorted_rows();
+    let mut g = c.benchmark_group("ablation_stripe_size");
+    g.sample_size(10);
+    for stripe_kb in [64usize, 512, 4096] {
+        let fs = dfs();
+        write(&fs, "/a/s", stripe_kb << 10, 10_000, &rows);
+        g.bench_with_input(BenchmarkId::new("full_scan", stripe_kb), &fs, |b, fs| {
+            b.iter(|| {
+                let mut r = OrcReader::open(fs, "/a/s", OrcReadOptions::default()).unwrap();
+                let mut n = 0u64;
+                while r.next_row().unwrap().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Selective reads against index stride: finer groups skip more rows but
+/// store more statistics.
+fn bench_index_stride(c: &mut Criterion) {
+    let rows = sorted_rows();
+    let mut g = c.benchmark_group("ablation_index_stride");
+    g.sample_size(10);
+    for stride in [1_000usize, 10_000, 60_000] {
+        let fs = dfs();
+        write(&fs, "/a/g", 8 << 20, stride, &rows);
+        g.bench_with_input(
+            BenchmarkId::new("selective_read", stride),
+            &fs,
+            |b, fs| {
+                b.iter(|| {
+                    let sarg = SearchArgument::new(vec![PredicateLeaf::between(
+                        0,
+                        Value::Int(100),
+                        Value::Int(200),
+                    )]);
+                    let mut r = OrcReader::open(
+                        fs,
+                        "/a/g",
+                        OrcReadOptions {
+                            sarg: Some(sarg),
+                            use_index: true,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    let mut n = 0u64;
+                    while r.next_row().unwrap().is_some() {
+                        n += 1;
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Dictionary threshold against a column whose cardinality sits between
+/// the extremes (ratio ≈ 0.5): threshold below it forces direct encoding.
+fn bench_dictionary_threshold(c: &mut Criterion) {
+    let sschema = Schema::parse(&[("s", "string")]).unwrap();
+    let svals: Vec<Row> = (0..N)
+        .map(|i| Row::new(vec![Value::String(format!("tag-{}", i % (N / 2)))]))
+        .collect();
+    let mut g = c.benchmark_group("ablation_dict_threshold");
+    g.sample_size(10);
+    for threshold in ["0.1", "0.8"] {
+        g.bench_with_input(BenchmarkId::new("write", threshold), &svals, |b, data| {
+            let fs = dfs();
+            let th: f64 = threshold.parse().unwrap();
+            b.iter(|| {
+                let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+                    &fs,
+                    "/a/d",
+                    &sschema,
+                    OrcWriterOptions {
+                        stripe_size: 4 << 20,
+                        dictionary_threshold: th,
+                        ..Default::default()
+                    },
+                    None,
+                ));
+                for r in data {
+                    w.write_row(r).unwrap();
+                }
+                w.close().unwrap();
+                black_box(fs.len("/a/d").unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stripe_size,
+    bench_index_stride,
+    bench_dictionary_threshold
+);
+criterion_main!(benches);

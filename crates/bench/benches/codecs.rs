@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the general-purpose block codecs (paper §4.3's
+//! second compression level): the Snappy-class codec must be markedly
+//! faster than the Deflate-class codec, which must compress harder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hive_codec::block::{BlockCodec, DeflateLikeCodec, SnappyLikeCodec};
+use std::hint::black_box;
+
+fn corpus(kind: &str, n: usize) -> Vec<u8> {
+    match kind {
+        "text" => b"the quick brown fox jumps over the lazy dog while hive stores orc stripes "
+            .iter()
+            .copied()
+            .cycle()
+            .take(n)
+            .collect(),
+        "numbers" => (0..n).map(|i| (i % 251) as u8).collect(),
+        "random" => {
+            let mut x = 0x853c49e6748fea9bu64;
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let n = 256 << 10; // one ORC compression unit
+    let mut g = c.benchmark_group("block_codecs");
+    g.throughput(Throughput::Bytes(n as u64));
+    g.sample_size(15);
+    let codecs: Vec<(&str, Box<dyn BlockCodec>)> = vec![
+        ("snappy_like", Box::new(SnappyLikeCodec)),
+        ("deflate_like", Box::new(DeflateLikeCodec)),
+    ];
+    for kind in ["text", "numbers", "random"] {
+        let data = corpus(kind, n);
+        for (name, codec) in &codecs {
+            g.bench_with_input(
+                BenchmarkId::new(format!("compress/{name}"), kind),
+                &data,
+                |b, d| b.iter(|| black_box(codec.compress(d))),
+            );
+            let comp = codec.compress(&data);
+            g.bench_with_input(
+                BenchmarkId::new(format!("decompress/{name}"), kind),
+                &comp,
+                |b, d| b.iter(|| black_box(codec.decompress(d).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the stream-type-specific encodings (paper §4.3):
+//! throughput of the integer RLE/delta, byte RLE and bit-field codecs on
+//! the value patterns ORC actually sees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn int_data(pattern: &str, n: usize) -> Vec<i64> {
+    match pattern {
+        "constant" => vec![42; n],
+        "ascending" => (0..n as i64).collect(),
+        "random" => {
+            let mut x = 0x9e3779b97f4a7c15u64;
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % 100_000) as i64
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn bench_int_rle(c: &mut Criterion) {
+    let n = 100_000;
+    let mut g = c.benchmark_group("int_rle");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    for pattern in ["constant", "ascending", "random"] {
+        let data = int_data(pattern, n);
+        g.bench_with_input(BenchmarkId::new("encode", pattern), &data, |b, d| {
+            b.iter(|| black_box(hive_codec::int_rle::encode(d)))
+        });
+        let enc = hive_codec::int_rle::encode(&data);
+        g.bench_with_input(BenchmarkId::new("decode", pattern), &enc, |b, e| {
+            b.iter(|| black_box(hive_codec::int_rle::decode(e).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_byte_rle_and_bitfield(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut g = c.benchmark_group("byte_streams");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+
+    let runs: Vec<u8> = (0..n).map(|i| (i / 1000) as u8).collect();
+    g.bench_function("byte_rle/encode_runs", |b| {
+        b.iter(|| black_box(hive_codec::byte_rle::encode(&runs)))
+    });
+    let enc = hive_codec::byte_rle::encode(&runs);
+    g.bench_function("byte_rle/decode_runs", |b| {
+        b.iter(|| black_box(hive_codec::byte_rle::decode(&enc).unwrap()))
+    });
+
+    // Mostly-set presence bits (the PRESENT stream's common shape).
+    let bits: Vec<bool> = (0..n).map(|i| i % 1000 != 0).collect();
+    g.bench_function("bitfield/encode_presence", |b| {
+        b.iter(|| black_box(hive_codec::bitfield::encode(&bits)))
+    });
+    let benc = hive_codec::bitfield::encode(&bits);
+    g.bench_function("bitfield/decode_presence", |b| {
+        b.iter(|| black_box(hive_codec::bitfield::decode(&benc, n).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dictionary");
+    g.sample_size(20);
+    let low: Vec<String> = (0..50_000).map(|i| format!("state-{}", i % 50)).collect();
+    let high: Vec<String> = (0..50_000).map(|i| format!("unique-{i}")).collect();
+    for (name, data) in [("low_cardinality", &low), ("high_cardinality", &high)] {
+        g.bench_function(format!("build/{name}"), |b| {
+            b.iter(|| {
+                let mut d = hive_codec::dictionary::DictionaryBuilder::new();
+                for v in data {
+                    d.add(v.as_bytes());
+                }
+                black_box(d.choose(0.8))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_int_rle, bench_byte_rle_and_bitfield, bench_dictionary);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! ORC write/read-path micro-benchmarks: writer throughput (± dictionary
+//! work, ± compression), row-mode read, vectorized read, and predicate
+//! pushdown.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hive_codec::block::Compression;
+use hive_common::{DataType, Row, Schema, Value};
+use hive_dfs::{Dfs, DfsConfig};
+use hive_formats::orc::reader::{OrcReadOptions, OrcReader};
+use hive_formats::orc::writer::{OrcWriter, OrcWriterOptions};
+use hive_formats::{PredicateLeaf, SearchArgument, TableReader, TableWriter};
+use hive_vector::VectorizedRowBatch;
+use std::hint::black_box;
+
+const N: i64 = 50_000;
+
+fn dfs() -> Dfs {
+    Dfs::new(DfsConfig {
+        block_size: 8 << 20,
+        replication: 1,
+        nodes: 2,
+    })
+}
+
+fn schema() -> Schema {
+    Schema::parse(&[("k", "bigint"), ("v", "double"), ("s", "string")]).unwrap()
+}
+
+fn rows(high_card: bool) -> Vec<Row> {
+    (0..N)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Double(i as f64 * 0.5),
+                Value::String(if high_card {
+                    format!("unique-{i}-padding-padding")
+                } else {
+                    format!("cat-{}", i % 20)
+                }),
+            ])
+        })
+        .collect()
+}
+
+fn opts(comp: Compression) -> OrcWriterOptions {
+    OrcWriterOptions {
+        stripe_size: 1 << 20,
+        row_index_stride: 5_000,
+        compression: comp,
+        ..Default::default()
+    }
+}
+
+fn write_file(fs: &Dfs, path: &str, data: &[Row], comp: Compression) {
+    let mut w: Box<dyn TableWriter> =
+        Box::new(OrcWriter::create(fs, path, &schema(), opts(comp), None));
+    for r in data {
+        w.write_row(r).unwrap();
+    }
+    w.close().unwrap();
+}
+
+fn bench_writer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orc_writer");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (name, high_card, comp) in [
+        ("dict_effective", false, Compression::None),
+        ("dict_wasted_work", true, Compression::None),
+        ("snappy", false, Compression::Snappy),
+    ] {
+        let data = rows(high_card);
+        g.bench_function(name, |b| {
+            let fs = dfs();
+            b.iter(|| {
+                write_file(&fs, "/bench/w", &data, comp);
+                black_box(fs.len("/bench/w").unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reader(c: &mut Criterion) {
+    let fs = dfs();
+    write_file(&fs, "/bench/r", &rows(false), Compression::None);
+    let mut g = c.benchmark_group("orc_reader");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+
+    g.bench_function("row_mode", |b| {
+        b.iter(|| {
+            let mut r = OrcReader::open(&fs, "/bench/r", OrcReadOptions::default()).unwrap();
+            let mut n = 0u64;
+            while let Some(row) = r.next_row().unwrap() {
+                n += row.len() as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    g.bench_function("vectorized", |b| {
+        b.iter(|| {
+            let mut r = OrcReader::open(&fs, "/bench/r", OrcReadOptions::default()).unwrap();
+            let mut batch = VectorizedRowBatch::new(
+                &[DataType::Int, DataType::Double, DataType::String],
+                1024,
+            )
+            .unwrap();
+            let mut n = 0u64;
+            while r.next_batch(&mut batch).unwrap() {
+                n += batch.size as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    g.bench_function("ppd_selective", |b| {
+        b.iter(|| {
+            let sarg = SearchArgument::new(vec![PredicateLeaf::between(
+                0,
+                Value::Int(1000),
+                Value::Int(2000),
+            )]);
+            let mut r = OrcReader::open(
+                &fs,
+                "/bench/r",
+                OrcReadOptions {
+                    sarg: Some(sarg),
+                    use_index: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut n = 0u64;
+            while let Some(_row) = r.next_row().unwrap() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_writer, bench_reader);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Regenerates **Figure 11**: the query-planning advancements.
+//!
+//! * (a) TPC-DS q27 with and without unnecessary Map phases — merging the
+//!   Map Join jobs turns 4 map-only jobs + 1 MR job into a single MR job
+//!   (paper: ≈2.34× speedup);
+//! * (b) TPC-DS q95 with the Correlation Optimizer off/on, then also with
+//!   Map-phase merging (paper: 2.57× and 2.92× combined).
+//!
+//! Run `fig11 q27`, `fig11 q95`, or no argument for both.
+
+use hive_bench::{bench_session, fmt_s, print_table, queries, scale_factor};
+use hive_common::config::keys;
+use hive_core::HiveSession;
+
+fn dataset() -> HiveSession {
+    let mut s = bench_session();
+    hive_datagen::tpcds::load(&mut s, scale_factor(), 42).expect("load tpcds");
+    // The paper's small-table threshold separates dimensions from facts.
+    // At fractional scale the absolute 25 MB default would make *facts*
+    // map-joinable too, so derive the threshold from the loaded sizes:
+    // every dimension fits, no fact does.
+    let dim_max = ["date_dim", "store", "customer_demographics", "item",
+                   "customer_address", "web_site"]
+        .iter()
+        .map(|t| s.metastore().table_size(t))
+        .max()
+        .unwrap_or(0);
+    let fact_min = ["store_sales", "web_sales", "web_returns"]
+        .iter()
+        .map(|t| s.metastore().table_size(t))
+        .min()
+        .unwrap_or(u64::MAX);
+    assert!(
+        dim_max < fact_min,
+        "scale factor too small: a fact table ({fact_min} B) is not larger \
+         than the biggest dimension ({dim_max} B); raise HIVE_BENCH_SF"
+    );
+    let threshold = (dim_max + fact_min) / 2;
+    s.set(keys::MAPJOIN_SMALLTABLE_SIZE, format!("{threshold}"));
+    s
+}
+
+fn run(s: &mut HiveSession, sql: &str) -> (f64, usize, usize, usize) {
+    let r = s.execute(sql).expect("query");
+    let map_only = r
+        .report
+        .jobs
+        .iter()
+        .filter(|j| j.reduce_tasks == 0)
+        .count();
+    let mr = r.report.jobs.len() - map_only;
+    (r.report.sim_total_s, r.report.jobs.len(), map_only, mr)
+}
+
+fn q27() {
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for (label, merge) in [("w/ UM", "false"), ("w/o UM", "true")] {
+        let mut s = dataset();
+        s.set(keys::MERGE_MAPONLY_JOBS, merge)
+            .set(keys::AUTO_CONVERT_JOIN, "true");
+        let (t, jobs, map_only, mr) = run(&mut s, queries::TPCDS_Q27);
+        if base == 0.0 {
+            base = t;
+        }
+        rows.push((
+            label.to_string(),
+            vec![
+                fmt_s(t),
+                format!("{jobs} ({map_only} map-only + {mr} MR)"),
+                format!("{:.2}x", base / t),
+            ],
+        ));
+    }
+    print_table(
+        "Figure 11(a): TPC-DS q27 — eliminating unnecessary Map phases",
+        &["config", "elapsed", "jobs", "speedup"],
+        &rows,
+    );
+}
+
+fn q95() {
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for (label, corr, merge) in [
+        ("w/ UM, CO=off", "false", "false"),
+        ("w/ UM, CO=on", "true", "false"),
+        ("w/o UM, CO=on", "true", "true"),
+    ] {
+        let mut s = dataset();
+        s.set(keys::OPT_CORRELATION, corr)
+            .set(keys::MERGE_MAPONLY_JOBS, merge)
+            .set(keys::AUTO_CONVERT_JOIN, "true");
+        let (t, jobs, map_only, mr) = run(&mut s, queries::TPCDS_Q95);
+        if base == 0.0 {
+            base = t;
+        }
+        rows.push((
+            label.to_string(),
+            vec![
+                fmt_s(t),
+                format!("{jobs} ({map_only} map-only + {mr} MR)"),
+                format!("{:.2}x", base / t),
+            ],
+        ));
+    }
+    print_table(
+        "Figure 11(b): TPC-DS q95 — Correlation Optimizer + Map-phase merge",
+        &["config", "elapsed", "jobs", "speedup"],
+        &rows,
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    println!(
+        "Figure 11 reproduction — TPC-DS scale factor {} (paper used 300)",
+        scale_factor()
+    );
+    match arg.as_str() {
+        "q27" => q27(),
+        "q95" => q95(),
+        _ => {
+            q27();
+            q95();
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 12**: TPC-H q1 and q6 elapsed times (a) and
+//! cumulative CPU times (b) for three configurations:
+//! RCFile + row engine, ORC + row engine, ORC + vectorized engine.
+//!
+//! Paper claims to check:
+//! * vectorization cuts cumulative CPU ≈5× on q1 and ≈3× on q6;
+//! * elapsed times drop correspondingly (I/O is shared; CPU is the
+//!   differentiator once ORC reads fewer bytes than RCFile).
+
+use hive_bench::{bench_session_with_block, fmt_s, print_table, queries, scale_factor};
+use hive_common::config::keys;
+use hive_core::HiveSession;
+
+fn lineitem_session(fmt: &str) -> HiveSession {
+    // 1 MB blocks keep dozens of splits per format at laptop scale
+    // (paper: 512 MB blocks over 300 GB → hundreds of splits).
+    let mut s = bench_session_with_block(1 << 20);
+    s.set(
+        hive_common::config::keys::ORC_STRIPE_SIZE,
+        format!("{}", 1 << 20),
+    );
+    let format = hive_formats::FormatKind::parse(fmt).expect("format");
+    s.create_table("lineitem", hive_datagen::tpch::lineitem_schema(), format)
+        .expect("create");
+    s.load_rows(
+        "lineitem",
+        hive_datagen::tpch::lineitem_rows(scale_factor(), 42),
+    )
+    .expect("load");
+    s
+}
+
+fn main() {
+    let sf = scale_factor();
+    println!("Figure 12 reproduction — TPC-H scale factor {sf} (paper used 300)");
+
+    let configs: &[(&str, &str, &str)] = &[
+        ("RCFile (No Vector)", "rcfile", "false"),
+        ("ORC File (No Vector)", "orc", "false"),
+        ("ORC File (Vector)", "orc", "true"),
+    ];
+
+    let mut elapsed_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    for (label, fmt, vec) in configs {
+        let mut s = lineitem_session(fmt);
+        s.set(keys::VECTORIZED_ENABLED, *vec);
+        let mut elapsed = Vec::new();
+        let mut cpu = Vec::new();
+        for (name, sql) in [("q1", queries::TPCH_Q1), ("q6", queries::TPCH_Q6)] {
+            let r = s.execute(sql).expect(name);
+            assert!(!r.rows.is_empty(), "{name} must produce output");
+            elapsed.push(fmt_s(r.report.sim_total_s));
+            cpu.push(fmt_s(r.report.cpu_seconds));
+        }
+        elapsed_rows.push((label.to_string(), elapsed));
+        cpu_rows.push((label.to_string(), cpu));
+    }
+
+    print_table(
+        "Figure 12(a): elapsed times (simulated cluster seconds)",
+        &["config", "q1", "q6"],
+        &elapsed_rows,
+    );
+    print_table(
+        "Figure 12(b): cumulative CPU times (measured seconds, this machine)",
+        &["config", "q1", "q6"],
+        &cpu_rows,
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Figure 9**: time to load each dataset into RCFile,
+//! RCFile+Snappy, ORC and ORC+Snappy.
+//!
+//! Paper claims to check:
+//! * SS-DB and TPC-DS load into ORC in about the time RCFile takes;
+//! * TPC-H loads into ORC roughly 2× slower than RCFile — the writer
+//!   builds dictionaries for the random-text comment columns only to
+//!   discard them (wasted work, paper Section 7.2).
+
+use hive_bench::{bench_session, fmt_s, print_table, scale_factor, ssdb_images, ssdb_step};
+use hive_common::config::keys;
+use hive_common::Row;
+use std::time::Instant;
+
+fn main() {
+    let sf = scale_factor();
+    println!("Figure 9 reproduction — scale factor {sf} (paper used 300)");
+
+    let variants: &[(&str, &str, &str)] = &[
+        ("RCFile", "rcfile", "none"),
+        ("RCFile Snappy", "rcfile", "snappy"),
+        ("ORC File", "orc", "none"),
+        ("ORC File Snappy", "orc", "snappy"),
+    ];
+
+    let mut rows: Vec<(String, Vec<String>)> = variants
+        .iter()
+        .map(|(label, _, _)| (label.to_string(), Vec::new()))
+        .collect();
+
+    for dataset in ["SS-DB", "TPC-H", "TPC-DS"] {
+        for (vi, (_, fmt, comp)) in variants.iter().enumerate() {
+            let mut s = bench_session();
+            s.set(keys::ORC_COMPRESS, *comp);
+            let format = hive_formats::FormatKind::parse(fmt).expect("format");
+            // Materialize rows first so generation cost is excluded.
+            let tables: Vec<(&str, hive_common::Schema, Vec<Row>)> = match dataset {
+                "SS-DB" => vec![(
+                    "cycle",
+                    hive_datagen::ssdb::cycle_schema(),
+                    hive_datagen::ssdb::cycle_rows(ssdb_images(), ssdb_step(), 42).collect(),
+                )],
+                "TPC-H" => hive_datagen::tpch::all_tables(sf, 42)
+                    .into_iter()
+                    .map(|(n, sc, it)| (n, sc, it.collect()))
+                    .collect(),
+                _ => hive_datagen::tpcds::all_tables(sf, 42)
+                    .into_iter()
+                    .map(|(n, sc, it)| (n, sc, it.collect()))
+                    .collect(),
+            };
+            let t0 = Instant::now();
+            for (name, schema, rows) in tables {
+                s.create_table(name, schema, format).expect("create");
+                s.load_rows(name, rows).expect("load");
+            }
+            rows[vi].1.push(fmt_s(t0.elapsed().as_secs_f64()));
+        }
+    }
+
+    print_table(
+        "Figure 9: data loading times (wall clock, this machine)",
+        &["format", "SS-DB", "TPC-H", "TPC-DS"],
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Table 2** of the paper: sizes of the SS-DB, TPC-H and
+//! TPC-DS datasets stored as Text, RCFile, RCFile+Snappy, ORC and
+//! ORC+Snappy.
+//!
+//! Paper claims to check (at any scale):
+//! * ORC (uncompressed) beats RCFile everywhere, and even beats
+//!   RCFile+Snappy on SS-DB and TPC-DS — type-specific encodings work;
+//! * TPC-H is the exception: its random-text `comment` columns defeat
+//!   dictionary encoding, so a general-purpose codec (Snappy) is what
+//!   shrinks it.
+
+use hive_bench::{bench_session, fmt_bytes, print_table, scale_factor, ssdb_images, ssdb_step};
+use hive_common::config::keys;
+use hive_common::Row;
+
+fn main() {
+    let sf = scale_factor();
+    println!("Table 2 reproduction — scale factor {sf} (paper used 300)");
+
+    let variants: &[(&str, &str, &str)] = &[
+        ("Text", "textfile", "none"),
+        ("RCFile", "rcfile", "none"),
+        ("RCFile Snappy", "rcfile", "snappy"),
+        ("ORC File", "orc", "none"),
+        ("ORC File Snappy", "orc", "snappy"),
+    ];
+
+    let mut rows: Vec<(String, Vec<String>)> = variants
+        .iter()
+        .map(|(label, _, _)| (label.to_string(), Vec::new()))
+        .collect();
+
+    for dataset in ["SS-DB", "TPC-H", "TPC-DS"] {
+        for (vi, (_, fmt, comp)) in variants.iter().enumerate() {
+            let mut s = bench_session();
+            s.set(keys::ORC_COMPRESS, *comp);
+            let total = match dataset {
+                "SS-DB" => {
+                    load_as(&mut s, fmt, vec![(
+                        "cycle",
+                        hive_datagen::ssdb::cycle_schema(),
+                        Box::new(hive_datagen::ssdb::cycle_rows(ssdb_images(), ssdb_step(), 42))
+                            as Box<dyn Iterator<Item = Row>>,
+                    )]);
+                    s.metastore().table_size("cycle")
+                }
+                "TPC-H" => {
+                    load_as(&mut s, fmt, hive_datagen::tpch::all_tables(sf, 42));
+                    total_size(&s)
+                }
+                _ => {
+                    load_as(&mut s, fmt, hive_datagen::tpcds::all_tables(sf, 42));
+                    total_size(&s)
+                }
+            };
+            rows[vi].1.push(fmt_bytes(total));
+        }
+    }
+
+    print_table(
+        "Table 2: dataset sizes by format",
+        &["format", "SS-DB", "TPC-H", "TPC-DS"],
+        &rows,
+    );
+}
+
+#[allow(clippy::type_complexity)]
+fn load_as(
+    s: &mut hive_core::HiveSession,
+    fmt: &str,
+    tables: Vec<(&'static str, hive_common::Schema, Box<dyn Iterator<Item = Row>>)>,
+) {
+    let format = hive_formats::FormatKind::parse(fmt).expect("format");
+    for (name, schema, rows) in tables {
+        s.create_table(name, schema, format).expect("create");
+        s.load_rows(name, rows).expect("load");
+    }
+}
+
+fn total_size(s: &hive_core::HiveSession) -> u64 {
+    s.metastore()
+        .list_tables()
+        .iter()
+        .map(|t| s.metastore().table_size(t))
+        .sum()
+}

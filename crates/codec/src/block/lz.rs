@@ -1,0 +1,258 @@
+//! The LZ77 core shared by the Snappy-class and Deflate-class codecs.
+//!
+//! Format (mirrors Snappy's): a varint uncompressed length, then a tag
+//! stream. Tag low 2 bits:
+//!
+//! * `00` — literal run. Upper 6 bits = length-1 when < 60; 60/61 mean the
+//!   length-1 follows in 1/2 little-endian bytes.
+//! * `01` — copy, length 4..=11 in bits 2..5, offset 1..=2047 from bits 5..8
+//!   plus one byte.
+//! * `10` — copy, length 1..=64 in upper 6 bits, 2-byte LE offset.
+//!
+//! The compressor is greedy with a 4-byte hash table, 64 KB window.
+
+use crate::varint;
+use hive_common::{HiveError, Result};
+
+const HASH_BITS: u32 = 14;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const MAX_OFFSET: usize = 65535;
+const MIN_MATCH: usize = 4;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x1e35a7bd) >> (32 - HASH_BITS)) as usize
+}
+
+fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    let mut start = 0;
+    while start < lits.len() {
+        let chunk = (lits.len() - start).min(65536);
+        let n = chunk - 1;
+        if n < 60 {
+            out.push((n as u8) << 2);
+        } else if n < 256 {
+            out.push(60 << 2);
+            out.push(n as u8);
+        } else {
+            out.push(61 << 2);
+            out.push(n as u8);
+            out.push((n >> 8) as u8);
+        }
+        out.extend_from_slice(&lits[start..start + chunk]);
+        start += chunk;
+    }
+}
+
+fn emit_copy(out: &mut Vec<u8>, offset: usize, mut len: usize) {
+    debug_assert!((1..=MAX_OFFSET).contains(&offset));
+    // Long matches are emitted as several copies of at most 64 bytes.
+    while len > 0 {
+        let chunk = len.min(64);
+        // Tail shorter than 4 can't be a 01-tag; force 10-tag.
+        if (4..=11).contains(&chunk) && offset < 2048 {
+            out.push(0b01 | (((chunk - 4) as u8) << 2) | (((offset >> 8) as u8) << 5));
+            out.push(offset as u8);
+        } else {
+            out.push(0b10 | (((chunk - 1) as u8) << 2));
+            out.push(offset as u8);
+            out.push((offset >> 8) as u8);
+        }
+        len -= chunk;
+    }
+}
+
+/// Compress `data` into the tag stream format.
+pub fn snappy_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    varint::write_unsigned(&mut out, data.len() as u64);
+    if data.is_empty() {
+        return out;
+    }
+    let mut table = vec![usize::MAX; HASH_SIZE];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let cand = table[h];
+        table[h] = i;
+        let ok = cand != usize::MAX
+            && i - cand <= MAX_OFFSET
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH];
+        if ok {
+            // Extend the match as far as possible.
+            let mut len = MIN_MATCH;
+            let max = data.len() - i;
+            while len < max && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            emit_literals(&mut out, &data[lit_start..i]);
+            emit_copy(&mut out, i - cand, len);
+            // Re-seed the hash table sparsely inside the match (speed).
+            let end = i + len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= data.len() && j < end {
+                table[hash4(data, j)] = j;
+                j += if len > 64 { 8 } else { 1 };
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    emit_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+/// Decompress a buffer produced by [`snappy_compress`].
+pub fn snappy_decompress(buf: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let expect = varint::read_unsigned(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(expect);
+    while pos < buf.len() {
+        let tag = buf[pos];
+        pos += 1;
+        match tag & 0b11 {
+            0b00 => {
+                let mut n = (tag >> 2) as usize;
+                if n >= 60 {
+                    let extra = n - 59; // 1 or 2 bytes
+                    if n > 61 {
+                        return Err(HiveError::Codec("bad literal tag".into()));
+                    }
+                    if pos + extra > buf.len() {
+                        return Err(HiveError::Codec("literal length truncated".into()));
+                    }
+                    n = 0;
+                    for (k, &b) in buf[pos..pos + extra].iter().enumerate() {
+                        n |= (b as usize) << (8 * k);
+                    }
+                    pos += extra;
+                }
+                let len = n + 1;
+                if pos + len > buf.len() {
+                    return Err(HiveError::Codec("literal run truncated".into()));
+                }
+                out.extend_from_slice(&buf[pos..pos + len]);
+                pos += len;
+            }
+            0b01 => {
+                if pos >= buf.len() {
+                    return Err(HiveError::Codec("copy tag truncated".into()));
+                }
+                let len = ((tag >> 2) & 0x7) as usize + 4;
+                let offset = (((tag >> 5) as usize) << 8) | buf[pos] as usize;
+                pos += 1;
+                copy_back(&mut out, offset, len)?;
+            }
+            0b10 => {
+                if pos + 2 > buf.len() {
+                    return Err(HiveError::Codec("copy tag truncated".into()));
+                }
+                let len = (tag >> 2) as usize + 1;
+                let offset = buf[pos] as usize | ((buf[pos + 1] as usize) << 8);
+                pos += 2;
+                copy_back(&mut out, offset, len)?;
+            }
+            _ => return Err(HiveError::Codec("unsupported copy tag 0b11".into())),
+        }
+    }
+    if out.len() != expect {
+        return Err(HiveError::Codec(format!(
+            "decompressed {} bytes, expected {expect}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Copy `len` bytes from `offset` back in `out`, allowing the overlapping
+/// RLE-style copies LZ77 depends on.
+fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<()> {
+    if offset == 0 || offset > out.len() {
+        return Err(HiveError::Codec(format!(
+            "copy offset {offset} out of range (have {} bytes)",
+            out.len()
+        )));
+    }
+    let start = out.len() - offset;
+    for k in 0..len {
+        let b = out[start + k];
+        out.push(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = snappy_compress(data);
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn basic_round_trips() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abcabcabcabcabcabcabc");
+        round_trip(&b"x".repeat(100_000));
+    }
+
+    #[test]
+    fn overlapping_copy_rle() {
+        // offset 1, long length — the classic RLE-via-LZ case.
+        let data = vec![9u8; 1000];
+        let c = snappy_compress(&data);
+        assert!(c.len() < 64);
+        assert_eq!(snappy_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_literal_runs() {
+        // > 60 and > 256 literal lengths exercise the extended tags.
+        let mut x = 1u64;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn matches_beyond_2048_use_two_byte_offsets() {
+        let mut data = vec![0u8; 5000];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let mut doubled = data.clone();
+        doubled.extend_from_slice(&data);
+        round_trip(&doubled);
+        let c = snappy_compress(&doubled);
+        assert!(c.len() < doubled.len());
+    }
+
+    #[test]
+    fn bad_offset_is_error() {
+        let mut buf = Vec::new();
+        varint::write_unsigned(&mut buf, 10);
+        buf.push(0b10 | (9 << 2)); // copy len 10
+        buf.push(5); // offset 5 but output is empty
+        buf.push(0);
+        assert!(snappy_decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let mut buf = Vec::new();
+        varint::write_unsigned(&mut buf, 100); // claims 100 bytes
+        buf.push(0 << 2); // literal of 1 byte
+        buf.push(b'z');
+        assert!(snappy_decompress(&buf).is_err());
+    }
+}

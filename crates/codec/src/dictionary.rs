@@ -1,0 +1,159 @@
+//! Dictionary building for string columns (paper Section 4.3).
+//!
+//! The ORC writer collects string values, then checks whether
+//! `distinct / total <= threshold` (default 0.8). If so, the column is
+//! stored dictionary-encoded (byte stream of entries + entry lengths +
+//! value indexes); otherwise it falls back to direct encoding (byte stream
+//! of values + value lengths).
+
+use std::collections::HashMap;
+
+/// Accumulates values and decides between DICTIONARY and DIRECT encoding.
+#[derive(Debug, Default)]
+pub struct DictionaryBuilder {
+    /// Entry → dictionary id, in first-seen order.
+    ids: HashMap<Vec<u8>, u32>,
+    /// Entries by id.
+    entries: Vec<Vec<u8>>,
+    /// Per-value dictionary ids, in row order.
+    row_ids: Vec<u32>,
+    /// Total bytes across all added values (for size estimates).
+    total_value_bytes: usize,
+}
+
+/// The encoding chosen once all values of a stripe are seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringEncoding {
+    /// Store the dictionary once + integer ids per row.
+    Dictionary,
+    /// Store every value directly.
+    Direct,
+}
+
+impl DictionaryBuilder {
+    pub fn new() -> DictionaryBuilder {
+        DictionaryBuilder::default()
+    }
+
+    /// Add one value in row order.
+    pub fn add(&mut self, value: &[u8]) {
+        self.total_value_bytes += value.len();
+        let next_id = self.entries.len() as u32;
+        let id = *self.ids.entry(value.to_vec()).or_insert_with(|| {
+            self.entries.push(value.to_vec());
+            next_id
+        });
+        self.row_ids.push(id);
+    }
+
+    pub fn num_values(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    pub fn num_distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn total_value_bytes(&self) -> usize {
+        self.total_value_bytes
+    }
+
+    /// The distinct/total ratio the threshold check uses. 0 for no values.
+    pub fn distinct_ratio(&self) -> f64 {
+        if self.row_ids.is_empty() {
+            0.0
+        } else {
+            self.num_distinct() as f64 / self.num_values() as f64
+        }
+    }
+
+    /// Decide the encoding per the paper's rule: dictionary iff the
+    /// distinct/total ratio is not greater than `threshold`.
+    pub fn choose(&self, threshold: f64) -> StringEncoding {
+        if self.distinct_ratio() <= threshold {
+            StringEncoding::Dictionary
+        } else {
+            StringEncoding::Direct
+        }
+    }
+
+    /// Dictionary entries in id order.
+    pub fn entries(&self) -> &[Vec<u8>] {
+        &self.entries
+    }
+
+    /// Per-row dictionary ids.
+    pub fn row_ids(&self) -> &[u32] {
+        &self.row_ids
+    }
+
+    /// Reset for the next stripe, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.entries.clear();
+        self.row_ids.clear();
+        self.total_value_bytes = 0;
+    }
+
+    /// Approximate memory footprint (writer memory-manager accounting).
+    pub fn memory_size(&self) -> usize {
+        self.total_value_bytes * 2 // entries + hashmap keys
+            + self.row_ids.len() * 4
+            + self.entries.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_values_share_ids() {
+        let mut d = DictionaryBuilder::new();
+        for v in ["ca", "ny", "ca", "tx", "ny", "ca"] {
+            d.add(v.as_bytes());
+        }
+        assert_eq!(d.num_values(), 6);
+        assert_eq!(d.num_distinct(), 3);
+        assert_eq!(d.row_ids(), &[0, 1, 0, 2, 1, 0]);
+        assert_eq!(d.entries()[2], b"tx".to_vec());
+    }
+
+    #[test]
+    fn threshold_rule_matches_paper() {
+        let mut low_card = DictionaryBuilder::new();
+        for i in 0..100 {
+            low_card.add(format!("v{}", i % 10).as_bytes());
+        }
+        assert_eq!(low_card.choose(0.8), StringEncoding::Dictionary);
+
+        let mut high_card = DictionaryBuilder::new();
+        for i in 0..100 {
+            high_card.add(format!("unique-{i}").as_bytes());
+        }
+        // ratio = 1.0 > 0.8 → direct (the TPC-H comment-column case).
+        assert_eq!(high_card.choose(0.8), StringEncoding::Direct);
+    }
+
+    #[test]
+    fn boundary_ratio_is_inclusive() {
+        // "not greater than the threshold" → exactly at threshold keeps
+        // dictionary encoding.
+        let mut d = DictionaryBuilder::new();
+        for i in 0..10 {
+            d.add(format!("x{}", i % 8).as_bytes());
+        }
+        assert_eq!(d.distinct_ratio(), 0.8);
+        assert_eq!(d.choose(0.8), StringEncoding::Dictionary);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut d = DictionaryBuilder::new();
+        d.add(b"a");
+        d.clear();
+        assert_eq!(d.num_values(), 0);
+        assert_eq!(d.num_distinct(), 0);
+        assert_eq!(d.distinct_ratio(), 0.0);
+    }
+}

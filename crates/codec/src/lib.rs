@@ -1,0 +1,26 @@
+//! Encodings and compression for the file-format layer.
+//!
+//! Two levels, exactly as Section 4.3 of the paper describes:
+//!
+//! 1. **Stream-type-specific encodings** — the four primitive stream kinds
+//!    (byte, run-length byte, integer, bit-field) plus the dictionary
+//!    machinery used for strings.
+//! 2. **General-purpose block codecs** — applied on top of encoded streams
+//!    in fixed-size compression units. We implement a Snappy-class LZ77
+//!    codec and a Deflate-class LZ77+Huffman codec from scratch (the real
+//!    Snappy/ZLIB are not available offline; these preserve the speed/ratio
+//!    trade-off the experiments depend on).
+
+pub mod bitfield;
+pub mod block;
+pub mod byte_rle;
+pub mod dictionary;
+pub mod huffman;
+pub mod int_rle;
+pub mod varint;
+
+pub use bitfield::{BitFieldDecoder, BitFieldEncoder};
+pub use block::{BlockCodec, Compression, DeflateLikeCodec, NoneCodec, SnappyLikeCodec};
+pub use byte_rle::{ByteRleDecoder, ByteRleEncoder};
+pub use dictionary::DictionaryBuilder;
+pub use int_rle::{IntRleDecoder, IntRleEncoder};

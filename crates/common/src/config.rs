@@ -1,0 +1,220 @@
+//! Session configuration: the `hive.*` / `dfs.*` knobs that gate each
+//! advancement, mirroring `HiveConf` in Hive.
+//!
+//! Every optimization described in the paper is individually switchable so
+//! the benchmark harness can reproduce each figure's on/off comparisons.
+
+use crate::error::{HiveError, Result};
+use std::collections::BTreeMap;
+
+/// Typed accessor over a string-keyed property map with defaults.
+#[derive(Debug, Clone, Default)]
+pub struct HiveConf {
+    overrides: BTreeMap<String, String>,
+}
+
+/// Well-known property keys. Defaults follow the paper where it states one.
+pub mod keys {
+    /// ORC stripe size in bytes (paper default: 256 MB; tests scale down).
+    pub const ORC_STRIPE_SIZE: &str = "hive.exec.orc.default.stripe.size";
+    /// Rows per index group (paper default: 10,000).
+    pub const ORC_ROW_INDEX_STRIDE: &str = "hive.exec.orc.row.index.stride";
+    /// Dictionary-encoding threshold: distinct/total ratio (paper: 0.8).
+    pub const ORC_DICT_THRESHOLD: &str = "hive.exec.orc.dictionary.key.size.threshold";
+    /// General-purpose codec: `none`, `snappy`, or `zlib`.
+    pub const ORC_COMPRESS: &str = "hive.exec.orc.default.compress";
+    /// Compression unit size in bytes (paper default: 256 KB).
+    pub const ORC_COMPRESS_UNIT: &str = "hive.exec.orc.compress.unit";
+    /// Pad stripes so each fits in a single DFS block (Section 4.1).
+    pub const ORC_BLOCK_PADDING: &str = "hive.exec.orc.default.block.padding";
+    /// Fraction of task memory available to concurrent ORC writers
+    /// (paper: half the task memory).
+    pub const ORC_MEMORY_POOL: &str = "hive.exec.orc.memory.pool";
+    /// Push predicates down to the storage reader (enables Fig. 10's PPD).
+    pub const OPT_PPD_STORAGE: &str = "hive.optimize.index.filter";
+    /// RCFile row-group size in bytes (paper: 4 MB).
+    pub const RCFILE_ROWGROUP_SIZE: &str = "hive.io.rcfile.record.buffer.size";
+    /// Enable the Correlation Optimizer (Section 5.2).
+    pub const OPT_CORRELATION: &str = "hive.optimize.correlation";
+    /// Convert Reduce Joins to Map Joins when the small side fits.
+    pub const AUTO_CONVERT_JOIN: &str = "hive.auto.convert.join";
+    /// Small-table bytes threshold for Map Join conversion.
+    pub const MAPJOIN_SMALLTABLE_SIZE: &str = "hive.mapjoin.smalltable.filesize";
+    /// Merge Map-only jobs into their child job (Section 5.1).
+    pub const MERGE_MAPONLY_JOBS: &str = "hive.optimize.merge.maponly.jobs";
+    /// Total-hash-table bytes threshold guarding the merge (Section 5.1).
+    pub const MERGE_MAPONLY_THRESHOLD: &str = "hive.auto.convert.join.noconditionaltask.size";
+    /// Enable vectorized execution (Section 6).
+    pub const VECTORIZED_ENABLED: &str = "hive.vectorized.execution.enabled";
+    /// Cost-based join reordering (the paper's Section 9 outlook).
+    pub const CBO_ENABLE: &str = "hive.cbo.enable";
+    /// Answer COUNT/MIN/MAX/SUM-only queries from ORC file statistics
+    /// without running a job (paper §4.2: file-level statistics "are also
+    /// used to answer simple aggregation queries").
+    pub const COMPUTE_USING_STATS: &str = "hive.compute.query.using.stats";
+    /// Rows per vectorized batch (paper default: 1024).
+    pub const VECTORIZED_BATCH_SIZE: &str = "hive.vectorized.batch.size";
+    /// DFS block size in bytes (paper cluster: 512 MB).
+    pub const DFS_BLOCK_SIZE: &str = "dfs.block.size";
+    /// DFS replication factor.
+    pub const DFS_REPLICATION: &str = "dfs.replication";
+    /// Simulated cluster: number of worker nodes (paper: 10 slaves).
+    pub const CLUSTER_NODES: &str = "mapreduce.cluster.nodes";
+    /// Simulated cluster: concurrent task slots per node (paper: 3).
+    pub const CLUSTER_SLOTS_PER_NODE: &str = "mapreduce.cluster.slots.per.node";
+    /// Number of reduce tasks per job unless the plan pins one.
+    pub const REDUCE_TASKS: &str = "mapreduce.job.reduces";
+    /// Memory available to one task in bytes (m1.xlarge-ish scaled down).
+    pub const TASK_MEMORY: &str = "mapreduce.task.memory.bytes";
+}
+
+/// `(key, default)` table; the single source of defaults.
+const DEFAULTS: &[(&str, &str)] = &[
+    (keys::ORC_STRIPE_SIZE, "268435456"),  // 256 MB
+    (keys::ORC_ROW_INDEX_STRIDE, "10000"),
+    (keys::ORC_DICT_THRESHOLD, "0.8"),
+    (keys::ORC_COMPRESS, "none"),
+    (keys::ORC_COMPRESS_UNIT, "262144"),   // 256 KB
+    (keys::ORC_BLOCK_PADDING, "true"),
+    (keys::ORC_MEMORY_POOL, "0.5"),
+    (keys::OPT_PPD_STORAGE, "true"),
+    (keys::RCFILE_ROWGROUP_SIZE, "4194304"), // 4 MB
+    (keys::OPT_CORRELATION, "true"),
+    (keys::AUTO_CONVERT_JOIN, "true"),
+    (keys::MAPJOIN_SMALLTABLE_SIZE, "25000000"),
+    (keys::MERGE_MAPONLY_JOBS, "true"),
+    (keys::MERGE_MAPONLY_THRESHOLD, "10000000"),
+    (keys::VECTORIZED_ENABLED, "true"),
+    (keys::CBO_ENABLE, "false"),
+    (keys::COMPUTE_USING_STATS, "false"),
+    (keys::VECTORIZED_BATCH_SIZE, "1024"),
+    (keys::DFS_BLOCK_SIZE, "536870912"),   // 512 MB
+    (keys::DFS_REPLICATION, "3"),
+    (keys::CLUSTER_NODES, "10"),
+    (keys::CLUSTER_SLOTS_PER_NODE, "3"),
+    (keys::REDUCE_TASKS, "10"),
+    (keys::TASK_MEMORY, "1073741824"),     // 1 GB
+];
+
+impl HiveConf {
+    pub fn new() -> HiveConf {
+        HiveConf::default()
+    }
+
+    /// Set a property, overriding its default.
+    pub fn set(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.overrides.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Builder-style set.
+    pub fn with(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Raw string lookup: override, then default, then `None`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        if let Some(v) = self.overrides.get(key) {
+            return Some(v);
+        }
+        DEFAULTS.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    pub fn get_i64(&self, key: &str) -> Result<i64> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| HiveError::Config(format!("unknown property `{key}`")))?;
+        raw.parse::<i64>()
+            .map_err(|_| HiveError::Config(format!("property `{key}`=`{raw}` is not an integer")))
+    }
+
+    pub fn get_usize(&self, key: &str) -> Result<usize> {
+        let v = self.get_i64(key)?;
+        usize::try_from(v)
+            .map_err(|_| HiveError::Config(format!("property `{key}`={v} must be non-negative")))
+    }
+
+    pub fn get_f64(&self, key: &str) -> Result<f64> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| HiveError::Config(format!("unknown property `{key}`")))?;
+        raw.parse::<f64>()
+            .map_err(|_| HiveError::Config(format!("property `{key}`=`{raw}` is not a number")))
+    }
+
+    pub fn get_bool(&self, key: &str) -> Result<bool> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| HiveError::Config(format!("unknown property `{key}`")))?;
+        match raw.to_ascii_lowercase().as_str() {
+            "true" | "1" | "on" | "yes" => Ok(true),
+            "false" | "0" | "off" | "no" => Ok(false),
+            _ => Err(HiveError::Config(format!(
+                "property `{key}`=`{raw}` is not a boolean"
+            ))),
+        }
+    }
+
+    /// All effective `(key, value)` pairs: defaults merged with overrides.
+    pub fn effective(&self) -> BTreeMap<String, String> {
+        let mut out: BTreeMap<String, String> = DEFAULTS
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        for (k, v) in &self.overrides {
+            out.insert(k.clone(), v.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HiveConf::new();
+        assert_eq!(c.get_usize(keys::ORC_STRIPE_SIZE).unwrap(), 256 << 20);
+        assert_eq!(c.get_usize(keys::ORC_ROW_INDEX_STRIDE).unwrap(), 10_000);
+        assert_eq!(c.get_f64(keys::ORC_DICT_THRESHOLD).unwrap(), 0.8);
+        assert_eq!(c.get_usize(keys::RCFILE_ROWGROUP_SIZE).unwrap(), 4 << 20);
+        assert_eq!(c.get_usize(keys::VECTORIZED_BATCH_SIZE).unwrap(), 1024);
+        assert_eq!(c.get_usize(keys::CLUSTER_NODES).unwrap(), 10);
+        assert_eq!(c.get_usize(keys::CLUSTER_SLOTS_PER_NODE).unwrap(), 3);
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut c = HiveConf::new();
+        c.set(keys::VECTORIZED_ENABLED, "false");
+        assert!(!c.get_bool(keys::VECTORIZED_ENABLED).unwrap());
+    }
+
+    #[test]
+    fn bad_values_error_cleanly() {
+        let c = HiveConf::new().with(keys::ORC_STRIPE_SIZE, "huge");
+        assert!(matches!(
+            c.get_i64(keys::ORC_STRIPE_SIZE),
+            Err(HiveError::Config(_))
+        ));
+        let c2 = HiveConf::new().with(keys::AUTO_CONVERT_JOIN, "maybe");
+        assert!(c2.get_bool(keys::AUTO_CONVERT_JOIN).is_err());
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let c = HiveConf::new();
+        assert!(c.get_i64("hive.no.such.key").is_err());
+        assert!(c.get("hive.no.such.key").is_none());
+    }
+
+    #[test]
+    fn effective_merges_defaults_and_overrides() {
+        let c = HiveConf::new().with(keys::CLUSTER_NODES, "4");
+        let eff = c.effective();
+        assert_eq!(eff[keys::CLUSTER_NODES], "4");
+        assert_eq!(eff[keys::CLUSTER_SLOTS_PER_NODE], "3");
+    }
+}

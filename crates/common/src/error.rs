@@ -1,0 +1,119 @@
+//! Unified error type shared across all Hive subsystems.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, HiveError>;
+
+/// Errors raised anywhere in the Hive reproduction.
+///
+/// Variants correspond to the layer that produced the error so callers can
+/// report failures with the same granularity Hive's exception hierarchy does
+/// (`SerDeException`, `SemanticException`, `HiveException`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HiveError {
+    /// Filesystem-level failure (missing path, short read, bad offset).
+    Dfs(String),
+    /// Serialization / deserialization failure in a SerDe or file format.
+    SerDe(String),
+    /// Corrupt or malformed file-format metadata (bad footer, magic, ...).
+    Format(String),
+    /// Compression or decompression failure.
+    Codec(String),
+    /// Lexer/parser failure with the offending position.
+    Parse(String),
+    /// Semantic analysis failure (unknown table, ambiguous column, ...).
+    Semantic(String),
+    /// Query-planning failure.
+    Plan(String),
+    /// Runtime execution failure inside an operator or task.
+    Execution(String),
+    /// A configuration property was set to an invalid value.
+    Config(String),
+    /// Type mismatch between an expression and its operands.
+    Type(String),
+    /// The metastore does not know the referenced object.
+    Metastore(String),
+    /// Memory budget exhausted (ORC writer memory manager, hash joins).
+    Memory(String),
+    /// Anything that does not fit the categories above.
+    Internal(String),
+}
+
+impl HiveError {
+    /// The layer label used in rendered messages.
+    fn layer(&self) -> &'static str {
+        match self {
+            HiveError::Dfs(_) => "dfs",
+            HiveError::SerDe(_) => "serde",
+            HiveError::Format(_) => "format",
+            HiveError::Codec(_) => "codec",
+            HiveError::Parse(_) => "parse",
+            HiveError::Semantic(_) => "semantic",
+            HiveError::Plan(_) => "plan",
+            HiveError::Execution(_) => "execution",
+            HiveError::Config(_) => "config",
+            HiveError::Type(_) => "type",
+            HiveError::Metastore(_) => "metastore",
+            HiveError::Memory(_) => "memory",
+            HiveError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the variant.
+    pub fn message(&self) -> &str {
+        match self {
+            HiveError::Dfs(m)
+            | HiveError::SerDe(m)
+            | HiveError::Format(m)
+            | HiveError::Codec(m)
+            | HiveError::Parse(m)
+            | HiveError::Semantic(m)
+            | HiveError::Plan(m)
+            | HiveError::Execution(m)
+            | HiveError::Config(m)
+            | HiveError::Type(m)
+            | HiveError::Metastore(m)
+            | HiveError::Memory(m)
+            | HiveError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.layer(), self.message())
+    }
+}
+
+impl std::error::Error for HiveError {}
+
+impl From<std::io::Error> for HiveError {
+    fn from(e: std::io::Error) -> Self {
+        HiveError::Dfs(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = HiveError::Parse("unexpected token `)` at 1:17".into());
+        assert_eq!(e.to_string(), "[parse] unexpected token `)` at 1:17");
+    }
+
+    #[test]
+    fn message_accessor_returns_inner_text() {
+        let e = HiveError::Memory("stripe budget exceeded".into());
+        assert_eq!(e.message(), "stripe budget exceeded");
+    }
+
+    #[test]
+    fn io_error_converts_to_dfs() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: HiveError = io.into();
+        assert!(matches!(e, HiveError::Dfs(_)));
+    }
+}

@@ -1,0 +1,252 @@
+//! Table schemas and the flattened column tree used by ORC.
+
+use crate::error::{HiveError, Result};
+use crate::types::DataType;
+
+/// A named, typed column in a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields describing a table or an intermediate
+/// row shape between operators.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Build from `(name, hiveql type string)` pairs.
+    pub fn parse(cols: &[(&str, &str)]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(cols.len());
+        for (name, ty) in cols {
+            fields.push(Field::new(*name, DataType::parse(ty)?));
+        }
+        Ok(Schema { fields })
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Case-insensitive lookup by name, like HiveQL identifier resolution.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.fields
+            .iter()
+            .position(|f| f.name.to_ascii_lowercase() == lower)
+            .ok_or_else(|| HiveError::Semantic(format!("unknown column `{name}`")))
+    }
+
+    /// Project a subset of columns (by index) into a new schema.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Equivalent root struct type: the paper models a row as a Struct whose
+    /// fields are the table's columns (Figure 3's column id 0).
+    pub fn as_struct_type(&self) -> DataType {
+        DataType::Struct(
+            self.fields
+                .iter()
+                .map(|f| (f.name.clone(), f.data_type.clone()))
+                .collect(),
+        )
+    }
+
+    /// Flatten the schema into the ORC column tree (pre-order), assigning
+    /// column ids exactly as Figure 3 of the paper does: the root struct is
+    /// column 0, then each field and its descendants in order.
+    pub fn column_tree(&self) -> ColumnTree {
+        let mut nodes = Vec::new();
+        let root_type = self.as_struct_type();
+        build_tree(&root_type, "_root", None, &mut nodes);
+        ColumnTree { nodes }
+    }
+}
+
+/// One node in the flattened ORC column tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnNode {
+    /// Pre-order column id (root = 0).
+    pub id: usize,
+    /// Field name within the parent (or `_root`).
+    pub name: String,
+    pub data_type: DataType,
+    pub parent: Option<usize>,
+    /// Ids of direct children, in declaration order.
+    pub children: Vec<usize>,
+}
+
+impl ColumnNode {
+    /// Leaf columns store data streams; internal columns store only
+    /// structural metadata (e.g. array lengths).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// The flattened column tree of a schema, mirroring ORC's writer layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnTree {
+    nodes: Vec<ColumnNode>,
+}
+
+impl ColumnTree {
+    pub fn nodes(&self) -> &[ColumnNode] {
+        &self.nodes
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: usize) -> &ColumnNode {
+        &self.nodes[id]
+    }
+
+    /// Ids of all leaf columns, in pre-order.
+    pub fn leaves(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The column id of top-level field `i` (child `i` of the root).
+    pub fn top_level(&self, i: usize) -> usize {
+        self.nodes[0].children[i]
+    }
+
+    /// All ids in the subtree rooted at `id` (inclusive), pre-order.
+    pub fn subtree(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            out.push(cur);
+            for &c in self.nodes[cur].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+fn build_tree(
+    dt: &DataType,
+    name: &str,
+    parent: Option<usize>,
+    nodes: &mut Vec<ColumnNode>,
+) -> usize {
+    let id = nodes.len();
+    nodes.push(ColumnNode {
+        id,
+        name: name.to_string(),
+        data_type: dt.clone(),
+        parent,
+        children: Vec::new(),
+    });
+    let mut child_ids = Vec::new();
+    for (cname, ctype) in dt.children() {
+        let cid = build_tree(&ctype, &cname, Some(id), nodes);
+        child_ids.push(cid);
+    }
+    nodes[id].children = child_ids;
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3_schema() -> Schema {
+        Schema::parse(&[
+            ("col1", "int"),
+            ("col2", "array<int>"),
+            ("col4", "map<string,struct<col7:string,col8:int>>"),
+            ("col9", "string"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn column_ids_match_figure_3() {
+        // Figure 3(b): ids 0..=9 with col1=1, col2=2 (elem=3), col4=4
+        // (key=5, struct=6 with col7=7, col8=8), col9=9.
+        let tree = figure3_schema().column_tree();
+        assert_eq!(tree.len(), 10);
+        assert_eq!(tree.top_level(0), 1); // col1
+        assert_eq!(tree.top_level(1), 2); // col2
+        assert_eq!(tree.node(2).children, vec![3]); // array elem
+        assert_eq!(tree.top_level(2), 4); // col4
+        assert_eq!(tree.node(4).children, vec![5, 6]); // map key, value
+        assert_eq!(tree.node(6).children, vec![7, 8]); // struct fields
+        assert_eq!(tree.top_level(3), 9); // col9
+    }
+
+    #[test]
+    fn leaves_are_only_data_bearing_columns() {
+        let tree = figure3_schema().column_tree();
+        assert_eq!(tree.leaves(), vec![1, 3, 5, 7, 8, 9]);
+        assert!(!tree.node(0).is_leaf());
+        assert!(!tree.node(2).is_leaf());
+        assert!(!tree.node(4).is_leaf());
+        assert!(!tree.node(6).is_leaf());
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let tree = figure3_schema().column_tree();
+        assert_eq!(tree.subtree(4), vec![4, 5, 6, 7, 8]);
+        assert_eq!(tree.subtree(9), vec![9]);
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = figure3_schema();
+        assert_eq!(s.index_of("COL9").unwrap(), 3);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn project_keeps_order_of_indices() {
+        let s = figure3_schema();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.field(0).name, "col9");
+        assert_eq!(p.field(1).name, "col1");
+    }
+}

@@ -1,0 +1,333 @@
+//! Hive's data-type system, including the complex types whose
+//! decomposition rules (paper Table 1) drive the ORC column tree.
+
+use crate::error::{HiveError, Result};
+use std::fmt;
+
+/// A Hive data type.
+///
+/// Primitive types map onto single physical streams in ORC; complex types are
+/// decomposed into child columns per Table 1 of the paper:
+///
+/// | Type   | Child columns                                   |
+/// |--------|-------------------------------------------------|
+/// | Array  | a single child column holding the elements      |
+/// | Map    | two child columns: the key field, the value field |
+/// | Struct | every field is a child column                   |
+/// | Union  | every alternative is a child column             |
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `BOOLEAN`.
+    Boolean,
+    /// All integer widths (`TINYINT` .. `BIGINT`) share one logical type,
+    /// like `LongColumnVector` does in Hive's vectorized engine.
+    Int,
+    /// `DOUBLE` / `FLOAT`.
+    Double,
+    /// `STRING` / `VARCHAR`.
+    String,
+    /// `TIMESTAMP`, stored as epoch microseconds.
+    Timestamp,
+    /// `ARRAY<element>`.
+    Array(Box<DataType>),
+    /// `MAP<key, value>`.
+    Map(Box<DataType>, Box<DataType>),
+    /// `STRUCT<name: type, ...>`.
+    Struct(Vec<(String, DataType)>),
+    /// `UNIONTYPE<t0, t1, ...>`.
+    Union(Vec<DataType>),
+}
+
+impl DataType {
+    /// Whether this type maps onto a single leaf column.
+    pub fn is_primitive(&self) -> bool {
+        !matches!(
+            self,
+            DataType::Array(_) | DataType::Map(_, _) | DataType::Struct(_) | DataType::Union(_)
+        )
+    }
+
+    /// Whether the type is numeric (usable in arithmetic and SUM/AVG).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Double | DataType::Timestamp)
+    }
+
+    /// The child types produced by the paper's Table 1 decomposition.
+    /// Primitive types decompose to nothing.
+    pub fn children(&self) -> Vec<(String, DataType)> {
+        match self {
+            DataType::Array(elem) => vec![("_elem".to_string(), (**elem).clone())],
+            DataType::Map(k, v) => vec![
+                ("_key".to_string(), (**k).clone()),
+                ("_value".to_string(), (**v).clone()),
+            ],
+            DataType::Struct(fields) => fields.clone(),
+            DataType::Union(alts) => alts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("_tag{i}"), t.clone()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Total number of columns (internal + leaf) this type contributes to the
+    /// ORC column tree, counting the column for the type itself.
+    pub fn column_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|(_, t)| t.column_count())
+            .sum::<usize>()
+    }
+
+    /// Parse a type from its HiveQL spelling, e.g. `map<string,int>`.
+    pub fn parse(s: &str) -> Result<DataType> {
+        let mut p = TypeParser {
+            src: s.as_bytes(),
+            pos: 0,
+        };
+        let t = p.parse_type()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(HiveError::Parse(format!(
+                "trailing characters in type string `{s}` at offset {}",
+                p.pos
+            )));
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Boolean => write!(f, "boolean"),
+            DataType::Int => write!(f, "bigint"),
+            DataType::Double => write!(f, "double"),
+            DataType::String => write!(f, "string"),
+            DataType::Timestamp => write!(f, "timestamp"),
+            DataType::Array(e) => write!(f, "array<{e}>"),
+            DataType::Map(k, v) => write!(f, "map<{k},{v}>"),
+            DataType::Struct(fields) => {
+                write!(f, "struct<")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}:{t}")?;
+                }
+                write!(f, ">")
+            }
+            DataType::Union(alts) => {
+                write!(f, "uniontype<")?;
+                for (i, t) in alts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+/// Minimal recursive-descent parser for type strings.
+struct TypeParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TypeParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(HiveError::Parse(format!(
+                "expected identifier at offset {} in type string",
+                start
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).to_ascii_lowercase())
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<()> {
+        self.skip_ws();
+        if self.pos < self.src.len() && self.src[self.pos] == ch {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(HiveError::Parse(format!(
+                "expected `{}` at offset {} in type string",
+                ch as char, self.pos
+            )))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn parse_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "boolean" => Ok(DataType::Boolean),
+            "tinyint" | "smallint" | "int" | "integer" | "bigint" => Ok(DataType::Int),
+            "float" | "double" => Ok(DataType::Double),
+            "string" | "varchar" => Ok(DataType::String),
+            "timestamp" => Ok(DataType::Timestamp),
+            "array" => {
+                self.expect(b'<')?;
+                let elem = self.parse_type()?;
+                self.expect(b'>')?;
+                Ok(DataType::Array(Box::new(elem)))
+            }
+            "map" => {
+                self.expect(b'<')?;
+                let k = self.parse_type()?;
+                self.expect(b',')?;
+                let v = self.parse_type()?;
+                self.expect(b'>')?;
+                Ok(DataType::Map(Box::new(k), Box::new(v)))
+            }
+            "struct" => {
+                self.expect(b'<')?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident()?;
+                    self.expect(b':')?;
+                    let ftype = self.parse_type()?;
+                    fields.push((fname, ftype));
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(HiveError::Parse(format!(
+                                "expected `,` or `>` at offset {} in struct type",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+                Ok(DataType::Struct(fields))
+            }
+            "uniontype" | "union" => {
+                self.expect(b'<')?;
+                let mut alts = Vec::new();
+                loop {
+                    alts.push(self.parse_type()?);
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(HiveError::Parse(format!(
+                                "expected `,` or `>` at offset {} in union type",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+                Ok(DataType::Union(alts))
+            }
+            other => Err(HiveError::Parse(format!("unknown type name `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!(DataType::parse("int").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("BIGINT").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse("double").unwrap(), DataType::Double);
+        assert_eq!(DataType::parse("string").unwrap(), DataType::String);
+        assert_eq!(DataType::parse("boolean").unwrap(), DataType::Boolean);
+        assert_eq!(DataType::parse("timestamp").unwrap(), DataType::Timestamp);
+    }
+
+    #[test]
+    fn parse_nested_complex() {
+        // The paper's Figure 3 example table column `col4`.
+        let t = DataType::parse("Map<String, Struct<col7:String, col8:Int>>").unwrap();
+        assert_eq!(
+            t,
+            DataType::Map(
+                Box::new(DataType::String),
+                Box::new(DataType::Struct(vec![
+                    ("col7".to_string(), DataType::String),
+                    ("col8".to_string(), DataType::Int),
+                ])),
+            )
+        );
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(DataType::parse("int x").is_err());
+        assert!(DataType::parse("array<int").is_err());
+        assert!(DataType::parse("wibble").is_err());
+    }
+
+    #[test]
+    fn decomposition_matches_table_1() {
+        let arr = DataType::parse("array<int>").unwrap();
+        assert_eq!(arr.children().len(), 1);
+        let map = DataType::parse("map<string,int>").unwrap();
+        assert_eq!(map.children().len(), 2);
+        let st = DataType::parse("struct<a:int,b:string,c:double>").unwrap();
+        assert_eq!(st.children().len(), 3);
+        let un = DataType::parse("uniontype<int,string>").unwrap();
+        assert_eq!(un.children().len(), 2);
+    }
+
+    #[test]
+    fn column_count_matches_figure_3() {
+        // Figure 3's table: struct<col1:int, col2:array<int>,
+        //   col4:map<string, struct<col7:string,col8:int>>, col9:string>
+        // decomposes to 10 columns (ids 0..=9).
+        let t = DataType::parse(
+            "struct<col1:int,col2:array<int>,col4:map<string,struct<col7:string,col8:int>>,col9:string>",
+        )
+        .unwrap();
+        assert_eq!(t.column_count(), 10);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "array<map<string,bigint>>",
+            "struct<a:bigint,b:array<double>>",
+            "uniontype<bigint,string>",
+        ] {
+            let t = DataType::parse(s).unwrap();
+            let t2 = DataType::parse(&t.to_string()).unwrap();
+            assert_eq!(t, t2);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Runtime values flowing through SerDes and row-mode operators.
+
+use crate::types::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+///
+/// `Value` is the row-mode currency: SerDes produce it, interpreted
+/// expressions consume it. The vectorized engine avoids it entirely
+/// (that is the point of Section 6 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    Boolean(bool),
+    Int(i64),
+    Double(f64),
+    String(String),
+    /// Epoch microseconds.
+    Timestamp(i64),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Map(Vec<(Value, Value)>),
+    Struct(Vec<Value>),
+    /// Active alternative tag + payload.
+    Union(u8, Box<Value>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The data type this value inhabits, if unambiguous.
+    /// `Null` and empty collections report `None`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::String(_) => Some(DataType::String),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Array(items) => items
+                .iter()
+                .find_map(|v| v.data_type())
+                .map(|t| DataType::Array(Box::new(t))),
+            Value::Map(entries) => {
+                let k = entries.iter().find_map(|(k, _)| k.data_type())?;
+                let v = entries.iter().find_map(|(_, v)| v.data_type())?;
+                Some(DataType::Map(Box::new(k), Box::new(v)))
+            }
+            Value::Struct(_) | Value::Union(_, _) => None,
+        }
+    }
+
+    /// Numeric view as i64 (booleans count as 0/1). `None` for non-numerics.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::Timestamp(v) => Some(*v),
+            Value::Boolean(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64, widening ints. `None` for non-numerics.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) | Value::Timestamp(v) => Some(*v as f64),
+            Value::Boolean(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares less than everything (the
+    /// ordering Hive uses when sorting); cross-numeric comparisons widen to
+    /// f64; otherwise values compare within their own type.
+    pub fn sql_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (String(a), String(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (a, b) => match (a.as_double(), b.as_double()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => format!("{a}").cmp(&format!("{b}")),
+            },
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes; used by hash-join and
+    /// group-by memory accounting.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Null | Value::Boolean(_) => 1,
+            Value::Int(_) | Value::Double(_) | Value::Timestamp(_) => 8,
+            Value::String(s) => 24 + s.len(),
+            Value::Array(items) => 24 + items.iter().map(Value::heap_size).sum::<usize>(),
+            Value::Map(entries) => {
+                24 + entries
+                    .iter()
+                    .map(|(k, v)| k.heap_size() + v.heap_size())
+                    .sum::<usize>()
+            }
+            Value::Struct(fields) => 24 + fields.iter().map(Value::heap_size).sum::<usize>(),
+            Value::Union(_, v) => 1 + v.heap_size(),
+        }
+    }
+
+    /// A stable hash for shuffle partitioning — deliberately independent of
+    /// the process so simulated "distributed" runs are reproducible.
+    pub fn shuffle_hash(&self, state: &mut u64) {
+        fn mix(state: &mut u64, v: u64) {
+            // FNV-1a style mixing: stable across platforms and runs.
+            *state ^= v;
+            *state = state.wrapping_mul(0x100000001b3);
+        }
+        match self {
+            Value::Null => mix(state, 0xdead),
+            Value::Boolean(b) => mix(state, 0x10 + *b as u64),
+            Value::Int(v) | Value::Timestamp(v) => mix(state, *v as u64),
+            Value::Double(v) => mix(state, v.to_bits()),
+            Value::String(s) => {
+                for b in s.as_bytes() {
+                    mix(state, *b as u64);
+                }
+                mix(state, 0x517);
+            }
+            Value::Array(items) => {
+                for it in items {
+                    it.shuffle_hash(state);
+                }
+            }
+            Value::Map(entries) => {
+                for (k, v) in entries {
+                    k.shuffle_hash(state);
+                    v.shuffle_hash(state);
+                }
+            }
+            Value::Struct(fields) => {
+                for f in fields {
+                    f.shuffle_hash(state);
+                }
+            }
+            Value::Union(tag, v) => {
+                mix(state, *tag as u64);
+                v.shuffle_hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::String(s) => write!(f, "{s}"),
+            Value::Timestamp(v) => write!(f, "ts:{v}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Struct(fields) => {
+                write!(f, "(")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Union(tag, v) => write!(f, "<{tag}:{v}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
+        vals.sort_by(|a, b| a.sql_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn cross_numeric_comparison_widens() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Ordering::Less);
+        assert_eq!(Value::Double(2.0).sql_cmp(&Value::Int(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn shuffle_hash_is_deterministic_and_discriminating() {
+        let mut h1 = 0xcbf29ce484222325u64;
+        let mut h2 = 0xcbf29ce484222325u64;
+        Value::String("hello".into()).shuffle_hash(&mut h1);
+        Value::String("hello".into()).shuffle_hash(&mut h2);
+        assert_eq!(h1, h2);
+        let mut h3 = 0xcbf29ce484222325u64;
+        Value::String("hellp".into()).shuffle_hash(&mut h3);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Double(4.0).to_string(), "4.0");
+        assert_eq!(
+            Value::Array(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1,2]"
+        );
+        assert_eq!(
+            Value::Map(vec![(Value::String("k".into()), Value::Int(9))]).to_string(),
+            "{k:9}"
+        );
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let small = Value::String("a".into()).heap_size();
+        let big = Value::String("a".repeat(100)).heap_size();
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Driver: parse → plan → execute → fetch (paper Section 2).
+
+use crate::metastore::Metastore;
+use hive_common::{HiveConf, HiveError, Result, Row};
+use hive_dfs::Dfs;
+use hive_mapreduce::{DagReport, MrEngine};
+use hive_planner::plan_query;
+use hive_ql::{parse, Statement};
+
+/// The result of one statement.
+#[derive(Debug, Default)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    /// Per-job and total execution report (simulated time, measured CPU).
+    pub report: DagReport,
+    /// Set for EXPLAIN statements.
+    pub explain: Option<String>,
+}
+
+impl QueryResult {
+    /// Render rows as tab-separated lines (CLI-style output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for r in &self.rows {
+            let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compile and run one statement.
+pub fn run_statement(
+    sql: &str,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+) -> Result<QueryResult> {
+    match parse(sql)? {
+        Statement::Select(stmt) => {
+            // Simple aggregations can come straight from ORC footers
+            // (paper §4.2), skipping the whole engine.
+            if let Some((columns, row)) =
+                crate::stats_answer::try_answer(&stmt, dfs, conf, metastore)?
+            {
+                return Ok(QueryResult {
+                    columns,
+                    rows: vec![row],
+                    ..Default::default()
+                });
+            }
+            let compiled = plan_query(&stmt, metastore, conf)?;
+            let engine = MrEngine::new(dfs.clone(), conf.clone());
+            let (report, mut rows) = engine.run_dag(&compiled.jobs)?;
+            // Driver-side final ordering and limit (see DESIGN.md).
+            if !compiled.order_by.is_empty() {
+                rows.sort_by(|a, b| {
+                    for &(idx, asc) in &compiled.order_by {
+                        let c = a[idx].sql_cmp(&b[idx]);
+                        let c = if asc { c } else { c.reverse() };
+                        if c != std::cmp::Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                if let Some(n) = compiled.limit {
+                    rows.truncate(n as usize);
+                }
+            }
+            Ok(QueryResult {
+                columns: compiled.output_names,
+                rows,
+                report,
+                explain: None,
+            })
+        }
+        Statement::CreateTable(ct) => {
+            let schema = hive_common::Schema::new(
+                ct.columns
+                    .iter()
+                    .map(|(n, t)| hive_common::Field::new(n.clone(), t.clone()))
+                    .collect(),
+            );
+            let format = match &ct.stored_as {
+                Some(f) => hive_formats::FormatKind::parse(f)?,
+                None => hive_formats::FormatKind::Text,
+            };
+            metastore.create_table(&ct.name, schema, format)?;
+            Ok(QueryResult::default())
+        }
+        Statement::Describe(name) => {
+            let info = metastore
+                .get(&name)
+                .ok_or_else(|| HiveError::Metastore(format!("unknown table `{name}`")))?;
+            let rows = info
+                .schema
+                .fields()
+                .iter()
+                .map(|f| {
+                    Row::new(vec![
+                        hive_common::Value::String(f.name.clone()),
+                        hive_common::Value::String(f.data_type.to_string()),
+                    ])
+                })
+                .collect();
+            Ok(QueryResult {
+                columns: vec!["col_name".into(), "data_type".into()],
+                rows,
+                ..Default::default()
+            })
+        }
+        Statement::Explain(inner) => {
+            let Statement::Select(stmt) = *inner else {
+                return Err(HiveError::Plan("EXPLAIN supports SELECT only".into()));
+            };
+            let compiled = plan_query(&stmt, metastore, conf)?;
+            Ok(QueryResult {
+                explain: Some(compiled.explain),
+                ..Default::default()
+            })
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The top of the stack: Metastore, Driver and the public
+//! [`HiveSession`] API — the analogue of Hive's CLI/HiveServer2 → Driver →
+//! Planner → execution flow from the paper's Figure 1.
+
+pub mod driver;
+pub mod metastore;
+pub mod stats_answer;
+pub mod session;
+
+pub use driver::QueryResult;
+pub use metastore::{Metastore, TableInfo};
+pub use session::HiveSession;

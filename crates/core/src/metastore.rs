@@ -1,0 +1,146 @@
+//! The Metastore: table metadata (paper Figure 1 — "the Driver needs to
+//! contact the Metastore to retrieve needed metadata"). Backed by an
+//! in-memory map rather than an RDBMS; the planner-facing view is the
+//! [`Catalog`] trait.
+
+use hive_common::{HiveError, Result, Schema};
+use hive_dfs::Dfs;
+use hive_formats::FormatKind;
+use hive_planner::{Catalog, TableMeta};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Metadata of one table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    pub name: String,
+    pub schema: Schema,
+    pub format: FormatKind,
+    /// Directory prefix holding the table's files.
+    pub location: String,
+}
+
+/// The metastore. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Metastore {
+    dfs: Dfs,
+    tables: Arc<RwLock<BTreeMap<String, TableInfo>>>,
+}
+
+impl Metastore {
+    pub fn new(dfs: Dfs) -> Metastore {
+        Metastore {
+            dfs,
+            tables: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Register a table. Its location is `/warehouse/<name>/`.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        format: FormatKind,
+    ) -> Result<TableInfo> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(HiveError::Metastore(format!(
+                "table `{name}` already exists"
+            )));
+        }
+        let info = TableInfo {
+            name: key.clone(),
+            schema,
+            format,
+            location: format!("/warehouse/{key}/"),
+        };
+        tables.insert(key, info.clone());
+        Ok(info)
+    }
+
+    pub fn drop_table(&self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        if let Some(info) = self.tables.write().remove(&key) {
+            for f in self.dfs.list(&info.location) {
+                self.dfs.delete(&f);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<TableInfo> {
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn list_tables(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Current on-disk size of a table.
+    pub fn table_size(&self, name: &str) -> u64 {
+        self.get(name)
+            .map(|t| self.dfs.size_of(&t.location))
+            .unwrap_or(0)
+    }
+
+    /// Files of a table.
+    pub fn table_files(&self, name: &str) -> Vec<String> {
+        self.get(name)
+            .map(|t| self.dfs.list(&t.location))
+            .unwrap_or_default()
+    }
+}
+
+impl Catalog for Metastore {
+    fn table(&self, name: &str) -> Option<TableMeta> {
+        let info = self.get(name)?;
+        Some(TableMeta {
+            name: info.name.clone(),
+            schema: info.schema.clone(),
+            format: info.format,
+            paths: self.dfs.list(&info.location),
+            size_bytes: self.dfs.size_of(&info.location),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_drop() {
+        let dfs = Dfs::with_defaults();
+        let ms = Metastore::new(dfs.clone());
+        let schema = Schema::parse(&[("a", "bigint")]).unwrap();
+        ms.create_table("T1", schema.clone(), FormatKind::Orc).unwrap();
+        assert!(ms.create_table("t1", schema, FormatKind::Orc).is_err());
+        assert!(ms.get("T1").is_some());
+        assert_eq!(ms.list_tables(), vec!["t1"]);
+
+        let mut w = dfs.create("/warehouse/t1/part-0");
+        w.write(&[0u8; 100]);
+        w.close();
+        assert_eq!(ms.table_size("t1"), 100);
+        assert_eq!(ms.table_files("t1").len(), 1);
+
+        assert!(ms.drop_table("t1"));
+        assert!(ms.get("t1").is_none());
+        assert!(!dfs.exists("/warehouse/t1/part-0"));
+    }
+
+    #[test]
+    fn catalog_view() {
+        let dfs = Dfs::with_defaults();
+        let ms = Metastore::new(dfs);
+        ms.create_table("x", Schema::parse(&[("a", "bigint")]).unwrap(), FormatKind::Text)
+            .unwrap();
+        let meta = Catalog::table(&ms, "X").unwrap();
+        assert_eq!(meta.name, "x");
+        assert_eq!(meta.format, FormatKind::Text);
+    }
+}

@@ -1,0 +1,143 @@
+//! SS-DB generator (Cudre-Mauroux et al.): array-oriented science data.
+//!
+//! The paper used one cycle of 20 images; each image is a grid of pixels
+//! with coordinates in `[0, 15000)` and observation values. Query 1's
+//! predicate `x BETWEEN 0 AND var AND y BETWEEN 0 AND var` selects a
+//! corner of each image; `var` ∈ {3750, 7500, 15000} gives the easy /
+//! medium / hard variants (hard selects everything).
+//!
+//! Pixels are emitted in image-major, row-major order, so `x` is strongly
+//! clustered within the file — exactly what makes ORC's min/max index
+//! groups effective in Fig. 10.
+
+use hive_common::{Result, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Coordinate domain of one image, per the paper's query constants.
+pub const COORD_MAX: i64 = 15_000;
+
+/// The `cycle` table: one row per sampled pixel.
+pub fn cycle_schema() -> Schema {
+    Schema::parse(&[
+        ("img", "bigint"),
+        ("x", "bigint"),
+        ("y", "bigint"),
+        ("v1", "bigint"),
+        ("v2", "bigint"),
+        ("v3", "bigint"),
+    ])
+    .expect("static schema")
+}
+
+/// Generate one cycle of `images` images, each sampling the 15000×15000
+/// grid with `step` (smaller step = more pixels). Pixels appear in
+/// row-major order per image.
+pub fn cycle_rows(images: i64, step: i64, seed: u64) -> impl Iterator<Item = Row> {
+    let step = step.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x55DB);
+    (0..images).flat_map(move |img| {
+        let base = rng.gen_range(0..1000i64);
+        let per_row: Vec<i64> = (0..COORD_MAX)
+            .step_by(step as usize)
+            .collect();
+        let mut local = StdRng::seed_from_u64(seed ^ 0x55DB ^ (img as u64) << 8);
+        let mut rows = Vec::new();
+        for &x in &per_row {
+            for y in (0..COORD_MAX).step_by(step as usize) {
+                // Observation values: a smooth field + noise, as telescope
+                // imagery would have.
+                let v1 = base + (x + y) / 100 + local.gen_range(0..50);
+                let v2 = local.gen_range(0..4096);
+                let v3 = (x * y) % 997;
+                rows.push(Row::new(vec![
+                    Value::Int(img),
+                    Value::Int(x),
+                    Value::Int(y),
+                    Value::Int(v1),
+                    Value::Int(v2),
+                    Value::Int(v3),
+                ]));
+            }
+        }
+        rows
+    })
+}
+
+/// Rows per cycle for a given configuration.
+pub fn rows_per_cycle(images: i64, step: i64) -> i64 {
+    let per_axis = (COORD_MAX + step - 1) / step;
+    images * per_axis * per_axis
+}
+
+/// The paper's query-1 variants: `(name, var)`.
+pub const QUERY1_VARIANTS: &[(&str, i64)] =
+    &[("1.easy", 3750), ("1.medium", 7500), ("1.hard", 15_000)];
+
+/// SS-DB query 1 with the given `var` (the paper's template).
+pub fn query1(var: i64) -> String {
+    format!(
+        "SELECT SUM(v1), COUNT(*) FROM cycle \
+         WHERE x BETWEEN 0 AND {var} AND y BETWEEN 0 AND {var}"
+    )
+}
+
+/// Create + load the cycle table into a session.
+pub fn load(
+    session: &mut hive_core::HiveSession,
+    images: i64,
+    step: i64,
+    seed: u64,
+) -> Result<()> {
+    session.create_table("cycle", cycle_schema(), hive_formats::FormatKind::Orc)?;
+    session.load_rows("cycle", cycle_rows(images, step, seed))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_formula() {
+        let rows: Vec<Row> = cycle_rows(2, 1500, 3).collect();
+        assert_eq!(rows.len() as i64, rows_per_cycle(2, 1500));
+    }
+
+    #[test]
+    fn coordinates_clustered_in_row_major_order() {
+        let rows: Vec<Row> = cycle_rows(1, 1000, 3).collect();
+        // x must be non-decreasing within one image.
+        let xs: Vec<i64> = rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(xs.iter().all(|&x| (0..COORD_MAX).contains(&x)));
+    }
+
+    #[test]
+    fn query1_selectivities() {
+        // easy selects 1/16 of the grid area, medium 1/4, hard all.
+        let rows: Vec<Row> = cycle_rows(1, 150, 3).collect();
+        let count = |var: i64| {
+            rows.iter()
+                .filter(|r| {
+                    let x = r[1].as_int().unwrap();
+                    let y = r[2].as_int().unwrap();
+                    (0..=var).contains(&x) && (0..=var).contains(&y)
+                })
+                .count()
+        };
+        let total = rows.len();
+        let easy = count(3750);
+        let hard = count(15_000);
+        assert_eq!(hard, total, "hard selects everything");
+        let frac = easy as f64 / total as f64;
+        assert!((0.055..0.08).contains(&frac), "easy ≈ 1/16, got {frac}");
+    }
+
+    #[test]
+    fn query1_sql_parses() {
+        for (_, var) in QUERY1_VARIANTS {
+            assert!(hive_ql::parse(&query1(*var)).is_ok());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! TPC-DS generator — the subset of tables touched by the paper's query 27
+//! (store-sales star join) and query 95 (web-sales self-join), with
+//! dsdgen-like distributions at fractional scale.
+
+use crate::random_text;
+use hive_common::{Result, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STORE_SALES_PER_SF: f64 = 2_880_000.0;
+const WEB_SALES_PER_SF: f64 = 720_000.0;
+const WEB_RETURNS_PER_SF: f64 = 72_000.0;
+const CUSTOMER_ADDRESS_PER_SF: f64 = 50_000.0;
+const ITEM_PER_SF: f64 = 18_000.0;
+
+pub const N_DATES: i64 = 2556; // ~7 years of date_dim rows
+pub const N_STORES: i64 = 120;
+pub const N_CDEMO: i64 = 19_208;
+pub const N_WEB_SITES: i64 = 30;
+pub const N_WAREHOUSES: i64 = 15;
+
+pub fn store_sales_schema() -> Schema {
+    Schema::parse(&[
+        ("ss_sold_date_sk", "bigint"),
+        ("ss_item_sk", "bigint"),
+        ("ss_cdemo_sk", "bigint"),
+        ("ss_store_sk", "bigint"),
+        ("ss_quantity", "bigint"),
+        ("ss_list_price", "double"),
+        ("ss_sales_price", "double"),
+        ("ss_coupon_amt", "double"),
+    ])
+    .expect("static schema")
+}
+
+pub fn store_sales_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
+    let n = (STORE_SALES_PER_SF * sf).round() as i64;
+    let items = ((ITEM_PER_SF * sf).round() as i64).max(100);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD51);
+    (0..n).map(move |_| {
+        let list = rng.gen_range(1.0..=200.0_f64);
+        Row::new(vec![
+            Value::Int(rng.gen_range(0..N_DATES)),
+            Value::Int(rng.gen_range(1..=items)),
+            Value::Int(rng.gen_range(1..=N_CDEMO)),
+            Value::Int(rng.gen_range(1..=N_STORES)),
+            Value::Int(rng.gen_range(1..=100)),
+            Value::Double((list * 100.0).round() / 100.0),
+            Value::Double((list * rng.gen_range(0.3..=1.0) * 100.0).round() / 100.0),
+            Value::Double(if rng.gen_bool(0.1) {
+                (list * 0.1 * 100.0).round() / 100.0
+            } else {
+                0.0
+            }),
+        ])
+    })
+}
+
+pub fn date_dim_schema() -> Schema {
+    Schema::parse(&[
+        ("d_date_sk", "bigint"),
+        ("d_date", "string"),
+        ("d_year", "bigint"),
+        ("d_moy", "bigint"),
+    ])
+    .expect("static schema")
+}
+
+pub fn date_dim_rows() -> impl Iterator<Item = Row> {
+    (0..N_DATES).map(|i| {
+        Row::new(vec![
+            Value::Int(i),
+            Value::String(crate::date_from_index(i)),
+            Value::Int(1992 + i / 365),
+            Value::Int((i % 365) / 31 + 1),
+        ])
+    })
+}
+
+pub fn store_schema() -> Schema {
+    Schema::parse(&[
+        ("s_store_sk", "bigint"),
+        ("s_store_name", "string"),
+        ("s_state", "string"),
+    ])
+    .expect("static schema")
+}
+
+pub fn store_rows(seed: u64) -> impl Iterator<Item = Row> {
+    const STATES: &[&str] = &["TN", "SD", "AL", "GA", "OH", "TX", "CA", "WA", "NY"];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD52);
+    (1..=N_STORES).map(move |i| {
+        Row::new(vec![
+            Value::Int(i),
+            Value::String(format!("store-{i:03}")),
+            Value::String(STATES[rng.gen_range(0..STATES.len())].into()),
+        ])
+    })
+}
+
+pub fn customer_demographics_schema() -> Schema {
+    Schema::parse(&[
+        ("cd_demo_sk", "bigint"),
+        ("cd_gender", "string"),
+        ("cd_marital_status", "string"),
+        ("cd_education_status", "string"),
+    ])
+    .expect("static schema")
+}
+
+pub fn customer_demographics_rows() -> impl Iterator<Item = Row> {
+    const GENDERS: &[&str] = &["M", "F"];
+    const MARITAL: &[&str] = &["M", "S", "D", "W", "U"];
+    const EDUCATION: &[&str] = &[
+        "Primary",
+        "Secondary",
+        "College",
+        "2 yr Degree",
+        "4 yr Degree",
+        "Advanced Degree",
+        "Unknown",
+    ];
+    (1..=N_CDEMO).map(|i| {
+        let x = i - 1;
+        Row::new(vec![
+            Value::Int(i),
+            Value::String(GENDERS[(x % 2) as usize].into()),
+            Value::String(MARITAL[((x / 2) % 5) as usize].into()),
+            Value::String(EDUCATION[((x / 10) % 7) as usize].into()),
+        ])
+    })
+}
+
+pub fn item_schema() -> Schema {
+    Schema::parse(&[("i_item_sk", "bigint"), ("i_item_id", "string")]).expect("static schema")
+}
+
+pub fn item_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
+    let n = ((ITEM_PER_SF * sf).round() as i64).max(100);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD53);
+    (1..=n).map(move |i| {
+        let _ = rng.gen::<u8>();
+        Row::new(vec![
+            Value::Int(i),
+            Value::String(format!("AAAAAAAA{:08}", i)),
+        ])
+    })
+}
+
+pub fn web_sales_schema() -> Schema {
+    Schema::parse(&[
+        ("ws_order_number", "bigint"),
+        ("ws_warehouse_sk", "bigint"),
+        ("ws_ship_date_sk", "bigint"),
+        ("ws_ship_addr_sk", "bigint"),
+        ("ws_web_site_sk", "bigint"),
+        ("ws_ext_ship_cost", "double"),
+        ("ws_net_profit", "double"),
+    ])
+    .expect("static schema")
+}
+
+pub fn web_sales_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
+    let n = (WEB_SALES_PER_SF * sf).round() as i64;
+    let addresses = ((CUSTOMER_ADDRESS_PER_SF * sf).round() as i64).max(100);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD54);
+    (0..n).map(move |i| {
+        // ~4 lines per order; lines of one order may use different
+        // warehouses — the q95 condition.
+        let order = i / 4 + 1;
+        Row::new(vec![
+            Value::Int(order),
+            Value::Int(rng.gen_range(1..=N_WAREHOUSES)),
+            Value::Int(rng.gen_range(0..N_DATES)),
+            Value::Int(rng.gen_range(1..=addresses)),
+            Value::Int(rng.gen_range(1..=N_WEB_SITES)),
+            Value::Double(rng.gen_range(0.0..=500.0_f64)),
+            Value::Double(rng.gen_range(-100.0..=300.0_f64)),
+        ])
+    })
+}
+
+pub fn web_returns_schema() -> Schema {
+    Schema::parse(&[
+        ("wr_order_number", "bigint"),
+        ("wr_item_sk", "bigint"),
+        ("wr_return_quantity", "bigint"),
+        ("wr_return_amt", "double"),
+        ("wr_fee", "double"),
+        ("wr_refunded_cash", "double"),
+    ])
+    .expect("static schema")
+}
+
+pub fn web_returns_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
+    let n = (WEB_RETURNS_PER_SF * sf).round() as i64;
+    let orders = ((WEB_SALES_PER_SF * sf).round() as i64 / 4).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD55);
+    let items = ((ITEM_PER_SF * sf).round() as i64).max(100);
+    (0..n).map(move |_| {
+        let amt = rng.gen_range(1.0..=300.0_f64);
+        Row::new(vec![
+            Value::Int(rng.gen_range(1..=orders)),
+            Value::Int(rng.gen_range(1..=items)),
+            Value::Int(rng.gen_range(1..=20)),
+            Value::Double(amt),
+            Value::Double((amt * 0.05 * 100.0).round() / 100.0),
+            Value::Double((amt * rng.gen_range(0.1..=0.9) * 100.0).round() / 100.0),
+        ])
+    })
+}
+
+pub fn customer_address_schema() -> Schema {
+    Schema::parse(&[("ca_address_sk", "bigint"), ("ca_state", "string")]).expect("static schema")
+}
+
+pub fn customer_address_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
+    const STATES: &[&str] = &["IL", "GA", "TX", "CA", "NY", "OH", "WA", "MI", "VA"];
+    let n = ((CUSTOMER_ADDRESS_PER_SF * sf).round() as i64).max(100);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD56);
+    (1..=n).map(move |i| {
+        Row::new(vec![
+            Value::Int(i),
+            Value::String(STATES[rng.gen_range(0..STATES.len())].into()),
+        ])
+    })
+}
+
+pub fn web_site_schema() -> Schema {
+    Schema::parse(&[("web_site_sk", "bigint"), ("web_company_name", "string")])
+        .expect("static schema")
+}
+
+pub fn web_site_rows(seed: u64) -> impl Iterator<Item = Row> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD57);
+    (1..=N_WEB_SITES).map(move |i| {
+        let company = if rng.gen_bool(0.4) {
+            "pri".to_string()
+        } else {
+            random_text(&mut rng, 3, 10)
+        };
+        Row::new(vec![Value::Int(i), Value::String(company)])
+    })
+}
+
+/// All TPC-DS subset tables.
+#[allow(clippy::type_complexity)]
+pub fn all_tables(sf: f64, seed: u64) -> Vec<(&'static str, Schema, Box<dyn Iterator<Item = Row>>)> {
+    vec![
+        ("store_sales", store_sales_schema(), Box::new(store_sales_rows(sf, seed))),
+        ("date_dim", date_dim_schema(), Box::new(date_dim_rows())),
+        ("store", store_schema(), Box::new(store_rows(seed))),
+        (
+            "customer_demographics",
+            customer_demographics_schema(),
+            Box::new(customer_demographics_rows()),
+        ),
+        ("item", item_schema(), Box::new(item_rows(sf, seed))),
+        ("web_sales", web_sales_schema(), Box::new(web_sales_rows(sf, seed))),
+        ("web_returns", web_returns_schema(), Box::new(web_returns_rows(sf, seed))),
+        (
+            "customer_address",
+            customer_address_schema(),
+            Box::new(customer_address_rows(sf, seed)),
+        ),
+        ("web_site", web_site_schema(), Box::new(web_site_rows(seed))),
+    ]
+}
+
+/// Create + load all subset tables into a session (ORC by default).
+pub fn load(session: &mut hive_core::HiveSession, sf: f64, seed: u64) -> Result<()> {
+    for (name, schema, rows) in all_tables(sf, seed) {
+        session.create_table(name, schema, hive_formats::FormatKind::Orc)?;
+        session.load_rows(name, rows)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_have_expected_sizes() {
+        assert_eq!(date_dim_rows().count() as i64, N_DATES);
+        assert_eq!(store_rows(1).count() as i64, N_STORES);
+        assert_eq!(customer_demographics_rows().count() as i64, N_CDEMO);
+        assert_eq!(web_site_rows(1).count() as i64, N_WEB_SITES);
+    }
+
+    #[test]
+    fn facts_scale_with_sf() {
+        assert_eq!(store_sales_rows(0.001, 7).count(), 2880);
+        assert_eq!(web_sales_rows(0.001, 7).count(), 720);
+    }
+
+    #[test]
+    fn web_sales_orders_span_warehouses() {
+        // q95 needs orders whose lines use >1 warehouse.
+        let rows: Vec<Row> = web_sales_rows(0.001, 7).collect();
+        let mut by_order: std::collections::BTreeMap<i64, std::collections::BTreeSet<i64>> =
+            Default::default();
+        for r in &rows {
+            by_order
+                .entry(r[0].as_int().unwrap())
+                .or_default()
+                .insert(r[1].as_int().unwrap());
+        }
+        assert!(by_order.values().any(|w| w.len() > 1));
+    }
+
+    #[test]
+    fn demographics_cover_domain() {
+        let rows: Vec<Row> = customer_demographics_rows().collect();
+        assert!(rows
+            .iter()
+            .any(|r| r[1].as_str() == Some("M")
+                && r[2].as_str() == Some("S")
+                && r[3].as_str() == Some("College")));
+    }
+}

@@ -1,0 +1,519 @@
+//! An in-process simulator of a Hadoop-style distributed filesystem (HDFS).
+//!
+//! The paper's storage experiments measure *bytes read from HDFS*, seek
+//! behaviour, and block locality. This crate provides a write-once,
+//! block-structured namespace with:
+//!
+//! * configurable block size and replication,
+//! * deterministic block→node placement,
+//! * per-filesystem I/O accounting (local/remote bytes, read ops, seeks),
+//! * the block-remaining query ORC's writer uses to pad stripes so each
+//!   stripe lands in a single block (Section 4.1 of the paper).
+//!
+//! File contents are real bytes held in memory; only the "distribution" is
+//! simulated.
+
+pub mod stats;
+
+pub use stats::{IoSnapshot, IoStats};
+
+use hive_common::{HiveError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identifier of a simulated cluster node (0-based).
+pub type NodeId = usize;
+
+/// One block of a file: a byte range plus its replica locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Length in bytes (the last block may be short).
+    pub len: u64,
+    /// Nodes holding a replica.
+    pub replicas: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+struct FileEntry {
+    data: Vec<u8>,
+    block_size: u64,
+    blocks: Vec<BlockInfo>,
+}
+
+/// Cluster-level configuration of the simulated filesystem.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    pub block_size: u64,
+    pub replication: usize,
+    pub nodes: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 512 << 20,
+            replication: 3,
+            nodes: 10,
+        }
+    }
+}
+
+/// The simulated distributed filesystem. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<DfsInner>,
+}
+
+struct DfsInner {
+    config: DfsConfig,
+    files: RwLock<BTreeMap<String, Arc<FileEntry>>>,
+    stats: IoStats,
+}
+
+impl Dfs {
+    pub fn new(config: DfsConfig) -> Dfs {
+        Dfs {
+            inner: Arc::new(DfsInner {
+                config,
+                files: RwLock::new(BTreeMap::new()),
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// A filesystem with paper-like defaults (512 MB blocks, 3 replicas,
+    /// 10 datanodes).
+    pub fn with_defaults() -> Dfs {
+        Dfs::new(DfsConfig::default())
+    }
+
+    pub fn config(&self) -> &DfsConfig {
+        &self.inner.config
+    }
+
+    /// Shared I/O counters for the whole filesystem.
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+    /// Create a file for writing. Overwrites any existing file at `path`
+    /// (HDFS semantics would forbid this; tests rely on replacement).
+    pub fn create(&self, path: &str) -> DfsWriter {
+        self.create_with_block_size(path, self.inner.config.block_size)
+    }
+
+    /// Create a file with a non-default block size (Hive sets per-file block
+    /// sizes for ORC when aligning stripes).
+    pub fn create_with_block_size(&self, path: &str, block_size: u64) -> DfsWriter {
+        DfsWriter {
+            dfs: self.clone(),
+            path: path.to_string(),
+            block_size: block_size.max(1),
+            data: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Open a file for positional reads from the perspective of `reader_node`
+    /// (locality accounting uses it). Pass `None` for a client outside the
+    /// cluster (every read counts as remote).
+    pub fn open(&self, path: &str, reader_node: Option<NodeId>) -> Result<DfsReader> {
+        let entry = self
+            .inner
+            .files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        Ok(DfsReader {
+            dfs: self.clone(),
+            entry,
+            reader_node,
+            last_end: None,
+        })
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.files.read().contains_key(path)
+    }
+
+    pub fn len(&self, path: &str) -> Result<u64> {
+        self.inner
+            .files
+            .read()
+            .get(path)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))
+    }
+
+    /// Whether the namespace holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.inner.files.read().is_empty()
+    }
+
+    pub fn delete(&self, path: &str) -> bool {
+        self.inner.files.write().remove(path).is_some()
+    }
+
+    /// All paths with the given prefix, sorted (used to list a "directory").
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Total bytes under a path prefix.
+    pub fn size_of(&self, prefix: &str) -> u64 {
+        self.inner
+            .files
+            .read()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, f)| f.data.len() as u64)
+            .sum()
+    }
+
+    /// Block metadata for a file (what the JobTracker asks the NameNode).
+    pub fn blocks(&self, path: &str) -> Result<Vec<BlockInfo>> {
+        self.inner
+            .files
+            .read()
+            .get(path)
+            .map(|f| f.blocks.clone())
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))
+    }
+
+    /// Nodes holding the block containing `offset` of `path`.
+    pub fn locations(&self, path: &str, offset: u64) -> Result<Vec<NodeId>> {
+        let files = self.inner.files.read();
+        let f = files
+            .get(path)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        Ok(block_for(f, offset)
+            .map(|b| b.replicas.clone())
+            .unwrap_or_default())
+    }
+
+    fn finish_file(&self, path: String, data: Vec<u8>, block_size: u64) {
+        let blocks = placement(&path, data.len() as u64, block_size, &self.inner.config);
+        self.inner.stats.add_bytes_written(data.len() as u64);
+        self.inner.files.write().insert(
+            path,
+            Arc::new(FileEntry {
+                data,
+                block_size,
+                blocks,
+            }),
+        );
+    }
+}
+
+fn block_for(f: &FileEntry, offset: u64) -> Option<&BlockInfo> {
+    if f.block_size == 0 {
+        return None;
+    }
+    let idx = (offset / f.block_size) as usize;
+    f.blocks.get(idx)
+}
+
+/// Deterministic replica placement: hash of (path, block index) picks the
+/// first replica, the rest go to consecutive nodes — stable across runs so
+/// experiments are reproducible.
+fn placement(path: &str, len: u64, block_size: u64, cfg: &DfsConfig) -> Vec<BlockInfo> {
+    let nodes = cfg.nodes.max(1);
+    let repl = cfg.replication.clamp(1, nodes);
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut blocks = Vec::new();
+    let mut offset = 0u64;
+    let mut idx = 0u64;
+    while offset < len || (len == 0 && idx == 0) {
+        let blen = (len - offset).min(block_size);
+        let first = ((h ^ idx.wrapping_mul(0x9e3779b97f4a7c15)) % nodes as u64) as usize;
+        let replicas = (0..repl).map(|r| (first + r) % nodes).collect();
+        blocks.push(BlockInfo {
+            offset,
+            len: blen,
+            replicas,
+        });
+        offset += blen;
+        idx += 1;
+        if len == 0 {
+            break;
+        }
+    }
+    blocks
+}
+
+/// Append-only writer. Bytes become visible (and placed) on [`close`].
+///
+/// [`close`]: DfsWriter::close
+pub struct DfsWriter {
+    dfs: Dfs,
+    path: String,
+    block_size: u64,
+    data: Vec<u8>,
+    closed: bool,
+}
+
+impl DfsWriter {
+    pub fn write(&mut self, bytes: &[u8]) {
+        debug_assert!(!self.closed, "write after close");
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Current write position (file length so far).
+    pub fn position(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes left before the current block boundary. ORC's writer consults
+    /// this to decide whether the next stripe would straddle a block and
+    /// should be preceded by padding (Section 4.1).
+    pub fn block_remaining(&self) -> u64 {
+        let pos = self.data.len() as u64;
+        let used = pos % self.block_size;
+        if used == 0 {
+            self.block_size
+        } else {
+            self.block_size - used
+        }
+    }
+
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Write `n` zero bytes (stripe padding).
+    pub fn pad(&mut self, n: u64) {
+        self.data.extend(std::iter::repeat_n(0u8, n as usize));
+    }
+
+    /// Finish the file: compute block placement and publish it.
+    pub fn close(mut self) -> u64 {
+        self.closed = true;
+        let len = self.data.len() as u64;
+        let data = std::mem::take(&mut self.data);
+        self.dfs
+            .clone()
+            .finish_file(self.path.clone(), data, self.block_size);
+        len
+    }
+}
+
+/// Positional reader with locality and seek accounting.
+pub struct DfsReader {
+    dfs: Dfs,
+    entry: Arc<FileEntry>,
+    reader_node: Option<NodeId>,
+    /// End offset of the previous read; a gap means a disk seek.
+    last_end: Option<u64>,
+}
+
+impl DfsReader {
+    pub fn len(&self) -> u64 {
+        self.entry.data.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entry.data.is_empty()
+    }
+
+    /// Read `len` bytes at `offset`. Short reads at EOF return fewer bytes.
+    pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let total = self.entry.data.len() as u64;
+        if offset > total {
+            return Err(HiveError::Dfs(format!(
+                "read at {offset} past end of file ({total} bytes)"
+            )));
+        }
+        let end = (offset + len as u64).min(total);
+        let slice = &self.entry.data[offset as usize..end as usize];
+
+        // Seek accounting: any non-contiguous read is one seek. The first
+        // read of a file is a seek too (open + position).
+        let seeks = match self.last_end {
+            Some(prev) if prev == offset => 0,
+            _ => 1,
+        };
+        self.last_end = Some(end);
+
+        // Locality: split the read across blocks, count each span local or
+        // remote depending on whether the reader node hosts a replica.
+        let stats = self.dfs.stats();
+        stats.add_read_op(seeks);
+        let mut cur = offset;
+        while cur < end {
+            let Some(block) = block_for(&self.entry, cur) else {
+                break;
+            };
+            let span_end = (block.offset + block.len).min(end);
+            let span = span_end - cur;
+            let local = match self.reader_node {
+                Some(node) => block.replicas.contains(&node),
+                None => false,
+            };
+            if local {
+                stats.add_bytes_local(span);
+            } else {
+                stats.add_bytes_remote(span);
+            }
+            cur = span_end;
+            if span == 0 {
+                break;
+            }
+        }
+        Ok(slice.to_vec())
+    }
+
+    /// Read the whole file (convenience for footers/tests).
+    pub fn read_all(&mut self) -> Result<Vec<u8>> {
+        let len = self.len() as usize;
+        self.read_at(0, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fs() -> Dfs {
+        Dfs::new(DfsConfig {
+            block_size: 100,
+            replication: 2,
+            nodes: 4,
+        })
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/a");
+        w.write(b"hello ");
+        w.write(b"world");
+        assert_eq!(w.close(), 11);
+        let mut r = fs.open("/t/a", None).unwrap();
+        assert_eq!(r.read_all().unwrap(), b"hello world");
+        assert_eq!(fs.len("/t/a").unwrap(), 11);
+    }
+
+    #[test]
+    fn blocks_split_at_block_size() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/b");
+        w.write(&vec![7u8; 250]);
+        w.close();
+        let blocks = fs.blocks("/t/b").unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len, 100);
+        assert_eq!(blocks[2].len, 50);
+        for b in &blocks {
+            assert_eq!(b.replicas.len(), 2);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let fs1 = small_fs();
+        let fs2 = small_fs();
+        for fs in [&fs1, &fs2] {
+            let mut w = fs.create("/same/path");
+            w.write(&vec![1u8; 300]);
+            w.close();
+        }
+        assert_eq!(
+            fs1.blocks("/same/path").unwrap(),
+            fs2.blocks("/same/path").unwrap()
+        );
+    }
+
+    #[test]
+    fn locality_accounting_splits_local_and_remote() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/c");
+        w.write(&[1u8; 200]);
+        w.close();
+        let replicas0 = fs.locations("/t/c", 0).unwrap();
+        let local_node = replicas0[0];
+        // Find a node NOT hosting block 0.
+        let foreign = (0..4).find(|n| !replicas0.contains(n)).unwrap();
+
+        let before = fs.stats().snapshot();
+        let mut r = fs.open("/t/c", Some(local_node)).unwrap();
+        r.read_at(0, 100).unwrap();
+        let mid = fs.stats().snapshot();
+        assert_eq!(mid.bytes_local - before.bytes_local, 100);
+
+        let mut r2 = fs.open("/t/c", Some(foreign)).unwrap();
+        r2.read_at(0, 100).unwrap();
+        let after = fs.stats().snapshot();
+        assert_eq!(after.bytes_remote - mid.bytes_remote, 100);
+    }
+
+    #[test]
+    fn seeks_counted_only_on_discontiguous_reads() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/d");
+        w.write(&[1u8; 100]);
+        w.close();
+        let before = fs.stats().snapshot();
+        let mut r = fs.open("/t/d", None).unwrap();
+        r.read_at(0, 10).unwrap(); // seek 1 (open)
+        r.read_at(10, 10).unwrap(); // contiguous
+        r.read_at(50, 10).unwrap(); // seek 2
+        let after = fs.stats().snapshot();
+        assert_eq!(after.seeks - before.seeks, 2);
+        assert_eq!(after.read_ops - before.read_ops, 3);
+    }
+
+    #[test]
+    fn block_remaining_supports_padding() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/e");
+        assert_eq!(w.block_remaining(), 100);
+        w.write(&[0u8; 30]);
+        assert_eq!(w.block_remaining(), 70);
+        w.pad(70);
+        assert_eq!(w.block_remaining(), 100);
+        assert_eq!(w.position(), 100);
+    }
+
+    #[test]
+    fn read_past_end_errors_short_read_truncates() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/f");
+        w.write(b"abc");
+        w.close();
+        let mut r = fs.open("/t/f", None).unwrap();
+        assert_eq!(r.read_at(1, 10).unwrap(), b"bc");
+        assert!(r.read_at(4, 1).is_err());
+    }
+
+    #[test]
+    fn list_and_size_of_prefix() {
+        let fs = small_fs();
+        for (p, n) in [
+            ("/w/t1/part-0", 10usize),
+            ("/w/t1/part-1", 20),
+            ("/w/t2/x", 5),
+        ] {
+            let mut w = fs.create(p);
+            w.write(&vec![0u8; n]);
+            w.close();
+        }
+        assert_eq!(fs.list("/w/t1/").len(), 2);
+        assert_eq!(fs.size_of("/w/t1/"), 30);
+        assert!(fs.delete("/w/t2/x"));
+        assert!(!fs.exists("/w/t2/x"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Atomic I/O counters for the simulated filesystem.
+//!
+//! Figure 10(b) of the paper reports "amounts of data read from HDFS"; these
+//! counters are where that number comes from in this reproduction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_local: AtomicU64,
+    bytes_remote: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    seeks: AtomicU64,
+}
+
+impl IoStats {
+    pub fn add_bytes_local(&self, n: u64) {
+        self.bytes_local.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_remote(&self, n: u64) {
+        self.bytes_remote.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One read op, carrying how many seeks it implied (0 if contiguous).
+    pub fn add_read_op(&self, seeks: u64) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.seeks.fetch_add(seeks, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            bytes_local: self.bytes_local.load(Ordering::Relaxed),
+            bytes_remote: self.bytes_remote.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.bytes_local.store(0, Ordering::Relaxed);
+        self.bytes_remote.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value snapshot of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub bytes_local: u64,
+    pub bytes_remote: u64,
+    pub bytes_written: u64,
+    pub read_ops: u64,
+    pub seeks: u64,
+}
+
+impl IoSnapshot {
+    /// Total bytes read, local + remote.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_local + self.bytes_remote
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_local: self.bytes_local.saturating_sub(earlier.bytes_local),
+            bytes_remote: self.bytes_remote.saturating_sub(earlier.bytes_remote),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = IoStats::default();
+        s.add_bytes_local(100);
+        s.add_bytes_remote(50);
+        let a = s.snapshot();
+        s.add_bytes_local(10);
+        s.add_read_op(1);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_local, 10);
+        assert_eq!(d.bytes_remote, 0);
+        assert_eq!(d.read_ops, 1);
+        assert_eq!(d.seeks, 1);
+        assert_eq!(b.bytes_read(), 160);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::default();
+        s.add_bytes_written(5);
+        s.add_read_op(0);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

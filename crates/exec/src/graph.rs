@@ -1,0 +1,366 @@
+//! The push-based operator graph.
+//!
+//! Hive "inherits the push-based data processing model in a Map and a
+//! Reduce task from the MapReduce engine" (paper Section 5.2.2). Operators
+//! receive messages — rows (tagged with their input source, as the
+//! MapReduce engine tags shuffle inputs) and group boundary signals — and
+//! emit messages to their children. The graph is a DAG, not a tree: after
+//! the Correlation Optimizer runs, a MuxOperator can have several parents.
+
+use hive_common::{HiveError, Result, Row, Value};
+use std::collections::VecDeque;
+
+/// A message flowing between operators (or from the task driver).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A row with its input tag ("used to identify the source of a row").
+    Row { row: Row, tag: usize },
+    /// A new key group is starting (reduce side only).
+    StartGroup,
+    /// The current key group has ended; buffering operators emit results.
+    EndGroup,
+}
+
+/// A record destined for the shuffle, produced by ReduceSinkOperators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleRecord {
+    pub key: Vec<Value>,
+    pub value: Row,
+    pub tag: usize,
+    pub num_reducers: usize,
+}
+
+/// What an operator emits in response to a message.
+#[derive(Debug)]
+pub enum Emit {
+    /// Send to the child connected at `child_slot`.
+    Forward { child_slot: usize, msg: Message },
+    /// Send to every child.
+    Broadcast(Message),
+    /// Leave the task toward the shuffle.
+    Shuffle(ShuffleRecord),
+    /// Leave the task toward the query output / file sink.
+    Output(Row),
+}
+
+/// A push-based operator.
+pub trait Operator: Send {
+    fn name(&self) -> String;
+
+    /// Handle one message.
+    fn receive(&mut self, msg: Message) -> Result<Vec<Emit>>;
+
+    /// End of input: flush buffered state. The graph closes operators in
+    /// topological order, so emissions here still reach children before
+    /// the children close.
+    fn close(&mut self) -> Result<Vec<Emit>> {
+        Ok(Vec::new())
+    }
+}
+
+/// An operator DAG with tagged edges.
+pub struct OperatorGraph {
+    ops: Vec<Box<dyn Operator>>,
+    /// `edges[op][slot] = (child, tag_override)`.
+    edges: Vec<Vec<(usize, Option<usize>)>>,
+    closed: Vec<bool>,
+}
+
+impl OperatorGraph {
+    pub fn new() -> OperatorGraph {
+        OperatorGraph {
+            ops: Vec::new(),
+            edges: Vec::new(),
+            closed: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, op: Box<dyn Operator>) -> usize {
+        self.ops.push(op);
+        self.edges.push(Vec::new());
+        self.closed.push(false);
+        self.ops.len() - 1
+    }
+
+    /// Connect `parent` slot-ordered to `child`. Rows crossing this edge
+    /// get their tag rewritten to `tag` when given.
+    pub fn connect(&mut self, parent: usize, child: usize, tag: Option<usize>) {
+        self.edges[parent].push((child, tag));
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operator names with child lists (EXPLAIN-style output).
+    pub fn describe(&self) -> Vec<String> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let kids: Vec<String> = self.edges[i]
+                    .iter()
+                    .map(|(c, t)| match t {
+                        Some(t) => format!("{c}(tag {t})"),
+                        None => format!("{c}"),
+                    })
+                    .collect();
+                format!("#{i} {} -> [{}]", op.name(), kids.join(", "))
+            })
+            .collect()
+    }
+
+    /// Push one message into `root`, dispatching transitively.
+    pub fn push(
+        &mut self,
+        root: usize,
+        msg: Message,
+        shuffle: &mut dyn FnMut(ShuffleRecord),
+        output: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        let mut queue: VecDeque<(usize, Message)> = VecDeque::new();
+        queue.push_back((root, msg));
+        self.run(&mut queue, shuffle, output)
+    }
+
+    fn run(
+        &mut self,
+        queue: &mut VecDeque<(usize, Message)>,
+        shuffle: &mut dyn FnMut(ShuffleRecord),
+        output: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        while let Some((op_id, msg)) = queue.pop_front() {
+            let emits = self.ops[op_id].receive(msg)?;
+            self.dispatch(op_id, emits, queue, shuffle, output)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch(
+        &mut self,
+        op_id: usize,
+        emits: Vec<Emit>,
+        queue: &mut VecDeque<(usize, Message)>,
+        shuffle: &mut dyn FnMut(ShuffleRecord),
+        output: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        for e in emits {
+            match e {
+                Emit::Forward { child_slot, msg } => {
+                    let (child, tag_override) =
+                        *self.edges[op_id].get(child_slot).ok_or_else(|| {
+                            HiveError::Execution(format!(
+                                "operator #{op_id} has no child slot {child_slot}"
+                            ))
+                        })?;
+                    queue.push_back((child, apply_tag(msg, tag_override)));
+                }
+                Emit::Broadcast(msg) => {
+                    for &(child, tag_override) in &self.edges[op_id] {
+                        queue.push_back((child, apply_tag(msg.clone(), tag_override)));
+                    }
+                }
+                Emit::Shuffle(rec) => shuffle(rec),
+                Emit::Output(row) => output(row),
+            }
+        }
+        Ok(())
+    }
+
+    /// Close every operator in topological order so flushed rows still
+    /// reach downstream operators before they close.
+    pub fn finish(
+        &mut self,
+        shuffle: &mut dyn FnMut(ShuffleRecord),
+        output: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        for op_id in self.topo_order()? {
+            if self.closed[op_id] {
+                continue;
+            }
+            self.closed[op_id] = true;
+            let emits = self.ops[op_id].close()?;
+            let mut queue = VecDeque::new();
+            self.dispatch(op_id, emits, &mut queue, shuffle, output)?;
+            self.run(&mut queue, shuffle, output)?;
+        }
+        Ok(())
+    }
+
+    fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        for edges in &self.edges {
+            for &(c, _) in edges {
+                indeg[c] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &(c, _) in &self.edges[i] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(HiveError::Plan("operator graph has a cycle".into()));
+        }
+        Ok(order)
+    }
+
+    /// Number of parents of each operator (MuxOperator setup needs this).
+    pub fn parent_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.ops.len()];
+        for edges in &self.edges {
+            for &(c, _) in edges {
+                counts[c] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl Default for OperatorGraph {
+    fn default() -> Self {
+        OperatorGraph::new()
+    }
+}
+
+fn apply_tag(msg: Message, tag_override: Option<usize>) -> Message {
+    match (msg, tag_override) {
+        (Message::Row { row, .. }, Some(t)) => Message::Row { row, tag: t },
+        (m, _) => m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forwards rows, appending a marker value.
+    struct Tagger(i64);
+
+    impl Operator for Tagger {
+        fn name(&self) -> String {
+            format!("Tagger({})", self.0)
+        }
+
+        fn receive(&mut self, msg: Message) -> Result<Vec<Emit>> {
+            match msg {
+                Message::Row { mut row, tag } => {
+                    row.values_mut().push(Value::Int(self.0));
+                    Ok(vec![Emit::Forward {
+                        child_slot: 0,
+                        msg: Message::Row { row, tag },
+                    }])
+                }
+                other => Ok(vec![Emit::Broadcast(other)]),
+            }
+        }
+    }
+
+    struct Sink;
+
+    impl Operator for Sink {
+        fn name(&self) -> String {
+            "Sink".into()
+        }
+
+        fn receive(&mut self, msg: Message) -> Result<Vec<Emit>> {
+            match msg {
+                Message::Row { row, .. } => Ok(vec![Emit::Output(row)]),
+                _ => Ok(vec![]),
+            }
+        }
+    }
+
+    #[test]
+    fn linear_pipeline_delivers_in_order() {
+        let mut g = OperatorGraph::new();
+        let a = g.add(Box::new(Tagger(1)));
+        let b = g.add(Box::new(Tagger(2)));
+        let s = g.add(Box::new(Sink));
+        g.connect(a, b, None);
+        g.connect(b, s, None);
+        let mut out = Vec::new();
+        g.push(
+            a,
+            Message::Row {
+                row: Row::new(vec![Value::Int(0)]),
+                tag: 0,
+            },
+            &mut |_| {},
+            &mut |r| out.push(r),
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![Row::new(vec![Value::Int(0), Value::Int(1), Value::Int(2)])]
+        );
+    }
+
+    #[test]
+    fn edge_tags_rewrite_row_tags() {
+        struct TagCheck(Vec<usize>);
+        impl Operator for TagCheck {
+            fn name(&self) -> String {
+                "TagCheck".into()
+            }
+            fn receive(&mut self, msg: Message) -> Result<Vec<Emit>> {
+                if let Message::Row { tag, .. } = msg {
+                    self.0.push(tag);
+                }
+                Ok(vec![])
+            }
+            fn close(&mut self) -> Result<Vec<Emit>> {
+                assert_eq!(self.0, vec![7]);
+                Ok(vec![])
+            }
+        }
+        let mut g = OperatorGraph::new();
+        let a = g.add(Box::new(Tagger(0)));
+        let c = g.add(Box::new(TagCheck(Vec::new())));
+        g.connect(a, c, Some(7));
+        g.push(
+            a,
+            Message::Row {
+                row: Row::new(vec![]),
+                tag: 0,
+            },
+            &mut |_| {},
+            &mut |_| {},
+        )
+        .unwrap();
+        g.finish(&mut |_| {}, &mut |_| {}).unwrap();
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = OperatorGraph::new();
+        let a = g.add(Box::new(Sink));
+        let b = g.add(Box::new(Sink));
+        g.connect(a, b, None);
+        g.connect(b, a, None);
+        assert!(g.finish(&mut |_| {}, &mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn parent_counts() {
+        let mut g = OperatorGraph::new();
+        let a = g.add(Box::new(Sink));
+        let b = g.add(Box::new(Sink));
+        let m = g.add(Box::new(Sink));
+        g.connect(a, m, None);
+        g.connect(b, m, None);
+        assert_eq!(g.parent_counts(), vec![0, 0, 2]);
+    }
+}

@@ -1,0 +1,68 @@
+//! File formats: TextFile, SequenceFile, RCFile and ORC (paper Section 4).
+//!
+//! The four formats trace Hive's storage evolution as the paper tells it:
+//!
+//! * **TextFile** / **SequenceFile** — the data-type-agnostic row formats
+//!   Hive started with; every row is (de)serialized through a SerDe.
+//! * **RCFile** — the first columnar format: 4 MB row groups, columns stored
+//!   as opaque one-row-at-a-time serialized blobs, no indexes, complex types
+//!   not decomposed.
+//! * **ORC** — the paper's contribution: type-aware writer, 256 MB stripes,
+//!   complex-type column decomposition, three-level statistics, position
+//!   pointers, predicate pushdown, two-level compression, a writer memory
+//!   manager, and a vectorized reader.
+
+pub mod factory;
+pub mod orc;
+pub mod rcfile;
+pub mod sequence;
+pub mod serde;
+pub mod text;
+
+pub use factory::{create_writer, open_reader, FormatKind, ReadOptions, WriteOptions};
+pub use orc::sarg::{PredicateLeaf, PredicateOp, SearchArgument, TruthValue};
+
+use hive_common::{Result, Row};
+use hive_vector::VectorizedRowBatch;
+
+/// A row-at-a-time writer for one file of a table.
+pub trait TableWriter {
+    fn write_row(&mut self, row: &Row) -> Result<()>;
+
+    /// Finish the file; returns its final length in bytes.
+    fn close(self: Box<Self>) -> Result<u64>;
+
+    /// Current in-memory buffering estimate (ORC's memory manager input).
+    fn memory_estimate(&self) -> usize {
+        0
+    }
+}
+
+/// A row-at-a-time reader over one file. Projection is applied by the
+/// reader: returned rows contain exactly the projected columns, in
+/// projection order.
+pub trait TableReader {
+    fn next_row(&mut self) -> Result<Option<Row>>;
+
+    /// Fill a vectorized batch; returns false when input is exhausted and no
+    /// rows were produced. The default adapter materializes rows (used by
+    /// formats without a native vectorized reader — only ORC has one, per
+    /// paper Section 6.5).
+    fn next_batch(&mut self, batch: &mut VectorizedRowBatch) -> Result<bool> {
+        batch.reset();
+        let mut n = 0;
+        while n < batch.max_size {
+            match self.next_row()? {
+                Some(row) => {
+                    for (c, v) in row.values().iter().enumerate() {
+                        hive_vector::row_convert::set_value(&mut batch.columns[c], n, v)?;
+                    }
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        batch.size = n;
+        Ok(n > 0)
+    }
+}

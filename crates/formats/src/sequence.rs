@@ -1,0 +1,194 @@
+//! SequenceFile: "a flat file consisting of binary key/value pairs"
+//! (paper Section 3). Hive stores the row in the value and leaves the key
+//! empty; rows are binary-serialized one at a time.
+
+use crate::serde;
+use crate::{TableReader, TableWriter};
+use hive_common::{HiveError, Result, Row, Schema};
+use hive_dfs::{Dfs, DfsReader, DfsWriter, NodeId};
+
+const MAGIC: &[u8; 4] = b"SEQ6";
+
+/// Writer of binary key/value records.
+pub struct SequenceWriter {
+    writer: DfsWriter,
+    buf: Vec<u8>,
+}
+
+impl SequenceWriter {
+    pub fn create(dfs: &Dfs, path: &str) -> SequenceWriter {
+        let mut writer = dfs.create(path);
+        writer.write(MAGIC);
+        SequenceWriter {
+            writer,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl TableWriter for SequenceWriter {
+    fn write_row(&mut self, row: &Row) -> Result<()> {
+        self.buf.clear();
+        serde::binary_serialize_row(row, &mut self.buf);
+        // Record frame: varint key length (0, Hive leaves keys empty),
+        // varint value length, value bytes.
+        let mut frame = Vec::with_capacity(self.buf.len() + 8);
+        hive_codec::varint::write_unsigned(&mut frame, 0);
+        hive_codec::varint::write_unsigned(&mut frame, self.buf.len() as u64);
+        self.writer.write(&frame);
+        self.writer.write(&self.buf);
+        Ok(())
+    }
+
+    fn close(self: Box<Self>) -> Result<u64> {
+        Ok(self.writer.close())
+    }
+}
+
+/// Sequential reader of binary records.
+pub struct SequenceReader {
+    reader: DfsReader,
+    projection: Option<Vec<usize>>,
+    offset: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+const READ_CHUNK: usize = 1 << 20;
+
+impl SequenceReader {
+    pub fn open(
+        dfs: &Dfs,
+        path: &str,
+        _schema: Schema,
+        projection: Option<Vec<usize>>,
+        node: Option<NodeId>,
+    ) -> Result<SequenceReader> {
+        let mut reader = dfs.open(path, node)?;
+        let header = reader.read_at(0, 4)?;
+        if header != MAGIC {
+            return Err(HiveError::Format(format!(
+                "not a SequenceFile: {path} (bad magic)"
+            )));
+        }
+        Ok(SequenceReader {
+            reader,
+            projection,
+            offset: 4,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Ensure at least `need` unread bytes are buffered, if available.
+    fn ensure(&mut self, need: usize) -> Result<()> {
+        while self.buf.len() - self.pos < need && self.offset < self.reader.len() {
+            let chunk = self.reader.read_at(self.offset, READ_CHUNK)?;
+            self.offset += chunk.len() as u64;
+            // Compact the consumed prefix occasionally.
+            if self.pos > (1 << 20) {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+            self.buf.extend_from_slice(&chunk);
+        }
+        Ok(())
+    }
+}
+
+impl TableReader for SequenceReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        self.ensure(10)?;
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let key_len = hive_codec::varint::read_unsigned(&self.buf, &mut self.pos)? as usize;
+        let val_len = hive_codec::varint::read_unsigned(&self.buf, &mut self.pos)? as usize;
+        self.ensure(key_len + val_len)?;
+        if self.buf.len() - self.pos < key_len + val_len {
+            return Err(HiveError::Format("truncated SequenceFile record".into()));
+        }
+        self.pos += key_len; // keys are empty in Hive's usage
+        let mut vpos = self.pos;
+        let row = serde::binary_deserialize_row(&self.buf, &mut vpos)?;
+        self.pos += val_len;
+        if vpos != self.pos {
+            return Err(HiveError::Format(
+                "SequenceFile value length disagrees with row encoding".into(),
+            ));
+        }
+        Ok(Some(match &self.projection {
+            Some(p) => row.project(p),
+            None => row,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::Value;
+
+    fn dfs() -> Dfs {
+        Dfs::new(hive_dfs::DfsConfig {
+            block_size: 1 << 20,
+            replication: 1,
+            nodes: 2,
+        })
+    }
+
+    fn schema() -> Schema {
+        Schema::parse(&[("id", "bigint"), ("payload", "map<string,int>")]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_complex_types() {
+        let fs = dfs();
+        let mut w: Box<dyn TableWriter> = Box::new(SequenceWriter::create(&fs, "/t/seq"));
+        for i in 0..500 {
+            w.write_row(&Row::new(vec![
+                Value::Int(i),
+                Value::Map(vec![(Value::String(format!("k{i}")), Value::Int(i * 2))]),
+            ]))
+            .unwrap();
+        }
+        w.close().unwrap();
+
+        let mut r = SequenceReader::open(&fs, "/t/seq", schema(), None, None).unwrap();
+        let mut n = 0i64;
+        while let Some(row) = r.next_row().unwrap() {
+            assert_eq!(row[0], Value::Int(n));
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let fs = dfs();
+        let mut w = fs.create("/t/notseq");
+        w.write(b"nope, not a sequence file");
+        w.close();
+        assert!(SequenceReader::open(&fs, "/t/notseq", schema(), None, None).is_err());
+    }
+
+    #[test]
+    fn empty_file_yields_no_rows() {
+        let fs = dfs();
+        let w: Box<dyn TableWriter> = Box::new(SequenceWriter::create(&fs, "/t/empty"));
+        w.close().unwrap();
+        let mut r = SequenceReader::open(&fs, "/t/empty", schema(), None, None).unwrap();
+        assert!(r.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn projection_applies() {
+        let fs = dfs();
+        let mut w: Box<dyn TableWriter> = Box::new(SequenceWriter::create(&fs, "/t/proj"));
+        w.write_row(&Row::new(vec![Value::Int(1), Value::Map(vec![])]))
+            .unwrap();
+        w.close().unwrap();
+        let mut r = SequenceReader::open(&fs, "/t/proj", schema(), Some(vec![0]), None).unwrap();
+        assert_eq!(r.next_row().unwrap().unwrap().values(), &[Value::Int(1)]);
+    }
+}

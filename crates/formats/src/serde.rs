@@ -1,0 +1,440 @@
+//! SerDes: row serialization for the data-type-agnostic formats.
+//!
+//! `TextSerDe` mirrors Hive's LazySimpleSerDe wire shape (field/collection/
+//! map-key delimiters, `\N` for NULL). `BinarySerDe` is the length-prefixed
+//! binary encoding used for SequenceFile values and RCFile column cells —
+//! one value at a time, with no type-specific compression, which is exactly
+//! the shortcoming ORC removes (paper Section 3, first shortcoming).
+
+use hive_common::{DataType, HiveError, Result, Row, Schema, Value};
+
+/// Hive's default delimiters (ctrl-A / ctrl-B / ctrl-C).
+pub const FIELD_DELIM: u8 = 0x01;
+pub const COLLECTION_DELIM: u8 = 0x02;
+pub const MAPKEY_DELIM: u8 = 0x03;
+const NULL_TOKEN: &[u8] = b"\\N";
+
+/// Text serialization of one row (no trailing newline).
+pub fn text_serialize(row: &Row, out: &mut Vec<u8>) {
+    for (i, v) in row.values().iter().enumerate() {
+        if i > 0 {
+            out.push(FIELD_DELIM);
+        }
+        text_value(v, out, 0);
+    }
+}
+
+/// Text-serialize a single value (RCFile's ColumnarSerDe cell encoding).
+pub fn text_serialize_value(v: &Value, out: &mut Vec<u8>) {
+    text_value(v, out, 0);
+}
+
+/// Parse a single text-serialized cell back into a value of type `dt`.
+pub fn text_deserialize_value(raw: &[u8], dt: &DataType) -> Result<Value> {
+    parse_text_value(raw, dt, 0)
+}
+
+fn text_value(v: &Value, out: &mut Vec<u8>, depth: u8) {
+    // Nested collections rotate through deeper delimiters like Hive does;
+    // two levels are enough for the workloads here.
+    let coll = COLLECTION_DELIM + depth * 2;
+    let mk = MAPKEY_DELIM + depth * 2;
+    match v {
+        Value::Null => out.extend_from_slice(NULL_TOKEN),
+        Value::Boolean(b) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        Value::Int(x) => out.extend_from_slice(x.to_string().as_bytes()),
+        Value::Double(x) => out.extend_from_slice(format_double(*x).as_bytes()),
+        Value::Timestamp(x) => out.extend_from_slice(x.to_string().as_bytes()),
+        Value::String(s) => out.extend_from_slice(s.as_bytes()),
+        Value::Array(items) => {
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(coll);
+                }
+                text_value(it, out, depth + 1);
+            }
+        }
+        Value::Map(entries) => {
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(coll);
+                }
+                text_value(k, out, depth + 1);
+                out.push(mk);
+                text_value(val, out, depth + 1);
+            }
+        }
+        Value::Struct(fields) => {
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(coll);
+                }
+                text_value(f, out, depth + 1);
+            }
+        }
+        Value::Union(tag, val) => {
+            out.extend_from_slice(tag.to_string().as_bytes());
+            out.push(mk);
+            text_value(val, out, depth + 1);
+        }
+    }
+}
+
+fn format_double(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Deserialize one text line back into a row for `schema`.
+pub fn text_deserialize(line: &[u8], schema: &Schema) -> Result<Row> {
+    let fields: Vec<&[u8]> = split(line, FIELD_DELIM);
+    let mut values = Vec::with_capacity(schema.len());
+    for (i, f) in schema.fields().iter().enumerate() {
+        let raw: &[u8] = fields.get(i).copied().unwrap_or(NULL_TOKEN);
+        values.push(parse_text_value(raw, &f.data_type, 0)?);
+    }
+    Ok(Row::new(values))
+}
+
+fn split(data: &[u8], delim: u8) -> Vec<&[u8]> {
+    if data.is_empty() {
+        return vec![b""];
+    }
+    data.split(|b| *b == delim).collect()
+}
+
+fn parse_text_value(raw: &[u8], dt: &DataType, depth: u8) -> Result<Value> {
+    if raw == NULL_TOKEN {
+        return Ok(Value::Null);
+    }
+    let coll = COLLECTION_DELIM + depth * 2;
+    let mk = MAPKEY_DELIM + depth * 2;
+    let text = || String::from_utf8_lossy(raw).into_owned();
+    match dt {
+        DataType::Boolean => match raw {
+            b"true" | b"TRUE" | b"1" => Ok(Value::Boolean(true)),
+            b"false" | b"FALSE" | b"0" => Ok(Value::Boolean(false)),
+            _ => Ok(Value::Null), // Hive yields NULL for malformed cells
+        },
+        DataType::Int => Ok(text()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Null)),
+        DataType::Double => Ok(text()
+            .parse::<f64>()
+            .map(Value::Double)
+            .unwrap_or(Value::Null)),
+        DataType::Timestamp => Ok(text()
+            .parse::<i64>()
+            .map(Value::Timestamp)
+            .unwrap_or(Value::Null)),
+        DataType::String => Ok(Value::String(text())),
+        DataType::Array(elem) => {
+            if raw.is_empty() {
+                return Ok(Value::Array(Vec::new()));
+            }
+            split(raw, coll)
+                .into_iter()
+                .map(|part| parse_text_value(part, elem, depth + 1))
+                .collect::<Result<Vec<_>>>()
+                .map(Value::Array)
+        }
+        DataType::Map(k, v) => {
+            if raw.is_empty() {
+                return Ok(Value::Map(Vec::new()));
+            }
+            let mut entries = Vec::new();
+            for part in split(raw, coll) {
+                let kv: Vec<&[u8]> = split(part, mk);
+                if kv.len() != 2 {
+                    return Err(HiveError::SerDe(format!(
+                        "malformed map entry `{}`",
+                        String::from_utf8_lossy(part)
+                    )));
+                }
+                entries.push((
+                    parse_text_value(kv[0], k, depth + 1)?,
+                    parse_text_value(kv[1], v, depth + 1)?,
+                ));
+            }
+            Ok(Value::Map(entries))
+        }
+        DataType::Struct(fields) => {
+            let parts = split(raw, coll);
+            let mut vals = Vec::with_capacity(fields.len());
+            for (i, (_, ft)) in fields.iter().enumerate() {
+                let part: &[u8] = parts.get(i).copied().unwrap_or(NULL_TOKEN);
+                vals.push(parse_text_value(part, ft, depth + 1)?);
+            }
+            Ok(Value::Struct(vals))
+        }
+        DataType::Union(alts) => {
+            let kv: Vec<&[u8]> = split(raw, mk);
+            if kv.len() != 2 {
+                return Err(HiveError::SerDe("malformed union cell".into()));
+            }
+            let tag: u8 = String::from_utf8_lossy(kv[0])
+                .parse()
+                .map_err(|_| HiveError::SerDe("bad union tag".into()))?;
+            let alt = alts
+                .get(tag as usize)
+                .ok_or_else(|| HiveError::SerDe(format!("union tag {tag} out of range")))?;
+            Ok(Value::Union(
+                tag,
+                Box::new(parse_text_value(kv[1], alt, depth + 1)?),
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary SerDe
+// ---------------------------------------------------------------------------
+
+/// Binary-serialize one value (self-describing tag + payload).
+pub fn binary_serialize_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Boolean(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(x) => {
+            out.push(2);
+            hive_codec::varint::write_signed(out, *x);
+        }
+        Value::Double(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(4);
+            hive_codec::varint::write_unsigned(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Timestamp(x) => {
+            out.push(5);
+            hive_codec::varint::write_signed(out, *x);
+        }
+        Value::Array(items) => {
+            out.push(6);
+            hive_codec::varint::write_unsigned(out, items.len() as u64);
+            for it in items {
+                binary_serialize_value(it, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(7);
+            hive_codec::varint::write_unsigned(out, entries.len() as u64);
+            for (k, val) in entries {
+                binary_serialize_value(k, out);
+                binary_serialize_value(val, out);
+            }
+        }
+        Value::Struct(fields) => {
+            out.push(8);
+            hive_codec::varint::write_unsigned(out, fields.len() as u64);
+            for f in fields {
+                binary_serialize_value(f, out);
+            }
+        }
+        Value::Union(tag, val) => {
+            out.push(9);
+            out.push(*tag);
+            binary_serialize_value(val, out);
+        }
+    }
+}
+
+/// Binary-deserialize one value at `*pos`, advancing it.
+pub fn binary_deserialize_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| HiveError::SerDe("binary value truncated".into()))?;
+    *pos += 1;
+    match tag {
+        0 => Ok(Value::Null),
+        1 => {
+            let b = *buf
+                .get(*pos)
+                .ok_or_else(|| HiveError::SerDe("boolean truncated".into()))?;
+            *pos += 1;
+            Ok(Value::Boolean(b != 0))
+        }
+        2 => Ok(Value::Int(hive_codec::varint::read_signed(buf, pos)?)),
+        3 => {
+            if *pos + 8 > buf.len() {
+                return Err(HiveError::SerDe("double truncated".into()));
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[*pos..*pos + 8]);
+            *pos += 8;
+            Ok(Value::Double(f64::from_le_bytes(b)))
+        }
+        4 => {
+            let n = hive_codec::varint::read_unsigned(buf, pos)? as usize;
+            if *pos + n > buf.len() {
+                return Err(HiveError::SerDe("string truncated".into()));
+            }
+            let s = String::from_utf8_lossy(&buf[*pos..*pos + n]).into_owned();
+            *pos += n;
+            Ok(Value::String(s))
+        }
+        5 => Ok(Value::Timestamp(hive_codec::varint::read_signed(buf, pos)?)),
+        6 => {
+            let n = hive_codec::varint::read_unsigned(buf, pos)? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(binary_deserialize_value(buf, pos)?);
+            }
+            Ok(Value::Array(items))
+        }
+        7 => {
+            let n = hive_codec::varint::read_unsigned(buf, pos)? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = binary_deserialize_value(buf, pos)?;
+                let v = binary_deserialize_value(buf, pos)?;
+                entries.push((k, v));
+            }
+            Ok(Value::Map(entries))
+        }
+        8 => {
+            let n = hive_codec::varint::read_unsigned(buf, pos)? as usize;
+            let mut fields = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                fields.push(binary_deserialize_value(buf, pos)?);
+            }
+            Ok(Value::Struct(fields))
+        }
+        9 => {
+            let t = *buf
+                .get(*pos)
+                .ok_or_else(|| HiveError::SerDe("union truncated".into()))?;
+            *pos += 1;
+            Ok(Value::Union(t, Box::new(binary_deserialize_value(buf, pos)?)))
+        }
+        other => Err(HiveError::SerDe(format!("unknown binary value tag {other}"))),
+    }
+}
+
+/// Binary-serialize a whole row.
+pub fn binary_serialize_row(row: &Row, out: &mut Vec<u8>) {
+    hive_codec::varint::write_unsigned(out, row.len() as u64);
+    for v in row.values() {
+        binary_serialize_value(v, out);
+    }
+}
+
+/// Binary-deserialize a whole row.
+pub fn binary_deserialize_row(buf: &[u8], pos: &mut usize) -> Result<Row> {
+    let n = hive_codec::varint::read_unsigned(buf, pos)? as usize;
+    let mut vals = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        vals.push(binary_deserialize_value(buf, pos)?);
+    }
+    Ok(Row::new(vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::parse(&[
+            ("a", "bigint"),
+            ("b", "string"),
+            ("c", "double"),
+            ("d", "array<int>"),
+            ("e", "map<string,int>"),
+            ("f", "struct<x:int,y:string>"),
+            ("g", "boolean"),
+        ])
+        .unwrap()
+    }
+
+    fn sample_row() -> Row {
+        Row::new(vec![
+            Value::Int(-42),
+            Value::String("hello world".into()),
+            Value::Double(3.25),
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Map(vec![
+                (Value::String("k1".into()), Value::Int(10)),
+                (Value::String("k2".into()), Value::Int(20)),
+            ]),
+            Value::Struct(vec![Value::Int(7), Value::String("s".into())]),
+            Value::Boolean(true),
+        ])
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let row = sample_row();
+        let mut buf = Vec::new();
+        text_serialize(&row, &mut buf);
+        let back = text_deserialize(&buf, &sample_schema()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn text_nulls_round_trip() {
+        let schema = Schema::parse(&[("a", "bigint"), ("b", "string")]).unwrap();
+        let row = Row::new(vec![Value::Null, Value::Null]);
+        let mut buf = Vec::new();
+        text_serialize(&row, &mut buf);
+        assert_eq!(buf, b"\\N\x01\\N");
+        assert_eq!(text_deserialize(&buf, &schema).unwrap(), row);
+    }
+
+    #[test]
+    fn text_malformed_numbers_become_null() {
+        let schema = Schema::parse(&[("a", "bigint")]).unwrap();
+        let back = text_deserialize(b"not-a-number", &schema).unwrap();
+        assert_eq!(back[0], Value::Null);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let row = sample_row();
+        let mut buf = Vec::new();
+        binary_serialize_row(&row, &mut buf);
+        let mut pos = 0;
+        let back = binary_deserialize_row(&buf, &mut pos).unwrap();
+        assert_eq!(back, row);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn binary_union_and_timestamp() {
+        let row = Row::new(vec![
+            Value::Union(1, Box::new(Value::String("u".into()))),
+            Value::Timestamp(1_400_000_000_000_000),
+        ]);
+        let mut buf = Vec::new();
+        binary_serialize_row(&row, &mut buf);
+        let mut pos = 0;
+        assert_eq!(binary_deserialize_row(&buf, &mut pos).unwrap(), row);
+    }
+
+    #[test]
+    fn binary_truncation_errors() {
+        let mut buf = Vec::new();
+        binary_serialize_row(&sample_row(), &mut buf);
+        let mut pos = 0;
+        assert!(binary_deserialize_row(&buf[..buf.len() - 3], &mut pos).is_err());
+    }
+
+    #[test]
+    fn text_empty_string_vs_empty_array() {
+        let schema = Schema::parse(&[("s", "string"), ("a", "array<int>")]).unwrap();
+        let row = Row::new(vec![Value::String(String::new()), Value::Array(vec![])]);
+        let mut buf = Vec::new();
+        text_serialize(&row, &mut buf);
+        let back = text_deserialize(&buf, &schema).unwrap();
+        assert_eq!(back, row);
+    }
+}

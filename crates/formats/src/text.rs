@@ -1,0 +1,264 @@
+//! TextFile: newline-delimited rows serialized by the text SerDe — the
+//! original data-type-agnostic Hive format, used here as the "plain text"
+//! size baseline of the paper's Table 2.
+
+use crate::serde;
+use crate::{TableReader, TableWriter};
+use hive_common::{Result, Row, Schema};
+use hive_dfs::{Dfs, DfsWriter, NodeId};
+
+/// Streaming writer of text rows.
+pub struct TextWriter {
+    writer: DfsWriter,
+    buf: Vec<u8>,
+}
+
+impl TextWriter {
+    pub fn create(dfs: &Dfs, path: &str) -> TextWriter {
+        TextWriter {
+            writer: dfs.create(path),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl TableWriter for TextWriter {
+    fn write_row(&mut self, row: &Row) -> Result<()> {
+        self.buf.clear();
+        serde::text_serialize(row, &mut self.buf);
+        self.buf.push(b'\n');
+        self.writer.write(&self.buf);
+        Ok(())
+    }
+
+    fn close(self: Box<Self>) -> Result<u64> {
+        Ok(self.writer.close())
+    }
+}
+
+/// Sequential reader of text rows; reads the file in large chunks so the
+/// whole file's bytes are charged against DFS (there is no way to skip
+/// columns in a row format — the point of Table 2/Fig. 10's comparison).
+pub struct TextReader {
+    reader: hive_dfs::DfsReader,
+    schema: Schema,
+    projection: Option<Vec<usize>>,
+    offset: u64,
+    end: u64,
+    /// File offset where the line currently being assembled starts.
+    line_start: u64,
+    carry: Vec<u8>,
+    pending: std::collections::VecDeque<Vec<u8>>,
+    done: bool,
+}
+
+const READ_CHUNK: usize = 1 << 20;
+
+impl TextReader {
+    /// Open for a byte range `[start, end)` of the file (an input split).
+    /// Like Hadoop's `TextInputFormat`, a split starts at the first line
+    /// boundary after `start` (unless at 0) and finishes the line that
+    /// crosses `end`.
+    pub fn open_split(
+        dfs: &Dfs,
+        path: &str,
+        schema: Schema,
+        projection: Option<Vec<usize>>,
+        start: u64,
+        end: u64,
+        node: Option<NodeId>,
+    ) -> Result<TextReader> {
+        let mut reader = dfs.open(path, node)?;
+        let len = dfs.len(path)?;
+        let mut offset = start;
+        if start > 0 {
+            // Skip the (possibly partial) line owned by the previous split:
+            // a line belongs to the split containing its preceding newline,
+            // so scanning starts after the first newline at or past `start`.
+            let mut probe_at = start;
+            loop {
+                if probe_at >= len {
+                    offset = len;
+                    break;
+                }
+                let probe = reader.read_at(probe_at, READ_CHUNK)?;
+                if let Some(i) = probe.iter().position(|b| *b == b'\n') {
+                    offset = probe_at + i as u64 + 1;
+                    break;
+                }
+                probe_at += probe.len() as u64;
+            }
+        }
+        Ok(TextReader {
+            reader,
+            schema,
+            projection,
+            offset,
+            end,
+            line_start: offset,
+            carry: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            done: false,
+        })
+    }
+
+    pub fn open(
+        dfs: &Dfs,
+        path: &str,
+        schema: Schema,
+        projection: Option<Vec<usize>>,
+        node: Option<NodeId>,
+    ) -> Result<TextReader> {
+        let len = dfs.len(path)?;
+        Self::open_split(dfs, path, schema, projection, 0, len, node)
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        // Hadoop's split rule: a line belongs to the split containing its
+        // first byte; the reader finishes a line that crosses `end`.
+        while self.pending.is_empty() && !self.done {
+            if self.line_start > self.end {
+                self.done = true;
+                return Ok(());
+            }
+            let file_len = self.reader.len();
+            if self.offset >= file_len {
+                if !self.carry.is_empty() && self.line_start <= self.end {
+                    let line = std::mem::take(&mut self.carry);
+                    self.pending.push_back(line);
+                }
+                self.done = true;
+                return Ok(());
+            }
+            let chunk_base = self.offset;
+            let chunk = self.reader.read_at(self.offset, READ_CHUNK)?;
+            self.offset += chunk.len() as u64;
+            let mut start = 0usize;
+            for (i, b) in chunk.iter().enumerate() {
+                if *b == b'\n' {
+                    let this_line_start = self.line_start;
+                    self.line_start = chunk_base + i as u64 + 1;
+                    if this_line_start > self.end {
+                        self.done = true;
+                        self.carry.clear();
+                        return Ok(());
+                    }
+                    let mut line = std::mem::take(&mut self.carry);
+                    line.extend_from_slice(&chunk[start..i]);
+                    self.pending.push_back(line);
+                    start = i + 1;
+                }
+            }
+            self.carry.extend_from_slice(&chunk[start..]);
+        }
+        Ok(())
+    }
+}
+
+impl TableReader for TextReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.pending.is_empty() {
+            self.refill()?;
+        }
+        let Some(line) = self.pending.pop_front() else {
+            return Ok(None);
+        };
+        let row = serde::text_deserialize(&line, &self.schema)?;
+        Ok(Some(match &self.projection {
+            Some(p) => row.project(p),
+            None => row,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::Value;
+    use hive_dfs::DfsConfig;
+
+    fn fs() -> Dfs {
+        Dfs::new(DfsConfig {
+            block_size: 1 << 20,
+            replication: 1,
+            nodes: 2,
+        })
+    }
+
+    fn schema() -> Schema {
+        Schema::parse(&[("id", "bigint"), ("name", "string")]).unwrap()
+    }
+
+    fn write_rows(dfs: &Dfs, path: &str, n: i64) {
+        let mut w: Box<dyn TableWriter> = Box::new(TextWriter::create(dfs, path));
+        for i in 0..n {
+            w.write_row(&Row::new(vec![
+                Value::Int(i),
+                Value::String(format!("row-{i}")),
+            ]))
+            .unwrap();
+        }
+        w.close().unwrap();
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dfs = fs();
+        write_rows(&dfs, "/t/text", 100);
+        let mut r = TextReader::open(&dfs, "/t/text", schema(), None, None).unwrap();
+        let mut count = 0;
+        while let Some(row) = r.next_row().unwrap() {
+            assert_eq!(row[0], Value::Int(count));
+            assert_eq!(row[1], Value::String(format!("row-{count}")));
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn projection_reorders_columns() {
+        let dfs = fs();
+        write_rows(&dfs, "/t/text2", 3);
+        let mut r = TextReader::open(&dfs, "/t/text2", schema(), Some(vec![1, 0]), None).unwrap();
+        let row = r.next_row().unwrap().unwrap();
+        assert_eq!(row.values(), &[Value::String("row-0".into()), Value::Int(0)]);
+    }
+
+    #[test]
+    fn splits_cover_every_row_exactly_once() {
+        let dfs = fs();
+        write_rows(&dfs, "/t/text3", 1000);
+        let len = dfs.len("/t/text3").unwrap();
+        let mid = len / 2;
+        let mut seen = Vec::new();
+        for (s, e) in [(0, mid), (mid, len)] {
+            let mut r =
+                TextReader::open_split(&dfs, "/t/text3", schema(), None, s, e, None).unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                seen.push(row[0].as_int().unwrap());
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_way_split_also_exact() {
+        let dfs = fs();
+        write_rows(&dfs, "/t/text4", 500);
+        let len = dfs.len("/t/text4").unwrap();
+        let bounds = [0, len / 3, 2 * len / 3, len];
+        let mut seen = Vec::new();
+        for w in bounds.windows(2) {
+            let mut r =
+                TextReader::open_split(&dfs, "/t/text4", schema(), None, w[0], w[1], None)
+                    .unwrap();
+            while let Some(row) = r.next_row().unwrap() {
+                seen.push(row[0].as_int().unwrap());
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 500);
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,200 @@
+//! Failure injection: flip/truncate bytes anywhere in ORC, RCFile and
+//! SequenceFile files and require the readers to fail with errors — never
+//! panic, never loop — or, when the corruption misses the bytes a read
+//! touches, to succeed. (A storage layer that aborts the process on a bad
+//! block would take the whole task down with it.)
+
+use hive_codec::block::Compression;
+use hive_common::{Row, Schema, Value};
+use hive_dfs::{Dfs, DfsConfig};
+use hive_formats::orc::reader::{OrcReadOptions, OrcReader};
+use hive_formats::orc::writer::{OrcWriter, OrcWriterOptions};
+use hive_formats::rcfile::{RcFileReader, RcFileWriter};
+use hive_formats::sequence::{SequenceReader, SequenceWriter};
+use hive_formats::{TableReader, TableWriter};
+
+fn dfs() -> Dfs {
+    Dfs::new(DfsConfig {
+        block_size: 1 << 20,
+        replication: 1,
+        nodes: 2,
+    })
+}
+
+fn schema() -> Schema {
+    Schema::parse(&[("a", "bigint"), ("b", "string"), ("c", "double")]).unwrap()
+}
+
+fn rows() -> Vec<Row> {
+    (0..2000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::String(format!("value-{}", i % 37)),
+                Value::Double(i as f64 / 3.0),
+            ])
+        })
+        .collect()
+}
+
+/// Copy `path` into `dst` with one byte XOR-flipped at `pos`.
+fn flip_byte(fs: &Dfs, path: &str, dst: &str, pos: usize) {
+    let mut r = fs.open(path, None).unwrap();
+    let mut data = r.read_all().unwrap();
+    let idx = pos % data.len();
+    data[idx] ^= 0x5A;
+    let mut w = fs.create(dst);
+    w.write(&data);
+    w.close();
+}
+
+/// Copy `path` into `dst` truncated to `len` bytes.
+fn truncate(fs: &Dfs, path: &str, dst: &str, len: usize) {
+    let mut r = fs.open(path, None).unwrap();
+    let data = r.read_all().unwrap();
+    let mut w = fs.create(dst);
+    w.write(&data[..len.min(data.len())]);
+    w.close();
+}
+
+/// Drain a reader; Ok(row count) or the first error. Bounded iterations
+/// guard against corruption-induced loops.
+fn drain(mut reader: Box<dyn TableReader>) -> Result<usize, hive_common::HiveError> {
+    let mut n = 0usize;
+    loop {
+        match reader.next_row() {
+            Ok(Some(_)) => {
+                n += 1;
+                assert!(n <= 1_000_000, "reader loops under corruption");
+            }
+            Ok(None) => return Ok(n),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[test]
+fn orc_survives_bit_flips_everywhere() {
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        &fs,
+        "/c/orc",
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: 16 << 10,
+            row_index_stride: 100,
+            compression: Compression::Snappy,
+            compress_unit: 4 << 10,
+            ..Default::default()
+        },
+        None,
+    ));
+    for r in rows() {
+        w.write_row(&r).unwrap();
+    }
+    w.close().unwrap();
+    let len = fs.len("/c/orc").unwrap() as usize;
+
+    // Flip a byte at 97 positions spread over the whole file.
+    for k in 0..97 {
+        let pos = k * len / 97;
+        flip_byte(&fs, "/c/orc", "/c/orc-bad", pos);
+        // Opening may fail cleanly; if it works, draining must not panic
+        // (wrong data is acceptable — checksums are out of scope — crashing
+        // is not).
+        if let Ok(r) = OrcReader::open(&fs, "/c/orc-bad", OrcReadOptions::default()) {
+            let _ = drain(Box::new(r));
+        }
+        // The vectorized path must be equally robust.
+        if let Ok(mut r) = OrcReader::open(&fs, "/c/orc-bad", OrcReadOptions::default()) {
+            let mut batch = hive_vector::VectorizedRowBatch::new(
+                &[
+                    hive_common::DataType::Int,
+                    hive_common::DataType::String,
+                    hive_common::DataType::Double,
+                ],
+                256,
+            )
+            .unwrap();
+            let mut batches = 0;
+            while let Ok(true) = r.next_batch(&mut batch) {
+                batches += 1;
+                assert!(batches < 100_000, "vectorized reader loops");
+            }
+        }
+    }
+}
+
+#[test]
+fn orc_survives_truncation_everywhere() {
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        &fs,
+        "/c/orc2",
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: 16 << 10,
+            row_index_stride: 100,
+            ..Default::default()
+        },
+        None,
+    ));
+    for r in rows() {
+        w.write_row(&r).unwrap();
+    }
+    w.close().unwrap();
+    let len = fs.len("/c/orc2").unwrap() as usize;
+    for k in 1..40 {
+        let cut = k * len / 40;
+        truncate(&fs, "/c/orc2", "/c/orc2-cut", cut);
+        if let Ok(r) = OrcReader::open(&fs, "/c/orc2-cut", OrcReadOptions::default()) {
+            let _ = drain(Box::new(r));
+        }
+    }
+}
+
+#[test]
+fn rcfile_survives_corruption() {
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(RcFileWriter::create(
+        &fs,
+        "/c/rc",
+        &schema(),
+        16 << 10,
+        Compression::Snappy,
+    ));
+    for r in rows() {
+        w.write_row(&r).unwrap();
+    }
+    w.close().unwrap();
+    let len = fs.len("/c/rc").unwrap() as usize;
+    for k in 0..60 {
+        let pos = k * len / 60;
+        flip_byte(&fs, "/c/rc", "/c/rc-bad", pos);
+        if let Ok(r) = RcFileReader::open(&fs, "/c/rc-bad", &schema(), None, None) {
+            let _ = drain(Box::new(r));
+        }
+        truncate(&fs, "/c/rc", "/c/rc-cut", pos.max(8));
+        if let Ok(r) = RcFileReader::open(&fs, "/c/rc-cut", &schema(), None, None) {
+            let _ = drain(Box::new(r));
+        }
+    }
+}
+
+#[test]
+fn sequencefile_survives_corruption() {
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(SequenceWriter::create(&fs, "/c/seq"));
+    for r in rows() {
+        w.write_row(&r).unwrap();
+    }
+    w.close().unwrap();
+    let len = fs.len("/c/seq").unwrap() as usize;
+    for k in 0..60 {
+        let pos = k * len / 60;
+        flip_byte(&fs, "/c/seq", "/c/seq-bad", pos);
+        if let Ok(r) = SequenceReader::open(&fs, "/c/seq-bad", schema(), None, None) {
+            let _ = drain(Box::new(r));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The cluster cost model: converts measured work into simulated elapsed
+//! time on a paper-like cluster.
+//!
+//! Defaults approximate the paper's testbed — 11 m1.xlarge EC2 nodes
+//! (4 cores, 4 disks), Hadoop 1.2.1, 3 task slots per slave, and the
+//! configuration "the Reduce phase starts after the entire Map phase has
+//! finished". Absolute constants are approximations; the experiments only
+//! depend on their *relative* magnitudes (task startup vs I/O vs CPU).
+
+/// Cluster shape.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub nodes: usize,
+    pub slots_per_node: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 10,
+            slots_per_node: 3,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn total_slots(&self) -> usize {
+        (self.nodes * self.slots_per_node).max(1)
+    }
+}
+
+/// Time/bandwidth constants of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub cluster: ClusterConfig,
+    /// Per-task fixed cost (JVM start, scheduling heartbeat), seconds.
+    pub task_startup_s: f64,
+    /// Sequential local disk read bandwidth, bytes/second.
+    pub local_read_bw: f64,
+    /// Remote (cross-node) read bandwidth, bytes/second.
+    pub remote_read_bw: f64,
+    /// Disk seek latency per non-contiguous read, seconds.
+    pub seek_s: f64,
+    /// DFS write bandwidth (replication included), bytes/second.
+    pub write_bw: f64,
+    /// Shuffle network bandwidth per reduce task, bytes/second.
+    pub shuffle_bw: f64,
+    /// Sort cost per shuffled record, seconds (merge-sort constant).
+    pub sort_per_record_s: f64,
+    /// Multiplier applied to locally measured CPU seconds to approximate
+    /// the cluster node's CPU. The paper's m1.xlarge cores are 2009-era
+    /// Xeons, several times slower than a current core.
+    pub cpu_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cluster: ClusterConfig::default(),
+            task_startup_s: 2.0,
+            local_read_bw: 90.0e6,
+            remote_read_bw: 45.0e6,
+            seek_s: 0.008,
+            write_bw: 60.0e6,
+            shuffle_bw: 40.0e6,
+            sort_per_record_s: 0.3e-6,
+            cpu_scale: 8.0,
+        }
+    }
+}
+
+/// Measured work of one task, to be priced by the model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskWork {
+    pub bytes_local: u64,
+    pub bytes_remote: u64,
+    pub seeks: u64,
+    pub bytes_written: u64,
+    pub cpu_seconds: f64,
+    pub shuffle_records: u64,
+}
+
+impl CostModel {
+    /// Simulated duration of one task.
+    pub fn task_seconds(&self, w: &TaskWork) -> f64 {
+        self.task_startup_s
+            + w.bytes_local as f64 / self.local_read_bw
+            + w.bytes_remote as f64 / self.remote_read_bw
+            + w.seeks as f64 * self.seek_s
+            + w.bytes_written as f64 / self.write_bw
+            + w.cpu_seconds * self.cpu_scale
+            + w.shuffle_records as f64 * self.sort_per_record_s
+    }
+
+    /// Greedy wave scheduling of task durations over the cluster's slots;
+    /// returns the phase's simulated elapsed time.
+    pub fn schedule(&self, task_durations: &[f64]) -> f64 {
+        let slots = self.cluster.total_slots();
+        let mut slot_free = vec![0.0f64; slots];
+        for &d in task_durations {
+            // Earliest-available slot gets the task (Hadoop's scheduler is
+            // close enough to this for elapsed-time purposes).
+            let (idx, _) = slot_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            slot_free[idx] += d;
+        }
+        slot_free.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Shuffle transfer time for one reduce task fetching `bytes`.
+    pub fn shuffle_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.shuffle_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_seconds_charges_every_term() {
+        let m = CostModel::default();
+        let base = m.task_seconds(&TaskWork::default());
+        assert!((base - m.task_startup_s).abs() < 1e-9);
+        let with_io = m.task_seconds(&TaskWork {
+            bytes_local: 90_000_000,
+            ..Default::default()
+        });
+        assert!((with_io - base - 1.0).abs() < 1e-6, "90 MB at 90 MB/s = 1 s");
+        let with_remote = m.task_seconds(&TaskWork {
+            bytes_remote: 90_000_000,
+            ..Default::default()
+        });
+        assert!(with_remote > with_io, "remote reads are slower");
+    }
+
+    #[test]
+    fn wave_scheduling() {
+        let m = CostModel {
+            cluster: ClusterConfig {
+                nodes: 1,
+                slots_per_node: 2,
+            },
+            ..Default::default()
+        };
+        // 4 tasks of 1s over 2 slots → 2 waves → 2s.
+        assert!((m.schedule(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-9);
+        // A single long task dominates.
+        assert!((m.schedule(&[5.0, 1.0, 1.0]) - 5.0).abs() < 1e-9);
+        // No tasks → zero.
+        assert_eq!(m.schedule(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_cluster_has_30_slots() {
+        assert_eq!(ClusterConfig::default().total_slots(), 30);
+    }
+}

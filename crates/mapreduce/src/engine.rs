@@ -1,0 +1,650 @@
+//! The MapReduce engine: real execution + simulated cluster timing.
+
+use crate::cost::{CostModel, TaskWork};
+use crate::job::{JobInput, JobOutput, JobSpec, SideInput};
+use hive_common::{HiveConf, HiveError, Result, Row, Value};
+use hive_dfs::Dfs;
+use hive_exec::graph::{Message, ShuffleRecord};
+use hive_formats::{open_reader, ReadOptions, TableWriter};
+use hive_vector::VectorizedRowBatch;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Execution summary of one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobReport {
+    pub name: String,
+    pub map_tasks: usize,
+    pub reduce_tasks: usize,
+    /// Simulated elapsed seconds of the Map phase (incl. startup waves).
+    pub sim_map_s: f64,
+    /// Simulated elapsed seconds of shuffle + Reduce.
+    pub sim_reduce_s: f64,
+    pub sim_total_s: f64,
+    /// Measured CPU seconds across all tasks (the paper's "cumulative CPU
+    /// time", Fig. 12b).
+    pub cpu_seconds: f64,
+    pub bytes_read: u64,
+    pub bytes_shuffled: u64,
+    pub bytes_written: u64,
+    pub shuffle_records: u64,
+    pub rows_out: u64,
+}
+
+/// Execution summary of a job DAG (one query).
+#[derive(Debug, Clone, Default)]
+pub struct DagReport {
+    pub jobs: Vec<JobReport>,
+    pub sim_total_s: f64,
+    pub cpu_seconds: f64,
+}
+
+/// The engine. Jobs execute for real; elapsed time is simulated.
+pub struct MrEngine {
+    pub dfs: Dfs,
+    pub conf: HiveConf,
+    pub cost: CostModel,
+}
+
+/// One input split: a byte range of one file, with a preferred node.
+struct Split<'a> {
+    input: &'a JobInput,
+    path: String,
+    start: u64,
+    end: u64,
+    node: usize,
+}
+
+impl MrEngine {
+    pub fn new(dfs: Dfs, conf: HiveConf) -> MrEngine {
+        MrEngine {
+            dfs,
+            conf,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Run a list of jobs in dependency order (Hive runs a query's jobs
+    /// sequentially by default); returns the final job's collected rows.
+    pub fn run_dag(&self, jobs: &[JobSpec]) -> Result<(DagReport, Vec<Row>)> {
+        let mut report = DagReport::default();
+        let mut last_rows = Vec::new();
+        for spec in jobs {
+            let (jr, rows) = self.run_job(spec)?;
+            report.sim_total_s += jr.sim_total_s;
+            report.cpu_seconds += jr.cpu_seconds;
+            report.jobs.push(jr);
+            last_rows = rows;
+        }
+        Ok((report, last_rows))
+    }
+
+    /// Execute one job; returns its report and (for `Collect` jobs) rows.
+    pub fn run_job(&self, spec: &JobSpec) -> Result<(JobReport, Vec<Row>)> {
+        let mut report = JobReport {
+            name: spec.name.clone(),
+            ..Default::default()
+        };
+
+        // --- Side inputs (distributed cache). -------------------------
+        let before_side = self.dfs.stats().snapshot();
+        let side = self.load_side_inputs(&spec.side_inputs)?;
+        let side_stats = self.dfs.stats().snapshot().since(&before_side);
+        // Every map task re-reads the cached hash-table input locally.
+        let side_load_s =
+            side_stats.bytes_read() as f64 / self.cost.local_read_bw;
+        report.bytes_read += side_stats.bytes_read();
+
+        // --- Plan splits. ----------------------------------------------
+        let splits = self.compute_splits(&spec.inputs)?;
+        report.map_tasks = splits.len();
+        let num_reducers = if spec.reduce_factory.is_some() {
+            spec.num_reducers.max(1)
+        } else {
+            0
+        };
+
+        // --- Map phase (executed sequentially, timed per task). --------
+        let mut partitions: Vec<Vec<ShuffleRecord>> = vec![Vec::new(); num_reducers.max(1)];
+        let mut map_durations = Vec::with_capacity(splits.len());
+        let mut collected: Vec<Row> = Vec::new();
+        for (task_idx, split) in splits.iter().enumerate() {
+            let before = self.dfs.stats().snapshot();
+            let t0 = Instant::now();
+
+            let mut pipeline = (spec.map_factory)(&side)?;
+            let root = *pipeline.roots.get(&split.input.alias).ok_or_else(|| {
+                HiveError::Execution(format!(
+                    "map pipeline lacks a root for alias `{}`",
+                    split.input.alias
+                ))
+            })?;
+            let reader_opts = ReadOptions {
+                format: split.input.format,
+                projection: split.input.projection.clone(),
+                sarg: split.input.sarg.clone(),
+                node: Some(split.node),
+                split: Some((split.start, split.end)),
+            };
+            let mut reader = open_reader(
+                &self.dfs,
+                &split.path,
+                &split.input.schema,
+                &self.conf,
+                &reader_opts,
+            )?;
+
+            let mut task_out: Vec<Row> = Vec::new();
+            let mut shuffle_records = 0u64;
+            {
+                let graph = &mut pipeline.graph;
+                let mut on_shuffle = |rec: ShuffleRecord| {
+                    shuffle_records += 1;
+                    if num_reducers > 0 {
+                        let mut h: u64 = 0xcbf29ce484222325;
+                        for k in &rec.key {
+                            k.shuffle_hash(&mut h);
+                        }
+                        let p = (h % num_reducers as u64) as usize;
+                        partitions[p].push(rec);
+                    }
+                };
+                let mut on_output = |row: Row| task_out.push(row);
+
+                match pipeline.vector.get_mut(&split.input.alias) {
+                    Some(stage) => {
+                        // Vectorized scan path (paper Section 6.5).
+                        let mut batch = VectorizedRowBatch::new(
+                            &stage.batch_types,
+                            stage.batch_size,
+                        )?;
+                        let mut staged: Vec<Row> = Vec::new();
+                        loop {
+                            let more = reader.next_batch(&mut batch)?;
+                            if batch.size > 0 {
+                                let mut sink = |r: Row| staged.push(r);
+                                stage.pipeline.process(&mut batch, &mut sink)?;
+                                for row in staged.drain(..) {
+                                    graph.push(
+                                        root,
+                                        Message::Row { row, tag: 0 },
+                                        &mut on_shuffle,
+                                        &mut on_output,
+                                    )?;
+                                }
+                            }
+                            if !more {
+                                break;
+                            }
+                        }
+                        let mut sink = |r: Row| staged.push(r);
+                        stage.pipeline.close(&mut sink)?;
+                        for row in staged {
+                            graph.push(
+                                root,
+                                Message::Row { row, tag: 0 },
+                                &mut on_shuffle,
+                                &mut on_output,
+                            )?;
+                        }
+                    }
+                    None => {
+                        while let Some(row) = reader.next_row()? {
+                            graph.push(
+                                root,
+                                Message::Row { row, tag: 0 },
+                                &mut on_shuffle,
+                                &mut on_output,
+                            )?;
+                        }
+                    }
+                }
+                graph.finish(&mut on_shuffle, &mut on_output)?;
+            }
+
+            // Map-only output handling.
+            let mut written = 0u64;
+            if num_reducers == 0 && !task_out.is_empty() {
+                match &spec.output {
+                    JobOutput::Collect => collected.append(&mut task_out),
+                    JobOutput::Intermediate { path_prefix } => {
+                        written = self.write_part(
+                            &format!("{path_prefix}/part-m-{task_idx:05}"),
+                            &task_out,
+                        )?;
+                    }
+                }
+            }
+
+            let cpu = t0.elapsed().as_secs_f64();
+            let delta = self.dfs.stats().snapshot().since(&before);
+            let work = TaskWork {
+                bytes_local: delta.bytes_local,
+                bytes_remote: delta.bytes_remote,
+                seeks: delta.seeks,
+                bytes_written: written,
+                cpu_seconds: cpu,
+                shuffle_records,
+            };
+            report.cpu_seconds += cpu;
+            report.bytes_read += delta.bytes_read();
+            report.bytes_written += written;
+            report.shuffle_records += shuffle_records;
+            map_durations.push(self.cost.task_seconds(&work) + side_load_s);
+        }
+        report.sim_map_s = self.cost.schedule(&map_durations);
+
+        // --- Reduce phase. ----------------------------------------------
+        let mut reduce_durations = Vec::new();
+        if let Some(reduce_factory) = &spec.reduce_factory {
+            report.reduce_tasks = num_reducers;
+            for (r, mut partition) in partitions.into_iter().enumerate() {
+                let shuffle_bytes: u64 = partition
+                    .iter()
+                    .map(|rec| {
+                        let mut buf = Vec::new();
+                        hive_formats::serde::binary_serialize_row(
+                            &Row::new(rec.key.clone()),
+                            &mut buf,
+                        );
+                        hive_formats::serde::binary_serialize_row(&rec.value, &mut buf);
+                        buf.len() as u64 + 8
+                    })
+                    .sum();
+                report.bytes_shuffled += shuffle_bytes;
+
+                // Sort by (key, tag): MapReduce's sort-merge, with Hive's
+                // tag ordering within a key group.
+                partition.sort_by(|a, b| cmp_keys(&a.key, &b.key).then(a.tag.cmp(&b.tag)));
+
+                let before = self.dfs.stats().snapshot();
+                let t0 = Instant::now();
+                let (mut graph, root) = reduce_factory()?;
+                let mut task_out: Vec<Row> = Vec::new();
+                {
+                    let mut on_shuffle = |_rec: ShuffleRecord| {
+                        // Nested shuffles cannot happen in a single job.
+                    };
+                    let mut on_output = |row: Row| task_out.push(row);
+                    // The reducer driver: detect key-group changes, send
+                    // signals, forward rows (paper Section 5.2.2).
+                    let mut current_key: Option<Vec<Value>> = None;
+                    for rec in partition {
+                        let new_group = current_key
+                            .as_ref()
+                            .is_none_or(|k| cmp_keys(k, &rec.key) != Ordering::Equal);
+                        if new_group {
+                            if current_key.is_some() {
+                                graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
+                            }
+                            graph.push(root, Message::StartGroup, &mut on_shuffle, &mut on_output)?;
+                            current_key = Some(rec.key.clone());
+                        }
+                        // Reduce-side rows are key columns ++ value columns.
+                        let mut vals = rec.key;
+                        vals.extend(rec.value.into_values());
+                        graph.push(
+                            root,
+                            Message::Row {
+                                row: Row::new(vals),
+                                tag: rec.tag,
+                            },
+                            &mut on_shuffle,
+                            &mut on_output,
+                        )?;
+                    }
+                    if current_key.is_some() {
+                        graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
+                    }
+                    graph.finish(&mut on_shuffle, &mut on_output)?;
+                }
+
+                let mut written = 0u64;
+                if !task_out.is_empty() {
+                    match &spec.output {
+                        JobOutput::Collect => collected.append(&mut task_out),
+                        JobOutput::Intermediate { path_prefix } => {
+                            written = self.write_part(
+                                &format!("{path_prefix}/part-r-{r:05}"),
+                                &task_out,
+                            )?;
+                        }
+                    }
+                }
+
+                let cpu = t0.elapsed().as_secs_f64();
+                let delta = self.dfs.stats().snapshot().since(&before);
+                let work = TaskWork {
+                    bytes_local: delta.bytes_local,
+                    bytes_remote: delta.bytes_remote,
+                    seeks: delta.seeks,
+                    bytes_written: written,
+                    cpu_seconds: cpu,
+                    shuffle_records: 0,
+                };
+                report.cpu_seconds += cpu;
+                report.bytes_read += delta.bytes_read();
+                report.bytes_written += written;
+                reduce_durations
+                    .push(self.cost.task_seconds(&work) + self.cost.shuffle_seconds(shuffle_bytes));
+            }
+        }
+        report.sim_reduce_s = self.cost.schedule(&reduce_durations);
+        report.sim_total_s = report.sim_map_s + report.sim_reduce_s;
+        report.rows_out = collected.len() as u64;
+        Ok((report, collected))
+    }
+
+    fn load_side_inputs(&self, sides: &[SideInput]) -> Result<HashMap<String, Vec<Row>>> {
+        let mut out = HashMap::new();
+        for s in sides {
+            let mut rows = Vec::new();
+            for path in self.expand_paths(&s.paths) {
+                let mut reader = open_reader(
+                    &self.dfs,
+                    &path,
+                    &s.schema,
+                    &self.conf,
+                    &ReadOptions {
+                        format: s.format,
+                        projection: s.projection.clone(),
+                        ..Default::default()
+                    },
+                )?;
+                while let Some(row) = reader.next_row()? {
+                    rows.push(row);
+                }
+            }
+            out.insert(s.alias.clone(), rows);
+        }
+        Ok(out)
+    }
+
+    /// Expand directory-style entries (trailing `/`) into their part files.
+    fn expand_paths(&self, paths: &[String]) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in paths {
+            if p.ends_with('/') {
+                out.extend(self.dfs.list(p));
+            } else {
+                out.push(p.clone());
+            }
+        }
+        out
+    }
+
+    fn compute_splits<'a>(&self, inputs: &'a [JobInput]) -> Result<Vec<Split<'a>>> {
+        let mut splits = Vec::new();
+        for input in inputs {
+            for path in self.expand_paths(&input.paths) {
+                if !self.dfs.exists(&path) {
+                    continue;
+                }
+                let blocks = self.dfs.blocks(&path)?;
+                if blocks.is_empty() || self.dfs.len(&path)? == 0 {
+                    continue;
+                }
+                match input.format {
+                    hive_formats::FormatKind::Sequence => {
+                        // No sync markers in this SequenceFile: one split.
+                        splits.push(Split {
+                            input,
+                            path: path.clone(),
+                            start: 0,
+                            end: self.dfs.len(&path)?,
+                            node: blocks[0].replicas.first().copied().unwrap_or(0),
+                        });
+                    }
+                    _ => {
+                        for b in blocks {
+                            if b.len == 0 {
+                                continue;
+                            }
+                            // Data-local scheduling: run on the first
+                            // replica, as Hadoop usually manages to.
+                            splits.push(Split {
+                                input,
+                                path: path.clone(),
+                                start: b.offset,
+                                end: b.offset + b.len,
+                                node: b.replicas.first().copied().unwrap_or(0),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(splits)
+    }
+
+    fn write_part(&self, path: &str, rows: &[Row]) -> Result<u64> {
+        let mut w: Box<dyn TableWriter> =
+            Box::new(hive_formats::sequence::SequenceWriter::create(&self.dfs, path));
+        for r in rows {
+            w.write_row(r)?;
+        }
+        w.close()
+    }
+}
+
+/// Element-wise SQL comparison of shuffle keys.
+pub fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.sql_cmp(y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::MapPipeline;
+    use hive_common::Schema;
+    use hive_exec::expr::ExprNode;
+    use hive_exec::graph::OperatorGraph;
+    use hive_exec::operators::*;
+    use hive_formats::{create_writer, FormatKind, WriteOptions};
+    use std::sync::Arc;
+
+    fn setup() -> (Dfs, HiveConf) {
+        let dfs = Dfs::new(hive_dfs::DfsConfig {
+            block_size: 64 << 10,
+            replication: 2,
+            nodes: 4,
+        });
+        (dfs, HiveConf::new())
+    }
+
+    fn write_table(dfs: &Dfs, conf: &HiveConf, path: &str, n: i64) -> Schema {
+        let schema = Schema::parse(&[("k", "bigint"), ("v", "bigint")]).unwrap();
+        let mut w = create_writer(
+            dfs,
+            path,
+            &schema,
+            conf,
+            &WriteOptions {
+                format: FormatKind::Text,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            w.write_row(&Row::new(vec![Value::Int(i % 10), Value::Int(i)]))
+                .unwrap();
+        }
+        w.close().unwrap();
+        schema
+    }
+
+    /// A word-count-style job: group by k, sum v.
+    fn group_sum_job(schema: Schema, path: &str) -> JobSpec {
+        let map_factory: crate::job::MapPipelineFactory = Arc::new(move |_side| {
+            let mut graph = OperatorGraph::new();
+            let rs = graph.add(Box::new(ReduceSinkOperator {
+                key_exprs: vec![ExprNode::col(0)],
+                value_exprs: vec![ExprNode::col(1)],
+                tag: 0,
+                num_reducers: 2,
+            }));
+            let mut roots = HashMap::new();
+            roots.insert("t".to_string(), rs);
+            Ok(MapPipeline {
+                graph,
+                roots,
+                vector: HashMap::new(),
+            })
+        });
+        let reduce_factory: crate::job::ReducePipelineFactory = Arc::new(|| {
+            let mut graph = OperatorGraph::new();
+            let gb = graph.add(Box::new(GroupByOperator::new(
+                vec![ExprNode::col(0)],
+                vec![AggSpec {
+                    function: hive_exec::agg::AggFunction::Sum,
+                    mode: hive_exec::agg::AggMode::Complete,
+                    arg: Some(ExprNode::col(1)),
+                }],
+                GroupByMode::Streaming,
+            )));
+            let fs = graph.add(Box::new(FileSinkOperator));
+            graph.connect(gb, fs, None);
+            Ok((graph, gb))
+        });
+        JobSpec {
+            name: "group-sum".into(),
+            inputs: vec![JobInput {
+                alias: "t".into(),
+                paths: vec![path.to_string()],
+                format: FormatKind::Text,
+                schema,
+                projection: None,
+                sarg: None,
+            }],
+            side_inputs: vec![],
+            map_factory,
+            reduce_factory: Some(reduce_factory),
+            num_reducers: 2,
+            output: JobOutput::Collect,
+        }
+    }
+
+    #[test]
+    fn map_reduce_group_sum() {
+        let (dfs, conf) = setup();
+        let schema = write_table(&dfs, &conf, "/t/mr1", 1000);
+        let engine = MrEngine::new(dfs, conf);
+        let (report, mut rows) = engine
+            .run_job(&group_sum_job(schema, "/t/mr1"))
+            .unwrap();
+        rows.sort_by(|a, b| a[0].sql_cmp(&b[0]));
+        assert_eq!(rows.len(), 10);
+        // Group k: sum of {k, k+10, ..., k+990} = 100*k + 10*4950.
+        for k in 0..10i64 {
+            assert_eq!(
+                rows[k as usize],
+                Row::new(vec![Value::Int(k), Value::Int(100 * k + 49_500)])
+            );
+        }
+        assert!(report.map_tasks >= 1);
+        assert_eq!(report.reduce_tasks, 2);
+        assert!(report.sim_total_s > 0.0);
+        assert!(report.bytes_shuffled > 0);
+    }
+
+    #[test]
+    fn splits_cover_multi_block_files() {
+        let (dfs, conf) = setup();
+        // 64 KB blocks and ~13 KB per 1000 rows → bump rows for >1 block.
+        let schema = write_table(&dfs, &conf, "/t/mr2", 20_000);
+        assert!(dfs.blocks("/t/mr2").unwrap().len() > 1);
+        let engine = MrEngine::new(dfs, conf);
+        let (report, rows) = engine
+            .run_job(&group_sum_job(schema, "/t/mr2"))
+            .unwrap();
+        assert!(report.map_tasks > 1, "expected multiple map tasks");
+        let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        assert_eq!(total, (0..20_000i64).sum::<i64>());
+    }
+
+    #[test]
+    fn map_only_job_writes_intermediate_and_chains() {
+        let (dfs, conf) = setup();
+        let schema = write_table(&dfs, &conf, "/t/mr3", 500);
+
+        // Job 1: map-only filter writing an intermediate directory.
+        let map_factory: crate::job::MapPipelineFactory = Arc::new(move |_| {
+            let mut graph = OperatorGraph::new();
+            let f = graph.add(Box::new(FilterOperator {
+                predicate: ExprNode::binary(
+                    hive_exec::expr::BinaryOp::Lt,
+                    ExprNode::col(1),
+                    ExprNode::lit(Value::Int(100)),
+                ),
+            }));
+            let fs = graph.add(Box::new(FileSinkOperator));
+            graph.connect(f, fs, None);
+            let mut roots = HashMap::new();
+            roots.insert("t".to_string(), f);
+            Ok(MapPipeline {
+                graph,
+                roots,
+                vector: HashMap::new(),
+            })
+        });
+        let job1 = JobSpec {
+            name: "filter".into(),
+            inputs: vec![JobInput {
+                alias: "t".into(),
+                paths: vec!["/t/mr3".into()],
+                format: FormatKind::Text,
+                schema: schema.clone(),
+                projection: None,
+                sarg: None,
+            }],
+            side_inputs: vec![],
+            map_factory,
+            reduce_factory: None,
+            num_reducers: 0,
+            output: JobOutput::Intermediate {
+                path_prefix: "/tmp/q/j1".into(),
+            },
+        };
+
+        // Job 2 reads the intermediate directory.
+        let job2 = group_sum_job(schema, "/tmp/q/j1/");
+        let job2 = JobSpec {
+            inputs: vec![JobInput {
+                alias: "t".into(),
+                paths: vec!["/tmp/q/j1/".into()],
+                format: FormatKind::Sequence,
+                ..job2.inputs[0].clone()
+            }],
+            ..job2
+        };
+
+        let engine = MrEngine::new(dfs.clone(), conf);
+        let (dag, rows) = engine.run_dag(&[job1, job2]).unwrap();
+        assert_eq!(dag.jobs.len(), 2);
+        assert!(dag.jobs[0].bytes_written > 0, "intermediate was written");
+        assert!(!dfs.list("/tmp/q/j1/").is_empty());
+        let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        assert_eq!(total, (0..100i64).sum::<i64>());
+        assert!(dag.sim_total_s > dag.jobs[1].sim_total_s);
+    }
+
+    #[test]
+    fn key_comparison_orders_groups() {
+        assert_eq!(
+            cmp_keys(&[Value::Int(1), Value::Int(2)], &[Value::Int(1), Value::Int(3)]),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp_keys(&[Value::Null], &[Value::Int(0)]),
+            Ordering::Less,
+            "nulls first"
+        );
+    }
+}

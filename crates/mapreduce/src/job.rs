@@ -1,0 +1,105 @@
+//! Job descriptions: what the query planner's task compiler produces.
+
+use hive_common::{DataType, Result, Row, Schema};
+use hive_exec::graph::OperatorGraph;
+use hive_formats::{FormatKind, SearchArgument};
+use hive_vector::operators::VectorPipeline;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One scanned input of a job's Map phase.
+#[derive(Clone)]
+pub struct JobInput {
+    /// The alias rows of this input enter the map graph under.
+    pub alias: String,
+    /// Files of the table (or of a previous job's output directory).
+    pub paths: Vec<String>,
+    pub format: FormatKind,
+    pub schema: Schema,
+    /// Top-level columns the map side needs (column pruning).
+    pub projection: Option<Vec<usize>>,
+    /// Predicates pushed down to the reader (ORC PPD).
+    pub sarg: Option<SearchArgument>,
+}
+
+/// A broadcast ("distributed cache") input: small tables of Map Joins.
+/// The engine materializes the rows once and every map task loads them.
+#[derive(Clone)]
+pub struct SideInput {
+    pub alias: String,
+    pub paths: Vec<String>,
+    pub format: FormatKind,
+    pub schema: Schema,
+    pub projection: Option<Vec<usize>>,
+}
+
+/// A vectorized prefix of the map pipeline for one input alias
+/// (paper Section 6): batches flow through `pipeline`; rows it emits are
+/// pushed into the row graph at the alias's root operator.
+pub struct VectorStage {
+    pub pipeline: VectorPipeline,
+    /// Column types of the scan batch.
+    pub batch_types: Vec<DataType>,
+    pub batch_size: usize,
+}
+
+/// The per-task map pipeline: a row-mode operator graph with one entry
+/// root per input alias, plus optional vectorized prefixes.
+pub struct MapPipeline {
+    pub graph: OperatorGraph,
+    /// alias → root operator id rows are pushed into.
+    pub roots: HashMap<String, usize>,
+    /// alias → vectorized prefix; aliases absent here are row-mode scans.
+    pub vector: HashMap<String, VectorStage>,
+}
+
+/// Builds a fresh map pipeline per task. Receives the materialized side
+/// inputs (alias → rows) so Map Join hash tables can be built.
+pub type MapPipelineFactory =
+    Arc<dyn Fn(&HashMap<String, Vec<Row>>) -> Result<MapPipeline> + Send + Sync>;
+
+/// Builds a fresh reduce pipeline per reduce task: an operator graph plus
+/// the root operator the reducer driver pushes messages into.
+pub type ReducePipelineFactory = Arc<dyn Fn() -> Result<(OperatorGraph, usize)> + Send + Sync>;
+
+/// Where a job's output goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutput {
+    /// Final job: collect rows for the client.
+    Collect,
+    /// Intermediate job: write SequenceFile part files under this prefix,
+    /// to be re-read by a downstream job ("loading intermediate results
+    /// back from HDFS" — the cost Section 5.1 eliminates).
+    Intermediate { path_prefix: String },
+}
+
+/// One MapReduce job.
+pub struct JobSpec {
+    pub name: String,
+    pub inputs: Vec<JobInput>,
+    pub side_inputs: Vec<SideInput>,
+    pub map_factory: MapPipelineFactory,
+    /// `None` → Map-only job.
+    pub reduce_factory: Option<ReducePipelineFactory>,
+    pub num_reducers: usize,
+    pub output: JobOutput,
+}
+
+impl JobSpec {
+    /// Short structural description (used by EXPLAIN and tests).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {} input(s), {} side, {}, {} reducer(s), output {:?}",
+            self.name,
+            self.inputs.len(),
+            self.side_inputs.len(),
+            if self.reduce_factory.is_some() {
+                "map+reduce"
+            } else {
+                "map-only"
+            },
+            self.num_reducers,
+            self.output
+        )
+    }
+}

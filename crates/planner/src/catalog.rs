@@ -1,0 +1,37 @@
+//! The planner's view of the metastore.
+
+use hive_common::Schema;
+use hive_formats::FormatKind;
+
+/// Everything the planner needs to know about a table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub name: String,
+    pub schema: Schema,
+    pub format: FormatKind,
+    /// Files of the table in the DFS.
+    pub paths: Vec<String>,
+    /// Total on-disk bytes — drives the Map Join small-table decision.
+    pub size_bytes: u64,
+}
+
+/// Resolution of table names, implemented by the metastore.
+pub trait Catalog {
+    fn table(&self, name: &str) -> Option<TableMeta>;
+}
+
+/// An in-memory catalog for tests.
+#[derive(Debug, Default)]
+pub struct StaticCatalog {
+    pub tables: Vec<TableMeta>,
+}
+
+impl Catalog for StaticCatalog {
+    fn table(&self, name: &str) -> Option<TableMeta> {
+        let lower = name.to_ascii_lowercase();
+        self.tables
+            .iter()
+            .find(|t| t.name.to_ascii_lowercase() == lower)
+            .cloned()
+    }
+}

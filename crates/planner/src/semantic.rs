@@ -1,0 +1,1078 @@
+//! Semantic analysis: AST → resolved operator DAG.
+//!
+//! Performs name resolution against the catalog, column pruning into table
+//! scans, predicate pushdown (including SearchArgument extraction for
+//! storage-level PPD), ReduceSink insertion for joins and aggregations, and
+//! the map-side/reduce-side aggregation split.
+
+use crate::catalog::Catalog;
+use crate::plan::{
+    agg_output_type, expr_type, AggCall, ColumnInfo, GroupByPhase, PlanGraph, PlanOp,
+};
+use hive_common::config::keys;
+use hive_common::{DataType, HiveConf, HiveError, Result, Value};
+use hive_exec::agg::{parse_agg_function, AggFunction};
+use hive_exec::expr::{BinaryOp, ExprNode, UnaryOp};
+use hive_exec::operators::JoinType;
+use hive_formats::{PredicateLeaf, PredicateOp, SearchArgument};
+use hive_ql::{BinOp, Expr, JoinKind, SelectStmt, TableRef, UnOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A translated query: the operator DAG plus the driver-side finishing
+/// steps (final sort and limit; see DESIGN.md on ORDER BY handling).
+#[derive(Debug, Clone)]
+pub struct Translation {
+    pub graph: PlanGraph,
+    /// Final-output column index + ascending flag.
+    pub order_by: Vec<(usize, bool)>,
+    pub limit: Option<u64>,
+    /// Names of the final output columns.
+    pub output_names: Vec<String>,
+}
+
+/// A relation under construction: a plan node plus its column bindings.
+#[derive(Debug, Clone)]
+struct Rel {
+    node: usize,
+    /// Per output column: (binding, column name, type).
+    cols: Vec<(Option<String>, String, DataType)>,
+}
+
+impl Rel {
+    fn schema(&self) -> Vec<ColumnInfo> {
+        self.cols
+            .iter()
+            .map(|(_, n, t)| ColumnInfo::new(n.clone(), t.clone()))
+            .collect()
+    }
+
+    /// Find a column by (optional) qualifier and name.
+    fn lookup(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let name_l = name.to_ascii_lowercase();
+        let mut hits = Vec::new();
+        for (i, (binding, cname, _)) in self.cols.iter().enumerate() {
+            if cname.to_ascii_lowercase() != name_l {
+                continue;
+            }
+            match (table, binding) {
+                (Some(t), Some(b)) if t.eq_ignore_ascii_case(b) => hits.push(i),
+                (None, _) => hits.push(i),
+                _ => {}
+            }
+        }
+        match hits.len() {
+            0 => Err(HiveError::Semantic(format!(
+                "unknown column `{}{}`",
+                table.map(|t| format!("{t}.")).unwrap_or_default(),
+                name
+            ))),
+            1 => Ok(hits[0]),
+            _ => Err(HiveError::Semantic(format!("ambiguous column `{name}`"))),
+        }
+    }
+}
+
+/// Translate a SELECT into an operator DAG ending in a FileSink.
+pub fn translate(stmt: &SelectStmt, catalog: &dyn Catalog, conf: &HiveConf) -> Result<Translation> {
+    let mut g = PlanGraph::default();
+    let (rel, order_by, limit, names) = plan_select(&mut g, stmt, catalog, conf)?;
+    let schema = rel.schema();
+    g.add(PlanOp::FileSink, schema, vec![rel.node]);
+    Ok(Translation {
+        graph: g,
+        order_by,
+        limit,
+        output_names: names,
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn plan_select(
+    g: &mut PlanGraph,
+    stmt: &SelectStmt,
+    catalog: &dyn Catalog,
+    conf: &HiveConf,
+) -> Result<(Rel, Vec<(usize, bool)>, Option<u64>, Vec<String>)> {
+    // ------ 1. Column-usage pre-pass for scan pruning. -----------------
+    let bindings = collect_bindings(stmt);
+    let mut used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    {
+        let mut record = |e: &Expr| collect_columns(e, &bindings, catalog, &mut used);
+        for p in &stmt.projections {
+            record(&p.expr);
+        }
+        for j in &stmt.joins {
+            record(&j.on);
+        }
+        if let Some(w) = &stmt.where_clause {
+            record(w);
+        }
+        for e in &stmt.group_by {
+            record(e);
+        }
+        if let Some(h) = &stmt.having {
+            record(h);
+        }
+        for o in &stmt.order_by {
+            record(&o.expr);
+        }
+        // SELECT * needs everything.
+        if stmt.projections.iter().any(|p| matches!(p.expr, Expr::Star)) {
+            for (binding, tref) in &bindings {
+                if let TableRef::Table { name, .. } = tref {
+                    if let Some(meta) = catalog.table(name) {
+                        let set = used.entry(binding.clone()).or_default();
+                        for f in meta.schema.fields() {
+                            set.insert(f.name.to_ascii_lowercase());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------ 2. WHERE split by binding. ---------------------------------
+    let empty_where = Expr::Literal(Value::Boolean(true));
+    let where_expr = stmt.where_clause.as_ref().unwrap_or(&empty_where);
+    let mut per_binding: BTreeMap<String, Vec<&Expr>> = BTreeMap::new();
+    let mut post_join: Vec<&Expr> = Vec::new();
+    for conj in where_expr.conjuncts() {
+        if matches!(conj, Expr::Literal(Value::Boolean(true))) {
+            continue;
+        }
+        match owning_binding(conj, &bindings, catalog) {
+            Some(b) => per_binding.entry(b).or_default().push(conj),
+            None => post_join.push(conj),
+        }
+    }
+
+    // ------ 3. Base relations with pushed-down filters. -----------------
+    let build_rel = |g: &mut PlanGraph, tref: &TableRef| -> Result<Rel> {
+        let binding = tref.binding().to_string();
+        let mut rel = plan_table_ref(g, tref, catalog, conf, used.get(&binding))?;
+        if let Some(conjs) = per_binding.get(&binding) {
+            // Storage-level pushdown into the scan, then a residual Filter
+            // (ORC may return whole index groups; the Filter stays correct).
+            let pred = conjs
+                .iter()
+                .map(|e| resolve(e, &rel))
+                .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .reduce(|a, b| ExprNode::binary(BinaryOp::And, a, b))
+                .unwrap();
+            if conf.get_bool(keys::OPT_PPD_STORAGE).unwrap_or(true) {
+                attach_sarg(g, &rel, &pred);
+            }
+            let schema = rel.schema();
+            let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![rel.node]);
+            rel.node = f;
+        }
+        Ok(rel)
+    };
+
+    let mut acc = build_rel(g, &stmt.from)?;
+
+    // ------ 4. Joins (left-deep chain of binary reduce joins). ----------
+    for join in &stmt.joins {
+        let right = build_rel(g, &join.table)?;
+        let (equi, residual) = split_join_condition(&join.on, &acc, &right)?;
+        if equi.is_empty() {
+            return Err(HiveError::Semantic(
+                "join without an equality condition is not supported".into(),
+            ));
+        }
+        let num_reducers = conf.get_usize(keys::REDUCE_TASKS)?.max(1);
+        let kind = match join.kind {
+            JoinKind::Inner => JoinType::Inner,
+            JoinKind::LeftOuter => JoinType::LeftOuter,
+            JoinKind::RightOuter => JoinType::RightOuter,
+            JoinKind::FullOuter => JoinType::FullOuter,
+        };
+        acc = add_reduce_join(g, acc, right, &equi, kind, num_reducers)?;
+        for r in residual {
+            let pred = resolve_owned(r, &acc)?;
+            let schema = acc.schema();
+            let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![acc.node]);
+            acc.node = f;
+        }
+    }
+
+    // ------ 5. Post-join WHERE conjuncts. --------------------------------
+    for conj in post_join {
+        let pred = resolve(conj, &acc)?;
+        let schema = acc.schema();
+        let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![acc.node]);
+        acc.node = f;
+    }
+
+    // ------ 6. Aggregation. ----------------------------------------------
+    let mut agg_calls: Vec<Expr> = Vec::new();
+    for p in &stmt.projections {
+        collect_agg_calls(&p.expr, &mut agg_calls);
+    }
+    if let Some(h) = &stmt.having {
+        collect_agg_calls(h, &mut agg_calls);
+    }
+    for o in &stmt.order_by {
+        collect_agg_calls(&o.expr, &mut agg_calls);
+    }
+    let has_agg = !agg_calls.is_empty() || !stmt.group_by.is_empty();
+
+    let (final_rel, group_subst): (Rel, Option<GroupSubst>) = if has_agg {
+        let (rel, subst) = add_aggregation(g, acc, &stmt.group_by, &agg_calls, conf)?;
+        (rel, Some(subst))
+    } else {
+        (acc, None)
+    };
+
+    // ------ 7. HAVING. -----------------------------------------------------
+    let mut final_rel = final_rel;
+    if let Some(h) = &stmt.having {
+        let pred = match &group_subst {
+            Some(s) => resolve_with_groups(h, s, &final_rel)?,
+            None => resolve(h, &final_rel)?,
+        };
+        let schema = final_rel.schema();
+        let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![final_rel.node]);
+        final_rel.node = f;
+    }
+
+    // ------ 8. Final projection. ------------------------------------------
+    let mut out_exprs = Vec::new();
+    let mut out_cols = Vec::new();
+    let mut out_names = Vec::new();
+    for (i, p) in stmt.projections.iter().enumerate() {
+        if matches!(p.expr, Expr::Star) {
+            for (c, (b, n, t)) in final_rel.cols.iter().enumerate() {
+                out_exprs.push(ExprNode::col(c));
+                out_cols.push((b.clone(), n.clone(), t.clone()));
+                out_names.push(n.clone());
+            }
+            continue;
+        }
+        let e = match &group_subst {
+            Some(s) => resolve_with_groups(&p.expr, s, &final_rel)?,
+            None => resolve(&p.expr, &final_rel)?,
+        };
+        let t = expr_type(&e, &final_rel.schema())?;
+        let name = p
+            .alias
+            .clone()
+            .unwrap_or_else(|| match &p.expr {
+                Expr::Column { name, .. } => name.clone(),
+                _ => format!("_c{i}"),
+            });
+        out_exprs.push(e);
+        out_cols.push((None, name.clone(), t));
+        out_names.push(name);
+    }
+    let out_schema: Vec<ColumnInfo> = out_cols
+        .iter()
+        .map(|(_, n, t)| ColumnInfo::new(n.clone(), t.clone()))
+        .collect();
+    let sel = g.add(
+        PlanOp::Select { exprs: out_exprs.clone() },
+        out_schema,
+        vec![final_rel.node],
+    );
+    let mut result = Rel {
+        node: sel,
+        cols: out_cols,
+    };
+
+    // ------ 9. ORDER BY: resolve to output positions (driver-side sort). --
+    let mut order_by = Vec::new();
+    for o in &stmt.order_by {
+        let idx = resolve_order_item(&o.expr, stmt, &out_names, &group_subst, &final_rel, &out_exprs)?;
+        order_by.push((idx, o.ascending));
+    }
+
+    // ------ 10. LIMIT (plan-level only when no final sort is pending). ----
+    let limit = stmt.limit;
+    if let Some(n) = limit {
+        if order_by.is_empty() {
+            let schema = result.schema();
+            let l = g.add(PlanOp::Limit(n), schema, vec![result.node]);
+            result.node = l;
+        }
+    }
+
+    Ok((result, order_by, limit, out_names))
+}
+
+/// Collect `(binding, table_ref)` pairs from the FROM clause.
+fn collect_bindings(stmt: &SelectStmt) -> Vec<(String, TableRef)> {
+    let mut out = vec![(stmt.from.binding().to_string(), stmt.from.clone())];
+    for j in &stmt.joins {
+        out.push((j.table.binding().to_string(), j.table.clone()));
+    }
+    out
+}
+
+/// Record every column reference of `e` against its owning binding.
+fn collect_columns(
+    e: &Expr,
+    bindings: &[(String, TableRef)],
+    catalog: &dyn Catalog,
+    used: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    match e {
+        Expr::Column { table, name } => {
+            let name_l = name.to_ascii_lowercase();
+            match table {
+                Some(t) => {
+                    used.entry(t.to_ascii_lowercase()).or_default().insert(name_l);
+                }
+                None => {
+                    // Attribute to whichever binding's table has the column.
+                    for (binding, tref) in bindings {
+                        let has = match tref {
+                            TableRef::Table { name: tname, .. } => catalog
+                                .table(tname)
+                                .map(|m| m.schema.index_of(name).is_ok())
+                                .unwrap_or(false),
+                            TableRef::Subquery { query, .. } => query.projections.iter().any(|p| {
+                                p.alias.as_deref().map(|a| a.eq_ignore_ascii_case(name)).unwrap_or(
+                                    matches!(&p.expr, Expr::Column { name: n, .. } if n.eq_ignore_ascii_case(name)),
+                                )
+                            }),
+                        };
+                        if has {
+                            used.entry(binding.to_ascii_lowercase())
+                                .or_default()
+                                .insert(name_l.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, bindings, catalog, used);
+            collect_columns(right, bindings, catalog, used);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_columns(expr, bindings, catalog, used)
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_columns(a, bindings, catalog, used);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_columns(expr, bindings, catalog, used);
+            collect_columns(lo, bindings, catalog, used);
+            collect_columns(hi, bindings, catalog, used);
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, bindings, catalog, used),
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, bindings, catalog, used);
+            for l in list {
+                collect_columns(l, bindings, catalog, used);
+            }
+        }
+        Expr::Case { branches, else_value } => {
+            for (c, v) in branches {
+                collect_columns(c, bindings, catalog, used);
+                collect_columns(v, bindings, catalog, used);
+            }
+            if let Some(e) = else_value {
+                collect_columns(e, bindings, catalog, used);
+            }
+        }
+        Expr::Literal(_) | Expr::Star => {}
+    }
+}
+
+/// The single binding `e` references, or None (zero or several).
+fn owning_binding(
+    e: &Expr,
+    bindings: &[(String, TableRef)],
+    catalog: &dyn Catalog,
+) -> Option<String> {
+    let mut used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    collect_columns(e, bindings, catalog, &mut used);
+    let refs: Vec<&String> = used.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| k).collect();
+    if refs.len() == 1 {
+        Some(refs[0].clone())
+    } else {
+        None
+    }
+}
+
+/// Plan a FROM-clause table reference.
+fn plan_table_ref(
+    g: &mut PlanGraph,
+    tref: &TableRef,
+    catalog: &dyn Catalog,
+    conf: &HiveConf,
+    used: Option<&BTreeSet<String>>,
+) -> Result<Rel> {
+    match tref {
+        TableRef::Table { name, alias } => {
+            let meta = catalog
+                .table(name)
+                .ok_or_else(|| HiveError::Semantic(format!("unknown table `{name}`")))?;
+            let binding = alias.clone().unwrap_or_else(|| name.clone());
+            // Column pruning: only the referenced columns are scanned.
+            let projection: Vec<usize> = match used {
+                Some(set) if !set.is_empty() => meta
+                    .schema
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| set.contains(&f.name.to_ascii_lowercase()))
+                    .map(|(i, _)| i)
+                    .collect(),
+                _ => (0..meta.schema.len()).collect(),
+            };
+            let projection = if projection.is_empty() {
+                vec![0] // always scan something (COUNT(*)-only queries)
+            } else {
+                projection
+            };
+            let cols: Vec<(Option<String>, String, DataType)> = projection
+                .iter()
+                .map(|&i| {
+                    let f = meta.schema.field(i);
+                    (
+                        Some(binding.clone()),
+                        f.name.clone(),
+                        f.data_type.clone(),
+                    )
+                })
+                .collect();
+            let schema: Vec<ColumnInfo> = cols
+                .iter()
+                .map(|(_, n, t)| ColumnInfo::new(n.clone(), t.clone()))
+                .collect();
+            let node = g.add(
+                PlanOp::TableScan {
+                    alias: binding.clone(),
+                    table: meta,
+                    projection,
+                    sarg: None,
+                },
+                schema,
+                vec![],
+            );
+            Ok(Rel { node, cols })
+        }
+        TableRef::Subquery { query, alias } => {
+            let (mut rel, order, _limit, _names) = plan_select(g, query, catalog, conf)?;
+            if !order.is_empty() {
+                return Err(HiveError::Semantic(
+                    "ORDER BY in FROM-clause subqueries is not supported".into(),
+                ));
+            }
+            // Re-bind output columns under the subquery alias.
+            for c in rel.cols.iter_mut() {
+                c.0 = Some(alias.clone());
+            }
+            Ok(rel)
+        }
+    }
+}
+
+/// Resolve an AST expression against a relation.
+fn resolve(e: &Expr, rel: &Rel) -> Result<ExprNode> {
+    Ok(match e {
+        Expr::Column { table, name } => ExprNode::Column(rel.lookup(table.as_deref(), name)?),
+        Expr::Literal(v) => ExprNode::Literal(v.clone()),
+        Expr::Binary { op, left, right } => ExprNode::Binary {
+            op: convert_binop(*op),
+            left: Box::new(resolve(left, rel)?),
+            right: Box::new(resolve(right, rel)?),
+        },
+        Expr::Unary { op, expr } => ExprNode::Unary {
+            op: match op {
+                UnOp::Neg => UnaryOp::Neg,
+                UnOp::Not => UnaryOp::Not,
+            },
+            expr: Box::new(resolve(expr, rel)?),
+        },
+        Expr::Between { expr, lo, hi, negated } => ExprNode::Between {
+            expr: Box::new(resolve(expr, rel)?),
+            lo: Box::new(resolve(lo, rel)?),
+            hi: Box::new(resolve(hi, rel)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => ExprNode::IsNull {
+            expr: Box::new(resolve(expr, rel)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => ExprNode::InList {
+            expr: Box::new(resolve(expr, rel)?),
+            list: list.iter().map(|l| resolve(l, rel)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Cast { expr, target } => ExprNode::Cast {
+            expr: Box::new(resolve(expr, rel)?),
+            target: target.clone(),
+        },
+        Expr::Case { branches, else_value } => ExprNode::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((resolve(c, rel)?, resolve(v, rel)?)))
+                .collect::<Result<_>>()?,
+            else_value: match else_value {
+                Some(e) => Some(Box::new(resolve(e, rel)?)),
+                None => None,
+            },
+        },
+        Expr::Function { name, .. } => {
+            return Err(HiveError::Semantic(format!(
+                "function `{name}` is not valid here (aggregates need GROUP BY context; \
+                 scalar UDFs are not supported)"
+            )))
+        }
+        Expr::Star => {
+            return Err(HiveError::Semantic("`*` is only valid in COUNT(*)".into()))
+        }
+    })
+}
+
+fn resolve_owned(e: &Expr, rel: &Rel) -> Result<ExprNode> {
+    resolve(e, rel)
+}
+
+fn convert_binop(op: BinOp) -> BinaryOp {
+    match op {
+        BinOp::Add => BinaryOp::Add,
+        BinOp::Subtract => BinaryOp::Subtract,
+        BinOp::Multiply => BinaryOp::Multiply,
+        BinOp::Divide => BinaryOp::Divide,
+        BinOp::Modulo => BinaryOp::Modulo,
+        BinOp::Eq => BinaryOp::Eq,
+        BinOp::NotEq => BinaryOp::NotEq,
+        BinOp::Lt => BinaryOp::Lt,
+        BinOp::LtEq => BinaryOp::LtEq,
+        BinOp::Gt => BinaryOp::Gt,
+        BinOp::GtEq => BinaryOp::GtEq,
+        BinOp::And => BinaryOp::And,
+        BinOp::Or => BinaryOp::Or,
+    }
+}
+
+/// Extract a SearchArgument from scan-level conjuncts and attach it
+/// (column indexes refer to the *table schema*, pre-projection).
+fn attach_sarg(g: &mut PlanGraph, rel: &Rel, pred: &ExprNode) {
+    let node = rel.node;
+    let projection = match &g.node(node).op {
+        PlanOp::TableScan { projection, .. } => projection.clone(),
+        _ => return,
+    };
+    let mut leaves = Vec::new();
+    collect_sarg_leaves(pred, &projection, &mut leaves);
+    if !leaves.is_empty() {
+        if let PlanOp::TableScan { sarg: s, .. } = &mut g.node_mut(node).op {
+            *s = Some(SearchArgument::new(leaves));
+        }
+    }
+}
+
+fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<PredicateLeaf>) {
+    match e {
+        ExprNode::Binary { op: BinaryOp::And, left, right } => {
+            collect_sarg_leaves(left, projection, out);
+            collect_sarg_leaves(right, projection, out);
+        }
+        ExprNode::Binary { op, left, right } => {
+            let mapped = |i: usize| projection.get(i).copied();
+            let (col, lit, op) = match (&**left, &**right) {
+                (ExprNode::Column(i), ExprNode::Literal(v)) => (mapped(*i), v.clone(), *op),
+                (ExprNode::Literal(v), ExprNode::Column(i)) => {
+                    // Flip the comparison: lit OP col ≡ col OP' lit.
+                    let flipped = match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => *other,
+                    };
+                    (mapped(*i), v.clone(), flipped)
+                }
+                _ => return,
+            };
+            let Some(col) = col else { return };
+            let pop = match op {
+                BinaryOp::Eq => PredicateOp::Equals,
+                BinaryOp::NotEq => PredicateOp::NotEquals,
+                BinaryOp::Lt => PredicateOp::LessThan,
+                BinaryOp::LtEq => PredicateOp::LessThanEquals,
+                BinaryOp::Gt => PredicateOp::GreaterThan,
+                BinaryOp::GtEq => PredicateOp::GreaterThanEquals,
+                _ => return,
+            };
+            out.push(PredicateLeaf::new(col, pop, Some(lit)));
+        }
+        ExprNode::Between { expr, lo, hi, negated: false } => {
+            if let (ExprNode::Column(i), ExprNode::Literal(l), ExprNode::Literal(h)) =
+                (&**expr, &**lo, &**hi)
+            {
+                if let Some(col) = projection.get(*i).copied() {
+                    out.push(PredicateLeaf::between(col, l.clone(), h.clone()));
+                }
+            }
+        }
+        ExprNode::IsNull { expr, negated } => {
+            if let ExprNode::Column(i) = &**expr {
+                if let Some(col) = projection.get(*i).copied() {
+                    out.push(PredicateLeaf::new(
+                        col,
+                        if *negated {
+                            PredicateOp::IsNotNull
+                        } else {
+                            PredicateOp::IsNull
+                        },
+                        None,
+                    ));
+                }
+            }
+        }
+        ExprNode::InList { expr, list, negated: false } => {
+            if let ExprNode::Column(i) = &**expr {
+                let values: Option<Vec<_>> = list
+                    .iter()
+                    .map(|e| match e {
+                        ExprNode::Literal(v) => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                if let (Some(col), Some(values)) = (projection.get(*i).copied(), values) {
+                    out.push(PredicateLeaf::in_list(col, values));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Split a join condition into equi-key pairs `(left_expr, right_expr)`
+/// and residual conjuncts.
+#[allow(clippy::type_complexity)]
+fn split_join_condition<'a>(
+    on: &'a Expr,
+    left: &Rel,
+    right: &Rel,
+) -> Result<(Vec<(ExprNode, ExprNode)>, Vec<&'a Expr>)> {
+    let mut equi = Vec::new();
+    let mut residual = Vec::new();
+    for conj in on.conjuncts() {
+        if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = conj {
+            // Try (a over left, b over right), then flipped.
+            if let (Ok(l), Ok(r)) = (resolve(a, left), resolve(b, right)) {
+                equi.push((l, r));
+                continue;
+            }
+            if let (Ok(l), Ok(r)) = (resolve(b, left), resolve(a, right)) {
+                equi.push((l, r));
+                continue;
+            }
+        }
+        residual.push(conj);
+    }
+    Ok((equi, residual))
+}
+
+/// Insert RS + RS + Join for a binary reduce join. The joined row layout is
+/// `[l_keys, l_cols, r_keys, r_cols]` because reduce-side rows arrive as
+/// key ++ value.
+fn add_reduce_join(
+    g: &mut PlanGraph,
+    left: Rel,
+    right: Rel,
+    equi: &[(ExprNode, ExprNode)],
+    kind: JoinType,
+    num_reducers: usize,
+) -> Result<Rel> {
+    let nk = equi.len();
+    let lkeys: Vec<ExprNode> = equi.iter().map(|(l, _)| l.clone()).collect();
+    let rkeys: Vec<ExprNode> = equi.iter().map(|(_, r)| r.clone()).collect();
+    let lvals: Vec<ExprNode> = (0..left.cols.len()).map(ExprNode::col).collect();
+    let rvals: Vec<ExprNode> = (0..right.cols.len()).map(ExprNode::col).collect();
+
+    let key_types: Vec<DataType> = lkeys
+        .iter()
+        .map(|e| expr_type(e, &left.schema()))
+        .collect::<Result<_>>()?;
+
+    let mut rs_schema_l: Vec<ColumnInfo> = key_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ColumnInfo::new(format!("_key{i}"), t.clone()))
+        .collect();
+    rs_schema_l.extend(left.schema());
+    let mut rs_schema_r: Vec<ColumnInfo> = key_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ColumnInfo::new(format!("_key{i}"), t.clone()))
+        .collect();
+    rs_schema_r.extend(right.schema());
+
+    let rs_l = g.add(
+        PlanOp::ReduceSink {
+            keys: lkeys,
+            values: lvals,
+            num_reducers,
+            degenerate: false,
+        },
+        rs_schema_l.clone(),
+        vec![left.node],
+    );
+    let rs_r = g.add(
+        PlanOp::ReduceSink {
+            keys: rkeys,
+            values: rvals,
+            num_reducers,
+            degenerate: false,
+        },
+        rs_schema_r.clone(),
+        vec![right.node],
+    );
+
+    let mut cols: Vec<(Option<String>, String, DataType)> = Vec::new();
+    for i in 0..nk {
+        cols.push((None, format!("_lkey{i}"), key_types[i].clone()));
+    }
+    cols.extend(left.cols.iter().cloned());
+    for i in 0..nk {
+        cols.push((None, format!("_rkey{i}"), key_types[i].clone()));
+    }
+    cols.extend(right.cols.iter().cloned());
+    let schema: Vec<ColumnInfo> = cols
+        .iter()
+        .map(|(_, n, t)| ColumnInfo::new(n.clone(), t.clone()))
+        .collect();
+
+    let join = g.add(
+        PlanOp::Join {
+            kind,
+            input_widths: vec![nk + left.cols.len(), nk + right.cols.len()],
+        },
+        schema,
+        vec![rs_l, rs_r],
+    );
+    Ok(Rel { node: join, cols })
+}
+
+/// The substitution context built by aggregation planning.
+#[derive(Debug, Clone)]
+struct GroupSubst {
+    /// Resolved group expressions (over the pre-GBY rel) → output position.
+    groups: Vec<(ExprNode, usize)>,
+    /// Aggregate calls: (function, resolved arg) → output position.
+    aggs: Vec<(AggFunction, Option<ExprNode>, usize)>,
+    /// The pre-aggregation relation (for resolving inner expressions).
+    input_rel: Rel,
+}
+
+/// Insert map-side hash GBY → RS → reduce-side merge GBY.
+fn add_aggregation(
+    g: &mut PlanGraph,
+    input: Rel,
+    group_by: &[Expr],
+    agg_calls: &[Expr],
+    conf: &HiveConf,
+) -> Result<(Rel, GroupSubst)> {
+    let nk = group_by.len();
+    let mut key_exprs = Vec::with_capacity(nk);
+    let mut key_infos = Vec::with_capacity(nk);
+    for (i, e) in group_by.iter().enumerate() {
+        let r = resolve(e, &input)?;
+        let t = expr_type(&r, &input.schema())?;
+        let name = match e {
+            Expr::Column { name, .. } => name.clone(),
+            _ => format!("_gk{i}"),
+        };
+        key_exprs.push(r);
+        key_infos.push(ColumnInfo::new(name, t));
+    }
+
+    let mut calls = Vec::with_capacity(agg_calls.len());
+    let mut subst_aggs = Vec::new();
+    for (i, e) in agg_calls.iter().enumerate() {
+        let Expr::Function { name, args, distinct } = e else {
+            return Err(HiveError::Semantic("expected aggregate call".into()));
+        };
+        if *distinct {
+            return Err(HiveError::Semantic(
+                "DISTINCT aggregates are not supported".into(),
+            ));
+        }
+        let star = matches!(args.first(), Some(Expr::Star));
+        let function = parse_agg_function(name, star)
+            .ok_or_else(|| HiveError::Semantic(format!("unknown aggregate `{name}`")))?;
+        let arg = if star || args.is_empty() {
+            None
+        } else {
+            Some(resolve(&args[0], &input)?)
+        };
+        let arg_type = match &arg {
+            Some(a) => Some(expr_type(a, &input.schema())?),
+            None => None,
+        };
+        let out_type = agg_output_type(function, arg_type.as_ref());
+        subst_aggs.push((function, arg.clone(), nk + i));
+        calls.push(AggCall {
+            function,
+            arg,
+            output_name: format!("_agg{i}"),
+            output_type: out_type,
+        });
+    }
+
+    // Map-side partial aggregation.
+    let mut map_schema = key_infos.clone();
+    for c in &calls {
+        // Partial AVG travels as a struct(sum, count).
+        let t = if c.function == AggFunction::Avg {
+            DataType::Struct(vec![
+                ("sum".into(), DataType::Double),
+                ("cnt".into(), DataType::Int),
+            ])
+        } else {
+            c.output_type.clone()
+        };
+        map_schema.push(ColumnInfo::new(c.output_name.clone(), t));
+    }
+    let map_gby = g.add(
+        PlanOp::GroupBy {
+            phase: GroupByPhase::MapHash,
+            keys: key_exprs.clone(),
+            aggs: calls.clone(),
+        },
+        map_schema.clone(),
+        vec![input.node],
+    );
+
+    // Shuffle on the group keys.
+    let num_reducers = if nk == 0 {
+        1
+    } else {
+        conf.get_usize(keys::REDUCE_TASKS)?.max(1)
+    };
+    let rs_keys: Vec<ExprNode> = (0..nk).map(ExprNode::col).collect();
+    let rs_values: Vec<ExprNode> = (nk..nk + calls.len()).map(ExprNode::col).collect();
+    let rs = g.add(
+        PlanOp::ReduceSink {
+            keys: rs_keys,
+            values: rs_values,
+            num_reducers,
+            degenerate: false,
+        },
+        map_schema.clone(),
+        vec![map_gby],
+    );
+
+    // Reduce-side merge.
+    let merge_calls: Vec<AggCall> = calls
+        .iter()
+        .enumerate()
+        .map(|(i, c)| AggCall {
+            function: c.function,
+            arg: Some(ExprNode::col(nk + i)),
+            output_name: c.output_name.clone(),
+            output_type: c.output_type.clone(),
+        })
+        .collect();
+    let mut out_schema = key_infos.clone();
+    for c in &calls {
+        out_schema.push(ColumnInfo::new(c.output_name.clone(), c.output_type.clone()));
+    }
+    let merge_gby = g.add(
+        PlanOp::GroupBy {
+            phase: GroupByPhase::ReduceMerge,
+            keys: (0..nk).map(ExprNode::col).collect(),
+            aggs: merge_calls,
+        },
+        out_schema.clone(),
+        vec![rs],
+    );
+
+    let cols: Vec<(Option<String>, String, DataType)> = out_schema
+        .iter()
+        .map(|c| (None, c.name.clone(), c.data_type.clone()))
+        .collect();
+    let subst = GroupSubst {
+        groups: key_exprs.into_iter().enumerate().map(|(i, e)| (e, i)).collect(),
+        aggs: subst_aggs,
+        input_rel: input,
+    };
+    Ok((
+        Rel {
+            node: merge_gby,
+            cols,
+        },
+        subst,
+    ))
+}
+
+/// Resolve an expression over the aggregation output: group expressions and
+/// aggregate calls become column references; anything else must be composed
+/// of them.
+fn resolve_with_groups(e: &Expr, subst: &GroupSubst, out_rel: &Rel) -> Result<ExprNode> {
+    // An aggregate call?
+    if let Expr::Function { name, args, .. } = e {
+        let star = matches!(args.first(), Some(Expr::Star));
+        if let Some(f) = parse_agg_function(name, star) {
+            let arg = if star || args.is_empty() {
+                None
+            } else {
+                Some(resolve(&args[0], &subst.input_rel)?)
+            };
+            for (af, aarg, idx) in &subst.aggs {
+                if *af == f && *aarg == arg {
+                    return Ok(ExprNode::col(*idx));
+                }
+            }
+            return Err(HiveError::Semantic(format!(
+                "aggregate `{name}` was not collected during planning"
+            )));
+        }
+    }
+    // A group expression (structurally, after resolution)?
+    if let Ok(resolved) = resolve(e, &subst.input_rel) {
+        for (ge, idx) in &subst.groups {
+            if *ge == resolved {
+                return Ok(ExprNode::col(*idx));
+            }
+        }
+        // A bare column that is not grouped is an error; composite
+        // expressions may still decompose below.
+        if matches!(e, Expr::Column { .. }) {
+            return Err(HiveError::Semantic(format!(
+                "column {e:?} is neither grouped nor aggregated"
+            )));
+        }
+    }
+    // Recurse structurally.
+    Ok(match e {
+        Expr::Literal(v) => ExprNode::Literal(v.clone()),
+        Expr::Binary { op, left, right } => ExprNode::Binary {
+            op: convert_binop(*op),
+            left: Box::new(resolve_with_groups(left, subst, out_rel)?),
+            right: Box::new(resolve_with_groups(right, subst, out_rel)?),
+        },
+        Expr::Unary { op, expr } => ExprNode::Unary {
+            op: match op {
+                UnOp::Neg => UnaryOp::Neg,
+                UnOp::Not => UnaryOp::Not,
+            },
+            expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
+        },
+        Expr::Between { expr, lo, hi, negated } => ExprNode::Between {
+            expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
+            lo: Box::new(resolve_with_groups(lo, subst, out_rel)?),
+            hi: Box::new(resolve_with_groups(hi, subst, out_rel)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => ExprNode::IsNull {
+            expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => ExprNode::InList {
+            expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
+            list: list
+                .iter()
+                .map(|l| resolve_with_groups(l, subst, out_rel))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Cast { expr, target } => ExprNode::Cast {
+            expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
+            target: target.clone(),
+        },
+        Expr::Case { branches, else_value } => ExprNode::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    Ok((
+                        resolve_with_groups(c, subst, out_rel)?,
+                        resolve_with_groups(v, subst, out_rel)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_value: match else_value {
+                Some(x) => Some(Box::new(resolve_with_groups(x, subst, out_rel)?)),
+                None => None,
+            },
+        },
+        other => {
+            return Err(HiveError::Semantic(format!(
+                "cannot resolve {other:?} over the aggregation output"
+            )))
+        }
+    })
+}
+
+fn collect_agg_calls(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Function { name, args, .. } => {
+            let star = matches!(args.first(), Some(Expr::Star));
+            if parse_agg_function(name, star).is_some() {
+                if !out.contains(e) {
+                    out.push(e.clone());
+                }
+                return;
+            }
+            for a in args {
+                collect_agg_calls(a, out);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_agg_calls(left, out);
+            collect_agg_calls(right, out);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => collect_agg_calls(expr, out),
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_agg_calls(expr, out);
+            collect_agg_calls(lo, out);
+            collect_agg_calls(hi, out);
+        }
+        Expr::IsNull { expr, .. } => collect_agg_calls(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_agg_calls(expr, out);
+            for l in list {
+                collect_agg_calls(l, out);
+            }
+        }
+        Expr::Case { branches, else_value } => {
+            for (c, v) in branches {
+                collect_agg_calls(c, out);
+                collect_agg_calls(v, out);
+            }
+            if let Some(e) = else_value {
+                collect_agg_calls(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Resolve one ORDER BY item to a final-output column index.
+fn resolve_order_item(
+    e: &Expr,
+    _stmt: &SelectStmt,
+    out_names: &[String],
+    subst: &Option<GroupSubst>,
+    final_rel: &Rel,
+    out_exprs: &[ExprNode],
+) -> Result<usize> {
+    // By alias / output name.
+    if let Expr::Column { table: None, name } = e {
+        if let Some(i) = out_names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
+            return Ok(i);
+        }
+    }
+    // By matching the projected expression.
+    let resolved = match subst {
+        Some(s) => resolve_with_groups(e, s, final_rel)?,
+        None => resolve(e, final_rel)?,
+    };
+    if let Some(i) = out_exprs.iter().position(|x| *x == resolved) {
+        return Ok(i);
+    }
+    Err(HiveError::Semantic(format!(
+        "ORDER BY expression {e:?} is not in the select list"
+    )))
+}

@@ -1,0 +1,286 @@
+//! The abstract syntax tree produced by the parser — what Hive's Driver
+//! hands to the Planner (paper Section 2).
+
+use hive_common::{DataType, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable(CreateTableStmt),
+    /// `EXPLAIN <select>` — plan without executing.
+    Explain(Box<Statement>),
+    /// `DESCRIBE <table>` — column names and types.
+    Describe(String),
+}
+
+/// `CREATE TABLE name (col type, ...) STORED AS format`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStmt {
+    pub name: String,
+    pub columns: Vec<(String, DataType)>,
+    /// `STORED AS <format>` spelling, if present.
+    pub stored_as: Option<String>,
+}
+
+/// A (possibly nested) SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub projections: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+/// One projected expression with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// A FROM-clause source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    /// Derived table: `(SELECT ...) alias`.
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this source binds in scope.
+    pub fn binding(&self) -> &str {
+        match self {
+            TableRef::Table { alias: Some(a), .. } => a,
+            TableRef::Table { name, .. } => name,
+            TableRef::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    FullOuter,
+}
+
+/// `JOIN <table> ON <condition>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// `ORDER BY expr [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Subtract,
+    Multiply,
+    Divide,
+    Modulo,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// A scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[table.]column`.
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    /// `f(args)`; aggregates (`sum`, `count`, `avg`, `min`, `max`) included.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `*` in `COUNT(*)`.
+    Star,
+    /// CAST(expr AS type).
+    Cast {
+        expr: Box<Expr>,
+        target: DataType,
+    },
+    /// `CASE WHEN cond THEN v ... [ELSE v] END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_value: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column {
+            table: Some(table.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Whether this expression tree contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, .. }
+                if matches!(name.as_str(), "sum" | "count" | "avg" | "min" | "max") =>
+            {
+                true
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::has_aggregate),
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Unary { expr, .. } => expr.has_aggregate(),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.has_aggregate() || lo.has_aggregate() || hi.has_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.has_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
+            }
+            Expr::Cast { expr, .. } => expr.has_aggregate(),
+            Expr::Case { branches, else_value } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.has_aggregate() || v.has_aggregate())
+                    || else_value.as_ref().is_some_and(|e| e.has_aggregate())
+            }
+            _ => false,
+        }
+    }
+
+    /// Split a conjunction into its AND-ed factors.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::And, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+        };
+        assert!(agg.has_aggregate());
+        let nested = Expr::binary(BinOp::Add, agg, Expr::Literal(Value::Int(1)));
+        assert!(nested.has_aggregate());
+        assert!(!Expr::col("x").has_aggregate());
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef::Table {
+            name: "big1".into(),
+            alias: Some("b".into()),
+        };
+        assert_eq!(t.binding(), "b");
+    }
+}

@@ -1,0 +1,15 @@
+//! HiveQL front end: lexer, AST and recursive-descent parser.
+//!
+//! Hive "exposes its own dialect of SQL to users" (paper Section 1); the
+//! Driver parses a statement into an AST and hands it to the Planner
+//! (Section 2). This crate covers the dialect subset exercised by the
+//! paper's workloads: SELECT with joins (including subqueries in FROM),
+//! WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, aggregate functions, and
+//! CREATE TABLE with complex types.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse;

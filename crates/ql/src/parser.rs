@@ -1,0 +1,776 @@
+#![allow(clippy::if_same_then_else)] // alias parsing: `AS x` and bare `x` share a body
+//! Recursive-descent parser for the HiveQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use hive_common::{DataType, HiveError, Result, Value};
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Statement> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_semi();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> String {
+        let t = &self.tokens[self.pos];
+        format!("{}:{}", t.line, t.col)
+    }
+
+    fn error(&self, msg: &str) -> HiveError {
+        HiveError::Parse(format!("{msg} at {}", self.here()))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.eat(&TokenKind::Semi) {}
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+        }
+        if self.peek().is_kw("select") {
+            return Ok(Statement::Select(self.parse_select()?));
+        }
+        if self.eat_kw("create") {
+            return self.parse_create_table();
+        }
+        if self.eat_kw("describe") || self.eat_kw("desc") {
+            let name = self.ident("table name")?;
+            return Ok(Statement::Describe(name));
+        }
+        Err(self.error("expected SELECT, CREATE TABLE, DESCRIBE or EXPLAIN"))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        // Optional IF NOT EXISTS.
+        if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+        }
+        let name = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            let cname = self.ident("column name")?;
+            let ctype = self.parse_data_type()?;
+            columns.push((cname, ctype));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let mut stored_as = None;
+        if self.eat_kw("stored") {
+            self.expect_kw("as")?;
+            stored_as = Some(self.ident("format name")?);
+        }
+        Ok(Statement::CreateTable(CreateTableStmt {
+            name,
+            columns,
+            stored_as,
+        }))
+    }
+
+    /// Parse a type, consuming tokens: primitives or complex with `<...>`.
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let base = self.ident("type name")?;
+        match base.as_str() {
+            "array" => {
+                self.expect(&TokenKind::Lt, "`<`")?;
+                let elem = self.parse_data_type()?;
+                self.close_angle()?;
+                Ok(DataType::Array(Box::new(elem)))
+            }
+            "map" => {
+                self.expect(&TokenKind::Lt, "`<`")?;
+                let k = self.parse_data_type()?;
+                self.expect(&TokenKind::Comma, "`,`")?;
+                let v = self.parse_data_type()?;
+                self.close_angle()?;
+                Ok(DataType::Map(Box::new(k), Box::new(v)))
+            }
+            "struct" => {
+                self.expect(&TokenKind::Lt, "`<`")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident("field name")?;
+                    // Hive spells struct fields `name:type`; the bare
+                    // `name type` form is accepted too.
+                    self.eat(&TokenKind::Colon);
+                    let ftype = self.parse_data_type()?;
+                    fields.push((fname, ftype));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.close_angle()?;
+                Ok(DataType::Struct(fields))
+            }
+            "uniontype" | "union" => {
+                self.expect(&TokenKind::Lt, "`<`")?;
+                let mut alts = Vec::new();
+                loop {
+                    alts.push(self.parse_data_type()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.close_angle()?;
+                Ok(DataType::Union(alts))
+            }
+            prim => DataType::parse(prim),
+        }
+    }
+
+    /// `>` possibly produced as `>=`? No — only plain Gt closes generics.
+    fn close_angle(&mut self) -> Result<()> {
+        self.expect(&TokenKind::Gt, "`>`")
+    }
+
+    pub(crate) fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut projections = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                projections.push(SelectItem {
+                    expr: Expr::Star,
+                    alias: None,
+                });
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("alias")?)
+                } else if matches!(self.peek(), TokenKind::Ident(s) if !is_clause_kw(s)) {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                projections.push(SelectItem { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("join") {
+                JoinKind::Inner
+            } else if self.peek().is_kw("inner") {
+                self.advance();
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.peek().is_kw("left") {
+                self.advance();
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::LeftOuter
+            } else if self.peek().is_kw("right") {
+                self.advance();
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::RightOuter
+            } else if self.peek().is_kw("full") {
+                self.advance();
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::FullOuter
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            joins.push(Join { kind, table, on });
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                TokenKind::IntLit(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projections,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        if self.eat(&TokenKind::LParen) {
+            let query = self.parse_select()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.eat_kw("as");
+            let alias = self.ident("subquery alias")?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident("table name")?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident("alias")?)
+        } else if matches!(self.peek(), TokenKind::Ident(s) if !is_clause_kw(s) && !is_join_kw(s))
+        {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < predicate < additive <
+    // multiplicative < unary < primary.
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // Comparison operators.
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::NotEq),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::LtEq => Some(BinOp::LtEq),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        // BETWEEN / IS NULL / IN, optionally NOT-prefixed.
+        let negated = self.eat_kw("not");
+        if self.eat_kw("between") {
+            let lo = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let hi = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_additive()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN or IN after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Subtract,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Multiply,
+                TokenKind::Slash => BinOp::Divide,
+                TokenKind::Percent => BinOp::Modulo,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::DoubleLit(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Double(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::String(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                // Clause keywords cannot start an expression (use
+                // backquotes for columns named like keywords).
+                if is_clause_kw(&name) && !matches!(self.peek2(), TokenKind::LParen) {
+                    return Err(self.error("expected expression"));
+                }
+                // Literals spelled as keywords.
+                match name.as_str() {
+                    "true" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Boolean(true)));
+                    }
+                    "false" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Boolean(false)));
+                    }
+                    "null" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    "cast" => {
+                        self.advance();
+                        self.expect(&TokenKind::LParen, "`(`")?;
+                        let e = self.parse_expr()?;
+                        self.expect_kw("as")?;
+                        let t = self.parse_data_type()?;
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        return Ok(Expr::Cast {
+                            expr: Box::new(e),
+                            target: t,
+                        });
+                    }
+                    "case" => {
+                        self.advance();
+                        let mut branches = Vec::new();
+                        while self.eat_kw("when") {
+                            let cond = self.parse_expr()?;
+                            self.expect_kw("then")?;
+                            let val = self.parse_expr()?;
+                            branches.push((cond, val));
+                        }
+                        let else_value = if self.eat_kw("else") {
+                            Some(Box::new(self.parse_expr()?))
+                        } else {
+                            None
+                        };
+                        self.expect_kw("end")?;
+                        return Ok(Expr::Case {
+                            branches,
+                            else_value,
+                        });
+                    }
+                    _ => {}
+                }
+                // Function call?
+                if matches!(self.peek2(), TokenKind::LParen) {
+                    self.advance(); // name
+                    self.advance(); // (
+                    let distinct = self.eat_kw("distinct");
+                    let mut args = Vec::new();
+                    if self.eat(&TokenKind::Star) {
+                        args.push(Expr::Star);
+                    } else if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    return Ok(Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                    });
+                }
+                // Column reference, possibly qualified.
+                self.advance();
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.ident("column name")?;
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+/// Keywords that terminate a projection/table alias position.
+fn is_clause_kw(s: &str) -> bool {
+    matches!(
+        s,
+        "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "inner"
+            | "left"
+            | "right"
+            | "full"
+            | "on"
+            | "union"
+            | "as"
+    )
+}
+
+fn is_join_kw(s: &str) -> bool {
+    matches!(s, "join" | "inner" | "left" | "right" | "full" | "on")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(src: &str) -> SelectStmt {
+        match parse(src).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, b + 1 AS c FROM t WHERE a < 10 LIMIT 5");
+        assert_eq!(s.projections.len(), 2);
+        assert_eq!(s.projections[1].alias.as_deref(), Some("c"));
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.limit, Some(5));
+        assert_eq!(s.from.binding(), "t");
+    }
+
+    #[test]
+    fn tpch_q6_shape() {
+        let s = sel(
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+             FROM lineitem \
+             WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+               AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        );
+        assert!(s.projections[0].expr.has_aggregate());
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 4);
+    }
+
+    #[test]
+    fn group_by_and_order_by() {
+        let s = sel(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity), COUNT(*) \
+             FROM lineitem GROUP BY l_returnflag, l_linestatus \
+             ORDER BY l_returnflag, l_linestatus DESC",
+        );
+        assert_eq!(s.group_by.len(), 2);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].ascending);
+        assert!(!s.order_by[1].ascending);
+    }
+
+    #[test]
+    fn joins_and_subquery_like_figure_4() {
+        // The running example of paper Section 5 (Figure 4a), lightly
+        // reformatted.
+        let s = sel(
+            "SELECT big1.key, small1.value1, small2.value1, big2.value1, sq1.total \
+             FROM big1 \
+             JOIN small1 ON (big1.skey1 = small1.key) \
+             JOIN small2 ON (big1.skey2 = small2.key) \
+             JOIN (SELECT big2.key AS key, avg(big3.value1) AS avg, sum(big3.value2) AS total \
+                   FROM big2 JOIN big3 ON (big2.key = big3.key) \
+                   GROUP BY big2.key) sq1 ON (big1.key = sq1.key) \
+             JOIN big2 ON (sq1.key = big2.key) \
+             WHERE big2.value1 > sq1.avg",
+        );
+        assert_eq!(s.joins.len(), 4);
+        assert!(matches!(s.joins[2].table, TableRef::Subquery { .. }));
+        assert_eq!(s.projections.len(), 5);
+    }
+
+    #[test]
+    fn create_table_with_complex_types() {
+        // The paper's Figure 3(a) table.
+        let stmt = parse(
+            "CREATE TABLE tbl (\
+               col1 Int, \
+               col2 Array<Int>, \
+               col4 Map<String, Struct<col7 String, col8 Int>>, \
+               col9 String\
+             ) STORED AS orc",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else {
+            panic!()
+        };
+        assert_eq!(ct.name, "tbl");
+        assert_eq!(ct.columns.len(), 4);
+        assert_eq!(ct.stored_as.as_deref(), Some("orc"));
+        assert_eq!(
+            DataType::Struct(ct.columns.clone()).column_count(),
+            10,
+            "Figure 3 decomposition"
+        );
+    }
+
+    #[test]
+    fn between_and_in_and_null_predicates() {
+        let s = sel(
+            "SELECT x FROM t WHERE x BETWEEN 0 AND 3750 \
+             AND y NOT IN (1, 2) AND z IS NOT NULL AND w IS NULL",
+        );
+        let w = s.where_clause.unwrap();
+        let parts = w.conjuncts().len();
+        assert_eq!(parts, 4);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = sel("SELECT a FROM t WHERE a + 1 * 2 = 3 OR b = 4 AND c = 5");
+        let Expr::Binary { op: BinOp::Or, left, .. } = s.where_clause.unwrap() else {
+            panic!("OR must be top")
+        };
+        let Expr::Binary { op: BinOp::Eq, left: al, .. } = *left else {
+            panic!("= under OR")
+        };
+        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *al else {
+            panic!("+ under =")
+        };
+        assert!(matches!(*mul, Expr::Binary { op: BinOp::Multiply, .. }));
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let s = sel(
+            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS double) FROM t",
+        );
+        assert!(matches!(s.projections[0].expr, Expr::Case { .. }));
+        assert!(matches!(s.projections[1].expr, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn explain_wraps() {
+        let stmt = parse("EXPLAIN SELECT a FROM t").unwrap();
+        assert!(matches!(stmt, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(e.to_string().contains("expected expression"), "{e}");
+        let e2 = parse("SELECT a FROM").unwrap_err();
+        assert!(e2.to_string().contains("table name"), "{e2}");
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = sel("SELECT COUNT(*), COUNT(DISTINCT a) FROM t");
+        let Expr::Function { args, distinct, .. } = &s.projections[0].expr else {
+            panic!()
+        };
+        assert_eq!(args[0], Expr::Star);
+        assert!(!distinct);
+        let Expr::Function { distinct, .. } = &s.projections[1].expr else {
+            panic!()
+        };
+        assert!(*distinct);
+    }
+}

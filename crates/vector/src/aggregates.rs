@@ -1,0 +1,627 @@
+//! Vectorized aggregation: tight-loop global aggregates and a hash
+//! group-by over batches, the vectorized counterpart of Hive's
+//! GroupByOperator for queries like TPC-H q1/q6 (paper Section 7.4).
+
+use crate::batch::{ColumnVector, VectorizedRowBatch};
+use hive_common::{HiveError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Which aggregate function to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    CountStar,
+    /// COUNT(col): non-null values.
+    Count,
+    SumLong,
+    SumDouble,
+    MinLong,
+    MaxLong,
+    MinDouble,
+    MaxDouble,
+    MinBytes,
+    MaxBytes,
+    /// AVG(col) kept as (sum, count) until finalization.
+    Avg,
+}
+
+/// One aggregate to compute: the function plus its input column
+/// (`None` only for COUNT(*)).
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub kind: AggKind,
+    pub input_column: Option<usize>,
+}
+
+/// Running state of a single aggregate within one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    Count(i64),
+    SumLong { sum: i64, seen: bool },
+    SumDouble { sum: f64, seen: bool },
+    MinLong(Option<i64>),
+    MaxLong(Option<i64>),
+    MinDouble(Option<f64>),
+    MaxDouble(Option<f64>),
+    MinBytes(Option<Vec<u8>>),
+    MaxBytes(Option<Vec<u8>>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl AggState {
+    fn new(kind: AggKind) -> AggState {
+        match kind {
+            AggKind::CountStar | AggKind::Count => AggState::Count(0),
+            AggKind::SumLong => AggState::SumLong { sum: 0, seen: false },
+            AggKind::SumDouble => AggState::SumDouble { sum: 0.0, seen: false },
+            AggKind::MinLong => AggState::MinLong(None),
+            AggKind::MaxLong => AggState::MaxLong(None),
+            AggKind::MinDouble => AggState::MinDouble(None),
+            AggKind::MaxDouble => AggState::MaxDouble(None),
+            AggKind::MinBytes => AggState::MinBytes(None),
+            AggKind::MaxBytes => AggState::MaxBytes(None),
+            AggKind::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Map-side partial value (what travels through the shuffle): AVG
+    /// becomes a struct(sum, count); everything else matches its final
+    /// value shape.
+    pub fn partial(&self) -> Value {
+        match self {
+            AggState::Avg { sum, count } => Value::Struct(vec![
+                Value::Double(*sum),
+                Value::Int(*count),
+            ]),
+            other => other.finish(),
+        }
+    }
+
+    /// Final SQL value of this state.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n),
+            AggState::SumLong { sum, seen } => {
+                if *seen {
+                    Value::Int(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumDouble { sum, seen } => {
+                if *seen {
+                    Value::Double(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::MinLong(v) | AggState::MaxLong(v) => {
+                v.map(Value::Int).unwrap_or(Value::Null)
+            }
+            AggState::MinDouble(v) | AggState::MaxDouble(v) => {
+                v.map(Value::Double).unwrap_or(Value::Null)
+            }
+            AggState::MinBytes(v) | AggState::MaxBytes(v) => v
+                .as_ref()
+                .map(|b| Value::String(String::from_utf8_lossy(b).into_owned()))
+                .unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if *count > 0 {
+                    Value::Double(sum / *count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// A hashable group key extracted from one batch row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    Null,
+    Long(i64),
+    /// f64 bits — NaN-sensitive but deterministic grouping.
+    Double(u64),
+    Bytes(Vec<u8>),
+}
+
+impl KeyPart {
+    pub fn to_value(&self) -> Value {
+        match self {
+            KeyPart::Null => Value::Null,
+            KeyPart::Long(v) => Value::Int(*v),
+            KeyPart::Double(bits) => Value::Double(f64::from_bits(*bits)),
+            KeyPart::Bytes(b) => Value::String(String::from_utf8_lossy(b).into_owned()),
+        }
+    }
+}
+
+fn key_part(col: &ColumnVector, i: usize) -> KeyPart {
+    if col.is_null(i) {
+        return KeyPart::Null;
+    }
+    match col {
+        ColumnVector::Long(v) => KeyPart::Long(v.value(i)),
+        ColumnVector::Double(v) => KeyPart::Double(v.value(i).to_bits()),
+        ColumnVector::Bytes(v) => KeyPart::Bytes(v.value(i).to_vec()),
+    }
+}
+
+/// Hash aggregation over vectorized batches.
+///
+/// With no group-by keys the aggregator runs tight per-vector loops (the
+/// common scan-heavy case of q1/q6's map side after filtering); with keys it
+/// extracts a key per selected row and updates that group's states.
+pub struct VectorHashAggregator {
+    key_columns: Vec<usize>,
+    specs: Vec<AggSpec>,
+    groups: HashMap<Vec<KeyPart>, Vec<AggState>>,
+    /// Fast path state when `key_columns` is empty.
+    global: Option<Vec<AggState>>,
+}
+
+impl VectorHashAggregator {
+    pub fn new(key_columns: Vec<usize>, specs: Vec<AggSpec>) -> VectorHashAggregator {
+        let global = if key_columns.is_empty() {
+            Some(specs.iter().map(|s| AggState::new(s.kind)).collect())
+        } else {
+            None
+        };
+        VectorHashAggregator {
+            key_columns,
+            specs,
+            groups: HashMap::new(),
+            global,
+        }
+    }
+
+    pub fn num_groups(&self) -> usize {
+        if self.global.is_some() {
+            1
+        } else {
+            self.groups.len()
+        }
+    }
+
+    /// Approximate memory footprint (for hash-side spill decisions).
+    pub fn memory_size(&self) -> usize {
+        self.groups.len() * (64 + self.specs.len() * 24 + self.key_columns.len() * 24)
+    }
+
+    /// Consume one batch.
+    pub fn process(&mut self, batch: &VectorizedRowBatch) -> Result<()> {
+        if batch.size == 0 {
+            return Ok(());
+        }
+        if self.global.is_some() {
+            let mut states = self.global.take().unwrap();
+            for (spec, state) in self.specs.iter().zip(states.iter_mut()) {
+                update_vectorized(spec, state, batch)?;
+            }
+            self.global = Some(states);
+            return Ok(());
+        }
+        // Keyed path: per-row key extraction.
+        let nspecs = self.specs.len();
+        for i in batch.iter_selected() {
+            let key: Vec<KeyPart> = self
+                .key_columns
+                .iter()
+                .map(|&c| key_part(&batch.columns[c], i))
+                .collect();
+            let states = self.groups.entry(key).or_insert_with(|| {
+                (0..nspecs)
+                    .map(|k| AggState::new(self.specs[k].kind))
+                    .collect()
+            });
+            for (spec, state) in self.specs.iter().zip(states.iter_mut()) {
+                update_one(spec, state, batch, i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish: emit one row per group — key values then aggregate values.
+    pub fn finish(self) -> Vec<Row> {
+        self.finish_rows(false)
+    }
+
+    /// Finish emitting map-side *partial* states (for the shuffle).
+    pub fn finish_partial(self) -> Vec<Row> {
+        self.finish_rows(true)
+    }
+
+    fn finish_rows(self, partial: bool) -> Vec<Row> {
+        let render = if partial {
+            AggState::partial
+        } else {
+            AggState::finish
+        };
+        let mut out = Vec::new();
+        if let Some(states) = self.global {
+            out.push(Row::new(states.iter().map(render).collect()));
+            return out;
+        }
+        let mut entries: Vec<_> = self.groups.into_iter().collect();
+        // Deterministic output order for tests and reducers.
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        for (key, states) in entries {
+            let mut vals: Vec<Value> = key.iter().map(KeyPart::to_value).collect();
+            vals.extend(states.iter().map(render));
+            out.push(Row::new(vals));
+        }
+        out
+    }
+}
+
+/// Tight-loop update of one aggregate over a whole batch (global case).
+fn update_vectorized(spec: &AggSpec, state: &mut AggState, batch: &VectorizedRowBatch) -> Result<()> {
+    let n = batch.size;
+    if let (AggKind::CountStar, AggState::Count(c)) = (spec.kind, &mut *state) {
+        *c += n as i64;
+        return Ok(());
+    }
+    let col_idx = spec
+        .input_column
+        .ok_or_else(|| HiveError::Execution("aggregate missing input column".into()))?;
+    let col = &batch.columns[col_idx];
+    match (spec.kind, state) {
+        (AggKind::Count, AggState::Count(c)) => {
+            for i in batch.iter_selected() {
+                *c += !col.is_null(i) as i64;
+            }
+        }
+        (AggKind::SumLong, AggState::SumLong { sum, seen }) => {
+            let v = col.as_long()?;
+            // The hot inner loops: no-null + unselected is pure vector sum.
+            if v.no_nulls && !batch.selected_in_use && !v.is_repeating {
+                let mut s = 0i64;
+                for x in &v.vector[..n] {
+                    s = s.wrapping_add(*x);
+                }
+                *sum = sum.wrapping_add(s);
+                *seen = true;
+            } else {
+                for i in batch.iter_selected() {
+                    if !v.is_null(i) {
+                        *sum = sum.wrapping_add(v.value(i));
+                        *seen = true;
+                    }
+                }
+            }
+        }
+        (AggKind::SumDouble, AggState::SumDouble { sum, seen }) => {
+            let v = col.as_double()?;
+            if v.no_nulls && !batch.selected_in_use && !v.is_repeating {
+                let mut s = 0.0f64;
+                for x in &v.vector[..n] {
+                    s += *x;
+                }
+                *sum += s;
+                *seen = true;
+            } else {
+                for i in batch.iter_selected() {
+                    if !v.is_null(i) {
+                        *sum += v.value(i);
+                        *seen = true;
+                    }
+                }
+            }
+        }
+        (AggKind::Avg, AggState::Avg { sum, count }) => match col {
+            ColumnVector::Long(v) => {
+                for i in batch.iter_selected() {
+                    if !v.is_null(i) {
+                        *sum += v.value(i) as f64;
+                        *count += 1;
+                    }
+                }
+            }
+            ColumnVector::Double(v) => {
+                for i in batch.iter_selected() {
+                    if !v.is_null(i) {
+                        *sum += v.value(i);
+                        *count += 1;
+                    }
+                }
+            }
+            _ => return Err(HiveError::Execution("AVG over non-numeric column".into())),
+        },
+        (AggKind::MinLong, AggState::MinLong(m)) => {
+            let v = col.as_long()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    *m = Some(m.map_or(x, |cur| cur.min(x)));
+                }
+            }
+        }
+        (AggKind::MaxLong, AggState::MaxLong(m)) => {
+            let v = col.as_long()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    *m = Some(m.map_or(x, |cur| cur.max(x)));
+                }
+            }
+        }
+        (AggKind::MinDouble, AggState::MinDouble(m)) => {
+            let v = col.as_double()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    *m = Some(m.map_or(x, |cur| cur.min(x)));
+                }
+            }
+        }
+        (AggKind::MaxDouble, AggState::MaxDouble(m)) => {
+            let v = col.as_double()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    *m = Some(m.map_or(x, |cur| cur.max(x)));
+                }
+            }
+        }
+        (AggKind::MinBytes, AggState::MinBytes(m)) => {
+            let v = col.as_bytes()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    if m.as_deref().is_none_or(|cur| x < cur) {
+                        *m = Some(x.to_vec());
+                    }
+                }
+            }
+        }
+        (AggKind::MaxBytes, AggState::MaxBytes(m)) => {
+            let v = col.as_bytes()?;
+            for i in batch.iter_selected() {
+                if !v.is_null(i) {
+                    let x = v.value(i);
+                    if m.as_deref().is_none_or(|cur| x > cur) {
+                        *m = Some(x.to_vec());
+                    }
+                }
+            }
+        }
+        (kind, _) => {
+            return Err(HiveError::Execution(format!(
+                "aggregate state mismatch for {kind:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Per-row update (keyed case).
+fn update_one(
+    spec: &AggSpec,
+    state: &mut AggState,
+    batch: &VectorizedRowBatch,
+    i: usize,
+) -> Result<()> {
+    if let (AggKind::CountStar, AggState::Count(c)) = (spec.kind, &mut *state) {
+        *c += 1;
+        return Ok(());
+    }
+    let col = &batch.columns[spec
+        .input_column
+        .ok_or_else(|| HiveError::Execution("aggregate missing input column".into()))?];
+    if col.is_null(i) {
+        return Ok(());
+    }
+    match (spec.kind, state, col) {
+        (AggKind::Count, AggState::Count(c), _) => *c += 1,
+        (AggKind::SumLong, AggState::SumLong { sum, seen }, ColumnVector::Long(v)) => {
+            *sum = sum.wrapping_add(v.value(i));
+            *seen = true;
+        }
+        (AggKind::SumDouble, AggState::SumDouble { sum, seen }, ColumnVector::Double(v)) => {
+            *sum += v.value(i);
+            *seen = true;
+        }
+        (AggKind::SumDouble, AggState::SumDouble { sum, seen }, ColumnVector::Long(v)) => {
+            *sum += v.value(i) as f64;
+            *seen = true;
+        }
+        (AggKind::Avg, AggState::Avg { sum, count }, ColumnVector::Long(v)) => {
+            *sum += v.value(i) as f64;
+            *count += 1;
+        }
+        (AggKind::Avg, AggState::Avg { sum, count }, ColumnVector::Double(v)) => {
+            *sum += v.value(i);
+            *count += 1;
+        }
+        (AggKind::MinLong, AggState::MinLong(m), ColumnVector::Long(v)) => {
+            let x = v.value(i);
+            *m = Some(m.map_or(x, |cur| cur.min(x)));
+        }
+        (AggKind::MaxLong, AggState::MaxLong(m), ColumnVector::Long(v)) => {
+            let x = v.value(i);
+            *m = Some(m.map_or(x, |cur| cur.max(x)));
+        }
+        (AggKind::MinDouble, AggState::MinDouble(m), ColumnVector::Double(v)) => {
+            let x = v.value(i);
+            *m = Some(m.map_or(x, |cur| cur.min(x)));
+        }
+        (AggKind::MaxDouble, AggState::MaxDouble(m), ColumnVector::Double(v)) => {
+            let x = v.value(i);
+            *m = Some(m.map_or(x, |cur| cur.max(x)));
+        }
+        (AggKind::MinBytes, AggState::MinBytes(m), ColumnVector::Bytes(v)) => {
+            let x = v.value(i);
+            if m.as_deref().is_none_or(|cur| x < cur) {
+                *m = Some(x.to_vec());
+            }
+        }
+        (AggKind::MaxBytes, AggState::MaxBytes(m), ColumnVector::Bytes(v)) => {
+            let x = v.value(i);
+            if m.as_deref().is_none_or(|cur| x > cur) {
+                *m = Some(x.to_vec());
+            }
+        }
+        (kind, _, _) => {
+            return Err(HiveError::Execution(format!(
+                "aggregate/column type mismatch for {kind:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expressions::testutil::batch_with;
+    use hive_common::DataType;
+
+    #[test]
+    fn global_sum_count() {
+        let mut agg = VectorHashAggregator::new(
+            vec![],
+            vec![
+                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
+                AggSpec { kind: AggKind::CountStar, input_column: None },
+            ],
+        );
+        let b = batch_with(&[1, 2, 3, 4], &[]);
+        agg.process(&b).unwrap();
+        agg.process(&b).unwrap();
+        let rows = agg.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values(), &[Value::Int(20), Value::Int(8)]);
+    }
+
+    #[test]
+    fn global_sum_respects_selection() {
+        let mut b = batch_with(&[10, 20, 30, 40], &[]);
+        b.selected_in_use = true;
+        b.selected[0] = 0;
+        b.selected[1] = 3;
+        b.size = 2;
+        let mut agg = VectorHashAggregator::new(
+            vec![],
+            vec![AggSpec { kind: AggKind::SumLong, input_column: Some(0) }],
+        );
+        agg.process(&b).unwrap();
+        assert_eq!(agg.finish()[0].values(), &[Value::Int(50)]);
+    }
+
+    #[test]
+    fn keyed_grouping() {
+        let mut b = batch_with(&[1, 2, 1, 2, 1], &[10.0, 20.0, 30.0, 40.0, 50.0]);
+        b.size = 5;
+        let mut agg = VectorHashAggregator::new(
+            vec![0],
+            vec![
+                AggSpec { kind: AggKind::SumDouble, input_column: Some(1) },
+                AggSpec { kind: AggKind::CountStar, input_column: None },
+            ],
+        );
+        agg.process(&b).unwrap();
+        let rows = agg.finish();
+        assert_eq!(rows.len(), 2);
+        // Sorted deterministic order: key 1 then key 2.
+        assert_eq!(
+            rows[0].values(),
+            &[Value::Int(1), Value::Double(90.0), Value::Int(3)]
+        );
+        assert_eq!(
+            rows[1].values(),
+            &[Value::Int(2), Value::Double(60.0), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn nulls_skipped_by_aggregates_but_counted_by_count_star() {
+        let mut b = batch_with(&[1, 2, 3], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[1] = true;
+        }
+        let mut agg = VectorHashAggregator::new(
+            vec![],
+            vec![
+                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
+                AggSpec { kind: AggKind::Count, input_column: Some(0) },
+                AggSpec { kind: AggKind::CountStar, input_column: None },
+                AggSpec { kind: AggKind::Avg, input_column: Some(0) },
+            ],
+        );
+        agg.process(&b).unwrap();
+        let r = agg.finish();
+        assert_eq!(
+            r[0].values(),
+            &[Value::Int(4), Value::Int(2), Value::Int(3), Value::Double(2.0)]
+        );
+    }
+
+    #[test]
+    fn min_max_all_types() {
+        let mut b = batch_with(&[5, -2, 9], &[1.5, -0.5, 2.5]);
+        b.size = 3;
+        let sc = b.add_scratch(&DataType::String).unwrap();
+        {
+            let c = b.columns[sc].as_bytes_mut().unwrap();
+            c.set(0, b"m");
+            c.set(1, b"a");
+            c.set(2, b"z");
+        }
+        let mut agg = VectorHashAggregator::new(
+            vec![],
+            vec![
+                AggSpec { kind: AggKind::MinLong, input_column: Some(0) },
+                AggSpec { kind: AggKind::MaxLong, input_column: Some(0) },
+                AggSpec { kind: AggKind::MinDouble, input_column: Some(1) },
+                AggSpec { kind: AggKind::MaxDouble, input_column: Some(1) },
+                AggSpec { kind: AggKind::MinBytes, input_column: Some(sc) },
+                AggSpec { kind: AggKind::MaxBytes, input_column: Some(sc) },
+            ],
+        );
+        agg.process(&b).unwrap();
+        let r = agg.finish();
+        assert_eq!(
+            r[0].values(),
+            &[
+                Value::Int(-2),
+                Value::Int(9),
+                Value::Double(-0.5),
+                Value::Double(2.5),
+                Value::String("a".into()),
+                Value::String("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_sums_are_null() {
+        let agg = VectorHashAggregator::new(
+            vec![],
+            vec![
+                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
+                AggSpec { kind: AggKind::CountStar, input_column: None },
+            ],
+        );
+        let r = agg.finish();
+        assert_eq!(r[0].values(), &[Value::Null, Value::Int(0)]);
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let mut b = batch_with(&[1, 1, 2], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[2] = true;
+        }
+        let mut agg = VectorHashAggregator::new(
+            vec![0],
+            vec![AggSpec { kind: AggKind::CountStar, input_column: None }],
+        );
+        agg.process(&b).unwrap();
+        let rows = agg.finish();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Row batches and typed column vectors (paper Figures 6 and 7).
+
+use hive_common::{DataType, HiveError, Result};
+
+/// Default rows per batch; the paper: "By default, this number is set to
+/// 1024, which was carefully chosen to minimize overhead and typically
+/// allows one row batch to fit in the processor cache."
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A column of `i64` values. Represents "all varieties of integers, boolean
+/// and timestamp data types" (paper Figure 7).
+#[derive(Debug, Clone)]
+pub struct LongColumnVector {
+    pub vector: Vec<i64>,
+    /// Per-row null flags; only meaningful when `no_nulls` is false.
+    pub null: Vec<bool>,
+    /// Set by the reader when the column is known null-free in this batch,
+    /// letting expressions skip null checks in the inner loop.
+    pub no_nulls: bool,
+    /// All rows share `vector[0]` (and `null[0]`).
+    pub is_repeating: bool,
+}
+
+/// A column of `f64` values.
+#[derive(Debug, Clone)]
+pub struct DoubleColumnVector {
+    pub vector: Vec<f64>,
+    pub null: Vec<bool>,
+    pub no_nulls: bool,
+    pub is_repeating: bool,
+}
+
+/// A column of byte strings, stored arena-style: one shared buffer plus
+/// per-row `(start, length)` — no per-row allocation in the hot path.
+#[derive(Debug, Clone)]
+pub struct BytesColumnVector {
+    pub data: Vec<u8>,
+    pub start: Vec<u32>,
+    pub length: Vec<u32>,
+    pub null: Vec<bool>,
+    pub no_nulls: bool,
+    pub is_repeating: bool,
+}
+
+macro_rules! scalar_vector_impl {
+    ($t:ty, $name:ident) => {
+        impl $name {
+            pub fn with_capacity(n: usize) -> $name {
+                $name {
+                    vector: vec![Default::default(); n],
+                    null: vec![false; n],
+                    no_nulls: true,
+                    is_repeating: false,
+                }
+            }
+
+            /// Value at logical row `i`, honouring `is_repeating`.
+            #[inline]
+            pub fn value(&self, i: usize) -> $t {
+                if self.is_repeating {
+                    self.vector[0]
+                } else {
+                    self.vector[i]
+                }
+            }
+
+            /// Null flag at logical row `i`, honouring flags.
+            #[inline]
+            pub fn is_null(&self, i: usize) -> bool {
+                if self.no_nulls {
+                    false
+                } else if self.is_repeating {
+                    self.null[0]
+                } else {
+                    self.null[i]
+                }
+            }
+
+            /// Reset flags for reuse by a reader filling the batch.
+            pub fn reset(&mut self) {
+                self.no_nulls = true;
+                self.is_repeating = false;
+                self.null.iter_mut().for_each(|n| *n = false);
+            }
+
+            /// Expand a repeating vector into explicit per-row values
+            /// over the first `n` rows (needed before in-place mutation).
+            pub fn flatten(&mut self, n: usize) {
+                if self.is_repeating {
+                    let v = self.vector[0];
+                    let nl = self.null[0];
+                    if self.vector.len() < n {
+                        self.vector.resize(n, Default::default());
+                    }
+                    if self.null.len() < n {
+                        self.null.resize(n, false);
+                    }
+                    self.vector[..n].iter_mut().for_each(|x| *x = v);
+                    self.null[..n].iter_mut().for_each(|x| *x = nl);
+                    self.is_repeating = false;
+                }
+            }
+        }
+    };
+}
+
+scalar_vector_impl!(i64, LongColumnVector);
+scalar_vector_impl!(f64, DoubleColumnVector);
+
+impl BytesColumnVector {
+    pub fn with_capacity(n: usize) -> BytesColumnVector {
+        BytesColumnVector {
+            data: Vec::new(),
+            start: vec![0; n],
+            length: vec![0; n],
+            null: vec![false; n],
+            no_nulls: true,
+            is_repeating: false,
+        }
+    }
+
+    /// Bytes at logical row `i`, honouring `is_repeating`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let idx = if self.is_repeating { 0 } else { i };
+        let s = self.start[idx] as usize;
+        let l = self.length[idx] as usize;
+        &self.data[s..s + l]
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        if self.no_nulls {
+            false
+        } else if self.is_repeating {
+            self.null[0]
+        } else {
+            self.null[i]
+        }
+    }
+
+    /// Append `bytes` as the value of row `i`.
+    pub fn set(&mut self, i: usize, bytes: &[u8]) {
+        let s = self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        self.start[i] = s;
+        self.length[i] = bytes.len() as u32;
+    }
+
+    pub fn reset(&mut self) {
+        self.data.clear();
+        self.no_nulls = true;
+        self.is_repeating = false;
+        self.null.iter_mut().for_each(|n| *n = false);
+    }
+}
+
+/// A typed column vector (paper Figure 7 models this with subclassing).
+#[derive(Debug, Clone)]
+pub enum ColumnVector {
+    Long(LongColumnVector),
+    Double(DoubleColumnVector),
+    Bytes(BytesColumnVector),
+}
+
+impl ColumnVector {
+    /// Allocate a vector suited to `dt` with room for `n` rows. Complex
+    /// types are not vectorizable (the vectorization validator rejects
+    /// plans touching them, as Hive's does).
+    pub fn for_type(dt: &DataType, n: usize) -> Result<ColumnVector> {
+        match dt {
+            DataType::Int | DataType::Boolean | DataType::Timestamp => {
+                Ok(ColumnVector::Long(LongColumnVector::with_capacity(n)))
+            }
+            DataType::Double => Ok(ColumnVector::Double(DoubleColumnVector::with_capacity(n))),
+            DataType::String => Ok(ColumnVector::Bytes(BytesColumnVector::with_capacity(n))),
+            other => Err(HiveError::Execution(format!(
+                "type {other} is not vectorizable"
+            ))),
+        }
+    }
+
+    pub fn as_long(&self) -> Result<&LongColumnVector> {
+        match self {
+            ColumnVector::Long(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected long column vector".into())),
+        }
+    }
+
+    pub fn as_long_mut(&mut self) -> Result<&mut LongColumnVector> {
+        match self {
+            ColumnVector::Long(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected long column vector".into())),
+        }
+    }
+
+    pub fn as_double(&self) -> Result<&DoubleColumnVector> {
+        match self {
+            ColumnVector::Double(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected double column vector".into())),
+        }
+    }
+
+    pub fn as_double_mut(&mut self) -> Result<&mut DoubleColumnVector> {
+        match self {
+            ColumnVector::Double(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected double column vector".into())),
+        }
+    }
+
+    pub fn as_bytes(&self) -> Result<&BytesColumnVector> {
+        match self {
+            ColumnVector::Bytes(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected bytes column vector".into())),
+        }
+    }
+
+    pub fn as_bytes_mut(&mut self) -> Result<&mut BytesColumnVector> {
+        match self {
+            ColumnVector::Bytes(v) => Ok(v),
+            _ => Err(HiveError::Execution("expected bytes column vector".into())),
+        }
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnVector::Long(v) => v.is_null(i),
+            ColumnVector::Double(v) => v.is_null(i),
+            ColumnVector::Bytes(v) => v.is_null(i),
+        }
+    }
+
+    pub fn reset(&mut self) {
+        match self {
+            ColumnVector::Long(v) => v.reset(),
+            ColumnVector::Double(v) => v.reset(),
+            ColumnVector::Bytes(v) => v.reset(),
+        }
+    }
+}
+
+/// A batch of rows (paper Figure 6).
+///
+/// When `selected_in_use` is true, only the first `size` entries of
+/// `selected` index valid rows; otherwise rows `0..size` are valid. Filter
+/// expressions shrink the selection in place rather than copying data —
+/// "the array selected[] ... is used to keep track of valid rows without a
+/// branch instruction".
+#[derive(Debug, Clone)]
+pub struct VectorizedRowBatch {
+    pub selected_in_use: bool,
+    pub selected: Vec<usize>,
+    /// Number of valid rows (or valid `selected` entries).
+    pub size: usize,
+    pub columns: Vec<ColumnVector>,
+    /// Allocation size of the batch.
+    pub max_size: usize,
+}
+
+impl VectorizedRowBatch {
+    /// Allocate a batch for the given column types.
+    pub fn new(types: &[DataType], max_size: usize) -> Result<VectorizedRowBatch> {
+        let columns = types
+            .iter()
+            .map(|t| ColumnVector::for_type(t, max_size))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(VectorizedRowBatch {
+            selected_in_use: false,
+            selected: (0..max_size).collect(),
+            size: 0,
+            columns,
+            max_size,
+        })
+    }
+
+    /// Iterate the valid row indexes. (Hot paths hand-roll the two loops to
+    /// stay branch-free; this is for cold paths and tests.)
+    pub fn iter_selected(&self) -> impl Iterator<Item = usize> + '_ {
+        let sel = self.selected_in_use;
+        (0..self.size).map(move |j| if sel { self.selected[j] } else { j })
+    }
+
+    /// Reset to an empty, unfiltered batch for refilling.
+    pub fn reset(&mut self) {
+        self.selected_in_use = false;
+        self.size = 0;
+        for c in &mut self.columns {
+            c.reset();
+        }
+    }
+
+    /// Append `n` scratch columns of the given types (expression outputs).
+    pub fn add_scratch(&mut self, dt: &DataType) -> Result<usize> {
+        self.columns.push(ColumnVector::for_type(dt, self.max_size)?);
+        Ok(self.columns.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_allocation_matches_types() {
+        let b = VectorizedRowBatch::new(
+            &[DataType::Int, DataType::Double, DataType::String],
+            DEFAULT_BATCH_SIZE,
+        )
+        .unwrap();
+        assert!(matches!(b.columns[0], ColumnVector::Long(_)));
+        assert!(matches!(b.columns[1], ColumnVector::Double(_)));
+        assert!(matches!(b.columns[2], ColumnVector::Bytes(_)));
+        assert_eq!(b.max_size, 1024);
+    }
+
+    #[test]
+    fn complex_types_are_rejected() {
+        let arr = DataType::Array(Box::new(DataType::Int));
+        assert!(ColumnVector::for_type(&arr, 8).is_err());
+    }
+
+    #[test]
+    fn repeating_value_reads() {
+        let mut v = LongColumnVector::with_capacity(4);
+        v.vector[0] = 99;
+        v.is_repeating = true;
+        assert_eq!(v.value(3), 99);
+        v.flatten(4);
+        assert!(!v.is_repeating);
+        assert_eq!(v.vector, vec![99, 99, 99, 99]);
+    }
+
+    #[test]
+    fn bytes_arena_set_and_get() {
+        let mut v = BytesColumnVector::with_capacity(3);
+        v.set(0, b"alpha");
+        v.set(1, b"");
+        v.set(2, b"beta");
+        assert_eq!(v.value(0), b"alpha");
+        assert_eq!(v.value(1), b"");
+        assert_eq!(v.value(2), b"beta");
+    }
+
+    #[test]
+    fn selected_iteration() {
+        let mut b = VectorizedRowBatch::new(&[DataType::Int], 8).unwrap();
+        b.size = 4;
+        assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        b.selected_in_use = true;
+        b.selected[0] = 1;
+        b.selected[1] = 3;
+        b.size = 2;
+        assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn null_flags_respect_no_nulls() {
+        let mut v = DoubleColumnVector::with_capacity(2);
+        v.null[1] = true;
+        assert!(!v.is_null(1), "no_nulls short-circuits the null array");
+        v.no_nulls = false;
+        assert!(v.is_null(1));
+    }
+}

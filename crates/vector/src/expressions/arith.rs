@@ -1,0 +1,361 @@
+//! Macro-generated arithmetic expressions — the reproduction of the paper's
+//! Figure 8 (`LongColumnAddLongScalarExpression`) and its templates
+//! (Section 6.3): one specialization per (type, operator, operand-shape).
+//!
+//! Every generated `evaluate` has the Figure 8 structure: hoist the
+//! `selected_in_use` branch out of the loop, then run a tight,
+//! data-independent inner loop suitable for superscalar pipelines.
+
+use crate::batch::{ColumnVector, VectorizedRowBatch};
+use crate::expressions::VectorExpression;
+use hive_common::Result;
+
+macro_rules! col_scalar_arith {
+    ($name:ident, $acc:ident, $accmut:ident, $ty:ty, $op:tt) => {
+        /// Column ⊕ scalar, per the paper's Figure 8 template.
+        pub struct $name {
+            pub input_column: usize,
+            pub output_column: usize,
+            pub scalar: $ty,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    ..
+                } = batch;
+                let sel_in_use = *selected_in_use;
+                let (inp, out) = two_cols(columns, self.input_column, self.output_column);
+                let inp = inp.$acc()?;
+                let out = out.$accmut()?;
+                let scalar = self.scalar;
+                if inp.is_repeating {
+                    out.vector[0] = inp.vector[0] $op scalar;
+                    out.null[0] = !inp.no_nulls && inp.null[0];
+                    out.is_repeating = true;
+                    out.no_nulls = inp.no_nulls;
+                    return Ok(());
+                }
+                out.is_repeating = false;
+                out.no_nulls = inp.no_nulls;
+                if sel_in_use {
+                    for &i in &selected[..n] {
+                        out.vector[i] = inp.vector[i] $op scalar;
+                    }
+                    if !inp.no_nulls {
+                        for &i in &selected[..n] {
+                            out.null[i] = inp.null[i];
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        out.vector[i] = inp.vector[i] $op scalar;
+                    }
+                    if !inp.no_nulls {
+                        out.null[..n].copy_from_slice(&inp.null[..n]);
+                    }
+                }
+                Ok(())
+            }
+
+            fn output_column(&self) -> Option<usize> {
+                Some(self.output_column)
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} {} {}) -> {}",
+                    stringify!($name),
+                    self.input_column,
+                    stringify!($op),
+                    self.scalar,
+                    self.output_column
+                )
+            }
+        }
+    };
+}
+
+macro_rules! col_col_arith {
+    ($name:ident, $acc:ident, $accmut:ident, $op:tt) => {
+        /// Column ⊕ column of the same vector type.
+        pub struct $name {
+            pub left_column: usize,
+            pub right_column: usize,
+            pub output_column: usize,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let max = batch.max_size.max(n);
+                // Both-repeating fast path: constant-time result.
+                {
+                    let l = batch.columns[self.left_column].$acc()?;
+                    let r = batch.columns[self.right_column].$acc()?;
+                    if l.is_repeating && r.is_repeating {
+                        let v = l.vector[0] $op r.vector[0];
+                        let nl = (!l.no_nulls && l.null[0]) || (!r.no_nulls && r.null[0]);
+                        let no_nulls = l.no_nulls && r.no_nulls;
+                        let out = batch.columns[self.output_column].$accmut()?;
+                        out.vector[0] = v;
+                        out.null[0] = nl;
+                        out.is_repeating = true;
+                        out.no_nulls = no_nulls;
+                        return Ok(());
+                    }
+                }
+                batch.columns[self.left_column].$accmut()?.flatten(max);
+                batch.columns[self.right_column].$accmut()?.flatten(max);
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    ..
+                } = batch;
+                let sel_in_use = *selected_in_use;
+                let (l, r, out) =
+                    three_cols(columns, self.left_column, self.right_column, self.output_column);
+                let l = l.$acc()?;
+                let r = r.$acc()?;
+                let out = out.$accmut()?;
+                out.is_repeating = false;
+                out.no_nulls = l.no_nulls && r.no_nulls;
+                if sel_in_use {
+                    for &i in &selected[..n] {
+                        out.vector[i] = l.vector[i] $op r.vector[i];
+                    }
+                    if !out.no_nulls {
+                        for &i in &selected[..n] {
+                            out.null[i] =
+                                (!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]);
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        out.vector[i] = l.vector[i] $op r.vector[i];
+                    }
+                    if !out.no_nulls {
+                        for i in 0..n {
+                            out.null[i] =
+                                (!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]);
+                        }
+                    }
+                }
+                Ok(())
+            }
+
+            fn output_column(&self) -> Option<usize> {
+                Some(self.output_column)
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} {} {}) -> {}",
+                    stringify!($name),
+                    self.left_column,
+                    stringify!($op),
+                    self.right_column,
+                    self.output_column
+                )
+            }
+        }
+    };
+}
+
+/// Split-borrow two distinct columns (input shared, output unique).
+pub(crate) fn two_cols(
+    columns: &mut [ColumnVector],
+    a: usize,
+    b: usize,
+) -> (&ColumnVector, &mut ColumnVector) {
+    assert_ne!(a, b, "input and output columns must differ");
+    if a < b {
+        let (lo, hi) = columns.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = columns.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
+
+/// Split-borrow three columns: left/right shared (may alias each other),
+/// output unique and distinct from both.
+pub(crate) fn three_cols(
+    columns: &mut [ColumnVector],
+    l: usize,
+    r: usize,
+    o: usize,
+) -> (&ColumnVector, &ColumnVector, &mut ColumnVector) {
+    assert!(o != l && o != r, "output column must be a scratch column");
+    let ptr = columns.as_mut_ptr();
+    // SAFETY: o differs from l and r, so the unique reference does not alias
+    // the shared ones; l and r may alias each other but are both shared.
+    unsafe { (&*ptr.add(l), &*ptr.add(r), &mut *ptr.add(o)) }
+}
+
+// Long arithmetic.
+col_scalar_arith!(LongColAddLongScalar, as_long, as_long_mut, i64, +);
+col_scalar_arith!(LongColSubtractLongScalar, as_long, as_long_mut, i64, -);
+col_scalar_arith!(LongColMultiplyLongScalar, as_long, as_long_mut, i64, *);
+col_col_arith!(LongColAddLongColumn, as_long, as_long_mut, +);
+col_col_arith!(LongColSubtractLongColumn, as_long, as_long_mut, -);
+col_col_arith!(LongColMultiplyLongColumn, as_long, as_long_mut, *);
+
+// Double arithmetic.
+col_scalar_arith!(DoubleColAddDoubleScalar, as_double, as_double_mut, f64, +);
+col_scalar_arith!(DoubleColSubtractDoubleScalar, as_double, as_double_mut, f64, -);
+col_scalar_arith!(DoubleColMultiplyDoubleScalar, as_double, as_double_mut, f64, *);
+col_scalar_arith!(DoubleColDivideDoubleScalar, as_double, as_double_mut, f64, /);
+col_col_arith!(DoubleColAddDoubleColumn, as_double, as_double_mut, +);
+col_col_arith!(DoubleColSubtractDoubleColumn, as_double, as_double_mut, -);
+col_col_arith!(DoubleColMultiplyDoubleColumn, as_double, as_double_mut, *);
+col_col_arith!(DoubleColDivideDoubleColumn, as_double, as_double_mut, /);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expressions::testutil::batch_with;
+    use hive_common::DataType;
+
+    #[test]
+    fn figure_8_add_long_scalar() {
+        let mut b = batch_with(&[1, 2, 3, 4], &[]);
+        let out = b.add_scratch(&DataType::Int).unwrap();
+        LongColAddLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 10,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(
+            &b.columns[out].as_long().unwrap().vector[..4],
+            &[11, 12, 13, 14]
+        );
+    }
+
+    #[test]
+    fn add_honours_selected_array() {
+        let mut b = batch_with(&[1, 2, 3, 4], &[]);
+        let out = b.add_scratch(&DataType::Int).unwrap();
+        b.selected_in_use = true;
+        b.selected[0] = 1;
+        b.selected[1] = 3;
+        b.size = 2;
+        LongColAddLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 100,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        let v = &b.columns[out].as_long().unwrap().vector;
+        assert_eq!(v[1], 102);
+        assert_eq!(v[3], 104);
+    }
+
+    #[test]
+    fn repeating_input_computes_in_constant_time() {
+        let mut b = batch_with(&[5, 0, 0, 0], &[]);
+        b.columns[0].as_long_mut().unwrap().is_repeating = true;
+        let out = b.add_scratch(&DataType::Int).unwrap();
+        LongColMultiplyLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 3,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        let o = b.columns[out].as_long().unwrap();
+        assert!(o.is_repeating);
+        assert_eq!(o.value(3), 15);
+    }
+
+    #[test]
+    fn col_col_double_ops_allow_same_input_twice() {
+        let mut b = batch_with(&[], &[1.5, 2.5, 4.0]);
+        b.size = 3;
+        let out = b.add_scratch(&DataType::Double).unwrap();
+        DoubleColMultiplyDoubleColumn {
+            left_column: 1,
+            right_column: 1,
+            output_column: out,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(
+            &b.columns[out].as_double().unwrap().vector[..3],
+            &[2.25, 6.25, 16.0]
+        );
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        let mut b = batch_with(&[1, 2, 3], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[1] = true;
+        }
+        let out = b.add_scratch(&DataType::Int).unwrap();
+        LongColAddLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 1,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        let o = b.columns[out].as_long().unwrap();
+        assert!(!o.no_nulls);
+        assert!(o.is_null(1));
+        assert!(!o.is_null(0));
+    }
+
+    #[test]
+    fn mixed_repeating_col_col_flattens() {
+        let mut b = batch_with(&[7, 0, 0], &[]);
+        b.columns[0].as_long_mut().unwrap().is_repeating = true;
+        let c2 = b.add_scratch(&DataType::Int).unwrap();
+        {
+            let c = b.columns[c2].as_long_mut().unwrap();
+            c.vector[..3].copy_from_slice(&[10, 20, 30]);
+        }
+        let out = b.add_scratch(&DataType::Int).unwrap();
+        LongColAddLongColumn {
+            left_column: 0,
+            right_column: c2,
+            output_column: out,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(&b.columns[out].as_long().unwrap().vector[..3], &[17, 27, 37]);
+    }
+
+    #[test]
+    fn division_by_zero_yields_infinity_like_java() {
+        let mut b = batch_with(&[], &[1.0, -2.0, 0.0]);
+        b.size = 3;
+        let out = b.add_scratch(&DataType::Double).unwrap();
+        DoubleColDivideDoubleScalar {
+            input_column: 1,
+            output_column: out,
+            scalar: 0.0,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        let v = &b.columns[out].as_double().unwrap().vector;
+        assert!(v[0].is_infinite());
+        assert!(v[2].is_nan());
+    }
+}

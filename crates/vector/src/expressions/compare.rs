@@ -1,0 +1,234 @@
+//! Comparison expressions producing a boolean output column — the second of
+//! the paper's "two sets of implementations" for comparisons (Section 6.2):
+//! used when a predicate appears in value position (SELECT list, join keys)
+//! rather than filter position.
+
+use crate::batch::VectorizedRowBatch;
+use crate::expressions::arith::two_cols;
+use crate::expressions::VectorExpression;
+use hive_common::Result;
+
+macro_rules! bool_col_op_scalar {
+    ($name:ident, $acc:ident, $ty:ty, $op:tt) => {
+        /// `column ⋈ scalar` as a 0/1 long output column (NULL in → NULL out).
+        pub struct $name {
+            pub input_column: usize,
+            pub output_column: usize,
+            pub scalar: $ty,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    ..
+                } = batch;
+                let sel_in_use = *selected_in_use;
+                let (inp, out) = two_cols(columns, self.input_column, self.output_column);
+                let inp = inp.$acc()?;
+                let out = out.as_long_mut()?;
+                let scalar = self.scalar;
+                if inp.is_repeating {
+                    out.vector[0] = (inp.vector[0] $op scalar) as i64;
+                    out.null[0] = !inp.no_nulls && inp.null[0];
+                    out.is_repeating = true;
+                    out.no_nulls = inp.no_nulls;
+                    return Ok(());
+                }
+                out.is_repeating = false;
+                out.no_nulls = inp.no_nulls;
+                if sel_in_use {
+                    for &i in &selected[..n] {
+                        out.vector[i] = (inp.vector[i] $op scalar) as i64;
+                    }
+                    if !inp.no_nulls {
+                        for &i in &selected[..n] {
+                            out.null[i] = inp.null[i];
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        out.vector[i] = (inp.vector[i] $op scalar) as i64;
+                    }
+                    if !inp.no_nulls {
+                        out.null[..n].copy_from_slice(&inp.null[..n]);
+                    }
+                }
+                Ok(())
+            }
+
+            fn output_column(&self) -> Option<usize> {
+                Some(self.output_column)
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} {} {}) -> {}",
+                    stringify!($name),
+                    self.input_column,
+                    stringify!($op),
+                    self.scalar,
+                    self.output_column
+                )
+            }
+        }
+    };
+}
+
+bool_col_op_scalar!(LongColEqualLongScalar, as_long, i64, ==);
+bool_col_op_scalar!(LongColNotEqualLongScalar, as_long, i64, !=);
+bool_col_op_scalar!(LongColLessLongScalar, as_long, i64, <);
+bool_col_op_scalar!(LongColLessEqualLongScalar, as_long, i64, <=);
+bool_col_op_scalar!(LongColGreaterLongScalar, as_long, i64, >);
+bool_col_op_scalar!(LongColGreaterEqualLongScalar, as_long, i64, >=);
+bool_col_op_scalar!(DoubleColEqualDoubleScalar, as_double, f64, ==);
+bool_col_op_scalar!(DoubleColNotEqualDoubleScalar, as_double, f64, !=);
+bool_col_op_scalar!(DoubleColLessDoubleScalar, as_double, f64, <);
+bool_col_op_scalar!(DoubleColLessEqualDoubleScalar, as_double, f64, <=);
+bool_col_op_scalar!(DoubleColGreaterDoubleScalar, as_double, f64, >);
+bool_col_op_scalar!(DoubleColGreaterEqualDoubleScalar, as_double, f64, >=);
+
+/// `left ⋈ right` between two long columns as a 0/1 long output.
+macro_rules! bool_col_op_col_long {
+    ($name:ident, $op:tt) => {
+        pub struct $name {
+            pub left_column: usize,
+            pub right_column: usize,
+            pub output_column: usize,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let max = batch.max_size.max(n);
+                batch.columns[self.left_column].as_long_mut()?.flatten(max);
+                batch.columns[self.right_column].as_long_mut()?.flatten(max);
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    ..
+                } = batch;
+                let sel_in_use = *selected_in_use;
+                let (l, r, out) = crate::expressions::arith::three_cols(
+                    columns,
+                    self.left_column,
+                    self.right_column,
+                    self.output_column,
+                );
+                let l = l.as_long()?;
+                let r = r.as_long()?;
+                let out = out.as_long_mut()?;
+                out.is_repeating = false;
+                out.no_nulls = l.no_nulls && r.no_nulls;
+                if sel_in_use {
+                    for &i in &selected[..n] {
+                        out.vector[i] = (l.vector[i] $op r.vector[i]) as i64;
+                        if !out.no_nulls {
+                            out.null[i] =
+                                (!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]);
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        out.vector[i] = (l.vector[i] $op r.vector[i]) as i64;
+                    }
+                    if !out.no_nulls {
+                        for i in 0..n {
+                            out.null[i] =
+                                (!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]);
+                        }
+                    }
+                }
+                Ok(())
+            }
+
+            fn output_column(&self) -> Option<usize> {
+                Some(self.output_column)
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} {} {}) -> {}",
+                    stringify!($name),
+                    self.left_column,
+                    stringify!($op),
+                    self.right_column,
+                    self.output_column
+                )
+            }
+        }
+    };
+}
+
+bool_col_op_col_long!(LongColEqualLongColumn, ==);
+bool_col_op_col_long!(LongColLessLongColumn, <);
+bool_col_op_col_long!(LongColGreaterLongColumn, >);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expressions::testutil::batch_with;
+    use hive_common::DataType;
+
+    #[test]
+    fn boolean_output_column() {
+        let mut b = batch_with(&[1, 5, 9], &[]);
+        let out = b.add_scratch(&DataType::Boolean).unwrap();
+        LongColGreaterLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 4,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(&b.columns[out].as_long().unwrap().vector[..3], &[0, 1, 1]);
+    }
+
+    #[test]
+    fn null_comparisons_stay_null() {
+        let mut b = batch_with(&[1, 5], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[0] = true;
+        }
+        let out = b.add_scratch(&DataType::Boolean).unwrap();
+        LongColLessLongScalar {
+            input_column: 0,
+            output_column: out,
+            scalar: 100,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        let o = b.columns[out].as_long().unwrap();
+        assert!(o.is_null(0));
+        assert!(!o.is_null(1));
+        assert_eq!(o.vector[1], 1);
+    }
+
+    #[test]
+    fn col_col_comparison() {
+        let mut b = batch_with(&[1, 5, 3], &[]);
+        let c2 = b.add_scratch(&DataType::Int).unwrap();
+        b.columns[c2].as_long_mut().unwrap().vector[..3].copy_from_slice(&[3, 3, 3]);
+        let out = b.add_scratch(&DataType::Boolean).unwrap();
+        LongColEqualLongColumn {
+            left_column: 0,
+            right_column: c2,
+            output_column: out,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(&b.columns[out].as_long().unwrap().vector[..3], &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,647 @@
+//! In-place filter expressions (paper Section 6.2): instead of producing a
+//! boolean output column they shrink the batch's `selected` array, so
+//! "subsequent expressions only work on rows that are selected by the
+//! previous expressions".
+
+use crate::batch::VectorizedRowBatch;
+use crate::expressions::VectorExpression;
+use hive_common::Result;
+
+macro_rules! filter_col_op_scalar {
+    ($name:ident, $acc:ident, $ty:ty, $op:tt) => {
+        /// Keep rows where `column ⋈ scalar` holds (NULL fails).
+        pub struct $name {
+            pub column: usize,
+            pub scalar: $ty,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    size,
+                    ..
+                } = batch;
+                let col = columns[self.column].$acc()?;
+                let scalar = self.scalar;
+                if col.is_repeating {
+                    let keep = !col.is_null(0) && (col.vector[0] $op scalar);
+                    if !keep {
+                        *size = 0;
+                    }
+                    return Ok(());
+                }
+                let mut new_size = 0usize;
+                if *selected_in_use {
+                    if col.no_nulls {
+                        for j in 0..n {
+                            let i = selected[j];
+                            if col.vector[i] $op scalar {
+                                selected[new_size] = i;
+                                new_size += 1;
+                            }
+                        }
+                    } else {
+                        for j in 0..n {
+                            let i = selected[j];
+                            if !col.null[i] && (col.vector[i] $op scalar) {
+                                selected[new_size] = i;
+                                new_size += 1;
+                            }
+                        }
+                    }
+                } else {
+                    if col.no_nulls {
+                        for i in 0..n {
+                            if col.vector[i] $op scalar {
+                                selected[new_size] = i;
+                                new_size += 1;
+                            }
+                        }
+                    } else {
+                        for i in 0..n {
+                            if !col.null[i] && (col.vector[i] $op scalar) {
+                                selected[new_size] = i;
+                                new_size += 1;
+                            }
+                        }
+                    }
+                    *selected_in_use = true;
+                }
+                *size = new_size;
+                Ok(())
+            }
+
+            fn name(&self) -> String {
+                format!("{}({} {} {})", stringify!($name), self.column, stringify!($op), self.scalar)
+            }
+        }
+    };
+}
+
+macro_rules! filter_col_op_col {
+    ($name:ident, $acc:ident, $op:tt) => {
+        /// Keep rows where `left ⋈ right` holds between two columns.
+        pub struct $name {
+            pub left_column: usize,
+            pub right_column: usize,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let max = batch.max_size.max(n);
+                batch.columns[self.left_column].$acc()?;
+                // Flatten repeating inputs; all-repeating handled naturally.
+                {
+                    let l_rep = batch.columns[self.left_column].$acc()?.is_repeating;
+                    let r_rep = batch.columns[self.right_column].$acc()?.is_repeating;
+                    if l_rep {
+                        match &mut batch.columns[self.left_column] {
+                            crate::batch::ColumnVector::Long(v) => v.flatten(max),
+                            crate::batch::ColumnVector::Double(v) => v.flatten(max),
+                            _ => {}
+                        }
+                    }
+                    if r_rep {
+                        match &mut batch.columns[self.right_column] {
+                            crate::batch::ColumnVector::Long(v) => v.flatten(max),
+                            crate::batch::ColumnVector::Double(v) => v.flatten(max),
+                            _ => {}
+                        }
+                    }
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    size,
+                    ..
+                } = batch;
+                let (l, r) = if self.left_column == self.right_column {
+                    let c = columns[self.left_column].$acc()?;
+                    (c, c)
+                } else {
+                    (
+                        columns[self.left_column].$acc()?,
+                        columns[self.right_column].$acc()?,
+                    )
+                };
+                let mut new_size = 0usize;
+                let check_nulls = !(l.no_nulls && r.no_nulls);
+                if *selected_in_use {
+                    for j in 0..n {
+                        let i = selected[j];
+                        let null = check_nulls
+                            && ((!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]));
+                        if !null && (l.vector[i] $op r.vector[i]) {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        let null = check_nulls
+                            && ((!l.no_nulls && l.null[i]) || (!r.no_nulls && r.null[i]));
+                        if !null && (l.vector[i] $op r.vector[i]) {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                    *selected_in_use = true;
+                }
+                *size = new_size;
+                Ok(())
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} {} {})",
+                    stringify!($name),
+                    self.left_column,
+                    stringify!($op),
+                    self.right_column
+                )
+            }
+        }
+    };
+}
+
+macro_rules! filter_col_between {
+    ($name:ident, $acc:ident, $ty:ty) => {
+        /// Keep rows where `lo <= column <= hi` (SQL BETWEEN; NULL fails).
+        pub struct $name {
+            pub column: usize,
+            pub lo: $ty,
+            pub hi: $ty,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    size,
+                    ..
+                } = batch;
+                let col = columns[self.column].$acc()?;
+                let (lo, hi) = (self.lo, self.hi);
+                if col.is_repeating {
+                    let v = col.vector[0];
+                    if col.is_null(0) || v < lo || v > hi {
+                        *size = 0;
+                    }
+                    return Ok(());
+                }
+                let mut new_size = 0usize;
+                if *selected_in_use {
+                    for j in 0..n {
+                        let i = selected[j];
+                        let v = col.vector[i];
+                        if !(!col.no_nulls && col.null[i]) && v >= lo && v <= hi {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        let v = col.vector[i];
+                        if !(!col.no_nulls && col.null[i]) && v >= lo && v <= hi {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                    *selected_in_use = true;
+                }
+                *size = new_size;
+                Ok(())
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} in [{}, {}])",
+                    stringify!($name),
+                    self.column,
+                    self.lo,
+                    self.hi
+                )
+            }
+        }
+    };
+}
+
+macro_rules! filter_bytes_op_scalar {
+    ($name:ident, $cmpfn:expr) => {
+        /// Keep rows where the byte-string comparison holds (NULL fails).
+        pub struct $name {
+            pub column: usize,
+            pub scalar: Vec<u8>,
+        }
+
+        impl VectorExpression for $name {
+            fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+                let n = batch.size;
+                if n == 0 {
+                    return Ok(());
+                }
+                let VectorizedRowBatch {
+                    selected,
+                    selected_in_use,
+                    columns,
+                    size,
+                    ..
+                } = batch;
+                let col = columns[self.column].as_bytes()?;
+                let cmp: fn(&[u8], &[u8]) -> bool = $cmpfn;
+                if col.is_repeating {
+                    if col.is_null(0) || !cmp(col.value(0), &self.scalar) {
+                        *size = 0;
+                    }
+                    return Ok(());
+                }
+                let mut new_size = 0usize;
+                if *selected_in_use {
+                    for j in 0..n {
+                        let i = selected[j];
+                        if !col.is_null(i) && cmp(col.value(i), &self.scalar) {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        if !col.is_null(i) && cmp(col.value(i), &self.scalar) {
+                            selected[new_size] = i;
+                            new_size += 1;
+                        }
+                    }
+                    *selected_in_use = true;
+                }
+                *size = new_size;
+                Ok(())
+            }
+
+            fn name(&self) -> String {
+                format!(
+                    "{}({} vs {:?})",
+                    stringify!($name),
+                    self.column,
+                    String::from_utf8_lossy(&self.scalar)
+                )
+            }
+        }
+    };
+}
+
+// Long filters.
+filter_col_op_scalar!(FilterLongColEqualLongScalar, as_long, i64, ==);
+filter_col_op_scalar!(FilterLongColNotEqualLongScalar, as_long, i64, !=);
+filter_col_op_scalar!(FilterLongColLessLongScalar, as_long, i64, <);
+filter_col_op_scalar!(FilterLongColLessEqualLongScalar, as_long, i64, <=);
+filter_col_op_scalar!(FilterLongColGreaterLongScalar, as_long, i64, >);
+filter_col_op_scalar!(FilterLongColGreaterEqualLongScalar, as_long, i64, >=);
+filter_col_between!(FilterLongColumnBetween, as_long, i64);
+
+// Double filters.
+filter_col_op_scalar!(FilterDoubleColEqualDoubleScalar, as_double, f64, ==);
+filter_col_op_scalar!(FilterDoubleColNotEqualDoubleScalar, as_double, f64, !=);
+filter_col_op_scalar!(FilterDoubleColLessDoubleScalar, as_double, f64, <);
+filter_col_op_scalar!(FilterDoubleColLessEqualDoubleScalar, as_double, f64, <=);
+filter_col_op_scalar!(FilterDoubleColGreaterDoubleScalar, as_double, f64, >);
+filter_col_op_scalar!(FilterDoubleColGreaterEqualDoubleScalar, as_double, f64, >=);
+filter_col_between!(FilterDoubleColumnBetween, as_double, f64);
+
+// Column-column filters (long and double).
+filter_col_op_col!(FilterLongColEqualLongColumn, as_long, ==);
+filter_col_op_col!(FilterLongColLessLongColumn, as_long, <);
+filter_col_op_col!(FilterLongColGreaterLongColumn, as_long, >);
+filter_col_op_col!(FilterDoubleColLessDoubleColumn, as_double, <);
+filter_col_op_col!(FilterDoubleColGreaterDoubleColumn, as_double, >);
+
+// Byte-string filters (lexicographic, matching Hive's binary collation).
+filter_bytes_op_scalar!(FilterBytesColEqualBytesScalar, |a, b| a == b);
+filter_bytes_op_scalar!(FilterBytesColNotEqualBytesScalar, |a, b| a != b);
+filter_bytes_op_scalar!(FilterBytesColLessBytesScalar, |a, b| a < b);
+filter_bytes_op_scalar!(FilterBytesColLessEqualBytesScalar, |a, b| a <= b);
+filter_bytes_op_scalar!(FilterBytesColGreaterBytesScalar, |a, b| a > b);
+filter_bytes_op_scalar!(FilterBytesColGreaterEqualBytesScalar, |a, b| a >= b);
+
+/// Logical AND of filters: children run sequentially, each narrowing the
+/// selection further — AND needs no extra mechanism in this model.
+pub struct FilterAnd {
+    pub children: Vec<Box<dyn VectorExpression>>,
+}
+
+impl VectorExpression for FilterAnd {
+    fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+        for c in &self.children {
+            if batch.size == 0 {
+                return Ok(());
+            }
+            c.evaluate(batch)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "FilterAnd[{}]",
+            self.children
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Logical OR of filters: each child runs against the original selection;
+/// the surviving sets are unioned (mirrors Hive's `FilterExprOrExpr`).
+pub struct FilterOr {
+    pub children: Vec<Box<dyn VectorExpression>>,
+}
+
+impl VectorExpression for FilterOr {
+    fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+        if batch.size == 0 {
+            return Ok(());
+        }
+        let base_selected: Vec<usize> = batch.iter_selected().collect();
+        let base_in_use = batch.selected_in_use;
+        let mut union: Vec<usize> = Vec::new();
+        for c in &self.children {
+            // Restore the original selection for this branch.
+            batch.size = base_selected.len();
+            batch.selected_in_use = true;
+            batch.selected[..base_selected.len()].copy_from_slice(&base_selected);
+            c.evaluate(batch)?;
+            union.extend(batch.iter_selected());
+        }
+        union.sort_unstable();
+        union.dedup();
+        batch.size = union.len();
+        batch.selected_in_use = base_in_use || union.len() < base_selected.len();
+        batch.selected[..union.len()].copy_from_slice(&union);
+        // Once we rewrite `selected`, it must be honoured.
+        batch.selected_in_use = true;
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "FilterOr[{}]",
+            self.children
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Keep rows where a boolean (long 0/1) column is true — bridges
+/// boolean-producing expressions into filter position.
+pub struct FilterBoolColumn {
+    pub column: usize,
+}
+
+impl VectorExpression for FilterBoolColumn {
+    fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+        FilterLongColNotEqualLongScalar {
+            column: self.column,
+            scalar: 0,
+        }
+        .evaluate(batch)
+    }
+
+    fn name(&self) -> String {
+        format!("FilterBoolColumn({})", self.column)
+    }
+}
+
+/// Keep rows where the column is (not) null.
+pub struct FilterIsNull {
+    pub column: usize,
+    pub negated: bool,
+}
+
+impl VectorExpression for FilterIsNull {
+    fn evaluate(&self, batch: &mut VectorizedRowBatch) -> Result<()> {
+        let n = batch.size;
+        if n == 0 {
+            return Ok(());
+        }
+        let VectorizedRowBatch {
+            selected,
+            selected_in_use,
+            columns,
+            size,
+            ..
+        } = batch;
+        let col = &columns[self.column];
+        let negated = self.negated;
+        let mut new_size = 0usize;
+        let keep = |i: usize| col.is_null(i) != negated;
+        if *selected_in_use {
+            for j in 0..n {
+                let i = selected[j];
+                if keep(i) {
+                    selected[new_size] = i;
+                    new_size += 1;
+                }
+            }
+        } else {
+            for i in 0..n {
+                if keep(i) {
+                    selected[new_size] = i;
+                    new_size += 1;
+                }
+            }
+            *selected_in_use = true;
+        }
+        *size = new_size;
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Filter{}Null({})",
+            if self.negated { "IsNot" } else { "Is" },
+            self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expressions::testutil::{batch_with, selected_of};
+
+    #[test]
+    fn less_scalar_narrows_selection() {
+        let mut b = batch_with(&[5, 1, 9, 3, 7], &[]);
+        FilterLongColLessLongScalar { column: 0, scalar: 6 }
+            .evaluate(&mut b)
+            .unwrap();
+        assert!(b.selected_in_use);
+        assert_eq!(selected_of(&b), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn filters_compose_as_conjunction() {
+        let mut b = batch_with(&[5, 1, 9, 3, 7], &[]);
+        FilterLongColGreaterLongScalar { column: 0, scalar: 2 }
+            .evaluate(&mut b)
+            .unwrap();
+        FilterLongColLessLongScalar { column: 0, scalar: 8 }
+            .evaluate(&mut b)
+            .unwrap();
+        assert_eq!(selected_of(&b), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn between_matches_paper_ssdb_predicate() {
+        // WHERE x BETWEEN 0 AND var
+        let mut b = batch_with(&[-5, 0, 3750, 3751, 10_000], &[]);
+        FilterLongColumnBetween {
+            column: 0,
+            lo: 0,
+            hi: 3750,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![1, 2]);
+    }
+
+    #[test]
+    fn nulls_fail_predicates() {
+        let mut b = batch_with(&[1, 2, 3], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[1] = true;
+        }
+        FilterLongColGreaterLongScalar { column: 0, scalar: 0 }
+            .evaluate(&mut b)
+            .unwrap();
+        assert_eq!(selected_of(&b), vec![0, 2]);
+    }
+
+    #[test]
+    fn repeating_all_or_nothing() {
+        let mut b = batch_with(&[5, 0, 0], &[]);
+        b.columns[0].as_long_mut().unwrap().is_repeating = true;
+        FilterLongColGreaterLongScalar { column: 0, scalar: 4 }
+            .evaluate(&mut b)
+            .unwrap();
+        assert_eq!(b.size, 3, "repeating pass keeps everything");
+        FilterLongColGreaterLongScalar { column: 0, scalar: 10 }
+            .evaluate(&mut b)
+            .unwrap();
+        assert_eq!(b.size, 0, "repeating fail clears the batch");
+    }
+
+    #[test]
+    fn or_unions_branches() {
+        let mut b = batch_with(&[1, 5, 9, 13], &[]);
+        FilterOr {
+            children: vec![
+                Box::new(FilterLongColLessLongScalar { column: 0, scalar: 4 }),
+                Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 10 }),
+            ],
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![0, 3]);
+    }
+
+    #[test]
+    fn or_after_existing_selection() {
+        let mut b = batch_with(&[1, 5, 9, 13], &[]);
+        FilterLongColGreaterLongScalar { column: 0, scalar: 2 }
+            .evaluate(&mut b)
+            .unwrap(); // rows 1,2,3
+        FilterOr {
+            children: vec![
+                Box::new(FilterLongColLessLongScalar { column: 0, scalar: 6 }),
+                Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 12 }),
+            ],
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![1, 3]);
+    }
+
+    #[test]
+    fn bytes_filters() {
+        let mut b = batch_with(&[0; 3], &[]);
+        let c = b.add_scratch(&hive_common::DataType::String).unwrap();
+        {
+            let col = b.columns[c].as_bytes_mut().unwrap();
+            col.set(0, b"apple");
+            col.set(1, b"banana");
+            col.set(2, b"cherry");
+        }
+        b.size = 3;
+        FilterBytesColLessEqualBytesScalar {
+            column: c,
+            scalar: b"banana".to_vec(),
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![0, 1]);
+    }
+
+    #[test]
+    fn col_col_filter() {
+        let mut b = batch_with(&[1, 5, 3], &[]);
+        let c2 = b.add_scratch(&hive_common::DataType::Int).unwrap();
+        b.columns[c2].as_long_mut().unwrap().vector[..3].copy_from_slice(&[2, 2, 2]);
+        FilterLongColLessLongColumn {
+            left_column: 0,
+            right_column: c2,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![0]);
+    }
+
+    #[test]
+    fn is_null_filters() {
+        let mut b = batch_with(&[1, 2, 3], &[]);
+        {
+            let c = b.columns[0].as_long_mut().unwrap();
+            c.no_nulls = false;
+            c.null[1] = true;
+        }
+        let mut b2 = b.clone();
+        FilterIsNull {
+            column: 0,
+            negated: false,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        assert_eq!(selected_of(&b), vec![1]);
+        FilterIsNull {
+            column: 0,
+            negated: true,
+        }
+        .evaluate(&mut b2)
+        .unwrap();
+        assert_eq!(selected_of(&b2), vec![0, 2]);
+    }
+}

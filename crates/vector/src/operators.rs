@@ -1,0 +1,258 @@
+//! Vectorized operators: the batch-at-a-time pipeline that replaces the
+//! row-mode operator chain inside a Map task when the vectorization
+//! optimizer validates a plan (paper Sections 6.1 and 6.4).
+//!
+//! "In vectorized execution, a whole row batch is processed through the
+//! operator tree" — each operator here consumes and transforms a
+//! [`VectorizedRowBatch`] in place, then hands it to its child.
+
+use crate::aggregates::{AggSpec, VectorHashAggregator};
+use crate::batch::VectorizedRowBatch;
+use crate::expressions::VectorExpression;
+use crate::row_convert;
+use hive_common::{DataType, Result, Row};
+
+/// A vectorized operator in a linear map-side pipeline.
+pub trait VectorOperator: Send {
+    /// Process one batch (possibly mutating its selection and columns) and
+    /// forward it. Implementations call the next stage themselves when they
+    /// produce output per input batch.
+    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()>;
+
+    /// Flush any buffered state (e.g. hash-aggregation results) at end of
+    /// input.
+    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()>;
+
+    fn name(&self) -> String;
+}
+
+/// Applies a compiled filter expression, shrinking the selection in place.
+pub struct VectorFilterOperator {
+    pub predicate: Box<dyn VectorExpression>,
+}
+
+impl VectorOperator for VectorFilterOperator {
+    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        self.predicate.evaluate(batch)
+    }
+
+    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!("VectorFilter[{}]", self.predicate.name())
+    }
+}
+
+/// Evaluates projection expressions into scratch columns. The projected
+/// output columns (post-evaluation) are recorded in `output_columns`.
+pub struct VectorSelectOperator {
+    /// Expressions in topological order (children before parents).
+    pub expressions: Vec<Box<dyn VectorExpression>>,
+    /// Batch column index + logical type of each projected output.
+    pub output_columns: Vec<(usize, DataType)>,
+}
+
+impl VectorOperator for VectorSelectOperator {
+    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        for e in &self.expressions {
+            e.evaluate(batch)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        "VectorSelect".to_string()
+    }
+}
+
+/// Vectorized hash group-by. Buffers group states across batches; emits one
+/// row per group at close (map-side partial aggregation emits partial
+/// states; the reduce side merges them in row mode).
+pub struct VectorGroupByOperator {
+    /// Expressions computing key/aggregate inputs (run before aggregation).
+    pub expressions: Vec<Box<dyn VectorExpression>>,
+    pub aggregator: VectorHashAggregator,
+    /// Emit map-side partial states (true on the map side of a shuffle).
+    pub emit_partial: bool,
+}
+
+impl VectorGroupByOperator {
+    pub fn new(
+        expressions: Vec<Box<dyn VectorExpression>>,
+        key_columns: Vec<usize>,
+        specs: Vec<AggSpec>,
+    ) -> VectorGroupByOperator {
+        VectorGroupByOperator {
+            expressions,
+            aggregator: VectorHashAggregator::new(key_columns, specs),
+            emit_partial: false,
+        }
+    }
+
+    pub fn partial(mut self) -> VectorGroupByOperator {
+        self.emit_partial = true;
+        self
+    }
+}
+
+impl VectorOperator for VectorGroupByOperator {
+    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        for e in &self.expressions {
+            e.evaluate(batch)?;
+        }
+        self.aggregator.process(batch)
+    }
+
+    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        // Swap out the aggregator so close is idempotent.
+        let agg = std::mem::replace(&mut self.aggregator, VectorHashAggregator::new(vec![], vec![]));
+        let rows = if self.emit_partial {
+            agg.finish_partial()
+        } else {
+            agg.finish()
+        };
+        for row in rows {
+            sink(row);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        "VectorGroupBy".to_string()
+    }
+}
+
+/// Materializes selected rows of chosen columns as [`Row`]s into the sink —
+/// the bridge back to the row-oriented shuffle / file sink.
+pub struct VectorRowEmitOperator {
+    pub output_columns: Vec<(usize, DataType)>,
+}
+
+impl VectorOperator for VectorRowEmitOperator {
+    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        for row in row_convert::batch_to_rows(batch, &self.output_columns) {
+            sink(row);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        "VectorRowEmit".to_string()
+    }
+}
+
+/// A linear vectorized pipeline: run each batch through all operators in
+/// order; rows emitted by any stage flow into `sink`.
+pub struct VectorPipeline {
+    pub operators: Vec<Box<dyn VectorOperator>>,
+}
+
+impl VectorPipeline {
+    pub fn new(operators: Vec<Box<dyn VectorOperator>>) -> VectorPipeline {
+        VectorPipeline { operators }
+    }
+
+    pub fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        for op in &mut self.operators {
+            if batch.size == 0 {
+                return Ok(());
+            }
+            op.process(batch, sink)?;
+        }
+        Ok(())
+    }
+
+    pub fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        for op in &mut self.operators {
+            op.close(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Human-readable stage list for EXPLAIN output.
+    pub fn describe(&self) -> Vec<String> {
+        self.operators.iter().map(|o| o.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::AggKind;
+    use crate::expressions::filters::FilterLongColGreaterLongScalar;
+    use crate::expressions::testutil::batch_with;
+    use hive_common::Value;
+
+    #[test]
+    fn filter_then_aggregate_pipeline() {
+        // SELECT SUM(a), COUNT(*) WHERE a > 2 over [1,2,3,4,5] → (12, 3)
+        let mut pipeline = VectorPipeline::new(vec![
+            Box::new(VectorFilterOperator {
+                predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 2 }),
+            }),
+            Box::new(VectorGroupByOperator::new(
+                vec![],
+                vec![],
+                vec![
+                    AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
+                    AggSpec { kind: AggKind::CountStar, input_column: None },
+                ],
+            )),
+        ]);
+        let mut out = Vec::new();
+        let mut sink = |r: Row| out.push(r);
+        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
+        pipeline.process(&mut b, &mut sink).unwrap();
+        pipeline.close(&mut sink).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[Value::Int(12), Value::Int(3)]);
+    }
+
+    #[test]
+    fn row_emit_respects_filter() {
+        let mut pipeline = VectorPipeline::new(vec![
+            Box::new(VectorFilterOperator {
+                predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 3 }),
+            }),
+            Box::new(VectorRowEmitOperator {
+                output_columns: vec![(0, DataType::Int)],
+            }),
+        ]);
+        let mut out = Vec::new();
+        let mut sink = |r: Row| out.push(r);
+        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
+        pipeline.process(&mut b, &mut sink).unwrap();
+        pipeline.close(&mut sink).unwrap();
+        assert_eq!(
+            out,
+            vec![Row::new(vec![Value::Int(4)]), Row::new(vec![Value::Int(5)])]
+        );
+    }
+
+    #[test]
+    fn empty_batch_short_circuits() {
+        let mut pipeline = VectorPipeline::new(vec![Box::new(VectorFilterOperator {
+            predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 100 }),
+        })]);
+        let mut out = Vec::new();
+        let mut sink = |r: Row| out.push(r);
+        let mut b = batch_with(&[1, 2], &[]);
+        pipeline.process(&mut b, &mut sink).unwrap();
+        assert_eq!(b.size, 0);
+        assert!(out.is_empty());
+    }
+}

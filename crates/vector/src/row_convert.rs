@@ -1,0 +1,171 @@
+//! Conversions between rows and batches, used at vectorization boundaries
+//! (shuffle edges, the generic row-source fallback reader, and tests).
+
+use crate::batch::{ColumnVector, VectorizedRowBatch};
+use hive_common::{DataType, HiveError, Result, Row, Schema, Value};
+
+/// Whether a schema is vectorizable (primitive scalar columns only) — the
+/// check the vectorization validator performs per-table.
+pub fn is_vectorizable(schema: &Schema) -> bool {
+    schema.fields().iter().all(|f| {
+        matches!(
+            f.data_type,
+            DataType::Int | DataType::Boolean | DataType::Timestamp | DataType::Double | DataType::String
+        )
+    })
+}
+
+/// Write `rows[start..start+n]` into `batch` (resetting it first).
+pub fn rows_to_batch(rows: &[Row], batch: &mut VectorizedRowBatch) -> Result<()> {
+    batch.reset();
+    let n = rows.len().min(batch.max_size);
+    for (r, row) in rows.iter().take(n).enumerate() {
+        for (c, val) in row.values().iter().enumerate() {
+            set_value(&mut batch.columns[c], r, val)?;
+        }
+    }
+    batch.size = n;
+    Ok(())
+}
+
+/// Set one cell in a column vector from a row value.
+pub fn set_value(col: &mut ColumnVector, i: usize, val: &Value) -> Result<()> {
+    match (col, val) {
+        (ColumnVector::Long(v), Value::Int(x)) => v.vector[i] = *x,
+        (ColumnVector::Long(v), Value::Boolean(b)) => v.vector[i] = *b as i64,
+        (ColumnVector::Long(v), Value::Timestamp(x)) => v.vector[i] = *x,
+        (ColumnVector::Double(v), Value::Double(x)) => v.vector[i] = *x,
+        (ColumnVector::Double(v), Value::Int(x)) => v.vector[i] = *x as f64,
+        (ColumnVector::Bytes(v), Value::String(s)) => v.set(i, s.as_bytes()),
+        (col, Value::Null) => {
+            match col {
+                ColumnVector::Long(v) => {
+                    v.null[i] = true;
+                    v.no_nulls = false;
+                }
+                ColumnVector::Double(v) => {
+                    v.null[i] = true;
+                    v.no_nulls = false;
+                }
+                ColumnVector::Bytes(v) => {
+                    v.start[i] = 0;
+                    v.length[i] = 0;
+                    v.null[i] = true;
+                    v.no_nulls = false;
+                }
+            };
+        }
+        (_, other) => {
+            return Err(HiveError::Execution(format!(
+                "value {other} does not fit this column vector"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Read one cell of `batch` back into a row value, using `dt` to pick the
+/// logical type (long vectors carry ints, booleans and timestamps alike).
+pub fn get_value(col: &ColumnVector, i: usize, dt: &DataType) -> Value {
+    if col.is_null(i) {
+        return Value::Null;
+    }
+    match (col, dt) {
+        (ColumnVector::Long(v), DataType::Boolean) => Value::Boolean(v.value(i) != 0),
+        (ColumnVector::Long(v), DataType::Timestamp) => Value::Timestamp(v.value(i)),
+        (ColumnVector::Long(v), _) => Value::Int(v.value(i)),
+        (ColumnVector::Double(v), _) => Value::Double(v.value(i)),
+        (ColumnVector::Bytes(v), _) => {
+            Value::String(String::from_utf8_lossy(v.value(i)).into_owned())
+        }
+    }
+}
+
+/// Materialize the valid rows of `batch`, projecting `columns` with their
+/// logical types.
+pub fn batch_to_rows(
+    batch: &VectorizedRowBatch,
+    columns: &[(usize, DataType)],
+) -> Vec<Row> {
+    let mut out = Vec::with_capacity(batch.size);
+    for i in batch.iter_selected() {
+        let vals = columns
+            .iter()
+            .map(|(c, dt)| get_value(&batch.columns[*c], i, dt))
+            .collect();
+        out.push(Row::new(vals));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse(&[("a", "bigint"), ("b", "double"), ("c", "string"), ("d", "boolean")])
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_rows() {
+        let s = schema();
+        let rows = vec![
+            Row::new(vec![
+                Value::Int(1),
+                Value::Double(1.5),
+                Value::String("x".into()),
+                Value::Boolean(true),
+            ]),
+            Row::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+            Row::new(vec![
+                Value::Int(-9),
+                Value::Double(0.0),
+                Value::String("".into()),
+                Value::Boolean(false),
+            ]),
+        ];
+        let types: Vec<DataType> = s.fields().iter().map(|f| f.data_type.clone()).collect();
+        let mut batch = VectorizedRowBatch::new(&types, 8).unwrap();
+        rows_to_batch(&rows, &mut batch).unwrap();
+        assert_eq!(batch.size, 3);
+        let cols: Vec<(usize, DataType)> = types.iter().cloned().enumerate().collect();
+        let back = batch_to_rows(&batch, &cols);
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn vectorizable_check() {
+        assert!(is_vectorizable(&schema()));
+        let complex = Schema::parse(&[("m", "map<string,int>")]).unwrap();
+        assert!(!is_vectorizable(&complex));
+    }
+
+    #[test]
+    fn selection_respected_in_batch_to_rows() {
+        let s = Schema::parse(&[("a", "bigint")]).unwrap();
+        let types: Vec<DataType> = s.fields().iter().map(|f| f.data_type.clone()).collect();
+        let mut batch = VectorizedRowBatch::new(&types, 8).unwrap();
+        let rows: Vec<Row> = (0..5).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        rows_to_batch(&rows, &mut batch).unwrap();
+        batch.selected_in_use = true;
+        batch.selected[0] = 1;
+        batch.selected[1] = 4;
+        batch.size = 2;
+        let back = batch_to_rows(&batch, &[(0, DataType::Int)]);
+        assert_eq!(
+            back,
+            vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(4)])]
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let mut batch = VectorizedRowBatch::new(&[DataType::Int], 2).unwrap();
+        let err = rows_to_batch(
+            &[Row::new(vec![Value::String("nope".into())])],
+            &mut batch,
+        );
+        assert!(err.is_err());
+    }
+}

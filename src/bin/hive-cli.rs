@@ -1,0 +1,155 @@
+//! An interactive HiveQL shell over a simulated cluster — the analogue of
+//! the paper's CLI entry point (Figure 1).
+//!
+//! ```sh
+//! cargo run --release --bin hive-cli              # empty warehouse
+//! cargo run --release --bin hive-cli -- --demo    # preloaded demo tables
+//! ```
+//!
+//! Commands besides SQL: `SET key=value;`, `SHOW TABLES;`, `!report`
+//! (last query's execution report), `!quit`.
+
+use hive::common::{Row, Value};
+use hive::HiveSession;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let mut hive = HiveSession::in_memory();
+    if demo {
+        load_demo(&mut hive);
+        println!("demo tables loaded: trips (50,000 rows), cities (6 rows)");
+    }
+    println!("hive-repro CLI — end statements with `;`, `!quit` to exit");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut last_report: Option<hive::mapreduce::DagReport> = None;
+    loop {
+        if buffer.is_empty() {
+            print!("hive> ");
+        } else {
+            print!("    > ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "!quit" | "!q" | "exit" | "quit" => break,
+            "!report" => {
+                match &last_report {
+                    Some(r) => {
+                        println!(
+                            "total: {:.2}s simulated, {:.3}s CPU, {} job(s)",
+                            r.sim_total_s,
+                            r.cpu_seconds,
+                            r.jobs.len()
+                        );
+                        for j in &r.jobs {
+                            println!(
+                                "  {}: {} map / {} reduce tasks, {:.2}s, read {} B, shuffled {} B",
+                                j.name,
+                                j.map_tasks,
+                                j.reduce_tasks,
+                                j.sim_total_s,
+                                j.bytes_read,
+                                j.bytes_shuffled
+                            );
+                        }
+                    }
+                    None => println!("no query has run yet"),
+                }
+                continue;
+            }
+            _ => {}
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+
+        // Shell-level commands.
+        let lower = stmt.to_ascii_lowercase();
+        if lower == "show tables" {
+            for t in hive.metastore().list_tables() {
+                println!(
+                    "{t}\t{} bytes\t{} file(s)",
+                    hive.metastore().table_size(&t),
+                    hive.metastore().table_files(&t).len()
+                );
+            }
+            continue;
+        }
+        if let Some(rest) = lower.strip_prefix("set ") {
+            if let Some((k, v)) = rest.split_once('=') {
+                hive.set(k.trim(), v.trim().to_string());
+                println!("set {} = {}", k.trim(), v.trim());
+            } else {
+                eprintln!("usage: SET key=value;");
+            }
+            continue;
+        }
+
+        match hive.execute(&stmt) {
+            Ok(result) => {
+                if let Some(plan) = &result.explain {
+                    println!("{plan}");
+                } else if result.columns.is_empty() {
+                    println!("OK");
+                } else {
+                    print!("{}", result.render());
+                    println!(
+                        "({} row(s), {:.2}s simulated, {} job(s))",
+                        result.rows.len(),
+                        result.report.sim_total_s,
+                        result.report.jobs.len()
+                    );
+                }
+                last_report = Some(result.report);
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}
+
+fn load_demo(hive: &mut HiveSession) {
+    hive.execute(
+        "CREATE TABLE trips (city_id BIGINT, minutes BIGINT, fare DOUBLE) STORED AS orc",
+    )
+    .expect("create trips");
+    hive.load_rows(
+        "trips",
+        (0..50_000).map(|i| {
+            Row::new(vec![
+                Value::Int(i % 6),
+                Value::Int(i % 95 + 3),
+                Value::Double((i % 400) as f64 / 10.0 + 2.5),
+            ])
+        }),
+    )
+    .expect("load trips");
+    hive.execute("CREATE TABLE cities (city_id BIGINT, name STRING) STORED AS orc")
+        .expect("create cities");
+    let names = ["berlin", "columbus", "seoul", "snowbird", "lima", "accra"];
+    hive.load_rows(
+        "cities",
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Row::new(vec![Value::Int(i as i64), Value::String(n.to_string())])),
+    )
+    .expect("load cities");
+}

@@ -1,0 +1,237 @@
+//! Whole-stack integration tests on the paper's actual workloads at tiny
+//! scale: the benchmark queries must return exactly what an independent
+//! in-memory computation over the generated rows returns, under both
+//! engines and every storage format.
+
+use hive::common::config::keys;
+use hive::common::{Row, Value};
+use hive::HiveSession;
+use std::collections::BTreeMap;
+
+fn tpch_session(fmt: &str) -> (HiveSession, Vec<Row>) {
+    let mut s = HiveSession::with_dfs_config(hive::dfs::DfsConfig {
+        block_size: 1 << 20,
+        replication: 2,
+        nodes: 4,
+    });
+    let format = hive::formats::FormatKind::parse(fmt).unwrap();
+    s.create_table("lineitem", hive::datagen::tpch::lineitem_schema(), format)
+        .unwrap();
+    let rows: Vec<Row> = hive::datagen::tpch::lineitem_rows(0.002, 7).collect();
+    s.load_rows("lineitem", rows.clone()).unwrap();
+    (s, rows)
+}
+
+/// TPC-H q6 computed independently over the raw rows.
+fn q6_expected(rows: &[Row]) -> f64 {
+    rows.iter()
+        .filter(|r| {
+            let shipdate = r[10].as_str().unwrap();
+            let discount = r[6].as_double().unwrap();
+            let quantity = r[4].as_double().unwrap();
+            ("1994-01-01".."1995-01-01").contains(&shipdate)
+                && (0.05..=0.07).contains(&discount)
+                && quantity < 24.0
+        })
+        .map(|r| r[5].as_double().unwrap() * r[6].as_double().unwrap())
+        .sum()
+}
+
+const Q6: &str = "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+                  WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+                  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+
+#[test]
+fn tpch_q6_exact_across_formats_and_engines() {
+    for fmt in ["textfile", "sequencefile", "rcfile", "orc"] {
+        for vectorized in ["true", "false"] {
+            let (mut s, rows) = tpch_session(fmt);
+            s.set(keys::VECTORIZED_ENABLED, vectorized);
+            let r = s.execute(Q6).unwrap();
+            let got = r.rows[0][0].as_double().unwrap();
+            let expect = q6_expected(&rows);
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "fmt={fmt} vec={vectorized}: {got} vs {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tpch_q1_exact() {
+    let (mut s, rows) = tpch_session("orc");
+    let r = s
+        .execute(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS q, COUNT(*) AS n, \
+                    AVG(l_discount) AS d \
+             FROM lineitem WHERE l_shipdate <= '1998-09-02' \
+             GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus",
+        )
+        .unwrap();
+
+    // Independent computation.
+    let mut groups: BTreeMap<(String, String), (f64, i64, f64)> = BTreeMap::new();
+    for row in &rows {
+        if row[10].as_str().unwrap() > "1998-09-02" {
+            continue;
+        }
+        let key = (
+            row[8].as_str().unwrap().to_string(),
+            row[9].as_str().unwrap().to_string(),
+        );
+        let e = groups.entry(key).or_insert((0.0, 0, 0.0));
+        e.0 += row[4].as_double().unwrap();
+        e.1 += 1;
+        e.2 += row[6].as_double().unwrap();
+    }
+    assert_eq!(r.rows.len(), groups.len());
+    for (got, (key, (q, n, dsum))) in r.rows.iter().zip(groups.iter()) {
+        assert_eq!(got[0].as_str().unwrap(), key.0);
+        assert_eq!(got[1].as_str().unwrap(), key.1);
+        assert!((got[2].as_double().unwrap() - q).abs() < 1e-6);
+        assert_eq!(got[3], Value::Int(*n));
+        assert!((got[4].as_double().unwrap() - dsum / *n as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ssdb_query1_counts_match_geometry() {
+    let mut s = HiveSession::in_memory();
+    hive::datagen::ssdb::load(&mut s, 2, 500, 3).unwrap();
+    // step 500 → 30 points per axis per image.
+    for (name, var, per_axis_sel) in [("easy", 3750, 8i64), ("medium", 7500, 16), ("hard", 15_000, 30)]
+    {
+        let r = s.execute(&hive::datagen::ssdb::query1(var)).unwrap();
+        let expect = 2 * per_axis_sel * per_axis_sel;
+        assert_eq!(r.rows[0][1], Value::Int(expect), "{name}");
+    }
+}
+
+#[test]
+fn tpcds_q27_and_q95_consistent_across_all_knobs() {
+    let sqls = [
+        (
+            "q27",
+            "SELECT i_item_id, s_state, AVG(ss_quantity) AS a1 \
+             FROM store_sales \
+             JOIN customer_demographics ON (ss_cdemo_sk = cd_demo_sk) \
+             JOIN date_dim ON (ss_sold_date_sk = d_date_sk) \
+             JOIN store ON (ss_store_sk = s_store_sk) \
+             JOIN item ON (ss_item_sk = i_item_sk) \
+             WHERE cd_gender = 'M' AND cd_marital_status = 'S' \
+               AND cd_education_status = 'College' AND d_year = 1995 \
+               AND s_state IN ('TN', 'SD') \
+             GROUP BY i_item_id, s_state ORDER BY i_item_id, s_state LIMIT 50",
+        ),
+        (
+            "q95",
+            "SELECT ws1.ws_order_number, COUNT(*) AS n \
+             FROM web_sales ws1 \
+             JOIN date_dim ON (ws1.ws_ship_date_sk = d_date_sk) \
+             JOIN web_sales ws2 ON (ws1.ws_order_number = ws2.ws_order_number) \
+             JOIN web_returns ON (ws1.ws_order_number = wr_order_number) \
+             WHERE d_date BETWEEN '1995-01-01' AND '1995-12-31' \
+               AND ws1.ws_warehouse_sk <> ws2.ws_warehouse_sk \
+             GROUP BY ws1.ws_order_number ORDER BY ws1.ws_order_number LIMIT 50",
+        ),
+    ];
+    for (name, sql) in sqls {
+        let mut reference: Option<Vec<Row>> = None;
+        for (mapjoin, corr, merge) in [
+            ("true", "true", "true"),
+            ("true", "false", "false"),
+            ("false", "true", "true"),
+            ("false", "false", "false"),
+        ] {
+            let mut s = HiveSession::with_dfs_config(hive::dfs::DfsConfig {
+                block_size: 1 << 20,
+                replication: 2,
+                nodes: 4,
+            });
+            hive::datagen::tpcds::load(&mut s, 0.003, 11).unwrap();
+            s.set(keys::AUTO_CONVERT_JOIN, mapjoin)
+                .set(keys::OPT_CORRELATION, corr)
+                .set(keys::MERGE_MAPONLY_JOBS, merge)
+                .set(keys::MAPJOIN_SMALLTABLE_SIZE, "60000");
+            let r = s.execute(sql).unwrap_or_else(|e| {
+                panic!("{name} mapjoin={mapjoin} corr={corr} merge={merge}: {e}")
+            });
+            match &reference {
+                None => {
+                    assert!(!r.rows.is_empty(), "{name} must return rows");
+                    reference = Some(r.rows);
+                }
+                Some(exp) => assert_eq!(
+                    &r.rows, exp,
+                    "{name} diverged under mapjoin={mapjoin} corr={corr} merge={merge}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn table2_shape_holds_at_tiny_scale() {
+    // The headline Table 2 relationships, checked programmatically.
+    let sizes = |fmt: &str, comp: &str, tpch: bool| -> u64 {
+        let mut s = HiveSession::in_memory();
+        s.set(keys::ORC_COMPRESS, comp);
+        let format = hive::formats::FormatKind::parse(fmt).unwrap();
+        if tpch {
+            s.create_table("lineitem", hive::datagen::tpch::lineitem_schema(), format)
+                .unwrap();
+            s.load_rows("lineitem", hive::datagen::tpch::lineitem_rows(0.002, 7))
+                .unwrap();
+            s.metastore().table_size("lineitem")
+        } else {
+            s.create_table("cycle", hive::datagen::ssdb::cycle_schema(), format)
+                .unwrap();
+            s.load_rows("cycle", hive::datagen::ssdb::cycle_rows(2, 300, 7))
+                .unwrap();
+            s.metastore().table_size("cycle")
+        }
+    };
+    for tpch in [false, true] {
+        let text = sizes("textfile", "none", tpch);
+        let rc = sizes("rcfile", "none", tpch);
+        let rc_snappy = sizes("rcfile", "snappy", tpch);
+        let orc = sizes("orc", "none", tpch);
+        let orc_snappy = sizes("orc", "snappy", tpch);
+        assert!(rc < text, "RCFile beats text (tpch={tpch})");
+        assert!(orc < rc, "ORC beats RCFile (tpch={tpch})");
+        assert!(orc_snappy < orc, "Snappy shrinks ORC (tpch={tpch})");
+        assert!(rc_snappy < rc, "Snappy shrinks RCFile (tpch={tpch})");
+        if !tpch {
+            // The SS-DB headline: type-aware ORC beats even RCFile+Snappy.
+            assert!(orc < rc_snappy, "ORC (uncompressed) beats RCFile+Snappy on SS-DB");
+        }
+    }
+}
+
+#[test]
+fn unnecessary_map_phase_elimination_shape() {
+    // Fig. 11(a)'s structure at test scale: merged plan = 1 job, unmerged
+    // plan = 1 + one map-only job per map join; merged is faster.
+    let build = |merge: &str| {
+        let mut s = HiveSession::with_dfs_config(hive::dfs::DfsConfig {
+            block_size: 1 << 20,
+            replication: 2,
+            nodes: 4,
+        });
+        hive::datagen::tpcds::load(&mut s, 0.003, 11).unwrap();
+        s.set(keys::MERGE_MAPONLY_JOBS, merge)
+            .set(keys::MAPJOIN_SMALLTABLE_SIZE, "60000");
+        s
+    };
+    let sql = "SELECT s_state, COUNT(*) AS n FROM store_sales \
+               JOIN store ON (ss_store_sk = s_store_sk) \
+               JOIN date_dim ON (ss_sold_date_sk = d_date_sk) \
+               WHERE d_year = 1995 GROUP BY s_state ORDER BY s_state";
+    let merged = build("true").execute(sql).unwrap();
+    let unmerged = build("false").execute(sql).unwrap();
+    assert_eq!(merged.report.jobs.len(), 1);
+    assert_eq!(unmerged.report.jobs.len(), 3);
+    assert_eq!(merged.rows, unmerged.rows);
+    assert!(merged.report.sim_total_s < unmerged.report.sim_total_s);
+}

@@ -1,0 +1,430 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * every encoder/codec round-trips arbitrary inputs;
+//! * ORC round-trips arbitrary rows of arbitrary (primitive) shape, under
+//!   every compression codec;
+//! * predicate pushdown is *sound*: whatever the reader skips, no matching
+//!   row is ever lost;
+//! * the vectorized expressions agree with the interpreted row-mode
+//!   expressions on arbitrary data — the equivalence Fig. 12 rests on.
+
+use hive::codec::block::{BlockCodec, Compression, DeflateLikeCodec, NoneCodec, SnappyLikeCodec};
+use hive::common::{DataType, Row, Schema, Value};
+use hive::dfs::{Dfs, DfsConfig};
+use hive::formats::orc::reader::{OrcReadOptions, OrcReader};
+use hive::formats::orc::writer::{OrcWriter, OrcWriterOptions};
+use hive::formats::{PredicateLeaf, SearchArgument, TableReader, TableWriter};
+use proptest::prelude::*;
+
+fn small_dfs() -> Dfs {
+    Dfs::new(DfsConfig {
+        block_size: 1 << 20,
+        replication: 1,
+        nodes: 3,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varint_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        hive::codec::varint::write_signed(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(hive::codec::varint::read_signed(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn int_rle_round_trips(vals in proptest::collection::vec(any::<i64>(), 0..2000)) {
+        let enc = hive::codec::int_rle::encode(&vals);
+        prop_assert_eq!(hive::codec::int_rle::decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn int_rle_round_trips_runs(
+        runs in proptest::collection::vec((any::<i32>(), -3i64..=3, 1usize..100), 0..20)
+    ) {
+        // Run-shaped data (base + small delta) exercises the run encoder.
+        let mut vals = Vec::new();
+        for (base, delta, len) in runs {
+            let mut v = base as i64;
+            for _ in 0..len {
+                vals.push(v);
+                v = v.wrapping_add(delta);
+            }
+        }
+        let enc = hive::codec::int_rle::encode(&vals);
+        prop_assert_eq!(hive::codec::int_rle::decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn byte_rle_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let enc = hive::codec::byte_rle::encode(&data);
+        prop_assert_eq!(hive::codec::byte_rle::decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn bitfield_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..4000)) {
+        let enc = hive::codec::bitfield::encode(&bits);
+        prop_assert_eq!(hive::codec::bitfield::decode(&enc, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn block_codecs_round_trip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let codecs: Vec<Box<dyn BlockCodec>> = vec![
+            Box::new(NoneCodec),
+            Box::new(SnappyLikeCodec),
+            Box::new(DeflateLikeCodec),
+        ];
+        for c in codecs {
+            let comp = c.compress(&data);
+            prop_assert_eq!(c.decompress(&comp).unwrap(), data.clone(), "codec {}", c.name());
+        }
+    }
+
+    #[test]
+    fn huffman_round_trips(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let comp = hive::codec::huffman::compress(&data);
+        prop_assert_eq!(hive::codec::huffman::decompress(&comp).unwrap(), data);
+    }
+}
+
+/// An arbitrary primitive value of a given type (possibly null).
+fn value_strategy(dt: &DataType) -> BoxedStrategy<Value> {
+    let non_null: BoxedStrategy<Value> = match dt {
+        DataType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        DataType::Double => {
+            // Finite doubles only (NaN breaks Eq-based comparisons).
+            prop_oneof![
+                proptest::num::f64::NORMAL.prop_map(Value::Double),
+                Just(Value::Double(0.0)),
+            ]
+            .boxed()
+        }
+        DataType::Boolean => any::<bool>().prop_map(Value::Boolean).boxed(),
+        DataType::String => "[a-z0-9 ]{0,24}".prop_map(Value::String).boxed(),
+        DataType::Timestamp => any::<i64>().prop_map(Value::Timestamp).boxed(),
+        _ => unreachable!("primitive types only"),
+    };
+    prop_oneof![9 => non_null, 1 => Just(Value::Null)].boxed()
+}
+
+fn rows_strategy() -> impl Strategy<Value = (Vec<DataType>, Vec<Row>)> {
+    let dt = prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Double),
+        Just(DataType::Boolean),
+        Just(DataType::String),
+        Just(DataType::Timestamp),
+    ];
+    proptest::collection::vec(dt, 1..5).prop_flat_map(|types| {
+        let row = types
+            .iter()
+            .map(value_strategy)
+            .collect::<Vec<_>>()
+            .prop_map(Row::new);
+        (Just(types), proptest::collection::vec(row, 0..300))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn orc_round_trips_arbitrary_rows(
+        (types, rows) in rows_strategy(),
+        comp in prop_oneof![
+            Just(Compression::None),
+            Just(Compression::Snappy),
+            Just(Compression::Zlib)
+        ],
+    ) {
+        let dfs = small_dfs();
+        let schema = Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| hive::common::Field::new(format!("c{i}"), t.clone()))
+                .collect(),
+        );
+        let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+            &dfs,
+            "/p/orc",
+            &schema,
+            OrcWriterOptions {
+                stripe_size: 4 << 10, // force several stripes
+                row_index_stride: 16,
+                compression: comp,
+                compress_unit: 2 << 10,
+                ..Default::default()
+            },
+            None,
+        ));
+        for r in &rows {
+            w.write_row(r).unwrap();
+        }
+        w.close().unwrap();
+        let mut r = OrcReader::open(&dfs, "/p/orc", OrcReadOptions::default()).unwrap();
+        let mut back = Vec::new();
+        while let Some(row) = r.next_row().unwrap() {
+            back.push(row);
+        }
+        prop_assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn orc_ppd_is_sound(
+        vals in proptest::collection::vec(any::<i16>(), 1..500),
+        lo in any::<i16>(),
+        hi in any::<i16>(),
+    ) {
+        // Whatever the statistics say, every matching row must come back.
+        let (lo, hi) = (lo.min(hi) as i64, lo.max(hi) as i64);
+        let dfs = small_dfs();
+        let schema = Schema::parse(&[("x", "bigint")]).unwrap();
+        let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+            &dfs,
+            "/p/ppd",
+            &schema,
+            OrcWriterOptions {
+                stripe_size: 2 << 10,
+                row_index_stride: 8,
+                ..Default::default()
+            },
+            None,
+        ));
+        for &v in &vals {
+            w.write_row(&Row::new(vec![Value::Int(v as i64)])).unwrap();
+        }
+        w.close().unwrap();
+
+        let sarg = SearchArgument::new(vec![PredicateLeaf::between(
+            0,
+            Value::Int(lo),
+            Value::Int(hi),
+        )]);
+        let mut r = OrcReader::open(
+            &dfs,
+            "/p/ppd",
+            OrcReadOptions { sarg: Some(sarg), use_index: true, ..Default::default() },
+        )
+        .unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = r.next_row().unwrap() {
+            let v = row[0].as_int().unwrap();
+            if (lo..=hi).contains(&v) {
+                got.push(v);
+            }
+        }
+        let expected: Vec<i64> = vals
+            .iter()
+            .map(|&v| v as i64)
+            .filter(|v| (lo..=hi).contains(v))
+            .collect();
+        prop_assert_eq!(got, expected, "PPD must never drop matching rows");
+    }
+
+    #[test]
+    fn vectorized_filter_matches_row_filter(
+        vals in proptest::collection::vec((any::<i16>(), any::<bool>()), 1..500),
+        threshold in any::<i16>(),
+    ) {
+        use hive::exec::expr::{BinaryOp, ExprNode};
+        use hive::vector::expressions::{FilterLongColGreaterLongScalar, VectorExpression};
+        use hive::vector::{ColumnVector, VectorizedRowBatch};
+
+        let n = vals.len();
+        // Row mode.
+        let pred = ExprNode::binary(
+            BinaryOp::Gt,
+            ExprNode::col(0),
+            ExprNode::lit(Value::Int(threshold as i64)),
+        );
+        let row_selected: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, (v, null))| {
+                let row = Row::new(vec![if *null { Value::Null } else { Value::Int(*v as i64) }]);
+                pred.eval_predicate(&row).unwrap()
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        // Vector mode.
+        let mut batch = VectorizedRowBatch::new(&[DataType::Int], n).unwrap();
+        if let ColumnVector::Long(c) = &mut batch.columns[0] {
+            for (i, (v, null)) in vals.iter().enumerate() {
+                c.vector[i] = *v as i64;
+                if *null {
+                    c.null[i] = true;
+                    c.no_nulls = false;
+                }
+            }
+        }
+        batch.size = n;
+        FilterLongColGreaterLongScalar { column: 0, scalar: threshold as i64 }
+            .evaluate(&mut batch)
+            .unwrap();
+        let vec_selected: Vec<usize> = batch.iter_selected().collect();
+        prop_assert_eq!(vec_selected, row_selected);
+    }
+
+    #[test]
+    fn vectorized_arith_matches_row_arith(
+        vals in proptest::collection::vec((-10_000i64..10_000, -10_000i64..10_000), 1..300),
+    ) {
+        use hive::exec::expr::{BinaryOp, ExprNode};
+        use hive::vector::expressions::{LongColMultiplyLongColumn, VectorExpression};
+        use hive::vector::{ColumnVector, VectorizedRowBatch};
+
+        let n = vals.len();
+        let expr = ExprNode::binary(BinaryOp::Multiply, ExprNode::col(0), ExprNode::col(1));
+        let row_out: Vec<i64> = vals
+            .iter()
+            .map(|(a, b)| {
+                expr.eval(&Row::new(vec![Value::Int(*a), Value::Int(*b)]))
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+
+        let mut batch =
+            VectorizedRowBatch::new(&[DataType::Int, DataType::Int, DataType::Int], n).unwrap();
+        for (col, pick) in [(0usize, 0usize), (1, 1)] {
+            if let ColumnVector::Long(c) = &mut batch.columns[col] {
+                for (i, v) in vals.iter().enumerate() {
+                    c.vector[i] = if pick == 0 { v.0 } else { v.1 };
+                }
+            }
+        }
+        batch.size = n;
+        LongColMultiplyLongColumn { left_column: 0, right_column: 1, output_column: 2 }
+            .evaluate(&mut batch)
+            .unwrap();
+        let vec_out: Vec<i64> = (0..n)
+            .map(|i| batch.columns[2].as_long().unwrap().vector[i])
+            .collect();
+        prop_assert_eq!(vec_out, row_out);
+    }
+
+    #[test]
+    fn shuffle_key_comparison_is_total_order(
+        a in proptest::collection::vec(any::<i32>(), 0..4),
+        b in proptest::collection::vec(any::<i32>(), 0..4),
+        c in proptest::collection::vec(any::<i32>(), 0..4),
+    ) {
+        use hive::mapreduce::engine::cmp_keys;
+        let ka: Vec<Value> = a.into_iter().map(|v| Value::Int(v as i64)).collect();
+        let kb: Vec<Value> = b.into_iter().map(|v| Value::Int(v as i64)).collect();
+        let kc: Vec<Value> = c.into_iter().map(|v| Value::Int(v as i64)).collect();
+        // Antisymmetry and transitivity (spot checks).
+        prop_assert_eq!(cmp_keys(&ka, &kb), cmp_keys(&kb, &ka).reverse());
+        if cmp_keys(&ka, &kb).is_le() && cmp_keys(&kb, &kc).is_le() {
+            prop_assert!(cmp_keys(&ka, &kc).is_le());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_serde_round_trips_rows((types, rows) in rows_strategy()) {
+        let schema = Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| hive::common::Field::new(format!("c{i}"), t.clone()))
+                .collect(),
+        );
+        for row in &rows {
+            let mut buf = Vec::new();
+            hive::formats::serde::text_serialize(row, &mut buf);
+            let back = hive::formats::serde::text_deserialize(&buf, &schema).unwrap();
+            prop_assert_eq!(&back, row);
+        }
+    }
+
+    #[test]
+    fn binary_serde_round_trips_rows((_, rows) in rows_strategy()) {
+        for row in &rows {
+            let mut buf = Vec::new();
+            hive::formats::serde::binary_serialize_row(row, &mut buf);
+            let mut pos = 0;
+            let back = hive::formats::serde::binary_deserialize_row(&buf, &mut pos).unwrap();
+            prop_assert_eq!(&back, row);
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn vectorized_between_matches_row_between(
+        vals in proptest::collection::vec(any::<i16>(), 1..400),
+        a in any::<i16>(),
+        b in any::<i16>(),
+    ) {
+        use hive::exec::expr::ExprNode;
+        use hive::vector::expressions::{FilterLongColumnBetween, VectorExpression};
+        use hive::vector::{ColumnVector, VectorizedRowBatch};
+
+        let (lo, hi) = (a.min(b) as i64, a.max(b) as i64);
+        let pred = ExprNode::Between {
+            expr: Box::new(ExprNode::col(0)),
+            lo: Box::new(ExprNode::lit(Value::Int(lo))),
+            hi: Box::new(ExprNode::lit(Value::Int(hi))),
+            negated: false,
+        };
+        let row_sel: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                pred.eval_predicate(&Row::new(vec![Value::Int(**v as i64)])).unwrap()
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let n = vals.len();
+        let mut batch = VectorizedRowBatch::new(&[DataType::Int], n).unwrap();
+        if let ColumnVector::Long(c) = &mut batch.columns[0] {
+            for (i, v) in vals.iter().enumerate() {
+                c.vector[i] = *v as i64;
+            }
+        }
+        batch.size = n;
+        FilterLongColumnBetween { column: 0, lo, hi }.evaluate(&mut batch).unwrap();
+        prop_assert_eq!(batch.iter_selected().collect::<Vec<_>>(), row_sel);
+    }
+
+    #[test]
+    fn rcfile_round_trips_arbitrary_primitive_rows((types, rows) in rows_strategy()) {
+        use hive::formats::rcfile::{RcFileReader, RcFileWriter};
+        let schema = Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| hive::common::Field::new(format!("c{i}"), t.clone()))
+                .collect(),
+        );
+        let dfs = small_dfs();
+        let mut w: Box<dyn TableWriter> = Box::new(RcFileWriter::create(
+            &dfs,
+            "/p/rc",
+            &schema,
+            4 << 10,
+            Compression::Snappy,
+        ));
+        for r in &rows {
+            w.write_row(r).unwrap();
+        }
+        w.close().unwrap();
+        let mut r = RcFileReader::open(&dfs, "/p/rc", &schema, None, None).unwrap();
+        let mut back = Vec::new();
+        while let Some(row) = r.next_row().unwrap() {
+            back.push(row);
+        }
+        prop_assert_eq!(back, rows);
+    }
+}
