@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), full test suite.
+# Run from the repo root. Pass --release to also build release binaries.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+if [[ "${1:-}" == "--release" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release --workspace --offline
+fi
+
+echo "==> CI green"

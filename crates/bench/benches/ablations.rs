@@ -81,34 +81,30 @@ fn bench_index_stride(c: &mut Criterion) {
     for stride in [1_000usize, 10_000, 60_000] {
         let fs = dfs();
         write(&fs, "/a/g", 8 << 20, stride, &rows);
-        g.bench_with_input(
-            BenchmarkId::new("selective_read", stride),
-            &fs,
-            |b, fs| {
-                b.iter(|| {
-                    let sarg = SearchArgument::new(vec![PredicateLeaf::between(
-                        0,
-                        Value::Int(100),
-                        Value::Int(200),
-                    )]);
-                    let mut r = OrcReader::open(
-                        fs,
-                        "/a/g",
-                        OrcReadOptions {
-                            sarg: Some(sarg),
-                            use_index: true,
-                            ..Default::default()
-                        },
-                    )
-                    .unwrap();
-                    let mut n = 0u64;
-                    while r.next_row().unwrap().is_some() {
-                        n += 1;
-                    }
-                    black_box(n)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("selective_read", stride), &fs, |b, fs| {
+            b.iter(|| {
+                let sarg = SearchArgument::new(vec![PredicateLeaf::between(
+                    0,
+                    Value::Int(100),
+                    Value::Int(200),
+                )]);
+                let mut r = OrcReader::open(
+                    fs,
+                    "/a/g",
+                    OrcReadOptions {
+                        sarg: Some(sarg),
+                        use_index: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let mut n = 0u64;
+                while r.next_row().unwrap().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
     }
     g.finish();
 }

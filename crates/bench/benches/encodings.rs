@@ -88,5 +88,10 @@ fn bench_dictionary(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_int_rle, bench_byte_rle_and_bitfield, bench_dictionary);
+criterion_group!(
+    benches,
+    bench_int_rle,
+    bench_byte_rle_and_bitfield,
+    bench_dictionary
+);
 criterion_main!(benches);

@@ -102,11 +102,9 @@ fn bench_reader(c: &mut Criterion) {
     g.bench_function("vectorized", |b| {
         b.iter(|| {
             let mut r = OrcReader::open(&fs, "/bench/r", OrcReadOptions::default()).unwrap();
-            let mut batch = VectorizedRowBatch::new(
-                &[DataType::Int, DataType::Double, DataType::String],
-                1024,
-            )
-            .unwrap();
+            let mut batch =
+                VectorizedRowBatch::new(&[DataType::Int, DataType::Double, DataType::String], 1024)
+                    .unwrap();
             let mut n = 0u64;
             while r.next_batch(&mut batch).unwrap() {
                 n += batch.size as u64;

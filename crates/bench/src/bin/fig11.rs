@@ -19,12 +19,18 @@ fn dataset() -> HiveSession {
     // At fractional scale the absolute 25 MB default would make *facts*
     // map-joinable too, so derive the threshold from the loaded sizes:
     // every dimension fits, no fact does.
-    let dim_max = ["date_dim", "store", "customer_demographics", "item",
-                   "customer_address", "web_site"]
-        .iter()
-        .map(|t| s.metastore().table_size(t))
-        .max()
-        .unwrap_or(0);
+    let dim_max = [
+        "date_dim",
+        "store",
+        "customer_demographics",
+        "item",
+        "customer_address",
+        "web_site",
+    ]
+    .iter()
+    .map(|t| s.metastore().table_size(t))
+    .max()
+    .unwrap_or(0);
     let fact_min = ["store_sales", "web_sales", "web_returns"]
         .iter()
         .map(|t| s.metastore().table_size(t))
@@ -42,12 +48,7 @@ fn dataset() -> HiveSession {
 
 fn run(s: &mut HiveSession, sql: &str) -> (f64, usize, usize, usize) {
     let r = s.execute(sql).expect("query");
-    let map_only = r
-        .report
-        .jobs
-        .iter()
-        .filter(|j| j.reduce_tasks == 0)
-        .count();
+    let map_only = r.report.jobs.iter().filter(|j| j.reduce_tasks == 0).count();
     let mr = r.report.jobs.len() - map_only;
     (r.report.sim_total_s, r.report.jobs.len(), map_only, mr)
 }

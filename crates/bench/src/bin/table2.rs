@@ -36,12 +36,19 @@ fn main() {
             s.set(keys::ORC_COMPRESS, *comp);
             let total = match dataset {
                 "SS-DB" => {
-                    load_as(&mut s, fmt, vec![(
-                        "cycle",
-                        hive_datagen::ssdb::cycle_schema(),
-                        Box::new(hive_datagen::ssdb::cycle_rows(ssdb_images(), ssdb_step(), 42))
-                            as Box<dyn Iterator<Item = Row>>,
-                    )]);
+                    load_as(
+                        &mut s,
+                        fmt,
+                        vec![(
+                            "cycle",
+                            hive_datagen::ssdb::cycle_schema(),
+                            Box::new(hive_datagen::ssdb::cycle_rows(
+                                ssdb_images(),
+                                ssdb_step(),
+                                42,
+                            )) as Box<dyn Iterator<Item = Row>>,
+                        )],
+                    );
                     s.metastore().table_size("cycle")
                 }
                 "TPC-H" => {
@@ -68,7 +75,11 @@ fn main() {
 fn load_as(
     s: &mut hive_core::HiveSession,
     fmt: &str,
-    tables: Vec<(&'static str, hive_common::Schema, Box<dyn Iterator<Item = Row>>)>,
+    tables: Vec<(
+        &'static str,
+        hive_common::Schema,
+        Box<dyn Iterator<Item = Row>>,
+    )>,
 ) {
     let format = hive_formats::FormatKind::parse(fmt).expect("format");
     for (name, schema, rows) in tables {

@@ -57,7 +57,10 @@ pub fn bench_session_with_block(block_size: u64) -> HiveSession {
     });
     // Scale ORC's stripe to the data (256 MB stripes would put the whole
     // dataset in one stripe and hide all intra-file effects).
-    s.set(hive_common::config::keys::ORC_STRIPE_SIZE, format!("{}", 4 << 20));
+    s.set(
+        hive_common::config::keys::ORC_STRIPE_SIZE,
+        format!("{}", 4 << 20),
+    );
     s.set(hive_common::config::keys::ORC_ROW_INDEX_STRIDE, "10000");
     s
 }
@@ -79,7 +82,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)])
             .map(|(i, c)| format!("{:<w$}", c, w = widths[i] + 2))
             .collect::<String>()
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for (label, vals) in rows {
         let mut cells = vec![label.clone()];
         cells.extend(vals.clone());

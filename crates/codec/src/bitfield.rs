@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn skip_within_partial_byte() {
-        let bits = vec![true, false, true, false, true, false, true, false, true, true];
+        let bits = vec![
+            true, false, true, false, true, false, true, false, true, true,
+        ];
         let enc = encode(&bits);
         let mut d = BitFieldDecoder::new(&enc);
         d.next().unwrap(); // consume one bit

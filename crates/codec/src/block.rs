@@ -238,6 +238,11 @@ mod tests {
         if let Ok(out) = SnappyLikeCodec.decompress(&comp) {
             assert_ne!(out, data);
         }
-        assert!(SnappyLikeCodec.decompress(&comp[..3.min(comp.len())]).is_err() || data.is_empty());
+        assert!(
+            SnappyLikeCodec
+                .decompress(&comp[..3.min(comp.len())])
+                .is_err()
+                || data.is_empty()
+        );
     }
 }

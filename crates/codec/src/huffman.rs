@@ -217,7 +217,9 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
         }
     }
     if n > 0 && symbols.is_empty() {
-        return Err(HiveError::Codec("huffman table empty but data present".into()));
+        return Err(HiveError::Codec(
+            "huffman table empty but data present".into(),
+        ));
     }
 
     let mut br = BitReader::new(&buf[pos..]);

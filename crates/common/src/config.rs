@@ -66,15 +66,25 @@ pub mod keys {
     pub const REDUCE_TASKS: &str = "mapreduce.job.reduces";
     /// Memory available to one task in bytes (m1.xlarge-ish scaled down).
     pub const TASK_MEMORY: &str = "mapreduce.task.memory.bytes";
+    /// Run independent jobs of a query DAG concurrently (Hive's
+    /// `hive.exec.parallel`; Hive defaults it off, and so do we).
+    pub const EXEC_PARALLEL: &str = "hive.exec.parallel";
+    /// Worker threads for running map/reduce tasks of one job.
+    /// `0` means "auto": use every core the host exposes.
+    pub const EXEC_WORKER_THREADS: &str = "hive.exec.worker.threads";
+    /// Replace measured per-task CPU time in the simulated cost model with
+    /// a deterministic per-row constant, making reported simulated times
+    /// bit-identical across runs and worker-thread counts.
+    pub const EXEC_SIM_DETERMINISTIC_CPU: &str = "hive.exec.sim.deterministic.cpu";
 }
 
 /// `(key, default)` table; the single source of defaults.
 const DEFAULTS: &[(&str, &str)] = &[
-    (keys::ORC_STRIPE_SIZE, "268435456"),  // 256 MB
+    (keys::ORC_STRIPE_SIZE, "268435456"), // 256 MB
     (keys::ORC_ROW_INDEX_STRIDE, "10000"),
     (keys::ORC_DICT_THRESHOLD, "0.8"),
     (keys::ORC_COMPRESS, "none"),
-    (keys::ORC_COMPRESS_UNIT, "262144"),   // 256 KB
+    (keys::ORC_COMPRESS_UNIT, "262144"), // 256 KB
     (keys::ORC_BLOCK_PADDING, "true"),
     (keys::ORC_MEMORY_POOL, "0.5"),
     (keys::OPT_PPD_STORAGE, "true"),
@@ -88,12 +98,15 @@ const DEFAULTS: &[(&str, &str)] = &[
     (keys::CBO_ENABLE, "false"),
     (keys::COMPUTE_USING_STATS, "false"),
     (keys::VECTORIZED_BATCH_SIZE, "1024"),
-    (keys::DFS_BLOCK_SIZE, "536870912"),   // 512 MB
+    (keys::DFS_BLOCK_SIZE, "536870912"), // 512 MB
     (keys::DFS_REPLICATION, "3"),
     (keys::CLUSTER_NODES, "10"),
     (keys::CLUSTER_SLOTS_PER_NODE, "3"),
     (keys::REDUCE_TASKS, "10"),
-    (keys::TASK_MEMORY, "1073741824"),     // 1 GB
+    (keys::TASK_MEMORY, "1073741824"), // 1 GB
+    (keys::EXEC_PARALLEL, "false"),
+    (keys::EXEC_WORKER_THREADS, "0"), // 0 = one per available core
+    (keys::EXEC_SIM_DETERMINISTIC_CPU, "false"),
 ];
 
 impl HiveConf {
@@ -183,6 +196,14 @@ mod tests {
         assert_eq!(c.get_usize(keys::VECTORIZED_BATCH_SIZE).unwrap(), 1024);
         assert_eq!(c.get_usize(keys::CLUSTER_NODES).unwrap(), 10);
         assert_eq!(c.get_usize(keys::CLUSTER_SLOTS_PER_NODE).unwrap(), 3);
+    }
+
+    #[test]
+    fn parallel_runtime_defaults() {
+        let c = HiveConf::new();
+        assert!(!c.get_bool(keys::EXEC_PARALLEL).unwrap());
+        assert_eq!(c.get_usize(keys::EXEC_WORKER_THREADS).unwrap(), 0);
+        assert!(!c.get_bool(keys::EXEC_SIM_DETERMINISTIC_CPU).unwrap());
     }
 
     #[test]

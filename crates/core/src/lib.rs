@@ -4,8 +4,8 @@
 
 pub mod driver;
 pub mod metastore;
-pub mod stats_answer;
 pub mod session;
+pub mod stats_answer;
 
 pub use driver::QueryResult;
 pub use metastore::{Metastore, TableInfo};

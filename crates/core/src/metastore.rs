@@ -117,7 +117,8 @@ mod tests {
         let dfs = Dfs::with_defaults();
         let ms = Metastore::new(dfs.clone());
         let schema = Schema::parse(&[("a", "bigint")]).unwrap();
-        ms.create_table("T1", schema.clone(), FormatKind::Orc).unwrap();
+        ms.create_table("T1", schema.clone(), FormatKind::Orc)
+            .unwrap();
         assert!(ms.create_table("t1", schema, FormatKind::Orc).is_err());
         assert!(ms.get("T1").is_some());
         assert_eq!(ms.list_tables(), vec!["t1"]);
@@ -137,8 +138,12 @@ mod tests {
     fn catalog_view() {
         let dfs = Dfs::with_defaults();
         let ms = Metastore::new(dfs);
-        ms.create_table("x", Schema::parse(&[("a", "bigint")]).unwrap(), FormatKind::Text)
-            .unwrap();
+        ms.create_table(
+            "x",
+            Schema::parse(&[("a", "bigint")]).unwrap(),
+            FormatKind::Text,
+        )
+        .unwrap();
         let meta = Catalog::table(&ms, "X").unwrap();
         assert_eq!(meta.name, "x");
         assert_eq!(meta.format, FormatKind::Text);

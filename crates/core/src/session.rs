@@ -83,11 +83,7 @@ impl HiveSession {
 
     /// Bulk-load rows into a table (one new file per call), applying the
     /// session's format options; the writer honours the ORC memory manager.
-    pub fn load_rows(
-        &mut self,
-        table: &str,
-        rows: impl IntoIterator<Item = Row>,
-    ) -> Result<u64> {
+    pub fn load_rows(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<u64> {
         let info: TableInfo = self
             .metastore
             .get(table)
@@ -96,7 +92,8 @@ impl HiveSession {
         let path = format!("{}part-{part:05}", info.location);
         let memory = MemoryManager::for_task_memory(
             self.conf.get_i64(hive_common::config::keys::TASK_MEMORY)? as u64,
-            self.conf.get_f64(hive_common::config::keys::ORC_MEMORY_POOL)?,
+            self.conf
+                .get_f64(hive_common::config::keys::ORC_MEMORY_POOL)?,
         );
         let mut w = create_writer(
             &self.dfs,
@@ -206,8 +203,7 @@ mod tests {
             .unwrap();
         hive.load_rows(
             "t",
-            (0..100)
-                .map(|i| Row::new(vec![Value::Int(i % 10), Value::String(format!("v{i}"))])),
+            (0..100).map(|i| Row::new(vec![Value::Int(i % 10), Value::String(format!("v{i}"))])),
         )
         .unwrap();
         let r = hive
@@ -219,7 +215,9 @@ mod tests {
     #[test]
     fn explain_produces_plan_text() {
         let mut hive = loaded_session();
-        let r = hive.execute("EXPLAIN SELECT k FROM t WHERE v > 10").unwrap();
+        let r = hive
+            .execute("EXPLAIN SELECT k FROM t WHERE v > 10")
+            .unwrap();
         let plan = r.explain.unwrap();
         assert!(plan.contains("TableScan"), "{plan}");
         assert!(plan.contains("Filter"), "{plan}");

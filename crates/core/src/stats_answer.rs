@@ -55,14 +55,17 @@ pub fn try_answer(
     let mut aggs = Vec::with_capacity(stmt.projections.len());
     let mut names = Vec::with_capacity(stmt.projections.len());
     for (i, p) in stmt.projections.iter().enumerate() {
-        let Expr::Function { name: fname, args, distinct: false } = &p.expr else {
+        let Expr::Function {
+            name: fname,
+            args,
+            distinct: false,
+        } = &p.expr
+        else {
             return Ok(None);
         };
         let agg = match (fname.as_str(), args.as_slice()) {
             ("count", [Expr::Star]) => StatAgg::CountStar,
-            ("count", [Expr::Column { name: c, .. }]) => {
-                StatAgg::Count(info.schema.index_of(c)?)
-            }
+            ("count", [Expr::Column { name: c, .. }]) => StatAgg::Count(info.schema.index_of(c)?),
             ("min", [Expr::Column { name: c, .. }]) => StatAgg::Min(info.schema.index_of(c)?),
             ("max", [Expr::Column { name: c, .. }]) => StatAgg::Max(info.schema.index_of(c)?),
             ("sum", [Expr::Column { name: c, .. }]) => StatAgg::Sum(info.schema.index_of(c)?),
@@ -170,10 +173,10 @@ mod tests {
         let mut hive = session();
         hive.set(keys::COMPUTE_USING_STATS, "true");
         for sql in [
-            "SELECT COUNT(*) FROM t WHERE k > 10",      // filter
-            "SELECT k, COUNT(*) FROM t GROUP BY k",      // grouping
-            "SELECT AVG(k) FROM t",                      // avg not derivable
-            "SELECT SUM(k + 1) FROM t",                  // expression arg
+            "SELECT COUNT(*) FROM t WHERE k > 10",  // filter
+            "SELECT k, COUNT(*) FROM t GROUP BY k", // grouping
+            "SELECT AVG(k) FROM t",                 // avg not derivable
+            "SELECT SUM(k + 1) FROM t",             // expression arg
         ] {
             let r = hive.execute(sql).unwrap();
             assert!(!r.report.jobs.is_empty(), "{sql} must run a job");

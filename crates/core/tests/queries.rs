@@ -13,7 +13,10 @@ fn session() -> HiveSession {
         nodes: 4,
     });
     // Small tables for joins.
-    hive.execute("CREATE TABLE big1 (key BIGINT, skey1 BIGINT, skey2 BIGINT, value1 DOUBLE) STORED AS orc").unwrap();
+    hive.execute(
+        "CREATE TABLE big1 (key BIGINT, skey1 BIGINT, skey2 BIGINT, value1 DOUBLE) STORED AS orc",
+    )
+    .unwrap();
     hive.execute("CREATE TABLE big2 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc")
         .unwrap();
     hive.execute("CREATE TABLE big3 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc")
@@ -340,9 +343,7 @@ fn unvectorizable_expressions_fall_back_to_row_mode() {
 fn in_list_and_null_semantics() {
     let mut hive = session();
     let r = hive
-        .execute(
-            "SELECT COUNT(*) FROM big1 WHERE skey1 IN (1, 3) AND value1 IS NOT NULL",
-        )
+        .execute("SELECT COUNT(*) FROM big1 WHERE skey1 IN (1, 3) AND value1 IS NOT NULL")
         .unwrap();
     // skey1 = i % 5 → 2 of 5 values → 200 of 500 rows.
     assert_eq!(r.rows[0][0], Value::Int(200));
@@ -387,4 +388,90 @@ fn repeated_queries_reuse_session_state() {
             .unwrap();
         assert_eq!(r.rows.len(), 50);
     }
+}
+
+/// The parallel task runtime must be invisible to results: any worker
+/// count, with or without DAG-level job parallelism, produces the same
+/// rows in the same order, the same I/O counters, and (with deterministic
+/// CPU accounting) bit-identical per-job simulated times.
+#[test]
+fn parallel_runtime_is_deterministic() {
+    let sql = "SELECT big1.skey1, COUNT(*), SUM(big2.value1) FROM big1 \
+               JOIN big2 ON (big1.key = big2.key) GROUP BY big1.skey1";
+    let run = |threads: &str, parallel: &str| {
+        let mut hive = session();
+        hive.set(keys::EXEC_WORKER_THREADS, threads)
+            .set(keys::EXEC_PARALLEL, parallel)
+            .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true")
+            .set(keys::AUTO_CONVERT_JOIN, "false"); // multi-job plan
+        hive.execute(sql).unwrap()
+    };
+
+    let baseline = run("1", "false");
+    assert!(baseline.report.jobs.len() > 1, "want a multi-job DAG");
+    for (threads, parallel) in [("8", "false"), ("1", "true"), ("8", "true")] {
+        let r = run(threads, parallel);
+        // Exact order, not just content: task results merge by task index.
+        assert_eq!(
+            r.rows, baseline.rows,
+            "threads={threads} parallel={parallel} changed the result"
+        );
+        assert_eq!(r.report.jobs.len(), baseline.report.jobs.len());
+        for (job, base) in r.report.jobs.iter().zip(&baseline.report.jobs) {
+            let ctx = format!("threads={threads} parallel={parallel} job={}", job.name);
+            assert_eq!(job.map_tasks, base.map_tasks, "{ctx}");
+            assert_eq!(job.reduce_tasks, base.reduce_tasks, "{ctx}");
+            assert_eq!(job.bytes_read, base.bytes_read, "{ctx}");
+            assert_eq!(job.bytes_shuffled, base.bytes_shuffled, "{ctx}");
+            assert_eq!(job.bytes_written, base.bytes_written, "{ctx}");
+            assert_eq!(job.shuffle_records, base.shuffle_records, "{ctx}");
+            assert_eq!(job.sim_map_s.to_bits(), base.sim_map_s.to_bits(), "{ctx}");
+            assert_eq!(
+                job.sim_reduce_s.to_bits(),
+                base.sim_reduce_s.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                job.sim_total_s.to_bits(),
+                base.sim_total_s.to_bits(),
+                "{ctx}"
+            );
+            assert_eq!(
+                job.cpu_seconds.to_bits(),
+                base.cpu_seconds.to_bits(),
+                "{ctx}"
+            );
+        }
+    }
+    // Same worker count, DAG parallelism off: the whole-DAG simulated time
+    // is also bit-identical run to run.
+    let again = run("1", "false");
+    assert_eq!(
+        again.report.sim_total_s.to_bits(),
+        baseline.report.sim_total_s.to_bits()
+    );
+}
+
+/// `hive.exec.parallel` runs independent jobs of one query concurrently;
+/// its simulated elapsed time can only improve, never the results.
+#[test]
+fn exec_parallel_never_slows_the_simulated_dag() {
+    let sql = "SELECT big2.key, SUM(big2.value1), SUM(big3.value2) FROM big2 \
+               JOIN big3 ON (big2.key = big3.key) GROUP BY big2.key";
+    let run = |parallel: &str| {
+        let mut hive = session();
+        hive.set(keys::EXEC_PARALLEL, parallel)
+            .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true")
+            .set(keys::AUTO_CONVERT_JOIN, "false");
+        hive.execute(sql).unwrap()
+    };
+    let seq = run("false");
+    let par = run("true");
+    assert_eq!(sorted(par.rows), sorted(seq.rows));
+    assert!(
+        par.report.sim_total_s <= seq.report.sim_total_s + 1e-9,
+        "parallel {} vs sequential {}",
+        par.report.sim_total_s,
+        seq.report.sim_total_s
+    );
 }

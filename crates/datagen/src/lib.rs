@@ -25,12 +25,11 @@ use rand::Rng;
 /// compressible by a general-purpose codec but useless for dictionaries.
 pub fn random_text(rng: &mut StdRng, lo: usize, hi: usize) -> String {
     const SYLLABLES: &[&str] = &[
-        "ab", "ac", "ad", "al", "an", "ar", "as", "at", "ba", "be", "bi", "bo", "ca", "ce",
-        "co", "cu", "da", "de", "di", "do", "el", "en", "er", "es", "et", "fa", "fi", "fo",
-        "ga", "ge", "ha", "he", "hi", "ho", "il", "in", "is", "it", "la", "le", "li", "lo",
-        "ma", "me", "mi", "mo", "na", "ne", "ni", "no", "or", "pa", "pe", "pi", "po", "ra",
-        "re", "ri", "ro", "sa", "se", "si", "so", "ta", "te", "ti", "to", "un", "ur", "us",
-        "ut", "va", "ve", "vi", "vo",
+        "ab", "ac", "ad", "al", "an", "ar", "as", "at", "ba", "be", "bi", "bo", "ca", "ce", "co",
+        "cu", "da", "de", "di", "do", "el", "en", "er", "es", "et", "fa", "fi", "fo", "ga", "ge",
+        "ha", "he", "hi", "ho", "il", "in", "is", "it", "la", "le", "li", "lo", "ma", "me", "mi",
+        "mo", "na", "ne", "ni", "no", "or", "pa", "pe", "pi", "po", "ra", "re", "ri", "ro", "sa",
+        "se", "si", "so", "ta", "te", "ti", "to", "un", "ur", "us", "ut", "va", "ve", "vi", "vo",
     ];
     let target = rng.gen_range(lo..=hi);
     let mut s = String::with_capacity(target + 4);
@@ -84,7 +83,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {
             let d = random_date(&mut rng);
-            assert!(d.as_str() >= "1992-01-01" && d.as_str() <= "1998-12-31", "{d}");
+            assert!(
+                d.as_str() >= "1992-01-01" && d.as_str() <= "1998-12-31",
+                "{d}"
+            );
         }
     }
 }

@@ -38,9 +38,7 @@ pub fn cycle_rows(images: i64, step: i64, seed: u64) -> impl Iterator<Item = Row
     let mut rng = StdRng::seed_from_u64(seed ^ 0x55DB);
     (0..images).flat_map(move |img| {
         let base = rng.gen_range(0..1000i64);
-        let per_row: Vec<i64> = (0..COORD_MAX)
-            .step_by(step as usize)
-            .collect();
+        let per_row: Vec<i64> = (0..COORD_MAX).step_by(step as usize).collect();
         let mut local = StdRng::seed_from_u64(seed ^ 0x55DB ^ (img as u64) << 8);
         let mut rows = Vec::new();
         for &x in &per_row {
@@ -83,12 +81,7 @@ pub fn query1(var: i64) -> String {
 }
 
 /// Create + load the cycle table into a session.
-pub fn load(
-    session: &mut hive_core::HiveSession,
-    images: i64,
-    step: i64,
-    seed: u64,
-) -> Result<()> {
+pub fn load(session: &mut hive_core::HiveSession, images: i64, step: i64, seed: u64) -> Result<()> {
     session.create_table("cycle", cycle_schema(), hive_formats::FormatKind::Orc)?;
     session.load_rows("cycle", cycle_rows(images, step, seed))?;
     Ok(())

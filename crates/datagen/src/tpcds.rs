@@ -245,9 +245,16 @@ pub fn web_site_rows(seed: u64) -> impl Iterator<Item = Row> {
 
 /// All TPC-DS subset tables.
 #[allow(clippy::type_complexity)]
-pub fn all_tables(sf: f64, seed: u64) -> Vec<(&'static str, Schema, Box<dyn Iterator<Item = Row>>)> {
+pub fn all_tables(
+    sf: f64,
+    seed: u64,
+) -> Vec<(&'static str, Schema, Box<dyn Iterator<Item = Row>>)> {
     vec![
-        ("store_sales", store_sales_schema(), Box::new(store_sales_rows(sf, seed))),
+        (
+            "store_sales",
+            store_sales_schema(),
+            Box::new(store_sales_rows(sf, seed)),
+        ),
         ("date_dim", date_dim_schema(), Box::new(date_dim_rows())),
         ("store", store_schema(), Box::new(store_rows(seed))),
         (
@@ -256,8 +263,16 @@ pub fn all_tables(sf: f64, seed: u64) -> Vec<(&'static str, Schema, Box<dyn Iter
             Box::new(customer_demographics_rows()),
         ),
         ("item", item_schema(), Box::new(item_rows(sf, seed))),
-        ("web_sales", web_sales_schema(), Box::new(web_sales_rows(sf, seed))),
-        ("web_returns", web_returns_schema(), Box::new(web_returns_rows(sf, seed))),
+        (
+            "web_sales",
+            web_sales_schema(),
+            Box::new(web_sales_rows(sf, seed)),
+        ),
+        (
+            "web_returns",
+            web_returns_schema(),
+            Box::new(web_returns_rows(sf, seed)),
+        ),
         (
             "customer_address",
             customer_address_schema(),
@@ -312,10 +327,8 @@ mod tests {
     #[test]
     fn demographics_cover_domain() {
         let rows: Vec<Row> = customer_demographics_rows().collect();
-        assert!(rows
-            .iter()
-            .any(|r| r[1].as_str() == Some("M")
-                && r[2].as_str() == Some("S")
-                && r[3].as_str() == Some("College")));
+        assert!(rows.iter().any(|r| r[1].as_str() == Some("M")
+            && r[2].as_str() == Some("S")
+            && r[3].as_str() == Some("College")));
     }
 }

@@ -43,7 +43,12 @@ pub fn lineitem_schema() -> Schema {
 pub fn lineitem_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
     let n = (LINEITEM_PER_SF * sf).round() as i64;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x11);
-    const INSTRUCT: &[&str] = &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+    const INSTRUCT: &[&str] = &[
+        "DELIVER IN PERSON",
+        "COLLECT COD",
+        "NONE",
+        "TAKE BACK RETURN",
+    ];
     const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
     (0..n).map(move |i| {
         let orderkey = i / 4 + 1;
@@ -127,7 +132,13 @@ pub fn customer_schema() -> Schema {
 pub fn customer_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
     let n = (CUSTOMER_PER_SF * sf).round() as i64;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x33);
-    const SEG: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    const SEG: &[&str] = &[
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     (0..n).map(move |i| {
         Row::new(vec![
             Value::Int(i + 1),
@@ -163,7 +174,11 @@ pub fn part_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
         Row::new(vec![
             Value::Int(i + 1),
             Value::String(random_text(&mut rng, 15, 35)),
-            Value::String(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Value::String(format!(
+                "Brand#{}{}",
+                rng.gen_range(1..6),
+                rng.gen_range(1..6)
+            )),
             Value::String(format!(
                 "{} {} {}",
                 TYPES1[rng.gen_range(0..TYPES1.len())],
@@ -204,13 +219,28 @@ pub fn supplier_rows(sf: f64, seed: u64) -> impl Iterator<Item = Row> {
 
 /// All TPC-H tables as `(name, schema, row generator)`.
 #[allow(clippy::type_complexity)]
-pub fn all_tables(sf: f64, seed: u64) -> Vec<(&'static str, Schema, Box<dyn Iterator<Item = Row>>)> {
+pub fn all_tables(
+    sf: f64,
+    seed: u64,
+) -> Vec<(&'static str, Schema, Box<dyn Iterator<Item = Row>>)> {
     vec![
-        ("lineitem", lineitem_schema(), Box::new(lineitem_rows(sf, seed))),
+        (
+            "lineitem",
+            lineitem_schema(),
+            Box::new(lineitem_rows(sf, seed)),
+        ),
         ("orders", orders_schema(), Box::new(orders_rows(sf, seed))),
-        ("customer", customer_schema(), Box::new(customer_rows(sf, seed))),
+        (
+            "customer",
+            customer_schema(),
+            Box::new(customer_rows(sf, seed)),
+        ),
         ("part", part_schema(), Box::new(part_rows(sf, seed))),
-        ("supplier", supplier_schema(), Box::new(supplier_rows(sf, seed))),
+        (
+            "supplier",
+            supplier_schema(),
+            Box::new(supplier_rows(sf, seed)),
+        ),
     ]
 }
 

@@ -15,7 +15,7 @@
 
 pub mod stats;
 
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoScope, IoScopeGuard, IoSnapshot, IoStats};
 
 use hive_common::{HiveError, Result};
 use parking_lot::RwLock;

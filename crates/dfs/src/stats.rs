@@ -3,9 +3,16 @@
 //! Figure 10(b) of the paper reports "amounts of data read from HDFS"; these
 //! counters are where that number comes from in this reproduction.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared, thread-safe I/O counters.
+///
+/// Every `add_*` also tees into whatever [`IoScope`]s are entered on the
+/// current thread, so a task can attribute exactly its own I/O without
+/// racing on before/after snapshots of the global counters.
 #[derive(Debug, Default)]
 pub struct IoStats {
     bytes_local: AtomicU64,
@@ -15,23 +22,56 @@ pub struct IoStats {
     seeks: AtomicU64,
 }
 
+thread_local! {
+    /// Scopes entered on this thread, innermost last.
+    static ACTIVE_SCOPES: RefCell<Vec<Arc<IoStats>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn tee(f: impl Fn(&IoStats)) {
+    ACTIVE_SCOPES.with(|scopes| {
+        for scope in scopes.borrow().iter() {
+            f(scope);
+        }
+    });
+}
+
 impl IoStats {
-    pub fn add_bytes_local(&self, n: u64) {
+    fn record_bytes_local(&self, n: u64) {
         self.bytes_local.fetch_add(n, Ordering::Relaxed);
     }
 
-    pub fn add_bytes_remote(&self, n: u64) {
+    fn record_bytes_remote(&self, n: u64) {
         self.bytes_remote.fetch_add(n, Ordering::Relaxed);
     }
 
-    pub fn add_bytes_written(&self, n: u64) {
+    fn record_bytes_written(&self, n: u64) {
         self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_read_op(&self, seeks: u64) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.seeks.fetch_add(seeks, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_local(&self, n: u64) {
+        self.record_bytes_local(n);
+        tee(|s| s.record_bytes_local(n));
+    }
+
+    pub fn add_bytes_remote(&self, n: u64) {
+        self.record_bytes_remote(n);
+        tee(|s| s.record_bytes_remote(n));
+    }
+
+    pub fn add_bytes_written(&self, n: u64) {
+        self.record_bytes_written(n);
+        tee(|s| s.record_bytes_written(n));
     }
 
     /// One read op, carrying how many seeks it implied (0 if contiguous).
     pub fn add_read_op(&self, seeks: u64) {
-        self.read_ops.fetch_add(1, Ordering::Relaxed);
-        self.seeks.fetch_add(seeks, Ordering::Relaxed);
+        self.record_read_op(seeks);
+        tee(|s| s.record_read_op(seeks));
     }
 
     /// A consistent-enough point-in-time copy of all counters.
@@ -83,6 +123,59 @@ impl IoSnapshot {
     }
 }
 
+/// Per-task I/O attribution: counters that accumulate only the I/O issued
+/// while the scope is [entered](IoScope::enter) on a thread.
+///
+/// A worker running one map/reduce task enters its scope for the duration
+/// of the task; every `IoStats::add_*` on that thread (the global DFS
+/// counters included) then also lands in the scope. Unlike diffing global
+/// snapshots, this stays exact when other tasks run concurrently.
+#[derive(Debug, Default, Clone)]
+pub struct IoScope {
+    counters: Arc<IoStats>,
+}
+
+impl IoScope {
+    pub fn new() -> IoScope {
+        IoScope::default()
+    }
+
+    /// Start attributing this thread's I/O to the scope until the returned
+    /// guard drops. Scopes nest: inner and outer both observe the I/O.
+    pub fn enter(&self) -> IoScopeGuard {
+        ACTIVE_SCOPES.with(|scopes| scopes.borrow_mut().push(Arc::clone(&self.counters)));
+        IoScopeGuard {
+            counters: Arc::clone(&self.counters),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Point-in-time copy of everything attributed so far.
+    pub fn snapshot(&self) -> IoSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+/// Ends the attribution started by [`IoScope::enter`] when dropped.
+/// `!Send` by construction: the guard must drop on the thread that entered.
+#[derive(Debug)]
+pub struct IoScopeGuard {
+    counters: Arc<IoStats>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for IoScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.with(|scopes| {
+            let popped = scopes.borrow_mut().pop();
+            debug_assert!(
+                popped.is_some_and(|p| Arc::ptr_eq(&p, &self.counters)),
+                "IoScope guards must drop in LIFO order"
+            );
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +204,68 @@ mod tests {
         s.add_read_op(0);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn scope_sees_only_io_while_entered() {
+        let global = IoStats::default();
+        let scope = IoScope::new();
+        global.add_bytes_local(100); // before enter: not attributed
+        {
+            let _g = scope.enter();
+            global.add_bytes_local(7);
+            global.add_bytes_remote(3);
+            global.add_read_op(2);
+        }
+        global.add_bytes_written(50); // after exit: not attributed
+        let snap = scope.snapshot();
+        assert_eq!(snap.bytes_local, 7);
+        assert_eq!(snap.bytes_remote, 3);
+        assert_eq!(snap.read_ops, 1);
+        assert_eq!(snap.seeks, 2);
+        assert_eq!(snap.bytes_written, 0);
+        // Global counters still hold everything.
+        assert_eq!(global.snapshot().bytes_local, 107);
+    }
+
+    #[test]
+    fn nested_scopes_both_observe() {
+        let global = IoStats::default();
+        let outer = IoScope::new();
+        let inner = IoScope::new();
+        let _og = outer.enter();
+        global.add_bytes_local(10);
+        {
+            let _ig = inner.enter();
+            global.add_bytes_local(5);
+        }
+        global.add_bytes_local(1);
+        assert_eq!(outer.snapshot().bytes_local, 16);
+        assert_eq!(inner.snapshot().bytes_local, 5);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_cross_attribute() {
+        let global = Arc::new(IoStats::default());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let global = Arc::clone(&global);
+            handles.push(std::thread::spawn(move || {
+                let scope = IoScope::new();
+                let _g = scope.enter();
+                for _ in 0..1000 {
+                    global.add_bytes_local(i + 1);
+                }
+                scope.snapshot().bytes_local
+            }));
+        }
+        let per_thread: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, total) in per_thread.iter().enumerate() {
+            assert_eq!(*total, 1000 * (i as u64 + 1));
+        }
+        assert_eq!(
+            global.snapshot().bytes_local,
+            per_thread.iter().sum::<u64>()
+        );
     }
 }

@@ -170,10 +170,9 @@ impl RowAggState {
         match self.function {
             AggFunction::CountStar | AggFunction::Count => Value::Int(self.count),
             AggFunction::Sum => self.sum_value(),
-            AggFunction::Avg => Value::Struct(vec![
-                Value::Double(self.sum_f),
-                Value::Int(self.count),
-            ]),
+            AggFunction::Avg => {
+                Value::Struct(vec![Value::Double(self.sum_f), Value::Int(self.count)])
+            }
             AggFunction::Min => self.min.clone().unwrap_or(Value::Null),
             AggFunction::Max => self.max.clone().unwrap_or(Value::Null),
         }
@@ -309,7 +308,10 @@ mod tests {
 
     #[test]
     fn function_parsing() {
-        assert_eq!(parse_agg_function("count", true), Some(AggFunction::CountStar));
+        assert_eq!(
+            parse_agg_function("count", true),
+            Some(AggFunction::CountStar)
+        );
         assert_eq!(parse_agg_function("sum", false), Some(AggFunction::Sum));
         assert_eq!(parse_agg_function("concat", false), None);
     }

@@ -137,7 +137,8 @@ impl ExprNode {
                 if lo.is_null() || hi.is_null() {
                     return Ok(Value::Null);
                 }
-                let inside = v.sql_cmp(&lo) != Ordering::Less && v.sql_cmp(&hi) != Ordering::Greater;
+                let inside =
+                    v.sql_cmp(&lo) != Ordering::Less && v.sql_cmp(&hi) != Ordering::Greater;
                 Ok(Value::Boolean(inside != *negated))
             }
             ExprNode::IsNull { expr, negated } => {
@@ -294,10 +295,12 @@ pub fn cast_value(v: &Value, target: &DataType) -> Result<Value> {
             Value::Double(x) => Value::Int(*x as i64),
             Value::Boolean(b) => Value::Int(*b as i64),
             Value::Timestamp(x) => Value::Int(*x),
-            Value::String(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
-            other => {
-                return Err(HiveError::Type(format!("cannot cast {other} to bigint")))
-            }
+            Value::String(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
+            other => return Err(HiveError::Type(format!("cannot cast {other} to bigint"))),
         },
         DataType::Double => match v {
             Value::Int(x) => Value::Double(*x as f64),
@@ -308,29 +311,19 @@ pub fn cast_value(v: &Value, target: &DataType) -> Result<Value> {
                 .parse::<f64>()
                 .map(Value::Double)
                 .unwrap_or(Value::Null),
-            other => {
-                return Err(HiveError::Type(format!("cannot cast {other} to double")))
-            }
+            other => return Err(HiveError::Type(format!("cannot cast {other} to double"))),
         },
         DataType::String => Value::String(v.to_string()),
         DataType::Boolean => match v {
             Value::Boolean(b) => Value::Boolean(*b),
             Value::Int(x) => Value::Boolean(*x != 0),
-            other => {
-                return Err(HiveError::Type(format!("cannot cast {other} to boolean")))
-            }
+            other => return Err(HiveError::Type(format!("cannot cast {other} to boolean"))),
         },
         DataType::Timestamp => match v {
             Value::Int(x) | Value::Timestamp(x) => Value::Timestamp(*x),
-            other => {
-                return Err(HiveError::Type(format!("cannot cast {other} to timestamp")))
-            }
+            other => return Err(HiveError::Type(format!("cannot cast {other} to timestamp"))),
         },
-        other => {
-            return Err(HiveError::Type(format!(
-                "unsupported CAST target {other}"
-            )))
-        }
+        other => return Err(HiveError::Type(format!("unsupported CAST target {other}"))),
     })
 }
 
@@ -349,17 +342,29 @@ mod tests {
 
     #[test]
     fn arithmetic_and_widening() {
-        let e = ExprNode::binary(BinaryOp::Add, ExprNode::col(0), ExprNode::lit(Value::Int(5)));
+        let e = ExprNode::binary(
+            BinaryOp::Add,
+            ExprNode::col(0),
+            ExprNode::lit(Value::Int(5)),
+        );
         assert_eq!(e.eval(&row()).unwrap(), Value::Int(15));
         let e2 = ExprNode::binary(BinaryOp::Multiply, ExprNode::col(0), ExprNode::col(1));
         assert_eq!(e2.eval(&row()).unwrap(), Value::Double(25.0));
-        let div = ExprNode::binary(BinaryOp::Divide, ExprNode::col(0), ExprNode::lit(Value::Int(4)));
+        let div = ExprNode::binary(
+            BinaryOp::Divide,
+            ExprNode::col(0),
+            ExprNode::lit(Value::Int(4)),
+        );
         assert_eq!(div.eval(&row()).unwrap(), Value::Double(2.5));
     }
 
     #[test]
     fn null_propagation() {
-        let e = ExprNode::binary(BinaryOp::Add, ExprNode::col(3), ExprNode::lit(Value::Int(1)));
+        let e = ExprNode::binary(
+            BinaryOp::Add,
+            ExprNode::col(3),
+            ExprNode::lit(Value::Int(1)),
+        );
         assert_eq!(e.eval(&row()).unwrap(), Value::Null);
         assert!(!e.eval_predicate(&row()).unwrap());
     }

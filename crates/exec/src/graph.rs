@@ -66,6 +66,18 @@ pub struct OperatorGraph {
     closed: Vec<bool>,
 }
 
+// The parallel task runtime moves whole pipelines onto pool workers, so the
+// execution types must stay `Send`. Keep these assertions next to the type
+// definitions: they fail the build the moment someone adds an `Rc`/`RefCell`.
+const _: () = {
+    const fn assert_send<T: Send + ?Sized>() {}
+    assert_send::<OperatorGraph>();
+    assert_send::<Box<dyn Operator>>();
+    assert_send::<Message>();
+    assert_send::<ShuffleRecord>();
+    assert_send::<crate::expr::ExprNode>();
+};
+
 impl OperatorGraph {
     pub fn new() -> OperatorGraph {
         OperatorGraph {
@@ -199,8 +211,7 @@ impl OperatorGraph {
                 indeg[c] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(i);

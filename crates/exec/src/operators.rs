@@ -576,10 +576,8 @@ impl Operator for MapJoinOperator {
                                 }
                             }
                             None => {
-                                if matches!(
-                                    t.join_type,
-                                    JoinType::LeftOuter | JoinType::FullOuter
-                                ) {
+                                if matches!(t.join_type, JoinType::LeftOuter | JoinType::FullOuter)
+                                {
                                     next.push(big.concat(&Row::new(vec![Value::Null; t.width])));
                                 }
                             }
@@ -801,11 +799,32 @@ mod tests {
             g.push(gb, m, &mut |_| {}, &mut |r| out.push(r)).unwrap();
         };
         push(&mut g, Message::StartGroup, &mut out);
-        push(&mut g, Message::Row { row: row(&[1, 5]), tag: 0 }, &mut out);
-        push(&mut g, Message::Row { row: row(&[1, 6]), tag: 0 }, &mut out);
+        push(
+            &mut g,
+            Message::Row {
+                row: row(&[1, 5]),
+                tag: 0,
+            },
+            &mut out,
+        );
+        push(
+            &mut g,
+            Message::Row {
+                row: row(&[1, 6]),
+                tag: 0,
+            },
+            &mut out,
+        );
         push(&mut g, Message::EndGroup, &mut out);
         push(&mut g, Message::StartGroup, &mut out);
-        push(&mut g, Message::Row { row: row(&[2, 7]), tag: 0 }, &mut out);
+        push(
+            &mut g,
+            Message::Row {
+                row: row(&[2, 7]),
+                tag: 0,
+            },
+            &mut out,
+        );
         push(&mut g, Message::EndGroup, &mut out);
         g.finish(&mut |_| {}, &mut |r| out.push(r)).unwrap();
         assert_eq!(out, vec![row(&[1, 11]), row(&[2, 7])]);
@@ -843,10 +862,38 @@ mod tests {
             g.push(j, m, &mut |_| {}, &mut |r| out.push(r)).unwrap();
         };
         send(&mut g, Message::StartGroup, &mut out);
-        send(&mut g, Message::Row { row: row(&[1, 10]), tag: 0 }, &mut out);
-        send(&mut g, Message::Row { row: row(&[1, 11]), tag: 0 }, &mut out);
-        send(&mut g, Message::Row { row: row(&[100]), tag: 1 }, &mut out);
-        send(&mut g, Message::Row { row: row(&[101]), tag: 1 }, &mut out);
+        send(
+            &mut g,
+            Message::Row {
+                row: row(&[1, 10]),
+                tag: 0,
+            },
+            &mut out,
+        );
+        send(
+            &mut g,
+            Message::Row {
+                row: row(&[1, 11]),
+                tag: 0,
+            },
+            &mut out,
+        );
+        send(
+            &mut g,
+            Message::Row {
+                row: row(&[100]),
+                tag: 1,
+            },
+            &mut out,
+        );
+        send(
+            &mut g,
+            Message::Row {
+                row: row(&[101]),
+                tag: 1,
+            },
+            &mut out,
+        );
         send(&mut g, Message::EndGroup, &mut out);
         assert_eq!(out.len(), 4);
         assert!(out.contains(&row(&[1, 10, 100])));
@@ -864,7 +911,10 @@ mod tests {
         let mut out2 = Vec::new();
         g2.push(
             j2,
-            Message::Row { row: row(&[5, 50]), tag: 0 },
+            Message::Row {
+                row: row(&[5, 50]),
+                tag: 0,
+            },
             &mut |_| {},
             &mut |r| out2.push(r),
         )
@@ -971,9 +1021,16 @@ mod tests {
     fn mux_assigns_tags() {
         let mut mux = MuxOperator::new(1, Some(5));
         let emits = mux
-            .receive(Message::Row { row: row(&[1]), tag: 0 })
+            .receive(Message::Row {
+                row: row(&[1]),
+                tag: 0,
+            })
             .unwrap();
-        let Emit::Forward { msg: Message::Row { tag, .. }, .. } = &emits[0] else {
+        let Emit::Forward {
+            msg: Message::Row { tag, .. },
+            ..
+        } = &emits[0]
+        else {
             panic!()
         };
         assert_eq!(*tag, 5);
@@ -990,7 +1047,10 @@ mod tests {
         let mut out = Vec::new();
         g.push(
             tee,
-            Message::Row { row: row(&[9]), tag: 0 },
+            Message::Row {
+                row: row(&[9]),
+                tag: 0,
+            },
             &mut |_| {},
             &mut |r| out.push(r),
         )
@@ -1011,12 +1071,24 @@ mod tests {
     #[test]
     fn join_clears_buffers_between_groups() {
         let mut j = CommonJoinOperator::new(2, JoinType::Inner, vec![1, 1]);
-        j.receive(Message::Row { row: row(&[1]), tag: 0 }).unwrap();
-        j.receive(Message::Row { row: row(&[2]), tag: 1 }).unwrap();
+        j.receive(Message::Row {
+            row: row(&[1]),
+            tag: 0,
+        })
+        .unwrap();
+        j.receive(Message::Row {
+            row: row(&[2]),
+            tag: 1,
+        })
+        .unwrap();
         let first = j.receive(Message::EndGroup).unwrap();
         assert_eq!(first.len(), 2, "1 joined row + EndGroup broadcast");
         // Next group must not see the previous group's rows.
-        j.receive(Message::Row { row: row(&[3]), tag: 0 }).unwrap();
+        j.receive(Message::Row {
+            row: row(&[3]),
+            tag: 0,
+        })
+        .unwrap();
         let second = j.receive(Message::EndGroup).unwrap();
         assert_eq!(second.len(), 1, "no match → only the EndGroup broadcast");
     }

@@ -111,7 +111,9 @@ pub struct StreamInfo {
 pub enum ColumnEncoding {
     Direct,
     /// Dictionary encoding with the given entry count.
-    Dictionary { size: u64 },
+    Dictionary {
+        size: u64,
+    },
 }
 
 /// All streams of one column in a stripe.
@@ -335,7 +337,9 @@ pub(crate) fn encode_postscript(ps: &PostScript, out: &mut Vec<u8>) {
 pub(crate) fn decode_postscript(file_tail: &[u8]) -> Result<(PostScript, usize)> {
     let n = file_tail.len();
     if n < 2 {
-        return Err(HiveError::Format("file too small for ORC postscript".into()));
+        return Err(HiveError::Format(
+            "file too small for ORC postscript".into(),
+        ));
     }
     let ps_len = file_tail[n - 1] as usize;
     if n < 1 + ps_len {
@@ -470,8 +474,16 @@ mod tests {
                         kind: StreamKind::Data,
                         len: 100,
                         chunks: vec![
-                            ChunkInfo { offset: 0, len: 60, values: 50 },
-                            ChunkInfo { offset: 60, len: 40, values: 30 },
+                            ChunkInfo {
+                                offset: 0,
+                                len: 60,
+                                values: 50,
+                            },
+                            ChunkInfo {
+                                offset: 60,
+                                len: 40,
+                                values: 30,
+                            },
                         ],
                     }],
                 },

@@ -258,29 +258,27 @@ impl OrcReader {
                 .max()
                 .unwrap_or(1);
             self.counters.groups_total += ngroups as u64;
-            let selected: Vec<usize> = if self.opts.use_index
-                && self.opts.sarg.is_some()
-                && si.index_len > 0
-            {
-                let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
-                let group_stats = decode_index(&index_buf, self.tree.len())?;
-                (0..ngroups)
-                    .filter(|&g| {
-                        let per_group: Vec<ColumnStatistics> = group_stats
-                            .iter()
-                            .map(|col| {
-                                col.get(g).cloned().unwrap_or(ColumnStatistics::Generic {
-                                    count: 0,
-                                    has_null: false,
+            let selected: Vec<usize> =
+                if self.opts.use_index && self.opts.sarg.is_some() && si.index_len > 0 {
+                    let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
+                    let group_stats = decode_index(&index_buf, self.tree.len())?;
+                    (0..ngroups)
+                        .filter(|&g| {
+                            let per_group: Vec<ColumnStatistics> = group_stats
+                                .iter()
+                                .map(|col| {
+                                    col.get(g).cloned().unwrap_or(ColumnStatistics::Generic {
+                                        count: 0,
+                                        has_null: false,
+                                    })
                                 })
-                            })
-                            .collect();
-                        self.sarg_allows(&per_group)
-                    })
-                    .collect()
-            } else {
-                (0..ngroups).collect()
-            };
+                                .collect();
+                            self.sarg_allows(&per_group)
+                        })
+                        .collect()
+                } else {
+                    (0..ngroups).collect()
+                };
             if selected.is_empty() {
                 continue;
             }
@@ -309,13 +307,8 @@ impl OrcReader {
                     cols.push(None);
                     continue;
                 }
-                let dc = self.decode_column(
-                    col_id,
-                    &sfooter,
-                    &stream_offsets,
-                    &selected,
-                    all_groups,
-                )?;
+                let dc =
+                    self.decode_column(col_id, &sfooter, &stream_offsets, &selected, all_groups)?;
                 cols.push(Some(dc));
             }
             // Top-level row count of selected groups: derive from the index
@@ -357,16 +350,17 @@ impl OrcReader {
             let base = stream_offsets[col_id][idx];
             let mut out = Vec::new();
             let stripe_global = info.chunks.len() == 1
-                && matches!(kind, StreamKind::DictionaryData | StreamKind::DictionaryLength);
+                && matches!(
+                    kind,
+                    StreamKind::DictionaryData | StreamKind::DictionaryLength
+                );
             if all_groups || stripe_global {
                 // One contiguous read for the whole stream.
                 let bytes = self.reader.read_at(base, info.len as usize)?;
                 for c in &info.chunks {
                     let framed = bytes
                         .get(c.offset as usize..(c.offset.saturating_add(c.len)) as usize)
-                        .ok_or_else(|| {
-                            HiveError::Format("chunk range exceeds stream".into())
-                        })?;
+                        .ok_or_else(|| HiveError::Format("chunk range exceeds stream".into()))?;
                     out.push((deframe_chunk(framed, compression)?, c.values));
                 }
             } else {
@@ -396,9 +390,7 @@ impl OrcReader {
                         let rel = c.offset.wrapping_sub(first.offset) as usize;
                         let framed = bytes
                             .get(rel..rel.saturating_add(c.len as usize))
-                            .ok_or_else(|| {
-                                HiveError::Format("chunk range exceeds run".into())
-                            })?;
+                            .ok_or_else(|| HiveError::Format("chunk range exceeds run".into()))?;
                         out.push((deframe_chunk(framed, compression)?, c.values));
                     }
                     i = j + 1;
@@ -551,11 +543,7 @@ impl OrcReader {
 
     /// Recursively materialize the next value of column `col`.
     fn read_value(&mut self, col: usize) -> Result<Value> {
-        let non_null = self
-            .current
-            .as_mut()
-            .unwrap()
-            .cols[col]
+        let non_null = self.current.as_mut().unwrap().cols[col]
             .as_mut()
             .ok_or_else(|| HiveError::Format("column not decoded".into()))?
             .next_present();
@@ -590,7 +578,8 @@ impl OrcReader {
             }
             DataType::String => {
                 let dc = self.cursor(col)?;
-                let corrupt = || HiveError::Format("string stream exhausted (corrupt counts)".into());
+                let corrupt =
+                    || HiveError::Format("string stream exhausted (corrupt counts)".into());
                 let s = match &dc.data {
                     DecodedData::StringsDict { dict, ids } => {
                         let id = *ids.get(dc.data_idx).ok_or_else(corrupt)? as usize;
@@ -599,9 +588,7 @@ impl OrcReader {
                     }
                     DecodedData::StringsDirect { data, offsets } => {
                         let (off, len) = *offsets.get(dc.data_idx).ok_or_else(corrupt)?;
-                        let bytes = data
-                            .get(off..off.saturating_add(len))
-                            .ok_or_else(corrupt)?;
+                        let bytes = data.get(off..off.saturating_add(len)).ok_or_else(corrupt)?;
                         String::from_utf8_lossy(bytes).into_owned()
                     }
                     _ => return Err(HiveError::Format("expected string data".into())),
@@ -672,9 +659,9 @@ impl OrcReader {
         let DecodedData::Longs(v) = &dc.data else {
             return Err(HiveError::Format("expected long data".into()));
         };
-        let x = *v.get(dc.data_idx).ok_or_else(|| {
-            HiveError::Format("long stream exhausted (corrupt counts)".into())
-        })?;
+        let x = *v
+            .get(dc.data_idx)
+            .ok_or_else(|| HiveError::Format("long stream exhausted (corrupt counts)".into()))?;
         dc.data_idx += 1;
         Ok(x)
     }
@@ -684,9 +671,9 @@ impl OrcReader {
         let DecodedData::Lengths(v) = &dc.data else {
             return Err(HiveError::Format("expected length data".into()));
         };
-        let x = *v.get(dc.data_idx).ok_or_else(|| {
-            HiveError::Format("length stream exhausted (corrupt counts)".into())
-        })?;
+        let x = *v
+            .get(dc.data_idx)
+            .ok_or_else(|| HiveError::Format("length stream exhausted (corrupt counts)".into()))?;
         dc.data_idx += 1;
         // A corrupted length could be negative or absurdly large; either
         // would make the collection loops allocate unboundedly.

@@ -127,9 +127,10 @@ impl PredicateLeaf {
             if self.literal_list.is_empty() {
                 return No;
             }
-            let any_possible = self.literal_list.iter().any(|v| {
-                v.sql_cmp(&min) != Ordering::Less && v.sql_cmp(&max) != Ordering::Greater
-            });
+            let any_possible = self
+                .literal_list
+                .iter()
+                .any(|v| v.sql_cmp(&min) != Ordering::Less && v.sql_cmp(&max) != Ordering::Greater);
             return if !any_possible { No } else { Maybe };
         }
         let Some(lit) = &self.literal else {
@@ -282,7 +283,10 @@ mod tests {
         let leaf = PredicateLeaf::between(0, Value::Int(0), Value::Int(3750));
         assert_eq!(leaf.evaluate(&int_stats(4000, 8000, false)), TruthValue::No);
         assert_eq!(leaf.evaluate(&int_stats(0, 3000, false)), TruthValue::Yes);
-        assert_eq!(leaf.evaluate(&int_stats(3000, 5000, false)), TruthValue::Maybe);
+        assert_eq!(
+            leaf.evaluate(&int_stats(3000, 5000, false)),
+            TruthValue::Maybe
+        );
     }
 
     #[test]
@@ -370,7 +374,10 @@ mod tests {
         let leaf = PredicateLeaf::in_list(0, vec![Value::Int(5), Value::Int(105)]);
         assert_eq!(leaf.evaluate(&int_stats(10, 90, false)), TruthValue::No);
         assert_eq!(leaf.evaluate(&int_stats(0, 7, false)), TruthValue::Maybe);
-        assert_eq!(leaf.evaluate(&int_stats(100, 200, false)), TruthValue::Maybe);
+        assert_eq!(
+            leaf.evaluate(&int_stats(100, 200, false)),
+            TruthValue::Maybe
+        );
         let strings = ColumnStatistics::String {
             count: 5,
             has_null: false,

@@ -69,9 +69,9 @@ impl ColumnStatistics {
             ColumnStatistics::String { min, .. } => min
                 .as_ref()
                 .map(|b| Value::String(String::from_utf8_lossy(b).into_owned())),
-            ColumnStatistics::Boolean { count, true_count, .. } => {
-                Some(Value::Boolean(*count > 0 && *true_count == *count))
-            }
+            ColumnStatistics::Boolean {
+                count, true_count, ..
+            } => Some(Value::Boolean(*count > 0 && *true_count == *count)),
             ColumnStatistics::Generic { .. } => None,
         }
     }
@@ -100,13 +100,31 @@ impl ColumnStatistics {
     pub fn merge(&mut self, other: &ColumnStatistics) -> Result<()> {
         use ColumnStatistics::*;
         match (self, other) {
-            (Generic { count, has_null }, Generic { count: c2, has_null: h2 }) => {
+            (
+                Generic { count, has_null },
+                Generic {
+                    count: c2,
+                    has_null: h2,
+                },
+            ) => {
                 *count += c2;
                 *has_null |= h2;
             }
             (
-                Int { count, has_null, min, max, sum },
-                Int { count: c2, has_null: h2, min: m2, max: x2, sum: s2 },
+                Int {
+                    count,
+                    has_null,
+                    min,
+                    max,
+                    sum,
+                },
+                Int {
+                    count: c2,
+                    has_null: h2,
+                    min: m2,
+                    max: x2,
+                    sum: s2,
+                },
             ) => {
                 *count += c2;
                 *has_null |= h2;
@@ -119,8 +137,20 @@ impl ColumnStatistics {
                 };
             }
             (
-                Double { count, has_null, min, max, sum },
-                Double { count: c2, has_null: h2, min: m2, max: x2, sum: s2 },
+                Double {
+                    count,
+                    has_null,
+                    min,
+                    max,
+                    sum,
+                },
+                Double {
+                    count: c2,
+                    has_null: h2,
+                    min: m2,
+                    max: x2,
+                    sum: s2,
+                },
             ) => {
                 *count += c2;
                 *has_null |= h2;
@@ -133,8 +163,20 @@ impl ColumnStatistics {
                 };
             }
             (
-                String { count, has_null, min, max, total_length },
-                String { count: c2, has_null: h2, min: m2, max: x2, total_length: t2 },
+                String {
+                    count,
+                    has_null,
+                    min,
+                    max,
+                    total_length,
+                },
+                String {
+                    count: c2,
+                    has_null: h2,
+                    min: m2,
+                    max: x2,
+                    total_length: t2,
+                },
             ) => {
                 *count += c2;
                 *has_null |= h2;
@@ -151,8 +193,16 @@ impl ColumnStatistics {
                 *total_length += t2;
             }
             (
-                Boolean { count, has_null, true_count },
-                Boolean { count: c2, has_null: h2, true_count: t2 },
+                Boolean {
+                    count,
+                    has_null,
+                    true_count,
+                },
+                Boolean {
+                    count: c2,
+                    has_null: h2,
+                    true_count: t2,
+                },
             ) => {
                 *count += c2;
                 *has_null |= h2;
@@ -175,7 +225,13 @@ impl ColumnStatistics {
                 varint::write_unsigned(out, *count);
                 out.push(*has_null as u8);
             }
-            ColumnStatistics::Int { count, has_null, min, max, sum } => {
+            ColumnStatistics::Int {
+                count,
+                has_null,
+                min,
+                max,
+                sum,
+            } => {
                 out.push(1);
                 varint::write_unsigned(out, *count);
                 out.push(*has_null as u8);
@@ -183,7 +239,13 @@ impl ColumnStatistics {
                 encode_opt_i64(out, *max);
                 encode_opt_i64(out, *sum);
             }
-            ColumnStatistics::Double { count, has_null, min, max, sum } => {
+            ColumnStatistics::Double {
+                count,
+                has_null,
+                min,
+                max,
+                sum,
+            } => {
                 out.push(2);
                 varint::write_unsigned(out, *count);
                 out.push(*has_null as u8);
@@ -191,7 +253,13 @@ impl ColumnStatistics {
                 encode_opt_f64(out, *max);
                 encode_opt_f64(out, *sum);
             }
-            ColumnStatistics::String { count, has_null, min, max, total_length } => {
+            ColumnStatistics::String {
+                count,
+                has_null,
+                min,
+                max,
+                total_length,
+            } => {
                 out.push(3);
                 varint::write_unsigned(out, *count);
                 out.push(*has_null as u8);
@@ -199,7 +267,11 @@ impl ColumnStatistics {
                 encode_opt_bytes(out, max.as_deref());
                 varint::write_unsigned(out, *total_length);
             }
-            ColumnStatistics::Boolean { count, has_null, true_count } => {
+            ColumnStatistics::Boolean {
+                count,
+                has_null,
+                true_count,
+            } => {
                 out.push(4);
                 varint::write_unsigned(out, *count);
                 out.push(*has_null as u8);
@@ -347,7 +419,10 @@ mod tests {
 
     #[test]
     fn encode_decode_all_kinds() {
-        round_trip(&ColumnStatistics::Generic { count: 10, has_null: true });
+        round_trip(&ColumnStatistics::Generic {
+            count: 10,
+            has_null: true,
+        });
         round_trip(&ColumnStatistics::Int {
             count: 5,
             has_null: false,
@@ -435,8 +510,15 @@ mod tests {
 
     #[test]
     fn merge_kind_mismatch_errors() {
-        let mut a = ColumnStatistics::Generic { count: 1, has_null: false };
-        let b = ColumnStatistics::Boolean { count: 1, has_null: false, true_count: 1 };
+        let mut a = ColumnStatistics::Generic {
+            count: 1,
+            has_null: false,
+        };
+        let b = ColumnStatistics::Boolean {
+            count: 1,
+            has_null: false,
+            true_count: 1,
+        };
         assert!(a.merge(&b).is_err());
     }
 

@@ -321,10 +321,10 @@ impl OrcWriter {
         let mut per_stripe = Vec::with_capacity(self.tree.len());
         for stats in &group_stats {
             let mut it = stats.iter();
-            let mut acc = it
-                .next()
-                .cloned()
-                .unwrap_or(ColumnStatistics::Generic { count: 0, has_null: false });
+            let mut acc = it.next().cloned().unwrap_or(ColumnStatistics::Generic {
+                count: 0,
+                has_null: false,
+            });
             for s in it {
                 acc.merge(s)?;
             }
@@ -466,8 +466,8 @@ fn encode_column(
     // Helper to emit a per-group stream from a closure producing raw bytes
     // plus a value count per group.
     let emit_stream = |kind: StreamKind,
-                           data: &mut Vec<u8>,
-                           per_group: &mut dyn FnMut(usize) -> (Vec<u8>, u64)| {
+                       data: &mut Vec<u8>,
+                       per_group: &mut dyn FnMut(usize) -> (Vec<u8>, u64)| {
         let mut stream_bytes = Vec::new();
         let mut chunks = Vec::with_capacity(ngroups);
         for g in 0..ngroups {

@@ -235,61 +235,61 @@ impl RcFileReader {
                     return Ok(false);
                 }
             }
-        // Group header: row count + (key_len, comp_len, raw_len) per
-        // column. Sized generously; varints are tiny.
-        let hdr = self.reader.read_at(self.offset, 10 + self.ncols * 30)?;
-        let mut pos = 0usize;
-        let nrows = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
-        let mut lens = Vec::with_capacity(self.ncols);
-        for _ in 0..self.ncols {
-            let key = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
-            let comp = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
-            let raw = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
-            lens.push((key, comp, raw));
-        }
-        let mut data_off = self.offset + pos as u64;
-        if let Some((start, _)) = self.split {
-            if group_start < start {
-                // Not our group: hop over its data without reading it.
-                self.offset = data_off
-                    + lens.iter().map(|(k, c, _)| (*k + *c) as u64).sum::<u64>();
-                continue;
+            // Group header: row count + (key_len, comp_len, raw_len) per
+            // column. Sized generously; varints are tiny.
+            let hdr = self.reader.read_at(self.offset, 10 + self.ncols * 30)?;
+            let mut pos = 0usize;
+            let nrows = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
+            let mut lens = Vec::with_capacity(self.ncols);
+            for _ in 0..self.ncols {
+                let key = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
+                let comp = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
+                let raw = hive_codec::varint::read_unsigned(&hdr, &mut pos)? as usize;
+                lens.push((key, comp, raw));
             }
-        }
-        let codec = self.compression.codec();
-        let mut cols = Vec::with_capacity(self.projection.len());
-        // Read projected columns; *seek over* the rest (lazy column skip).
-        // Columns must be fetched in file order to keep seek accounting
-        // honest; output order is restored below.
-        let mut by_file_order: Vec<(usize, Vec<i64>, Vec<u8>)> = Vec::new();
-        for c in 0..self.ncols {
-            let (key_len, comp_len, _raw) = lens[c];
-            if self.projection.contains(&c) {
-                let key = self.reader.read_at(data_off, key_len)?;
-                let cell_lens = hive_codec::int_rle::decode(&key)?;
-                let blob = self.reader.read_at(data_off + key_len as u64, comp_len)?;
-                let buf = match &codec {
-                    Some(codec) => codec.decompress(&blob)?,
-                    None => blob,
-                };
-                by_file_order.push((c, cell_lens, buf));
+            let mut data_off = self.offset + pos as u64;
+            if let Some((start, _)) = self.split {
+                if group_start < start {
+                    // Not our group: hop over its data without reading it.
+                    self.offset =
+                        data_off + lens.iter().map(|(k, c, _)| (*k + *c) as u64).sum::<u64>();
+                    continue;
+                }
             }
-            data_off += (key_len + comp_len) as u64;
-        }
-        self.offset = data_off;
-        for &p in &self.projection {
-            let (cell_lens, buf) = by_file_order
-                .iter()
-                .find(|(c, _, _)| *c == p)
-                .map(|(_, l, b)| (l.clone(), b.clone()))
-                .ok_or_else(|| HiveError::Format("projected column missing".into()))?;
-            cols.push((cell_lens, buf, 0usize, 0usize));
-        }
-        self.group = Some(GroupCursor {
-            rows_left: nrows,
-            cols,
-        });
-        return Ok(true);
+            let codec = self.compression.codec();
+            let mut cols = Vec::with_capacity(self.projection.len());
+            // Read projected columns; *seek over* the rest (lazy column skip).
+            // Columns must be fetched in file order to keep seek accounting
+            // honest; output order is restored below.
+            let mut by_file_order: Vec<(usize, Vec<i64>, Vec<u8>)> = Vec::new();
+            for c in 0..self.ncols {
+                let (key_len, comp_len, _raw) = lens[c];
+                if self.projection.contains(&c) {
+                    let key = self.reader.read_at(data_off, key_len)?;
+                    let cell_lens = hive_codec::int_rle::decode(&key)?;
+                    let blob = self.reader.read_at(data_off + key_len as u64, comp_len)?;
+                    let buf = match &codec {
+                        Some(codec) => codec.decompress(&blob)?,
+                        None => blob,
+                    };
+                    by_file_order.push((c, cell_lens, buf));
+                }
+                data_off += (key_len + comp_len) as u64;
+            }
+            self.offset = data_off;
+            for &p in &self.projection {
+                let (cell_lens, buf) = by_file_order
+                    .iter()
+                    .find(|(c, _, _)| *c == p)
+                    .map(|(_, l, b)| (l.clone(), b.clone()))
+                    .ok_or_else(|| HiveError::Format("projected column missing".into()))?;
+                cols.push((cell_lens, buf, 0usize, 0usize));
+            }
+            self.group = Some(GroupCursor {
+                rows_left: nrows,
+                cols,
+            });
+            return Ok(true);
         }
     }
 }
@@ -409,8 +409,7 @@ mod tests {
         let full = fs.stats().snapshot().bytes_read();
 
         fs.stats().reset();
-        let mut r =
-            RcFileReader::open(&fs, "/t/rc-proj", &schema(), Some(vec![0]), None).unwrap();
+        let mut r = RcFileReader::open(&fs, "/t/rc-proj", &schema(), Some(vec![0]), None).unwrap();
         let mut n = 0i64;
         while let Some(row) = r.next_row().unwrap() {
             assert_eq!(row.values(), &[Value::Int(n)]);
@@ -429,8 +428,7 @@ mod tests {
         // RCFile cannot decompose it (ORC can).
         let fs = dfs();
         write_file(&fs, "/t/rc-cplx", 100, 16 << 10, Compression::None);
-        let mut r =
-            RcFileReader::open(&fs, "/t/rc-cplx", &schema(), Some(vec![2]), None).unwrap();
+        let mut r = RcFileReader::open(&fs, "/t/rc-cplx", &schema(), Some(vec![2]), None).unwrap();
         let row = r.next_row().unwrap().unwrap();
         assert_eq!(row[0], Value::Array(vec![Value::Int(0), Value::Int(1)]));
     }

@@ -119,10 +119,7 @@ fn parse_text_value(raw: &[u8], dt: &DataType, depth: u8) -> Result<Value> {
             b"false" | b"FALSE" | b"0" => Ok(Value::Boolean(false)),
             _ => Ok(Value::Null), // Hive yields NULL for malformed cells
         },
-        DataType::Int => Ok(text()
-            .parse::<i64>()
-            .map(Value::Int)
-            .unwrap_or(Value::Null)),
+        DataType::Int => Ok(text().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)),
         DataType::Double => Ok(text()
             .parse::<f64>()
             .map(Value::Double)
@@ -315,9 +312,14 @@ pub fn binary_deserialize_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
                 .get(*pos)
                 .ok_or_else(|| HiveError::SerDe("union truncated".into()))?;
             *pos += 1;
-            Ok(Value::Union(t, Box::new(binary_deserialize_value(buf, pos)?)))
+            Ok(Value::Union(
+                t,
+                Box::new(binary_deserialize_value(buf, pos)?),
+            ))
         }
-        other => Err(HiveError::SerDe(format!("unknown binary value tag {other}"))),
+        other => Err(HiveError::SerDe(format!(
+            "unknown binary value tag {other}"
+        ))),
     }
 }
 

@@ -221,7 +221,10 @@ mod tests {
         write_rows(&dfs, "/t/text2", 3);
         let mut r = TextReader::open(&dfs, "/t/text2", schema(), Some(vec![1, 0]), None).unwrap();
         let row = r.next_row().unwrap().unwrap();
-        assert_eq!(row.values(), &[Value::String("row-0".into()), Value::Int(0)]);
+        assert_eq!(
+            row.values(),
+            &[Value::String("row-0".into()), Value::Int(0)]
+        );
     }
 
     #[test]
@@ -251,8 +254,7 @@ mod tests {
         let mut seen = Vec::new();
         for w in bounds.windows(2) {
             let mut r =
-                TextReader::open_split(&dfs, "/t/text4", schema(), None, w[0], w[1], None)
-                    .unwrap();
+                TextReader::open_split(&dfs, "/t/text4", schema(), None, w[0], w[1], None).unwrap();
             while let Some(row) = r.next_row().unwrap() {
                 seen.push(row[0].as_int().unwrap());
             }

@@ -114,7 +114,11 @@ fn nulls_round_trip_everywhere() {
     let schema = Schema::parse(&[("i", "bigint"), ("s", "string"), ("a", "array<int>")]).unwrap();
     let make = |i: i64| {
         Row::new(vec![
-            if i % 3 == 0 { Value::Null } else { Value::Int(i) },
+            if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            },
             if i % 5 == 0 {
                 Value::Null
             } else {
@@ -123,11 +127,21 @@ fn nulls_round_trip_everywhere() {
             if i % 7 == 0 {
                 Value::Null
             } else {
-                Value::Array(vec![if i % 2 == 0 { Value::Null } else { Value::Int(i) }])
+                Value::Array(vec![if i % 2 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                }])
             },
         ])
     };
-    write_orc(&fs, "/orc/nulls", &schema, small_opts(), (0..2000).map(make));
+    write_orc(
+        &fs,
+        "/orc/nulls",
+        &schema,
+        small_opts(),
+        (0..2000).map(make),
+    );
     let (rows, _) = read_all(&fs, "/orc/nulls", OrcReadOptions::default());
     assert_eq!(rows.len(), 2000);
     for (i, row) in rows.iter().enumerate() {
@@ -184,7 +198,13 @@ fn dictionary_encoding_shrinks_low_cardinality_columns() {
         x ^= x << 17;
         Row::new(vec![Value::String(format!("{x:032x}{x:032x}"))])
     };
-    write_orc(&fs, "/orc/low", &schema, small_opts(), (0..20000).map(lowcard));
+    write_orc(
+        &fs,
+        "/orc/low",
+        &schema,
+        small_opts(),
+        (0..20000).map(lowcard),
+    );
     write_orc(
         &fs,
         "/orc/high",
@@ -229,8 +249,12 @@ fn compression_variants_round_trip_and_shrink() {
 #[test]
 fn projection_reads_fewer_bytes_and_decomposed_children() {
     let fs = dfs();
-    let schema = Schema::parse(&[("a", "bigint"), ("blob", "string"), ("m", "map<string,int>")])
-        .unwrap();
+    let schema = Schema::parse(&[
+        ("a", "bigint"),
+        ("blob", "string"),
+        ("m", "map<string,int>"),
+    ])
+    .unwrap();
     let make = |i: i64| {
         Row::new(vec![
             Value::Int(i),
@@ -296,7 +320,11 @@ fn predicate_pushdown_skips_stripes_and_groups() {
     );
     let bytes_sel = fs.stats().snapshot().bytes_read();
     // Selected rows form a superset of the exact range (whole groups).
-    assert!(rows_sel.len() >= 101 && rows_sel.len() <= 400, "{}", rows_sel.len());
+    assert!(
+        rows_sel.len() >= 101 && rows_sel.len() <= 400,
+        "{}",
+        rows_sel.len()
+    );
     assert!(rows_sel.iter().any(|r| r[0] == Value::Int(550)));
     assert!(r_sel.counters.groups_read < r_all.counters.groups_total / 10);
     assert!(
@@ -310,7 +338,13 @@ fn stripe_level_skipping_without_index_groups() {
     let fs = dfs();
     let schema = Schema::parse(&[("x", "bigint")]).unwrap();
     let make = |i: i64| Row::new(vec![Value::Int(i)]);
-    write_orc(&fs, "/orc/stripe-skip", &schema, small_opts(), (0..50000).map(make));
+    write_orc(
+        &fs,
+        "/orc/stripe-skip",
+        &schema,
+        small_opts(),
+        (0..50000).map(make),
+    );
     let sarg = SearchArgument::new(vec![PredicateLeaf::new(
         0,
         PredicateOp::LessThan,
@@ -443,7 +477,11 @@ fn vectorized_reader_matches_row_reader() {
     let schema = Schema::parse(&[("i", "bigint"), ("d", "double"), ("s", "string")]).unwrap();
     let make = |i: i64| {
         Row::new(vec![
-            if i % 11 == 0 { Value::Null } else { Value::Int(i) },
+            if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            },
             Value::Double(i as f64 * 0.5),
             Value::String(format!("s{}", i % 3)),
         ])
@@ -453,7 +491,11 @@ fn vectorized_reader_matches_row_reader() {
     let (rows, _) = read_all(&fs, "/orc/vec", OrcReadOptions::default());
 
     let mut r = OrcReader::open(&fs, "/orc/vec", OrcReadOptions::default()).unwrap();
-    let types: Vec<DataType> = schema.fields().iter().map(|f| f.data_type.clone()).collect();
+    let types: Vec<DataType> = schema
+        .fields()
+        .iter()
+        .map(|f| f.data_type.clone())
+        .collect();
     let mut batch = VectorizedRowBatch::new(&types, 256).unwrap();
     let mut got = Vec::new();
     while r.next_batch(&mut batch).unwrap() {
@@ -511,10 +553,7 @@ fn in_list_predicate_pushdown_skips() {
     let mut rows = Vec::new();
     for s in states {
         for i in 0..2000i64 {
-            rows.push(Row::new(vec![
-                Value::String(s.to_string()),
-                Value::Int(i),
-            ]));
+            rows.push(Row::new(vec![Value::String(s.to_string()), Value::Int(i)]));
         }
     }
     write_orc(&fs, "/orc/in", &schema, small_opts(), rows.into_iter());
@@ -539,7 +578,11 @@ fn in_list_predicate_pushdown_skips() {
         "{:?}",
         r.counters
     );
-    assert!(r.counters.stripes_read < r.counters.stripes_total, "{:?}", r.counters);
+    assert!(
+        r.counters.stripes_read < r.counters.stripes_total,
+        "{:?}",
+        r.counters
+    );
     // Soundness: every SD/TN row is present.
     let hits = rows_sel
         .iter()

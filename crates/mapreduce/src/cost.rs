@@ -129,7 +129,10 @@ mod tests {
             bytes_local: 90_000_000,
             ..Default::default()
         });
-        assert!((with_io - base - 1.0).abs() < 1e-6, "90 MB at 90 MB/s = 1 s");
+        assert!(
+            (with_io - base - 1.0).abs() < 1e-6,
+            "90 MB at 90 MB/s = 1 s"
+        );
         let with_remote = m.task_seconds(&TaskWork {
             bytes_remote: 90_000_000,
             ..Default::default()

@@ -1,15 +1,22 @@
 //! The MapReduce engine: real execution + simulated cluster timing.
 
 use crate::cost::{CostModel, TaskWork};
-use crate::job::{JobInput, JobOutput, JobSpec, SideInput};
-use hive_common::{HiveConf, HiveError, Result, Row, Value};
-use hive_dfs::Dfs;
+use crate::job::{JobInput, JobOutput, JobSpec, ReducePipelineFactory, SideInput};
+use hive_common::{config::keys, HiveConf, HiveError, Result, Row, Value};
+use hive_dfs::{Dfs, IoScope, IoSnapshot};
 use hive_exec::graph::{Message, ShuffleRecord};
 use hive_formats::{open_reader, ReadOptions, TableWriter};
 use hive_vector::VectorizedRowBatch;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Per-row CPU charge substituted for measured wall-clock CPU when
+/// `hive.exec.sim.deterministic.cpu` is on, making simulated times
+/// bit-identical across runs regardless of host load or worker count.
+const DETERMINISTIC_CPU_S_PER_ROW: f64 = 2.0e-6;
 
 /// Execution summary of one job.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +54,12 @@ pub struct MrEngine {
     pub cost: CostModel,
 }
 
+// `run_dag` shares `&MrEngine` across job-runner threads.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<MrEngine>();
+};
+
 /// One input split: a byte range of one file, with a preferred node.
 struct Split<'a> {
     input: &'a JobInput,
@@ -54,6 +67,31 @@ struct Split<'a> {
     start: u64,
     end: u64,
     node: usize,
+}
+
+/// What one map task hands back to the engine. Everything a task produces
+/// or measures is task-local; the engine merges results deterministically
+/// by task index after the map barrier, so the outcome is independent of
+/// worker interleaving.
+struct MapTaskResult {
+    /// Task-local partition buffers, one per reducer (empty for map-only).
+    partitions: Vec<Vec<ShuffleRecord>>,
+    /// Rows bound for the client (map-only `Collect` jobs).
+    task_out: Vec<Row>,
+    written: u64,
+    /// I/O attributed to this task via its [`IoScope`].
+    io: IoSnapshot,
+    cpu_seconds: f64,
+    shuffle_records: u64,
+}
+
+/// What one reduce task hands back to the engine.
+struct ReduceTaskResult {
+    task_out: Vec<Row>,
+    written: u64,
+    io: IoSnapshot,
+    cpu_seconds: f64,
+    shuffle_bytes: u64,
 }
 
 impl MrEngine {
@@ -65,19 +103,165 @@ impl MrEngine {
         }
     }
 
-    /// Run a list of jobs in dependency order (Hive runs a query's jobs
-    /// sequentially by default); returns the final job's collected rows.
+    /// Worker threads used to run one job's tasks. `hive.exec.worker.threads`
+    /// of `0` means one per core the host exposes.
+    pub fn worker_threads(&self) -> usize {
+        match self.conf.get_usize(keys::EXEC_WORKER_THREADS) {
+            Ok(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+
+    fn deterministic_cpu(&self) -> bool {
+        self.conf
+            .get_bool(keys::EXEC_SIM_DETERMINISTIC_CPU)
+            .unwrap_or(false)
+    }
+
+    /// CPU seconds charged to the cost model for one task.
+    fn task_cpu(&self, measured_s: f64, rows_processed: u64) -> f64 {
+        if self.deterministic_cpu() {
+            rows_processed as f64 * DETERMINISTIC_CPU_S_PER_ROW
+        } else {
+            measured_s
+        }
+    }
+
+    /// Run `n` independent tasks on a bounded worker pool and return their
+    /// results in task-index order. Workers claim indices from a shared
+    /// atomic counter; because results are re-assembled by index (and the
+    /// first failing index wins), the outcome is identical to running the
+    /// tasks sequentially.
+    fn run_tasks<T, F>(&self, n: usize, run: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let threads = self.worker_threads().min(n).max(1);
+        if threads == 1 {
+            return (0..n).map(run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, run(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("task worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index was claimed"))
+            .collect()
+    }
+
+    /// Run a query's jobs in dependency order; returns the final job's
+    /// collected rows. With `hive.exec.parallel` off (Hive's default) jobs
+    /// run one after another and simulated times add up, exactly as before.
+    /// With it on, jobs are topologically staged by their intermediate
+    /// input/output paths and independent jobs of a stage run concurrently;
+    /// a stage's simulated time is the max over its jobs.
     pub fn run_dag(&self, jobs: &[JobSpec]) -> Result<(DagReport, Vec<Row>)> {
+        let parallel = self.conf.get_bool(keys::EXEC_PARALLEL).unwrap_or(false);
+        if !parallel || jobs.len() <= 1 {
+            let mut report = DagReport::default();
+            let mut last_rows = Vec::new();
+            for spec in jobs {
+                let (jr, rows) = self.run_job(spec)?;
+                report.sim_total_s += jr.sim_total_s;
+                report.cpu_seconds += jr.cpu_seconds;
+                report.jobs.push(jr);
+                last_rows = rows;
+            }
+            return Ok((report, last_rows));
+        }
+
+        let stage_of = Self::stage_jobs(jobs);
+        let max_stage = stage_of.iter().copied().max().unwrap_or(0);
+        let mut results: Vec<Option<(JobReport, Vec<Row>)>> =
+            (0..jobs.len()).map(|_| None).collect();
+        for stage in 0..=max_stage {
+            let idxs: Vec<usize> = (0..jobs.len()).filter(|&j| stage_of[j] == stage).collect();
+            if idxs.len() == 1 {
+                results[idxs[0]] = Some(self.run_job(&jobs[idxs[0]])?);
+                continue;
+            }
+            let mut stage_results = std::thread::scope(|s| {
+                let handles: Vec<_> = idxs
+                    .iter()
+                    .map(|&j| s.spawn(move || (j, self.run_job(&jobs[j]))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("job runner panicked"))
+                    .collect::<Vec<_>>()
+            });
+            // First failing job index wins, independent of thread timing.
+            stage_results.sort_by_key(|(j, _)| *j);
+            for (j, r) in stage_results {
+                results[j] = Some(r?);
+            }
+        }
+
         let mut report = DagReport::default();
+        let mut stage_sim = vec![0.0f64; max_stage + 1];
         let mut last_rows = Vec::new();
-        for spec in jobs {
-            let (jr, rows) = self.run_job(spec)?;
-            report.sim_total_s += jr.sim_total_s;
+        for (j, res) in results.into_iter().enumerate() {
+            let (jr, rows) = res.expect("every job ran in its stage");
+            stage_sim[stage_of[j]] = stage_sim[stage_of[j]].max(jr.sim_total_s);
             report.cpu_seconds += jr.cpu_seconds;
             report.jobs.push(jr);
             last_rows = rows;
         }
+        report.sim_total_s = stage_sim.iter().sum();
         Ok((report, last_rows))
+    }
+
+    /// Topological stage of each job: a job reading another's intermediate
+    /// output directory (as input or side input) lands in a later stage.
+    fn stage_jobs(jobs: &[JobSpec]) -> Vec<usize> {
+        let prefixes: Vec<Option<&str>> = jobs
+            .iter()
+            .map(|j| match &j.output {
+                JobOutput::Intermediate { path_prefix } => Some(path_prefix.trim_end_matches('/')),
+                JobOutput::Collect => None,
+            })
+            .collect();
+        let mut stage_of = vec![0usize; jobs.len()];
+        for j in 0..jobs.len() {
+            for i in 0..j {
+                let Some(prefix) = prefixes[i] else { continue };
+                let dir = format!("{prefix}/");
+                let depends = jobs[j]
+                    .inputs
+                    .iter()
+                    .flat_map(|inp| &inp.paths)
+                    .chain(jobs[j].side_inputs.iter().flat_map(|s| &s.paths))
+                    .any(|p| p.starts_with(&dir) || p.trim_end_matches('/') == prefix);
+                if depends {
+                    stage_of[j] = stage_of[j].max(stage_of[i] + 1);
+                }
+            }
+        }
+        stage_of
     }
 
     /// Execute one job; returns its report and (for `Collect` jobs) rows.
@@ -88,13 +272,17 @@ impl MrEngine {
         };
 
         // --- Side inputs (distributed cache). -------------------------
-        let before_side = self.dfs.stats().snapshot();
-        let side = self.load_side_inputs(&spec.side_inputs)?;
-        let side_stats = self.dfs.stats().snapshot().since(&before_side);
+        // Scoped attribution instead of global snapshot deltas: another
+        // job may be running concurrently on this DFS (`hive.exec.parallel`).
+        let side_scope = IoScope::new();
+        let side = {
+            let _g = side_scope.enter();
+            self.load_side_inputs(&spec.side_inputs)?
+        };
+        let side_io = side_scope.snapshot();
         // Every map task re-reads the cached hash-table input locally.
-        let side_load_s =
-            side_stats.bytes_read() as f64 / self.cost.local_read_bw;
-        report.bytes_read += side_stats.bytes_read();
+        let side_load_s = side_io.bytes_read() as f64 / self.cost.local_read_bw;
+        report.bytes_read += side_io.bytes_read();
 
         // --- Plan splits. ----------------------------------------------
         let splits = self.compute_splits(&spec.inputs)?;
@@ -105,235 +293,295 @@ impl MrEngine {
             0
         };
 
-        // --- Map phase (executed sequentially, timed per task). --------
-        let mut partitions: Vec<Vec<ShuffleRecord>> = vec![Vec::new(); num_reducers.max(1)];
-        let mut map_durations = Vec::with_capacity(splits.len());
+        // --- Map phase: all tasks on the worker pool. ------------------
+        // Each task builds its own pipeline and writes into task-local
+        // partition buffers; the merge below is ordered by task index, so
+        // results are identical whatever the worker interleaving was.
+        let map_results = self.run_tasks(splits.len(), |task_idx| {
+            self.run_map_task(spec, &splits[task_idx], task_idx, &side, num_reducers)
+        })?;
+
+        // Map-only jobs allocate no partition buffers at all.
+        let mut partitions: Vec<Vec<ShuffleRecord>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut map_durations = Vec::with_capacity(map_results.len());
         let mut collected: Vec<Row> = Vec::new();
-        for (task_idx, split) in splits.iter().enumerate() {
-            let before = self.dfs.stats().snapshot();
-            let t0 = Instant::now();
-
-            let mut pipeline = (spec.map_factory)(&side)?;
-            let root = *pipeline.roots.get(&split.input.alias).ok_or_else(|| {
-                HiveError::Execution(format!(
-                    "map pipeline lacks a root for alias `{}`",
-                    split.input.alias
-                ))
-            })?;
-            let reader_opts = ReadOptions {
-                format: split.input.format,
-                projection: split.input.projection.clone(),
-                sarg: split.input.sarg.clone(),
-                node: Some(split.node),
-                split: Some((split.start, split.end)),
-            };
-            let mut reader = open_reader(
-                &self.dfs,
-                &split.path,
-                &split.input.schema,
-                &self.conf,
-                &reader_opts,
-            )?;
-
-            let mut task_out: Vec<Row> = Vec::new();
-            let mut shuffle_records = 0u64;
-            {
-                let graph = &mut pipeline.graph;
-                let mut on_shuffle = |rec: ShuffleRecord| {
-                    shuffle_records += 1;
-                    if num_reducers > 0 {
-                        let mut h: u64 = 0xcbf29ce484222325;
-                        for k in &rec.key {
-                            k.shuffle_hash(&mut h);
-                        }
-                        let p = (h % num_reducers as u64) as usize;
-                        partitions[p].push(rec);
-                    }
-                };
-                let mut on_output = |row: Row| task_out.push(row);
-
-                match pipeline.vector.get_mut(&split.input.alias) {
-                    Some(stage) => {
-                        // Vectorized scan path (paper Section 6.5).
-                        let mut batch = VectorizedRowBatch::new(
-                            &stage.batch_types,
-                            stage.batch_size,
-                        )?;
-                        let mut staged: Vec<Row> = Vec::new();
-                        loop {
-                            let more = reader.next_batch(&mut batch)?;
-                            if batch.size > 0 {
-                                let mut sink = |r: Row| staged.push(r);
-                                stage.pipeline.process(&mut batch, &mut sink)?;
-                                for row in staged.drain(..) {
-                                    graph.push(
-                                        root,
-                                        Message::Row { row, tag: 0 },
-                                        &mut on_shuffle,
-                                        &mut on_output,
-                                    )?;
-                                }
-                            }
-                            if !more {
-                                break;
-                            }
-                        }
-                        let mut sink = |r: Row| staged.push(r);
-                        stage.pipeline.close(&mut sink)?;
-                        for row in staged {
-                            graph.push(
-                                root,
-                                Message::Row { row, tag: 0 },
-                                &mut on_shuffle,
-                                &mut on_output,
-                            )?;
-                        }
-                    }
-                    None => {
-                        while let Some(row) = reader.next_row()? {
-                            graph.push(
-                                root,
-                                Message::Row { row, tag: 0 },
-                                &mut on_shuffle,
-                                &mut on_output,
-                            )?;
-                        }
-                    }
-                }
-                graph.finish(&mut on_shuffle, &mut on_output)?;
+        for res in map_results {
+            for (p, mut recs) in res.partitions.into_iter().enumerate() {
+                partitions[p].append(&mut recs);
             }
-
-            // Map-only output handling.
-            let mut written = 0u64;
-            if num_reducers == 0 && !task_out.is_empty() {
-                match &spec.output {
-                    JobOutput::Collect => collected.append(&mut task_out),
-                    JobOutput::Intermediate { path_prefix } => {
-                        written = self.write_part(
-                            &format!("{path_prefix}/part-m-{task_idx:05}"),
-                            &task_out,
-                        )?;
-                    }
-                }
-            }
-
-            let cpu = t0.elapsed().as_secs_f64();
-            let delta = self.dfs.stats().snapshot().since(&before);
+            collected.extend(res.task_out);
             let work = TaskWork {
-                bytes_local: delta.bytes_local,
-                bytes_remote: delta.bytes_remote,
-                seeks: delta.seeks,
-                bytes_written: written,
-                cpu_seconds: cpu,
-                shuffle_records,
+                bytes_local: res.io.bytes_local,
+                bytes_remote: res.io.bytes_remote,
+                seeks: res.io.seeks,
+                bytes_written: res.written,
+                cpu_seconds: res.cpu_seconds,
+                shuffle_records: res.shuffle_records,
             };
-            report.cpu_seconds += cpu;
-            report.bytes_read += delta.bytes_read();
-            report.bytes_written += written;
-            report.shuffle_records += shuffle_records;
+            report.cpu_seconds += res.cpu_seconds;
+            report.bytes_read += res.io.bytes_read();
+            report.bytes_written += res.written;
+            report.shuffle_records += res.shuffle_records;
             map_durations.push(self.cost.task_seconds(&work) + side_load_s);
         }
         report.sim_map_s = self.cost.schedule(&map_durations);
 
-        // --- Reduce phase. ----------------------------------------------
+        // --- Reduce phase: partitions fan out to the pool the same way. -
         let mut reduce_durations = Vec::new();
         if let Some(reduce_factory) = &spec.reduce_factory {
             report.reduce_tasks = num_reducers;
-            for (r, mut partition) in partitions.into_iter().enumerate() {
-                let shuffle_bytes: u64 = partition
-                    .iter()
-                    .map(|rec| {
-                        let mut buf = Vec::new();
-                        hive_formats::serde::binary_serialize_row(
-                            &Row::new(rec.key.clone()),
-                            &mut buf,
-                        );
-                        hive_formats::serde::binary_serialize_row(&rec.value, &mut buf);
-                        buf.len() as u64 + 8
-                    })
-                    .sum();
-                report.bytes_shuffled += shuffle_bytes;
-
-                // Sort by (key, tag): MapReduce's sort-merge, with Hive's
-                // tag ordering within a key group.
-                partition.sort_by(|a, b| cmp_keys(&a.key, &b.key).then(a.tag.cmp(&b.tag)));
-
-                let before = self.dfs.stats().snapshot();
-                let t0 = Instant::now();
-                let (mut graph, root) = reduce_factory()?;
-                let mut task_out: Vec<Row> = Vec::new();
-                {
-                    let mut on_shuffle = |_rec: ShuffleRecord| {
-                        // Nested shuffles cannot happen in a single job.
-                    };
-                    let mut on_output = |row: Row| task_out.push(row);
-                    // The reducer driver: detect key-group changes, send
-                    // signals, forward rows (paper Section 5.2.2).
-                    let mut current_key: Option<Vec<Value>> = None;
-                    for rec in partition {
-                        let new_group = current_key
-                            .as_ref()
-                            .is_none_or(|k| cmp_keys(k, &rec.key) != Ordering::Equal);
-                        if new_group {
-                            if current_key.is_some() {
-                                graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
-                            }
-                            graph.push(root, Message::StartGroup, &mut on_shuffle, &mut on_output)?;
-                            current_key = Some(rec.key.clone());
-                        }
-                        // Reduce-side rows are key columns ++ value columns.
-                        let mut vals = rec.key;
-                        vals.extend(rec.value.into_values());
-                        graph.push(
-                            root,
-                            Message::Row {
-                                row: Row::new(vals),
-                                tag: rec.tag,
-                            },
-                            &mut on_shuffle,
-                            &mut on_output,
-                        )?;
-                    }
-                    if current_key.is_some() {
-                        graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
-                    }
-                    graph.finish(&mut on_shuffle, &mut on_output)?;
-                }
-
-                let mut written = 0u64;
-                if !task_out.is_empty() {
-                    match &spec.output {
-                        JobOutput::Collect => collected.append(&mut task_out),
-                        JobOutput::Intermediate { path_prefix } => {
-                            written = self.write_part(
-                                &format!("{path_prefix}/part-r-{r:05}"),
-                                &task_out,
-                            )?;
-                        }
-                    }
-                }
-
-                let cpu = t0.elapsed().as_secs_f64();
-                let delta = self.dfs.stats().snapshot().since(&before);
+            let handoff: Vec<Mutex<Vec<ShuffleRecord>>> =
+                partitions.into_iter().map(Mutex::new).collect();
+            let reduce_results = self.run_tasks(handoff.len(), |r| {
+                let partition =
+                    std::mem::take(&mut *handoff[r].lock().unwrap_or_else(|e| e.into_inner()));
+                self.run_reduce_task(spec, reduce_factory, r, partition)
+            })?;
+            for res in reduce_results {
+                report.bytes_shuffled += res.shuffle_bytes;
+                collected.extend(res.task_out);
                 let work = TaskWork {
-                    bytes_local: delta.bytes_local,
-                    bytes_remote: delta.bytes_remote,
-                    seeks: delta.seeks,
-                    bytes_written: written,
-                    cpu_seconds: cpu,
+                    bytes_local: res.io.bytes_local,
+                    bytes_remote: res.io.bytes_remote,
+                    seeks: res.io.seeks,
+                    bytes_written: res.written,
+                    cpu_seconds: res.cpu_seconds,
                     shuffle_records: 0,
                 };
-                report.cpu_seconds += cpu;
-                report.bytes_read += delta.bytes_read();
-                report.bytes_written += written;
-                reduce_durations
-                    .push(self.cost.task_seconds(&work) + self.cost.shuffle_seconds(shuffle_bytes));
+                report.cpu_seconds += res.cpu_seconds;
+                report.bytes_read += res.io.bytes_read();
+                report.bytes_written += res.written;
+                reduce_durations.push(
+                    self.cost.task_seconds(&work) + self.cost.shuffle_seconds(res.shuffle_bytes),
+                );
             }
         }
         report.sim_reduce_s = self.cost.schedule(&reduce_durations);
         report.sim_total_s = report.sim_map_s + report.sim_reduce_s;
         report.rows_out = collected.len() as u64;
         Ok((report, collected))
+    }
+
+    /// One map task: scan a split through a fresh pipeline into task-local
+    /// partition buffers. Runs on a pool worker; everything it touches is
+    /// task-local except the DFS (thread-safe) and the shared side inputs
+    /// (read-only).
+    fn run_map_task(
+        &self,
+        spec: &JobSpec,
+        split: &Split<'_>,
+        task_idx: usize,
+        side: &HashMap<String, Vec<Row>>,
+        num_reducers: usize,
+    ) -> Result<MapTaskResult> {
+        let scope = IoScope::new();
+        let io_guard = scope.enter();
+        let t0 = Instant::now();
+
+        let mut pipeline = (spec.map_factory)(side)?;
+        let root = *pipeline.roots.get(&split.input.alias).ok_or_else(|| {
+            HiveError::Execution(format!(
+                "map pipeline lacks a root for alias `{}`",
+                split.input.alias
+            ))
+        })?;
+        let reader_opts = ReadOptions {
+            format: split.input.format,
+            projection: split.input.projection.clone(),
+            sarg: split.input.sarg.clone(),
+            node: Some(split.node),
+            split: Some((split.start, split.end)),
+        };
+        let mut reader = open_reader(
+            &self.dfs,
+            &split.path,
+            &split.input.schema,
+            &self.conf,
+            &reader_opts,
+        )?;
+
+        let mut partitions: Vec<Vec<ShuffleRecord>> =
+            (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut task_out: Vec<Row> = Vec::new();
+        let mut shuffle_records = 0u64;
+        let mut rows_processed = 0u64;
+        {
+            let graph = &mut pipeline.graph;
+            let mut on_shuffle = |rec: ShuffleRecord| {
+                shuffle_records += 1;
+                if num_reducers > 0 {
+                    let mut h: u64 = 0xcbf29ce484222325;
+                    for k in &rec.key {
+                        k.shuffle_hash(&mut h);
+                    }
+                    let p = (h % num_reducers as u64) as usize;
+                    partitions[p].push(rec);
+                }
+            };
+            let mut on_output = |row: Row| task_out.push(row);
+
+            match pipeline.vector.get_mut(&split.input.alias) {
+                Some(stage) => {
+                    // Vectorized scan path (paper Section 6.5).
+                    let mut batch = VectorizedRowBatch::new(&stage.batch_types, stage.batch_size)?;
+                    let mut staged: Vec<Row> = Vec::new();
+                    loop {
+                        let more = reader.next_batch(&mut batch)?;
+                        if batch.size > 0 {
+                            rows_processed += batch.size as u64;
+                            let mut sink = |r: Row| staged.push(r);
+                            stage.pipeline.process(&mut batch, &mut sink)?;
+                            for row in staged.drain(..) {
+                                graph.push(
+                                    root,
+                                    Message::Row { row, tag: 0 },
+                                    &mut on_shuffle,
+                                    &mut on_output,
+                                )?;
+                            }
+                        }
+                        if !more {
+                            break;
+                        }
+                    }
+                    let mut sink = |r: Row| staged.push(r);
+                    stage.pipeline.close(&mut sink)?;
+                    for row in staged {
+                        graph.push(
+                            root,
+                            Message::Row { row, tag: 0 },
+                            &mut on_shuffle,
+                            &mut on_output,
+                        )?;
+                    }
+                }
+                None => {
+                    while let Some(row) = reader.next_row()? {
+                        rows_processed += 1;
+                        graph.push(
+                            root,
+                            Message::Row { row, tag: 0 },
+                            &mut on_shuffle,
+                            &mut on_output,
+                        )?;
+                    }
+                }
+            }
+            graph.finish(&mut on_shuffle, &mut on_output)?;
+        }
+
+        // Map-only output handling. The part name is keyed by task index,
+        // so concurrent tasks never collide.
+        let mut written = 0u64;
+        if num_reducers == 0 && !task_out.is_empty() {
+            if let JobOutput::Intermediate { path_prefix } = &spec.output {
+                written =
+                    self.write_part(&format!("{path_prefix}/part-m-{task_idx:05}"), &task_out)?;
+                task_out.clear();
+            }
+        } else {
+            task_out.clear();
+        }
+
+        let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
+        drop(io_guard);
+        Ok(MapTaskResult {
+            partitions,
+            task_out,
+            written,
+            io: scope.snapshot(),
+            cpu_seconds,
+            shuffle_records,
+        })
+    }
+
+    /// One reduce task: sort its partition, drive the reduce pipeline with
+    /// group signals, and write/collect the output. Runs on a pool worker.
+    fn run_reduce_task(
+        &self,
+        spec: &JobSpec,
+        reduce_factory: &ReducePipelineFactory,
+        r: usize,
+        mut partition: Vec<ShuffleRecord>,
+    ) -> Result<ReduceTaskResult> {
+        let shuffle_bytes: u64 = partition
+            .iter()
+            .map(|rec| {
+                let mut buf = Vec::new();
+                hive_formats::serde::binary_serialize_row(&Row::new(rec.key.clone()), &mut buf);
+                hive_formats::serde::binary_serialize_row(&rec.value, &mut buf);
+                buf.len() as u64 + 8
+            })
+            .sum();
+        let rows_processed = partition.len() as u64;
+
+        // Sort by (key, tag): MapReduce's sort-merge, with Hive's tag
+        // ordering within a key group. The sort is stable and the input
+        // order is the deterministic task-index merge, so reduce input
+        // order matches sequential execution exactly.
+        partition.sort_by(|a, b| cmp_keys(&a.key, &b.key).then(a.tag.cmp(&b.tag)));
+
+        let scope = IoScope::new();
+        let io_guard = scope.enter();
+        let t0 = Instant::now();
+        let (mut graph, root) = reduce_factory()?;
+        let mut task_out: Vec<Row> = Vec::new();
+        {
+            let mut on_shuffle = |_rec: ShuffleRecord| {
+                // Nested shuffles cannot happen in a single job.
+            };
+            let mut on_output = |row: Row| task_out.push(row);
+            // The reducer driver: detect key-group changes, send
+            // signals, forward rows (paper Section 5.2.2).
+            let mut current_key: Option<Vec<Value>> = None;
+            for rec in partition {
+                let new_group = current_key
+                    .as_ref()
+                    .is_none_or(|k| cmp_keys(k, &rec.key) != Ordering::Equal);
+                if new_group {
+                    if current_key.is_some() {
+                        graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
+                    }
+                    graph.push(root, Message::StartGroup, &mut on_shuffle, &mut on_output)?;
+                    current_key = Some(rec.key.clone());
+                }
+                // Reduce-side rows are key columns ++ value columns.
+                let mut vals = rec.key;
+                vals.extend(rec.value.into_values());
+                graph.push(
+                    root,
+                    Message::Row {
+                        row: Row::new(vals),
+                        tag: rec.tag,
+                    },
+                    &mut on_shuffle,
+                    &mut on_output,
+                )?;
+            }
+            if current_key.is_some() {
+                graph.push(root, Message::EndGroup, &mut on_shuffle, &mut on_output)?;
+            }
+            graph.finish(&mut on_shuffle, &mut on_output)?;
+        }
+
+        let mut written = 0u64;
+        if !task_out.is_empty() {
+            if let JobOutput::Intermediate { path_prefix } = &spec.output {
+                written = self.write_part(&format!("{path_prefix}/part-r-{r:05}"), &task_out)?;
+                task_out.clear();
+            }
+        }
+
+        let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
+        drop(io_guard);
+        Ok(ReduceTaskResult {
+            task_out,
+            written,
+            io: scope.snapshot(),
+            cpu_seconds,
+            shuffle_bytes,
+        })
     }
 
     fn load_side_inputs(&self, sides: &[SideInput]) -> Result<HashMap<String, Vec<Row>>> {
@@ -419,8 +667,9 @@ impl MrEngine {
     }
 
     fn write_part(&self, path: &str, rows: &[Row]) -> Result<u64> {
-        let mut w: Box<dyn TableWriter> =
-            Box::new(hive_formats::sequence::SequenceWriter::create(&self.dfs, path));
+        let mut w: Box<dyn TableWriter> = Box::new(hive_formats::sequence::SequenceWriter::create(
+            &self.dfs, path,
+        ));
         for r in rows {
             w.write_row(r)?;
         }
@@ -536,9 +785,7 @@ mod tests {
         let (dfs, conf) = setup();
         let schema = write_table(&dfs, &conf, "/t/mr1", 1000);
         let engine = MrEngine::new(dfs, conf);
-        let (report, mut rows) = engine
-            .run_job(&group_sum_job(schema, "/t/mr1"))
-            .unwrap();
+        let (report, mut rows) = engine.run_job(&group_sum_job(schema, "/t/mr1")).unwrap();
         rows.sort_by(|a, b| a[0].sql_cmp(&b[0]));
         assert_eq!(rows.len(), 10);
         // Group k: sum of {k, k+10, ..., k+990} = 100*k + 10*4950.
@@ -561,9 +808,7 @@ mod tests {
         let schema = write_table(&dfs, &conf, "/t/mr2", 20_000);
         assert!(dfs.blocks("/t/mr2").unwrap().len() > 1);
         let engine = MrEngine::new(dfs, conf);
-        let (report, rows) = engine
-            .run_job(&group_sum_job(schema, "/t/mr2"))
-            .unwrap();
+        let (report, rows) = engine.run_job(&group_sum_job(schema, "/t/mr2")).unwrap();
         assert!(report.map_tasks > 1, "expected multiple map tasks");
         let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
         assert_eq!(total, (0..20_000i64).sum::<i64>());
@@ -638,7 +883,10 @@ mod tests {
     #[test]
     fn key_comparison_orders_groups() {
         assert_eq!(
-            cmp_keys(&[Value::Int(1), Value::Int(2)], &[Value::Int(1), Value::Int(3)]),
+            cmp_keys(
+                &[Value::Int(1), Value::Int(2)],
+                &[Value::Int(1), Value::Int(3)]
+            ),
             Ordering::Less
         );
         assert_eq!(

@@ -85,6 +85,18 @@ pub struct JobSpec {
     pub output: JobOutput,
 }
 
+// The worker-pool engine shares `&JobSpec` (and the side-input map) across
+// task workers and, under `hive.exec.parallel`, across job-runner threads.
+// These assertions pin the required auto-traits at compile time.
+const _: () = {
+    const fn assert_send<T: Send + ?Sized>() {}
+    const fn assert_sync<T: Sync + ?Sized>() {}
+    assert_send::<MapPipeline>();
+    assert_send::<JobSpec>();
+    assert_sync::<JobSpec>();
+    assert_sync::<HashMap<String, Vec<Row>>>();
+};
+
 impl JobSpec {
     /// Short structural description (used by EXPLAIN and tests).
     pub fn describe(&self) -> String {

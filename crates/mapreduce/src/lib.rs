@@ -21,5 +21,7 @@ pub mod job;
 
 pub use cost::{ClusterConfig, CostModel};
 pub use engine::{DagReport, JobReport, MrEngine};
-pub use job::{JobInput, JobOutput, JobSpec, MapPipeline, MapPipelineFactory, ReducePipelineFactory,
-              SideInput, VectorStage};
+pub use job::{
+    JobInput, JobOutput, JobSpec, MapPipeline, MapPipelineFactory, ReducePipelineFactory,
+    SideInput, VectorStage,
+};

@@ -102,11 +102,16 @@ fn condition_in_scope(e: &Expr, scope: &BTreeSet<String>) -> bool {
         Expr::InList { expr, list, .. } => {
             condition_in_scope(expr, scope) && list.iter().all(|l| condition_in_scope(l, scope))
         }
-        Expr::Case { branches, else_value } => {
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
             branches
                 .iter()
                 .all(|(c, v)| condition_in_scope(c, scope) && condition_in_scope(v, scope))
-                && else_value.as_ref().is_none_or(|x| condition_in_scope(x, scope))
+                && else_value
+                    .as_ref()
+                    .is_none_or(|x| condition_in_scope(x, scope))
         }
     }
 }

@@ -28,8 +28,7 @@ use hive_exec::expr::ExprNode;
 use hive_exec::graph::OperatorGraph;
 use hive_exec::operators as ops;
 use hive_mapreduce::job::{
-    JobInput, JobOutput, JobSpec, MapPipeline, MapPipelineFactory, ReducePipelineFactory,
-    SideInput,
+    JobInput, JobOutput, JobSpec, MapPipeline, MapPipelineFactory, ReducePipelineFactory, SideInput,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,14 +97,21 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
         };
         for &n in nodes {
             match &g.node(n).op {
-                PlanOp::ReduceSink { degenerate: false, .. } => info.sink_rs.push(n),
+                PlanOp::ReduceSink {
+                    degenerate: false, ..
+                } => info.sink_rs.push(n),
                 PlanOp::IntermediateCut => info.sink_cuts.push(n),
                 PlanOp::FileSink => info.has_fs = true,
                 _ => {}
             }
             for &p in &g.node(n).parents {
-                if matches!(g.node(p).op, PlanOp::ReduceSink { degenerate: false, .. })
-                    && frag_of.get(&p) != Some(&f)
+                if matches!(
+                    g.node(p).op,
+                    PlanOp::ReduceSink {
+                        degenerate: false,
+                        ..
+                    }
+                ) && frag_of.get(&p) != Some(&f)
                 {
                     info.feeding_rs.push(p);
                 }
@@ -221,7 +227,12 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
         for mi in &map_inputs {
             match (mi.scan, &mi.intermediate) {
                 (Some(scan_id), _) => {
-                    let PlanOp::TableScan { table, projection, sarg, .. } = &g.node(scan_id).op
+                    let PlanOp::TableScan {
+                        table,
+                        projection,
+                        sarg,
+                        ..
+                    } = &g.node(scan_id).op
                     else {
                         unreachable!()
                     };
@@ -324,8 +335,13 @@ fn insert_cuts(g: &mut PlanGraph, conf: &HiveConf) -> Result<()> {
                 continue;
             }
             for &p in &node.parents {
-                if matches!(g.node(p).op, PlanOp::ReduceSink { degenerate: false, .. })
-                    && frag_of.get(&p) != frag_of.get(&node.id)
+                if matches!(
+                    g.node(p).op,
+                    PlanOp::ReduceSink {
+                        degenerate: false,
+                        ..
+                    }
+                ) && frag_of.get(&p) != frag_of.get(&node.id)
                 {
                     if let Some(&f) = frag_of.get(&node.id) {
                         receives.insert(f);
@@ -340,7 +356,11 @@ fn insert_cuts(g: &mut PlanGraph, conf: &HiveConf) -> Result<()> {
             }
             let map_phase_only = matches!(
                 node.op,
-                PlanOp::MapJoin { .. } | PlanOp::GroupBy { phase: GroupByPhase::MapHash, .. }
+                PlanOp::MapJoin { .. }
+                    | PlanOp::GroupBy {
+                        phase: GroupByPhase::MapHash,
+                        ..
+                    }
             );
             if map_phase_only
                 && frag_of.get(&node.id).is_some_and(|f| receives.contains(f))
@@ -402,11 +422,7 @@ fn insert_cuts(g: &mut PlanGraph, conf: &HiveConf) -> Result<()> {
 }
 
 /// Topologically order fragments along boundary (RS/Cut → child) edges.
-fn order_fragments(
-    g: &PlanGraph,
-    frag_of: &BTreeMap<usize, usize>,
-    frags: &[usize],
-) -> Vec<usize> {
+fn order_fragments(g: &PlanGraph, frag_of: &BTreeMap<usize, usize>, frags: &[usize]) -> Vec<usize> {
     let mut deps: BTreeMap<usize, Vec<usize>> = BTreeMap::new(); // frag → consumers
     let mut indeg: BTreeMap<usize, usize> = frags.iter().map(|&f| (f, 0)).collect();
     for node in &g.nodes {
@@ -415,7 +431,10 @@ fn order_fragments(
         }
         if matches!(
             node.op,
-            PlanOp::ReduceSink { degenerate: false, .. } | PlanOp::IntermediateCut
+            PlanOp::ReduceSink {
+                degenerate: false,
+                ..
+            } | PlanOp::IntermediateCut
         ) {
             let pf = frag_of[&node.id];
             for &c in &node.children {
@@ -465,8 +484,13 @@ fn build_map_inputs(
             n.alive
                 && frag_of.get(&n.id) == Some(&rs_frag)
                 && n.parents.iter().any(|&p| {
-                    matches!(g.node(p).op, PlanOp::ReduceSink { degenerate: false, .. })
-                        && frag_of.get(&p) != Some(&rs_frag)
+                    matches!(
+                        g.node(p).op,
+                        PlanOp::ReduceSink {
+                            degenerate: false,
+                            ..
+                        }
+                    ) && frag_of.get(&p) != Some(&rs_frag)
                 })
         });
         if rs_frag_is_reduce {
@@ -514,20 +538,14 @@ fn build_map_inputs(
         }
         let nodes = chain_nodes(g, source, rs);
         let (scan, intermediate, alias) = match &g.node(source).op {
-            PlanOp::TableScan { alias, .. } => {
-                (Some(source), None, format!("{alias}#{source}"))
-            }
+            PlanOp::TableScan { alias, .. } => (Some(source), None, format!("{alias}#{source}")),
             _ => {
                 // Source sits below a cut: read that cut's intermediate.
                 let cut = g.node(source).parents[0];
-                let prefix = intermediates.get(&cut).ok_or_else(|| {
-                    HiveError::Plan("intermediate path missing for cut".into())
-                })?;
-                (
-                    None,
-                    Some((prefix.clone(), cut)),
-                    format!("cut#{cut}"),
-                )
+                let prefix = intermediates
+                    .get(&cut)
+                    .ok_or_else(|| HiveError::Plan("intermediate path missing for cut".into()))?;
+                (None, Some((prefix.clone(), cut)), format!("cut#{cut}"))
             }
         };
         inputs.push(MapInput {
@@ -600,7 +618,10 @@ fn chain_nodes(g: &PlanGraph, source: usize, sink: usize) -> Vec<usize> {
         desc[n] = true;
         if matches!(
             g.node(n).op,
-            PlanOp::ReduceSink { degenerate: false, .. } | PlanOp::IntermediateCut
+            PlanOp::ReduceSink {
+                degenerate: false,
+                ..
+            } | PlanOp::IntermediateCut
         ) && n != source
         {
             continue; // do not walk past boundaries
@@ -625,9 +646,7 @@ fn chain_nodes(g: &PlanGraph, source: usize, sink: usize) -> Vec<usize> {
             }
         }
     }
-    (0..g.nodes.len())
-        .filter(|&n| desc[n] && anc[n])
-        .collect()
+    (0..g.nodes.len()).filter(|&n| desc[n] && anc[n]).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -689,7 +708,9 @@ impl MapBuildSpec {
             }
             // Edges.
             for &n in &order {
-                let Some(&from) = exec_of.get(&n) else { continue };
+                let Some(&from) = exec_of.get(&n) else {
+                    continue;
+                };
                 for &c in &self.nodes[n].children {
                     if let Some(&to) = exec_of.get(&c) {
                         graph.connect(from, to, None);
@@ -699,9 +720,9 @@ impl MapBuildSpec {
             // Root: scan's first exec child, or the entry after the vector
             // stage, or (for intermediate inputs) the RS itself.
             let root = match &entry_after_vector {
-                Some((entry, _)) => *exec_of.get(entry).ok_or_else(|| {
-                    HiveError::Plan("vectorized entry not materialized".into())
-                })?,
+                Some((entry, _)) => *exec_of
+                    .get(entry)
+                    .ok_or_else(|| HiveError::Plan("vectorized entry not materialized".into()))?,
                 None => {
                     let first = match mi.scan {
                         Some(scan) => {
@@ -713,8 +734,8 @@ impl MapBuildSpec {
                         }
                         None => Some(mi.source),
                     };
-                    let first = first
-                        .ok_or_else(|| HiveError::Plan("map chain has no entry".into()))?;
+                    let first =
+                        first.ok_or_else(|| HiveError::Plan("map chain has no entry".into()))?;
                     *exec_of
                         .get(&first)
                         .ok_or_else(|| HiveError::Plan("entry not materialized".into()))?
@@ -769,19 +790,21 @@ impl MapBuildSpec {
                 exprs: exprs.clone(),
             }),
             PlanOp::Limit(k) => Box::new(ops::LimitOperator::new(*k)),
-            PlanOp::GroupBy { phase: GroupByPhase::MapHash, keys, aggs } => {
-                Box::new(ops::GroupByOperator::new(
-                    keys.clone(),
-                    aggs.iter()
-                        .map(|a| ops::AggSpec {
-                            function: a.function,
-                            mode: AggMode::Partial,
-                            arg: a.arg.clone(),
-                        })
-                        .collect(),
-                    ops::GroupByMode::Hash,
-                ))
-            }
+            PlanOp::GroupBy {
+                phase: GroupByPhase::MapHash,
+                keys,
+                aggs,
+            } => Box::new(ops::GroupByOperator::new(
+                keys.clone(),
+                aggs.iter()
+                    .map(|a| ops::AggSpec {
+                        function: a.function,
+                        mode: AggMode::Partial,
+                        arg: a.arg.clone(),
+                    })
+                    .collect(),
+                ops::GroupByMode::Hash,
+            )),
             PlanOp::MapJoin { sides } => {
                 let mut tables = Vec::with_capacity(sides.len());
                 for s in sides {
@@ -817,7 +840,12 @@ impl MapBuildSpec {
                 }
                 Box::new(ops::MapJoinOperator { tables })
             }
-            PlanOp::ReduceSink { keys, values, degenerate, .. } => {
+            PlanOp::ReduceSink {
+                keys,
+                values,
+                degenerate,
+                ..
+            } => {
                 if *degenerate {
                     let mut exprs = keys.clone();
                     exprs.extend(values.iter().cloned());
@@ -900,7 +928,12 @@ impl ReduceBuildSpec {
                     input_widths.clone(),
                 )),
                 // A degenerate RS executes as a projection in place.
-                PlanOp::ReduceSink { keys, values, degenerate: true, .. } => {
+                PlanOp::ReduceSink {
+                    keys,
+                    values,
+                    degenerate: true,
+                    ..
+                } => {
                     let mut exprs = keys.clone();
                     exprs.extend(values.iter().cloned());
                     Box::new(ops::SelectOperator { exprs })
@@ -938,9 +971,10 @@ impl ReduceBuildSpec {
         let mut routes = Vec::new();
         let mut targets = Vec::new();
         for &rs in &self.feeding_rs {
-            let consumer = *self.nodes[rs].children.first().ok_or_else(|| {
-                HiveError::Plan("feeding ReduceSink has no consumer".into())
-            })?;
+            let consumer = *self.nodes[rs]
+                .children
+                .first()
+                .ok_or_else(|| HiveError::Plan("feeding ReduceSink has no consumer".into()))?;
             let old_tag = self.nodes[consumer]
                 .parents
                 .iter()
@@ -997,11 +1031,7 @@ fn topo(nodes: &[PlanNode], subset: &[usize]) -> Vec<usize> {
             }
         }
     }
-    let mut queue: Vec<usize> = subset
-        .iter()
-        .copied()
-        .filter(|n| indeg[n] == 0)
-        .collect();
+    let mut queue: Vec<usize> = subset.iter().copied().filter(|n| indeg[n] == 0).collect();
     queue.sort_unstable();
     let mut out = Vec::new();
     while let Some(n) = queue.pop() {

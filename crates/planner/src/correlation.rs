@@ -45,7 +45,10 @@ fn try_eliminate_reduce_sink(g: &mut PlanGraph, rs: usize) -> Result<bool> {
     if !g.node(rs).alive {
         return Ok(false);
     }
-    let PlanOp::ReduceSink { keys, degenerate, .. } = g.node(rs).op.clone() else {
+    let PlanOp::ReduceSink {
+        keys, degenerate, ..
+    } = g.node(rs).op.clone()
+    else {
         return Ok(false);
     };
     if degenerate {
@@ -81,7 +84,12 @@ fn try_eliminate_reduce_sink(g: &mut PlanGraph, rs: usize) -> Result<bool> {
         None => return Ok(false),
     };
     let mut partial_gby: Option<usize> = None;
-    if let PlanOp::GroupBy { phase: GroupByPhase::MapHash, keys: gkeys, .. } = &g.node(cur).op {
+    if let PlanOp::GroupBy {
+        phase: GroupByPhase::MapHash,
+        keys: gkeys,
+        ..
+    } = &g.node(cur).op
+    {
         // Key columns of the GBY output (0..nk) map to its key exprs.
         let mut mapped = Vec::with_capacity(key_cols.len());
         for &c in &key_cols {
@@ -111,7 +119,12 @@ fn try_eliminate_reduce_sink(g: &mut PlanGraph, rs: usize) -> Result<bool> {
                 cols = mapped;
                 cur = g.node(cur).parents[0];
             }
-            PlanOp::ReduceSink { keys: rkeys, values: rvals, degenerate: true, .. } => {
+            PlanOp::ReduceSink {
+                keys: rkeys,
+                values: rvals,
+                degenerate: true,
+                ..
+            } => {
                 // A degenerate sink projects keys ++ values.
                 let nk2 = rkeys.len();
                 let mut mapped = Vec::with_capacity(cols.len());
@@ -129,7 +142,11 @@ fn try_eliminate_reduce_sink(g: &mut PlanGraph, rs: usize) -> Result<bool> {
                 cols = mapped;
                 cur = g.node(cur).parents[0];
             }
-            PlanOp::GroupBy { phase: GroupByPhase::ReduceMerge, keys: gkeys, .. } => {
+            PlanOp::GroupBy {
+                phase: GroupByPhase::ReduceMerge,
+                keys: gkeys,
+                ..
+            } => {
                 // GroupBy output: keys at positions 0..nk.
                 let nk = gkeys.len();
                 if nk != cols.len() {
@@ -149,12 +166,15 @@ fn try_eliminate_reduce_sink(g: &mut PlanGraph, rs: usize) -> Result<bool> {
                     return Ok(false);
                 };
                 // Number of join keys: recover from any RS parent.
-                let Some(jkeys) = g.node(cur).parents.iter().find_map(|&p| {
-                    match &g.node(p).op {
+                let Some(jkeys) = g
+                    .node(cur)
+                    .parents
+                    .iter()
+                    .find_map(|&p| match &g.node(p).op {
                         PlanOp::ReduceSink { keys, .. } => Some(keys.clone()),
                         _ => None,
-                    }
-                }) else {
+                    })
+                else {
                     return Ok(false);
                 };
                 let nk = jkeys.len();
@@ -212,12 +232,18 @@ fn apply_rewrite(
             // Pattern: chain → GBY(MapHash) → RS → GBY(ReduceMerge).
             // The consumer must be the merging GroupBy; it takes over the
             // map GBY's raw keys and arguments and aggregates complete.
-            let PlanOp::GroupBy { phase: GroupByPhase::ReduceMerge, .. } =
-                g.node(consumer).op.clone()
+            let PlanOp::GroupBy {
+                phase: GroupByPhase::ReduceMerge,
+                ..
+            } = g.node(consumer).op.clone()
             else {
                 return Ok(false);
             };
-            let PlanOp::GroupBy { keys: raw_keys, aggs: raw_aggs, .. } = g.node(gbm).op.clone()
+            let PlanOp::GroupBy {
+                keys: raw_keys,
+                aggs: raw_aggs,
+                ..
+            } = g.node(gbm).op.clone()
             else {
                 return Ok(false);
             };
@@ -285,8 +311,18 @@ fn merge_correlated_scans(g: &mut PlanGraph) -> Result<()> {
 
 fn scans_identical(g: &PlanGraph, a: usize, b: usize) -> bool {
     let (
-        PlanOp::TableScan { table: ta, projection: pa, sarg: sa, .. },
-        PlanOp::TableScan { table: tb, projection: pb, sarg: sb, .. },
+        PlanOp::TableScan {
+            table: ta,
+            projection: pa,
+            sarg: sa,
+            ..
+        },
+        PlanOp::TableScan {
+            table: tb,
+            projection: pb,
+            sarg: sb,
+            ..
+        },
     ) = (&g.node(a).op, &g.node(b).op)
     else {
         return false;
@@ -304,7 +340,10 @@ fn sink_fragments(g: &PlanGraph, scan: usize, frag: &BTreeMap<usize, usize>) -> 
             continue;
         }
         seen[n] = true;
-        if let PlanOp::ReduceSink { degenerate: false, .. } = g.node(n).op {
+        if let PlanOp::ReduceSink {
+            degenerate: false, ..
+        } = g.node(n).op
+        {
             for &c in &g.node(n).children {
                 if let Some(&f) = frag.get(&c) {
                     out.push(f);
@@ -345,7 +384,10 @@ pub fn fragments(g: &PlanGraph) -> BTreeMap<usize, usize> {
         }
         let boundary = matches!(
             node.op,
-            PlanOp::ReduceSink { degenerate: false, .. } | PlanOp::IntermediateCut
+            PlanOp::ReduceSink {
+                degenerate: false,
+                ..
+            } | PlanOp::IntermediateCut
         );
         if boundary {
             continue; // edges out of a boundary op start a new fragment
@@ -383,8 +425,24 @@ mod tests {
         };
         StaticCatalog {
             tables: vec![
-                t("big2", &[("key", "bigint"), ("value1", "double"), ("value2", "double")], 1 << 30),
-                t("big3", &[("key", "bigint"), ("value1", "double"), ("value2", "double")], 1 << 30),
+                t(
+                    "big2",
+                    &[
+                        ("key", "bigint"),
+                        ("value1", "double"),
+                        ("value2", "double"),
+                    ],
+                    1 << 30,
+                ),
+                t(
+                    "big3",
+                    &[
+                        ("key", "bigint"),
+                        ("value1", "double"),
+                        ("value2", "double"),
+                    ],
+                    1 << 30,
+                ),
             ],
         }
     }
@@ -393,12 +451,22 @@ mod tests {
         let Statement::Select(stmt) = parse(sql).unwrap() else {
             panic!()
         };
-        translate(&stmt, &catalog(), &HiveConf::new()).unwrap().graph
+        translate(&stmt, &catalog(), &HiveConf::new())
+            .unwrap()
+            .graph
     }
 
     fn count_rs(g: &PlanGraph) -> usize {
-        g.find(|n| matches!(n.op, PlanOp::ReduceSink { degenerate: false, .. }))
-            .len()
+        g.find(|n| {
+            matches!(
+                n.op,
+                PlanOp::ReduceSink {
+                    degenerate: false,
+                    ..
+                }
+            )
+        })
+        .len()
     }
 
     #[test]
@@ -432,14 +500,17 @@ mod tests {
         );
         assert_eq!(g.scans().len(), 2);
         optimize(&mut g).unwrap();
-        assert_eq!(g.scans().len(), 1, "identical scans merge (input correlation)");
+        assert_eq!(
+            g.scans().len(),
+            1,
+            "identical scans merge (input correlation)"
+        );
     }
 
     #[test]
     fn global_aggregate_keeps_its_shuffle() {
-        let mut g = graph_for(
-            "SELECT sum(big3.value1) FROM big2 JOIN big3 ON (big2.key = big3.key)",
-        );
+        let mut g =
+            graph_for("SELECT sum(big3.value1) FROM big2 JOIN big3 ON (big2.key = big3.key)");
         let before = count_rs(&g);
         optimize(&mut g).unwrap();
         assert_eq!(count_rs(&g), before);

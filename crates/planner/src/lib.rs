@@ -1,4 +1,9 @@
-#![allow(clippy::needless_range_loop, clippy::if_same_then_else, clippy::only_used_in_recursion, clippy::ptr_arg)]
+#![allow(
+    clippy::needless_range_loop,
+    clippy::if_same_then_else,
+    clippy::only_used_in_recursion,
+    clippy::ptr_arg
+)]
 //! The query planner (paper Sections 2, 5 and 6.4).
 //!
 //! The planner walks the AST, assembles an operator tree with

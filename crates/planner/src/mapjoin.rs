@@ -50,8 +50,16 @@ fn try_convert(g: &mut PlanGraph, join_id: usize, threshold: u64) -> Result<()> 
     // Outer joins can only stream the preserved side.
     let right_ok = matches!(kind, JoinType::Inner | JoinType::LeftOuter);
     let left_ok = matches!(kind, JoinType::Inner);
-    let small_r = if right_ok { small_side(g, rs_r, threshold) } else { None };
-    let small_l = if left_ok { small_side(g, rs_l, threshold) } else { None };
+    let small_r = if right_ok {
+        small_side(g, rs_r, threshold)
+    } else {
+        None
+    };
+    let small_l = if left_ok {
+        small_side(g, rs_l, threshold)
+    } else {
+        None
+    };
 
     // Prefer hashing the right side (keeps column order without a
     // permutation); fall back to the left for inner joins.
@@ -74,11 +82,9 @@ fn small_side(g: &PlanGraph, rs: usize, threshold: u64) -> Option<SmallSide> {
                 // Conjoin stacked filters.
                 filter = Some(match filter {
                     None => predicate.clone(),
-                    Some(f) => ExprNode::binary(
-                        hive_exec::expr::BinaryOp::And,
-                        predicate.clone(),
-                        f,
-                    ),
+                    Some(f) => {
+                        ExprNode::binary(hive_exec::expr::BinaryOp::And, predicate.clone(), f)
+                    }
                 });
                 chain.push(cur);
                 cur = *g.node(cur).parents.first()?;
@@ -111,15 +117,26 @@ fn convert(
     kind: JoinType,
     swapped: bool,
 ) -> Result<()> {
-    let PlanOp::TableScan { alias, table, projection, .. } = g.node(side.scan_id).op.clone()
+    let PlanOp::TableScan {
+        alias,
+        table,
+        projection,
+        ..
+    } = g.node(side.scan_id).op.clone()
     else {
         unreachable!()
     };
-    let PlanOp::ReduceSink { keys: build_keys, .. } = g.node(build_rs).op.clone() else {
+    let PlanOp::ReduceSink {
+        keys: build_keys, ..
+    } = g.node(build_rs).op.clone()
+    else {
         unreachable!()
     };
-    let PlanOp::ReduceSink { keys: stream_keys, values: stream_vals, .. } =
-        g.node(stream_rs).op.clone()
+    let PlanOp::ReduceSink {
+        keys: stream_keys,
+        values: stream_vals,
+        ..
+    } = g.node(stream_rs).op.clone()
     else {
         unreachable!()
     };
@@ -167,7 +184,10 @@ fn convert(
         ));
     }
     let small_schema: Vec<ColumnInfo> = {
-        let PlanOp::TableScan { table, projection, .. } = &g.node(side.scan_id).op else {
+        let PlanOp::TableScan {
+            table, projection, ..
+        } = &g.node(side.scan_id).op
+        else {
             unreachable!()
         };
         projection
@@ -180,7 +200,9 @@ fn convert(
     };
     mj_schema.extend(small_schema);
     let mj = g.add(
-        PlanOp::MapJoin { sides: vec![mj_side] },
+        PlanOp::MapJoin {
+            sides: vec![mj_side],
+        },
         mj_schema.clone(),
         vec![sel],
     );
@@ -199,7 +221,11 @@ fn convert(
         for i in 0..rw {
             perm.push(ExprNode::col(i));
         }
-        g.add(PlanOp::Select { exprs: perm }, join_schema.clone(), vec![mj])
+        g.add(
+            PlanOp::Select { exprs: perm },
+            join_schema.clone(),
+            vec![mj],
+        )
     } else {
         mj
     };
@@ -215,18 +241,15 @@ fn convert(
     }
 
     // 5. Kill the replaced nodes.
-    for dead in side
-        .chain
-        .iter()
-        .copied()
-        .chain([join_id, stream_rs])
-    {
+    for dead in side.chain.iter().copied().chain([join_id, stream_rs]) {
         let n = g.node_mut(dead);
         n.alive = false;
         n.children.clear();
         n.parents.clear();
     }
     // Unhook stream_parent's edge to the dead RS.
-    g.node_mut(stream_parent).children.retain(|&c| c != stream_rs);
+    g.node_mut(stream_parent)
+        .children
+        .retain(|&c| c != stream_rs);
     Ok(())
 }

@@ -260,7 +260,12 @@ impl PlanGraph {
         out.push_str(&"  ".repeat(depth));
         out.push_str(&format!("#{} {}", id, n.op.kind_name()));
         match &n.op {
-            PlanOp::TableScan { alias, table, projection, sarg } => {
+            PlanOp::TableScan {
+                alias,
+                table,
+                projection,
+                sarg,
+            } => {
                 out.push_str(&format!(
                     " {}[{}] cols {:?}{}",
                     alias,
@@ -269,7 +274,12 @@ impl PlanGraph {
                     if sarg.is_some() { " +sarg" } else { "" }
                 ));
             }
-            PlanOp::ReduceSink { keys, num_reducers, degenerate, .. } => {
+            PlanOp::ReduceSink {
+                keys,
+                num_reducers,
+                degenerate,
+                ..
+            } => {
                 out.push_str(&format!(
                     " {} key(s), {num_reducers} reducer(s){}",
                     keys.len(),
@@ -277,7 +287,12 @@ impl PlanGraph {
                 ));
             }
             PlanOp::GroupBy { phase, keys, aggs } => {
-                out.push_str(&format!(" {:?} {} key(s) {} agg(s)", phase, keys.len(), aggs.len()));
+                out.push_str(&format!(
+                    " {:?} {} key(s) {} agg(s)",
+                    phase,
+                    keys.len(),
+                    aggs.len()
+                ));
             }
             PlanOp::Join { kind, input_widths } => {
                 out.push_str(&format!(" {:?} {} inputs", kind, input_widths.len()));
@@ -328,7 +343,10 @@ pub fn expr_type(e: &ExprNode, input: &[ColumnInfo]) -> Result<DataType> {
             DataType::Boolean
         }
         ExprNode::Cast { target, .. } => target.clone(),
-        ExprNode::Case { branches, else_value } => {
+        ExprNode::Case {
+            branches,
+            else_value,
+        } => {
             if let Some((_, v)) = branches.first() {
                 expr_type(v, input)?
             } else if let Some(e) = else_value {
@@ -419,7 +437,10 @@ mod tests {
             agg_output_type(AggFunction::Sum, Some(&DataType::Double)),
             DataType::Double
         );
-        assert_eq!(agg_output_type(AggFunction::Avg, Some(&DataType::Int)), DataType::Double);
+        assert_eq!(
+            agg_output_type(AggFunction::Avg, Some(&DataType::Int)),
+            DataType::Double
+        );
         assert_eq!(
             agg_output_type(AggFunction::Max, Some(&DataType::String)),
             DataType::String

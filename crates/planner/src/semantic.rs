@@ -117,7 +117,11 @@ fn plan_select(
             record(&o.expr);
         }
         // SELECT * needs everything.
-        if stmt.projections.iter().any(|p| matches!(p.expr, Expr::Star)) {
+        if stmt
+            .projections
+            .iter()
+            .any(|p| matches!(p.expr, Expr::Star))
+        {
             for (binding, tref) in &bindings {
                 if let TableRef::Table { name, .. } = tref {
                     if let Some(meta) = catalog.table(name) {
@@ -233,7 +237,11 @@ fn plan_select(
             None => resolve(h, &final_rel)?,
         };
         let schema = final_rel.schema();
-        let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![final_rel.node]);
+        let f = g.add(
+            PlanOp::Filter { predicate: pred },
+            schema,
+            vec![final_rel.node],
+        );
         final_rel.node = f;
     }
 
@@ -255,13 +263,10 @@ fn plan_select(
             None => resolve(&p.expr, &final_rel)?,
         };
         let t = expr_type(&e, &final_rel.schema())?;
-        let name = p
-            .alias
-            .clone()
-            .unwrap_or_else(|| match &p.expr {
-                Expr::Column { name, .. } => name.clone(),
-                _ => format!("_c{i}"),
-            });
+        let name = p.alias.clone().unwrap_or_else(|| match &p.expr {
+            Expr::Column { name, .. } => name.clone(),
+            _ => format!("_c{i}"),
+        });
         out_exprs.push(e);
         out_cols.push((None, name.clone(), t));
         out_names.push(name);
@@ -271,7 +276,9 @@ fn plan_select(
         .map(|(_, n, t)| ColumnInfo::new(n.clone(), t.clone()))
         .collect();
     let sel = g.add(
-        PlanOp::Select { exprs: out_exprs.clone() },
+        PlanOp::Select {
+            exprs: out_exprs.clone(),
+        },
         out_schema,
         vec![final_rel.node],
     );
@@ -283,7 +290,14 @@ fn plan_select(
     // ------ 9. ORDER BY: resolve to output positions (driver-side sort). --
     let mut order_by = Vec::new();
     for o in &stmt.order_by {
-        let idx = resolve_order_item(&o.expr, stmt, &out_names, &group_subst, &final_rel, &out_exprs)?;
+        let idx = resolve_order_item(
+            &o.expr,
+            stmt,
+            &out_names,
+            &group_subst,
+            &final_rel,
+            &out_exprs,
+        )?;
         order_by.push((idx, o.ascending));
     }
 
@@ -321,7 +335,9 @@ fn collect_columns(
             let name_l = name.to_ascii_lowercase();
             match table {
                 Some(t) => {
-                    used.entry(t.to_ascii_lowercase()).or_default().insert(name_l);
+                    used.entry(t.to_ascii_lowercase())
+                        .or_default()
+                        .insert(name_l);
                 }
                 None => {
                     // Attribute to whichever binding's table has the column.
@@ -370,7 +386,10 @@ fn collect_columns(
                 collect_columns(l, bindings, catalog, used);
             }
         }
-        Expr::Case { branches, else_value } => {
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
             for (c, v) in branches {
                 collect_columns(c, bindings, catalog, used);
                 collect_columns(v, bindings, catalog, used);
@@ -391,7 +410,11 @@ fn owning_binding(
 ) -> Option<String> {
     let mut used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     collect_columns(e, bindings, catalog, &mut used);
-    let refs: Vec<&String> = used.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| k).collect();
+    let refs: Vec<&String> = used
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(k, _)| k)
+        .collect();
     if refs.len() == 1 {
         Some(refs[0].clone())
     } else {
@@ -434,11 +457,7 @@ fn plan_table_ref(
                 .iter()
                 .map(|&i| {
                     let f = meta.schema.field(i);
-                    (
-                        Some(binding.clone()),
-                        f.name.clone(),
-                        f.data_type.clone(),
-                    )
+                    (Some(binding.clone()), f.name.clone(), f.data_type.clone())
                 })
                 .collect();
             let schema: Vec<ColumnInfo> = cols
@@ -490,7 +509,12 @@ fn resolve(e: &Expr, rel: &Rel) -> Result<ExprNode> {
             },
             expr: Box::new(resolve(expr, rel)?),
         },
-        Expr::Between { expr, lo, hi, negated } => ExprNode::Between {
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => ExprNode::Between {
             expr: Box::new(resolve(expr, rel)?),
             lo: Box::new(resolve(lo, rel)?),
             hi: Box::new(resolve(hi, rel)?),
@@ -500,16 +524,26 @@ fn resolve(e: &Expr, rel: &Rel) -> Result<ExprNode> {
             expr: Box::new(resolve(expr, rel)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => ExprNode::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => ExprNode::InList {
             expr: Box::new(resolve(expr, rel)?),
-            list: list.iter().map(|l| resolve(l, rel)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|l| resolve(l, rel))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
         Expr::Cast { expr, target } => ExprNode::Cast {
             expr: Box::new(resolve(expr, rel)?),
             target: target.clone(),
         },
-        Expr::Case { branches, else_value } => ExprNode::Case {
+        Expr::Case {
+            branches,
+            else_value,
+        } => ExprNode::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| Ok((resolve(c, rel)?, resolve(v, rel)?)))
@@ -525,9 +559,7 @@ fn resolve(e: &Expr, rel: &Rel) -> Result<ExprNode> {
                  scalar UDFs are not supported)"
             )))
         }
-        Expr::Star => {
-            return Err(HiveError::Semantic("`*` is only valid in COUNT(*)".into()))
-        }
+        Expr::Star => return Err(HiveError::Semantic("`*` is only valid in COUNT(*)".into())),
     })
 }
 
@@ -572,7 +604,11 @@ fn attach_sarg(g: &mut PlanGraph, rel: &Rel, pred: &ExprNode) {
 
 fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<PredicateLeaf>) {
     match e {
-        ExprNode::Binary { op: BinaryOp::And, left, right } => {
+        ExprNode::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             collect_sarg_leaves(left, projection, out);
             collect_sarg_leaves(right, projection, out);
         }
@@ -605,7 +641,12 @@ fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<Predica
             };
             out.push(PredicateLeaf::new(col, pop, Some(lit)));
         }
-        ExprNode::Between { expr, lo, hi, negated: false } => {
+        ExprNode::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => {
             if let (ExprNode::Column(i), ExprNode::Literal(l), ExprNode::Literal(h)) =
                 (&**expr, &**lo, &**hi)
             {
@@ -629,7 +670,11 @@ fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<Predica
                 }
             }
         }
-        ExprNode::InList { expr, list, negated: false } => {
+        ExprNode::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
             if let ExprNode::Column(i) = &**expr {
                 let values: Option<Vec<_>> = list
                     .iter()
@@ -658,7 +703,12 @@ fn split_join_condition<'a>(
     let mut equi = Vec::new();
     let mut residual = Vec::new();
     for conj in on.conjuncts() {
-        if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = conj {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = conj
+        {
             // Try (a over left, b over right), then flipped.
             if let (Ok(l), Ok(r)) = (resolve(a, left), resolve(b, right)) {
                 equi.push((l, r));
@@ -791,7 +841,12 @@ fn add_aggregation(
     let mut calls = Vec::with_capacity(agg_calls.len());
     let mut subst_aggs = Vec::new();
     for (i, e) in agg_calls.iter().enumerate() {
-        let Expr::Function { name, args, distinct } = e else {
+        let Expr::Function {
+            name,
+            args,
+            distinct,
+        } = e
+        else {
             return Err(HiveError::Semantic("expected aggregate call".into()));
         };
         if *distinct {
@@ -877,7 +932,10 @@ fn add_aggregation(
         .collect();
     let mut out_schema = key_infos.clone();
     for c in &calls {
-        out_schema.push(ColumnInfo::new(c.output_name.clone(), c.output_type.clone()));
+        out_schema.push(ColumnInfo::new(
+            c.output_name.clone(),
+            c.output_type.clone(),
+        ));
     }
     let merge_gby = g.add(
         PlanOp::GroupBy {
@@ -894,7 +952,11 @@ fn add_aggregation(
         .map(|c| (None, c.name.clone(), c.data_type.clone()))
         .collect();
     let subst = GroupSubst {
-        groups: key_exprs.into_iter().enumerate().map(|(i, e)| (e, i)).collect(),
+        groups: key_exprs
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect(),
         aggs: subst_aggs,
         input_rel: input,
     };
@@ -960,7 +1022,12 @@ fn resolve_with_groups(e: &Expr, subst: &GroupSubst, out_rel: &Rel) -> Result<Ex
             },
             expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
         },
-        Expr::Between { expr, lo, hi, negated } => ExprNode::Between {
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => ExprNode::Between {
             expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
             lo: Box::new(resolve_with_groups(lo, subst, out_rel)?),
             hi: Box::new(resolve_with_groups(hi, subst, out_rel)?),
@@ -970,7 +1037,11 @@ fn resolve_with_groups(e: &Expr, subst: &GroupSubst, out_rel: &Rel) -> Result<Ex
             expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => ExprNode::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => ExprNode::InList {
             expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
             list: list
                 .iter()
@@ -982,7 +1053,10 @@ fn resolve_with_groups(e: &Expr, subst: &GroupSubst, out_rel: &Rel) -> Result<Ex
             expr: Box::new(resolve_with_groups(expr, subst, out_rel)?),
             target: target.clone(),
         },
-        Expr::Case { branches, else_value } => ExprNode::Case {
+        Expr::Case {
+            branches,
+            else_value,
+        } => ExprNode::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| {
@@ -1036,7 +1110,10 @@ fn collect_agg_calls(e: &Expr, out: &mut Vec<Expr>) {
                 collect_agg_calls(l, out);
             }
         }
-        Expr::Case { branches, else_value } => {
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
             for (c, v) in branches {
                 collect_agg_calls(c, out);
                 collect_agg_calls(v, out);

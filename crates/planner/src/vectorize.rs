@@ -44,7 +44,10 @@ pub fn try_vectorize(
     let Some(scan_id) = input.scan else {
         return Ok(None);
     };
-    let PlanOp::TableScan { table, projection, .. } = &nodes[scan_id].op else {
+    let PlanOp::TableScan {
+        table, projection, ..
+    } = &nodes[scan_id].op
+    else {
         return Ok(None);
     };
     // Validation 1: primitive scan columns only.
@@ -117,7 +120,11 @@ pub fn try_vectorize(
                 consumed.insert(n);
                 cur = n;
             }
-            PlanOp::GroupBy { phase: GroupByPhase::MapHash, keys, aggs } => {
+            PlanOp::GroupBy {
+                phase: GroupByPhase::MapHash,
+                keys,
+                aggs,
+            } => {
                 let mut key_cols = Vec::with_capacity(keys.len());
                 let mut ok = true;
                 for k in keys {
@@ -182,7 +189,11 @@ pub fn try_vectorize(
 fn is_vector_type(t: &DataType) -> bool {
     matches!(
         t,
-        DataType::Int | DataType::Boolean | DataType::Timestamp | DataType::Double | DataType::String
+        DataType::Int
+            | DataType::Boolean
+            | DataType::Timestamp
+            | DataType::Double
+            | DataType::String
     )
 }
 
@@ -273,9 +284,7 @@ impl VecCompiler {
                 };
                 match (vtype(&t), vtype(target)) {
                     (a, b) if a == b => Some((col, target.clone())),
-                    (VType::Long, VType::Double) => {
-                        Some((self.widen(col), DataType::Double))
-                    }
+                    (VType::Long, VType::Double) => Some((self.widen(col), DataType::Double)),
                     (VType::Double, VType::Long) => {
                         let out = self.scratch(DataType::Int);
                         self.pending.push(Box::new(vx::CastDoubleToLong {
@@ -325,8 +334,7 @@ impl VecCompiler {
         if matches!(op, Add | Subtract | Multiply | Divide) {
             if let Some((sval, s_is_int)) = scalar {
                 // Column ⊕ scalar.
-                let want_double =
-                    op == Divide || vtype(&lt) == VType::Double || !s_is_int;
+                let want_double = op == Divide || vtype(&lt) == VType::Double || !s_is_int;
                 if vtype(&lt) == VType::Bytes {
                     return Ok(None);
                 }
@@ -397,8 +405,16 @@ impl VecCompiler {
             let want_double =
                 op == Divide || vtype(&lt) == VType::Double || vtype(&rt) == VType::Double;
             return Ok(Some(if want_double {
-                let l = if vtype(&lt) == VType::Long { self.widen(lcol) } else { lcol };
-                let r = if vtype(&rt) == VType::Long { self.widen(rcol) } else { rcol };
+                let l = if vtype(&lt) == VType::Long {
+                    self.widen(lcol)
+                } else {
+                    lcol
+                };
+                let r = if vtype(&rt) == VType::Long {
+                    self.widen(rcol)
+                } else {
+                    rcol
+                };
                 let out = self.scratch(DataType::Double);
                 let e: Box<dyn VectorExpression> = match op {
                     Add => Box::new(vx::DoubleColAddDoubleColumn {
@@ -458,24 +474,76 @@ impl VecCompiler {
                     VType::Long if s_is_int => {
                         let s = sval as i64;
                         Some(match op {
-                            Eq => Box::new(vx::LongColEqualLongScalar { input_column: lcol, output_column: out, scalar: s }),
-                            NotEq => Box::new(vx::LongColNotEqualLongScalar { input_column: lcol, output_column: out, scalar: s }),
-                            Lt => Box::new(vx::LongColLessLongScalar { input_column: lcol, output_column: out, scalar: s }),
-                            LtEq => Box::new(vx::LongColLessEqualLongScalar { input_column: lcol, output_column: out, scalar: s }),
-                            Gt => Box::new(vx::LongColGreaterLongScalar { input_column: lcol, output_column: out, scalar: s }),
-                            GtEq => Box::new(vx::LongColGreaterEqualLongScalar { input_column: lcol, output_column: out, scalar: s }),
+                            Eq => Box::new(vx::LongColEqualLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
+                            NotEq => Box::new(vx::LongColNotEqualLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
+                            Lt => Box::new(vx::LongColLessLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
+                            LtEq => Box::new(vx::LongColLessEqualLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
+                            Gt => Box::new(vx::LongColGreaterLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
+                            GtEq => Box::new(vx::LongColGreaterEqualLongScalar {
+                                input_column: lcol,
+                                output_column: out,
+                                scalar: s,
+                            }),
                             _ => unreachable!(),
                         })
                     }
                     VType::Double | VType::Long => {
-                        let col = if vtype(&lt) == VType::Long { self.widen(lcol) } else { lcol };
+                        let col = if vtype(&lt) == VType::Long {
+                            self.widen(lcol)
+                        } else {
+                            lcol
+                        };
                         Some(match op {
-                            Eq => Box::new(vx::DoubleColEqualDoubleScalar { input_column: col, output_column: out, scalar: sval }),
-                            NotEq => Box::new(vx::DoubleColNotEqualDoubleScalar { input_column: col, output_column: out, scalar: sval }),
-                            Lt => Box::new(vx::DoubleColLessDoubleScalar { input_column: col, output_column: out, scalar: sval }),
-                            LtEq => Box::new(vx::DoubleColLessEqualDoubleScalar { input_column: col, output_column: out, scalar: sval }),
-                            Gt => Box::new(vx::DoubleColGreaterDoubleScalar { input_column: col, output_column: out, scalar: sval }),
-                            GtEq => Box::new(vx::DoubleColGreaterEqualDoubleScalar { input_column: col, output_column: out, scalar: sval }),
+                            Eq => Box::new(vx::DoubleColEqualDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
+                            NotEq => Box::new(vx::DoubleColNotEqualDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
+                            Lt => Box::new(vx::DoubleColLessDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
+                            LtEq => Box::new(vx::DoubleColLessEqualDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
+                            Gt => Box::new(vx::DoubleColGreaterDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
+                            GtEq => Box::new(vx::DoubleColGreaterEqualDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: sval,
+                            }),
                             _ => unreachable!(),
                         })
                     }
@@ -493,9 +561,21 @@ impl VecCompiler {
             if vtype(&lt) == VType::Long && vtype(&rt) == VType::Long {
                 let out = self.scratch(DataType::Boolean);
                 let e: Option<Box<dyn VectorExpression>> = match op {
-                    Eq => Some(Box::new(vx::LongColEqualLongColumn { left_column: lcol, right_column: rcol, output_column: out })),
-                    Lt => Some(Box::new(vx::LongColLessLongColumn { left_column: lcol, right_column: rcol, output_column: out })),
-                    Gt => Some(Box::new(vx::LongColGreaterLongColumn { left_column: lcol, right_column: rcol, output_column: out })),
+                    Eq => Some(Box::new(vx::LongColEqualLongColumn {
+                        left_column: lcol,
+                        right_column: rcol,
+                        output_column: out,
+                    })),
+                    Lt => Some(Box::new(vx::LongColLessLongColumn {
+                        left_column: lcol,
+                        right_column: rcol,
+                        output_column: out,
+                    })),
+                    Gt => Some(Box::new(vx::LongColGreaterLongColumn {
+                        left_column: lcol,
+                        right_column: rcol,
+                        output_column: out,
+                    })),
                     _ => None,
                 };
                 if let Some(e) = e {
@@ -512,45 +592,76 @@ impl VecCompiler {
     fn compile_filter(&mut self, e: &ExprNode) -> Result<Option<Box<dyn VectorExpression>>> {
         use BinaryOp::*;
         Ok(match e {
-            ExprNode::Binary { op: And, left, right } => {
+            ExprNode::Binary {
+                op: And,
+                left,
+                right,
+            } => {
                 let (Some(l), Some(r)) = (self.compile_filter(left)?, self.compile_filter(right)?)
                 else {
                     return Ok(None);
                 };
-                Some(Box::new(vx::FilterAnd { children: vec![l, r] }))
+                Some(Box::new(vx::FilterAnd {
+                    children: vec![l, r],
+                }))
             }
-            ExprNode::Binary { op: Or, left, right } => {
+            ExprNode::Binary {
+                op: Or,
+                left,
+                right,
+            } => {
                 let (Some(l), Some(r)) = (self.compile_filter(left)?, self.compile_filter(right)?)
                 else {
                     return Ok(None);
                 };
-                Some(Box::new(vx::FilterOr { children: vec![l, r] }))
+                Some(Box::new(vx::FilterOr {
+                    children: vec![l, r],
+                }))
             }
             ExprNode::Binary { op, left, right }
                 if matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq) =>
             {
                 self.compile_cmp_filter(*op, left, right)?
             }
-            ExprNode::Between { expr, lo, hi, negated: false } => {
+            ExprNode::Between {
+                expr,
+                lo,
+                hi,
+                negated: false,
+            } => {
                 let Some((col, t)) = self.compile_value(expr)? else {
                     return Ok(None);
                 };
                 match (vtype(&t), &**lo, &**hi) {
-                    (VType::Long, ExprNode::Literal(Value::Int(a)), ExprNode::Literal(Value::Int(b))) => {
-                        Some(Box::new(vx::FilterLongColumnBetween { column: col, lo: *a, hi: *b }))
-                    }
+                    (
+                        VType::Long,
+                        ExprNode::Literal(Value::Int(a)),
+                        ExprNode::Literal(Value::Int(b)),
+                    ) => Some(Box::new(vx::FilterLongColumnBetween {
+                        column: col,
+                        lo: *a,
+                        hi: *b,
+                    })),
                     (VType::Double, ExprNode::Literal(la), ExprNode::Literal(lb)) => {
                         let (Some(a), Some(b)) = (la.as_double(), lb.as_double()) else {
                             return Ok(None);
                         };
-                        Some(Box::new(vx::FilterDoubleColumnBetween { column: col, lo: a, hi: b }))
+                        Some(Box::new(vx::FilterDoubleColumnBetween {
+                            column: col,
+                            lo: a,
+                            hi: b,
+                        }))
                     }
                     (VType::Long, ExprNode::Literal(la), ExprNode::Literal(lb)) => {
                         let (Some(a), Some(b)) = (la.as_double(), lb.as_double()) else {
                             return Ok(None);
                         };
                         let wide = self.widen(col);
-                        Some(Box::new(vx::FilterDoubleColumnBetween { column: wide, lo: a, hi: b }))
+                        Some(Box::new(vx::FilterDoubleColumnBetween {
+                            column: wide,
+                            lo: a,
+                            hi: b,
+                        }))
                     }
                     (
                         VType::Bytes,
@@ -580,7 +691,11 @@ impl VecCompiler {
                     negated: *negated,
                 }))
             }
-            ExprNode::InList { expr, list, negated: false } => {
+            ExprNode::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
                 // col IN (a, b, ...) → OR of equality filters.
                 let mut children: Vec<Box<dyn VectorExpression>> = Vec::with_capacity(list.len());
                 for item in list {
@@ -623,37 +738,95 @@ impl VecCompiler {
             ExprNode::Literal(Value::String(s)) if vtype(&lt) == VType::Bytes => {
                 let scalar = s.as_bytes().to_vec();
                 Ok(Some(match op {
-                    Eq => Box::new(vx::FilterBytesColEqualBytesScalar { column: lcol, scalar }),
-                    NotEq => Box::new(vx::FilterBytesColNotEqualBytesScalar { column: lcol, scalar }),
-                    Lt => Box::new(vx::FilterBytesColLessBytesScalar { column: lcol, scalar }),
-                    LtEq => Box::new(vx::FilterBytesColLessEqualBytesScalar { column: lcol, scalar }),
-                    Gt => Box::new(vx::FilterBytesColGreaterBytesScalar { column: lcol, scalar }),
-                    GtEq => Box::new(vx::FilterBytesColGreaterEqualBytesScalar { column: lcol, scalar }),
+                    Eq => Box::new(vx::FilterBytesColEqualBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    NotEq => Box::new(vx::FilterBytesColNotEqualBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    Lt => Box::new(vx::FilterBytesColLessBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    LtEq => Box::new(vx::FilterBytesColLessEqualBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    Gt => Box::new(vx::FilterBytesColGreaterBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    GtEq => Box::new(vx::FilterBytesColGreaterEqualBytesScalar {
+                        column: lcol,
+                        scalar,
+                    }),
                     _ => return Ok(None),
                 }))
             }
             ExprNode::Literal(Value::Int(x)) if vtype(&lt) == VType::Long => {
                 let scalar = *x;
                 Ok(Some(match op {
-                    Eq => Box::new(vx::FilterLongColEqualLongScalar { column: lcol, scalar }),
-                    NotEq => Box::new(vx::FilterLongColNotEqualLongScalar { column: lcol, scalar }),
-                    Lt => Box::new(vx::FilterLongColLessLongScalar { column: lcol, scalar }),
-                    LtEq => Box::new(vx::FilterLongColLessEqualLongScalar { column: lcol, scalar }),
-                    Gt => Box::new(vx::FilterLongColGreaterLongScalar { column: lcol, scalar }),
-                    GtEq => Box::new(vx::FilterLongColGreaterEqualLongScalar { column: lcol, scalar }),
+                    Eq => Box::new(vx::FilterLongColEqualLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    NotEq => Box::new(vx::FilterLongColNotEqualLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    Lt => Box::new(vx::FilterLongColLessLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    LtEq => Box::new(vx::FilterLongColLessEqualLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    Gt => Box::new(vx::FilterLongColGreaterLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
+                    GtEq => Box::new(vx::FilterLongColGreaterEqualLongScalar {
+                        column: lcol,
+                        scalar,
+                    }),
                     _ => return Ok(None),
                 }))
             }
             ExprNode::Literal(v) if v.as_double().is_some() && vtype(&lt) != VType::Bytes => {
                 let scalar = v.as_double().unwrap();
-                let col = if vtype(&lt) == VType::Long { self.widen(lcol) } else { lcol };
+                let col = if vtype(&lt) == VType::Long {
+                    self.widen(lcol)
+                } else {
+                    lcol
+                };
                 Ok(Some(match op {
-                    Eq => Box::new(vx::FilterDoubleColEqualDoubleScalar { column: col, scalar }),
-                    NotEq => Box::new(vx::FilterDoubleColNotEqualDoubleScalar { column: col, scalar }),
-                    Lt => Box::new(vx::FilterDoubleColLessDoubleScalar { column: col, scalar }),
-                    LtEq => Box::new(vx::FilterDoubleColLessEqualDoubleScalar { column: col, scalar }),
-                    Gt => Box::new(vx::FilterDoubleColGreaterDoubleScalar { column: col, scalar }),
-                    GtEq => Box::new(vx::FilterDoubleColGreaterEqualDoubleScalar { column: col, scalar }),
+                    Eq => Box::new(vx::FilterDoubleColEqualDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
+                    NotEq => Box::new(vx::FilterDoubleColNotEqualDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
+                    Lt => Box::new(vx::FilterDoubleColLessDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
+                    LtEq => Box::new(vx::FilterDoubleColLessEqualDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
+                    Gt => Box::new(vx::FilterDoubleColGreaterDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
+                    GtEq => Box::new(vx::FilterDoubleColGreaterEqualDoubleScalar {
+                        column: col,
+                        scalar,
+                    }),
                     _ => return Ok(None),
                 }))
             }
@@ -663,21 +836,36 @@ impl VecCompiler {
                     return Ok(None);
                 };
                 match (vtype(&lt), vtype(&rt), op) {
-                    (VType::Long, VType::Long, Eq) => Ok(Some(Box::new(
-                        vx::FilterLongColEqualLongColumn { left_column: lcol, right_column: rcol },
-                    ))),
-                    (VType::Long, VType::Long, Lt) => Ok(Some(Box::new(
-                        vx::FilterLongColLessLongColumn { left_column: lcol, right_column: rcol },
-                    ))),
-                    (VType::Long, VType::Long, Gt) => Ok(Some(Box::new(
-                        vx::FilterLongColGreaterLongColumn { left_column: lcol, right_column: rcol },
-                    ))),
-                    (VType::Double, VType::Double, Lt) => Ok(Some(Box::new(
-                        vx::FilterDoubleColLessDoubleColumn { left_column: lcol, right_column: rcol },
-                    ))),
-                    (VType::Double, VType::Double, Gt) => Ok(Some(Box::new(
-                        vx::FilterDoubleColGreaterDoubleColumn { left_column: lcol, right_column: rcol },
-                    ))),
+                    (VType::Long, VType::Long, Eq) => {
+                        Ok(Some(Box::new(vx::FilterLongColEqualLongColumn {
+                            left_column: lcol,
+                            right_column: rcol,
+                        })))
+                    }
+                    (VType::Long, VType::Long, Lt) => {
+                        Ok(Some(Box::new(vx::FilterLongColLessLongColumn {
+                            left_column: lcol,
+                            right_column: rcol,
+                        })))
+                    }
+                    (VType::Long, VType::Long, Gt) => {
+                        Ok(Some(Box::new(vx::FilterLongColGreaterLongColumn {
+                            left_column: lcol,
+                            right_column: rcol,
+                        })))
+                    }
+                    (VType::Double, VType::Double, Lt) => {
+                        Ok(Some(Box::new(vx::FilterDoubleColLessDoubleColumn {
+                            left_column: lcol,
+                            right_column: rcol,
+                        })))
+                    }
+                    (VType::Double, VType::Double, Gt) => {
+                        Ok(Some(Box::new(vx::FilterDoubleColGreaterDoubleColumn {
+                            left_column: lcol,
+                            right_column: rcol,
+                        })))
+                    }
                     _ => Ok(None),
                 }
             }

@@ -19,14 +19,15 @@ fn catalog() -> StaticCatalog {
         tables: vec![
             t(
                 "fact",
-                &[("k", "bigint"), ("d1", "bigint"), ("d2", "bigint"), ("v", "double")],
+                &[
+                    ("k", "bigint"),
+                    ("d1", "bigint"),
+                    ("d2", "bigint"),
+                    ("v", "double"),
+                ],
                 1 << 30,
             ),
-            t(
-                "fact2",
-                &[("k", "bigint"), ("v", "double")],
-                1 << 30,
-            ),
+            t("fact2", &[("k", "bigint"), ("v", "double")], 1 << 30),
             t("dim1", &[("k", "bigint"), ("name", "string")], 1 << 10),
             t("dim2", &[("k", "bigint"), ("name", "string")], 1 << 10),
         ],
@@ -116,7 +117,11 @@ fn map_join_then_shuffle_in_same_job() {
         |_| {},
     );
     assert_eq!(job_shape(&q), (0, 1));
-    assert_eq!(q.jobs[0].side_inputs.len(), 1, "dim1 rides the distributed cache");
+    assert_eq!(
+        q.jobs[0].side_inputs.len(),
+        1,
+        "dim1 rides the distributed cache"
+    );
 }
 
 #[test]
@@ -142,7 +147,10 @@ fn column_pruning_reaches_the_scan() {
 fn sarg_extraction_respects_ppd_knob() {
     let sql = "SELECT SUM(v) FROM fact WHERE k BETWEEN 10 AND 20";
     let on = compile_with(sql, |_| {});
-    assert!(on.jobs[0].inputs[0].sarg.is_some(), "PPD on → sarg attached");
+    assert!(
+        on.jobs[0].inputs[0].sarg.is_some(),
+        "PPD on → sarg attached"
+    );
     let off = compile_with(sql, |c| {
         c.set(keys::OPT_PPD_STORAGE, "false");
     });
@@ -159,7 +167,11 @@ fn explain_names_every_stage() {
         },
     );
     for needle in ["TableScan", "ReduceSink", "Join", "GroupBy", "FileSink"] {
-        assert!(q.explain.contains(needle), "missing {needle}:\n{}", q.explain);
+        assert!(
+            q.explain.contains(needle),
+            "missing {needle}:\n{}",
+            q.explain
+        );
     }
 }
 
@@ -187,9 +199,7 @@ fn non_equi_join_is_rejected() {
 
 #[test]
 fn aggregate_of_nongrouped_column_is_rejected() {
-    let Statement::Select(stmt) =
-        parse("SELECT v, COUNT(*) FROM fact GROUP BY k").unwrap()
-    else {
+    let Statement::Select(stmt) = parse("SELECT v, COUNT(*) FROM fact GROUP BY k").unwrap() else {
         panic!()
     };
     assert!(plan_query(&stmt, &catalog(), &HiveConf::new()).is_err());

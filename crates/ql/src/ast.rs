@@ -221,7 +221,10 @@ impl Expr {
                 expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
             }
             Expr::Cast { expr, .. } => expr.has_aggregate(),
-            Expr::Case { branches, else_value } => {
+            Expr::Case {
+                branches,
+                else_value,
+            } => {
                 branches
                     .iter()
                     .any(|(c, v)| c.has_aggregate() || v.has_aggregate())

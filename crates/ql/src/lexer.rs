@@ -29,8 +29,8 @@ pub enum TokenKind {
     Minus,
     Slash,
     Percent,
-    Eq,      // =
-    NotEq,   // != or <>
+    Eq,    // =
+    NotEq, // != or <>
     Lt,
     LtEq,
     Gt,
@@ -192,7 +192,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(err(line, i - line_start, "unterminated backquoted identifier"));
+                    return Err(err(
+                        line,
+                        i - line_start,
+                        "unterminated backquoted identifier",
+                    ));
                 }
                 let name = std::str::from_utf8(&bytes[start..j])
                     .unwrap_or("")

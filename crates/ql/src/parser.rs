@@ -334,8 +334,7 @@ impl Parser {
         let name = self.ident("table name")?;
         let alias = if self.eat_kw("as") {
             Some(self.ident("alias")?)
-        } else if matches!(self.peek(), TokenKind::Ident(s) if !is_clause_kw(s) && !is_join_kw(s))
-        {
+        } else if matches!(self.peek(), TokenKind::Ident(s) if !is_clause_kw(s) && !is_join_kw(s)) {
             Some(self.ident("alias")?)
         } else {
             None
@@ -642,12 +641,10 @@ mod tests {
 
     #[test]
     fn tpch_q6_shape() {
-        let s = sel(
-            "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+        let s = sel("SELECT SUM(l_extendedprice * l_discount) AS revenue \
              FROM lineitem \
              WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
-               AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
-        );
+               AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
         assert!(s.projections[0].expr.has_aggregate());
         let w = s.where_clause.unwrap();
         assert_eq!(w.conjuncts().len(), 4);
@@ -713,10 +710,8 @@ mod tests {
 
     #[test]
     fn between_and_in_and_null_predicates() {
-        let s = sel(
-            "SELECT x FROM t WHERE x BETWEEN 0 AND 3750 \
-             AND y NOT IN (1, 2) AND z IS NOT NULL AND w IS NULL",
-        );
+        let s = sel("SELECT x FROM t WHERE x BETWEEN 0 AND 3750 \
+             AND y NOT IN (1, 2) AND z IS NOT NULL AND w IS NULL");
         let w = s.where_clause.unwrap();
         let parts = w.conjuncts().len();
         assert_eq!(parts, 4);
@@ -725,23 +720,42 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let s = sel("SELECT a FROM t WHERE a + 1 * 2 = 3 OR b = 4 AND c = 5");
-        let Expr::Binary { op: BinOp::Or, left, .. } = s.where_clause.unwrap() else {
+        let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            ..
+        } = s.where_clause.unwrap()
+        else {
             panic!("OR must be top")
         };
-        let Expr::Binary { op: BinOp::Eq, left: al, .. } = *left else {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: al,
+            ..
+        } = *left
+        else {
             panic!("= under OR")
         };
-        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *al else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right: mul,
+            ..
+        } = *al
+        else {
             panic!("+ under =")
         };
-        assert!(matches!(*mul, Expr::Binary { op: BinOp::Multiply, .. }));
+        assert!(matches!(
+            *mul,
+            Expr::Binary {
+                op: BinOp::Multiply,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn case_and_cast() {
-        let s = sel(
-            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS double) FROM t",
-        );
+        let s = sel("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS double) FROM t");
         assert!(matches!(s.projections[0].expr, Expr::Case { .. }));
         assert!(matches!(s.projections[1].expr, Expr::Cast { .. }));
     }

@@ -51,8 +51,14 @@ impl AggState {
     fn new(kind: AggKind) -> AggState {
         match kind {
             AggKind::CountStar | AggKind::Count => AggState::Count(0),
-            AggKind::SumLong => AggState::SumLong { sum: 0, seen: false },
-            AggKind::SumDouble => AggState::SumDouble { sum: 0.0, seen: false },
+            AggKind::SumLong => AggState::SumLong {
+                sum: 0,
+                seen: false,
+            },
+            AggKind::SumDouble => AggState::SumDouble {
+                sum: 0.0,
+                seen: false,
+            },
             AggKind::MinLong => AggState::MinLong(None),
             AggKind::MaxLong => AggState::MaxLong(None),
             AggKind::MinDouble => AggState::MinDouble(None),
@@ -68,10 +74,9 @@ impl AggState {
     /// value shape.
     pub fn partial(&self) -> Value {
         match self {
-            AggState::Avg { sum, count } => Value::Struct(vec![
-                Value::Double(*sum),
-                Value::Int(*count),
-            ]),
+            AggState::Avg { sum, count } => {
+                Value::Struct(vec![Value::Double(*sum), Value::Int(*count)])
+            }
             other => other.finish(),
         }
     }
@@ -94,9 +99,7 @@ impl AggState {
                     Value::Null
                 }
             }
-            AggState::MinLong(v) | AggState::MaxLong(v) => {
-                v.map(Value::Int).unwrap_or(Value::Null)
-            }
+            AggState::MinLong(v) | AggState::MaxLong(v) => v.map(Value::Int).unwrap_or(Value::Null),
             AggState::MinDouble(v) | AggState::MaxDouble(v) => {
                 v.map(Value::Double).unwrap_or(Value::Null)
             }
@@ -255,7 +258,11 @@ impl VectorHashAggregator {
 }
 
 /// Tight-loop update of one aggregate over a whole batch (global case).
-fn update_vectorized(spec: &AggSpec, state: &mut AggState, batch: &VectorizedRowBatch) -> Result<()> {
+fn update_vectorized(
+    spec: &AggSpec,
+    state: &mut AggState,
+    batch: &VectorizedRowBatch,
+) -> Result<()> {
     let n = batch.size;
     if let (AggKind::CountStar, AggState::Count(c)) = (spec.kind, &mut *state) {
         *c += n as i64;
@@ -481,8 +488,14 @@ mod tests {
         let mut agg = VectorHashAggregator::new(
             vec![],
             vec![
-                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
-                AggSpec { kind: AggKind::CountStar, input_column: None },
+                AggSpec {
+                    kind: AggKind::SumLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    input_column: None,
+                },
             ],
         );
         let b = batch_with(&[1, 2, 3, 4], &[]);
@@ -502,7 +515,10 @@ mod tests {
         b.size = 2;
         let mut agg = VectorHashAggregator::new(
             vec![],
-            vec![AggSpec { kind: AggKind::SumLong, input_column: Some(0) }],
+            vec![AggSpec {
+                kind: AggKind::SumLong,
+                input_column: Some(0),
+            }],
         );
         agg.process(&b).unwrap();
         assert_eq!(agg.finish()[0].values(), &[Value::Int(50)]);
@@ -515,8 +531,14 @@ mod tests {
         let mut agg = VectorHashAggregator::new(
             vec![0],
             vec![
-                AggSpec { kind: AggKind::SumDouble, input_column: Some(1) },
-                AggSpec { kind: AggKind::CountStar, input_column: None },
+                AggSpec {
+                    kind: AggKind::SumDouble,
+                    input_column: Some(1),
+                },
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    input_column: None,
+                },
             ],
         );
         agg.process(&b).unwrap();
@@ -544,17 +566,34 @@ mod tests {
         let mut agg = VectorHashAggregator::new(
             vec![],
             vec![
-                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
-                AggSpec { kind: AggKind::Count, input_column: Some(0) },
-                AggSpec { kind: AggKind::CountStar, input_column: None },
-                AggSpec { kind: AggKind::Avg, input_column: Some(0) },
+                AggSpec {
+                    kind: AggKind::SumLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::Count,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    input_column: None,
+                },
+                AggSpec {
+                    kind: AggKind::Avg,
+                    input_column: Some(0),
+                },
             ],
         );
         agg.process(&b).unwrap();
         let r = agg.finish();
         assert_eq!(
             r[0].values(),
-            &[Value::Int(4), Value::Int(2), Value::Int(3), Value::Double(2.0)]
+            &[
+                Value::Int(4),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Double(2.0)
+            ]
         );
     }
 
@@ -572,12 +611,30 @@ mod tests {
         let mut agg = VectorHashAggregator::new(
             vec![],
             vec![
-                AggSpec { kind: AggKind::MinLong, input_column: Some(0) },
-                AggSpec { kind: AggKind::MaxLong, input_column: Some(0) },
-                AggSpec { kind: AggKind::MinDouble, input_column: Some(1) },
-                AggSpec { kind: AggKind::MaxDouble, input_column: Some(1) },
-                AggSpec { kind: AggKind::MinBytes, input_column: Some(sc) },
-                AggSpec { kind: AggKind::MaxBytes, input_column: Some(sc) },
+                AggSpec {
+                    kind: AggKind::MinLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::MaxLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::MinDouble,
+                    input_column: Some(1),
+                },
+                AggSpec {
+                    kind: AggKind::MaxDouble,
+                    input_column: Some(1),
+                },
+                AggSpec {
+                    kind: AggKind::MinBytes,
+                    input_column: Some(sc),
+                },
+                AggSpec {
+                    kind: AggKind::MaxBytes,
+                    input_column: Some(sc),
+                },
             ],
         );
         agg.process(&b).unwrap();
@@ -600,8 +657,14 @@ mod tests {
         let agg = VectorHashAggregator::new(
             vec![],
             vec![
-                AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
-                AggSpec { kind: AggKind::CountStar, input_column: None },
+                AggSpec {
+                    kind: AggKind::SumLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    input_column: None,
+                },
             ],
         );
         let r = agg.finish();
@@ -618,7 +681,10 @@ mod tests {
         }
         let mut agg = VectorHashAggregator::new(
             vec![0],
-            vec![AggSpec { kind: AggKind::CountStar, input_column: None }],
+            vec![AggSpec {
+                kind: AggKind::CountStar,
+                input_column: None,
+            }],
         );
         agg.process(&b).unwrap();
         let rows = agg.finish();

@@ -291,7 +291,8 @@ impl VectorizedRowBatch {
 
     /// Append `n` scratch columns of the given types (expression outputs).
     pub fn add_scratch(&mut self, dt: &DataType) -> Result<usize> {
-        self.columns.push(ColumnVector::for_type(dt, self.max_size)?);
+        self.columns
+            .push(ColumnVector::for_type(dt, self.max_size)?);
         Ok(self.columns.len() - 1)
     }
 }

@@ -339,7 +339,10 @@ mod tests {
         }
         .evaluate(&mut b)
         .unwrap();
-        assert_eq!(&b.columns[out].as_long().unwrap().vector[..3], &[17, 27, 37]);
+        assert_eq!(
+            &b.columns[out].as_long().unwrap().vector[..3],
+            &[17, 27, 37]
+        );
     }
 
     #[test]

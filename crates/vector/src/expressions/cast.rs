@@ -149,7 +149,10 @@ mod tests {
         }
         .evaluate(&mut b)
         .unwrap();
-        assert_eq!(&b.columns[d].as_double().unwrap().vector[..3], &[1.0, -2.0, 3.0]);
+        assert_eq!(
+            &b.columns[d].as_double().unwrap().vector[..3],
+            &[1.0, -2.0, 3.0]
+        );
 
         let l = b.add_scratch(&DataType::Int).unwrap();
         CastDoubleToLong {

@@ -494,9 +494,12 @@ mod tests {
     #[test]
     fn less_scalar_narrows_selection() {
         let mut b = batch_with(&[5, 1, 9, 3, 7], &[]);
-        FilterLongColLessLongScalar { column: 0, scalar: 6 }
-            .evaluate(&mut b)
-            .unwrap();
+        FilterLongColLessLongScalar {
+            column: 0,
+            scalar: 6,
+        }
+        .evaluate(&mut b)
+        .unwrap();
         assert!(b.selected_in_use);
         assert_eq!(selected_of(&b), vec![0, 1, 3]);
     }
@@ -504,12 +507,18 @@ mod tests {
     #[test]
     fn filters_compose_as_conjunction() {
         let mut b = batch_with(&[5, 1, 9, 3, 7], &[]);
-        FilterLongColGreaterLongScalar { column: 0, scalar: 2 }
-            .evaluate(&mut b)
-            .unwrap();
-        FilterLongColLessLongScalar { column: 0, scalar: 8 }
-            .evaluate(&mut b)
-            .unwrap();
+        FilterLongColGreaterLongScalar {
+            column: 0,
+            scalar: 2,
+        }
+        .evaluate(&mut b)
+        .unwrap();
+        FilterLongColLessLongScalar {
+            column: 0,
+            scalar: 8,
+        }
+        .evaluate(&mut b)
+        .unwrap();
         assert_eq!(selected_of(&b), vec![0, 3, 4]);
     }
 
@@ -535,9 +544,12 @@ mod tests {
             c.no_nulls = false;
             c.null[1] = true;
         }
-        FilterLongColGreaterLongScalar { column: 0, scalar: 0 }
-            .evaluate(&mut b)
-            .unwrap();
+        FilterLongColGreaterLongScalar {
+            column: 0,
+            scalar: 0,
+        }
+        .evaluate(&mut b)
+        .unwrap();
         assert_eq!(selected_of(&b), vec![0, 2]);
     }
 
@@ -545,13 +557,19 @@ mod tests {
     fn repeating_all_or_nothing() {
         let mut b = batch_with(&[5, 0, 0], &[]);
         b.columns[0].as_long_mut().unwrap().is_repeating = true;
-        FilterLongColGreaterLongScalar { column: 0, scalar: 4 }
-            .evaluate(&mut b)
-            .unwrap();
+        FilterLongColGreaterLongScalar {
+            column: 0,
+            scalar: 4,
+        }
+        .evaluate(&mut b)
+        .unwrap();
         assert_eq!(b.size, 3, "repeating pass keeps everything");
-        FilterLongColGreaterLongScalar { column: 0, scalar: 10 }
-            .evaluate(&mut b)
-            .unwrap();
+        FilterLongColGreaterLongScalar {
+            column: 0,
+            scalar: 10,
+        }
+        .evaluate(&mut b)
+        .unwrap();
         assert_eq!(b.size, 0, "repeating fail clears the batch");
     }
 
@@ -560,8 +578,14 @@ mod tests {
         let mut b = batch_with(&[1, 5, 9, 13], &[]);
         FilterOr {
             children: vec![
-                Box::new(FilterLongColLessLongScalar { column: 0, scalar: 4 }),
-                Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 10 }),
+                Box::new(FilterLongColLessLongScalar {
+                    column: 0,
+                    scalar: 4,
+                }),
+                Box::new(FilterLongColGreaterLongScalar {
+                    column: 0,
+                    scalar: 10,
+                }),
             ],
         }
         .evaluate(&mut b)
@@ -572,13 +596,22 @@ mod tests {
     #[test]
     fn or_after_existing_selection() {
         let mut b = batch_with(&[1, 5, 9, 13], &[]);
-        FilterLongColGreaterLongScalar { column: 0, scalar: 2 }
-            .evaluate(&mut b)
-            .unwrap(); // rows 1,2,3
+        FilterLongColGreaterLongScalar {
+            column: 0,
+            scalar: 2,
+        }
+        .evaluate(&mut b)
+        .unwrap(); // rows 1,2,3
         FilterOr {
             children: vec![
-                Box::new(FilterLongColLessLongScalar { column: 0, scalar: 6 }),
-                Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 12 }),
+                Box::new(FilterLongColLessLongScalar {
+                    column: 0,
+                    scalar: 6,
+                }),
+                Box::new(FilterLongColGreaterLongScalar {
+                    column: 0,
+                    scalar: 12,
+                }),
             ],
         }
         .evaluate(&mut b)

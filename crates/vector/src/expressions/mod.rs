@@ -171,7 +171,10 @@ mod tests {
     fn constant_expression_fills_repeating() {
         let mut b = batch_with(&[1, 2, 3], &[]);
         let out = b.add_scratch(&DataType::Int).unwrap();
-        let e = ConstantExpression::Long { output: out, value: 7 };
+        let e = ConstantExpression::Long {
+            output: out,
+            value: 7,
+        };
         e.evaluate(&mut b).unwrap();
         let col = b.columns[out].as_long().unwrap();
         assert!(col.is_repeating);
@@ -182,7 +185,9 @@ mod tests {
     fn null_constant_sets_null_flags() {
         let mut b = batch_with(&[1], &[]);
         let out = b.add_scratch(&DataType::String).unwrap();
-        ConstantExpression::Null { output: out }.evaluate(&mut b).unwrap();
+        ConstantExpression::Null { output: out }
+            .evaluate(&mut b)
+            .unwrap();
         assert!(b.columns[out].is_null(0));
     }
 

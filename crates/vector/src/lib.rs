@@ -17,6 +17,8 @@ pub mod expressions;
 pub mod operators;
 pub mod row_convert;
 
-pub use batch::{BytesColumnVector, ColumnVector, DoubleColumnVector, LongColumnVector,
-                VectorizedRowBatch, DEFAULT_BATCH_SIZE};
+pub use batch::{
+    BytesColumnVector, ColumnVector, DoubleColumnVector, LongColumnVector, VectorizedRowBatch,
+    DEFAULT_BATCH_SIZE,
+};
 pub use expressions::VectorExpression;

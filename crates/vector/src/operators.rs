@@ -32,7 +32,11 @@ pub struct VectorFilterOperator {
 }
 
 impl VectorOperator for VectorFilterOperator {
-    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+    fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        _sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
         self.predicate.evaluate(batch)
     }
 
@@ -55,7 +59,11 @@ pub struct VectorSelectOperator {
 }
 
 impl VectorOperator for VectorSelectOperator {
-    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+    fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        _sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
         for e in &self.expressions {
             e.evaluate(batch)?;
         }
@@ -102,7 +110,11 @@ impl VectorGroupByOperator {
 }
 
 impl VectorOperator for VectorGroupByOperator {
-    fn process(&mut self, batch: &mut VectorizedRowBatch, _sink: &mut dyn FnMut(Row)) -> Result<()> {
+    fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        _sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
         for e in &self.expressions {
             e.evaluate(batch)?;
         }
@@ -111,7 +123,10 @@ impl VectorOperator for VectorGroupByOperator {
 
     fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
         // Swap out the aggregator so close is idempotent.
-        let agg = std::mem::replace(&mut self.aggregator, VectorHashAggregator::new(vec![], vec![]));
+        let agg = std::mem::replace(
+            &mut self.aggregator,
+            VectorHashAggregator::new(vec![], vec![]),
+        );
         let rows = if self.emit_partial {
             agg.finish_partial()
         } else {
@@ -202,14 +217,23 @@ mod tests {
         // SELECT SUM(a), COUNT(*) WHERE a > 2 over [1,2,3,4,5] → (12, 3)
         let mut pipeline = VectorPipeline::new(vec![
             Box::new(VectorFilterOperator {
-                predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 2 }),
+                predicate: Box::new(FilterLongColGreaterLongScalar {
+                    column: 0,
+                    scalar: 2,
+                }),
             }),
             Box::new(VectorGroupByOperator::new(
                 vec![],
                 vec![],
                 vec![
-                    AggSpec { kind: AggKind::SumLong, input_column: Some(0) },
-                    AggSpec { kind: AggKind::CountStar, input_column: None },
+                    AggSpec {
+                        kind: AggKind::SumLong,
+                        input_column: Some(0),
+                    },
+                    AggSpec {
+                        kind: AggKind::CountStar,
+                        input_column: None,
+                    },
                 ],
             )),
         ]);
@@ -226,7 +250,10 @@ mod tests {
     fn row_emit_respects_filter() {
         let mut pipeline = VectorPipeline::new(vec![
             Box::new(VectorFilterOperator {
-                predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 3 }),
+                predicate: Box::new(FilterLongColGreaterLongScalar {
+                    column: 0,
+                    scalar: 3,
+                }),
             }),
             Box::new(VectorRowEmitOperator {
                 output_columns: vec![(0, DataType::Int)],
@@ -246,7 +273,10 @@ mod tests {
     #[test]
     fn empty_batch_short_circuits() {
         let mut pipeline = VectorPipeline::new(vec![Box::new(VectorFilterOperator {
-            predicate: Box::new(FilterLongColGreaterLongScalar { column: 0, scalar: 100 }),
+            predicate: Box::new(FilterLongColGreaterLongScalar {
+                column: 0,
+                scalar: 100,
+            }),
         })]);
         let mut out = Vec::new();
         let mut sink = |r: Row| out.push(r);

@@ -10,7 +10,11 @@ pub fn is_vectorizable(schema: &Schema) -> bool {
     schema.fields().iter().all(|f| {
         matches!(
             f.data_type,
-            DataType::Int | DataType::Boolean | DataType::Timestamp | DataType::Double | DataType::String
+            DataType::Int
+                | DataType::Boolean
+                | DataType::Timestamp
+                | DataType::Double
+                | DataType::String
         )
     })
 }
@@ -83,10 +87,7 @@ pub fn get_value(col: &ColumnVector, i: usize, dt: &DataType) -> Value {
 
 /// Materialize the valid rows of `batch`, projecting `columns` with their
 /// logical types.
-pub fn batch_to_rows(
-    batch: &VectorizedRowBatch,
-    columns: &[(usize, DataType)],
-) -> Vec<Row> {
+pub fn batch_to_rows(batch: &VectorizedRowBatch, columns: &[(usize, DataType)]) -> Vec<Row> {
     let mut out = Vec::with_capacity(batch.size);
     for i in batch.iter_selected() {
         let vals = columns
@@ -103,8 +104,13 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::parse(&[("a", "bigint"), ("b", "double"), ("c", "string"), ("d", "boolean")])
-            .unwrap()
+        Schema::parse(&[
+            ("a", "bigint"),
+            ("b", "double"),
+            ("c", "string"),
+            ("d", "boolean"),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -162,10 +168,7 @@ mod tests {
     #[test]
     fn type_mismatch_errors() {
         let mut batch = VectorizedRowBatch::new(&[DataType::Int], 2).unwrap();
-        let err = rows_to_batch(
-            &[Row::new(vec![Value::String("nope".into())])],
-            &mut batch,
-        );
+        let err = rows_to_batch(&[Row::new(vec![Value::String("nope".into())])], &mut batch);
         assert!(err.is_err());
     }
 }

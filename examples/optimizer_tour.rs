@@ -24,34 +24,60 @@ WHERE big2.value1 > sq1.avg";
 
 fn fresh_session() -> HiveSession {
     let mut hive = HiveSession::in_memory();
-    hive.execute("CREATE TABLE big1 (key BIGINT, skey1 BIGINT, skey2 BIGINT, value1 DOUBLE) STORED AS orc").unwrap();
-    hive.execute("CREATE TABLE big2 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc").unwrap();
-    hive.execute("CREATE TABLE big3 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc").unwrap();
-    hive.execute("CREATE TABLE small1 (key BIGINT, value1 STRING) STORED AS orc").unwrap();
-    hive.execute("CREATE TABLE small2 (key BIGINT, value1 STRING) STORED AS orc").unwrap();
+    hive.execute(
+        "CREATE TABLE big1 (key BIGINT, skey1 BIGINT, skey2 BIGINT, value1 DOUBLE) STORED AS orc",
+    )
+    .unwrap();
+    hive.execute("CREATE TABLE big2 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc")
+        .unwrap();
+    hive.execute("CREATE TABLE big3 (key BIGINT, value1 DOUBLE, value2 DOUBLE) STORED AS orc")
+        .unwrap();
+    hive.execute("CREATE TABLE small1 (key BIGINT, value1 STRING) STORED AS orc")
+        .unwrap();
+    hive.execute("CREATE TABLE small2 (key BIGINT, value1 STRING) STORED AS orc")
+        .unwrap();
 
-    hive.load_rows("big1", (0..20_000).map(|i| Row::new(vec![
-        Value::Int(i % 500),
-        Value::Int(i % 5),
-        Value::Int(i % 7),
-        Value::Double(i as f64),
-    ]))).unwrap();
+    hive.load_rows(
+        "big1",
+        (0..20_000).map(|i| {
+            Row::new(vec![
+                Value::Int(i % 500),
+                Value::Int(i % 5),
+                Value::Int(i % 7),
+                Value::Double(i as f64),
+            ])
+        }),
+    )
+    .unwrap();
     for t in ["big2", "big3"] {
-        hive.load_rows(t, (0..20_000).map(|i| Row::new(vec![
-            Value::Int(i % 500),
-            Value::Double((i * 2) as f64),
-            Value::Double((i % 37) as f64),
-        ]))).unwrap();
+        hive.load_rows(
+            t,
+            (0..20_000).map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 500),
+                    Value::Double((i * 2) as f64),
+                    Value::Double((i % 37) as f64),
+                ])
+            }),
+        )
+        .unwrap();
     }
-    hive.load_rows("small1", (0..5).map(|i| {
-        Row::new(vec![Value::Int(i), Value::String(format!("s1-{i}"))])
-    })).unwrap();
-    hive.load_rows("small2", (0..7).map(|i| {
-        Row::new(vec![Value::Int(i), Value::String(format!("s2-{i}"))])
-    })).unwrap();
+    hive.load_rows(
+        "small1",
+        (0..5).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("s1-{i}"))])),
+    )
+    .unwrap();
+    hive.load_rows(
+        "small2",
+        (0..7).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("s2-{i}"))])),
+    )
+    .unwrap();
     // At example scale every table is tiny; set the Map Join threshold so
     // only small1/small2 qualify as hash-table sides.
-    let small_max = hive.metastore().table_size("small1").max(hive.metastore().table_size("small2"));
+    let small_max = hive
+        .metastore()
+        .table_size("small1")
+        .max(hive.metastore().table_size("small2"));
     hive.set(keys::MAPJOIN_SMALLTABLE_SIZE, format!("{}", small_max + 1));
     hive
 }
@@ -59,9 +85,21 @@ fn fresh_session() -> HiveSession {
 fn main() {
     println!("Paper Figure 4 running example\n");
     let configs: &[(&str, &str, &str)] = &[
-        ("everything off   (mapjoin=off, merge=off, corr=off)", "false", "false"),
-        ("correlation on   (mapjoin=off, merge=off, corr=on) ", "false", "true"),
-        ("all optimizations (mapjoin=on,  merge=on,  corr=on) ", "true", "true"),
+        (
+            "everything off   (mapjoin=off, merge=off, corr=off)",
+            "false",
+            "false",
+        ),
+        (
+            "correlation on   (mapjoin=off, merge=off, corr=on) ",
+            "false",
+            "true",
+        ),
+        (
+            "all optimizations (mapjoin=on,  merge=on,  corr=on) ",
+            "true",
+            "true",
+        ),
     ];
     let mut reference: Option<Vec<Row>> = None;
     for (label, mapjoin, corr) in configs {

@@ -37,7 +37,11 @@ fn main() {
             "  column id {:>2}  type {:<12} {}",
             node.id,
             node.data_type.to_string(),
-            if node.is_leaf() { "(leaf: has data streams)" } else { "(internal: metadata only)" }
+            if node.is_leaf() {
+                "(leaf: has data streams)"
+            } else {
+                "(internal: metadata only)"
+            }
         );
     }
 
@@ -63,7 +67,10 @@ fn main() {
                 Value::Array((0..(i % 3)).map(Value::Int).collect()),
                 Value::Map(vec![(
                     Value::String(format!("k{}", i % 100)),
-                    Value::Struct(vec![Value::String(format!("s{}", i % 7)), Value::Int(i * 2)]),
+                    Value::Struct(vec![
+                        Value::String(format!("s{}", i % 7)),
+                        Value::Int(i * 2),
+                    ]),
                 )]),
                 Value::String(format!("tag-{}", i % 50)),
             ]),
@@ -75,8 +82,8 @@ fn main() {
     println!("\nwrote {len} bytes ({padding} bytes of block-alignment padding)");
 
     // File-level statistics answer simple aggregations without reading rows.
-    let reader = OrcReader::open(&dfs, "/warehouse/fig3/part-0", OrcReadOptions::default())
-        .expect("open");
+    let reader =
+        OrcReader::open(&dfs, "/warehouse/fig3/part-0", OrcReadOptions::default()).expect("open");
     let stats = reader.file_stats(0).expect("stats");
     println!(
         "col1 from file statistics alone: count={} min={:?} max={:?} sum={:?}",

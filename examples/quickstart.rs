@@ -58,11 +58,7 @@ fn main() {
     for j in &report.jobs {
         println!(
             "  {}: {} map task(s), {} reduce task(s), {:.2}s simulated, {} read",
-            j.name,
-            j.map_tasks,
-            j.reduce_tasks,
-            j.sim_total_s,
-            j.bytes_read
+            j.name, j.map_tasks, j.reduce_tasks, j.sim_total_s, j.bytes_read
         );
     }
 

@@ -126,10 +126,8 @@ fn main() {
 }
 
 fn load_demo(hive: &mut HiveSession) {
-    hive.execute(
-        "CREATE TABLE trips (city_id BIGINT, minutes BIGINT, fare DOUBLE) STORED AS orc",
-    )
-    .expect("create trips");
+    hive.execute("CREATE TABLE trips (city_id BIGINT, minutes BIGINT, fare DOUBLE) STORED AS orc")
+        .expect("create trips");
     hive.load_rows(
         "trips",
         (0..50_000).map(|i| {

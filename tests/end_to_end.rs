@@ -100,8 +100,11 @@ fn ssdb_query1_counts_match_geometry() {
     let mut s = HiveSession::in_memory();
     hive::datagen::ssdb::load(&mut s, 2, 500, 3).unwrap();
     // step 500 → 30 points per axis per image.
-    for (name, var, per_axis_sel) in [("easy", 3750, 8i64), ("medium", 7500, 16), ("hard", 15_000, 30)]
-    {
+    for (name, var, per_axis_sel) in [
+        ("easy", 3750, 8i64),
+        ("medium", 7500, 16),
+        ("hard", 15_000, 30),
+    ] {
         let r = s.execute(&hive::datagen::ssdb::query1(var)).unwrap();
         let expect = 2 * per_axis_sel * per_axis_sel;
         assert_eq!(r.rows[0][1], Value::Int(expect), "{name}");
@@ -204,7 +207,10 @@ fn table2_shape_holds_at_tiny_scale() {
         assert!(rc_snappy < rc, "Snappy shrinks RCFile (tpch={tpch})");
         if !tpch {
             // The SS-DB headline: type-aware ORC beats even RCFile+Snappy.
-            assert!(orc < rc_snappy, "ORC (uncompressed) beats RCFile+Snappy on SS-DB");
+            assert!(
+                orc < rc_snappy,
+                "ORC (uncompressed) beats RCFile+Snappy on SS-DB"
+            );
         }
     }
 }
