@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+# Chaos gate: end-to-end queries under randomized-but-replayable DFS fault
+# plans (the proptest shim seeds from the test name, so this is a fixed
+# schedule). Part of the workspace run above; repeated here so a chaos
+# regression is called out by name.
+echo "==> chaos gate (deterministic fault injection)"
+cargo test -q -p hive-core --test chaos --offline
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

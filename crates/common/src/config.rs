@@ -76,6 +76,45 @@ pub mod keys {
     /// a deterministic per-row constant, making reported simulated times
     /// bit-identical across runs and worker-thread counts.
     pub const EXEC_SIM_DETERMINISTIC_CPU: &str = "hive.exec.sim.deterministic.cpu";
+    /// Seed for the deterministic DFS fault plan. Faults depend only on
+    /// `(seed, path, offset)`, never on timing or thread interleaving.
+    pub const DFS_FAULT_SEED: &str = "dfs.fault.seed";
+    /// Probability that the *first* read of a `(path, offset)` location
+    /// fails with a retryable `Transient` error. Re-reads of a location
+    /// that already served (or failed) once succeed, modeling failover to
+    /// a healthy replica.
+    pub const DFS_FAULT_READ_ERROR_RATE: &str = "dfs.fault.read.error.rate";
+    /// Probability that the first read of a location silently flips a byte
+    /// on the wire. Per-block CRC32 verification catches the flip and turns
+    /// it into a retryable `Corrupt` error instead of garbage rows.
+    pub const DFS_FAULT_CORRUPT_RATE: &str = "dfs.fault.corrupt.rate";
+    /// Comma-separated node ids whose reads incur extra simulated latency
+    /// (stragglers). Empty = none.
+    pub const DFS_FAULT_SLOW_NODES: &str = "dfs.fault.slow.nodes";
+    /// Comma-separated node ids from which every read fails with a
+    /// `Transient` error (dead datanodes). Empty = none.
+    pub const DFS_FAULT_FAIL_NODES: &str = "dfs.fault.fail.nodes";
+    /// Extra simulated latency on slow nodes, in milliseconds per MiB read.
+    pub const DFS_FAULT_SLOW_MS_PER_MB: &str = "dfs.fault.slow.ms.per.mb";
+    /// Maximum attempts per map task, Hadoop's `mapred.map.max.attempts`.
+    pub const MAP_MAX_ATTEMPTS: &str = "mapred.map.max.attempts";
+    /// Maximum attempts per reduce task.
+    pub const REDUCE_MAX_ATTEMPTS: &str = "mapred.reduce.max.attempts";
+    /// Base of the exponential sim-time backoff between task attempts, in
+    /// simulated seconds (attempt k waits `base * 2^k`).
+    pub const TASK_RETRY_BACKOFF_S: &str = "mapred.task.retry.backoff.s";
+    /// Retryable task failures a node may cause before it is blacklisted
+    /// from replica selection (Hadoop's `mapred.max.tracker.failures`).
+    pub const MAX_TRACKER_FAILURES: &str = "mapred.max.tracker.failures";
+    /// Launch speculative duplicate attempts for straggling map tasks.
+    pub const EXEC_SPECULATIVE: &str = "hive.exec.speculative";
+    /// A task is a straggler when its simulated duration exceeds
+    /// `threshold × median` of its job's map tasks.
+    pub const EXEC_SPECULATIVE_THRESHOLD: &str = "hive.exec.speculative.threshold";
+    /// Skip ORC stripes / index groups whose checksum or decode fails and
+    /// report rows-skipped, instead of failing the query (Hive's
+    /// `hive.exec.orc.skip.corrupt.data`).
+    pub const ORC_SKIP_CORRUPT: &str = "hive.exec.orc.skip.corrupt.data";
 }
 
 /// `(key, default)` table; the single source of defaults.
@@ -107,6 +146,19 @@ const DEFAULTS: &[(&str, &str)] = &[
     (keys::EXEC_PARALLEL, "false"),
     (keys::EXEC_WORKER_THREADS, "0"), // 0 = one per available core
     (keys::EXEC_SIM_DETERMINISTIC_CPU, "false"),
+    (keys::DFS_FAULT_SEED, "0"),
+    (keys::DFS_FAULT_READ_ERROR_RATE, "0.0"),
+    (keys::DFS_FAULT_CORRUPT_RATE, "0.0"),
+    (keys::DFS_FAULT_SLOW_NODES, ""),
+    (keys::DFS_FAULT_FAIL_NODES, ""),
+    (keys::DFS_FAULT_SLOW_MS_PER_MB, "200"),
+    (keys::MAP_MAX_ATTEMPTS, "4"),
+    (keys::REDUCE_MAX_ATTEMPTS, "4"),
+    (keys::TASK_RETRY_BACKOFF_S, "1.0"),
+    (keys::MAX_TRACKER_FAILURES, "3"),
+    (keys::EXEC_SPECULATIVE, "false"),
+    (keys::EXEC_SPECULATIVE_THRESHOLD, "1.5"),
+    (keys::ORC_SKIP_CORRUPT, "false"),
 ];
 
 impl HiveConf {
@@ -204,6 +256,21 @@ mod tests {
         assert!(!c.get_bool(keys::EXEC_PARALLEL).unwrap());
         assert_eq!(c.get_usize(keys::EXEC_WORKER_THREADS).unwrap(), 0);
         assert!(!c.get_bool(keys::EXEC_SIM_DETERMINISTIC_CPU).unwrap());
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_are_inert() {
+        let c = HiveConf::new();
+        assert_eq!(c.get_f64(keys::DFS_FAULT_READ_ERROR_RATE).unwrap(), 0.0);
+        assert_eq!(c.get_f64(keys::DFS_FAULT_CORRUPT_RATE).unwrap(), 0.0);
+        assert_eq!(c.get(keys::DFS_FAULT_SLOW_NODES), Some(""));
+        assert_eq!(c.get(keys::DFS_FAULT_FAIL_NODES), Some(""));
+        assert_eq!(c.get_usize(keys::MAP_MAX_ATTEMPTS).unwrap(), 4);
+        assert_eq!(c.get_usize(keys::REDUCE_MAX_ATTEMPTS).unwrap(), 4);
+        assert_eq!(c.get_usize(keys::MAX_TRACKER_FAILURES).unwrap(), 3);
+        assert!(!c.get_bool(keys::EXEC_SPECULATIVE).unwrap());
+        assert_eq!(c.get_f64(keys::EXEC_SPECULATIVE_THRESHOLD).unwrap(), 1.5);
+        assert!(!c.get_bool(keys::ORC_SKIP_CORRUPT).unwrap());
     }
 
     #[test]

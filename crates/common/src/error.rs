@@ -36,6 +36,18 @@ pub enum HiveError {
     Metastore(String),
     /// Memory budget exhausted (ORC writer memory manager, hash joins).
     Memory(String),
+    /// Transient I/O failure (a datanode timed out, a connection dropped).
+    /// Retrying the same read — possibly against another replica — is
+    /// expected to succeed; the task-attempt framework retries these.
+    Transient(String),
+    /// Detected data corruption: a block failed its CRC32 check, or a
+    /// decoded stream contradicted its own metadata. Retryable at the DFS
+    /// layer (another replica may be clean) and skippable by the ORC
+    /// reader's `hive.exec.orc.skip.corrupt.data` degradation mode.
+    Corrupt(String),
+    /// A task attempt died (worker panic, or retries exhausted). The
+    /// MapReduce engine raises this instead of aborting the process.
+    TaskFailed(String),
     /// Anything that does not fit the categories above.
     Internal(String),
 }
@@ -56,6 +68,9 @@ impl HiveError {
             HiveError::Type(_) => "type",
             HiveError::Metastore(_) => "metastore",
             HiveError::Memory(_) => "memory",
+            HiveError::Transient(_) => "transient",
+            HiveError::Corrupt(_) => "corrupt",
+            HiveError::TaskFailed(_) => "task",
             HiveError::Internal(_) => "internal",
         }
     }
@@ -75,8 +90,38 @@ impl HiveError {
             | HiveError::Type(m)
             | HiveError::Metastore(m)
             | HiveError::Memory(m)
+            | HiveError::Transient(m)
+            | HiveError::Corrupt(m)
+            | HiveError::TaskFailed(m)
             | HiveError::Internal(m) => m,
         }
+    }
+
+    /// Whether a fresh attempt could plausibly succeed — the retryable vs.
+    /// fatal split Hadoop's task tracker makes. Transient I/O errors and
+    /// checksum failures are environmental (a retry may hit a healthy
+    /// replica); a panicked attempt is retried like Hadoop retries a
+    /// crashed task JVM. Deterministic failures (parse, plan, type, ...)
+    /// would fail identically on every attempt and are fatal.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            HiveError::Transient(_) | HiveError::Corrupt(_) | HiveError::TaskFailed(_)
+        )
+    }
+
+    /// Whether the error means the *data* is bad (as opposed to the path to
+    /// it): checksum mismatches, undecodable streams, malformed metadata.
+    /// These are the errors `hive.exec.orc.skip.corrupt.data` may degrade
+    /// over instead of failing the query.
+    pub fn is_data_corruption(&self) -> bool {
+        matches!(
+            self,
+            HiveError::Corrupt(_)
+                | HiveError::Format(_)
+                | HiveError::Codec(_)
+                | HiveError::SerDe(_)
+        )
     }
 }
 

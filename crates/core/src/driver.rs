@@ -2,7 +2,7 @@
 
 use crate::metastore::Metastore;
 use hive_common::{HiveConf, HiveError, Result, Row};
-use hive_dfs::Dfs;
+use hive_dfs::{Dfs, FaultPlan};
 use hive_mapreduce::{DagReport, MrEngine};
 use hive_planner::plan_query;
 use hive_ql::{parse, Statement};
@@ -40,6 +40,10 @@ pub fn run_statement(
     conf: &HiveConf,
     metastore: &Metastore,
 ) -> Result<QueryResult> {
+    // Install a fresh fault plan per statement (None when the `dfs.fault.*`
+    // knobs are inert): the first-touch ledger resets between statements so
+    // each query sees its own deterministic fault schedule.
+    dfs.set_fault_plan(FaultPlan::from_conf(conf)?);
     match parse(sql)? {
         Statement::Select(stmt) => {
             // Simple aggregations can come straight from ORC footers

@@ -1,0 +1,178 @@
+//! Chaos suite: core queries under randomized fault plans.
+//!
+//! The contract under injected DFS faults is strict: a query either
+//! succeeds with rows bit-identical to the fault-free run, or returns an
+//! `Err` — it must never panic, abort, or silently return wrong rows.
+//! The in-tree proptest shim seeds its generator from the test name, so
+//! every run replays the same fault plans (failures reproduce exactly).
+
+use hive_common::config::keys;
+use hive_common::{Row, Value};
+use hive_core::HiveSession;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const QUERIES: [&str; 3] = [
+    "SELECT k, v FROM t WHERE v < 120",
+    "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k",
+    "SELECT t.k, d.name FROM t JOIN d ON (t.k = d.key) WHERE t.v < 200",
+];
+
+/// A fresh cluster with one fact table (many single-block ORC files on a
+/// 4-node cluster) and one dimension table. Fault knobs are set only after
+/// loading, so the data lands intact and faults hit the read path.
+fn chaos_session() -> HiveSession {
+    let mut hive = HiveSession::with_dfs_config(hive_dfs::DfsConfig {
+        block_size: 64 << 10,
+        replication: 2,
+        nodes: 4,
+    });
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT, s STRING) STORED AS orc")
+        .unwrap();
+    hive.execute("CREATE TABLE d (key BIGINT, name STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        (0..600).map(|i| {
+            Row::new(vec![
+                Value::Int(i % 17),
+                Value::Int(i),
+                Value::String(format!("row-{}", i % 41)),
+            ])
+        }),
+    )
+    .unwrap();
+    hive.load_rows(
+        "d",
+        (0..9).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("dim-{i}"))])),
+    )
+    .unwrap();
+    hive
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let c = x.sql_cmp(y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// Fault-free reference rows for each chaos query, computed once.
+fn reference_rows() -> &'static Vec<Vec<Row>> {
+    static REFERENCE: OnceLock<Vec<Vec<Row>>> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let mut hive = chaos_session();
+        QUERIES
+            .iter()
+            .map(|sql| sorted(hive.execute(sql).unwrap().rows))
+            .collect()
+    })
+}
+
+/// One randomized fault plan: seed, error/corruption rates, misbehaving
+/// node sets, and a retry budget that may be too small on purpose.
+#[derive(Debug, Clone)]
+struct ChaosPlan {
+    seed: u64,
+    read_error_rate: f64,
+    corrupt_rate: f64,
+    fail_nodes: &'static str,
+    slow_nodes: &'static str,
+    max_attempts: &'static str,
+    speculative: bool,
+}
+
+fn chaos_plan() -> impl Strategy<Value = ChaosPlan> {
+    (
+        (
+            0u64..=1_000_000,
+            (0u32..=30).prop_map(|x| x as f64 / 100.0),
+            (0u32..=30).prop_map(|x| x as f64 / 100.0),
+            prop_oneof![3 => Just(""), 1 => Just("1"), 1 => Just("3")],
+        ),
+        (
+            prop_oneof![2 => Just(""), 1 => Just("0"), 1 => Just("2")],
+            prop_oneof![1 => Just("1"), 2 => Just("4"), 1 => Just("8")],
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (seed, read_error_rate, corrupt_rate, fail_nodes),
+                (slow_nodes, max_attempts, speculative),
+            )| ChaosPlan {
+                seed,
+                read_error_rate,
+                corrupt_rate,
+                fail_nodes,
+                slow_nodes,
+                max_attempts,
+                speculative,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_fault_plans_never_corrupt_results_or_panic(plan in chaos_plan()) {
+        let expected = reference_rows();
+        let mut hive = chaos_session();
+        hive.set(keys::DFS_FAULT_SEED, plan.seed.to_string())
+            .set(keys::DFS_FAULT_READ_ERROR_RATE, plan.read_error_rate.to_string())
+            .set(keys::DFS_FAULT_CORRUPT_RATE, plan.corrupt_rate.to_string())
+            .set(keys::DFS_FAULT_FAIL_NODES, plan.fail_nodes)
+            .set(keys::DFS_FAULT_SLOW_NODES, plan.slow_nodes)
+            .set(keys::DFS_FAULT_SLOW_MS_PER_MB, "500")
+            .set(keys::MAP_MAX_ATTEMPTS, plan.max_attempts)
+            .set(keys::REDUCE_MAX_ATTEMPTS, plan.max_attempts)
+            .set(keys::EXEC_SPECULATIVE, if plan.speculative { "true" } else { "false" })
+            .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true");
+        for (sql, want) in QUERIES.iter().zip(expected) {
+            // Err is acceptable (the fault schedule may exhaust the retry
+            // budget); wrong rows or a panic are not.
+            if let Ok(r) = hive.execute(sql) {
+                prop_assert_eq!(
+                    &sorted(r.rows), want,
+                    "faults changed results under {:?}\n{}", plan, sql
+                );
+            }
+        }
+    }
+}
+
+// With a generous retry budget and moderate transient-error rates, every
+// query must actually succeed — degraded performance, identical answers.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn transient_faults_with_retries_always_recover(
+        seed in 0u64..=1_000_000,
+        rate in (1u32..=15).prop_map(|x| x as f64 / 100.0),
+    ) {
+        let expected = reference_rows();
+        let mut hive = chaos_session();
+        hive.set(keys::DFS_FAULT_SEED, seed.to_string())
+            .set(keys::DFS_FAULT_READ_ERROR_RATE, rate.to_string())
+            .set(keys::MAP_MAX_ATTEMPTS, "12")
+            .set(keys::REDUCE_MAX_ATTEMPTS, "12")
+            .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true");
+        for (sql, want) in QUERIES.iter().zip(expected) {
+            let r = match hive.execute(sql) {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError(format!(
+                    "seed={seed} rate={rate}: retries exhausted: {e}\n{sql}"
+                ))),
+            };
+            prop_assert_eq!(&sorted(r.rows), want, "seed={} rate={}\n{}", seed, rate, sql);
+        }
+    }
+}

@@ -475,3 +475,122 @@ fn exec_parallel_never_slows_the_simulated_dag() {
         seq.report.sim_total_s
     );
 }
+
+// ------------------------------------------------------- fault tolerance --
+
+/// With injected transient read errors and the default retry budget, every
+/// query returns rows bit-identical to the fault-free run — the only
+/// visible difference is time spent on failed attempts.
+#[test]
+fn fault_injection_with_retries_is_invisible() {
+    let sql = "SELECT big2.key, SUM(big2.value1), SUM(big3.value2) FROM big2 \
+               JOIN big3 ON (big2.key = big3.key) GROUP BY big2.key";
+    let mut clean = session();
+    clean.set(keys::AUTO_CONVERT_JOIN, "false");
+    let baseline = clean.execute(sql).unwrap();
+    assert_eq!(baseline.report.task_retries, 0);
+
+    // A 5% rate over the few dozen distinct read locations of one query
+    // only sometimes draws a fault, so run a handful of fixed seeds: every
+    // run must be bit-identical, and at least one must have retried.
+    let mut total_retries = 0;
+    for seed in 1..=8 {
+        let mut hive = session();
+        hive.set(keys::AUTO_CONVERT_JOIN, "false")
+            .set(keys::DFS_FAULT_READ_ERROR_RATE, "0.05")
+            .set(keys::DFS_FAULT_SEED, seed.to_string())
+            .set(keys::MAP_MAX_ATTEMPTS, "12")
+            .set(keys::REDUCE_MAX_ATTEMPTS, "12");
+        let faulted = hive.execute(sql).unwrap();
+        assert_eq!(
+            faulted.rows, baseline.rows,
+            "injected faults changed query results (seed {seed})"
+        );
+        total_retries += faulted.report.task_retries;
+    }
+    assert!(
+        total_retries > 0,
+        "a 5% error rate across eight seeds must trip at least one retry"
+    );
+}
+
+/// With retries disabled, injected faults surface as ordinary `Err`s from
+/// `execute` — never a panic or process abort.
+#[test]
+fn faults_without_retries_surface_as_errors_not_panics() {
+    let mut hive = session();
+    hive.set(keys::DFS_FAULT_READ_ERROR_RATE, "0.9")
+        .set(keys::DFS_FAULT_SEED, "5")
+        .set(keys::MAP_MAX_ATTEMPTS, "1")
+        .set(keys::REDUCE_MAX_ATTEMPTS, "1");
+    let err = hive
+        .execute("SELECT key, SUM(value1) AS s FROM big2 GROUP BY key")
+        .expect_err("90% read-error rate with a single attempt must fail");
+    assert!(
+        matches!(err, hive_common::HiveError::Transient(_)),
+        "expected the injected transient error, got {err:?}"
+    );
+}
+
+/// End to end corrupt-data degradation: an at-rest corrupted block (stale
+/// checksums, so retries cannot heal it) fails a strict scan but degrades
+/// to a partial result with `hive.exec.orc.skip.corrupt.data`.
+#[test]
+fn skip_corrupt_data_degrades_query_instead_of_failing() {
+    const NROWS: i64 = 8000;
+    let build = || {
+        let mut hive = HiveSession::with_dfs_config(hive_dfs::DfsConfig {
+            block_size: 4 << 10,
+            replication: 2,
+            nodes: 4,
+        });
+        // Small stripes so one corrupt 4 KB block costs one stripe of
+        // rows, not the whole table.
+        hive.set(keys::ORC_STRIPE_SIZE, "16384")
+            .set(keys::ORC_ROW_INDEX_STRIDE, "100");
+        hive.execute("CREATE TABLE t (k BIGINT, v BIGINT, s STRING) STORED AS orc")
+            .unwrap();
+        // Unique strings defeat dictionary encoding, keeping the file well
+        // past the 16 KB tail that `open` reads: the corrupt mid-file block
+        // must not overlap the postscript/footer read.
+        hive.load_rows(
+            "t",
+            (0..NROWS).map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 17),
+                    Value::Int(i),
+                    Value::String(format!("unique-row-padding-{i:024}")),
+                ])
+            }),
+        )
+        .unwrap();
+        let part = hive.dfs().list("/warehouse/t/")[0].clone();
+        let len = hive.dfs().len(&part).unwrap();
+        assert!(len > 64 << 10, "fixture file too small ({len} bytes)");
+        hive.dfs().corrupt_stored(&part, len / 2, 0x5a).unwrap();
+        hive
+    };
+    let sql = "SELECT k, v FROM t WHERE v >= 0";
+
+    let mut strict = build();
+    let err = strict
+        .execute(sql)
+        .expect_err("stale-checksum block must fail the strict scan");
+    assert!(err.is_data_corruption(), "got {err:?}");
+
+    let mut hive = build();
+    hive.set(keys::ORC_SKIP_CORRUPT, "true");
+    let r = hive.execute(sql).unwrap();
+    assert!(r.report.rows_skipped > 0, "no rows reported skipped");
+    assert!(!r.rows.is_empty(), "degraded scan lost every row");
+    assert_eq!(
+        r.rows.len() as u64 + r.report.rows_skipped,
+        NROWS as u64,
+        "surviving + skipped rows must account for the whole table"
+    );
+    // Every surviving row is intact.
+    for row in &r.rows {
+        let v = row[1].as_int().unwrap();
+        assert_eq!(row[0], Value::Int(v % 17));
+    }
+}

@@ -13,8 +13,11 @@
 //! File contents are real bytes held in memory; only the "distribution" is
 //! simulated.
 
+pub mod crc;
+pub mod fault;
 pub mod stats;
 
+pub use fault::{FaultOutcome, FaultPlan};
 pub use stats::{IoScope, IoScopeGuard, IoSnapshot, IoStats};
 
 use hive_common::{HiveError, Result};
@@ -41,6 +44,9 @@ struct FileEntry {
     data: Vec<u8>,
     block_size: u64,
     blocks: Vec<BlockInfo>,
+    /// CRC32 of each block's bytes, computed when the file was published.
+    /// Readers verify blocks against these before serving data.
+    block_crcs: Vec<u32>,
 }
 
 /// Cluster-level configuration of the simulated filesystem.
@@ -71,6 +77,8 @@ struct DfsInner {
     config: DfsConfig,
     files: RwLock<BTreeMap<String, Arc<FileEntry>>>,
     stats: IoStats,
+    /// Active fault-injection plan, if any (`None` = healthy cluster).
+    fault: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Dfs {
@@ -80,6 +88,7 @@ impl Dfs {
                 config,
                 files: RwLock::new(BTreeMap::new()),
                 stats: IoStats::default(),
+                fault: RwLock::new(None),
             }),
         }
     }
@@ -97,6 +106,18 @@ impl Dfs {
     /// Shared I/O counters for the whole filesystem.
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
+    }
+
+    /// Install (or clear, with `None`) the fault-injection plan. The driver
+    /// installs a fresh plan per statement so the plan's first-touch ledger
+    /// resets between queries.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault.write() = plan.map(Arc::new);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.fault.read().clone()
     }
 
     /// Create a file for writing. Overwrites any existing file at `path`
@@ -128,11 +149,14 @@ impl Dfs {
             .get(path)
             .cloned()
             .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        let verified = vec![false; entry.blocks.len()];
         Ok(DfsReader {
             dfs: self.clone(),
+            path: path.to_string(),
             entry,
             reader_node,
             last_end: None,
+            verified,
         })
     }
 
@@ -201,8 +225,39 @@ impl Dfs {
             .unwrap_or_default())
     }
 
+    /// Flip `mask` into the stored byte at `pos` of `path` *without*
+    /// recomputing block checksums — simulating at-rest corruption of a
+    /// replica. The next read touching that block fails its CRC check.
+    /// Test/chaos hook.
+    pub fn corrupt_stored(&self, path: &str, pos: u64, mask: u8) -> Result<()> {
+        let mut files = self.inner.files.write();
+        let entry = files
+            .get(path)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        if pos >= entry.data.len() as u64 {
+            return Err(HiveError::Dfs(format!(
+                "corrupt_stored at {pos} past end of {path} ({} bytes)",
+                entry.data.len()
+            )));
+        }
+        let mut data = entry.data.clone();
+        data[pos as usize] ^= mask;
+        let tampered = Arc::new(FileEntry {
+            data,
+            block_size: entry.block_size,
+            blocks: entry.blocks.clone(),
+            block_crcs: entry.block_crcs.clone(), // stale on purpose
+        });
+        files.insert(path.to_string(), tampered);
+        Ok(())
+    }
+
     fn finish_file(&self, path: String, data: Vec<u8>, block_size: u64) {
         let blocks = placement(&path, data.len() as u64, block_size, &self.inner.config);
+        let block_crcs = blocks
+            .iter()
+            .map(|b| crc::crc32(&data[b.offset as usize..(b.offset + b.len) as usize]))
+            .collect();
         self.inner.stats.add_bytes_written(data.len() as u64);
         self.inner.files.write().insert(
             path,
@@ -210,6 +265,7 @@ impl Dfs {
                 data,
                 block_size,
                 blocks,
+                block_crcs,
             }),
         );
     }
@@ -311,13 +367,18 @@ impl DfsWriter {
     }
 }
 
-/// Positional reader with locality and seek accounting.
+/// Positional reader with locality and seek accounting, checksum
+/// verification, and fault injection.
 pub struct DfsReader {
     dfs: Dfs,
+    path: String,
     entry: Arc<FileEntry>,
     reader_node: Option<NodeId>,
     /// End offset of the previous read; a gap means a disk seek.
     last_end: Option<u64>,
+    /// Blocks this reader has already CRC-verified (once per reader, like
+    /// HDFS's per-stream checksum verification).
+    verified: Vec<bool>,
 }
 
 impl DfsReader {
@@ -330,6 +391,12 @@ impl DfsReader {
     }
 
     /// Read `len` bytes at `offset`. Short reads at EOF return fewer bytes.
+    ///
+    /// Every read is accounted (ops, seeks, locality) even when the fault
+    /// plan then fails it — the request went over the wire either way. Data
+    /// is only returned after each touched block passes its CRC32 check, so
+    /// corruption (stored or injected on the wire) surfaces as a retryable
+    /// [`HiveError::Corrupt`], never as garbage bytes.
     pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let total = self.entry.data.len() as u64;
         if offset > total {
@@ -373,7 +440,78 @@ impl DfsReader {
                 break;
             }
         }
-        Ok(slice.to_vec())
+
+        let plan = self.dfs.fault_plan();
+        let mut data = slice.to_vec();
+        let mut wire_flip: Option<(u64, u8)> = None;
+        if let Some(plan) = &plan {
+            // Straggler latency is simulated time, priced by the cost
+            // model; it never blocks the actual thread.
+            if let Some(node) = self.reader_node {
+                if plan.is_slow(node) && end > offset {
+                    stats.add_sim_penalty_us(plan.slow_penalty_us(end - offset));
+                }
+            }
+            match plan.decide_read(&self.path, self.reader_node, offset, (end - offset).max(1)) {
+                FaultOutcome::Success => {}
+                FaultOutcome::TransientError => {
+                    return Err(HiveError::Transient(format!(
+                        "injected read failure: {}@{offset}+{len}",
+                        self.path
+                    )));
+                }
+                FaultOutcome::CorruptByte { pos, mask } => {
+                    if !data.is_empty() {
+                        let i = (pos as usize).min(data.len() - 1);
+                        data[i] ^= mask;
+                        wire_flip = Some((offset + i as u64, mask));
+                    }
+                }
+            }
+        }
+        self.verify_blocks(offset, end, wire_flip)?;
+        Ok(data)
+    }
+
+    /// CRC-check every block overlapping `[offset, end)`. Clean blocks are
+    /// verified once per reader and remembered; a wire flip forces the
+    /// overlapped block to be re-checked against the flipped image so the
+    /// corruption is caught on this very read. Verification models the
+    /// datanode checksumming its own disk — it performs no client I/O.
+    fn verify_blocks(&mut self, offset: u64, end: u64, wire_flip: Option<(u64, u8)>) -> Result<()> {
+        if self.entry.block_size == 0 || offset >= end {
+            return Ok(());
+        }
+        let first = (offset / self.entry.block_size) as usize;
+        for (idx, block) in self.entry.blocks.iter().enumerate().skip(first) {
+            if block.offset >= end {
+                break;
+            }
+            let flipped_here = wire_flip
+                .map(|(pos, _)| pos >= block.offset && pos < block.offset + block.len)
+                .unwrap_or(false);
+            if self.verified[idx] && !flipped_here {
+                continue;
+            }
+            let raw = &self.entry.data[block.offset as usize..(block.offset + block.len) as usize];
+            let crc = if let (true, Some((pos, mask))) = (flipped_here, wire_flip) {
+                let mut image = raw.to_vec();
+                image[(pos - block.offset) as usize] ^= mask;
+                crc::crc32(&image)
+            } else {
+                crc::crc32(raw)
+            };
+            if crc != self.entry.block_crcs[idx] {
+                return Err(HiveError::Corrupt(format!(
+                    "checksum mismatch in block {idx} of {} (expected {:#010x}, got {crc:#010x})",
+                    self.path, self.entry.block_crcs[idx]
+                )));
+            }
+            if !flipped_here {
+                self.verified[idx] = true;
+            }
+        }
+        Ok(())
     }
 
     /// Read the whole file (convenience for footers/tests).
@@ -497,6 +635,116 @@ mod tests {
         let mut r = fs.open("/t/f", None).unwrap();
         assert_eq!(r.read_at(1, 10).unwrap(), b"bc");
         assert!(r.read_at(4, 1).is_err());
+    }
+
+    #[test]
+    fn flipped_stored_byte_yields_checksum_error_not_garbage() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/crc");
+        w.write(&vec![0x11u8; 250]); // 3 blocks of 100/100/50
+        w.close();
+        fs.corrupt_stored("/t/crc", 120, 0x40).unwrap();
+
+        // Reading the tampered block errors instead of returning bad bytes.
+        let mut r = fs.open("/t/crc", None).unwrap();
+        match r.read_at(100, 50) {
+            Err(HiveError::Corrupt(msg)) => assert!(msg.contains("block 1")),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // Untampered blocks still read fine through a fresh reader.
+        let mut r2 = fs.open("/t/crc", None).unwrap();
+        assert_eq!(r2.read_at(0, 100).unwrap(), vec![0x11u8; 100]);
+        assert_eq!(r2.read_at(200, 50).unwrap(), vec![0x11u8; 50]);
+    }
+
+    #[test]
+    fn clean_blocks_verify_once_per_reader() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/v");
+        w.write(&[3u8; 150]);
+        w.close();
+        let mut r = fs.open("/t/v", None).unwrap();
+        for _ in 0..3 {
+            assert_eq!(r.read_at(0, 150).unwrap().len(), 150);
+        }
+        assert!(r.verified.iter().all(|&v| v));
+    }
+
+    fn faulted_fs(fs: &Dfs, set: &[(&str, &str)]) {
+        let mut conf = hive_common::HiveConf::new();
+        for (k, v) in set {
+            conf.set(k, *v);
+        }
+        fs.set_fault_plan(FaultPlan::from_conf(&conf).unwrap());
+    }
+
+    #[test]
+    fn injected_transient_error_then_clean_retry() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/fault");
+        w.write(&[9u8; 100]);
+        w.close();
+        faulted_fs(&fs, &[("dfs.fault.read.error.rate", "1.0")]);
+        let mut r = fs.open("/t/fault", None).unwrap();
+        assert!(matches!(r.read_at(0, 100), Err(HiveError::Transient(_))));
+        // First-touch model: the same location succeeds on retry, and the
+        // bytes are pristine.
+        assert_eq!(r.read_at(0, 100).unwrap(), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn injected_wire_corruption_is_caught_by_crc_then_retry_is_clean() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/wire");
+        w.write(&[0xabu8; 100]);
+        w.close();
+        faulted_fs(&fs, &[("dfs.fault.corrupt.rate", "1.0")]);
+        let mut r = fs.open("/t/wire", None).unwrap();
+        assert!(matches!(r.read_at(0, 100), Err(HiveError::Corrupt(_))));
+        assert_eq!(r.read_at(0, 100).unwrap(), vec![0xabu8; 100]);
+    }
+
+    #[test]
+    fn slow_nodes_accrue_simulated_penalty() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/slow");
+        w.write(&[1u8; 100]);
+        w.close();
+        let slow = fs.locations("/t/slow", 0).unwrap()[0];
+        faulted_fs(
+            &fs,
+            &[
+                ("dfs.fault.slow.nodes", &slow.to_string()),
+                ("dfs.fault.slow.ms.per.mb", "1000"),
+            ],
+        );
+        let before = fs.stats().snapshot();
+        let mut r = fs.open("/t/slow", Some(slow)).unwrap();
+        r.read_at(0, 100).unwrap();
+        let with_penalty = fs.stats().snapshot().since(&before);
+        assert!(with_penalty.sim_penalty_us > 0);
+
+        // A healthy node pays nothing.
+        let healthy = (0..4).find(|n| *n != slow).unwrap();
+        let before = fs.stats().snapshot();
+        let mut r2 = fs.open("/t/slow", Some(healthy)).unwrap();
+        r2.read_at(0, 100).unwrap();
+        assert_eq!(fs.stats().snapshot().since(&before).sim_penalty_us, 0);
+    }
+
+    #[test]
+    fn failing_node_errors_every_time_but_others_serve() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/dead");
+        w.write(&[5u8; 100]);
+        w.close();
+        faulted_fs(&fs, &[("dfs.fault.fail.nodes", "2")]);
+        let mut dead = fs.open("/t/dead", Some(2)).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(dead.read_at(0, 100), Err(HiveError::Transient(_))));
+        }
+        let mut ok = fs.open("/t/dead", Some(0)).unwrap();
+        assert_eq!(ok.read_at(0, 100).unwrap(), vec![5u8; 100]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub struct IoStats {
     bytes_written: AtomicU64,
     read_ops: AtomicU64,
     seeks: AtomicU64,
+    sim_penalty_us: AtomicU64,
 }
 
 thread_local! {
@@ -53,6 +54,10 @@ impl IoStats {
         self.seeks.fetch_add(seeks, Ordering::Relaxed);
     }
 
+    fn record_sim_penalty_us(&self, n: u64) {
+        self.sim_penalty_us.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn add_bytes_local(&self, n: u64) {
         self.record_bytes_local(n);
         tee(|s| s.record_bytes_local(n));
@@ -74,6 +79,14 @@ impl IoStats {
         tee(|s| s.record_read_op(seeks));
     }
 
+    /// Extra *simulated* latency (microseconds) injected by the fault plan
+    /// for reads served by straggler nodes. Real wall-clock is unaffected;
+    /// the cost model prices this into task durations.
+    pub fn add_sim_penalty_us(&self, n: u64) {
+        self.record_sim_penalty_us(n);
+        tee(|s| s.record_sim_penalty_us(n));
+    }
+
     /// A consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -82,6 +95,7 @@ impl IoStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             read_ops: self.read_ops.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
+            sim_penalty_us: self.sim_penalty_us.load(Ordering::Relaxed),
         }
     }
 
@@ -92,6 +106,7 @@ impl IoStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.read_ops.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
+        self.sim_penalty_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -103,12 +118,19 @@ pub struct IoSnapshot {
     pub bytes_written: u64,
     pub read_ops: u64,
     pub seeks: u64,
+    /// Simulated straggler latency injected by the fault plan, in µs.
+    pub sim_penalty_us: u64,
 }
 
 impl IoSnapshot {
     /// Total bytes read, local + remote.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_local + self.bytes_remote
+    }
+
+    /// Injected straggler latency in simulated seconds.
+    pub fn sim_penalty_seconds(&self) -> f64 {
+        self.sim_penalty_us as f64 / 1e6
     }
 
     /// Counter-wise difference `self - earlier` (saturating).
@@ -119,6 +141,19 @@ impl IoSnapshot {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             read_ops: self.read_ops.saturating_sub(earlier.read_ops),
             seeks: self.seeks.saturating_sub(earlier.seeks),
+            sim_penalty_us: self.sim_penalty_us.saturating_sub(earlier.sim_penalty_us),
+        }
+    }
+
+    /// Counter-wise sum (accumulating the I/O of failed task attempts).
+    pub fn plus(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_local: self.bytes_local + other.bytes_local,
+            bytes_remote: self.bytes_remote + other.bytes_remote,
+            bytes_written: self.bytes_written + other.bytes_written,
+            read_ops: self.read_ops + other.read_ops,
+            seeks: self.seeks + other.seeks,
+            sim_penalty_us: self.sim_penalty_us + other.sim_penalty_us,
         }
     }
 }

@@ -154,6 +154,7 @@ pub fn open_reader(
                 use_index: conf.get_bool(keys::OPT_PPD_STORAGE)?,
                 node: opts.node,
                 split: opts.split,
+                skip_corrupt: conf.get_bool(keys::ORC_SKIP_CORRUPT)?,
             },
         )?),
     })

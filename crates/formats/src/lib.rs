@@ -65,4 +65,11 @@ pub trait TableReader {
         batch.size = n;
         Ok(n > 0)
     }
+
+    /// Rows dropped by corrupt-data degradation
+    /// (`hive.exec.orc.skip.corrupt.data`). Formats without salvage
+    /// support never skip anything.
+    fn rows_skipped(&self) -> u64 {
+        0
+    }
 }

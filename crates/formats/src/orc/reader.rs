@@ -46,6 +46,10 @@ pub struct OrcReadOptions {
     /// Input-split byte range: only stripes whose start offset falls in
     /// `[start, end)` are read (how Hive assigns stripes to map tasks).
     pub split: Option<(u64, u64)>,
+    /// `hive.exec.orc.skip.corrupt.data`: instead of failing the read,
+    /// skip stripes (or individual index groups) whose bytes fail checksum
+    /// or decode, and count the rows lost in [`ReadCounters::rows_skipped`].
+    pub skip_corrupt: bool,
 }
 
 /// Skipping counters for experiments and tests.
@@ -55,6 +59,8 @@ pub struct ReadCounters {
     pub stripes_read: u64,
     pub groups_total: u64,
     pub groups_read: u64,
+    /// Rows dropped by corrupt-data degradation (`skip_corrupt`).
+    pub rows_skipped: u64,
 }
 
 /// Decoded data of one column for the selected groups of a stripe.
@@ -120,6 +126,9 @@ pub struct OrcReader {
     opts: OrcReadOptions,
     stripe_idx: usize,
     current: Option<StripeCursor>,
+    /// Cursors decoded ahead of `current`: group-level salvage under
+    /// `skip_corrupt` splits one stripe into several per-group cursors.
+    pending: std::collections::VecDeque<StripeCursor>,
     pub counters: ReadCounters,
 }
 
@@ -182,6 +191,7 @@ impl OrcReader {
             opts,
             stripe_idx: 0,
             current: None,
+            pending: std::collections::VecDeque::new(),
             counters,
         })
     }
@@ -215,9 +225,14 @@ impl OrcReader {
         }) != TruthValue::No
     }
 
-    /// Load the next stripe with any selected groups; returns false at EOF.
+    /// Load the next cursor (a whole stripe, or one salvaged group of one);
+    /// returns false at EOF.
     fn advance_stripe(&mut self) -> Result<bool> {
         loop {
+            if let Some(cur) = self.pending.pop_front() {
+                self.current = Some(cur);
+                return Ok(true);
+            }
             if self.stripe_idx >= self.footer.stripes.len() {
                 return Ok(false);
             }
@@ -241,90 +256,155 @@ impl OrcReader {
             }
             self.counters.stripes_read += 1;
 
-            // Stripe footer (stream directory).
-            let footer_buf = self.reader.read_at(
-                si.offset + si.index_len + si.data_len,
-                si.footer_len as usize,
-            )?;
-            let sfooter: StripeFooter = decode_stripe_footer(&footer_buf)?;
+            match self.load_stripe(&si) {
+                Ok(()) => {}
+                Err(e) if self.opts.skip_corrupt && e.is_data_corruption() => {
+                    // The stripe's stream directory or index is itself
+                    // unreadable: every row of the stripe is lost.
+                    self.counters.rows_skipped += si.nrows;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 
-            // Level 3: index-group statistics (only if PPD is on).
-            let ngroups = sfooter
-                .columns
-                .iter()
-                .flat_map(|c| c.streams.iter())
-                .map(|s| s.chunks.len())
-                .filter(|&n| n > 0)
-                .max()
-                .unwrap_or(1);
-            self.counters.groups_total += ngroups as u64;
-            let selected: Vec<usize> =
-                if self.opts.use_index && self.opts.sarg.is_some() && si.index_len > 0 {
-                    let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
-                    let group_stats = decode_index(&index_buf, self.tree.len())?;
-                    (0..ngroups)
-                        .filter(|&g| {
-                            let per_group: Vec<ColumnStatistics> = group_stats
-                                .iter()
-                                .map(|col| {
-                                    col.get(g).cloned().unwrap_or(ColumnStatistics::Generic {
-                                        count: 0,
-                                        has_null: false,
-                                    })
+    /// Read one stripe's stream directory, select index groups, decode the
+    /// needed columns, and queue the resulting cursor(s) onto `pending`.
+    ///
+    /// Under `skip_corrupt`, a decode failure over the full group selection
+    /// triggers *group-level salvage*: each selected group is re-decoded on
+    /// its own (every needed column together, so rows stay aligned across
+    /// columns); groups that still fail are dropped and their rows counted
+    /// as skipped, groups that decode cleanly become per-group cursors.
+    fn load_stripe(&mut self, si: &crate::orc::StripeInfo) -> Result<()> {
+        // A stripe whose directory entry points past the end of the file is
+        // structurally corrupt; catch it before issuing unsatisfiable reads.
+        let stripe_end = si
+            .offset
+            .checked_add(si.index_len)
+            .and_then(|x| x.checked_add(si.data_len))
+            .and_then(|x| x.checked_add(si.footer_len));
+        if stripe_end.is_none_or(|end| end > self.reader.len()) {
+            return Err(HiveError::Format(
+                "stripe extends past end of file (corrupt footer)".into(),
+            ));
+        }
+        // Stripe footer (stream directory).
+        let footer_buf = self.reader.read_at(
+            si.offset + si.index_len + si.data_len,
+            si.footer_len as usize,
+        )?;
+        let sfooter: StripeFooter = decode_stripe_footer(&footer_buf)?;
+
+        // Level 3: index-group statistics (only if PPD is on).
+        let ngroups = sfooter
+            .columns
+            .iter()
+            .flat_map(|c| c.streams.iter())
+            .map(|s| s.chunks.len())
+            .filter(|&n| n > 0)
+            .max()
+            .unwrap_or(1);
+        self.counters.groups_total += ngroups as u64;
+        let selected: Vec<usize> =
+            if self.opts.use_index && self.opts.sarg.is_some() && si.index_len > 0 {
+                let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
+                let group_stats = decode_index(&index_buf, self.tree.len())?;
+                (0..ngroups)
+                    .filter(|&g| {
+                        let per_group: Vec<ColumnStatistics> = group_stats
+                            .iter()
+                            .map(|col| {
+                                col.get(g).cloned().unwrap_or(ColumnStatistics::Generic {
+                                    count: 0,
+                                    has_null: false,
                                 })
-                                .collect();
-                            self.sarg_allows(&per_group)
-                        })
-                        .collect()
-                } else {
-                    (0..ngroups).collect()
-                };
-            if selected.is_empty() {
+                            })
+                            .collect();
+                        self.sarg_allows(&per_group)
+                    })
+                    .collect()
+            } else {
+                (0..ngroups).collect()
+            };
+        if selected.is_empty() {
+            return Ok(());
+        }
+        self.counters.groups_read += selected.len() as u64;
+        let all_groups = selected.len() == ngroups;
+
+        // Stream start offsets, cumulative over the stripe's data section.
+        let data_base = si.offset + si.index_len;
+        let mut stream_offsets: Vec<Vec<u64>> = Vec::with_capacity(sfooter.columns.len());
+        {
+            let mut cum = 0u64;
+            for col in &sfooter.columns {
+                let mut per = Vec::with_capacity(col.streams.len());
+                for s in &col.streams {
+                    per.push(data_base + cum);
+                    cum = cum.checked_add(s.len).ok_or_else(|| {
+                        HiveError::Format("stream lengths overflow (corrupt stripe footer)".into())
+                    })?;
+                }
+                stream_offsets.push(per);
+            }
+            if cum > si.data_len {
+                return Err(HiveError::Format(
+                    "stream directory exceeds stripe data section (corrupt)".into(),
+                ));
+            }
+        }
+
+        match self.decode_cursor(si, &sfooter, &stream_offsets, &selected, all_groups) {
+            Ok(cursor) => {
+                self.pending.push_back(cursor);
+                Ok(())
+            }
+            Err(e) if self.opts.skip_corrupt && e.is_data_corruption() => {
+                for &g in &selected {
+                    match self.decode_cursor(si, &sfooter, &stream_offsets, &[g], false) {
+                        Ok(cursor) => self.pending.push_back(cursor),
+                        Err(e) if e.is_data_corruption() => {
+                            self.counters.rows_skipped += self.group_rows(si, g);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Top-level rows of index group `g` in stripe `si`.
+    fn group_rows(&self, si: &crate::orc::StripeInfo, g: usize) -> u64 {
+        let stride = self.footer.row_index_stride.max(1);
+        (si.nrows.saturating_sub(g as u64 * stride)).min(stride)
+    }
+
+    /// Decode the needed columns for `selected` groups into one cursor.
+    fn decode_cursor(
+        &mut self,
+        si: &crate::orc::StripeInfo,
+        sfooter: &StripeFooter,
+        stream_offsets: &[Vec<u64>],
+        selected: &[usize],
+        all_groups: bool,
+    ) -> Result<StripeCursor> {
+        let mut cols: Vec<Option<DecodedColumn>> = Vec::with_capacity(self.tree.len());
+        for col_id in 0..self.tree.len() {
+            if !self.needed[col_id] {
+                cols.push(None);
                 continue;
             }
-            self.counters.groups_read += selected.len() as u64;
-            let all_groups = selected.len() == ngroups;
-
-            // Decode needed columns.
-            let data_base = si.offset + si.index_len;
-            let mut stream_offsets: Vec<Vec<u64>> = Vec::with_capacity(sfooter.columns.len());
-            {
-                let mut cum = 0u64;
-                for col in &sfooter.columns {
-                    let mut per = Vec::with_capacity(col.streams.len());
-                    for s in &col.streams {
-                        per.push(data_base + cum);
-                        cum += s.len;
-                    }
-                    stream_offsets.push(per);
-                }
-            }
-
-            let mut cols: Vec<Option<DecodedColumn>> = Vec::with_capacity(self.tree.len());
-            let mut rows_selected = 0u64;
-            for col_id in 0..self.tree.len() {
-                if !self.needed[col_id] {
-                    cols.push(None);
-                    continue;
-                }
-                let dc =
-                    self.decode_column(col_id, &sfooter, &stream_offsets, &selected, all_groups)?;
-                cols.push(Some(dc));
-            }
-            // Top-level row count of selected groups: derive from the index
-            // stride and the stripe's row count.
-            let stride = self.footer.row_index_stride.max(1);
-            for &g in &selected {
-                let start = g as u64 * stride;
-                let rows = (si.nrows - start).min(stride);
-                rows_selected += rows;
-            }
-            self.current = Some(StripeCursor {
-                cols,
-                rows_remaining: rows_selected,
-            });
-            return Ok(true);
+            let dc = self.decode_column(col_id, sfooter, stream_offsets, selected, all_groups)?;
+            cols.push(Some(dc));
         }
+        let rows_selected = selected.iter().map(|&g| self.group_rows(si, g)).sum();
+        Ok(StripeCursor {
+            cols,
+            rows_remaining: rows_selected,
+        })
     }
 
     /// Read + decode the streams of one column for the selected groups.
@@ -382,6 +462,11 @@ impl OrcReader {
                     let run_end = last.offset.saturating_add(last.len);
                     if run_end < first.offset {
                         return Err(HiveError::Format("chunk offsets out of order".into()));
+                    }
+                    if run_end > info.len {
+                        return Err(HiveError::Format(
+                            "chunk range exceeds stream length (corrupt)".into(),
+                        ));
                     }
                     let run_len = (run_end - first.offset) as usize;
                     let bytes = self.reader.read_at(base + first.offset, run_len)?;
@@ -686,6 +771,22 @@ impl OrcReader {
     }
 }
 
+impl OrcReader {
+    /// Corrupt-data degradation for errors found mid-decode: drop the rest
+    /// of the current cursor (row alignment across columns is gone once a
+    /// value stream lies about its counts) and count its rows as skipped.
+    /// Returns whether the error was absorbed.
+    fn absorb_corruption(&mut self, e: &HiveError) -> bool {
+        if !(self.opts.skip_corrupt && e.is_data_corruption()) {
+            return false;
+        }
+        if let Some(cur) = self.current.take() {
+            self.counters.rows_skipped += cur.rows_remaining;
+        }
+        true
+    }
+}
+
 impl TableReader for OrcReader {
     fn next_row(&mut self) -> Result<Option<Row>> {
         loop {
@@ -701,9 +802,22 @@ impl TableReader for OrcReader {
             }
             let projection = self.projection.clone();
             let mut vals = Vec::with_capacity(projection.len());
+            let mut failed = None;
             for &p in &projection {
                 let col = self.tree.top_level(p);
-                vals.push(self.read_value(col)?);
+                match self.read_value(col) {
+                    Ok(v) => vals.push(v),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                if self.absorb_corruption(&e) {
+                    continue;
+                }
+                return Err(e);
             }
             self.current.as_mut().unwrap().rows_remaining -= 1;
             return Ok(Some(Row::new(vals)));
@@ -713,32 +827,43 @@ impl TableReader for OrcReader {
     /// The native vectorized reader: fills column vectors directly from the
     /// decoded stripe buffers — only valid for primitive projected columns.
     fn next_batch(&mut self, batch: &mut VectorizedRowBatch) -> Result<bool> {
-        batch.reset();
-        loop {
-            let need_advance = match &self.current {
-                Some(c) => c.rows_remaining == 0,
-                None => true,
-            };
-            if need_advance {
-                if !self.advance_stripe()? {
-                    return Ok(false);
+        'refill: loop {
+            batch.reset();
+            loop {
+                let need_advance = match &self.current {
+                    Some(c) => c.rows_remaining == 0,
+                    None => true,
+                };
+                if need_advance {
+                    if !self.advance_stripe()? {
+                        return Ok(false);
+                    }
+                    continue;
                 }
-                continue;
+                break;
             }
-            break;
+            let cur = self.current.as_mut().unwrap();
+            let n = (cur.rows_remaining as usize).min(batch.max_size);
+            for (out_idx, &p) in self.projection.iter().enumerate() {
+                let col_id = self.tree.top_level(p);
+                let dc = cur.cols[col_id]
+                    .as_mut()
+                    .ok_or_else(|| HiveError::Format("column not decoded".into()))?;
+                if let Err(e) = fill_vector(dc, &mut batch.columns[out_idx], n) {
+                    if self.absorb_corruption(&e) {
+                        continue 'refill;
+                    }
+                    return Err(e);
+                }
+            }
+            cur.rows_remaining -= n as u64;
+            batch.size = n;
+            return Ok(n > 0);
         }
-        let cur = self.current.as_mut().unwrap();
-        let n = (cur.rows_remaining as usize).min(batch.max_size);
-        for (out_idx, &p) in self.projection.iter().enumerate() {
-            let col_id = self.tree.top_level(p);
-            let dc = cur.cols[col_id]
-                .as_mut()
-                .ok_or_else(|| HiveError::Format("column not decoded".into()))?;
-            fill_vector(dc, &mut batch.columns[out_idx], n)?;
-        }
-        cur.rows_remaining -= n as u64;
-        batch.size = n;
-        Ok(n > 0)
+    }
+
+    fn rows_skipped(&self) -> u64 {
+        self.counters.rows_skipped
     }
 }
 

@@ -181,6 +181,192 @@ fn rcfile_survives_corruption() {
     }
 }
 
+/// Write an ORC file with small stripes/groups onto a small-block DFS so
+/// one corrupt block touches only part of the file.
+fn write_orc(fs: &Dfs, path: &str, nrows: i64) {
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        fs,
+        path,
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: 16 << 10,
+            row_index_stride: 100,
+            compression: Compression::Snappy,
+            compress_unit: 4 << 10,
+            ..Default::default()
+        },
+        None,
+    ));
+    for i in 0..nrows {
+        w.write_row(&Row::new(vec![
+            Value::Int(i),
+            Value::String(format!("value-{}", i % 37)),
+            Value::Double(i as f64 / 3.0),
+        ]))
+        .unwrap();
+    }
+    w.close().unwrap();
+}
+
+/// Every surviving row must be internally consistent with how it was
+/// written — degradation may *drop* rows, never alter them.
+fn assert_row_intact(row: &Row) {
+    let a = row[0].as_int().unwrap();
+    assert_eq!(row[1], Value::String(format!("value-{}", a % 37)));
+    assert_eq!(row[2], Value::Double(a as f64 / 3.0));
+}
+
+#[test]
+fn skip_corrupt_data_degrades_instead_of_failing() {
+    let fs = Dfs::new(DfsConfig {
+        block_size: 8 << 10,
+        replication: 1,
+        nodes: 2,
+    });
+    let nrows = 4000i64;
+    write_orc(&fs, "/c/skip", nrows);
+    let len = fs.len("/c/skip").unwrap();
+    // Tamper with one stored byte mid-file, keeping the stale block CRCs:
+    // every read covering that block now fails checksum verification.
+    // Stay clear of the footer tail the reader fetches at open time.
+    let pos = len / 4;
+    assert!(pos + (16 << 10) < len, "file too small for the test layout");
+    fs.corrupt_stored("/c/skip", pos, 0x5a).unwrap();
+
+    // Without degradation the checksum failure is fatal.
+    let strict = OrcReader::open(&fs, "/c/skip", OrcReadOptions::default()).unwrap();
+    let err = drain(Box::new(strict)).expect_err("stale checksum must fail a strict read");
+    assert!(err.is_data_corruption(), "unexpected error kind: {err:?}");
+
+    // With `hive.exec.orc.skip.corrupt.data` the read completes; the rows
+    // of corrupt groups/stripes are skipped and everything else survives
+    // intact, with exact accounting.
+    let mut r = OrcReader::open(
+        &fs,
+        "/c/skip",
+        OrcReadOptions {
+            skip_corrupt: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut survived = 0u64;
+    let mut last_a = -1i64;
+    while let Some(row) = r.next_row().unwrap() {
+        assert_row_intact(&row);
+        let a = row[0].as_int().unwrap();
+        assert!(a > last_a, "surviving rows out of order");
+        last_a = a;
+        survived += 1;
+    }
+    let skipped = r.rows_skipped();
+    assert!(skipped > 0, "the corrupt block must cost some rows");
+    assert!(
+        skipped < nrows as u64,
+        "group-level salvage must save most of the file"
+    );
+    assert_eq!(
+        survived + skipped,
+        nrows as u64,
+        "rows lost without account"
+    );
+    assert_eq!(r.counters.rows_skipped, skipped);
+}
+
+#[test]
+fn skip_corrupt_data_vectorized_matches_row_reader() {
+    let fs = Dfs::new(DfsConfig {
+        block_size: 8 << 10,
+        replication: 1,
+        nodes: 2,
+    });
+    let nrows = 4000i64;
+    write_orc(&fs, "/c/skipv", nrows);
+    let len = fs.len("/c/skipv").unwrap();
+    fs.corrupt_stored("/c/skipv", len / 4, 0x5a).unwrap();
+    let opts = || OrcReadOptions {
+        skip_corrupt: true,
+        ..Default::default()
+    };
+
+    let mut row_reader = OrcReader::open(&fs, "/c/skipv", opts()).unwrap();
+    let mut row_values: Vec<i64> = Vec::new();
+    while let Some(row) = row_reader.next_row().unwrap() {
+        row_values.push(row[0].as_int().unwrap());
+    }
+
+    let mut vec_reader = OrcReader::open(&fs, "/c/skipv", opts()).unwrap();
+    let mut batch = hive_vector::VectorizedRowBatch::new(
+        &[
+            hive_common::DataType::Int,
+            hive_common::DataType::String,
+            hive_common::DataType::Double,
+        ],
+        256,
+    )
+    .unwrap();
+    let mut vec_values: Vec<i64> = Vec::new();
+    while vec_reader.next_batch(&mut batch).unwrap() {
+        let hive_vector::ColumnVector::Long(col) = &batch.columns[0] else {
+            panic!("expected long column");
+        };
+        vec_values.extend_from_slice(&col.vector[..batch.size]);
+    }
+
+    assert_eq!(vec_values, row_values, "vectorized salvage diverged");
+    assert_eq!(vec_reader.rows_skipped(), row_reader.rows_skipped());
+    assert_eq!(
+        vec_values.len() as u64 + vec_reader.rows_skipped(),
+        nrows as u64
+    );
+}
+
+/// With degradation on, arbitrary payload bit-flips (re-checksummed, so
+/// the DFS CRC does not catch them) must never surface an error from
+/// either read path: decode failures are absorbed as skipped rows.
+#[test]
+fn skip_corrupt_data_absorbs_bit_flips_everywhere() {
+    let fs = dfs();
+    write_orc(&fs, "/c/flips", 2000);
+    let len = fs.len("/c/flips").unwrap() as usize;
+    let opts = || OrcReadOptions {
+        skip_corrupt: true,
+        ..Default::default()
+    };
+    for k in 0..97 {
+        let pos = k * len / 97;
+        flip_byte(&fs, "/c/flips", "/c/flips-bad", pos);
+        // Opening can still fail (file footer damage); reads must not.
+        if let Ok(mut r) = OrcReader::open(&fs, "/c/flips-bad", opts()) {
+            let mut n = 0u64;
+            while let Some(row) = r.next_row().expect("skip_corrupt read errored") {
+                drop(row);
+                n += 1;
+                assert!(n <= 2000, "reader produced extra rows");
+            }
+        }
+        if let Ok(mut r) = OrcReader::open(&fs, "/c/flips-bad", opts()) {
+            let mut batch = hive_vector::VectorizedRowBatch::new(
+                &[
+                    hive_common::DataType::Int,
+                    hive_common::DataType::String,
+                    hive_common::DataType::Double,
+                ],
+                256,
+            )
+            .unwrap();
+            let mut batches = 0;
+            while r
+                .next_batch(&mut batch)
+                .expect("vectorized skip_corrupt errored")
+            {
+                batches += 1;
+                assert!(batches < 100_000, "vectorized reader loops");
+            }
+        }
+    }
+}
+
 #[test]
 fn sequencefile_survives_corruption() {
     let fs = dfs();

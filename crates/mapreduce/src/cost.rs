@@ -78,6 +78,9 @@ pub struct TaskWork {
     pub bytes_written: u64,
     pub cpu_seconds: f64,
     pub shuffle_records: u64,
+    /// Simulated latency already expressed in seconds: straggler-node read
+    /// penalties injected by the DFS fault plan, plus any retry backoff.
+    pub sim_penalty_s: f64,
 }
 
 impl CostModel {
@@ -90,6 +93,7 @@ impl CostModel {
             + w.bytes_written as f64 / self.write_bw
             + w.cpu_seconds * self.cpu_scale
             + w.shuffle_records as f64 * self.sort_per_record_s
+            + w.sim_penalty_s
     }
 
     /// Greedy wave scheduling of task durations over the cluster's slots;
@@ -138,6 +142,17 @@ mod tests {
             ..Default::default()
         });
         assert!(with_remote > with_io, "remote reads are slower");
+    }
+
+    #[test]
+    fn sim_penalty_prices_straight_through() {
+        let m = CostModel::default();
+        let base = m.task_seconds(&TaskWork::default());
+        let slowed = m.task_seconds(&TaskWork {
+            sim_penalty_s: 2.5,
+            ..Default::default()
+        });
+        assert!((slowed - base - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hive_formats::{open_reader, ReadOptions, TableWriter};
 use hive_vector::VectorizedRowBatch;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -37,7 +38,21 @@ pub struct JobReport {
     pub bytes_written: u64,
     pub shuffle_records: u64,
     pub rows_out: u64,
+    /// Task attempts actually run: first attempts + retries + speculative
+    /// duplicates.
+    pub task_attempts: u64,
+    /// Attempts beyond the first caused by failures (panic or retryable
+    /// error).
+    pub task_retries: u64,
+    /// Speculative duplicate attempts launched for straggling map tasks.
+    pub speculative_tasks: u64,
+    /// Rows dropped by corrupt-data degradation
+    /// (`hive.exec.orc.skip.corrupt.data`).
+    pub rows_skipped: u64,
 }
+
+/// One finished job: its report and collected output rows.
+type JobRun = (JobReport, Vec<Row>);
 
 /// Execution summary of a job DAG (one query).
 #[derive(Debug, Clone, Default)]
@@ -45,6 +60,12 @@ pub struct DagReport {
     pub jobs: Vec<JobReport>,
     pub sim_total_s: f64,
     pub cpu_seconds: f64,
+    pub task_attempts: u64,
+    pub task_retries: u64,
+    pub speculative_tasks: u64,
+    pub rows_skipped: u64,
+    /// Nodes blacklisted from replica selection during this DAG (sorted).
+    pub blacklisted_nodes: Vec<usize>,
 }
 
 /// The engine. Jobs execute for real; elapsed time is simulated.
@@ -52,6 +73,10 @@ pub struct MrEngine {
     pub dfs: Dfs,
     pub conf: HiveConf,
     pub cost: CostModel,
+    /// Retryable failures attributed to each node; nodes past
+    /// `mapred.max.tracker.failures` are excluded from replica selection,
+    /// like Hadoop's tracker blacklist.
+    node_failures: Mutex<HashMap<usize, u32>>,
 }
 
 // `run_dag` shares `&MrEngine` across job-runner threads.
@@ -60,13 +85,58 @@ const _: () = {
     assert_sync::<MrEngine>();
 };
 
-/// One input split: a byte range of one file, with a preferred node.
+/// One input split: a byte range of one file, with its replica nodes.
+/// Attempt 0 runs data-local on the first replica; retries rotate through
+/// the remaining (non-blacklisted) replicas.
 struct Split<'a> {
     input: &'a JobInput,
     path: String,
     start: u64,
     end: u64,
-    node: usize,
+    replicas: Vec<usize>,
+}
+
+/// Retry budget for one task kind, from `mapred.*.max.attempts`.
+struct RetryPolicy {
+    max_attempts: u32,
+    /// Base of the exponential sim-time backoff between attempts.
+    backoff_s: f64,
+}
+
+/// What came out of running one task through the attempt loop: the final
+/// result plus everything the failed attempts cost.
+struct TaskOutcome<T> {
+    result: Result<T>,
+    attempts: u32,
+    /// I/O burned by failed attempts (the winner's I/O is in `result`).
+    failed_io: IoSnapshot,
+    /// Wall-clock burned by failed attempts.
+    failed_wall_s: f64,
+    /// Accumulated exponential backoff, in simulated seconds.
+    backoff_s: f64,
+}
+
+impl<T> TaskOutcome<T> {
+    fn worker_died() -> TaskOutcome<T> {
+        TaskOutcome {
+            result: Err(HiveError::TaskFailed("task worker thread died".into())),
+            attempts: 1,
+            failed_io: IoSnapshot::default(),
+            failed_wall_s: 0.0,
+            backoff_s: 0.0,
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".into()
+    }
 }
 
 /// What one map task hands back to the engine. Everything a task produces
@@ -83,6 +153,10 @@ struct MapTaskResult {
     io: IoSnapshot,
     cpu_seconds: f64,
     shuffle_records: u64,
+    /// Node the winning attempt ran on.
+    node: usize,
+    /// Rows the reader dropped under corrupt-data degradation.
+    rows_skipped: u64,
 }
 
 /// What one reduce task hands back to the engine.
@@ -100,6 +174,7 @@ impl MrEngine {
             dfs,
             conf,
             cost: CostModel::default(),
+            node_failures: Mutex::new(HashMap::new()),
         }
     }
 
@@ -129,22 +204,111 @@ impl MrEngine {
         }
     }
 
-    /// Run `n` independent tasks on a bounded worker pool and return their
-    /// results in task-index order. Workers claim indices from a shared
-    /// atomic counter; because results are re-assembled by index (and the
-    /// first failing index wins), the outcome is identical to running the
-    /// tasks sequentially.
-    fn run_tasks<T, F>(&self, n: usize, run: F) -> Result<Vec<T>>
+    /// Per-phase retry budget from `mapred.{map,reduce}.max.attempts`.
+    fn retry_policy(&self, attempts_key: &str) -> Result<RetryPolicy> {
+        Ok(RetryPolicy {
+            max_attempts: self.conf.get_usize(attempts_key)?.max(1) as u32,
+            backoff_s: self.conf.get_f64(keys::TASK_RETRY_BACKOFF_S)?.max(0.0),
+        })
+    }
+
+    /// Nodes a task may cause to fail before they stop being scheduled.
+    fn tracker_failure_limit(&self) -> u32 {
+        self.conf
+            .get_usize(keys::MAX_TRACKER_FAILURES)
+            .unwrap_or(3)
+            .max(1) as u32
+    }
+
+    fn record_node_failure(&self, node: usize) {
+        let mut failures = self.node_failures.lock().unwrap_or_else(|e| e.into_inner());
+        *failures.entry(node).or_insert(0) += 1;
+    }
+
+    fn node_blacklisted(&self, node: usize) -> bool {
+        let limit = self.tracker_failure_limit();
+        self.node_failures
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&node)
+            .is_some_and(|&c| c >= limit)
+    }
+
+    /// Nodes currently excluded from replica selection, sorted.
+    pub fn blacklisted_nodes(&self) -> Vec<usize> {
+        let limit = self.tracker_failure_limit();
+        let failures = self.node_failures.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<usize> = failures
+            .iter()
+            .filter(|(_, &c)| c >= limit)
+            .map(|(&n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The task-attempt loop: run one task under `catch_unwind`, retrying
+    /// retryable failures (including panics, which Hadoop retries like any
+    /// crashed task JVM) with exponential simulated backoff, up to the
+    /// policy's budget. Never panics; never aborts the process.
+    fn run_attempts<T, F>(&self, i: usize, policy: &RetryPolicy, run: &F) -> TaskOutcome<T>
+    where
+        F: Fn(usize, u32) -> Result<T> + Sync,
+    {
+        let mut failed_io = IoSnapshot::default();
+        let mut failed_wall_s = 0.0;
+        let mut backoff_s = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            // A scope of our own so a *failed* attempt's I/O is still
+            // attributed and priced (the bytes went over the wire before
+            // the attempt died). The guard lives inside the closure so an
+            // unwinding attempt drops it in LIFO order.
+            let scope = IoScope::new();
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _g = scope.enter();
+                run(i, attempt)
+            }))
+            .unwrap_or_else(|payload| Err(HiveError::TaskFailed(panic_message(payload.as_ref()))));
+            match result {
+                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
+                    failed_io = failed_io.plus(&scope.snapshot());
+                    failed_wall_s += t0.elapsed().as_secs_f64();
+                    backoff_s += policy.backoff_s * (1u64 << attempt.min(16)) as f64;
+                    attempt += 1;
+                }
+                result => {
+                    return TaskOutcome {
+                        result,
+                        attempts: attempt + 1,
+                        failed_io,
+                        failed_wall_s,
+                        backoff_s,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `n` independent tasks on a bounded worker pool, each through the
+    /// attempt loop, and return their outcomes in task-index order. Workers
+    /// claim indices from a shared atomic counter; because results are
+    /// re-assembled by index (and callers fail on the first failing index),
+    /// the outcome is identical to running the tasks sequentially. A worker
+    /// thread dying (impossible short of `abort`, since attempts are caught)
+    /// surfaces as `TaskFailed` outcomes, never a process abort.
+    fn run_tasks<T, F>(&self, n: usize, policy: &RetryPolicy, run: F) -> Vec<TaskOutcome<T>>
     where
         T: Send,
-        F: Fn(usize) -> Result<T> + Sync,
+        F: Fn(usize, u32) -> Result<T> + Sync,
     {
         let threads = self.worker_threads().min(n).max(1);
         if threads == 1 {
-            return (0..n).map(run).collect();
+            return (0..n).map(|i| self.run_attempts(i, policy, &run)).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<TaskOutcome<T>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -155,21 +319,23 @@ impl MrEngine {
                             if i >= n {
                                 break;
                             }
-                            out.push((i, run(i)));
+                            out.push((i, self.run_attempts(i, policy, &run)));
                         }
                         out
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("task worker panicked") {
-                    slots[i] = Some(r);
+                if let Ok(list) = h.join() {
+                    for (i, r) in list {
+                        slots[i] = Some(r);
+                    }
                 }
             }
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every task index was claimed"))
+            .map(|slot| slot.unwrap_or_else(TaskOutcome::worker_died))
             .collect()
     }
 
@@ -185,12 +351,13 @@ impl MrEngine {
             let mut report = DagReport::default();
             let mut last_rows = Vec::new();
             for spec in jobs {
-                let (jr, rows) = self.run_job(spec)?;
+                let (jr, rows) = self.run_job_caught(spec)?;
                 report.sim_total_s += jr.sim_total_s;
-                report.cpu_seconds += jr.cpu_seconds;
+                Self::accumulate_job(&mut report, &jr);
                 report.jobs.push(jr);
                 last_rows = rows;
             }
+            report.blacklisted_nodes = self.blacklisted_nodes();
             return Ok((report, last_rows));
         }
 
@@ -201,18 +368,24 @@ impl MrEngine {
         for stage in 0..=max_stage {
             let idxs: Vec<usize> = (0..jobs.len()).filter(|&j| stage_of[j] == stage).collect();
             if idxs.len() == 1 {
-                results[idxs[0]] = Some(self.run_job(&jobs[idxs[0]])?);
+                results[idxs[0]] = Some(self.run_job_caught(&jobs[idxs[0]])?);
                 continue;
             }
-            let mut stage_results = std::thread::scope(|s| {
+            let mut stage_results: Vec<(usize, Result<JobRun>)> = Vec::new();
+            std::thread::scope(|s| {
                 let handles: Vec<_> = idxs
                     .iter()
-                    .map(|&j| s.spawn(move || (j, self.run_job(&jobs[j]))))
+                    .map(|&j| (j, s.spawn(move || self.run_job_caught(&jobs[j]))))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("job runner panicked"))
-                    .collect::<Vec<_>>()
+                for (j, h) in handles {
+                    // `run_job_caught` converts panics, so a join error
+                    // means the runner thread itself died — report it as a
+                    // failed job instead of aborting the process.
+                    let r = h.join().unwrap_or_else(|_| {
+                        Err(HiveError::TaskFailed("job runner thread died".into()))
+                    });
+                    stage_results.push((j, r));
+                }
             });
             // First failing job index wins, independent of thread timing.
             stage_results.sort_by_key(|(j, _)| *j);
@@ -227,12 +400,28 @@ impl MrEngine {
         for (j, res) in results.into_iter().enumerate() {
             let (jr, rows) = res.expect("every job ran in its stage");
             stage_sim[stage_of[j]] = stage_sim[stage_of[j]].max(jr.sim_total_s);
-            report.cpu_seconds += jr.cpu_seconds;
+            Self::accumulate_job(&mut report, &jr);
             report.jobs.push(jr);
             last_rows = rows;
         }
         report.sim_total_s = stage_sim.iter().sum();
+        report.blacklisted_nodes = self.blacklisted_nodes();
         Ok((report, last_rows))
+    }
+
+    fn accumulate_job(report: &mut DagReport, jr: &JobReport) {
+        report.cpu_seconds += jr.cpu_seconds;
+        report.task_attempts += jr.task_attempts;
+        report.task_retries += jr.task_retries;
+        report.speculative_tasks += jr.speculative_tasks;
+        report.rows_skipped += jr.rows_skipped;
+    }
+
+    /// [`run_job`](Self::run_job) with engine-level panics (outside the
+    /// per-task `catch_unwind`) converted to `TaskFailed` errors.
+    fn run_job_caught(&self, spec: &JobSpec) -> Result<JobRun> {
+        catch_unwind(AssertUnwindSafe(|| self.run_job(spec)))
+            .unwrap_or_else(|payload| Err(HiveError::TaskFailed(panic_message(payload.as_ref()))))
     }
 
     /// Topological stage of each job: a job reading another's intermediate
@@ -264,22 +453,111 @@ impl MrEngine {
         stage_of
     }
 
+    /// Simulated duration of a winning map attempt.
+    fn map_attempt_seconds(&self, res: &MapTaskResult, side_load_s: f64) -> f64 {
+        let work = TaskWork {
+            bytes_local: res.io.bytes_local,
+            bytes_remote: res.io.bytes_remote,
+            seeks: res.io.seeks,
+            bytes_written: res.written,
+            cpu_seconds: res.cpu_seconds,
+            shuffle_records: res.shuffle_records,
+            sim_penalty_s: res.io.sim_penalty_seconds(),
+        };
+        self.cost.task_seconds(&work) + side_load_s
+    }
+
+    /// Extra simulated time a task's failed attempts cost: each failed
+    /// attempt pays startup + the I/O it burned before dying, then the
+    /// exponential backoff before the next launch. CPU goes through
+    /// [`task_cpu`](Self::task_cpu), so deterministic-CPU mode charges a
+    /// failed attempt zero CPU (it processed no complete rows) and stays
+    /// bit-reproducible.
+    fn retry_overhead_seconds<T>(&self, outcome: &TaskOutcome<T>) -> f64 {
+        let retries = outcome.attempts.saturating_sub(1) as f64;
+        if retries == 0.0 {
+            return 0.0;
+        }
+        let failed_work = TaskWork {
+            bytes_local: outcome.failed_io.bytes_local,
+            bytes_remote: outcome.failed_io.bytes_remote,
+            seeks: outcome.failed_io.seeks,
+            bytes_written: outcome.failed_io.bytes_written,
+            cpu_seconds: self.task_cpu(outcome.failed_wall_s, 0),
+            shuffle_records: 0,
+            sim_penalty_s: outcome.failed_io.sim_penalty_seconds(),
+        };
+        self.cost.task_seconds(&failed_work)
+            + (retries - 1.0) * self.cost.task_startup_s
+            + outcome.backoff_s
+    }
+
+    /// Node for a map attempt: replicas not currently blacklisted, rotated
+    /// by attempt number (attempt 0 = the data-local first replica, exactly
+    /// the pre-fault-tolerance behaviour).
+    fn pick_map_node(&self, split: &Split<'_>, attempt: u32) -> usize {
+        let eligible: Vec<usize> = split
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&n| !self.node_blacklisted(n))
+            .collect();
+        let pool: &[usize] = if eligible.is_empty() {
+            &split.replicas
+        } else {
+            &eligible
+        };
+        if pool.is_empty() {
+            return 0;
+        }
+        pool[attempt as usize % pool.len()]
+    }
+
+    /// Node for a speculative duplicate: prefer another replica that is not
+    /// blacklisted and not a known straggler/dead node (the JobTracker
+    /// knows its slow trackers), else any healthy node in the cluster.
+    fn pick_speculative_node(&self, split: &Split<'_>, avoid: usize) -> Option<usize> {
+        let plan = self.dfs.fault_plan();
+        let bad = |n: usize| {
+            n == avoid
+                || self.node_blacklisted(n)
+                || plan
+                    .as_ref()
+                    .is_some_and(|p| p.is_slow(n) || p.is_failing(n))
+        };
+        split
+            .replicas
+            .iter()
+            .copied()
+            .find(|&n| !bad(n))
+            .or_else(|| (0..self.dfs.config().nodes).find(|&n| !bad(n)))
+    }
+
     /// Execute one job; returns its report and (for `Collect` jobs) rows.
     pub fn run_job(&self, spec: &JobSpec) -> Result<(JobReport, Vec<Row>)> {
         let mut report = JobReport {
             name: spec.name.clone(),
             ..Default::default()
         };
+        let map_policy = self.retry_policy(keys::MAP_MAX_ATTEMPTS)?;
 
-        // --- Side inputs (distributed cache). -------------------------
-        // Scoped attribution instead of global snapshot deltas: another
-        // job may be running concurrently on this DFS (`hive.exec.parallel`).
-        let side_scope = IoScope::new();
-        let side = {
-            let _g = side_scope.enter();
-            self.load_side_inputs(&spec.side_inputs)?
-        };
-        let side_io = side_scope.snapshot();
+        // --- Side inputs (distributed cache), retried like a task ------
+        // (a transient DFS fault while building the cache must not kill
+        // the query). Scoped attribution instead of global snapshot
+        // deltas: another job may be running concurrently on this DFS
+        // (`hive.exec.parallel`).
+        let side_outcome = self.run_attempts(0, &map_policy, &|_i, _attempt| {
+            let scope = IoScope::new();
+            let loaded = {
+                let _g = scope.enter();
+                self.load_side_inputs(&spec.side_inputs)?
+            };
+            Ok((loaded, scope.snapshot()))
+        });
+        report.task_retries += side_outcome.attempts.saturating_sub(1) as u64;
+        let side_delay_s = self.retry_overhead_seconds(&side_outcome);
+        let ((side, side_rows_skipped), side_io) = side_outcome.result?;
+        report.rows_skipped += side_rows_skipped;
         // Every map task re-reads the cached hash-table input locally.
         let side_load_s = side_io.bytes_read() as f64 / self.cost.local_read_bw;
         report.bytes_read += side_io.bytes_read();
@@ -297,48 +575,146 @@ impl MrEngine {
         // Each task builds its own pipeline and writes into task-local
         // partition buffers; the merge below is ordered by task index, so
         // results are identical whatever the worker interleaving was.
-        let map_results = self.run_tasks(splits.len(), |task_idx| {
-            self.run_map_task(spec, &splits[task_idx], task_idx, &side, num_reducers)
-        })?;
+        let outcomes = self.run_tasks(splits.len(), &map_policy, |task_idx, attempt| {
+            let node = self.pick_map_node(&splits[task_idx], attempt);
+            let result =
+                self.run_map_task(spec, &splits[task_idx], task_idx, node, &side, num_reducers);
+            if let Err(e) = &result {
+                // Environmental failures count against the node; panics
+                // and deterministic errors are the task's own fault.
+                if matches!(e, HiveError::Transient(_) | HiveError::Corrupt(_)) {
+                    self.record_node_failure(node);
+                }
+            }
+            result
+        });
 
+        // First failing task index wins, independent of worker timing.
+        let mut winners: Vec<(MapTaskResult, TaskOutcome<()>)> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            let TaskOutcome {
+                result,
+                attempts,
+                failed_io,
+                failed_wall_s,
+                backoff_s,
+            } = outcome;
+            let meta = TaskOutcome {
+                result: Ok(()),
+                attempts,
+                failed_io,
+                failed_wall_s,
+                backoff_s,
+            };
+            winners.push((result?, meta));
+        }
+        let mut map_durations: Vec<f64> = winners
+            .iter()
+            .map(|(res, meta)| {
+                self.map_attempt_seconds(res, side_load_s) + self.retry_overhead_seconds(meta)
+            })
+            .collect();
+
+        // --- Speculative execution (map phase only). -------------------
+        // Tasks past `threshold × median` duration get one duplicate
+        // attempt on another node, launched (in simulated time) when the
+        // straggle is detected; whichever attempt finishes first in
+        // simulated time wins. Both attempts process the same split with
+        // the same deterministic pipeline, so the winning result is
+        // byte-identical either way and the index-ordered merge below is
+        // unaffected — speculation can only change *timing*, never output.
+        let speculate = self.conf.get_bool(keys::EXEC_SPECULATIVE)? && winners.len() >= 2;
+        let mut speculative_launched = 0u64;
+        let mut speculative_cpu_s = 0.0;
+        let mut speculative_bytes = 0u64;
+        if speculate {
+            let threshold = self
+                .conf
+                .get_f64(keys::EXEC_SPECULATIVE_THRESHOLD)?
+                .max(1.0);
+            let mut sorted = map_durations.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            let median = sorted[sorted.len() / 2];
+            for i in 0..winners.len() {
+                if median <= 0.0 || map_durations[i] <= threshold * median {
+                    continue;
+                }
+                let avoid = winners[i].0.node;
+                let Some(alt) = self.pick_speculative_node(&splits[i], avoid) else {
+                    continue;
+                };
+                speculative_launched += 1;
+                let duplicate = catch_unwind(AssertUnwindSafe(|| {
+                    self.run_map_task(spec, &splits[i], i, alt, &side, num_reducers)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(HiveError::TaskFailed(panic_message(payload.as_ref())))
+                });
+                if let Ok(dup) = duplicate {
+                    // The duplicate launches once the straggle is evident.
+                    let launch_at = threshold * median;
+                    let dup_done = launch_at + self.map_attempt_seconds(&dup, side_load_s);
+                    speculative_cpu_s += dup.cpu_seconds;
+                    speculative_bytes += dup.io.bytes_read();
+                    if dup_done < map_durations[i] {
+                        map_durations[i] = dup_done;
+                        winners[i].0 = dup;
+                    }
+                }
+            }
+        }
+
+        // --- Deterministic merge by task index. ------------------------
         // Map-only jobs allocate no partition buffers at all.
         let mut partitions: Vec<Vec<ShuffleRecord>> =
             (0..num_reducers).map(|_| Vec::new()).collect();
-        let mut map_durations = Vec::with_capacity(map_results.len());
         let mut collected: Vec<Row> = Vec::new();
-        for res in map_results {
+        for (res, meta) in winners {
             for (p, mut recs) in res.partitions.into_iter().enumerate() {
                 partitions[p].append(&mut recs);
             }
             collected.extend(res.task_out);
-            let work = TaskWork {
-                bytes_local: res.io.bytes_local,
-                bytes_remote: res.io.bytes_remote,
-                seeks: res.io.seeks,
-                bytes_written: res.written,
-                cpu_seconds: res.cpu_seconds,
-                shuffle_records: res.shuffle_records,
-            };
-            report.cpu_seconds += res.cpu_seconds;
-            report.bytes_read += res.io.bytes_read();
+            report.cpu_seconds += res.cpu_seconds + self.task_cpu(meta.failed_wall_s, 0);
+            report.bytes_read += res.io.bytes_read() + meta.failed_io.bytes_read();
             report.bytes_written += res.written;
             report.shuffle_records += res.shuffle_records;
-            map_durations.push(self.cost.task_seconds(&work) + side_load_s);
+            report.rows_skipped += res.rows_skipped;
+            report.task_attempts += meta.attempts as u64;
+            report.task_retries += meta.attempts.saturating_sub(1) as u64;
         }
-        report.sim_map_s = self.cost.schedule(&map_durations);
+        report.task_attempts += speculative_launched;
+        report.speculative_tasks += speculative_launched;
+        report.cpu_seconds += speculative_cpu_s;
+        report.bytes_read += speculative_bytes;
+        report.sim_map_s = self.cost.schedule(&map_durations) + side_delay_s;
 
         // --- Reduce phase: partitions fan out to the pool the same way. -
+        let reduce_policy = self.retry_policy(keys::REDUCE_MAX_ATTEMPTS)?;
         let mut reduce_durations = Vec::new();
         if let Some(reduce_factory) = &spec.reduce_factory {
             report.reduce_tasks = num_reducers;
             let handoff: Vec<Mutex<Vec<ShuffleRecord>>> =
                 partitions.into_iter().map(Mutex::new).collect();
-            let reduce_results = self.run_tasks(handoff.len(), |r| {
-                let partition =
-                    std::mem::take(&mut *handoff[r].lock().unwrap_or_else(|e| e.into_inner()));
+            let reduce_outcomes = self.run_tasks(handoff.len(), &reduce_policy, |r, attempt| {
+                // A retryable attempt gets a *clone* so a failed attempt
+                // leaves the partition intact for the re-shuffle; the last
+                // allowed attempt may consume it.
+                let mut guard = handoff[r].lock().unwrap_or_else(|e| e.into_inner());
+                let partition = if attempt + 1 >= reduce_policy.max_attempts {
+                    std::mem::take(&mut *guard)
+                } else {
+                    guard.clone()
+                };
+                drop(guard);
                 self.run_reduce_task(spec, reduce_factory, r, partition)
-            })?;
-            for res in reduce_results {
+            });
+            for outcome in reduce_outcomes {
+                let overhead_s = self.retry_overhead_seconds(&outcome);
+                report.task_attempts += outcome.attempts as u64;
+                report.task_retries += outcome.attempts.saturating_sub(1) as u64;
+                report.cpu_seconds += self.task_cpu(outcome.failed_wall_s, 0);
+                report.bytes_read += outcome.failed_io.bytes_read();
+                let res = outcome.result?;
                 report.bytes_shuffled += res.shuffle_bytes;
                 collected.extend(res.task_out);
                 let work = TaskWork {
@@ -348,12 +724,15 @@ impl MrEngine {
                     bytes_written: res.written,
                     cpu_seconds: res.cpu_seconds,
                     shuffle_records: 0,
+                    sim_penalty_s: res.io.sim_penalty_seconds(),
                 };
                 report.cpu_seconds += res.cpu_seconds;
                 report.bytes_read += res.io.bytes_read();
                 report.bytes_written += res.written;
                 reduce_durations.push(
-                    self.cost.task_seconds(&work) + self.cost.shuffle_seconds(res.shuffle_bytes),
+                    self.cost.task_seconds(&work)
+                        + self.cost.shuffle_seconds(res.shuffle_bytes)
+                        + overhead_s,
                 );
             }
         }
@@ -372,6 +751,7 @@ impl MrEngine {
         spec: &JobSpec,
         split: &Split<'_>,
         task_idx: usize,
+        node: usize,
         side: &HashMap<String, Vec<Row>>,
         num_reducers: usize,
     ) -> Result<MapTaskResult> {
@@ -390,7 +770,7 @@ impl MrEngine {
             format: split.input.format,
             projection: split.input.projection.clone(),
             sarg: split.input.sarg.clone(),
-            node: Some(split.node),
+            node: Some(node),
             split: Some((split.start, split.end)),
         };
         let mut reader = open_reader(
@@ -484,6 +864,7 @@ impl MrEngine {
             task_out.clear();
         }
 
+        let rows_skipped = reader.rows_skipped();
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
         Ok(MapTaskResult {
@@ -493,6 +874,8 @@ impl MrEngine {
             io: scope.snapshot(),
             cpu_seconds,
             shuffle_records,
+            node,
+            rows_skipped,
         })
     }
 
@@ -584,8 +967,11 @@ impl MrEngine {
         })
     }
 
-    fn load_side_inputs(&self, sides: &[SideInput]) -> Result<HashMap<String, Vec<Row>>> {
+    /// Load distributed-cache inputs; also returns rows skipped by
+    /// corrupt-data degradation (`hive.exec.orc.skip.corrupt.data`).
+    fn load_side_inputs(&self, sides: &[SideInput]) -> Result<(HashMap<String, Vec<Row>>, u64)> {
         let mut out = HashMap::new();
+        let mut rows_skipped = 0u64;
         for s in sides {
             let mut rows = Vec::new();
             for path in self.expand_paths(&s.paths) {
@@ -603,10 +989,11 @@ impl MrEngine {
                 while let Some(row) = reader.next_row()? {
                     rows.push(row);
                 }
+                rows_skipped += reader.rows_skipped();
             }
             out.insert(s.alias.clone(), rows);
         }
-        Ok(out)
+        Ok((out, rows_skipped))
     }
 
     /// Expand directory-style entries (trailing `/`) into their part files.
@@ -641,7 +1028,7 @@ impl MrEngine {
                             path: path.clone(),
                             start: 0,
                             end: self.dfs.len(&path)?,
-                            node: blocks[0].replicas.first().copied().unwrap_or(0),
+                            replicas: blocks[0].replicas.clone(),
                         });
                     }
                     _ => {
@@ -649,14 +1036,15 @@ impl MrEngine {
                             if b.len == 0 {
                                 continue;
                             }
-                            // Data-local scheduling: run on the first
-                            // replica, as Hadoop usually manages to.
+                            // Data-local scheduling: attempt 0 runs on the
+                            // first replica, as Hadoop usually manages to;
+                            // retries rotate through the rest.
                             splits.push(Split {
                                 input,
                                 path: path.clone(),
                                 start: b.offset,
                                 end: b.offset + b.len,
-                                node: b.replicas.first().copied().unwrap_or(0),
+                                replicas: b.replicas.clone(),
                             });
                         }
                     }

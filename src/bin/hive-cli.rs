@@ -64,6 +64,21 @@ fn main() {
                                 j.bytes_shuffled
                             );
                         }
+                        if r.task_retries > 0
+                            || r.speculative_tasks > 0
+                            || r.rows_skipped > 0
+                            || !r.blacklisted_nodes.is_empty()
+                        {
+                            println!(
+                                "  fault tolerance: {} attempt(s), {} retried, \
+                                 {} speculative, {} row(s) skipped, blacklisted nodes {:?}",
+                                r.task_attempts,
+                                r.task_retries,
+                                r.speculative_tasks,
+                                r.rows_skipped,
+                                r.blacklisted_nodes
+                            );
+                        }
                     }
                     None => println!("no query has run yet"),
                 }
