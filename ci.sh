@@ -20,6 +20,30 @@ cargo test -q --workspace --offline
 echo "==> chaos gate (deterministic fault injection)"
 cargo test -q -p hive-core --test chaos --offline
 
+# Observability gate: metrics-registry determinism across worker-thread
+# counts, EXPLAIN ANALYZE goldens, knob-registry errors, README knob table.
+echo "==> metrics determinism gate"
+cargo test -q --test metrics --offline
+
+# End-to-end --metrics-json stability: the same statement stream through the
+# real CLI binary must produce byte-identical snapshots at 1 and 8 worker
+# threads under the deterministic clock, and the snapshot must match the
+# checked-in schema-conformant example under results/.
+echo "==> hive-cli --metrics-json gate (1 vs 8 worker threads)"
+run_cli() {
+    cargo run -q --bin hive-cli --offline -- --demo --metrics-json "$2" >/dev/null <<SQL
+SET hive.exec.sim.deterministic.cpu=true;
+SET hive.exec.worker.threads=$1;
+SELECT cities.name, COUNT(*) AS n, AVG(trips.fare) AS avg_fare
+FROM trips JOIN cities ON (trips.city_id = cities.city_id)
+GROUP BY cities.name ORDER BY cities.name;
+SQL
+}
+run_cli 1 target/metrics-1.json
+run_cli 8 target/metrics-8.json
+diff target/metrics-1.json target/metrics-8.json
+diff target/metrics-1.json results/metrics-snapshot.json
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

@@ -30,6 +30,12 @@ pub enum HiveError {
     Execution(String),
     /// A configuration property was set to an invalid value.
     Config(String),
+    /// A set referenced a key no knob in the typed registry declares.
+    /// Carries near-miss suggestions from the registry.
+    UnknownKnob {
+        key: String,
+        suggestions: Vec<String>,
+    },
     /// Type mismatch between an expression and its operands.
     Type(String),
     /// The metastore does not know the referenced object.
@@ -65,6 +71,7 @@ impl HiveError {
             HiveError::Plan(_) => "plan",
             HiveError::Execution(_) => "execution",
             HiveError::Config(_) => "config",
+            HiveError::UnknownKnob { .. } => "config",
             HiveError::Type(_) => "type",
             HiveError::Metastore(_) => "metastore",
             HiveError::Memory(_) => "memory",
@@ -94,6 +101,7 @@ impl HiveError {
             | HiveError::Corrupt(m)
             | HiveError::TaskFailed(m)
             | HiveError::Internal(m) => m,
+            HiveError::UnknownKnob { key, .. } => key,
         }
     }
 
@@ -127,6 +135,14 @@ impl HiveError {
 
 impl fmt::Display for HiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let HiveError::UnknownKnob { key, suggestions } = self {
+            write!(f, "[config] unknown knob `{key}`")?;
+            if !suggestions.is_empty() {
+                let quoted: Vec<String> = suggestions.iter().map(|s| format!("`{s}`")).collect();
+                write!(f, " (did you mean {}?)", quoted.join(", "))?;
+            }
+            return Ok(());
+        }
         write!(f, "[{}] {}", self.layer(), self.message())
     }
 }
@@ -153,6 +169,23 @@ mod tests {
     fn message_accessor_returns_inner_text() {
         let e = HiveError::Memory("stripe budget exceeded".into());
         assert_eq!(e.message(), "stripe budget exceeded");
+    }
+
+    #[test]
+    fn unknown_knob_display_lists_suggestions() {
+        let e = HiveError::UnknownKnob {
+            key: "hive.exec.paralel".into(),
+            suggestions: vec!["hive.exec.parallel".into()],
+        };
+        assert_eq!(
+            e.to_string(),
+            "[config] unknown knob `hive.exec.paralel` (did you mean `hive.exec.parallel`?)"
+        );
+        let bare = HiveError::UnknownKnob {
+            key: "zz".into(),
+            suggestions: vec![],
+        };
+        assert_eq!(bare.to_string(), "[config] unknown knob `zz`");
     }
 
     #[test]

@@ -1,11 +1,25 @@
-//! The Driver: parse → plan → execute → fetch (paper Section 2).
+//! The Driver: parse → plan → execute → fetch (paper Section 2), now also
+//! the place where execution reports become observability artifacts: a
+//! structured trace, registry metrics, and `EXPLAIN ANALYZE` renderings.
 
 use crate::metastore::Metastore;
 use hive_common::{HiveConf, HiveError, Result, Row};
-use hive_dfs::{Dfs, FaultPlan};
+use hive_dfs::{Dfs, FaultPlan, IoScope};
 use hive_mapreduce::{DagReport, MrEngine};
+use hive_obs::{MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot, SpanKind, Trace};
 use hive_planner::plan_query;
-use hive_ql::{parse, Statement};
+use hive_ql::{parse, SelectStmt, Statement};
+
+/// Observability payload attached to every [`QueryResult`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Span tree for this statement (query → plan → jobs → tasks/operators).
+    pub trace: Trace,
+    /// Registry snapshot taken right after this statement recorded into it.
+    /// Cumulative over the session, sorted, and stable under the
+    /// deterministic clock.
+    pub snapshot: MetricsSnapshot,
+}
 
 /// The result of one statement.
 #[derive(Debug, Default)]
@@ -16,6 +30,8 @@ pub struct QueryResult {
     pub report: DagReport,
     /// Set for EXPLAIN statements.
     pub explain: Option<String>,
+    /// Trace + metrics handle for this statement.
+    pub metrics: QueryMetrics,
 }
 
 impl QueryResult {
@@ -33,56 +49,25 @@ impl QueryResult {
     }
 }
 
-/// Compile and run one statement.
+/// Compile and run one statement, recording into `registry`.
 pub fn run_statement(
     sql: &str,
     dfs: &Dfs,
     conf: &HiveConf,
     metastore: &Metastore,
+    registry: &MetricsRegistry,
 ) -> Result<QueryResult> {
+    // Reject ill-typed or out-of-range overrides before doing any work, so
+    // a bad `SET` surfaces on the next statement rather than deep inside a
+    // task.
+    conf.validate()?;
     // Install a fresh fault plan per statement (None when the `dfs.fault.*`
     // knobs are inert): the first-touch ledger resets between statements so
     // each query sees its own deterministic fault schedule.
     dfs.set_fault_plan(FaultPlan::from_conf(conf)?);
+    registry.counter("query.count").inc();
     match parse(sql)? {
-        Statement::Select(stmt) => {
-            // Simple aggregations can come straight from ORC footers
-            // (paper §4.2), skipping the whole engine.
-            if let Some((columns, row)) =
-                crate::stats_answer::try_answer(&stmt, dfs, conf, metastore)?
-            {
-                return Ok(QueryResult {
-                    columns,
-                    rows: vec![row],
-                    ..Default::default()
-                });
-            }
-            let compiled = plan_query(&stmt, metastore, conf)?;
-            let engine = MrEngine::new(dfs.clone(), conf.clone());
-            let (report, mut rows) = engine.run_dag(&compiled.jobs)?;
-            // Driver-side final ordering and limit (see DESIGN.md).
-            if !compiled.order_by.is_empty() {
-                rows.sort_by(|a, b| {
-                    for &(idx, asc) in &compiled.order_by {
-                        let c = a[idx].sql_cmp(&b[idx]);
-                        let c = if asc { c } else { c.reverse() };
-                        if c != std::cmp::Ordering::Equal {
-                            return c;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                if let Some(n) = compiled.limit {
-                    rows.truncate(n as usize);
-                }
-            }
-            Ok(QueryResult {
-                columns: compiled.output_names,
-                rows,
-                report,
-                explain: None,
-            })
-        }
+        Statement::Select(stmt) => execute_select(sql, &stmt, dfs, conf, metastore, registry),
         Statement::CreateTable(ct) => {
             let schema = hive_common::Schema::new(
                 ct.columns
@@ -118,15 +103,297 @@ pub fn run_statement(
                 ..Default::default()
             })
         }
-        Statement::Explain(inner) => {
-            let Statement::Select(stmt) = *inner else {
+        Statement::Explain { analyze, stmt } => {
+            let Statement::Select(stmt) = *stmt else {
                 return Err(HiveError::Plan("EXPLAIN supports SELECT only".into()));
             };
             let compiled = plan_query(&stmt, metastore, conf)?;
+            let plan = scrub_query_paths(&compiled.explain);
+            if !analyze {
+                return Ok(QueryResult {
+                    explain: Some(plan),
+                    ..Default::default()
+                });
+            }
+            // ANALYZE: run the query for real, then annotate the plan with
+            // the observed runtime profile. Result rows are discarded — the
+            // statement's output is the report, like EXPLAIN ANALYZE in
+            // PostgreSQL.
+            let res = execute_select(sql, &stmt, dfs, conf, metastore, registry)?;
+            let text = render_analyze(&plan, res.rows.len(), &res.report);
             Ok(QueryResult {
-                explain: Some(compiled.explain),
+                report: res.report,
+                explain: Some(text),
+                metrics: res.metrics,
                 ..Default::default()
             })
         }
+    }
+}
+
+/// Plan and execute one SELECT, then fold its report into the registry and
+/// build the statement trace.
+fn execute_select(
+    sql: &str,
+    stmt: &SelectStmt,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+) -> Result<QueryResult> {
+    // Simple aggregations can come straight from ORC footers (paper §4.2),
+    // skipping the whole engine. Footer reads happen on this thread, so an
+    // [`IoScope`] attributes exactly this statement's DFS bytes.
+    let stats_scope = IoScope::new();
+    let stats_hit = {
+        let _g = stats_scope.enter();
+        crate::stats_answer::try_answer(stmt, dfs, conf, metastore)?
+    };
+    if let Some((columns, row)) = stats_hit {
+        let io = stats_scope.snapshot();
+        registry.counter("query.stats_answered").inc();
+        registry.counter("dfs.bytes_read").add(io.bytes_read());
+        let mut trace = Trace::new();
+        let q = trace.span(None, SpanKind::Query, sql, 0.0);
+        trace.attr(q, "stats_answered", 1u64);
+        trace.attr(q, "bytes_read", io.bytes_read());
+        return Ok(QueryResult {
+            columns,
+            rows: vec![row],
+            metrics: QueryMetrics {
+                trace,
+                snapshot: registry.snapshot(),
+            },
+            ..Default::default()
+        });
+    }
+    let compiled = plan_query(stmt, metastore, conf)?;
+    let engine = MrEngine::new(dfs.clone(), conf.clone());
+    let (report, mut rows) = engine.run_dag(&compiled.jobs)?;
+    // Driver-side final ordering and limit (see DESIGN.md).
+    if !compiled.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for &(idx, asc) in &compiled.order_by {
+                let c = a[idx].sql_cmp(&b[idx]);
+                let c = if asc { c } else { c.reverse() };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(n) = compiled.limit {
+            rows.truncate(n as usize);
+        }
+    }
+    record_report(registry, &report);
+    let trace = build_trace(sql, &report);
+    Ok(QueryResult {
+        columns: compiled.output_names,
+        rows,
+        report,
+        explain: None,
+        metrics: QueryMetrics {
+            trace,
+            snapshot: registry.snapshot(),
+        },
+    })
+}
+
+/// Fold one DAG report into the registry: statement-level counters under
+/// `exec.*`/`dfs.*`, per-job labeled counters, scan profiles, simulated-time
+/// histograms, and per-operator row/CPU counters. Every value is derived
+/// from the report (merged single-threaded from task results), so the
+/// registry contents do not depend on worker-thread count.
+fn record_report(registry: &MetricsRegistry, report: &DagReport) {
+    for (name, v) in report.counters.entries() {
+        registry.record(MetricKey::new(&format!("exec.{name}")), v);
+    }
+    // DFS traffic as seen by the per-task IoScopes the engine enters.
+    registry
+        .counter("dfs.bytes_read")
+        .add(report.counters.bytes_read);
+    registry
+        .counter("dfs.bytes_written")
+        .add(report.counters.bytes_written);
+    registry.gauge("exec.sim_total_s").add(report.sim_total_s);
+    for jr in &report.jobs {
+        let job = registry.scope(&[("job", &jr.name)]);
+        for (name, v) in jr.counters.entries() {
+            job.record(&format!("job.{name}"), v);
+        }
+        for (name, v) in jr.scan.entries() {
+            job.record(&format!("scan.{name}"), v);
+        }
+        registry
+            .histogram("job.sim_total_s")
+            .observe(jr.sim_total_s);
+        let task_hist = registry.histogram_with("task.sim_s", &[("job", &jr.name)]);
+        for t in &jr.tasks {
+            task_hist.observe(t.sim_s);
+        }
+        for (phase, ops) in [("map", &jr.map_operators), ("reduce", &jr.reduce_operators)] {
+            for p in ops {
+                let scope = job.scope(&[("phase", phase), ("op", &p.name)]);
+                scope.record("operator.rows_in", MetricValue::U64(p.rows_in));
+                scope.record("operator.rows_out", MetricValue::U64(p.rows_out));
+                scope.record("operator.cpu_ns", MetricValue::U64(p.cpu_ns));
+            }
+        }
+    }
+}
+
+/// Build the span tree for one executed statement:
+/// query → plan phase + DAG stage → job → task / operator.
+fn build_trace(sql: &str, report: &DagReport) -> Trace {
+    let mut t = Trace::new();
+    let q = t.span(None, SpanKind::Query, sql, report.sim_total_s);
+    t.attr(q, "jobs", report.jobs.len() as u64);
+    t.attr(q, "rows_out", report.counters.rows_out);
+    let plan = t.span(Some(q), SpanKind::PlanPhase, "plan", 0.0);
+    t.attr(plan, "jobs", report.jobs.len() as u64);
+    let stage = t.span(Some(q), SpanKind::Stage, "dag", report.sim_total_s);
+    if !report.blacklisted_nodes.is_empty() {
+        t.attr(
+            stage,
+            "blacklisted_nodes",
+            report.blacklisted_nodes.len() as u64,
+        );
+    }
+    for jr in &report.jobs {
+        let j = t.span(Some(stage), SpanKind::Job, &jr.name, jr.sim_total_s);
+        t.attr(j, "map_tasks", jr.map_tasks as u64);
+        t.attr(j, "reduce_tasks", jr.reduce_tasks as u64);
+        for (name, v) in jr.counters.entries() {
+            match v {
+                MetricValue::U64(n) => t.attr(j, name, n),
+                MetricValue::F64(x) => t.attr(j, name, x),
+            }
+        }
+        if jr.scan.rows_read > 0 {
+            t.attr(j, "scan_rows_read", jr.scan.rows_read);
+            t.attr(j, "scan_selected_density", jr.scan.selected_density());
+        }
+        for task in &jr.tasks {
+            let name = format!("{}-{}", task.phase.as_str(), task.index);
+            let ts = t.span(Some(j), SpanKind::Task, &name, task.sim_s);
+            t.attr(ts, "attempts", task.attempts as u64);
+            if let Some(n) = task.node {
+                t.attr(ts, "node", n as u64);
+            }
+        }
+        for (phase, ops) in [("map", &jr.map_operators), ("reduce", &jr.reduce_operators)] {
+            for p in ops {
+                let os = t.span(
+                    Some(j),
+                    SpanKind::Operator,
+                    &format!("{phase}:{}", p.name),
+                    0.0,
+                );
+                t.attr(os, "rows_in", p.rows_in);
+                t.attr(os, "rows_out", p.rows_out);
+                t.attr(os, "cpu_ns", p.cpu_ns);
+            }
+        }
+    }
+    t
+}
+
+/// Replace the per-process query counter in intermediate paths
+/// (`/tmp/query-17/...`) with a stable placeholder so plan text is
+/// byte-identical across runs.
+fn scrub_query_paths(plan: &str) -> String {
+    const MARKER: &str = "/tmp/query-";
+    let mut out = String::with_capacity(plan.len());
+    let mut rest = plan;
+    while let Some(at) = rest.find(MARKER) {
+        let digits_from = at + MARKER.len();
+        out.push_str(&rest[..digits_from]);
+        let tail = &rest[digits_from..];
+        let end = tail
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        out.push('N');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Render the `EXPLAIN ANALYZE` report: the static plan followed by the
+/// observed per-job runtime profile (tasks, bytes, scan pruning, and
+/// per-operator rows/CPU).
+fn render_analyze(plan: &str, result_rows: usize, report: &DagReport) -> String {
+    let mut out = String::new();
+    out.push_str(plan.trim_end());
+    out.push_str("\n\n== Runtime Profile ==\n");
+    out.push_str(&format!(
+        "sim_total={:.6}s jobs={} result_rows={}\n",
+        report.sim_total_s,
+        report.jobs.len(),
+        result_rows
+    ));
+    for jr in &report.jobs {
+        out.push_str(&format!(
+            "{}: sim={:.6}s map_tasks={} reduce_tasks={} attempts={} retries={} speculative={}\n",
+            jr.name,
+            jr.sim_total_s,
+            jr.map_tasks,
+            jr.reduce_tasks,
+            jr.counters.task_attempts,
+            jr.counters.task_retries,
+            jr.counters.speculative_tasks,
+        ));
+        out.push_str(&format!(
+            "  io: read={}B shuffled={}B written={}B cpu={:.6}s\n",
+            jr.counters.bytes_read,
+            jr.counters.bytes_shuffled,
+            jr.counters.bytes_written,
+            jr.counters.cpu_seconds,
+        ));
+        if jr.scan.rows_read > 0 || jr.scan.stripes_total > 0 {
+            out.push_str(&format!(
+                "  scan: rows={} batches={} stripes={}/{} groups={}/{} salvaged={} selected_density={:.3}\n",
+                jr.scan.rows_read,
+                jr.scan.batches,
+                jr.scan.stripes_read,
+                jr.scan.stripes_total,
+                jr.scan.groups_read,
+                jr.scan.groups_total,
+                jr.scan.rows_salvaged,
+                jr.scan.selected_density(),
+            ));
+        }
+        for (phase, ops) in [("map", &jr.map_operators), ("reduce", &jr.reduce_operators)] {
+            if ops.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  {phase} operators:\n"));
+            for p in ops {
+                out.push_str(&format!(
+                    "    {:<24} rows_in={:<10} rows_out={:<10} cpu={:.3}ms\n",
+                    p.name,
+                    p.rows_in,
+                    p.rows_out,
+                    p.cpu_ns as f64 / 1e6,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_paths_are_scrubbed() {
+        let s = "Sink(/tmp/query-42/stage-0) then /tmp/query-7/x";
+        assert_eq!(
+            scrub_query_paths(s),
+            "Sink(/tmp/query-N/stage-0) then /tmp/query-N/x"
+        );
+        assert_eq!(scrub_query_paths("no paths here"), "no paths here");
     }
 }

@@ -7,6 +7,6 @@ pub mod metastore;
 pub mod session;
 pub mod stats_answer;
 
-pub use driver::QueryResult;
+pub use driver::{QueryMetrics, QueryResult};
 pub use metastore::{Metastore, TableInfo};
-pub use session::HiveSession;
+pub use session::{HiveSession, SessionBuilder};

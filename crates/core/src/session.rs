@@ -1,13 +1,15 @@
-//! The public API: a session owning a simulated cluster, a metastore and a
-//! configuration — everything needed to create tables, load data and run
-//! HiveQL.
+//! The public API: a session owning a simulated cluster, a metastore, a
+//! configuration and a metrics registry — everything needed to create
+//! tables, load data, run HiveQL, and observe what the runtime did.
 
 use crate::driver::{run_statement, QueryResult};
 use crate::metastore::{Metastore, TableInfo};
+use hive_common::config::{keys, Knob, KnobValue};
 use hive_common::{HiveConf, HiveError, Result, Row, Schema};
 use hive_dfs::{Dfs, DfsConfig, IoSnapshot};
 use hive_formats::orc::MemoryManager;
 use hive_formats::{create_writer, FormatKind, WriteOptions};
+use hive_obs::{MetricsRegistry, MetricsSnapshot};
 
 /// A Hive session over a simulated cluster.
 ///
@@ -30,27 +32,133 @@ pub struct HiveSession {
     dfs: Dfs,
     conf: HiveConf,
     metastore: Metastore,
+    metrics: MetricsRegistry,
+}
+
+/// Fluent construction of a [`HiveSession`]: cluster shape, validated
+/// configuration overrides, fault plan, and a shared metrics sink.
+///
+/// ```
+/// use hive_core::HiveSession;
+/// use hive_common::config::knobs;
+/// use hive_obs::MetricsRegistry;
+///
+/// let sink = MetricsRegistry::new();
+/// let hive = HiveSession::builder()
+///     .nodes(4)
+///     .knob(knobs::EXEC_PARALLEL, true)
+///     .set("hive.vectorized.execution.enabled", "true")
+///     .unwrap()
+///     .metrics_sink(sink.clone())
+///     .build()
+///     .unwrap();
+/// assert!(hive.metrics().same_sink(&sink));
+/// ```
+pub struct SessionBuilder {
+    dfs: DfsConfig,
+    conf: HiveConf,
+    metrics: MetricsRegistry,
+}
+
+impl SessionBuilder {
+    fn new() -> SessionBuilder {
+        SessionBuilder {
+            // Scaled-down block size so laptop-scale tables still split.
+            dfs: DfsConfig {
+                block_size: 32 << 20,
+                replication: 3,
+                nodes: 10,
+            },
+            conf: HiveConf::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Replace the whole simulated-cluster configuration.
+    pub fn dfs_config(mut self, cfg: DfsConfig) -> SessionBuilder {
+        self.dfs = cfg;
+        self
+    }
+
+    /// Number of simulated cluster nodes.
+    pub fn nodes(mut self, nodes: usize) -> SessionBuilder {
+        self.dfs.nodes = nodes;
+        self
+    }
+
+    /// Validated string override: the key must name a registered knob and
+    /// the value must satisfy its constraints. Fails eagerly, at the call,
+    /// with [`HiveError::UnknownKnob`] suggestions for typos.
+    pub fn set(mut self, key: &str, value: impl Into<String>) -> Result<SessionBuilder> {
+        self.conf.try_set(key, value)?;
+        Ok(self)
+    }
+
+    /// Typed override — infallible by construction.
+    pub fn knob<T: KnobValue>(mut self, knob: Knob<T>, value: T) -> SessionBuilder {
+        self.conf.set_knob(knob, value);
+        self
+    }
+
+    /// Configure the deterministic DFS fault plan in one call (seed plus
+    /// read-error and corrupt-record rates; see the `dfs.fault.*` knobs for
+    /// slow/fail node lists).
+    pub fn fault_plan(
+        mut self,
+        seed: u64,
+        read_error_rate: f64,
+        corrupt_rate: f64,
+    ) -> SessionBuilder {
+        use hive_common::config::knobs;
+        self.conf.set_knob(knobs::DFS_FAULT_SEED, seed);
+        self.conf
+            .set_knob(knobs::DFS_FAULT_READ_ERROR_RATE, read_error_rate);
+        self.conf
+            .set_knob(knobs::DFS_FAULT_CORRUPT_RATE, corrupt_rate);
+        self
+    }
+
+    /// Record metrics into an existing registry (shared with other
+    /// sessions or an external sink) instead of a fresh one.
+    pub fn metrics_sink(mut self, registry: MetricsRegistry) -> SessionBuilder {
+        self.metrics = registry;
+        self
+    }
+
+    /// Validate the assembled configuration and bring up the session.
+    pub fn build(self) -> Result<HiveSession> {
+        // Typed knob() writes can still be out of range; re-check the whole
+        // override map so a bad session never comes up half-configured.
+        self.conf.validate()?;
+        let dfs = Dfs::new(self.dfs);
+        let metastore = Metastore::new(dfs.clone());
+        Ok(HiveSession {
+            dfs,
+            conf: self.conf,
+            metastore,
+            metrics: self.metrics,
+        })
+    }
 }
 
 impl HiveSession {
+    /// Start building a session: `HiveSession::builder().….build()`.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
     /// A session over a fresh simulated cluster with paper-like defaults.
     pub fn in_memory() -> HiveSession {
-        // Scaled-down block size so laptop-scale tables still split.
-        Self::with_dfs_config(DfsConfig {
-            block_size: 32 << 20,
-            replication: 3,
-            nodes: 10,
-        })
+        Self::builder()
+            .build()
+            .expect("default session configuration is valid")
     }
 
     pub fn with_dfs_config(cfg: DfsConfig) -> HiveSession {
-        let dfs = Dfs::new(cfg);
-        let metastore = Metastore::new(dfs.clone());
-        HiveSession {
-            dfs,
-            conf: HiveConf::new(),
-            metastore,
-        }
+        Self::builder()
+            .dfs_config(cfg)
+            .build()
+            .expect("default session configuration is valid")
     }
 
     /// The session configuration (mirrors `SET key=value`).
@@ -62,10 +170,18 @@ impl HiveSession {
         &mut self.conf
     }
 
-    /// `SET key=value`.
+    /// `SET key=value` without validation (compatibility shim; bad keys
+    /// surface from the next statement). Prefer [`HiveSession::try_set`].
     pub fn set(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
         self.conf.set(key, value);
         self
+    }
+
+    /// Validated `SET key=value`: unknown knobs fail with near-miss
+    /// suggestions, ill-typed values fail with the constraint violated.
+    pub fn try_set(&mut self, key: &str, value: impl Into<String>) -> Result<&mut Self> {
+        self.conf.try_set(key, value)?;
+        Ok(self)
     }
 
     pub fn dfs(&self) -> &Dfs {
@@ -76,9 +192,19 @@ impl HiveSession {
         &self.metastore
     }
 
+    /// The session's metrics registry (shared handle; clone to sink).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A sorted point-in-time copy of every metric recorded so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
     /// Execute one HiveQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        run_statement(sql, &self.dfs, &self.conf, &self.metastore)
+        run_statement(sql, &self.dfs, &self.conf, &self.metastore, &self.metrics)
     }
 
     /// Bulk-load rows into a table (one new file per call), applying the
@@ -91,9 +217,8 @@ impl HiveSession {
         let part = self.metastore.table_files(table).len();
         let path = format!("{}part-{part:05}", info.location);
         let memory = MemoryManager::for_task_memory(
-            self.conf.get_i64(hive_common::config::keys::TASK_MEMORY)? as u64,
-            self.conf
-                .get_f64(hive_common::config::keys::ORC_MEMORY_POOL)?,
+            self.conf.get_i64(keys::TASK_MEMORY)? as u64,
+            self.conf.get_f64(keys::ORC_MEMORY_POOL)?,
         );
         let mut w = create_writer(
             &self.dfs,
@@ -130,6 +255,7 @@ impl HiveSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hive_common::config::knobs;
     use hive_common::Value;
 
     fn loaded_session() -> HiveSession {
@@ -224,6 +350,21 @@ mod tests {
     }
 
     #[test]
+    fn explain_analyze_reports_runtime_profile() {
+        let mut hive = loaded_session();
+        let r = hive
+            .execute("EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t WHERE v >= 0 GROUP BY k")
+            .unwrap();
+        let text = r.explain.unwrap();
+        assert!(text.contains("== Runtime Profile =="), "{text}");
+        assert!(text.contains("map operators:"), "{text}");
+        assert!(text.contains("rows_in="), "{text}");
+        assert!(!r.report.jobs.is_empty(), "analyze actually executed");
+        // Rows are discarded: the report text is the output.
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
     fn describe_lists_columns_and_types() {
         let mut hive = loaded_session();
         let r = hive.execute("DESCRIBE t").unwrap();
@@ -240,5 +381,74 @@ mod tests {
         assert!(hive.execute("SELECT nope FROM t").is_err());
         assert!(hive.execute("SELECT k FROM missing").is_err());
         assert!(hive.execute("CREATE TABLE t (a BIGINT)").is_err());
+    }
+
+    #[test]
+    fn builder_validates_overrides_eagerly() {
+        let err = HiveSession::builder()
+            .set("hive.exec.paralel", "true")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, HiveError::UnknownKnob { .. }), "{err}");
+        assert!(err.to_string().contains("hive.exec.parallel"), "{err}");
+        // Range violations caught at build even for typed writes.
+        let err = HiveSession::builder()
+            .knob(knobs::DFS_FAULT_READ_ERROR_RATE, 2.0)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("dfs.fault.read.error.rate"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_set_rejects_bad_values_but_set_defers() {
+        let mut hive = HiveSession::in_memory();
+        assert!(hive.try_set("hive.exec.parallel", "maybe").is_err());
+        // The unvalidated shim stores anything; the next statement fails.
+        hive.set("hive.exec.parallel", "maybe");
+        assert!(hive.execute("DESCRIBE t").is_err());
+    }
+
+    #[test]
+    fn session_metrics_accumulate_across_statements() {
+        let mut hive = loaded_session();
+        hive.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+            .unwrap();
+        hive.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+            .unwrap();
+        let snap = hive.metrics_snapshot();
+        assert!(snap.counter("query.count", &[]).unwrap() >= 2);
+        assert!(snap.counter("exec.rows_out", &[]).unwrap() > 0);
+        assert!(snap.counter("dfs.bytes_read", &[]).unwrap() > 0);
+    }
+
+    #[test]
+    fn query_result_carries_trace() {
+        let mut hive = loaded_session();
+        let r = hive
+            .execute("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let trace = &r.metrics.trace;
+        let root = trace.root().expect("trace has a query span");
+        assert_eq!(root.kind, hive_obs::SpanKind::Query);
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.kind == hive_obs::SpanKind::Operator),
+            "{}",
+            trace.render()
+        );
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.kind == hive_obs::SpanKind::Task && s.attr("attempts").is_some()),
+            "{}",
+            trace.render()
+        );
     }
 }

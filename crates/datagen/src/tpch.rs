@@ -256,7 +256,7 @@ pub fn load(session: &mut hive_core::HiveSession, sf: f64, seed: u64) -> Result<
 fn default_format(session: &hive_core::HiveSession) -> hive_formats::FormatKind {
     session
         .conf()
-        .get("hive.default.fileformat")
+        .get_raw("hive.default.fileformat")
         .and_then(|s| hive_formats::FormatKind::parse(s).ok())
         .unwrap_or(hive_formats::FormatKind::Orc)
 }

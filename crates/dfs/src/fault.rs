@@ -160,7 +160,7 @@ fn unit_rate(conf: &HiveConf, key: &str) -> Result<f64> {
 
 fn node_list(conf: &HiveConf, key: &str) -> Result<Vec<NodeId>> {
     let raw = conf
-        .get(key)
+        .get_raw(key)
         .ok_or_else(|| HiveError::Config(format!("unknown property `{key}`")))?;
     raw.split(',')
         .map(str::trim)

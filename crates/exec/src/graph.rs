@@ -8,7 +8,9 @@
 //! the Correlation Optimizer runs, a MuxOperator can have several parents.
 
 use hive_common::{HiveError, Result, Row, Value};
+use hive_obs::OpProfile;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// A message flowing between operators (or from the task driver).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,11 +61,22 @@ pub trait Operator: Send {
 }
 
 /// An operator DAG with tagged edges.
+///
+/// The graph profiles itself as it runs: per-operator rows in/out and CPU
+/// time, exported as [`OpProfile`]s for `EXPLAIN ANALYZE`. (Under the
+/// deterministic clock the engine replaces the measured CPU with the
+/// per-row constant, so profiles stay reproducible.)
 pub struct OperatorGraph {
     ops: Vec<Box<dyn Operator>>,
     /// `edges[op][slot] = (child, tag_override)`.
     edges: Vec<Vec<(usize, Option<usize>)>>,
     closed: Vec<bool>,
+    /// Row messages received, per operator.
+    rows_in: Vec<u64>,
+    /// Rows sent downstream (children + shuffle + output), per operator.
+    rows_out: Vec<u64>,
+    /// Measured nanoseconds in `receive`/`close`, per operator.
+    cpu_ns: Vec<u64>,
 }
 
 // The parallel task runtime moves whole pipelines onto pool workers, so the
@@ -84,6 +97,9 @@ impl OperatorGraph {
             ops: Vec::new(),
             edges: Vec::new(),
             closed: Vec::new(),
+            rows_in: Vec::new(),
+            rows_out: Vec::new(),
+            cpu_ns: Vec::new(),
         }
     }
 
@@ -91,6 +107,9 @@ impl OperatorGraph {
         self.ops.push(op);
         self.edges.push(Vec::new());
         self.closed.push(false);
+        self.rows_in.push(0);
+        self.rows_out.push(0);
+        self.cpu_ns.push(0);
         self.ops.len() - 1
     }
 
@@ -146,7 +165,12 @@ impl OperatorGraph {
         output: &mut dyn FnMut(Row),
     ) -> Result<()> {
         while let Some((op_id, msg)) = queue.pop_front() {
+            if matches!(msg, Message::Row { .. }) {
+                self.rows_in[op_id] += 1;
+            }
+            let start = Instant::now();
             let emits = self.ops[op_id].receive(msg)?;
+            self.cpu_ns[op_id] += start.elapsed().as_nanos() as u64;
             self.dispatch(op_id, emits, queue, shuffle, output)?;
         }
         Ok(())
@@ -169,15 +193,27 @@ impl OperatorGraph {
                                 "operator #{op_id} has no child slot {child_slot}"
                             ))
                         })?;
+                    if matches!(msg, Message::Row { .. }) {
+                        self.rows_out[op_id] += 1;
+                    }
                     queue.push_back((child, apply_tag(msg, tag_override)));
                 }
                 Emit::Broadcast(msg) => {
+                    if matches!(msg, Message::Row { .. }) {
+                        self.rows_out[op_id] += self.edges[op_id].len() as u64;
+                    }
                     for &(child, tag_override) in &self.edges[op_id] {
                         queue.push_back((child, apply_tag(msg.clone(), tag_override)));
                     }
                 }
-                Emit::Shuffle(rec) => shuffle(rec),
-                Emit::Output(row) => output(row),
+                Emit::Shuffle(rec) => {
+                    self.rows_out[op_id] += 1;
+                    shuffle(rec);
+                }
+                Emit::Output(row) => {
+                    self.rows_out[op_id] += 1;
+                    output(row);
+                }
             }
         }
         Ok(())
@@ -195,7 +231,9 @@ impl OperatorGraph {
                 continue;
             }
             self.closed[op_id] = true;
+            let start = Instant::now();
             let emits = self.ops[op_id].close()?;
+            self.cpu_ns[op_id] += start.elapsed().as_nanos() as u64;
             let mut queue = VecDeque::new();
             self.dispatch(op_id, emits, &mut queue, shuffle, output)?;
             self.run(&mut queue, shuffle, output)?;
@@ -226,6 +264,20 @@ impl OperatorGraph {
             return Err(HiveError::Plan("operator graph has a cycle".into()));
         }
         Ok(order)
+    }
+
+    /// Per-operator runtime profiles collected so far, by operator index.
+    pub fn profiles(&self) -> Vec<OpProfile> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| OpProfile {
+                name: op.name(),
+                rows_in: self.rows_in[i],
+                rows_out: self.rows_out[i],
+                cpu_ns: self.cpu_ns[i],
+            })
+            .collect()
     }
 
     /// Number of parents of each operator (MuxOperator setup needs this).
@@ -352,6 +404,36 @@ mod tests {
         )
         .unwrap();
         g.finish(&mut |_| {}, &mut |_| {}).unwrap();
+    }
+
+    #[test]
+    fn profiles_count_rows_through_the_graph() {
+        let mut g = OperatorGraph::new();
+        let a = g.add(Box::new(Tagger(1)));
+        let s = g.add(Box::new(Sink));
+        g.connect(a, s, None);
+        let mut out = Vec::new();
+        for i in 0..3 {
+            g.push(
+                a,
+                Message::Row {
+                    row: Row::new(vec![Value::Int(i)]),
+                    tag: 0,
+                },
+                &mut |_| {},
+                &mut |r| out.push(r),
+            )
+            .unwrap();
+        }
+        g.finish(&mut |_| {}, &mut |_| {}).unwrap();
+        let profiles = g.profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name, "Tagger(1)");
+        assert_eq!(profiles[0].rows_in, 3);
+        assert_eq!(profiles[0].rows_out, 3);
+        assert_eq!(profiles[1].rows_in, 3);
+        assert_eq!(profiles[1].rows_out, 3); // Sink emits Output rows
+        assert_eq!(out.len(), 3);
     }
 
     #[test]

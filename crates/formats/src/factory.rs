@@ -81,7 +81,7 @@ pub fn create_writer(
 ) -> Result<Box<dyn TableWriter>> {
     let compression = match opts.compression {
         Some(c) => c,
-        None => Compression::parse(conf.get(keys::ORC_COMPRESS).unwrap_or("none"))?,
+        None => Compression::parse(conf.get_raw(keys::ORC_COMPRESS).unwrap_or("none"))?,
     };
     Ok(match opts.format {
         FormatKind::Text => Box::new(TextWriter::create(dfs, path)),

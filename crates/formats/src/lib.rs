@@ -38,6 +38,24 @@ pub trait TableWriter {
     }
 }
 
+/// Input-side read statistics a reader can report for observability:
+/// how much of the file the format's indexes let it *not* read, and how
+/// many rows corrupt-data salvage dropped. Formats without stripes or
+/// indexes report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Stripes in the file overlapping this reader's split.
+    pub stripes_total: u64,
+    /// Stripes actually read after stripe-level pruning.
+    pub stripes_read: u64,
+    /// Row index groups considered.
+    pub groups_total: u64,
+    /// Row index groups read after predicate-pushdown skipping.
+    pub groups_read: u64,
+    /// Rows dropped by corrupt-data degradation.
+    pub rows_skipped: u64,
+}
+
 /// A row-at-a-time reader over one file. Projection is applied by the
 /// reader: returned rows contain exactly the projected columns, in
 /// projection order.
@@ -71,5 +89,11 @@ pub trait TableReader {
     /// support never skip anything.
     fn rows_skipped(&self) -> u64 {
         0
+    }
+
+    /// Read-side statistics (stripe/index-group pruning, salvage). Only
+    /// ORC reports non-zero values; other formats use the default.
+    fn read_stats(&self) -> ReadStats {
+        ReadStats::default()
     }
 }

@@ -865,6 +865,16 @@ impl TableReader for OrcReader {
     fn rows_skipped(&self) -> u64 {
         self.counters.rows_skipped
     }
+
+    fn read_stats(&self) -> crate::ReadStats {
+        crate::ReadStats {
+            stripes_total: self.counters.stripes_total,
+            stripes_read: self.counters.stripes_read,
+            groups_total: self.counters.groups_total,
+            groups_read: self.counters.groups_read,
+            rows_skipped: self.counters.rows_skipped,
+        }
+    }
 }
 
 /// Copy `n` values of a decoded column into a column vector, handling nulls

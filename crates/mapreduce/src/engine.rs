@@ -6,9 +6,12 @@ use hive_common::{config::keys, HiveConf, HiveError, Result, Row, Value};
 use hive_dfs::{Dfs, IoScope, IoSnapshot};
 use hive_exec::graph::{Message, ShuffleRecord};
 use hive_formats::{open_reader, ReadOptions, TableWriter};
-use hive_vector::VectorizedRowBatch;
+use hive_obs::profile::merge_profiles;
+use hive_obs::{ExecCounters, OpProfile, ScanProfile, TaskPhase, TaskTrace};
+use hive_vector::{VectorPipelineProfile, VectorizedRowBatch};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
@@ -20,6 +23,13 @@ use std::time::Instant;
 const DETERMINISTIC_CPU_S_PER_ROW: f64 = 2.0e-6;
 
 /// Execution summary of one job.
+///
+/// All additive counters live in one [`ExecCounters`] block (reachable
+/// through `Deref`, so `report.cpu_seconds` still reads naturally);
+/// [`DagReport::accumulate_job`] is a derived field-wise merge instead of
+/// a hand-maintained per-field sum. The report also carries the job's
+/// observability payload: merged per-operator profiles, the input-side
+/// scan profile, and one [`TaskTrace`] per task.
 #[derive(Debug, Clone, Default)]
 pub struct JobReport {
     pub name: String,
@@ -30,42 +40,60 @@ pub struct JobReport {
     /// Simulated elapsed seconds of shuffle + Reduce.
     pub sim_reduce_s: f64,
     pub sim_total_s: f64,
-    /// Measured CPU seconds across all tasks (the paper's "cumulative CPU
-    /// time", Fig. 12b).
-    pub cpu_seconds: f64,
-    pub bytes_read: u64,
-    pub bytes_shuffled: u64,
-    pub bytes_written: u64,
-    pub shuffle_records: u64,
-    pub rows_out: u64,
-    /// Task attempts actually run: first attempts + retries + speculative
-    /// duplicates.
-    pub task_attempts: u64,
-    /// Attempts beyond the first caused by failures (panic or retryable
-    /// error).
-    pub task_retries: u64,
-    /// Speculative duplicate attempts launched for straggling map tasks.
-    pub speculative_tasks: u64,
-    /// Rows dropped by corrupt-data degradation
-    /// (`hive.exec.orc.skip.corrupt.data`).
-    pub rows_skipped: u64,
+    /// Additive execution counters (CPU, bytes, attempts, ...).
+    pub counters: ExecCounters,
+    /// Input-side scan profile: reader rows/batches, vectorized
+    /// selected-lane flow, ORC stripe/index-group pruning.
+    pub scan: ScanProfile,
+    /// Map-side operator profiles, merged across tasks by operator index.
+    pub map_operators: Vec<OpProfile>,
+    /// Reduce-side operator profiles, merged across tasks.
+    pub reduce_operators: Vec<OpProfile>,
+    /// One record per task (map then reduce, by index): winning node,
+    /// attempts launched, simulated duration.
+    pub tasks: Vec<TaskTrace>,
+}
+
+impl Deref for JobReport {
+    type Target = ExecCounters;
+    fn deref(&self) -> &ExecCounters {
+        &self.counters
+    }
+}
+
+impl DerefMut for JobReport {
+    fn deref_mut(&mut self) -> &mut ExecCounters {
+        &mut self.counters
+    }
 }
 
 /// One finished job: its report and collected output rows.
 type JobRun = (JobReport, Vec<Row>);
 
-/// Execution summary of a job DAG (one query).
+/// Execution summary of a job DAG (one query). Counters are the
+/// field-wise sum of every job's [`ExecCounters`] (so `rows_out` counts
+/// every job's output rows, including intermediate ones).
 #[derive(Debug, Clone, Default)]
 pub struct DagReport {
     pub jobs: Vec<JobReport>,
     pub sim_total_s: f64,
-    pub cpu_seconds: f64,
-    pub task_attempts: u64,
-    pub task_retries: u64,
-    pub speculative_tasks: u64,
-    pub rows_skipped: u64,
+    /// Additive counters summed over all jobs.
+    pub counters: ExecCounters,
     /// Nodes blacklisted from replica selection during this DAG (sorted).
     pub blacklisted_nodes: Vec<usize>,
+}
+
+impl Deref for DagReport {
+    type Target = ExecCounters;
+    fn deref(&self) -> &ExecCounters {
+        &self.counters
+    }
+}
+
+impl DerefMut for DagReport {
+    fn deref_mut(&mut self) -> &mut ExecCounters {
+        &mut self.counters
+    }
 }
 
 /// The engine. Jobs execute for real; elapsed time is simulated.
@@ -157,6 +185,10 @@ struct MapTaskResult {
     node: usize,
     /// Rows the reader dropped under corrupt-data degradation.
     rows_skipped: u64,
+    /// Per-operator profiles of this task's operator graph.
+    op_profiles: Vec<OpProfile>,
+    /// Input-side scan profile (reader + vectorized pipeline).
+    scan: ScanProfile,
 }
 
 /// What one reduce task hands back to the engine.
@@ -166,6 +198,8 @@ struct ReduceTaskResult {
     io: IoSnapshot,
     cpu_seconds: f64,
     shuffle_bytes: u64,
+    /// Per-operator profiles of this task's operator graph.
+    op_profiles: Vec<OpProfile>,
 }
 
 impl MrEngine {
@@ -202,6 +236,19 @@ impl MrEngine {
         } else {
             measured_s
         }
+    }
+
+    /// Operator profiles with measured CPU replaced by the deterministic
+    /// per-row constant when `hive.exec.sim.deterministic.cpu` is on, so
+    /// `EXPLAIN ANALYZE` output is bit-identical across runs and
+    /// worker-thread counts.
+    fn finalize_profiles(&self, mut profiles: Vec<OpProfile>) -> Vec<OpProfile> {
+        if self.deterministic_cpu() {
+            for p in &mut profiles {
+                p.cpu_ns = (p.rows_in as f64 * DETERMINISTIC_CPU_S_PER_ROW * 1e9) as u64;
+            }
+        }
+        profiles
     }
 
     /// Per-phase retry budget from `mapred.{map,reduce}.max.attempts`.
@@ -409,12 +456,11 @@ impl MrEngine {
         Ok((report, last_rows))
     }
 
+    /// Derived, not hand-maintained: every field of [`ExecCounters`] is
+    /// summed by the macro-generated merge, so a counter added to the
+    /// block aggregates here automatically.
     fn accumulate_job(report: &mut DagReport, jr: &JobReport) {
-        report.cpu_seconds += jr.cpu_seconds;
-        report.task_attempts += jr.task_attempts;
-        report.task_retries += jr.task_retries;
-        report.speculative_tasks += jr.speculative_tasks;
-        report.rows_skipped += jr.rows_skipped;
+        report.counters.merge(&jr.counters);
     }
 
     /// [`run_job`](Self::run_job) with engine-level panics (outside the
@@ -669,7 +715,7 @@ impl MrEngine {
         let mut partitions: Vec<Vec<ShuffleRecord>> =
             (0..num_reducers).map(|_| Vec::new()).collect();
         let mut collected: Vec<Row> = Vec::new();
-        for (res, meta) in winners {
+        for (i, (res, meta)) in winners.into_iter().enumerate() {
             for (p, mut recs) in res.partitions.into_iter().enumerate() {
                 partitions[p].append(&mut recs);
             }
@@ -681,6 +727,15 @@ impl MrEngine {
             report.rows_skipped += res.rows_skipped;
             report.task_attempts += meta.attempts as u64;
             report.task_retries += meta.attempts.saturating_sub(1) as u64;
+            merge_profiles(&mut report.map_operators, &res.op_profiles);
+            report.scan.merge(&res.scan);
+            report.tasks.push(TaskTrace {
+                phase: TaskPhase::Map,
+                index: i,
+                node: Some(res.node),
+                attempts: meta.attempts,
+                sim_s: map_durations[i],
+            });
         }
         report.task_attempts += speculative_launched;
         report.speculative_tasks += speculative_launched;
@@ -708,12 +763,13 @@ impl MrEngine {
                 drop(guard);
                 self.run_reduce_task(spec, reduce_factory, r, partition)
             });
-            for outcome in reduce_outcomes {
+            for (r, outcome) in reduce_outcomes.into_iter().enumerate() {
                 let overhead_s = self.retry_overhead_seconds(&outcome);
                 report.task_attempts += outcome.attempts as u64;
                 report.task_retries += outcome.attempts.saturating_sub(1) as u64;
                 report.cpu_seconds += self.task_cpu(outcome.failed_wall_s, 0);
                 report.bytes_read += outcome.failed_io.bytes_read();
+                let attempts = outcome.attempts;
                 let res = outcome.result?;
                 report.bytes_shuffled += res.shuffle_bytes;
                 collected.extend(res.task_out);
@@ -729,11 +785,18 @@ impl MrEngine {
                 report.cpu_seconds += res.cpu_seconds;
                 report.bytes_read += res.io.bytes_read();
                 report.bytes_written += res.written;
-                reduce_durations.push(
-                    self.cost.task_seconds(&work)
-                        + self.cost.shuffle_seconds(res.shuffle_bytes)
-                        + overhead_s,
-                );
+                merge_profiles(&mut report.reduce_operators, &res.op_profiles);
+                let sim_s = self.cost.task_seconds(&work)
+                    + self.cost.shuffle_seconds(res.shuffle_bytes)
+                    + overhead_s;
+                report.tasks.push(TaskTrace {
+                    phase: TaskPhase::Reduce,
+                    index: r,
+                    node: None,
+                    attempts,
+                    sim_s,
+                });
+                reduce_durations.push(sim_s);
             }
         }
         report.sim_reduce_s = self.cost.schedule(&reduce_durations);
@@ -865,6 +928,24 @@ impl MrEngine {
         }
 
         let rows_skipped = reader.rows_skipped();
+        let read_stats = reader.read_stats();
+        let vector_profile = pipeline
+            .vector
+            .get(&split.input.alias)
+            .map(|stage| stage.pipeline.profile())
+            .unwrap_or_else(VectorPipelineProfile::default);
+        let scan = ScanProfile {
+            rows_read: rows_processed,
+            batches: vector_profile.batches,
+            vector_rows_in: vector_profile.rows_in,
+            vector_rows_out: vector_profile.rows_out,
+            stripes_total: read_stats.stripes_total,
+            stripes_read: read_stats.stripes_read,
+            groups_total: read_stats.groups_total,
+            groups_read: read_stats.groups_read,
+            rows_salvaged: read_stats.rows_skipped,
+        };
+        let op_profiles = self.finalize_profiles(pipeline.graph.profiles());
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
         Ok(MapTaskResult {
@@ -876,6 +957,8 @@ impl MrEngine {
             shuffle_records,
             node,
             rows_skipped,
+            op_profiles,
+            scan,
         })
     }
 
@@ -956,6 +1039,7 @@ impl MrEngine {
             }
         }
 
+        let op_profiles = self.finalize_profiles(graph.profiles());
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
         Ok(ReduceTaskResult {
@@ -964,6 +1048,7 @@ impl MrEngine {
             io: scope.snapshot(),
             cpu_seconds,
             shuffle_bytes,
+            op_profiles,
         })
     }
 

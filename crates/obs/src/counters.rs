@@ -1,0 +1,132 @@
+//! The `counters!` macro and the [`ExecCounters`] block it generates.
+//!
+//! PRs 1–2 grew `JobReport`/`DagReport` one hand-maintained field at a
+//! time, with `accumulate_job` updated in lockstep by hand. The macro
+//! derives the merge and the name/value enumeration from a single field
+//! list, so a counter added in one place is aggregated and exported
+//! everywhere automatically.
+
+/// Generate a counter-block struct: plain public fields, a field-wise
+/// [`merge`](ExecCounters::merge), and [`entries`](ExecCounters::entries)
+/// listing `(name, value)` pairs for export into a metrics registry.
+///
+/// ```
+/// use hive_obs::counters;
+/// counters! {
+///     /// Demo block.
+///     pub struct Demo {
+///         /// Rows seen.
+///         rows: u64,
+///         /// Seconds charged.
+///         secs: f64,
+///     }
+/// }
+/// let mut a = Demo { rows: 1, secs: 0.5 };
+/// a.merge(&Demo { rows: 2, secs: 0.25 });
+/// assert_eq!(a.rows, 3);
+/// assert_eq!(a.entries()[0].0, "rows");
+/// ```
+#[macro_export]
+macro_rules! counters {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                $field:ident : $ty:ty
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq)]
+        pub struct $name {
+            $(
+                $(#[$fmeta])*
+                pub $field: $ty,
+            )*
+        }
+
+        impl $name {
+            /// Field-wise accumulate `other` into `self`.
+            pub fn merge(&mut self, other: &$name) {
+                $( self.$field += other.$field; )*
+            }
+
+            /// `(field name, value)` pairs in declaration order.
+            pub fn entries(&self) -> Vec<(&'static str, $crate::metrics::MetricValue)> {
+                vec![
+                    $( (stringify!($field), $crate::metrics::MetricValue::from(self.$field)), )*
+                ]
+            }
+        }
+    };
+}
+
+counters! {
+    /// The execution counters shared by `JobReport` and `DagReport`.
+    /// One declaration drives the struct, the merge used by
+    /// `DagReport::accumulate_job`, and the registry export.
+    pub struct ExecCounters {
+        /// Simulated CPU seconds charged by the cost model.
+        cpu_seconds: f64,
+        /// Bytes read from the DFS (local + remote).
+        bytes_read: u64,
+        /// Bytes moved through the shuffle.
+        bytes_shuffled: u64,
+        /// Bytes written back to the DFS.
+        bytes_written: u64,
+        /// Records emitted into the shuffle.
+        shuffle_records: u64,
+        /// Rows produced by the final stage.
+        rows_out: u64,
+        /// Task attempts launched (including retries + speculation).
+        task_attempts: u64,
+        /// Attempts that were retries after a failure.
+        task_retries: u64,
+        /// Speculative (backup) attempts launched.
+        speculative_tasks: u64,
+        /// Rows dropped by corrupt-record skipping.
+        rows_skipped: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricValue;
+
+    #[test]
+    fn merge_is_field_wise() {
+        let mut a = ExecCounters {
+            cpu_seconds: 1.0,
+            bytes_read: 10,
+            task_attempts: 2,
+            ..Default::default()
+        };
+        let b = ExecCounters {
+            cpu_seconds: 0.5,
+            bytes_read: 5,
+            task_retries: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cpu_seconds, 1.5);
+        assert_eq!(a.bytes_read, 15);
+        assert_eq!(a.task_attempts, 2);
+        assert_eq!(a.task_retries, 1);
+    }
+
+    #[test]
+    fn entries_cover_every_field_in_order() {
+        let c = ExecCounters {
+            cpu_seconds: 2.0,
+            rows_out: 7,
+            ..Default::default()
+        };
+        let entries = c.entries();
+        assert_eq!(entries.len(), 10);
+        assert_eq!(entries[0], ("cpu_seconds", MetricValue::F64(2.0)));
+        assert!(entries.contains(&("rows_out", MetricValue::U64(7))));
+        assert_eq!(entries.last().unwrap().0, "rows_skipped");
+    }
+}

@@ -1,0 +1,497 @@
+//! Minimal JSON: deterministic rendering, a small parser, and a structural
+//! schema validator.
+//!
+//! The workspace builds offline (no serde); this module is just enough
+//! JSON to emit stable-schema metrics snapshots, read them back in tests,
+//! and validate them against the checked-in schema under `results/`.
+
+use hive_common::{HiveError, Result};
+
+/// A JSON value. Objects preserve insertion order, so a caller inserting
+/// keys in a deterministic order gets byte-identical rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers render without a decimal point (counters).
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Append a field to an object (panics on non-objects: builder misuse).
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Object(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+        self
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 when it is an unsigned (or non-negative) integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The JSON type name used by the schema validator.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::U64(_) | Json::I64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Compact, deterministic rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation (deterministic).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(n) => out.push_str(&render_f64(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Deterministic float rendering: Rust's shortest-roundtrip `Display`,
+/// forced to carry a decimal point so the value re-parses as a float.
+fn render_f64(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; nulls would break the schema, so clamp.
+        return "0.0".to_string();
+    }
+    let s = format!("{n}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document (strict enough for snapshots and schemas).
+pub fn parse(src: &str) -> Result<Json> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut p = Parser { src: bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    src: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> HiveError {
+        HiveError::SerDe(format!("json: {msg} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.error(&format!("expected `{c}`")))
+        }
+    }
+
+    fn lit(&mut self, word: &str, value: Json) -> Result<Json> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.lit("true", Json::Bool(true)),
+            Some('f') => self.lit("false", Json::Bool(false)),
+            Some('n') => self.lit("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Object(fields)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `}`"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected `,` or `]`"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.error("bad escape")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.src[start..self.pos].iter().collect();
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+/// Validate `value` against a structural schema (a subset of JSON Schema:
+/// `type`, `required`, `properties`, `items`, `additionalProperties`).
+/// Returns the first violation with its path.
+pub fn validate(value: &Json, schema: &Json) -> std::result::Result<(), String> {
+    validate_at(value, schema, "$")
+}
+
+fn validate_at(value: &Json, schema: &Json, path: &str) -> std::result::Result<(), String> {
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            Json::Str(s) => vec![s.as_str()],
+            Json::Array(items) => items.iter().filter_map(|t| t.as_str()).collect(),
+            _ => return Err(format!("{path}: schema `type` must be a string or array")),
+        };
+        let actual = value.type_name();
+        // JSON Schema semantics: every integer is also a number.
+        let matches = allowed
+            .iter()
+            .any(|t| *t == actual || (*t == "number" && actual == "integer"));
+        if !matches {
+            return Err(format!("{path}: expected type {allowed:?}, got {actual}"));
+        }
+    }
+    if let (Some(req), Json::Object(_)) = (schema.get("required"), value) {
+        for name in req.as_array().unwrap_or(&[]) {
+            if let Some(name) = name.as_str() {
+                if value.get(name).is_none() {
+                    return Err(format!("{path}: missing required field `{name}`"));
+                }
+            }
+        }
+    }
+    if let Json::Object(fields) = value {
+        let props = schema.get("properties");
+        let extra = schema.get("additionalProperties");
+        for (k, v) in fields {
+            let sub = props.and_then(|p| p.get(k)).or(extra);
+            if let Some(sub) = sub {
+                validate_at(v, sub, &format!("{path}.{k}"))?;
+            }
+        }
+    }
+    if let (Json::Array(items), Some(item_schema)) = (value, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate_at(item, item_schema, &format!("{path}[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let mut obj = Json::obj();
+        obj.push("n", Json::U64(42));
+        obj.push("neg", Json::I64(-7));
+        obj.push("f", Json::F64(1.5));
+        obj.push("s", Json::Str("a\"b\\c\n".into()));
+        obj.push("arr", Json::Array(vec![Json::Bool(true), Json::Null]));
+        let text = obj.render();
+        assert_eq!(parse(&text).unwrap(), obj);
+        let pretty = obj.render_pretty();
+        assert_eq!(parse(&pretty).unwrap(), obj);
+    }
+
+    #[test]
+    fn floats_render_with_decimal_point() {
+        assert_eq!(Json::F64(3.0).render(), "3.0");
+        assert_eq!(Json::F64(0.25).render(), "0.25");
+        // Rendering is stable: same value, same bytes.
+        assert_eq!(Json::F64(1.0 / 3.0).render(), Json::F64(1.0 / 3.0).render());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn schema_validates_structure() {
+        let schema = parse(
+            r#"{"type":"object","required":["a"],"properties":{
+                "a":{"type":"integer"},
+                "b":{"type":"array","items":{"type":"string"}}}}"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"a":1,"b":["x","y"]}"#).unwrap();
+        assert!(validate(&good, &schema).is_ok());
+        let missing = parse(r#"{"b":[]}"#).unwrap();
+        assert!(validate(&missing, &schema).unwrap_err().contains("a"));
+        let wrong = parse(r#"{"a":1,"b":[3]}"#).unwrap();
+        assert!(validate(&wrong, &schema).unwrap_err().contains("b[0]"));
+    }
+
+    #[test]
+    fn integer_counts_as_number() {
+        let schema = parse(r#"{"type":"number"}"#).unwrap();
+        assert!(validate(&Json::U64(3), &schema).is_ok());
+        assert!(validate(&Json::F64(3.5), &schema).is_ok());
+    }
+}

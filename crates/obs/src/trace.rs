@@ -1,0 +1,291 @@
+//! Structured trace spans: query → plan phase → DAG stage → job → task
+//! attempt → operator.
+//!
+//! A [`Trace`] is an append-only list of [`SpanRecord`]s forming a tree by
+//! parent id. The runtime builds it after execution from deterministic
+//! inputs (reports, profiles, simulated times), so the same query under
+//! the deterministic clock yields an identical trace regardless of how
+//! many worker threads ran the tasks.
+
+use crate::json::Json;
+use std::fmt;
+
+/// What level of the execution hierarchy a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole statement, root of the trace.
+    Query,
+    /// A planning phase (parse, optimize, compile).
+    PlanPhase,
+    /// A DAG stage (a set of jobs that run as one wave).
+    Stage,
+    /// One MapReduce job.
+    Job,
+    /// One task (map or reduce), aggregated over its attempts.
+    Task,
+    /// One operator inside a task's operator graph.
+    Operator,
+}
+
+impl SpanKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::PlanPhase => "plan_phase",
+            SpanKind::Stage => "stage",
+            SpanKind::Job => "job",
+            SpanKind::Task => "task",
+            SpanKind::Operator => "operator",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> AttrValue {
+        AttrValue::U64(n)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> AttrValue {
+        AttrValue::F64(n)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> AttrValue {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> AttrValue {
+        AttrValue::Str(s)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::U64(n) => Json::U64(*n),
+            AttrValue::F64(n) => Json::F64(*n),
+            AttrValue::Str(s) => Json::Str(s.clone()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            AttrValue::U64(n) => n.to_string(),
+            AttrValue::F64(n) => format!("{n:.6}"),
+            AttrValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// One node of the trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Index into [`Trace::spans`]; stable within one trace.
+    pub id: u32,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u32>,
+    pub kind: SpanKind,
+    pub name: String,
+    /// Simulated duration in seconds (0.0 when not applicable).
+    pub sim_s: f64,
+    /// Attributes in insertion order (deterministic: built single-threaded).
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// An execution trace: a tree of spans stored flat, built after the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Append a span; returns its id for use as a parent.
+    pub fn span(&mut self, parent: Option<u32>, kind: SpanKind, name: &str, sim_s: f64) -> u32 {
+        let id = self.spans.len() as u32;
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            kind,
+            name: name.to_string(),
+            sim_s,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach an attribute to an existing span.
+    pub fn attr(&mut self, span: u32, key: &str, value: impl Into<AttrValue>) {
+        self.spans[span as usize]
+            .attrs
+            .push((key.to_string(), value.into()));
+    }
+
+    pub fn find(&self, kind: SpanKind, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.kind == kind && s.name == name)
+    }
+
+    pub fn children(&self, parent: u32) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Indented tree rendering for humans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            self.render_span(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_span(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{} {}", span.kind, span.name));
+        if span.sim_s > 0.0 {
+            out.push_str(&format!(" sim={:.6}s", span.sim_s));
+        }
+        if !span.attrs.is_empty() {
+            let attrs: Vec<String> = span
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.render()))
+                .collect();
+            out.push_str(&format!(" [{}]", attrs.join(" ")));
+        }
+        out.push('\n');
+        for child in self.children(span.id) {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+
+    /// Flat JSON array of spans (parent ids encode the tree).
+    pub fn to_json(&self) -> Json {
+        let mut spans = Vec::new();
+        for s in &self.spans {
+            let mut e = Json::obj();
+            e.push("id", Json::U64(s.id as u64));
+            match s.parent {
+                Some(p) => e.push("parent", Json::U64(p as u64)),
+                None => e.push("parent", Json::Null),
+            };
+            e.push("kind", Json::Str(s.kind.as_str().to_string()));
+            e.push("name", Json::Str(s.name.clone()));
+            e.push("sim_s", Json::F64(s.sim_s));
+            let mut attrs = Json::obj();
+            for (k, v) in &s.attrs {
+                attrs.push(k, v.to_json());
+            }
+            e.push("attrs", attrs);
+            spans.push(e);
+        }
+        Json::Array(spans)
+    }
+}
+
+/// Which phase of a MapReduce job a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    Map,
+    Reduce,
+}
+
+impl TaskPhase {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TaskPhase::Map => "map",
+            TaskPhase::Reduce => "reduce",
+        }
+    }
+}
+
+/// Per-task attempt record the engine hands to the driver so task spans
+/// carry PR 2's retry/speculation/fault story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTrace {
+    pub phase: TaskPhase,
+    /// Task index within its phase.
+    pub index: usize,
+    /// Simulated node the winning attempt ran on, if placement applies.
+    pub node: Option<usize>,
+    /// Attempts launched for this task (1 = clean first try).
+    pub attempts: u32,
+    /// Simulated duration of the winning attempt.
+    pub sim_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_form_a_tree() {
+        let mut t = Trace::new();
+        let q = t.span(None, SpanKind::Query, "select 1", 1.0);
+        let j = t.span(Some(q), SpanKind::Job, "job-0[map+reduce]", 0.5);
+        t.span(Some(j), SpanKind::Task, "map-0", 0.25);
+        t.attr(j, "map_tasks", 4u64);
+        assert_eq!(t.root().unwrap().name, "select 1");
+        assert_eq!(t.children(q).count(), 1);
+        assert_eq!(t.children(j).count(), 1);
+        let job = t.find(SpanKind::Job, "job-0[map+reduce]").unwrap();
+        assert_eq!(job.attr("map_tasks"), Some(&AttrValue::U64(4)));
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut t = Trace::new();
+        let q = t.span(None, SpanKind::Query, "q", 0.0);
+        let j = t.span(Some(q), SpanKind::Job, "j", 0.5);
+        t.span(Some(j), SpanKind::Operator, "Filter", 0.0);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("query q"));
+        assert!(lines[1].starts_with("  job j sim=0.5"));
+        assert!(lines[2].starts_with("    operator Filter"));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut t = Trace::new();
+        let q = t.span(None, SpanKind::Query, "q", 0.0);
+        t.attr(q, "rows", 3u64);
+        let json = t.to_json().render();
+        assert!(json.contains("\"parent\":null"));
+        assert!(json.contains("\"kind\":\"query\""));
+        assert!(json.contains("\"attrs\":{\"rows\":3}"));
+        assert!(crate::json::parse(&json).is_ok());
+    }
+}

@@ -8,8 +8,12 @@ use hive_common::{DataType, Value};
 pub enum Statement {
     Select(SelectStmt),
     CreateTable(CreateTableStmt),
-    /// `EXPLAIN <select>` — plan without executing.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>` — show the plan; with ANALYZE the query
+    /// also runs and the plan is annotated with observed runtime profiles.
+    Explain {
+        analyze: bool,
+        stmt: Box<Statement>,
+    },
     /// `DESCRIBE <table>` — column names and types.
     Describe(String),
 }

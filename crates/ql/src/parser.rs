@@ -104,7 +104,11 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
-            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+            let analyze = self.eat_kw("analyze");
+            return Ok(Statement::Explain {
+                analyze,
+                stmt: Box::new(self.parse_statement()?),
+            });
         }
         if self.peek().is_kw("select") {
             return Ok(Statement::Select(self.parse_select()?));
@@ -763,7 +767,9 @@ mod tests {
     #[test]
     fn explain_wraps() {
         let stmt = parse("EXPLAIN SELECT a FROM t").unwrap();
-        assert!(matches!(stmt, Statement::Explain(_)));
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+        let stmt = parse("EXPLAIN ANALYZE SELECT a FROM t").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]

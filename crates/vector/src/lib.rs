@@ -22,3 +22,4 @@ pub use batch::{
     DEFAULT_BATCH_SIZE,
 };
 pub use expressions::VectorExpression;
+pub use operators::{VectorOperator, VectorPipeline, VectorPipelineProfile};

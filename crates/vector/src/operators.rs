@@ -166,15 +166,40 @@ impl VectorOperator for VectorRowEmitOperator {
     }
 }
 
+/// What a [`VectorPipeline`] observed while running: batch count and the
+/// selected-lane flow before/after the operators (their ratio is the
+/// selected-lane density `EXPLAIN ANALYZE` reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VectorPipelineProfile {
+    /// Batches pushed through the pipeline.
+    pub batches: u64,
+    /// Selected rows entering the pipeline.
+    pub rows_in: u64,
+    /// Selected rows surviving the pipeline's filters.
+    pub rows_out: u64,
+}
+
+impl VectorPipelineProfile {
+    pub fn merge(&mut self, other: &VectorPipelineProfile) {
+        self.batches += other.batches;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+    }
+}
+
 /// A linear vectorized pipeline: run each batch through all operators in
 /// order; rows emitted by any stage flow into `sink`.
 pub struct VectorPipeline {
     pub operators: Vec<Box<dyn VectorOperator>>,
+    profile: VectorPipelineProfile,
 }
 
 impl VectorPipeline {
     pub fn new(operators: Vec<Box<dyn VectorOperator>>) -> VectorPipeline {
-        VectorPipeline { operators }
+        VectorPipeline {
+            operators,
+            profile: VectorPipelineProfile::default(),
+        }
     }
 
     pub fn process(
@@ -182,13 +207,21 @@ impl VectorPipeline {
         batch: &mut VectorizedRowBatch,
         sink: &mut dyn FnMut(Row),
     ) -> Result<()> {
+        self.profile.batches += 1;
+        self.profile.rows_in += batch.size as u64;
         for op in &mut self.operators {
             if batch.size == 0 {
-                return Ok(());
+                break;
             }
             op.process(batch, sink)?;
         }
+        self.profile.rows_out += batch.size as u64;
         Ok(())
+    }
+
+    /// What the pipeline has observed so far.
+    pub fn profile(&self) -> VectorPipelineProfile {
+        self.profile
     }
 
     pub fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {

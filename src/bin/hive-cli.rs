@@ -4,17 +4,43 @@
 //! ```sh
 //! cargo run --release --bin hive-cli              # empty warehouse
 //! cargo run --release --bin hive-cli -- --demo    # preloaded demo tables
+//! cargo run --release --bin hive-cli -- --demo --metrics-json out.json
 //! ```
 //!
 //! Commands besides SQL: `SET key=value;`, `SHOW TABLES;`, `!report`
-//! (last query's execution report), `!quit`.
+//! (last query's execution report), `!metrics` (session metrics so far),
+//! `!quit`. With `--metrics-json <path>` the final registry snapshot is
+//! written to `path` on exit as stable-schema JSON.
 
 use hive::common::{Row, Value};
 use hive::HiveSession;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let demo = std::env::args().any(|a| a == "--demo");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut demo = false;
+    let mut metrics_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => demo = true,
+            "--metrics-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => metrics_json = Some(path.clone()),
+                    None => {
+                        eprintln!("--metrics-json requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (known: --demo, --metrics-json <path>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     let mut hive = HiveSession::in_memory();
     if demo {
         load_demo(&mut hive);
@@ -84,6 +110,10 @@ fn main() {
                 }
                 continue;
             }
+            "!metrics" => {
+                print!("{}", hive.metrics_snapshot().render_text());
+                continue;
+            }
             _ => {}
         }
         buffer.push_str(&line);
@@ -110,8 +140,12 @@ fn main() {
         }
         if let Some(rest) = lower.strip_prefix("set ") {
             if let Some((k, v)) = rest.split_once('=') {
-                hive.set(k.trim(), v.trim().to_string());
-                println!("set {} = {}", k.trim(), v.trim());
+                // Validated: unknown knobs fail here with suggestions
+                // instead of blowing up inside the next query.
+                match hive.try_set(k.trim(), v.trim().to_string()) {
+                    Ok(_) => println!("set {} = {}", k.trim(), v.trim()),
+                    Err(e) => eprintln!("{e}"),
+                }
             } else {
                 eprintln!("usage: SET key=value;");
             }
@@ -136,6 +170,17 @@ fn main() {
                 last_report = Some(result.report);
             }
             Err(e) => eprintln!("{e}"),
+        }
+    }
+
+    if let Some(path) = metrics_json {
+        let json = hive.metrics_snapshot().to_json().render_pretty();
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -42,12 +42,13 @@
 //! ```
 
 pub use hive_common as common;
-pub use hive_core::{HiveSession, Metastore, QueryResult, TableInfo};
+pub use hive_core::{HiveSession, Metastore, QueryMetrics, QueryResult, SessionBuilder, TableInfo};
 pub use hive_datagen as datagen;
 pub use hive_dfs as dfs;
 pub use hive_exec as exec;
 pub use hive_formats as formats;
 pub use hive_mapreduce as mapreduce;
+pub use hive_obs as obs;
 pub use hive_planner as planner;
 pub use hive_ql as ql;
 pub use hive_vector as vector;

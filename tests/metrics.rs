@@ -1,0 +1,220 @@
+//! Observability integration suite: metrics determinism across
+//! worker-thread counts, `EXPLAIN ANALYZE` golden output, knob-registry
+//! error reporting, the `--metrics-json` schema, and the generated README
+//! knob table.
+//!
+//! Regenerate goldens with `UPDATE_GOLDENS=1 cargo test --test metrics`.
+
+use hive::common::config::{knob_table_markdown, knobs};
+use hive::common::{HiveError, Row, Value};
+use hive::obs::json;
+use hive::HiveSession;
+
+/// A session pinned to the deterministic clock and a fixed worker count.
+fn session(threads: u64) -> HiveSession {
+    HiveSession::builder()
+        .knob(knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
+        .knob(knobs::EXEC_WORKER_THREADS, threads)
+        .build()
+        .unwrap()
+}
+
+/// TPC-H-style pair: a fact table and a dimension joined on `cust`.
+fn load_tpch_style(hive: &mut HiveSession) {
+    hive.execute("CREATE TABLE orders (okey BIGINT, cust BIGINT, total DOUBLE) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "orders",
+        (0..4000).map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Double((i % 500) as f64 / 4.0),
+            ])
+        }),
+    )
+    .unwrap();
+    hive.execute("CREATE TABLE customer (cust BIGINT, name STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "customer",
+        (0..100).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("cust-{i:03}"))])),
+    )
+    .unwrap();
+}
+
+const JOIN_AGG: &str = "SELECT customer.name, COUNT(*) AS n, SUM(orders.total) AS revenue \
+     FROM orders JOIN customer ON (orders.cust = customer.cust) \
+     GROUP BY customer.name ORDER BY customer.name";
+
+/// Run a fixed statement sequence and return the final snapshot JSON.
+fn snapshot_json(threads: u64) -> String {
+    let mut hive = session(threads);
+    load_tpch_style(&mut hive);
+    let r = hive.execute(JOIN_AGG).unwrap();
+    assert_eq!(r.rows.len(), 100);
+    hive.execute("SELECT cust, COUNT(*) FROM orders WHERE total > 100.0 GROUP BY cust")
+        .unwrap();
+    hive.metrics_snapshot().to_json().render_pretty()
+}
+
+#[test]
+fn metrics_snapshot_is_byte_identical_across_worker_thread_counts() {
+    let one = snapshot_json(1);
+    let eight = snapshot_json(8);
+    assert_eq!(one, eight, "snapshot depends on worker-thread count");
+    // And across repeated runs at the same width.
+    assert_eq!(one, snapshot_json(1));
+}
+
+#[test]
+fn metrics_snapshot_has_the_expected_counters() {
+    let mut hive = session(2);
+    load_tpch_style(&mut hive);
+    hive.execute(JOIN_AGG).unwrap();
+    let snap = hive.metrics_snapshot();
+    assert!(snap.counter("query.count", &[]).unwrap() >= 1);
+    assert!(snap.counter("exec.rows_out", &[]).unwrap() > 0);
+    assert!(snap.counter("exec.task_attempts", &[]).unwrap() > 0);
+    assert!(snap.counter("dfs.bytes_read", &[]).unwrap() > 0);
+    assert!(snap.gauge("exec.sim_total_s", &[]).unwrap() > 0.0);
+    assert!(snap.histogram("job.sim_total_s", &[]).unwrap().count > 0);
+    // Per-operator counters are labeled by job/phase/op.
+    assert!(
+        snap.counters
+            .keys()
+            .any(|k| k.name == "operator.rows_in" && k.labels.contains_key("phase")),
+        "no labeled operator counters in snapshot"
+    );
+}
+
+#[test]
+fn metrics_json_validates_against_checked_in_schema() {
+    let text = snapshot_json(2);
+    let value = json::parse(&text).expect("snapshot JSON parses");
+    let schema =
+        json::parse(include_str!("../results/metrics.schema.json")).expect("schema parses");
+    json::validate(&value, &schema).expect("snapshot matches results/metrics.schema.json");
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); run UPDATE_GOLDENS=1 cargo test --test metrics")
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; run UPDATE_GOLDENS=1 cargo test --test metrics to regenerate"
+    );
+}
+
+/// `EXPLAIN ANALYZE` output for the query under a fixed worker count; must
+/// be byte-identical across widths before it can be a golden.
+fn analyze_text(sql: &str, reduce_side_join: bool) -> String {
+    let mut texts = Vec::new();
+    for threads in [1u64, 4] {
+        let mut hive = session(threads);
+        if reduce_side_join {
+            hive.try_set("hive.auto.convert.join", "false").unwrap();
+        }
+        load_tpch_style(&mut hive);
+        let r = hive.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        texts.push(r.explain.expect("EXPLAIN ANALYZE sets explain text"));
+    }
+    assert_eq!(
+        texts[0], texts[1],
+        "EXPLAIN ANALYZE differs across worker-thread counts"
+    );
+    texts.pop().unwrap()
+}
+
+#[test]
+fn explain_analyze_correlation_optimized_golden() {
+    // Join key == group key: the Correlation Optimizer collapses the join
+    // and the aggregation into one reduce phase (reduce-side join forced so
+    // the correlation applies).
+    let text = analyze_text(
+        "SELECT orders.cust, COUNT(*) AS n, SUM(orders.total) AS rev \
+         FROM orders JOIN customer ON (orders.cust = customer.cust) \
+         GROUP BY orders.cust ORDER BY orders.cust",
+        true,
+    );
+    assert!(text.contains("== Runtime Profile =="), "{text}");
+    assert!(text.contains("rows_in="), "{text}");
+    assert_golden("explain_analyze_correlation.txt", &text);
+}
+
+#[test]
+fn explain_analyze_vectorized_golden() {
+    // Vectorized scan + filter + aggregate over ORC.
+    let text = analyze_text(
+        "SELECT cust, COUNT(*) AS n, SUM(total) AS rev FROM orders \
+         WHERE total > 50.0 GROUP BY cust ORDER BY cust",
+        false,
+    );
+    assert!(text.contains("scan:"), "{text}");
+    assert!(text.contains("selected_density="), "{text}");
+    assert_golden("explain_analyze_vectorized.txt", &text);
+}
+
+#[test]
+fn unknown_knob_errors_carry_suggestions() {
+    let mut hive = HiveSession::in_memory();
+    let err = hive
+        .try_set("hive.exec.paralel", "true")
+        .map(|_| ())
+        .unwrap_err();
+    match &err {
+        HiveError::UnknownKnob { key, suggestions } => {
+            assert_eq!(key, "hive.exec.paralel");
+            assert!(
+                suggestions.iter().any(|s| s == "hive.exec.parallel"),
+                "{suggestions:?}"
+            );
+        }
+        other => panic!("expected UnknownKnob, got {other}"),
+    }
+    assert!(err.to_string().contains("did you mean"), "{err}");
+}
+
+#[test]
+fn ill_typed_and_out_of_range_knobs_are_rejected() {
+    let mut hive = HiveSession::in_memory();
+    assert!(hive.try_set("hive.exec.worker.threads", "lots").is_err());
+    assert!(hive.try_set("dfs.fault.read.error.rate", "1.5").is_err());
+    assert!(hive
+        .try_set("hive.exec.orc.default.compress", "brotli")
+        .is_err());
+    // The unvalidated legacy shim defers the failure to the next statement.
+    hive.set("hive.exec.worker.threads", "lots");
+    let err = hive.execute("SHOW TABLES").unwrap_err();
+    assert!(
+        err.to_string().contains("hive.exec.worker.threads"),
+        "{err}"
+    );
+}
+
+#[test]
+fn readme_knob_table_matches_registry() {
+    let readme = include_str!("../README.md");
+    let begin_marker = "<!-- BEGIN GENERATED KNOB TABLE";
+    let end_marker = "<!-- END GENERATED KNOB TABLE -->";
+    let begin = readme.find(begin_marker).expect("README has begin marker");
+    let begin = begin + readme[begin..].find('\n').unwrap() + 1;
+    let end = readme.find(end_marker).expect("README has end marker");
+    let region = readme[begin..end].trim_end();
+    let expected = knob_table_markdown();
+    assert_eq!(
+        region,
+        expected.trim_end(),
+        "README knob table drifted from the registry; paste the output of \
+         hive_common::config::knob_table_markdown() between the markers"
+    );
+}
