@@ -44,6 +44,13 @@ run_cli 8 target/metrics-8.json
 diff target/metrics-1.json target/metrics-8.json
 diff target/metrics-1.json results/metrics-snapshot.json
 
+# Join-bench gate: a tiny-scale run of the map-join benchmark must plan the
+# vectorized operator, emit schema-valid BENCH_joins.json, and show the
+# vectorized join's measured CPU below row mode's (--check exits non-zero
+# otherwise).
+echo "==> vectorized map-join bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_joins --offline -- --check
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

@@ -277,6 +277,10 @@ knobs! {
     MERGE_MAPONLY_THRESHOLD: u64 = "hive.auto.convert.join.noconditionaltask.size", "10000000";
     /// Enable vectorized execution (Section 6).
     VECTORIZED_ENABLED: bool = "hive.vectorized.execution.enabled", "true";
+    /// Vectorize eligible Map Joins: build the small-side hash table once,
+    /// probe it a batch at a time (inner + binary left-outer; other shapes
+    /// keep the row-mode fallback). Requires vectorized execution.
+    VECTORIZED_MAPJOIN_ENABLED: bool = "hive.vectorized.execution.mapjoin.enabled", "true";
     /// Cost-based join reordering (the paper's Section 9 outlook).
     CBO_ENABLE: bool = "hive.cbo.enable", "false";
     /// Answer COUNT/MIN/MAX/SUM-only queries from ORC file statistics

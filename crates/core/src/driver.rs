@@ -371,12 +371,16 @@ fn render_analyze(plan: &str, result_rows: usize, report: &DagReport) -> String 
             out.push_str(&format!("  {phase} operators:\n"));
             for p in ops {
                 out.push_str(&format!(
-                    "    {:<24} rows_in={:<10} rows_out={:<10} cpu={:.3}ms\n",
+                    "    {:<24} rows_in={:<10} rows_out={:<10} cpu={:.3}ms",
                     p.name,
                     p.rows_in,
                     p.rows_out,
                     p.cpu_ns as f64 / 1e6,
                 ));
+                for (key, value) in &p.detail {
+                    out.push_str(&format!(" {key}={value}"));
+                }
+                out.push('\n');
             }
         }
     }

@@ -176,3 +176,50 @@ proptest! {
         }
     }
 }
+
+// Corrupt-data chaos for the vectorized map-join: with
+// `hive.exec.orc.skip.corrupt.data` on, damaged stripes are skipped
+// instead of failing the query; the vectorized and row-mode joins read
+// the same salvaged rows (faults depend only on seed/path/offset) and
+// must agree on the degraded answer, bit for bit.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn vectorized_mapjoin_matches_row_join_on_salvaged_data(
+        seed in 0u64..=1_000_000,
+        corrupt in (5u32..=30).prop_map(|x| x as f64 / 100.0),
+    ) {
+        let run = |vectorize: bool| {
+            let mut hive = chaos_session();
+            hive.set(keys::DFS_FAULT_SEED, seed.to_string())
+                .set(keys::DFS_FAULT_CORRUPT_RATE, corrupt.to_string())
+                .set(keys::ORC_SKIP_CORRUPT, "true")
+                .set(keys::MAP_MAX_ATTEMPTS, "12")
+                .set(keys::REDUCE_MAX_ATTEMPTS, "12")
+                .set(
+                    keys::VECTORIZED_MAPJOIN_ENABLED,
+                    if vectorize { "true" } else { "false" },
+                )
+                .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true");
+            hive.execute("SELECT t.k, d.name FROM t JOIN d ON (t.k = d.key) WHERE t.v < 200")
+        };
+        match (run(true), run(false)) {
+            (Ok(v), Ok(r)) => {
+                prop_assert_eq!(
+                    v.report.rows_skipped, r.report.rows_skipped,
+                    "engines salvaged different row counts: seed={} corrupt={}", seed, corrupt
+                );
+                prop_assert_eq!(
+                    sorted(v.rows), sorted(r.rows),
+                    "engines disagreed on salvaged rows: seed={} corrupt={}", seed, corrupt
+                );
+            }
+            (v, r) => return Err(TestCaseError(format!(
+                "seed={seed} corrupt={corrupt}: expected both engines to recover, got \
+                 vec={:?} row={:?}",
+                v.map(|x| x.rows.len()), r.map(|x| x.rows.len())
+            ))),
+        }
+    }
+}

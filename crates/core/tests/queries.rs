@@ -594,3 +594,60 @@ fn skip_corrupt_data_degrades_query_instead_of_failing() {
         assert_eq!(row[0], Value::Int(v % 17));
     }
 }
+
+#[test]
+fn multiway_outer_join_surfaces_binary_limit_as_error() {
+    // Consecutive LEFT JOINs on the same key merge into one n-ary Join
+    // operator, which the row engine rejects — as a typed HiveError from
+    // the failed job, never a panic.
+    let mut hive = session();
+    let err = hive
+        .execute(
+            "SELECT big1.key, small1.value1, small2.value1 FROM big1 \
+             LEFT JOIN small1 ON (big1.key = small1.key) \
+             LEFT JOIN small2 ON (big1.key = small2.key)",
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("outer joins must be binary"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn multiway_outer_join_different_keys_stays_left_deep() {
+    // LEFT JOINs on *different* keys must not merge; the left-deep chain
+    // of binary joins keeps working.
+    let mut hive = session();
+    let r = hive
+        .execute(
+            "SELECT big1.key, small1.value1, small2.value1 FROM big1 \
+             LEFT JOIN small1 ON (big1.skey1 = small1.key) \
+             LEFT JOIN small2 ON (big1.skey2 = small2.key) \
+             WHERE big1.value1 < 10",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 10);
+}
+
+#[test]
+fn non_vectorizable_join_shapes_fall_back_to_row_mode() {
+    // A RIGHT OUTER map-join shape is outside the vectorized map-join's
+    // (inner + left-outer) support: with the knob on it must silently run
+    // in row mode and match the knob-off answer.
+    let sql = "SELECT small1.key, small1.value1, big1.value1 FROM small1 \
+               RIGHT JOIN big1 ON (small1.key = big1.key) WHERE big1.value1 < 20";
+    let mut on = session();
+    on.set(keys::VECTORIZED_MAPJOIN_ENABLED, "true");
+    let r_on = on.execute(sql).unwrap();
+    let analyze = on.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let text = analyze.explain.expect("EXPLAIN ANALYZE sets explain text");
+    assert!(
+        !text.contains("VectorMapJoin"),
+        "right-outer join must not vectorize:\n{text}"
+    );
+    let mut off = session();
+    off.set(keys::VECTORIZED_MAPJOIN_ENABLED, "false");
+    let r_off = off.execute(sql).unwrap();
+    assert_eq!(sorted(r_on.rows), sorted(r_off.rows));
+}

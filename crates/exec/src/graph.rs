@@ -276,6 +276,7 @@ impl OperatorGraph {
                 rows_in: self.rows_in[i],
                 rows_out: self.rows_out[i],
                 cpu_ns: self.cpu_ns[i],
+                detail: Vec::new(),
             })
             .collect()
     }

@@ -945,7 +945,24 @@ impl MrEngine {
             groups_read: read_stats.groups_read,
             rows_salvaged: read_stats.rows_skipped,
         };
-        let op_profiles = self.finalize_profiles(pipeline.graph.profiles());
+        // Vector-stage operator profiles (e.g. the vectorized map-join)
+        // lead the list, sorted by alias so merging across tasks aligns.
+        let mut op_profiles = Vec::new();
+        let mut vector_aliases: Vec<&String> = pipeline.vector.keys().collect();
+        vector_aliases.sort();
+        for alias in vector_aliases {
+            for p in pipeline.vector[alias].pipeline.op_profiles() {
+                op_profiles.push(OpProfile {
+                    name: p.name,
+                    rows_in: p.rows_in,
+                    rows_out: p.rows_out,
+                    cpu_ns: 0,
+                    detail: p.detail,
+                });
+            }
+        }
+        op_profiles.extend(pipeline.graph.profiles());
+        let op_profiles = self.finalize_profiles(op_profiles);
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
         Ok(MapTaskResult {

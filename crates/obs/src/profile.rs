@@ -19,6 +19,9 @@ pub struct OpProfile {
     /// CPU nanoseconds attributed to the operator (simulated under the
     /// deterministic clock, measured otherwise).
     pub cpu_ns: u64,
+    /// Operator-specific counters rendered as trailing `key=value` pairs
+    /// (e.g. a vectorized map-join's probe batches and build rows).
+    pub detail: Vec<(String, u64)>,
 }
 
 impl OpProfile {
@@ -29,6 +32,12 @@ impl OpProfile {
         self.rows_in += other.rows_in;
         self.rows_out += other.rows_out;
         self.cpu_ns += other.cpu_ns;
+        for (key, value) in &other.detail {
+            match self.detail.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v += value,
+                None => self.detail.push((key.clone(), *value)),
+            }
+        }
     }
 }
 
@@ -101,17 +110,20 @@ mod tests {
             rows_in: 10,
             rows_out: 4,
             cpu_ns: 100,
+            detail: vec![("batches".into(), 2)],
         });
         a.merge(&OpProfile {
             name: "Filter".into(),
             rows_in: 5,
             rows_out: 1,
             cpu_ns: 50,
+            detail: vec![("batches".into(), 1), ("repeats".into(), 7)],
         });
         assert_eq!(a.name, "Filter");
         assert_eq!(a.rows_in, 15);
         assert_eq!(a.rows_out, 5);
         assert_eq!(a.cpu_ns, 150);
+        assert_eq!(a.detail, vec![("batches".into(), 3), ("repeats".into(), 7)]);
     }
 
     #[test]

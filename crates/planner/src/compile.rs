@@ -222,6 +222,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
 
         // ----- JobSpec inputs and factories. ------------------------------
         let vectorize_on = conf.get_bool(keys::VECTORIZED_ENABLED)?;
+        let vectorize_mapjoin = conf.get_bool(keys::VECTORIZED_MAPJOIN_ENABLED)?;
         let batch_size = conf.get_usize(keys::VECTORIZED_BATCH_SIZE)?;
         let mut job_inputs = Vec::new();
         for mi in &map_inputs {
@@ -271,6 +272,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
             inputs: map_inputs.clone(),
             num_reducers,
             vectorize: vectorize_on,
+            vectorize_mapjoin,
             batch_size,
         });
         let map_factory: MapPipelineFactory = {
@@ -659,6 +661,7 @@ struct MapBuildSpec {
     inputs: Vec<MapInput>,
     num_reducers: usize,
     vectorize: bool,
+    vectorize_mapjoin: bool,
     batch_size: usize,
 }
 
@@ -676,8 +679,12 @@ impl MapBuildSpec {
                     scan: mi.scan,
                     nodes: &mi.nodes,
                 };
+                let opts = vectorize::VectorizeOpts {
+                    batch_size: self.batch_size,
+                    mapjoin: self.vectorize_mapjoin,
+                };
                 if let Some((stage, consumed)) =
-                    vectorize::try_vectorize(&self.nodes, &view, self.batch_size)?
+                    vectorize::try_vectorize(&self.nodes, &view, side, &opts)?
                 {
                     remaining.retain(|n| !consumed.contains(n));
                     // Entry = the first non-consumed node downstream.

@@ -177,6 +177,13 @@ fn plan_select(
     let mut acc = build_rel(g, &stmt.from)?;
 
     // ------ 4. Joins (left-deep chain of binary reduce joins). ----------
+    //
+    // Consecutive *outer* joins over the same key collapse into one n-ary
+    // Join operator, like Hive's JoinOperator merge. The row engine only
+    // implements binary outer joins, so such plans surface its
+    // "outer joins must be binary" error as a typed HiveError at run time
+    // instead of silently producing a wrong left-deep answer.
+    let mut outer_merge: Option<OuterMerge> = None;
     for join in &stmt.joins {
         let right = build_rel(g, &join.table)?;
         let (equi, residual) = split_join_condition(&join.on, &acc, &right)?;
@@ -192,13 +199,62 @@ fn plan_select(
             JoinKind::RightOuter => JoinType::RightOuter,
             JoinKind::FullOuter => JoinType::FullOuter,
         };
+        if let Some(state) = outer_merge.as_mut().filter(|s| {
+            kind != JoinType::Inner
+                && s.node == acc.node
+                && s.kind == kind
+                && s.nk == equi.len()
+                && residual.is_empty()
+                && equi
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (l, _))| matches!(l, ExprNode::Column(c) if s.equiv[i].contains(c)))
+        }) {
+            merge_outer_join(g, state, &mut acc, right, &equi, num_reducers)?;
+            continue;
+        }
+        let nk = equi.len();
+        let left_len = acc.cols.len();
+        let key_cols: Vec<(Option<usize>, Option<usize>)> = equi
+            .iter()
+            .map(|(l, r)| {
+                let col = |e: &ExprNode| match e {
+                    ExprNode::Column(c) => Some(*c),
+                    _ => None,
+                };
+                (col(l), col(r))
+            })
+            .collect();
         acc = add_reduce_join(g, acc, right, &equi, kind, num_reducers)?;
+        let mergeable = kind != JoinType::Inner && residual.is_empty();
         for r in residual {
             let pred = resolve_owned(r, &acc)?;
             let schema = acc.schema();
             let f = g.add(PlanOp::Filter { predicate: pred }, schema, vec![acc.node]);
             acc.node = f;
         }
+        outer_merge = mergeable.then(|| {
+            // Columns of the joined layout [_lkeys, l_cols, _rkeys, r_cols]
+            // known equal to key i, so a later join keyed on any of them
+            // can merge in.
+            let mut equiv = vec![BTreeSet::new(); nk];
+            for (i, (lc, rc)) in key_cols.iter().enumerate() {
+                equiv[i].insert(i);
+                if let Some(c) = lc {
+                    equiv[i].insert(nk + c);
+                }
+                equiv[i].insert(nk + left_len + i);
+                if let Some(c) = rc {
+                    equiv[i].insert(nk + left_len + nk + c);
+                }
+            }
+            OuterMerge {
+                node: acc.node,
+                kind,
+                nk,
+                equiv,
+            }
+        });
     }
 
     // ------ 5. Post-join WHERE conjuncts. --------------------------------
@@ -722,6 +778,71 @@ fn split_join_condition<'a>(
         residual.push(conj);
     }
     Ok((equi, residual))
+}
+
+/// Merge bookkeeping for consecutive same-key outer joins: the Join node
+/// they collapse into and, per key position, the set of output columns of
+/// the accumulated relation known equal to that key.
+struct OuterMerge {
+    node: usize,
+    kind: JoinType,
+    nk: usize,
+    equiv: Vec<BTreeSet<usize>>,
+}
+
+/// Fold another input into an existing n-ary outer Join node: add a
+/// ReduceSink over `right` keyed like the join, wire it in as one more
+/// parent, and extend the joined layout with `[_rkeys, r_cols]`.
+fn merge_outer_join(
+    g: &mut PlanGraph,
+    state: &mut OuterMerge,
+    acc: &mut Rel,
+    right: Rel,
+    equi: &[(ExprNode, ExprNode)],
+    num_reducers: usize,
+) -> Result<()> {
+    let nk = state.nk;
+    let rkeys: Vec<ExprNode> = equi.iter().map(|(_, r)| r.clone()).collect();
+    let rvals: Vec<ExprNode> = (0..right.cols.len()).map(ExprNode::col).collect();
+    let key_types: Vec<DataType> = acc.cols[..nk].iter().map(|(_, _, t)| t.clone()).collect();
+
+    let mut rs_schema: Vec<ColumnInfo> = key_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ColumnInfo::new(format!("_key{i}"), t.clone()))
+        .collect();
+    rs_schema.extend(right.schema());
+    let rs = g.add(
+        PlanOp::ReduceSink {
+            keys: rkeys.clone(),
+            values: rvals,
+            num_reducers,
+            degenerate: false,
+        },
+        rs_schema,
+        vec![right.node],
+    );
+
+    let off = acc.cols.len();
+    g.nodes[state.node].parents.push(rs);
+    g.nodes[rs].children.push(state.node);
+    match &mut g.nodes[state.node].op {
+        PlanOp::Join { input_widths, .. } => input_widths.push(nk + right.cols.len()),
+        _ => unreachable!("outer-merge state always points at a Join node"),
+    }
+    for (i, t) in key_types.iter().enumerate() {
+        acc.cols.push((None, format!("_rkey{i}"), t.clone()));
+    }
+    acc.cols.extend(right.cols.iter().cloned());
+    g.nodes[state.node].schema = acc.schema();
+
+    for (i, key) in rkeys.iter().enumerate() {
+        state.equiv[i].insert(off + i);
+        if let ExprNode::Column(c) = key {
+            state.equiv[i].insert(off + nk + *c);
+        }
+    }
+    Ok(())
 }
 
 /// Insert RS + RS + Join for a binary reduce join. The joined row layout is

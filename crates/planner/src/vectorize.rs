@@ -13,18 +13,20 @@
 //! (usually the ReduceSink).
 
 use crate::plan::{GroupByPhase, PlanNode, PlanOp};
-use hive_common::{DataType, HiveError, Result, Value};
+use hive_common::{DataType, HiveError, Result, Row, Value};
 use hive_exec::agg::AggFunction;
 use hive_exec::expr::{BinaryOp, ExprNode};
+use hive_exec::operators::JoinType;
 use hive_mapreduce::job::VectorStage;
 use hive_vector::aggregates::{AggKind, AggSpec};
 use hive_vector::expressions as vx;
 use hive_vector::expressions::VectorExpression;
+use hive_vector::mapjoin::{KeyPart, MapJoinHashTable, MapJoinKind, VectorMapJoinOperator};
 use hive_vector::operators::{
     VectorFilterOperator, VectorGroupByOperator, VectorOperator, VectorPipeline,
     VectorRowEmitOperator, VectorSelectOperator,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// The compiler's view of one map input handed to the vectorizer.
 pub struct MapInputView<'a> {
@@ -34,12 +36,28 @@ pub struct MapInputView<'a> {
     pub nodes: &'a [usize],
 }
 
+/// Vectorizer configuration derived from the session knobs.
+pub struct VectorizeOpts {
+    pub batch_size: usize,
+    /// `hive.vectorized.execution.mapjoin.enabled`.
+    pub mapjoin: bool,
+}
+
+/// What one (possibly nested) chain compilation produced.
+struct ChainOut {
+    operators: Vec<Box<dyn VectorOperator>>,
+    consumed: HashSet<usize>,
+    /// Physical batch column types for this chain's batch.
+    types: Vec<DataType>,
+}
+
 /// Attempt to vectorize the prefix of a map chain. Returns the stage and
 /// the set of plan nodes it replaces, or `None` when validation fails.
 pub fn try_vectorize(
     nodes: &[PlanNode],
     input: &MapInputView<'_>,
-    batch_size: usize,
+    side: &HashMap<String, Vec<Row>>,
+    opts: &VectorizeOpts,
 ) -> Result<Option<(VectorStage, HashSet<usize>)>> {
     let Some(scan_id) = input.scan else {
         return Ok(None);
@@ -59,16 +77,43 @@ pub fn try_vectorize(
         return Ok(None);
     }
 
-    let mut c = VecCompiler {
+    let c = VecCompiler {
         layout: (0..scan_types.len()).collect(),
         layout_types: scan_types.clone(),
         types: scan_types,
         pending: Vec::new(),
     };
+    let out = compile_chain(nodes, input.nodes, side, opts, c, scan_id)?;
+    if out.consumed.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some((
+        VectorStage {
+            pipeline: VectorPipeline::new(out.operators),
+            batch_types: out.types,
+            batch_size: opts.batch_size,
+        },
+        out.consumed,
+    )))
+}
+
+/// Compile the linear operator chain starting below `start` into vectorized
+/// operators. A terminal row-emit is appended unless the chain ends in an
+/// operator that sinks rows itself (GroupBy) or nests its downstream
+/// (MapJoin). Recursion happens at MapJoins: everything after the join
+/// compiles against the join's output batch and runs nested inside it.
+fn compile_chain(
+    nodes: &[PlanNode],
+    input_nodes: &[usize],
+    side: &HashMap<String, Vec<Row>>,
+    opts: &VectorizeOpts,
+    mut c: VecCompiler,
+    start: usize,
+) -> Result<ChainOut> {
     let mut operators: Vec<Box<dyn VectorOperator>> = Vec::new();
     let mut consumed: HashSet<usize> = HashSet::new();
-    let mut cur = scan_id;
-    let mut ended_with_gby = false;
+    let mut cur = start;
+    let mut ended_without_emit = false;
 
     loop {
         // The chain must be linear within this input.
@@ -76,7 +121,7 @@ pub fn try_vectorize(
             .children
             .iter()
             .copied()
-            .filter(|n| input.nodes.contains(n))
+            .filter(|n| input_nodes.contains(n))
             .collect();
         if next.len() != 1 {
             break;
@@ -156,17 +201,25 @@ pub fn try_vectorize(
                     VectorGroupByOperator::new(expressions, key_cols, specs).partial(),
                 ));
                 consumed.insert(n);
-                ended_with_gby = true;
+                ended_without_emit = true;
                 break; // a GroupBy flushes rows at close; the chain ends.
+            }
+            PlanOp::MapJoin { sides } => {
+                let Some(join) = compile_mapjoin(nodes, input_nodes, side, opts, &mut c, n, sides)?
+                else {
+                    break; // row-mode fallback for the join and everything after
+                };
+                consumed.insert(n);
+                consumed.extend(join.consumed.iter().copied());
+                operators.push(join.operator);
+                ended_without_emit = true;
+                break; // the join nests its downstream; the chain ends here.
             }
             _ => break,
         }
     }
 
-    if consumed.is_empty() {
-        return Ok(None);
-    }
-    if !ended_with_gby {
+    if !ended_without_emit && !consumed.is_empty() {
         // Emit the current layout back as rows.
         let output_columns: Vec<(usize, DataType)> = c
             .layout
@@ -176,14 +229,131 @@ pub fn try_vectorize(
             .collect();
         operators.push(Box::new(VectorRowEmitOperator { output_columns }));
     }
-    Ok(Some((
-        VectorStage {
-            pipeline: VectorPipeline::new(operators),
-            batch_types: c.types,
-            batch_size,
-        },
+    Ok(ChainOut {
+        operators,
         consumed,
-    )))
+        types: c.types,
+    })
+}
+
+/// A compiled vectorized map-join plus the plan nodes its nested downstream
+/// chain consumed.
+struct CompiledJoin {
+    operator: Box<dyn VectorOperator>,
+    consumed: HashSet<usize>,
+}
+
+/// Try to vectorize one MapJoin plan node. `Ok(None)` means the shape is
+/// not eligible and the chain should fall back to row mode at this point.
+fn compile_mapjoin(
+    nodes: &[PlanNode],
+    input_nodes: &[usize],
+    side: &HashMap<String, Vec<Row>>,
+    opts: &VectorizeOpts,
+    c: &mut VecCompiler,
+    n: usize,
+    sides: &[crate::plan::MapJoinSide],
+) -> Result<Option<CompiledJoin>> {
+    if !opts.mapjoin || sides.len() != 1 {
+        return Ok(None);
+    }
+    let s = &sides[0];
+    let kind = match s.join_type {
+        JoinType::Inner => MapJoinKind::Inner,
+        JoinType::LeftOuter => MapJoinKind::LeftOuter,
+        _ => return Ok(None),
+    };
+    // The join's output: the streamed layout followed by the stored build
+    // row (keys ++ projected columns). All must be primitive.
+    let stream_width = c.layout.len();
+    let build_types: Vec<DataType> = nodes[n].schema[stream_width..]
+        .iter()
+        .map(|ci| ci.data_type.clone())
+        .collect();
+    if build_types.len() != s.width || !build_types.iter().all(is_vector_type) {
+        return Ok(None);
+    }
+    // Probe keys over the current layout.
+    let mut key_columns = Vec::with_capacity(s.stream_keys.len());
+    for k in &s.stream_keys {
+        match c.compile_value(k)? {
+            Some(out) => key_columns.push(out),
+            None => return Ok(None),
+        }
+    }
+    let key_expressions = c.drain_pending();
+
+    // Build the hash table from the broadcast side, mirroring the row
+    // engine: filter, evaluate build keys, skip NULL keys, store the row as
+    // keys ++ columns. A key value the typed-key space cannot represent
+    // falls back to row mode.
+    let Some(rows) = side.get(&s.alias) else {
+        return Ok(None);
+    };
+    let mut table = MapJoinHashTable::new();
+    for r in rows {
+        if let Some(f) = &s.build_filter {
+            if !f.eval_predicate(r)? {
+                continue;
+            }
+        }
+        let mut key = Vec::with_capacity(s.build_keys.len());
+        let mut vals: Vec<Value> = Vec::with_capacity(s.width);
+        let mut null_key = false;
+        for k in &s.build_keys {
+            let v = k.eval(r)?;
+            match KeyPart::from_value(&v) {
+                Ok(Some(part)) => key.push(part),
+                Ok(None) => null_key = true,
+                Err(_) => return Ok(None),
+            }
+            vals.push(v);
+        }
+        if null_key {
+            continue;
+        }
+        vals.extend(r.values().iter().cloned());
+        table.entry(key).or_default().push(Row::new(vals));
+    }
+
+    // Everything after the join runs nested, against the join's output
+    // batch: streamed columns first, then the build row.
+    let mut out_types: Vec<DataType> = c.layout_types.clone();
+    out_types.extend(build_types);
+    let sub = VecCompiler {
+        layout: (0..out_types.len()).collect(),
+        layout_types: out_types.clone(),
+        types: out_types.clone(),
+        pending: Vec::new(),
+    };
+    let mut downstream = compile_chain(nodes, input_nodes, side, opts, sub, n)?;
+    if downstream.operators.is_empty() {
+        // Nothing below the join vectorized: emit the join output as rows.
+        downstream.operators.push(Box::new(VectorRowEmitOperator {
+            output_columns: out_types.iter().cloned().enumerate().collect(),
+        }));
+    }
+    let stream_columns: Vec<(usize, DataType)> = c
+        .layout
+        .iter()
+        .copied()
+        .zip(c.layout_types.iter().cloned())
+        .collect();
+    let operator = VectorMapJoinOperator::new(
+        kind,
+        key_expressions,
+        key_columns,
+        stream_columns,
+        table,
+        s.width,
+        downstream.operators,
+        &downstream.types,
+        opts.batch_size,
+    )?;
+    Ok(Some(CompiledJoin {
+        operator: Box::new(operator),
+        consumed: downstream.consumed,
+    }))
 }
 
 fn is_vector_type(t: &DataType) -> bool {

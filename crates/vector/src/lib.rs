@@ -14,6 +14,7 @@
 pub mod aggregates;
 pub mod batch;
 pub mod expressions;
+pub mod mapjoin;
 pub mod operators;
 pub mod row_convert;
 
@@ -22,4 +23,5 @@ pub use batch::{
     DEFAULT_BATCH_SIZE,
 };
 pub use expressions::VectorExpression;
-pub use operators::{VectorOperator, VectorPipeline, VectorPipelineProfile};
+pub use mapjoin::{KeyPart, MapJoinHashTable, MapJoinKind, VectorMapJoinOperator};
+pub use operators::{VectorOpProfile, VectorOperator, VectorPipeline, VectorPipelineProfile};

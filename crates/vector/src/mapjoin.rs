@@ -1,0 +1,496 @@
+//! Vectorized Map Join (paper Section 6 meets Section 5.1): the hash table
+//! is built once from the broadcast small side; probe batches flow through
+//! without row materialization until the join output itself.
+//!
+//! Probing is `selected[]`-aware and has an `is_repeating` fast path: when
+//! every key column of a batch repeats, one lookup serves the whole batch
+//! (the benefit run-length-encoded storage hands to execution). Output is
+//! assembled batch-granular into an owned output batch that flows through
+//! the nested downstream operators (and on into the row sink), so a join
+//! followed by vectorized filters/aggregates never leaves batch mode.
+
+use crate::batch::{ColumnVector, VectorizedRowBatch};
+use crate::expressions::VectorExpression;
+use crate::operators::{VectorOpProfile, VectorOperator};
+use crate::row_convert::set_value;
+use hive_common::{DataType, HiveError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Join shapes the vectorized operator supports; everything else keeps the
+/// row-mode fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapJoinKind {
+    Inner,
+    LeftOuter,
+}
+
+/// One typed component of a join key. Distinct variants never compare
+/// equal, mirroring the row engine's typed key semantics (an integer key
+/// never matches a boolean or double key).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    Long(i64),
+    Bool(bool),
+    Ts(i64),
+    /// `f64::to_bits`, with every NaN normalized to one pattern so all NaNs
+    /// compare equal (as the row engine's key formatting makes them).
+    Double(u64),
+    Bytes(Vec<u8>),
+}
+
+fn double_bits(x: f64) -> u64 {
+    if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+impl KeyPart {
+    /// Convert a build-side value. `Ok(None)` means a NULL key (the row
+    /// never matches); `Err` means the type is not joinable vectorized.
+    pub fn from_value(v: &Value) -> Result<Option<KeyPart>> {
+        Ok(match v {
+            Value::Null => None,
+            Value::Int(x) => Some(KeyPart::Long(*x)),
+            Value::Boolean(b) => Some(KeyPart::Bool(*b)),
+            Value::Timestamp(x) => Some(KeyPart::Ts(*x)),
+            Value::Double(x) => Some(KeyPart::Double(double_bits(*x))),
+            Value::String(s) => Some(KeyPart::Bytes(s.as_bytes().to_vec())),
+            other => {
+                return Err(HiveError::Execution(format!(
+                    "value {other} is not a vectorizable join key"
+                )))
+            }
+        })
+    }
+}
+
+/// Read one probe key part from a batch column; `None` is a NULL key.
+fn probe_key_part(col: &ColumnVector, i: usize, dt: &DataType) -> Option<KeyPart> {
+    if col.is_null(i) {
+        return None;
+    }
+    Some(match (col, dt) {
+        (ColumnVector::Long(v), DataType::Boolean) => KeyPart::Bool(v.value(i) != 0),
+        (ColumnVector::Long(v), DataType::Timestamp) => KeyPart::Ts(v.value(i)),
+        (ColumnVector::Long(v), _) => KeyPart::Long(v.value(i)),
+        (ColumnVector::Double(v), _) => KeyPart::Double(double_bits(v.value(i))),
+        (ColumnVector::Bytes(v), _) => KeyPart::Bytes(v.value(i).to_vec()),
+    })
+}
+
+/// Copy one cell between same-shaped column vectors, honouring nulls and
+/// `is_repeating` on the source. The destination is written positionally.
+fn copy_cell(src: &ColumnVector, i: usize, dst: &mut ColumnVector, j: usize) -> Result<()> {
+    if src.is_null(i) {
+        return set_value(dst, j, &Value::Null);
+    }
+    match (src, dst) {
+        (ColumnVector::Long(s), ColumnVector::Long(d)) => d.vector[j] = s.value(i),
+        (ColumnVector::Double(s), ColumnVector::Double(d)) => d.vector[j] = s.value(i),
+        (ColumnVector::Bytes(s), ColumnVector::Bytes(d)) => d.set(j, s.value(i)),
+        _ => {
+            return Err(HiveError::Execution(
+                "mismatched column vector shapes in map-join output".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// The small-side hash table: typed key parts → stored rows laid out as
+/// build keys ++ projected build columns (the row engine's layout).
+pub type MapJoinHashTable = HashMap<Vec<KeyPart>, Vec<Row>>;
+
+/// Batch-at-a-time hash join against a broadcast small side.
+pub struct VectorMapJoinOperator {
+    pub kind: MapJoinKind,
+    /// Expressions computing probe-key scratch columns (run per batch).
+    pub key_expressions: Vec<Box<dyn VectorExpression>>,
+    /// Batch column index + logical type of each probe key.
+    pub key_columns: Vec<(usize, DataType)>,
+    /// Batch column index + logical type of each streamed output column.
+    pub stream_columns: Vec<(usize, DataType)>,
+    table: MapJoinHashTable,
+    /// Width of a stored build row (for null padding on outer misses).
+    build_width: usize,
+    /// Operators run over the assembled output batch.
+    downstream: Vec<Box<dyn VectorOperator>>,
+    out: VectorizedRowBatch,
+    profile: VectorOpProfile,
+    build_rows: u64,
+    probe_batches: u64,
+    repeat_probes: u64,
+}
+
+impl VectorMapJoinOperator {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: MapJoinKind,
+        key_expressions: Vec<Box<dyn VectorExpression>>,
+        key_columns: Vec<(usize, DataType)>,
+        stream_columns: Vec<(usize, DataType)>,
+        table: MapJoinHashTable,
+        build_width: usize,
+        downstream: Vec<Box<dyn VectorOperator>>,
+        out_batch_types: &[DataType],
+        batch_size: usize,
+    ) -> Result<VectorMapJoinOperator> {
+        let build_rows = table.values().map(|v| v.len() as u64).sum();
+        Ok(VectorMapJoinOperator {
+            kind,
+            key_expressions,
+            key_columns,
+            stream_columns,
+            table,
+            build_width,
+            downstream,
+            out: VectorizedRowBatch::new(out_batch_types, batch_size)?,
+            profile: VectorOpProfile::default(),
+            build_rows,
+            probe_batches: 0,
+            repeat_probes: 0,
+        })
+    }
+
+    /// Append one output row: stream columns from `batch[i]`, then the
+    /// build row (or nulls on a preserved-side miss). Flushes when full.
+    fn emit(
+        &mut self,
+        batch: &VectorizedRowBatch,
+        i: usize,
+        build: Option<&Row>,
+        sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        let j = self.out.size;
+        for (o, (c, _)) in self.stream_columns.iter().enumerate() {
+            copy_cell(&batch.columns[*c], i, &mut self.out.columns[o], j)?;
+        }
+        let base = self.stream_columns.len();
+        match build {
+            Some(row) => {
+                for (o, v) in row.values().iter().enumerate() {
+                    set_value(&mut self.out.columns[base + o], j, v)?;
+                }
+            }
+            None => {
+                for o in 0..self.build_width {
+                    set_value(&mut self.out.columns[base + o], j, &Value::Null)?;
+                }
+            }
+        }
+        self.out.size = j + 1;
+        self.profile.rows_out += 1;
+        if self.out.size == self.out.max_size {
+            self.flush(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Run the buffered output batch through the downstream operators.
+    fn flush(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        if self.out.size > 0 {
+            for op in &mut self.downstream {
+                if self.out.size == 0 {
+                    break;
+                }
+                op.process(&mut self.out, sink)?;
+            }
+        }
+        self.out.reset();
+        Ok(())
+    }
+
+    /// Look up the matches for the key at probe row `i`, or `None` when any
+    /// key part is NULL (a NULL key never matches).
+    fn matches_at(&self, batch: &VectorizedRowBatch, i: usize, key: &mut Vec<KeyPart>) -> bool {
+        key.clear();
+        for (c, dt) in &self.key_columns {
+            match probe_key_part(&batch.columns[*c], i, dt) {
+                Some(part) => key.push(part),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+impl VectorMapJoinOperator {
+    /// Probe every selected row of `batch`. The table is passed back in so
+    /// match slices borrow it while `self` stays mutably borrowable.
+    fn probe_all(
+        &mut self,
+        table: &MapJoinHashTable,
+        batch: &VectorizedRowBatch,
+        sink: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        // is_repeating fast path: every key column repeats → one lookup
+        // serves the whole batch.
+        let all_repeating = !self.key_columns.is_empty()
+            && self
+                .key_columns
+                .iter()
+                .all(|(c, _)| match &batch.columns[*c] {
+                    ColumnVector::Long(v) => v.is_repeating,
+                    ColumnVector::Double(v) => v.is_repeating,
+                    ColumnVector::Bytes(v) => v.is_repeating,
+                });
+        let mut key = Vec::with_capacity(self.key_columns.len());
+        if all_repeating && batch.size > 0 {
+            self.repeat_probes += 1;
+            let matches = if self.matches_at(batch, 0, &mut key) {
+                table.get(&key)
+            } else {
+                None
+            };
+            match (matches, self.kind) {
+                (None, MapJoinKind::Inner) => {}
+                (None, MapJoinKind::LeftOuter) => {
+                    for i in batch.iter_selected() {
+                        self.emit(batch, i, None, sink)?;
+                    }
+                }
+                (Some(rows), _) => {
+                    for i in batch.iter_selected() {
+                        for row in rows {
+                            self.emit(batch, i, Some(row), sink)?;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        for i in batch.iter_selected() {
+            let matches = if self.matches_at(batch, i, &mut key) {
+                table.get(&key)
+            } else {
+                None
+            };
+            match (matches, self.kind) {
+                (Some(rows), _) => {
+                    for row in rows {
+                        self.emit(batch, i, Some(row), sink)?;
+                    }
+                }
+                (None, MapJoinKind::LeftOuter) => self.emit(batch, i, None, sink)?,
+                (None, MapJoinKind::Inner) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VectorOperator for VectorMapJoinOperator {
+    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        for e in &self.key_expressions {
+            e.evaluate(batch)?;
+        }
+        self.probe_batches += 1;
+        self.profile.rows_in += batch.size as u64;
+        // Detach the table so match slices and `emit` coexist borrow-wise.
+        let table = std::mem::take(&mut self.table);
+        let result = self.probe_all(&table, batch, sink);
+        self.table = table;
+        result
+    }
+
+    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        self.flush(sink)?;
+        for op in &mut self.downstream {
+            op.close(sink)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        match self.kind {
+            MapJoinKind::Inner => "VectorMapJoin[Inner]".to_string(),
+            MapJoinKind::LeftOuter => "VectorMapJoin[LeftOuter]".to_string(),
+        }
+    }
+
+    fn profiles(&self, out: &mut Vec<VectorOpProfile>) {
+        let mut p = self.profile.clone();
+        p.name = self.name();
+        p.detail = vec![
+            ("probe_batches".to_string(), self.probe_batches),
+            ("build_rows".to_string(), self.build_rows),
+            ("repeat_probes".to_string(), self.repeat_probes),
+        ];
+        out.push(p);
+        for op in &self.downstream {
+            op.profiles(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::VectorRowEmitOperator;
+    use crate::row_convert::rows_to_batch;
+
+    fn table_from(rows: &[(i64, &str)]) -> MapJoinHashTable {
+        let mut t = MapJoinHashTable::new();
+        for (k, name) in rows {
+            t.entry(vec![KeyPart::Long(*k)])
+                .or_default()
+                .push(Row::new(vec![
+                    Value::Int(*k),
+                    Value::String((*name).to_string()),
+                ]));
+        }
+        t
+    }
+
+    fn join_op(kind: MapJoinKind, batch_size: usize) -> VectorMapJoinOperator {
+        let out_types = vec![
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+            DataType::String,
+        ];
+        VectorMapJoinOperator::new(
+            kind,
+            vec![],
+            vec![(0, DataType::Int)],
+            vec![(0, DataType::Int), (1, DataType::Int)],
+            table_from(&[(1, "one"), (3, "three"), (3, "trois")]),
+            2,
+            vec![Box::new(VectorRowEmitOperator {
+                output_columns: vec![
+                    (0, DataType::Int),
+                    (1, DataType::Int),
+                    (2, DataType::Int),
+                    (3, DataType::String),
+                ],
+            })],
+            &out_types,
+            batch_size,
+        )
+        .unwrap()
+    }
+
+    fn probe(op: &mut VectorMapJoinOperator, rows: &[Row]) -> Vec<Row> {
+        let mut batch =
+            VectorizedRowBatch::new(&[DataType::Int, DataType::Int], rows.len().max(1)).unwrap();
+        rows_to_batch(rows, &mut batch).unwrap();
+        let mut out = Vec::new();
+        let mut sink = |r: Row| out.push(r);
+        op.process(&mut batch, &mut sink).unwrap();
+        op.close(&mut sink).unwrap();
+        out
+    }
+
+    fn row2(a: i64, b: i64) -> Row {
+        Row::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn inner_join_matches_and_duplicates() {
+        let mut op = join_op(MapJoinKind::Inner, 4);
+        let out = probe(&mut op, &[row2(1, 10), row2(2, 20), row2(3, 30)]);
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::Int(10),
+                    Value::Int(1),
+                    Value::String("one".into())
+                ]),
+                Row::new(vec![
+                    Value::Int(3),
+                    Value::Int(30),
+                    Value::Int(3),
+                    Value::String("three".into())
+                ]),
+                Row::new(vec![
+                    Value::Int(3),
+                    Value::Int(30),
+                    Value::Int(3),
+                    Value::String("trois".into())
+                ]),
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_pads_misses_and_null_keys() {
+        let mut op = join_op(MapJoinKind::LeftOuter, 4);
+        let out = probe(
+            &mut op,
+            &[row2(2, 20), Row::new(vec![Value::Null, Value::Int(9)])],
+        );
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![
+                    Value::Int(2),
+                    Value::Int(20),
+                    Value::Null,
+                    Value::Null
+                ]),
+                Row::new(vec![Value::Null, Value::Int(9), Value::Null, Value::Null]),
+            ]
+        );
+    }
+
+    #[test]
+    fn output_flushes_across_batch_boundary() {
+        // batch_size 2 forces a mid-probe flush; all rows still appear.
+        let mut op = join_op(MapJoinKind::Inner, 2);
+        let out = probe(&mut op, &[row2(1, 10), row2(3, 30), row2(1, 11)]);
+        assert_eq!(out.len(), 4);
+        let mut profs = Vec::new();
+        op.profiles(&mut profs);
+        assert_eq!(profs[0].rows_in, 3);
+        assert_eq!(profs[0].rows_out, 4);
+        assert!(profs[0]
+            .detail
+            .iter()
+            .any(|(k, v)| k == "build_rows" && *v == 3));
+    }
+
+    #[test]
+    fn repeating_key_fast_path() {
+        let mut op = join_op(MapJoinKind::Inner, 8);
+        let mut batch = VectorizedRowBatch::new(&[DataType::Int, DataType::Int], 4).unwrap();
+        rows_to_batch(&[row2(3, 1), row2(3, 2)], &mut batch).unwrap();
+        if let ColumnVector::Long(v) = &mut batch.columns[0] {
+            v.is_repeating = true;
+        }
+        let mut out = Vec::new();
+        let mut sink = |r: Row| out.push(r);
+        op.process(&mut batch, &mut sink).unwrap();
+        op.close(&mut sink).unwrap();
+        assert_eq!(out.len(), 4, "2 probe rows × 2 matches for key 3");
+        let mut profs = Vec::new();
+        op.profiles(&mut profs);
+        assert!(profs[0]
+            .detail
+            .iter()
+            .any(|(k, v)| k == "repeat_probes" && *v == 1));
+    }
+
+    #[test]
+    fn key_parts_are_typed() {
+        assert_ne!(
+            KeyPart::from_value(&Value::Int(1)).unwrap(),
+            KeyPart::from_value(&Value::Boolean(true)).unwrap()
+        );
+        assert_eq!(KeyPart::from_value(&Value::Null).unwrap(), None);
+        assert!(KeyPart::from_value(&Value::Array(vec![])).is_err());
+        // NaN normalizes; -0.0 and 0.0 stay distinct (Debug-string parity).
+        assert_eq!(
+            KeyPart::from_value(&Value::Double(f64::NAN)).unwrap(),
+            KeyPart::from_value(&Value::Double(-f64::NAN)).unwrap()
+        );
+        assert_ne!(
+            KeyPart::from_value(&Value::Double(0.0)).unwrap(),
+            KeyPart::from_value(&Value::Double(-0.0)).unwrap()
+        );
+    }
+}

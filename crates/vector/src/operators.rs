@@ -24,6 +24,22 @@ pub trait VectorOperator: Send {
     fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()>;
 
     fn name(&self) -> String;
+
+    /// Append this operator's runtime profile (and those of any nested
+    /// operators). Most operators have nothing beyond the pipeline-level
+    /// counters; the map-join overrides this.
+    fn profiles(&self, _out: &mut Vec<VectorOpProfile>) {}
+}
+
+/// Runtime profile of one vectorized operator that tracks its own counters
+/// (the pipeline tracks batch flow; this adds per-operator row counts and
+/// operator-specific `detail` pairs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VectorOpProfile {
+    pub name: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub detail: Vec<(String, u64)>,
 }
 
 /// Applies a compiled filter expression, shrinking the selection in place.
@@ -222,6 +238,16 @@ impl VectorPipeline {
     /// What the pipeline has observed so far.
     pub fn profile(&self) -> VectorPipelineProfile {
         self.profile
+    }
+
+    /// Per-operator profiles for operators that track their own counters
+    /// (nested operators included), in pipeline order.
+    pub fn op_profiles(&self) -> Vec<VectorOpProfile> {
+        let mut out = Vec::new();
+        for op in &self.operators {
+            op.profiles(&mut out);
+        }
+        out
     }
 
     pub fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {

@@ -118,12 +118,19 @@ fn assert_golden(name: &str, actual: &str) {
 /// `EXPLAIN ANALYZE` output for the query under a fixed worker count; must
 /// be byte-identical across widths before it can be a golden.
 fn analyze_text(sql: &str, reduce_side_join: bool) -> String {
-    let mut texts = Vec::new();
-    for threads in [1u64, 4] {
-        let mut hive = session(threads);
+    analyze_text_conf(sql, move |hive| {
         if reduce_side_join {
             hive.try_set("hive.auto.convert.join", "false").unwrap();
         }
+    })
+}
+
+/// Like [`analyze_text`] but with an arbitrary knob setup per session.
+fn analyze_text_conf(sql: &str, setup: impl Fn(&mut HiveSession)) -> String {
+    let mut texts = Vec::new();
+    for threads in [1u64, 4] {
+        let mut hive = session(threads);
+        setup(&mut hive);
         load_tpch_style(&mut hive);
         let r = hive.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
         texts.push(r.explain.expect("EXPLAIN ANALYZE sets explain text"));
@@ -162,6 +169,31 @@ fn explain_analyze_vectorized_golden() {
     assert!(text.contains("scan:"), "{text}");
     assert!(text.contains("selected_density="), "{text}");
     assert_golden("explain_analyze_vectorized.txt", &text);
+}
+
+#[test]
+fn explain_analyze_vectorized_mapjoin_golden() {
+    // The map-join converts (small dimension side) and vectorizes: the
+    // runtime profile must show the VectorMapJoin operator with its
+    // probe-batch counters, byte-identical at both worker widths.
+    let text = analyze_text(JOIN_AGG, false);
+    assert!(text.contains("VectorMapJoin[Inner]"), "{text}");
+    assert!(text.contains("probe_batches="), "{text}");
+    assert!(text.contains("build_rows="), "{text}");
+    assert_golden("explain_analyze_vector_mapjoin.txt", &text);
+}
+
+#[test]
+fn explain_analyze_mapjoin_knob_off_golden() {
+    // Same query with hive.vectorized.execution.mapjoin.enabled=false:
+    // the join runs in row mode (no VectorMapJoin operator in the profile)
+    // while the scan side stays vectorized.
+    let text = analyze_text_conf(JOIN_AGG, |hive| {
+        hive.try_set("hive.vectorized.execution.mapjoin.enabled", "false")
+            .unwrap();
+    });
+    assert!(!text.contains("VectorMapJoin"), "{text}");
+    assert_golden("explain_analyze_row_mapjoin.txt", &text);
 }
 
 #[test]
