@@ -51,6 +51,12 @@ diff target/metrics-1.json results/metrics-snapshot.json
 echo "==> vectorized map-join bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_joins --offline -- --check
 
+# Cache-bench gate: the same scan against one long-lived server must emit
+# schema-valid BENCH_cache.json and show the warm-cache run's measured CPU
+# below the cold run's (--check exits non-zero otherwise).
+echo "==> server cache bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_cache --offline -- --check
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

@@ -1,0 +1,200 @@
+//! Server cache benchmark: the same sarg-filtered scan against one
+//! long-lived server with the caches disabled (`hive.io.cache.bytes=0`),
+//! cold (first run after enabling — every footer, index and block is a
+//! single-flight fill), and warm (every tier hits; no DFS bytes move and
+//! no checksums are re-verified).
+//!
+//! Writes `results/BENCH_cache.json` (validated against
+//! `results/bench_cache.schema.json`) and, with `--check`, exits non-zero
+//! unless the warm scan's measured CPU beats the cold scan's — the ci.sh
+//! regression gate.
+
+use hive_bench::{bench_session_with_block, fmt_s, print_table, scale_factor};
+use hive_common::config::keys;
+use hive_common::{Row, Value};
+use hive_core::HiveSession;
+use hive_obs::json::{self, Json};
+
+const QUERY: &str = "SELECT cust, COUNT(*) AS n, SUM(total) AS rev FROM orders \
+     WHERE total > 100.0 GROUP BY cust ORDER BY cust";
+
+/// Measurement runs for the off/warm configurations; the best (minimum)
+/// CPU is reported so scheduler noise cannot fail the gate. The cold
+/// configuration is by definition a single run: the first statement after
+/// the caches come on.
+const RUNS: usize = 3;
+
+fn cache_session() -> HiveSession {
+    let mut s = bench_session_with_block(1 << 20);
+    s.set(keys::ORC_STRIPE_SIZE, format!("{}", 1 << 20));
+    s.set(keys::VECTORIZED_ENABLED, "true");
+    let sf = scale_factor();
+    let orders = ((1_500_000.0 * sf) as i64).max(20_000);
+    s.execute("CREATE TABLE orders (okey BIGINT, cust BIGINT, total DOUBLE) STORED AS orc")
+        .expect("create orders");
+    s.load_rows(
+        "orders",
+        (0..orders).map(move |i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Double((i % 500) as f64 / 2.0),
+            ])
+        }),
+    )
+    .expect("load orders");
+    s
+}
+
+struct ConfigResult {
+    name: &'static str,
+    cache_bytes: u64,
+    cpu_s: f64,
+    sim_s: f64,
+    rows: usize,
+    /// Combined metadata-tier hit rate (footer + stripe footer + row index).
+    meta_hit_rate: f64,
+    /// Block-tier hit rate.
+    data_hit_rate: f64,
+}
+
+fn measure(name: &'static str, s: &mut HiveSession, runs: usize, cache_bytes: u64) -> ConfigResult {
+    let mut best: Option<ConfigResult> = None;
+    for _ in 0..runs {
+        let r = s.execute(QUERY).expect("scan query");
+        assert!(!r.rows.is_empty(), "scan must produce output");
+        let (mut meta_h, mut meta_m, mut data_h, mut data_m) = (0u64, 0u64, 0u64, 0u64);
+        for jr in &r.report.jobs {
+            meta_h += jr.scan.footer_cache_hits + jr.scan.index_cache_hits;
+            meta_m += jr.scan.footer_cache_misses + jr.scan.index_cache_misses;
+            data_h += jr.scan.data_cache_hits;
+            data_m += jr.scan.data_cache_misses;
+        }
+        let rate = |h: u64, m: u64| {
+            if h + m == 0 {
+                0.0
+            } else {
+                h as f64 / (h + m) as f64
+            }
+        };
+        let this = ConfigResult {
+            name,
+            cache_bytes,
+            cpu_s: r.report.cpu_seconds,
+            sim_s: r.report.sim_total_s,
+            rows: r.rows.len(),
+            meta_hit_rate: rate(meta_h, meta_m),
+            data_hit_rate: rate(data_h, data_m),
+        };
+        best = Some(match best {
+            Some(b) if b.cpu_s <= this.cpu_s => b,
+            _ => this,
+        });
+    }
+    best.expect("at least one run")
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let sf = scale_factor();
+    println!("Server cache benchmark — scale factor {sf}");
+
+    let cache_bytes: u64 = 32 << 20;
+    let mut s = cache_session();
+
+    // Caches disabled: the pre-cache read path, best of RUNS.
+    s.try_set(keys::IO_CACHE_BYTES, "0").expect("set knob");
+    let off = measure("cache_off", &mut s, RUNS, 0);
+    assert_eq!(
+        (off.meta_hit_rate, off.data_hit_rate),
+        (0.0, 0.0),
+        "disabled caches must report no activity"
+    );
+
+    // Cold: the first statement after the caches come on pays every fill.
+    s.try_set(keys::IO_CACHE_BYTES, cache_bytes.to_string())
+        .expect("set knob");
+    let cold = measure("cold", &mut s, 1, cache_bytes);
+    assert_eq!(
+        (cold.meta_hit_rate, cold.data_hit_rate),
+        (0.0, 0.0),
+        "cold run must be all fills"
+    );
+
+    // Warm: every tier hits, best of RUNS.
+    let warm = measure("warm", &mut s, RUNS, cache_bytes);
+    assert_eq!(
+        (warm.meta_hit_rate, warm.data_hit_rate),
+        (1.0, 1.0),
+        "warm run must be all hits"
+    );
+
+    let results = [off, cold, warm];
+    print_table(
+        "Scan: caches off vs cold vs warm (measured CPU)",
+        &[
+            "config",
+            "cpu",
+            "sim elapsed",
+            "rows",
+            "meta hit",
+            "data hit",
+        ],
+        &results
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    vec![
+                        fmt_s(r.cpu_s),
+                        fmt_s(r.sim_s),
+                        r.rows.to_string(),
+                        format!("{:.0}%", r.meta_hit_rate * 100.0),
+                        format!("{:.0}%", r.data_hit_rate * 100.0),
+                    ],
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let speedup = results[1].cpu_s / results[2].cpu_s;
+    println!("\nwarm-cache scan CPU speedup over cold: {speedup:.2}x");
+
+    let mut doc = Json::obj();
+    doc.push("format_version", Json::U64(1));
+    doc.push("benchmark", Json::Str("cache".into()));
+    doc.push("scale_factor", Json::F64(sf));
+    doc.push("query", Json::Str(QUERY.into()));
+    let mut configs = Vec::new();
+    for r in &results {
+        let mut c = Json::obj();
+        c.push("name", Json::Str(r.name.into()));
+        c.push("cache_bytes", Json::U64(r.cache_bytes));
+        c.push("cpu_seconds", Json::F64(r.cpu_s));
+        c.push("sim_elapsed_s", Json::F64(r.sim_s));
+        c.push("result_rows", Json::U64(r.rows as u64));
+        c.push("metadata_hit_rate", Json::F64(r.meta_hit_rate));
+        c.push("data_hit_rate", Json::F64(r.data_hit_rate));
+        configs.push(c);
+    }
+    doc.push("configs", Json::Array(configs));
+    doc.push("warm_cpu_speedup", Json::F64(speedup));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let schema_src = std::fs::read_to_string(format!("{root}/results/bench_cache.schema.json"))
+        .expect("read results/bench_cache.schema.json");
+    let schema = json::parse(&schema_src).expect("parse schema");
+    json::validate(&doc, &schema).expect("BENCH_cache.json matches its schema");
+
+    let out = format!("{root}/results/BENCH_cache.json");
+    std::fs::write(&out, doc.render_pretty()).expect("write BENCH_cache.json");
+    println!("wrote results/BENCH_cache.json");
+
+    if check && results[2].cpu_s >= results[1].cpu_s {
+        eprintln!(
+            "FAIL: warm scan CPU ({}) is not below cold ({})",
+            fmt_s(results[2].cpu_s),
+            fmt_s(results[1].cpu_s)
+        );
+        std::process::exit(1);
+    }
+}

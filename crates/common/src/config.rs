@@ -353,6 +353,18 @@ knobs! {
     /// report rows-skipped, instead of failing the query (Hive's
     /// `hive.exec.orc.skip.corrupt.data`).
     ORC_SKIP_CORRUPT: bool = "hive.exec.orc.skip.corrupt.data", "false";
+    /// Queries a `HiveServer` admits concurrently; further queries block
+    /// at admission control until a slot frees (HiveServer2-style).
+    SERVER_MAX_CONCURRENT: u64 = "hive.server.max.concurrent.queries", "8", range(1.0, 4096.0);
+    /// Capacity of the DFS block-level byte cache in bytes (sharded LRU,
+    /// LLAP-style). `0` disables *both* cache tiers — byte caching and the
+    /// ORC metadata cache — restoring uncached scan behavior exactly.
+    IO_CACHE_BYTES: u64 = "hive.io.cache.bytes", "33554432";
+    /// Cache decoded ORC file footers, stripe footers, and row-index
+    /// statistics across readers, keyed by `(path, file generation)` so an
+    /// overwritten file can never serve stale metadata. Effective only
+    /// while `hive.io.cache.bytes` is non-zero.
+    ORC_CACHE_METADATA: bool = "hive.orc.cache.metadata", "true";
 }
 
 /// Look up a knob's type-erased registry entry by key.

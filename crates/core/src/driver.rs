@@ -3,6 +3,7 @@
 //! structured trace, registry metrics, and `EXPLAIN ANALYZE` renderings.
 
 use crate::metastore::Metastore;
+use hive_common::config::keys;
 use hive_common::{HiveConf, HiveError, Result, Row};
 use hive_dfs::{Dfs, FaultPlan, IoScope};
 use hive_mapreduce::{DagReport, MrEngine};
@@ -65,6 +66,10 @@ pub fn run_statement(
     // knobs are inert): the first-touch ledger resets between statements so
     // each query sees its own deterministic fault schedule.
     dfs.set_fault_plan(FaultPlan::from_conf(conf)?);
+    // Apply the block-cache budget for this statement. Same value → cheap
+    // no-op; `hive.io.cache.bytes=0` drops every cached block so the read
+    // path is byte-for-byte the pre-cache one.
+    dfs.set_cache_capacity(conf.get_i64(keys::IO_CACHE_BYTES)? as u64);
     registry.counter("query.count").inc();
     match parse(sql)? {
         Statement::Select(stmt) => execute_select(sql, &stmt, dfs, conf, metastore, registry),
@@ -274,6 +279,17 @@ fn build_trace(sql: &str, report: &DagReport) -> Trace {
             t.attr(j, "scan_rows_read", jr.scan.rows_read);
             t.attr(j, "scan_selected_density", jr.scan.selected_density());
         }
+        if cache_activity(&jr.scan) > 0 {
+            let c = t.span(Some(j), SpanKind::Cache, "cache", 0.0);
+            t.attr(c, "footer_hits", jr.scan.footer_cache_hits);
+            t.attr(c, "footer_misses", jr.scan.footer_cache_misses);
+            t.attr(c, "index_hits", jr.scan.index_cache_hits);
+            t.attr(c, "index_misses", jr.scan.index_cache_misses);
+            t.attr(c, "data_hits", jr.scan.data_cache_hits);
+            t.attr(c, "data_misses", jr.scan.data_cache_misses);
+            t.attr(c, "data_hit_bytes", jr.scan.data_cache_hit_bytes);
+            t.attr(c, "data_evictions", jr.scan.data_cache_evictions);
+        }
         for task in &jr.tasks {
             let name = format!("{}-{}", task.phase.as_str(), task.index);
             let ts = t.span(Some(j), SpanKind::Task, &name, task.sim_s);
@@ -297,6 +313,19 @@ fn build_trace(sql: &str, report: &DagReport) -> Trace {
         }
     }
     t
+}
+
+/// Total cache touches (both tiers) a job's scans observed. Zero whenever
+/// the caches are disabled, which keeps pre-cache `EXPLAIN ANALYZE` and
+/// trace output byte-identical under `hive.io.cache.bytes=0`.
+fn cache_activity(scan: &hive_obs::ScanProfile) -> u64 {
+    scan.footer_cache_hits
+        + scan.footer_cache_misses
+        + scan.index_cache_hits
+        + scan.index_cache_misses
+        + scan.data_cache_hits
+        + scan.data_cache_misses
+        + scan.data_cache_evictions
 }
 
 /// Replace the per-process query counter in intermediate paths
@@ -362,6 +391,19 @@ fn render_analyze(plan: &str, result_rows: usize, report: &DagReport) -> String 
                 jr.scan.groups_total,
                 jr.scan.rows_salvaged,
                 jr.scan.selected_density(),
+            ));
+        }
+        if cache_activity(&jr.scan) > 0 {
+            out.push_str(&format!(
+                "  cache: footer={}/{} index={}/{} data={}/{} hit_bytes={}B evictions={}\n",
+                jr.scan.footer_cache_hits,
+                jr.scan.footer_cache_misses,
+                jr.scan.index_cache_hits,
+                jr.scan.index_cache_misses,
+                jr.scan.data_cache_hits,
+                jr.scan.data_cache_misses,
+                jr.scan.data_cache_hit_bytes,
+                jr.scan.data_cache_evictions,
             ));
         }
         for (phase, ops) in [("map", &jr.map_operators), ("reduce", &jr.reduce_operators)] {

@@ -4,9 +4,11 @@
 
 pub mod driver;
 pub mod metastore;
+pub mod server;
 pub mod session;
 pub mod stats_answer;
 
 pub use driver::{QueryMetrics, QueryResult};
 pub use metastore::{Metastore, TableInfo};
+pub use server::HiveServer;
 pub use session::{HiveSession, SessionBuilder};

@@ -1,0 +1,303 @@
+//! `HiveServer`: a long-lived, `Send + Sync` serving process in the
+//! HiveServer2 mold — one shared metastore, one shared DFS (with its block
+//! cache), one shared metrics registry, typed-knob defaults with per-query
+//! overrides, and a bounded admission-control semaphore
+//! (`hive.server.max.concurrent.queries`) so N threads can run queries
+//! concurrently against a single process.
+//!
+//! A [`HiveSession`] is now a thin per-client overlay: its own mutable
+//! `HiveConf` (for `SET key=value`) on top of a shared server. Every
+//! statement — from the server directly or through a session — passes
+//! through admission control.
+
+use crate::driver::{run_statement, QueryResult};
+use crate::metastore::Metastore;
+use crate::session::HiveSession;
+use hive_common::config::keys;
+use hive_common::{HiveConf, Result};
+use hive_dfs::Dfs;
+use hive_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Bounded admission control: at most `max` statements execute at once;
+/// further arrivals block until a slot frees (HiveServer2-style).
+struct Admission {
+    max: u64,
+    active: Mutex<u64>,
+    cv: Condvar,
+    /// High-water mark of concurrently admitted statements.
+    peak: AtomicU64,
+    /// Total statements ever admitted.
+    admitted: AtomicU64,
+}
+
+impl Admission {
+    fn new(max: u64) -> Admission {
+        Admission {
+            max: max.max(1),
+            active: Mutex::new(0),
+            cv: Condvar::new(),
+            peak: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    fn acquire(&self) -> AdmissionGuard<'_> {
+        let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+        while *active >= self.max {
+            active = self.cv.wait(active).unwrap_or_else(|e| e.into_inner());
+        }
+        *active += 1;
+        self.peak.fetch_max(*active, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        AdmissionGuard { admission: self }
+    }
+}
+
+/// RAII admission slot; releasing wakes one blocked arrival.
+struct AdmissionGuard<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut active = self
+            .admission
+            .active
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *active -= 1;
+        self.admission.cv.notify_one();
+    }
+}
+
+struct ServerInner {
+    dfs: Dfs,
+    defaults: HiveConf,
+    metastore: Metastore,
+    metrics: MetricsRegistry,
+    admission: Admission,
+}
+
+/// A long-lived Hive serving process. Cheap to clone (shared state); safe
+/// to share across threads.
+///
+/// ```
+/// use hive_core::HiveServer;
+/// use hive_common::{Row, Value};
+///
+/// let server = HiveServer::in_memory();
+/// let mut session = server.new_session();
+/// session.execute("CREATE TABLE t (k BIGINT) STORED AS orc").unwrap();
+/// session.load_rows("t", (0..10).map(|i| Row::new(vec![Value::Int(i)]))).unwrap();
+/// // Queries can also run straight against the server, concurrently.
+/// let r = server.execute("SELECT COUNT(*) FROM t").unwrap();
+/// assert_eq!(r.rows[0][0], Value::Int(10));
+/// ```
+#[derive(Clone)]
+pub struct HiveServer {
+    inner: Arc<ServerInner>,
+}
+
+// The whole point of the server: one process, many querying threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HiveServer>();
+};
+
+impl HiveServer {
+    /// Bring up a server from validated parts (the session builder's
+    /// `build_server` is the public entry point).
+    pub(crate) fn from_parts(
+        dfs: Dfs,
+        defaults: HiveConf,
+        metrics: MetricsRegistry,
+    ) -> Result<HiveServer> {
+        defaults.validate()?;
+        let max = defaults.get_i64(keys::SERVER_MAX_CONCURRENT)? as u64;
+        let metastore = Metastore::new(dfs.clone());
+        Ok(HiveServer {
+            inner: Arc::new(ServerInner {
+                dfs,
+                defaults,
+                metastore,
+                metrics,
+                admission: Admission::new(max),
+            }),
+        })
+    }
+
+    /// A server over a fresh simulated cluster with paper-like defaults.
+    pub fn in_memory() -> HiveServer {
+        HiveSession::builder()
+            .build_server()
+            .expect("default server configuration is valid")
+    }
+
+    /// A new session against this server: shared metastore, DFS, caches and
+    /// metrics; private copy of the server defaults for `SET` overrides.
+    pub fn new_session(&self) -> HiveSession {
+        HiveSession::over(self.clone(), self.inner.defaults.clone())
+    }
+
+    /// Execute one statement under the server defaults.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_conf(sql, &self.inner.defaults)
+    }
+
+    /// Execute one statement with validated per-query knob overrides on top
+    /// of the server defaults.
+    pub fn execute_with(&self, sql: &str, overrides: &[(&str, &str)]) -> Result<QueryResult> {
+        let mut conf = self.inner.defaults.clone();
+        for (k, v) in overrides {
+            conf.try_set(k, *v)?;
+        }
+        self.execute_conf(sql, &conf)
+    }
+
+    /// The single execution path: every statement, whichever front door it
+    /// came through, takes an admission slot first.
+    pub(crate) fn execute_conf(&self, sql: &str, conf: &HiveConf) -> Result<QueryResult> {
+        let _slot = self.inner.admission.acquire();
+        run_statement(
+            sql,
+            &self.inner.dfs,
+            conf,
+            &self.inner.metastore,
+            &self.inner.metrics,
+        )
+    }
+
+    /// The server-wide knob defaults.
+    pub fn defaults(&self) -> &HiveConf {
+        &self.inner.defaults
+    }
+
+    pub fn dfs(&self) -> &Dfs {
+        &self.inner.dfs
+    }
+
+    pub fn metastore(&self) -> &Metastore {
+        &self.inner.metastore
+    }
+
+    /// The shared metrics registry all sessions record into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// `hive.server.max.concurrent.queries` as resolved at server start.
+    pub fn max_concurrent(&self) -> u64 {
+        self.inner.admission.max
+    }
+
+    /// High-water mark of concurrently admitted statements.
+    pub fn admitted_peak(&self) -> u64 {
+        self.inner.admission.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total statements admitted since the server came up.
+    pub fn admitted_total(&self) -> u64 {
+        self.inner.admission.admitted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn admission_blocks_at_capacity_and_releases() {
+        let adm = Arc::new(Admission::new(2));
+        let g1 = adm.acquire();
+        let _g2 = adm.acquire();
+        let adm2 = Arc::clone(&adm);
+        let t = thread::spawn(move || {
+            let _g3 = adm2.acquire(); // blocks until a slot frees
+            adm2.admitted.load(Ordering::Relaxed)
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(adm.admitted.load(Ordering::Relaxed), 2, "third blocked");
+        drop(g1);
+        assert_eq!(t.join().unwrap(), 3);
+        assert_eq!(adm.peak.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_respect_the_admission_knob() {
+        let server = HiveSession::builder()
+            .set("hive.server.max.concurrent.queries", "3")
+            .unwrap()
+            .build_server()
+            .unwrap();
+        {
+            let mut s = server.new_session();
+            s.execute("CREATE TABLE t (k BIGINT, v BIGINT) STORED AS orc")
+                .unwrap();
+            s.load_rows(
+                "t",
+                (0..500).map(|i| {
+                    hive_common::Row::new(vec![
+                        hive_common::Value::Int(i % 7),
+                        hive_common::Value::Int(i),
+                    ])
+                }),
+            )
+            .unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let srv = server.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..4 {
+                    let r = srv
+                        .execute("SELECT k, COUNT(*) FROM t GROUP BY k ORDER BY k")
+                        .unwrap();
+                    assert_eq!(r.rows.len(), 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(server.admitted_peak() <= 3, "{}", server.admitted_peak());
+        // CREATE TABLE + 32 queries (load_rows writes directly, no statement).
+        assert_eq!(server.admitted_total(), 33);
+    }
+
+    #[test]
+    fn per_query_overrides_do_not_leak_into_defaults() {
+        let server = HiveServer::in_memory();
+        let mut s = server.new_session();
+        s.execute("CREATE TABLE t (k BIGINT) STORED AS orc")
+            .unwrap();
+        s.load_rows(
+            "t",
+            (0..10).map(|i| hive_common::Row::new(vec![hive_common::Value::Int(i)])),
+        )
+        .unwrap();
+        let before = server
+            .defaults()
+            .get_raw("hive.vectorized.execution.enabled");
+        let r = server
+            .execute_with(
+                "SELECT COUNT(*) FROM t",
+                &[("hive.vectorized.execution.enabled", "false")],
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], hive_common::Value::Int(10));
+        assert!(server
+            .execute_with("SELECT COUNT(*) FROM t", &[("hive.not.a.knob", "1")])
+            .is_err());
+        // Defaults untouched by either call.
+        assert_eq!(
+            server
+                .defaults()
+                .get_raw("hive.vectorized.execution.enabled"),
+            before
+        );
+    }
+}

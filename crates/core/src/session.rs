@@ -1,9 +1,13 @@
-//! The public API: a session owning a simulated cluster, a metastore, a
-//! configuration and a metrics registry — everything needed to create
-//! tables, load data, run HiveQL, and observe what the runtime did.
+//! The public API: a session over a [`HiveServer`] — a private
+//! configuration overlay (mirroring `SET key=value`) on the server's shared
+//! cluster, metastore, caches and metrics registry. `HiveSession::builder()`
+//! still brings up a dedicated single-session server for the common
+//! one-client case; `HiveServer::new_session` attaches more sessions to the
+//! same process.
 
-use crate::driver::{run_statement, QueryResult};
+use crate::driver::QueryResult;
 use crate::metastore::{Metastore, TableInfo};
+use crate::server::HiveServer;
 use hive_common::config::{keys, Knob, KnobValue};
 use hive_common::{HiveConf, HiveError, Result, Row, Schema};
 use hive_dfs::{Dfs, DfsConfig, IoSnapshot};
@@ -29,10 +33,8 @@ use hive_obs::{MetricsRegistry, MetricsSnapshot};
 /// assert_eq!(r.rows[0][1], Value::Int(10));
 /// ```
 pub struct HiveSession {
-    dfs: Dfs,
+    server: HiveServer,
     conf: HiveConf,
-    metastore: Metastore,
-    metrics: MetricsRegistry,
 }
 
 /// Fluent construction of a [`HiveSession`]: cluster shape, validated
@@ -125,19 +127,20 @@ impl SessionBuilder {
         self
     }
 
-    /// Validate the assembled configuration and bring up the session.
-    pub fn build(self) -> Result<HiveSession> {
+    /// Validate the assembled configuration and bring up a long-lived,
+    /// shareable [`HiveServer`]; the overrides become its defaults.
+    pub fn build_server(self) -> Result<HiveServer> {
         // Typed knob() writes can still be out of range; re-check the whole
-        // override map so a bad session never comes up half-configured.
+        // override map so a bad server never comes up half-configured.
         self.conf.validate()?;
         let dfs = Dfs::new(self.dfs);
-        let metastore = Metastore::new(dfs.clone());
-        Ok(HiveSession {
-            dfs,
-            conf: self.conf,
-            metastore,
-            metrics: self.metrics,
-        })
+        HiveServer::from_parts(dfs, self.conf, self.metrics)
+    }
+
+    /// Validate the assembled configuration and bring up a session (over a
+    /// dedicated single-session server).
+    pub fn build(self) -> Result<HiveSession> {
+        Ok(self.build_server()?.new_session())
     }
 }
 
@@ -145,6 +148,17 @@ impl HiveSession {
     /// Start building a session: `HiveSession::builder().….build()`.
     pub fn builder() -> SessionBuilder {
         SessionBuilder::new()
+    }
+
+    /// A session overlaying `conf` on an existing server
+    /// (used by [`HiveServer::new_session`]).
+    pub(crate) fn over(server: HiveServer, conf: HiveConf) -> HiveSession {
+        HiveSession { server, conf }
+    }
+
+    /// The server this session runs against.
+    pub fn server(&self) -> &HiveServer {
+        &self.server
     }
 
     /// A session over a fresh simulated cluster with paper-like defaults.
@@ -185,43 +199,44 @@ impl HiveSession {
     }
 
     pub fn dfs(&self) -> &Dfs {
-        &self.dfs
+        self.server.dfs()
     }
 
     pub fn metastore(&self) -> &Metastore {
-        &self.metastore
+        self.server.metastore()
     }
 
-    /// The session's metrics registry (shared handle; clone to sink).
+    /// The server's metrics registry (shared handle; clone to sink).
     pub fn metrics(&self) -> &MetricsRegistry {
-        &self.metrics
+        self.server.metrics()
     }
 
     /// A sorted point-in-time copy of every metric recorded so far.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.server.metrics().snapshot()
     }
 
-    /// Execute one HiveQL statement.
+    /// Execute one HiveQL statement under this session's configuration
+    /// (goes through the server's admission control).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        run_statement(sql, &self.dfs, &self.conf, &self.metastore, &self.metrics)
+        self.server.execute_conf(sql, &self.conf)
     }
 
     /// Bulk-load rows into a table (one new file per call), applying the
     /// session's format options; the writer honours the ORC memory manager.
     pub fn load_rows(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<u64> {
         let info: TableInfo = self
-            .metastore
+            .metastore()
             .get(table)
             .ok_or_else(|| HiveError::Metastore(format!("unknown table `{table}`")))?;
-        let part = self.metastore.table_files(table).len();
+        let part = self.metastore().table_files(table).len();
         let path = format!("{}part-{part:05}", info.location);
         let memory = MemoryManager::for_task_memory(
             self.conf.get_i64(keys::TASK_MEMORY)? as u64,
             self.conf.get_f64(keys::ORC_MEMORY_POOL)?,
         );
         let mut w = create_writer(
-            &self.dfs,
+            self.dfs(),
             &path,
             &info.schema,
             &self.conf,
@@ -242,13 +257,13 @@ impl HiveSession {
 
     /// Create a table directly from Rust (no SQL round trip).
     pub fn create_table(&mut self, name: &str, schema: Schema, format: FormatKind) -> Result<()> {
-        self.metastore.create_table(name, schema, format)?;
+        self.metastore().create_table(name, schema, format)?;
         Ok(())
     }
 
     /// Snapshot of cluster I/O counters (for experiments).
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.dfs.stats().snapshot()
+        self.dfs().stats().snapshot()
     }
 }
 

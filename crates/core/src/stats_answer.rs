@@ -80,8 +80,15 @@ pub fn try_answer(
     let mut total_rows: i64 = 0;
     let mut per_col: Vec<Option<hive_formats::orc::ColumnStatistics>> =
         vec![None; info.schema.len()];
+    let opts = OrcReadOptions {
+        // Footer reads share the metadata cache with scans (both tiers key
+        // off `hive.io.cache.bytes` as the master switch).
+        cache_metadata: conf.get_bool(hive_common::config::keys::ORC_CACHE_METADATA)?
+            && conf.get_i64(hive_common::config::keys::IO_CACHE_BYTES)? > 0,
+        ..Default::default()
+    };
     for path in &files {
-        let reader = OrcReader::open(dfs, path, OrcReadOptions::default())?;
+        let reader = OrcReader::open(dfs, path, opts.clone())?;
         total_rows += reader.num_rows() as i64;
         for (c, acc) in per_col.iter_mut().enumerate() {
             let Some(s) = reader.file_stats(c) else {

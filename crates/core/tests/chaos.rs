@@ -177,6 +177,116 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cache chaos: the server caches must never serve stale data after a table
+// is overwritten, and fault-injected read errors must never poison the
+// caches with partial entries.
+// ---------------------------------------------------------------------------
+
+/// Overwriting a table between queries (drop + recreate + reload lands new
+/// files at the SAME paths) must never serve stale footers or blocks: every
+/// cache key includes the file generation, so a stale read is structurally
+/// impossible, not just unlikely — checked here across repeated overwrites
+/// with fully warmed caches.
+#[test]
+fn overwritten_table_is_never_served_stale() {
+    let mut hive = HiveSession::builder()
+        .knob(hive_common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
+        .build()
+        .unwrap();
+    for round in 0i64..5 {
+        hive.execute("CREATE TABLE gen (k BIGINT, v BIGINT) STORED AS orc")
+            .unwrap();
+        hive.load_rows(
+            "gen",
+            (0..300).map(|i| Row::new(vec![Value::Int(round), Value::Int(i + 1000 * round)])),
+        )
+        .unwrap();
+        // Warm every tier twice: footer/index via the scan, blocks via the
+        // data reads, and the stats-answer footer path.
+        for _ in 0..2 {
+            let r = hive
+                .execute("SELECT k, COUNT(*) AS n FROM gen GROUP BY k")
+                .unwrap();
+            assert_eq!(
+                r.rows,
+                vec![Row::new(vec![Value::Int(round), Value::Int(300)])]
+            );
+            let r = hive.execute("SELECT MIN(v), MAX(v) FROM gen").unwrap();
+            assert_eq!(
+                r.rows,
+                vec![Row::new(vec![
+                    Value::Int(1000 * round),
+                    Value::Int(1000 * round + 299)
+                ])]
+            );
+        }
+        assert!(hive.metastore().drop_table("gen"), "round {round}");
+    }
+}
+
+/// Tampering with stored bytes bumps the file generation and invalidates
+/// both cache tiers: the next query must observe the damage (checksum
+/// error) rather than answer from cached clean blocks.
+#[test]
+fn tampered_file_is_not_answered_from_cache() {
+    let mut hive = chaos_session();
+    let want = sorted(hive.execute(QUERIES[0]).unwrap().rows);
+    // Warm re-run straight from the caches.
+    assert_eq!(sorted(hive.execute(QUERIES[0]).unwrap().rows), want);
+    for f in hive.metastore().table_files("t") {
+        hive.dfs().corrupt_stored(&f, 40, 0xff).unwrap();
+    }
+    let res = hive.execute(QUERIES[0]);
+    match res {
+        Err(_) => {} // checksum failure surfaced — the damage was seen
+        Ok(r) => panic!(
+            "tampered table still answered ({} rows) — stale cache read",
+            r.rows.len()
+        ),
+    }
+}
+
+// Fault-injected read errors abort in-flight cache fills instead of
+// completing them: after a faulty-but-recovered run, a fault-free warm run
+// must return identical rows (a poisoned partial entry would corrupt them)
+// and every cached fill must have come from a successful read.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn read_error_faults_never_poison_the_caches(
+        seed in 0u64..=1_000_000,
+        rate in (5u32..=20).prop_map(|x| x as f64 / 100.0),
+    ) {
+        let expected = reference_rows();
+        let mut hive = chaos_session();
+        hive.set(keys::DFS_FAULT_SEED, seed.to_string())
+            .set(keys::DFS_FAULT_READ_ERROR_RATE, rate.to_string())
+            .set(keys::MAP_MAX_ATTEMPTS, "12")
+            .set(keys::REDUCE_MAX_ATTEMPTS, "12")
+            .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true");
+        for (sql, want) in QUERIES.iter().zip(expected) {
+            let r = hive.execute(sql).unwrap();
+            prop_assert_eq!(&sorted(r.rows), want, "faulty run: seed={} {}", seed, sql);
+        }
+        // Disable injection; whatever the caches kept must be clean.
+        hive.set(keys::DFS_FAULT_READ_ERROR_RATE, "0");
+        for (sql, want) in QUERIES.iter().zip(expected) {
+            let r = hive.execute(sql).unwrap();
+            prop_assert_eq!(
+                &sorted(r.rows), want,
+                "warm run after faults diverged: seed={} {}", seed, sql
+            );
+        }
+        // Misses are counted only on completed fills; a fill aborted by an
+        // injected error leaves no entry behind, so hits can never exceed
+        // what successful fills put in.
+        let io = hive.io_snapshot();
+        prop_assert!(io.cache_misses > 0, "expected some fills, got none");
+    }
+}
+
 // Corrupt-data chaos for the vectorized map-join: with
 // `hive.exec.orc.skip.corrupt.data` on, damaged stripes are skipped
 // instead of failing the query; the vectorized and row-mode joins read

@@ -13,6 +13,7 @@
 //! File contents are real bytes held in memory; only the "distribution" is
 //! simulated.
 
+pub mod cache;
 pub mod crc;
 pub mod fault;
 pub mod stats;
@@ -23,7 +24,13 @@ pub use stats::{IoScope, IoScopeGuard, IoSnapshot, IoStats};
 use hive_common::{HiveError, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide counter handing out distinct [`Dfs::instance_id`]s, so
+/// caches outside this crate (e.g. the ORC metadata cache) can key entries
+/// by filesystem instance and never serve one simulator's bytes to another.
+static NEXT_DFS_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Identifier of a simulated cluster node (0-based).
 pub type NodeId = usize;
@@ -47,6 +54,10 @@ struct FileEntry {
     /// CRC32 of each block's bytes, computed when the file was published.
     /// Readers verify blocks against these before serving data.
     block_crcs: Vec<u32>,
+    /// Monotonic per-filesystem generation, bumped every time the path is
+    /// (re)published or tampered with. Cache keys include it, so entries
+    /// for an overwritten file are structurally unreachable.
+    generation: u64,
 }
 
 /// Cluster-level configuration of the simulated filesystem.
@@ -79,6 +90,12 @@ struct DfsInner {
     stats: IoStats,
     /// Active fault-injection plan, if any (`None` = healthy cluster).
     fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// Block-level byte cache (disabled until given a capacity).
+    cache: cache::BlockCache,
+    /// Source of per-file generations.
+    next_gen: AtomicU64,
+    /// Process-unique id of this filesystem instance.
+    id: u64,
 }
 
 impl Dfs {
@@ -89,6 +106,9 @@ impl Dfs {
                 files: RwLock::new(BTreeMap::new()),
                 stats: IoStats::default(),
                 fault: RwLock::new(None),
+                cache: cache::BlockCache::new(),
+                next_gen: AtomicU64::new(1),
+                id: NEXT_DFS_ID.fetch_add(1, Ordering::Relaxed),
             }),
         }
     }
@@ -106,6 +126,39 @@ impl Dfs {
     /// Shared I/O counters for the whole filesystem.
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
+    }
+
+    /// Process-unique id of this filesystem instance. External caches key
+    /// by `(instance_id, path, generation)` so separate simulators can
+    /// never cross-contaminate.
+    pub fn instance_id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Resize the block cache. `0` disables it and drops every entry;
+    /// shrinking evicts LRU entries down to the new bound. Evictions are
+    /// charged to the filesystem's cache counters.
+    pub fn set_cache_capacity(&self, bytes: u64) {
+        let evicted = self.inner.cache.set_capacity(bytes);
+        if evicted > 0 {
+            self.inner.stats.add_cache_evictions(evicted);
+        }
+    }
+
+    /// Current block-cache capacity in bytes (`0` = disabled).
+    pub fn cache_capacity(&self) -> u64 {
+        self.inner.cache.capacity()
+    }
+
+    /// Bytes currently resident in the block cache (test/inspection hook).
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.inner.cache.resident_bytes()
+    }
+
+    /// Current generation of `path`, if it exists. Bumped on every publish
+    /// or tamper of the path.
+    pub fn generation(&self, path: &str) -> Option<u64> {
+        self.inner.files.read().get(path).map(|f| f.generation)
     }
 
     /// Install (or clear, with `None`) the fault-injection plan. The driver
@@ -179,7 +232,11 @@ impl Dfs {
     }
 
     pub fn delete(&self, path: &str) -> bool {
-        self.inner.files.write().remove(path).is_some()
+        let removed = self.inner.files.write().remove(path).is_some();
+        if removed {
+            self.inner.cache.invalidate_path(path);
+        }
+        removed
     }
 
     /// All paths with the given prefix, sorted (used to list a "directory").
@@ -247,8 +304,11 @@ impl Dfs {
             block_size: entry.block_size,
             blocks: entry.blocks.clone(),
             block_crcs: entry.block_crcs.clone(), // stale on purpose
+            generation: self.inner.next_gen.fetch_add(1, Ordering::Relaxed),
         });
         files.insert(path.to_string(), tampered);
+        drop(files);
+        self.inner.cache.invalidate_path(path);
         Ok(())
     }
 
@@ -260,14 +320,18 @@ impl Dfs {
             .collect();
         self.inner.stats.add_bytes_written(data.len() as u64);
         self.inner.files.write().insert(
-            path,
+            path.clone(),
             Arc::new(FileEntry {
                 data,
                 block_size,
                 blocks,
                 block_crcs,
+                generation: self.inner.next_gen.fetch_add(1, Ordering::Relaxed),
             }),
         );
+        // Overwrite invalidation: generations already make the old entries
+        // unreachable; dropping them eagerly frees their bytes too.
+        self.inner.cache.invalidate_path(&path);
     }
 }
 
@@ -390,13 +454,21 @@ impl DfsReader {
         self.entry.data.is_empty()
     }
 
+    /// Generation of the file snapshot this reader holds.
+    pub fn generation(&self) -> u64 {
+        self.entry.generation
+    }
+
     /// Read `len` bytes at `offset`. Short reads at EOF return fewer bytes.
     ///
-    /// Every read is accounted (ops, seeks, locality) even when the fault
-    /// plan then fails it — the request went over the wire either way. Data
-    /// is only returned after each touched block passes its CRC32 check, so
-    /// corruption (stored or injected on the wire) surfaces as a retryable
-    /// [`HiveError::Corrupt`], never as garbage bytes.
+    /// When the block cache is enabled, the exact range `(path, generation,
+    /// offset, end)` is served from cache on a hit — no wire transfer, no
+    /// fault injection, no re-verification (the bytes were CRC-checked when
+    /// filled). Misses claim a single-flight fill slot: exactly one reader
+    /// performs the uncached read (and pays its accounting) per distinct
+    /// range, concurrent readers of the same range block and then hit. A
+    /// failed fill leaves no entry behind, so the cache can never hold
+    /// partial data from a faulted read.
     pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let total = self.entry.data.len() as u64;
         if offset > total {
@@ -405,6 +477,44 @@ impl DfsReader {
             )));
         }
         let end = (offset + len as u64).min(total);
+        if end <= offset {
+            // Empty reads carry no payload worth caching.
+            return self.read_at_uncached(offset, end);
+        }
+        let key = (self.path.clone(), self.entry.generation, offset, end);
+        match self.dfs.inner.cache.lookup_or_begin_fill(&key) {
+            cache::Lookup::Hit(bytes) => {
+                self.dfs.stats().add_cache_hit(bytes.len() as u64);
+                // Keep seek bookkeeping consistent for later misses.
+                self.last_end = Some(end);
+                Ok(bytes.as_ref().clone())
+            }
+            cache::Lookup::Fill => match self.read_at_uncached(offset, end) {
+                Ok(data) => {
+                    self.dfs.stats().add_cache_miss();
+                    let evicted = self
+                        .dfs
+                        .inner
+                        .cache
+                        .complete_fill(&key, Arc::new(data.clone()));
+                    if evicted > 0 {
+                        self.dfs.stats().add_cache_evictions(evicted);
+                    }
+                    Ok(data)
+                }
+                Err(e) => {
+                    self.dfs.inner.cache.abort_fill(&key);
+                    Err(e)
+                }
+            },
+            cache::Lookup::Bypass => self.read_at_uncached(offset, end),
+        }
+    }
+
+    /// The pre-cache read path: wire accounting, locality split, fault
+    /// injection, and CRC verification. `end` is already clamped to EOF.
+    fn read_at_uncached(&mut self, offset: u64, end: u64) -> Result<Vec<u8>> {
+        let len = (end - offset) as usize;
         let slice = &self.entry.data[offset as usize..end as usize];
 
         // Seek accounting: any non-contiguous read is one seek. The first
@@ -745,6 +855,95 @@ mod tests {
         }
         let mut ok = fs.open("/t/dead", Some(0)).unwrap();
         assert_eq!(ok.read_at(0, 100).unwrap(), vec![5u8; 100]);
+    }
+
+    #[test]
+    fn cached_reads_skip_wire_accounting_and_survive_reader_turnover() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/cache");
+        w.write(&[0x5au8; 150]);
+        w.close();
+
+        let before = fs.stats().snapshot();
+        let mut r = fs.open("/t/cache", None).unwrap();
+        assert_eq!(r.read_at(0, 150).unwrap(), vec![0x5au8; 150]);
+        let cold = fs.stats().snapshot().since(&before);
+        assert_eq!(cold.cache_misses, 1);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.bytes_remote, 150);
+
+        // A *different* reader hits the shared cache: no bytes, ops, or
+        // seeks accounted, and the payload is identical.
+        let mid = fs.stats().snapshot();
+        let mut r2 = fs.open("/t/cache", None).unwrap();
+        assert_eq!(r2.read_at(0, 150).unwrap(), vec![0x5au8; 150]);
+        let warm = fs.stats().snapshot().since(&mid);
+        assert_eq!(warm.cache_hits, 1);
+        assert_eq!(warm.cache_hit_bytes, 150);
+        assert_eq!(warm.bytes_remote + warm.bytes_local, 0);
+        assert_eq!(warm.read_ops, 0);
+        assert_eq!(warm.seeks, 0);
+    }
+
+    #[test]
+    fn overwrite_never_serves_stale_cached_bytes() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/gen");
+        w.write(&[1u8; 80]);
+        w.close();
+        let g1 = fs.generation("/t/gen").unwrap();
+        let mut r = fs.open("/t/gen", None).unwrap();
+        assert_eq!(r.read_at(0, 80).unwrap(), vec![1u8; 80]);
+
+        let mut w = fs.create("/t/gen");
+        w.write(&[2u8; 80]);
+        w.close();
+        assert!(fs.generation("/t/gen").unwrap() > g1);
+        // The overwrite freed the old entry's bytes eagerly.
+        assert_eq!(fs.cache_resident_bytes(), 0);
+        let mut r2 = fs.open("/t/gen", None).unwrap();
+        assert_eq!(r2.read_at(0, 80).unwrap(), vec![2u8; 80]);
+    }
+
+    #[test]
+    fn faulted_fill_does_not_poison_cache() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/fpoison");
+        w.write(&[7u8; 100]);
+        w.close();
+        faulted_fs(&fs, &[("dfs.fault.read.error.rate", "1.0")]);
+        let mut r = fs.open("/t/fpoison", None).unwrap();
+        assert!(matches!(r.read_at(0, 100), Err(HiveError::Transient(_))));
+        // Nothing cached from the failed attempt...
+        assert_eq!(fs.cache_resident_bytes(), 0);
+        // ...and the retry both succeeds and fills.
+        assert_eq!(r.read_at(0, 100).unwrap(), vec![7u8; 100]);
+        assert_eq!(fs.cache_resident_bytes(), 100);
+        // Subsequent readers hit without consulting the fault plan at all.
+        let mut r2 = fs.open("/t/fpoison", None).unwrap();
+        assert_eq!(r2.read_at(0, 100).unwrap(), vec![7u8; 100]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_and_clears() {
+        let fs = small_fs();
+        fs.set_cache_capacity(4096);
+        let mut w = fs.create("/t/off");
+        w.write(&[3u8; 64]);
+        w.close();
+        fs.open("/t/off", None).unwrap().read_at(0, 64).unwrap();
+        assert_eq!(fs.cache_resident_bytes(), 64);
+        fs.set_cache_capacity(0);
+        assert_eq!(fs.cache_resident_bytes(), 0);
+        let before = fs.stats().snapshot();
+        fs.open("/t/off", None).unwrap().read_at(0, 64).unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        // Disabled cache: plain uncached read, no cache counters move.
+        assert_eq!(after.cache_hits + after.cache_misses, 0);
+        assert_eq!(after.bytes_remote, 64);
     }
 
     #[test]

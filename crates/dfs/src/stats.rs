@@ -21,6 +21,10 @@ pub struct IoStats {
     read_ops: AtomicU64,
     seeks: AtomicU64,
     sim_penalty_us: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_hit_bytes: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 thread_local! {
@@ -58,6 +62,19 @@ impl IoStats {
         self.sim_penalty_us.fetch_add(n, Ordering::Relaxed);
     }
 
+    fn record_cache_hit(&self, bytes: u64) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hit_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn add_bytes_local(&self, n: u64) {
         self.record_bytes_local(n);
         tee(|s| s.record_bytes_local(n));
@@ -87,6 +104,24 @@ impl IoStats {
         tee(|s| s.record_sim_penalty_us(n));
     }
 
+    /// One block-cache hit serving `bytes` without touching the wire.
+    pub fn add_cache_hit(&self, bytes: u64) {
+        self.record_cache_hit(bytes);
+        tee(|s| s.record_cache_hit(bytes));
+    }
+
+    /// One block-cache miss (the read went to the DFS and filled a slot).
+    pub fn add_cache_miss(&self) {
+        self.record_cache_miss();
+        tee(|s| s.record_cache_miss());
+    }
+
+    /// `n` entries evicted to make room for an insertion on this thread.
+    pub fn add_cache_evictions(&self, n: u64) {
+        self.record_cache_evictions(n);
+        tee(|s| s.record_cache_evictions(n));
+    }
+
     /// A consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -96,6 +131,10 @@ impl IoStats {
             read_ops: self.read_ops.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             sim_penalty_us: self.sim_penalty_us.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_hit_bytes: self.cache_hit_bytes.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +146,10 @@ impl IoStats {
         self.read_ops.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.sim_penalty_us.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_hit_bytes.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -120,6 +163,14 @@ pub struct IoSnapshot {
     pub seeks: u64,
     /// Simulated straggler latency injected by the fault plan, in µs.
     pub sim_penalty_us: u64,
+    /// Block-cache lookups served without a DFS read.
+    pub cache_hits: u64,
+    /// Block-cache lookups that went to the DFS and filled a slot.
+    pub cache_misses: u64,
+    /// Bytes served from the block cache (not counted in `bytes_read`).
+    pub cache_hit_bytes: u64,
+    /// Entries evicted by the sharded LRU to admit insertions.
+    pub cache_evictions: u64,
 }
 
 impl IoSnapshot {
@@ -142,6 +193,10 @@ impl IoSnapshot {
             read_ops: self.read_ops.saturating_sub(earlier.read_ops),
             seeks: self.seeks.saturating_sub(earlier.seeks),
             sim_penalty_us: self.sim_penalty_us.saturating_sub(earlier.sim_penalty_us),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_hit_bytes: self.cache_hit_bytes.saturating_sub(earlier.cache_hit_bytes),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 
@@ -154,6 +209,10 @@ impl IoSnapshot {
             read_ops: self.read_ops + other.read_ops,
             seeks: self.seeks + other.seeks,
             sim_penalty_us: self.sim_penalty_us + other.sim_penalty_us,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_hit_bytes: self.cache_hit_bytes + other.cache_hit_bytes,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
         }
     }
 }

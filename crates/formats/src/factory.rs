@@ -155,6 +155,10 @@ pub fn open_reader(
                 node: opts.node,
                 split: opts.split,
                 skip_corrupt: conf.get_bool(keys::ORC_SKIP_CORRUPT)?,
+                // `hive.io.cache.bytes=0` is the master switch for both
+                // cache tiers; metadata caching piggybacks on it.
+                cache_metadata: conf.get_bool(keys::ORC_CACHE_METADATA)?
+                    && conf.get_i64(keys::IO_CACHE_BYTES)? > 0,
             },
         )?),
     })

@@ -54,6 +54,14 @@ pub struct ReadStats {
     pub groups_read: u64,
     /// Rows dropped by corrupt-data degradation.
     pub rows_skipped: u64,
+    /// Decoded file-footer metadata served from / filled into the
+    /// process-wide ORC metadata cache. Zero when the cache is off.
+    pub footer_cache_hits: u64,
+    pub footer_cache_misses: u64,
+    /// Decoded stripe-footer and row-index entries served from / filled
+    /// into the metadata cache. Zero when the cache is off.
+    pub index_cache_hits: u64,
+    pub index_cache_misses: u64,
 }
 
 /// A row-at-a-time reader over one file. Projection is applied by the

@@ -1,0 +1,280 @@
+//! Process-wide ORC metadata cache (the metadata tier of the two-tier
+//! cache layer; LLAP-style).
+//!
+//! ORC deliberately concentrates its hot bytes — postscript, file footer,
+//! stripe footers, and the row-index statistics — so repeated scans can
+//! amortize metadata decode. This module caches the *decoded* forms behind
+//! `Arc`s, keyed by `(dfs instance, path, file generation)`: the generation
+//! is bumped by the DFS on every publish or tamper, so an overwritten file
+//! can never serve stale metadata — the stale key is simply unreachable.
+//!
+//! All maps are **single-flight**: concurrent readers missing on the same
+//! key block while exactly one performs the read + decode, then share the
+//! result. A failed fill removes the pending marker (the error goes to the
+//! filler; waiters retry), so a fault-injected read can never leave a
+//! partial entry behind.
+
+use crate::orc::stats::ColumnStatistics;
+use crate::orc::{FileFooter, PostScript, StripeFooter};
+use hive_common::Result;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Files the global cache keeps decoded metadata for (LRU beyond this).
+const MAX_CACHED_FILES: usize = 256;
+
+enum Slot<V> {
+    Pending,
+    Ready(Arc<V>),
+}
+
+/// A single-flight memo map: `get_or_fill` returns the cached value or
+/// runs `fill` exactly once per key across threads.
+pub struct SfMap<K, V> {
+    inner: Mutex<HashMap<K, Slot<V>>>,
+    cv: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for SfMap<K, V> {
+    fn default() -> Self {
+        SfMap {
+            inner: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> SfMap<K, V> {
+    /// Look up `key`, filling it with `fill` on a miss. Returns the value
+    /// and whether it was served from cache (`true` = hit). Blocks while
+    /// another thread fills the same key; if that fill fails, a waiter
+    /// becomes the next filler.
+    pub fn get_or_fill(&self, key: K, fill: impl FnOnce() -> Result<V>) -> Result<(Arc<V>, bool)> {
+        {
+            let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match m.get(&key) {
+                    Some(Slot::Ready(v)) => return Ok((Arc::clone(v), true)),
+                    Some(Slot::Pending) => {
+                        m = self.cv.wait(m).unwrap_or_else(|e| e.into_inner());
+                    }
+                    None => {
+                        m.insert(key.clone(), Slot::Pending);
+                        break;
+                    }
+                }
+            }
+        }
+        match fill() {
+            Ok(v) => {
+                let v = Arc::new(v);
+                let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                m.insert(key, Slot::Ready(Arc::clone(&v)));
+                self.cv.notify_all();
+                Ok((v, false))
+            }
+            Err(e) => {
+                let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                m.remove(&key);
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of Ready entries (test hook).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Decoded metadata of one ORC file (one generation of one path): the
+/// eagerly decoded postscript + file footer, plus lazily filled per-stripe
+/// footers and row-index statistics keyed by stripe offset.
+pub struct FileMeta {
+    pub ps: PostScript,
+    pub footer: FileFooter,
+    pub stripe_footers: SfMap<u64, StripeFooter>,
+    pub indexes: SfMap<u64, Vec<Vec<ColumnStatistics>>>,
+}
+
+impl FileMeta {
+    pub fn new(ps: PostScript, footer: FileFooter) -> FileMeta {
+        FileMeta {
+            ps,
+            footer,
+            stripe_footers: SfMap::default(),
+            indexes: SfMap::default(),
+        }
+    }
+}
+
+type FileKey = (u64, String, u64); // (dfs instance, path, generation)
+
+enum FileSlot {
+    Pending,
+    /// Meta plus its LRU stamp.
+    Ready(Arc<FileMeta>, u64),
+}
+
+struct FileCache {
+    inner: Mutex<HashMap<FileKey, FileSlot>>,
+    cv: Condvar,
+    clock: AtomicU64,
+}
+
+fn global() -> &'static FileCache {
+    static CACHE: OnceLock<FileCache> = OnceLock::new();
+    CACHE.get_or_init(|| FileCache {
+        inner: Mutex::new(HashMap::new()),
+        cv: Condvar::new(),
+        clock: AtomicU64::new(0),
+    })
+}
+
+/// Fetch (or build, single-flight) the decoded metadata for one generation
+/// of one file. Returns the meta and whether it was a cache hit. Inserting
+/// a new generation prunes older generations of the same path, and the
+/// cache holds at most [`MAX_CACHED_FILES`] decoded files (LRU).
+pub fn file_meta(
+    dfs_id: u64,
+    path: &str,
+    generation: u64,
+    open: impl FnOnce() -> Result<FileMeta>,
+) -> Result<(Arc<FileMeta>, bool)> {
+    let cache = global();
+    let key: FileKey = (dfs_id, path.to_string(), generation);
+    {
+        let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match m.get_mut(&key) {
+                Some(FileSlot::Ready(meta, stamp)) => {
+                    *stamp = cache.clock.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(meta), true));
+                }
+                Some(FileSlot::Pending) => {
+                    m = cache.cv.wait(m).unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    m.insert(key.clone(), FileSlot::Pending);
+                    break;
+                }
+            }
+        }
+    }
+    match open() {
+        Ok(meta) => {
+            let meta = Arc::new(meta);
+            let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+            // Older generations of this path are unreachable now; drop them.
+            m.retain(|(d, p, g), _| !(*d == dfs_id && p == path && *g < generation));
+            let stamp = cache.clock.fetch_add(1, Ordering::Relaxed);
+            m.insert(key, FileSlot::Ready(Arc::clone(&meta), stamp));
+            while m.len() > MAX_CACHED_FILES {
+                let victim = m
+                    .iter()
+                    .filter_map(|(k, s)| match s {
+                        FileSlot::Ready(_, stamp) => Some((*stamp, k.clone())),
+                        FileSlot::Pending => None,
+                    })
+                    .min();
+                let Some((_, k)) = victim else { break };
+                m.remove(&k);
+            }
+            cache.cv.notify_all();
+            Ok((meta, false))
+        }
+        Err(e) => {
+            let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+            m.remove(&key);
+            cache.cv.notify_all();
+            Err(e)
+        }
+    }
+}
+
+/// Ready file entries currently cached (test hook).
+pub fn cached_files() -> usize {
+    global()
+        .inner
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+        .filter(|s| matches!(s, FileSlot::Ready(..)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_codec::block::Compression;
+    use hive_common::HiveError;
+
+    fn meta() -> FileMeta {
+        FileMeta::new(
+            PostScript {
+                footer_len: 0,
+                compression: Compression::None,
+                compress_unit: 0,
+            },
+            FileFooter {
+                nrows: 0,
+                type_string: "struct<a:bigint>".into(),
+                row_index_stride: 10_000,
+                stripes: Vec::new(),
+                stripe_stats: Vec::new(),
+                file_stats: Vec::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn sfmap_fills_once_then_hits() {
+        let m: SfMap<u64, String> = SfMap::default();
+        let (v, hit) = m.get_or_fill(7, || Ok("x".to_string())).unwrap();
+        assert_eq!((v.as_str(), hit), ("x", false));
+        let (v, hit) = m.get_or_fill(7, || panic!("must not refill")).unwrap();
+        assert_eq!((v.as_str(), hit), ("x", true));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sfmap_failed_fill_is_retryable() {
+        let m: SfMap<u64, String> = SfMap::default();
+        let err = m
+            .get_or_fill(1, || Err::<String, _>(HiveError::Transient("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, HiveError::Transient(_)));
+        assert!(m.is_empty());
+        let (_, hit) = m.get_or_fill(1, || Ok("ok".to_string())).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn file_meta_generation_replaces_older() {
+        // A private dfs_id keeps this test independent of others sharing
+        // the global cache.
+        let id = u64::MAX - 3;
+        let (_, hit) = file_meta(id, "/w/t/p", 1, || Ok(meta())).unwrap();
+        assert!(!hit);
+        let (_, hit) = file_meta(id, "/w/t/p", 1, || panic!("cached")).unwrap();
+        assert!(hit);
+        // New generation: a miss, and the old generation gets pruned.
+        let (_, hit) = file_meta(id, "/w/t/p", 2, || Ok(meta())).unwrap();
+        assert!(!hit);
+        let m = global().inner.lock().unwrap();
+        assert!(!m.contains_key(&(id, "/w/t/p".to_string(), 1)));
+        assert!(m.contains_key(&(id, "/w/t/p".to_string(), 2)));
+    }
+}

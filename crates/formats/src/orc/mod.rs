@@ -15,6 +15,7 @@
 //! starts), stripe-level statistics and file-level statistics; the
 //! postscript records how to read the footer.
 
+pub mod cache;
 pub mod memory;
 pub mod reader;
 pub mod sarg;

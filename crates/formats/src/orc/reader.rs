@@ -21,7 +21,7 @@ use crate::orc::sarg::{SearchArgument, TruthValue};
 use crate::orc::stats::ColumnStatistics;
 use crate::orc::{
     decode_file_footer, decode_postscript, decode_stripe_footer, deframe_chunk, ColumnEncoding,
-    FileFooter, PostScript, StreamKind, StripeFooter,
+    StreamKind, StripeFooter,
 };
 use crate::TableReader;
 use hive_codec::{bitfield, byte_rle, int_rle};
@@ -50,6 +50,11 @@ pub struct OrcReadOptions {
     /// skip stripes (or individual index groups) whose bytes fail checksum
     /// or decode, and count the rows lost in [`ReadCounters::rows_skipped`].
     pub skip_corrupt: bool,
+    /// `hive.orc.cache.metadata`: share decoded footers, stripe footers,
+    /// and row-index statistics through the process-wide metadata cache,
+    /// keyed by `(dfs instance, path, file generation)`. When false the
+    /// reader decodes privately, exactly as before the cache existed.
+    pub cache_metadata: bool,
 }
 
 /// Skipping counters for experiments and tests.
@@ -61,6 +66,14 @@ pub struct ReadCounters {
     pub groups_read: u64,
     /// Rows dropped by corrupt-data degradation (`skip_corrupt`).
     pub rows_skipped: u64,
+    /// File footer (+ postscript) metadata cache hits/misses. Always zero
+    /// when `cache_metadata` is off.
+    pub footer_cache_hits: u64,
+    pub footer_cache_misses: u64,
+    /// Stripe footer and row-index metadata cache hits/misses. Always zero
+    /// when `cache_metadata` is off.
+    pub index_cache_hits: u64,
+    pub index_cache_misses: u64,
 }
 
 /// Decoded data of one column for the selected groups of a stripe.
@@ -119,8 +132,9 @@ pub struct OrcReader {
     reader: DfsReader,
     schema: Schema,
     tree: ColumnTree,
-    footer: FileFooter,
-    ps: PostScript,
+    /// Decoded file metadata — shared through the process-wide cache when
+    /// `cache_metadata` is on, private to this reader otherwise.
+    meta: Arc<crate::orc::cache::FileMeta>,
     projection: Vec<usize>,
     needed: Vec<bool>,
     opts: OrcReadOptions,
@@ -135,22 +149,34 @@ pub struct OrcReader {
 impl OrcReader {
     pub fn open(dfs: &Dfs, path: &str, opts: OrcReadOptions) -> Result<OrcReader> {
         let mut reader = dfs.open(path, opts.node)?;
-        let len = reader.len();
-        // Read a generous tail to capture postscript + footer in one read.
-        let tail_guess = (len as usize).min(16 << 10);
-        let tail = reader.read_at(len - tail_guess as u64, tail_guess)?;
-        let (ps, ps_total) = decode_postscript(&tail)?;
-        let footer_end = len - ps_total as u64;
-        let footer_start = footer_end
-            .checked_sub(ps.footer_len)
-            .ok_or_else(|| HiveError::Format("footer length exceeds file".into()))?;
-        let footer_buf = if (ps.footer_len as usize + ps_total) <= tail.len() {
-            tail[tail.len() - ps_total - ps.footer_len as usize..tail.len() - ps_total].to_vec()
-        } else {
-            reader.read_at(footer_start, ps.footer_len as usize)?
+        // Decode postscript + file footer (one generous tail read). Runs at
+        // most once per (file, generation) process-wide when the metadata
+        // cache is on; always, privately, when it is off.
+        let read_meta = |reader: &mut DfsReader| -> Result<crate::orc::cache::FileMeta> {
+            let len = reader.len();
+            let tail_guess = (len as usize).min(16 << 10);
+            let tail = reader.read_at(len - tail_guess as u64, tail_guess)?;
+            let (ps, ps_total) = decode_postscript(&tail)?;
+            let footer_end = len - ps_total as u64;
+            let footer_start = footer_end
+                .checked_sub(ps.footer_len)
+                .ok_or_else(|| HiveError::Format("footer length exceeds file".into()))?;
+            let footer_buf = if (ps.footer_len as usize + ps_total) <= tail.len() {
+                tail[tail.len() - ps_total - ps.footer_len as usize..tail.len() - ps_total].to_vec()
+            } else {
+                reader.read_at(footer_start, ps.footer_len as usize)?
+            };
+            let footer = decode_file_footer(&footer_buf)?;
+            Ok(crate::orc::cache::FileMeta::new(ps, footer))
         };
-        let footer = decode_file_footer(&footer_buf)?;
-        let root = footer.root_type()?;
+        let (meta, meta_hit) = if opts.cache_metadata {
+            crate::orc::cache::file_meta(dfs.instance_id(), path, reader.generation(), || {
+                read_meta(&mut reader)
+            })?
+        } else {
+            (Arc::new(read_meta(&mut reader)?), false)
+        };
+        let root = meta.footer.root_type()?;
         let DataType::Struct(fields) = root else {
             return Err(HiveError::Format("ORC root type must be a struct".into()));
         };
@@ -176,16 +202,22 @@ impl OrcReader {
                 needed[id] = true;
             }
         }
-        let counters = ReadCounters {
-            stripes_total: footer.stripes.len() as u64,
+        let mut counters = ReadCounters {
+            stripes_total: meta.footer.stripes.len() as u64,
             ..Default::default()
         };
+        if opts.cache_metadata {
+            if meta_hit {
+                counters.footer_cache_hits += 1;
+            } else {
+                counters.footer_cache_misses += 1;
+            }
+        }
         Ok(OrcReader {
             reader,
             schema,
             tree,
-            footer,
-            ps,
+            meta,
             projection,
             needed,
             opts,
@@ -204,11 +236,11 @@ impl OrcReader {
     /// File-level statistics for top-level column `i` — usable to answer
     /// simple aggregations (COUNT/MIN/MAX/SUM) without reading row data.
     pub fn file_stats(&self, i: usize) -> Option<&ColumnStatistics> {
-        self.footer.file_stats.get(self.tree.top_level(i))
+        self.meta.footer.file_stats.get(self.tree.top_level(i))
     }
 
     pub fn num_rows(&self) -> u64 {
-        self.footer.nrows
+        self.meta.footer.nrows
     }
 
     /// Evaluate the sarg against a span's per-column stats.
@@ -233,10 +265,10 @@ impl OrcReader {
                 self.current = Some(cur);
                 return Ok(true);
             }
-            if self.stripe_idx >= self.footer.stripes.len() {
+            if self.stripe_idx >= self.meta.footer.stripes.len() {
                 return Ok(false);
             }
-            let si = self.footer.stripes[self.stripe_idx].clone();
+            let si = self.meta.footer.stripes[self.stripe_idx].clone();
             let stripe_no = self.stripe_idx;
             self.stripe_idx += 1;
 
@@ -249,7 +281,7 @@ impl OrcReader {
             }
 
             // Level 2: stripe statistics.
-            if let Some(per_stripe) = self.footer.stripe_stats.get(stripe_no) {
+            if let Some(per_stripe) = self.meta.footer.stripe_stats.get(stripe_no) {
                 if !self.sarg_allows(per_stripe) {
                     continue;
                 }
@@ -289,12 +321,25 @@ impl OrcReader {
                 "stripe extends past end of file (corrupt footer)".into(),
             ));
         }
-        // Stripe footer (stream directory).
-        let footer_buf = self.reader.read_at(
-            si.offset + si.index_len + si.data_len,
-            si.footer_len as usize,
-        )?;
-        let sfooter: StripeFooter = decode_stripe_footer(&footer_buf)?;
+        // Stripe footer (stream directory) — decoded at most once per
+        // stripe per generation when the metadata cache is shared; the
+        // same single-flight map doubles as a per-reader memo otherwise.
+        let meta = Arc::clone(&self.meta);
+        let (sfooter, sf_hit) = meta.stripe_footers.get_or_fill(si.offset, || {
+            let footer_buf = self.reader.read_at(
+                si.offset + si.index_len + si.data_len,
+                si.footer_len as usize,
+            )?;
+            decode_stripe_footer(&footer_buf)
+        })?;
+        if self.opts.cache_metadata {
+            if sf_hit {
+                self.counters.index_cache_hits += 1;
+            } else {
+                self.counters.index_cache_misses += 1;
+            }
+        }
+        let sfooter: &StripeFooter = &sfooter;
 
         // Level 3: index-group statistics (only if PPD is on).
         let ngroups = sfooter
@@ -308,8 +353,17 @@ impl OrcReader {
         self.counters.groups_total += ngroups as u64;
         let selected: Vec<usize> =
             if self.opts.use_index && self.opts.sarg.is_some() && si.index_len > 0 {
-                let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
-                let group_stats = decode_index(&index_buf, self.tree.len())?;
+                let (group_stats, ix_hit) = meta.indexes.get_or_fill(si.offset, || {
+                    let index_buf = self.reader.read_at(si.offset, si.index_len as usize)?;
+                    decode_index(&index_buf, self.tree.len())
+                })?;
+                if self.opts.cache_metadata {
+                    if ix_hit {
+                        self.counters.index_cache_hits += 1;
+                    } else {
+                        self.counters.index_cache_misses += 1;
+                    }
+                }
                 (0..ngroups)
                     .filter(|&g| {
                         let per_group: Vec<ColumnStatistics> = group_stats
@@ -355,14 +409,14 @@ impl OrcReader {
             }
         }
 
-        match self.decode_cursor(si, &sfooter, &stream_offsets, &selected, all_groups) {
+        match self.decode_cursor(si, sfooter, &stream_offsets, &selected, all_groups) {
             Ok(cursor) => {
                 self.pending.push_back(cursor);
                 Ok(())
             }
             Err(e) if self.opts.skip_corrupt && e.is_data_corruption() => {
                 for &g in &selected {
-                    match self.decode_cursor(si, &sfooter, &stream_offsets, &[g], false) {
+                    match self.decode_cursor(si, sfooter, &stream_offsets, &[g], false) {
                         Ok(cursor) => self.pending.push_back(cursor),
                         Err(e) if e.is_data_corruption() => {
                             self.counters.rows_skipped += self.group_rows(si, g);
@@ -378,7 +432,7 @@ impl OrcReader {
 
     /// Top-level rows of index group `g` in stripe `si`.
     fn group_rows(&self, si: &crate::orc::StripeInfo, g: usize) -> u64 {
-        let stride = self.footer.row_index_stride.max(1);
+        let stride = self.meta.footer.row_index_stride.max(1);
         (si.nrows.saturating_sub(g as u64 * stride)).min(stride)
     }
 
@@ -418,7 +472,7 @@ impl OrcReader {
     ) -> Result<DecodedColumn> {
         let cs = &sfooter.columns[col_id];
         let dt = &self.tree.node(col_id).data_type;
-        let compression = self.ps.compression;
+        let compression = self.meta.ps.compression;
 
         // Gather the raw (deframed) bytes of one stream for selected groups,
         // returning per-chunk (raw bytes, value count).
@@ -873,6 +927,10 @@ impl TableReader for OrcReader {
             groups_total: self.counters.groups_total,
             groups_read: self.counters.groups_read,
             rows_skipped: self.counters.rows_skipped,
+            footer_cache_hits: self.counters.footer_cache_hits,
+            footer_cache_misses: self.counters.footer_cache_misses,
+            index_cache_hits: self.counters.index_cache_hits,
+            index_cache_misses: self.counters.index_cache_misses,
         }
     }
 }

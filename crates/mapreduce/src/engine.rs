@@ -934,7 +934,7 @@ impl MrEngine {
             .get(&split.input.alias)
             .map(|stage| stage.pipeline.profile())
             .unwrap_or_else(VectorPipelineProfile::default);
-        let scan = ScanProfile {
+        let mut scan = ScanProfile {
             rows_read: rows_processed,
             batches: vector_profile.batches,
             vector_rows_in: vector_profile.rows_in,
@@ -944,6 +944,11 @@ impl MrEngine {
             groups_total: read_stats.groups_total,
             groups_read: read_stats.groups_read,
             rows_salvaged: read_stats.rows_skipped,
+            footer_cache_hits: read_stats.footer_cache_hits,
+            footer_cache_misses: read_stats.footer_cache_misses,
+            index_cache_hits: read_stats.index_cache_hits,
+            index_cache_misses: read_stats.index_cache_misses,
+            ..Default::default()
         };
         // Vector-stage operator profiles (e.g. the vectorized map-join)
         // lead the list, sorted by alias so merging across tasks aligns.
@@ -965,11 +970,17 @@ impl MrEngine {
         let op_profiles = self.finalize_profiles(op_profiles);
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
+        let io = scope.snapshot();
+        // Block-cache activity attributed to this task's reads.
+        scan.data_cache_hits = io.cache_hits;
+        scan.data_cache_misses = io.cache_misses;
+        scan.data_cache_hit_bytes = io.cache_hit_bytes;
+        scan.data_cache_evictions = io.cache_evictions;
         Ok(MapTaskResult {
             partitions,
             task_out,
             written,
-            io: scope.snapshot(),
+            io,
             cpu_seconds,
             shuffle_records,
             node,

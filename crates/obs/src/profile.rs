@@ -74,6 +74,22 @@ counters! {
         groups_read: u64,
         /// Rows skipped by corrupt-record salvage.
         rows_salvaged: u64,
+        /// Decoded ORC file footers served from the metadata cache.
+        footer_cache_hits: u64,
+        /// Decoded ORC file footers filled into the metadata cache.
+        footer_cache_misses: u64,
+        /// Decoded stripe footers / row indexes served from the cache.
+        index_cache_hits: u64,
+        /// Decoded stripe footers / row indexes filled into the cache.
+        index_cache_misses: u64,
+        /// DFS block-cache hits observed by this scan's reads.
+        data_cache_hits: u64,
+        /// DFS block-cache misses (single-flight fills) paid by this scan.
+        data_cache_misses: u64,
+        /// Bytes served from the DFS block cache instead of the wire.
+        data_cache_hit_bytes: u64,
+        /// Block-cache LRU evictions forced by this scan's fills.
+        data_cache_evictions: u64,
     }
 }
 
@@ -185,6 +201,6 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(a.rows_read, 15);
-        assert_eq!(a.entries().len(), 9);
+        assert_eq!(a.entries().len(), 17);
     }
 }

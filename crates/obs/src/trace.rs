@@ -25,6 +25,8 @@ pub enum SpanKind {
     Task,
     /// One operator inside a task's operator graph.
     Operator,
+    /// Cache activity (metadata/block caches) observed during a job.
+    Cache,
 }
 
 impl SpanKind {
@@ -36,6 +38,7 @@ impl SpanKind {
             SpanKind::Job => "job",
             SpanKind::Task => "task",
             SpanKind::Operator => "operator",
+            SpanKind::Cache => "cache",
         }
     }
 }

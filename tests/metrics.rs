@@ -196,6 +196,173 @@ fn explain_analyze_mapjoin_knob_off_golden() {
     assert_golden("explain_analyze_row_mapjoin.txt", &text);
 }
 
+/// The sarg-filtered scan used by the cache golden tests. Must stay in
+/// sync with `tests/golden/explain_analyze_cache_*.txt`.
+const SARG_PROBE: &str =
+    "SELECT cust, COUNT(*) AS n FROM orders WHERE total > 100.0 GROUP BY cust ORDER BY cust";
+
+/// Cold-then-warm `EXPLAIN ANALYZE` pair against one session (one server):
+/// the first run fills the metadata and block caches, the second must hit
+/// them. Byte-identical at worker widths 1 and 4 — single-flight fills keep
+/// the hit/miss counters deterministic under concurrency.
+fn analyze_cold_warm() -> (String, String) {
+    let mut pairs = Vec::new();
+    for threads in [1u64, 4] {
+        let mut hive = session(threads);
+        load_tpch_style(&mut hive);
+        let sql = format!("EXPLAIN ANALYZE {SARG_PROBE}");
+        let cold = hive.execute(&sql).unwrap().explain.unwrap();
+        let warm = hive.execute(&sql).unwrap().explain.unwrap();
+        pairs.push((cold, warm));
+    }
+    let wide = pairs.pop().unwrap();
+    let narrow = pairs.pop().unwrap();
+    assert_eq!(
+        narrow, wide,
+        "cache counters differ across worker-thread counts"
+    );
+    wide
+}
+
+#[test]
+fn explain_analyze_cache_cold_then_warm_goldens() {
+    let (cold, warm) = analyze_cold_warm();
+    // Cold: one ORC file footer decoded and filled, nothing served.
+    assert!(cold.contains("cache: footer=0/1"), "{cold}");
+    assert!(cold.contains("data=0/"), "{cold}");
+    // Warm: the same footer (and stripe footer / row index) now hit, and
+    // every data read is served from the block cache — no DFS bytes moved.
+    assert!(warm.contains("cache: footer=1/0"), "{warm}");
+    assert!(warm.contains("index=2/0"), "{warm}");
+    assert!(warm.contains("io: read=0B"), "{warm}");
+    assert_golden("explain_analyze_cache_cold.txt", &cold);
+    assert_golden("explain_analyze_cache_warm.txt", &warm);
+}
+
+#[test]
+fn cache_knob_off_restores_pre_cache_scan_stats() {
+    // `hive.io.cache.bytes=0` is the master switch for both cache tiers;
+    // this golden was captured before the caches existed, so matching it
+    // byte-for-byte proves knob-off restores the pre-cache read path.
+    let text = analyze_text_conf(SARG_PROBE, |hive| {
+        hive.try_set("hive.io.cache.bytes", "0").unwrap();
+    });
+    assert!(!text.contains("cache:"), "{text}");
+    assert_golden("explain_analyze_cache_off.txt", &text);
+}
+
+#[test]
+fn warm_queries_carry_a_cache_trace_span() {
+    let mut hive = session(2);
+    load_tpch_style(&mut hive);
+    hive.execute(SARG_PROBE).unwrap();
+    let r = hive.execute(SARG_PROBE).unwrap();
+    let span = r
+        .metrics
+        .trace
+        .spans
+        .iter()
+        .find(|s| s.kind == hive::obs::SpanKind::Cache)
+        .unwrap_or_else(|| panic!("no cache span:\n{}", r.metrics.trace.render()));
+    assert_eq!(
+        span.attr("footer_hits"),
+        Some(&hive::obs::AttrValue::U64(1)),
+        "{span:?}"
+    );
+    assert!(
+        matches!(span.attr("data_hit_bytes"), Some(&hive::obs::AttrValue::U64(n)) if n > 0),
+        "{span:?}"
+    );
+}
+
+/// 8 client threads × 32 mixed statements (sarg scans, vectorized
+/// map-joins, correlated group-bys) against ONE server: no deadlock, the
+/// admission high-water mark stays within the knob, every result is
+/// correct, and the final metrics snapshot is deterministic across engine
+/// worker-thread counts.
+fn stress_snapshot(worker_threads: u64) -> hive::obs::MetricsSnapshot {
+    const MIXED: [(&str, usize); 3] = [
+        (SARG_PROBE, 99),
+        (JOIN_AGG, 100),
+        (
+            "SELECT orders.cust, COUNT(*) AS n, SUM(orders.total) AS rev \
+             FROM orders JOIN customer ON (orders.cust = customer.cust) \
+             GROUP BY orders.cust ORDER BY orders.cust",
+            100,
+        ),
+    ];
+    let server = HiveSession::builder()
+        .knob(knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
+        .knob(knobs::EXEC_WORKER_THREADS, worker_threads)
+        .set("hive.server.max.concurrent.queries", "4")
+        .unwrap()
+        .build_server()
+        .unwrap();
+    {
+        let mut s = server.new_session();
+        load_tpch_style(&mut s);
+        // Warm both cache tiers sequentially so the concurrent phase is
+        // all hits: miss attribution then cannot depend on which client
+        // thread reaches a block first.
+        for (sql, rows) in MIXED {
+            assert_eq!(s.execute(sql).unwrap().rows.len(), rows);
+        }
+    }
+    let mut handles = Vec::new();
+    for tid in 0..8usize {
+        let srv = server.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..32usize {
+                let (sql, rows) = MIXED[(tid + i) % MIXED.len()];
+                let r = srv.execute(sql).unwrap();
+                assert_eq!(r.rows.len(), rows, "{sql}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        server.admitted_peak() <= server.max_concurrent(),
+        "admission exceeded the knob: {} > {}",
+        server.admitted_peak(),
+        server.max_concurrent()
+    );
+    // 2 CREATEs + 3 warm-up queries + 8×32 concurrent queries.
+    assert_eq!(server.admitted_total(), 261);
+    server.metrics().snapshot()
+}
+
+#[test]
+fn server_stress_is_deadlock_free_and_deterministic() {
+    let narrow = stress_snapshot(1);
+    let wide = stress_snapshot(4);
+    // Every integer counter — including the cache hit/miss totals, which
+    // single-flight fills make exact — must agree across worker widths.
+    assert_eq!(
+        narrow.counters, wide.counters,
+        "counters depend on worker-thread count"
+    );
+    // Float aggregates are sums of the same deterministic per-statement
+    // values, but client threads finish in arbitrary order and float
+    // addition is not associative; allow last-bit wobble only.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert_eq!(narrow.gauges.len(), wide.gauges.len());
+    for (k, a) in &narrow.gauges {
+        assert!(
+            close(*a, wide.gauges[k]),
+            "{k:?}: {a} vs {}",
+            wide.gauges[k]
+        );
+    }
+    assert_eq!(narrow.histograms.len(), wide.histograms.len());
+    for (k, a) in &narrow.histograms {
+        let b = &wide.histograms[k];
+        assert_eq!((a.count, a.min, a.max), (b.count, b.min, b.max), "{k:?}");
+        assert!(close(a.sum, b.sum), "{k:?}: {} vs {}", a.sum, b.sum);
+    }
+}
+
 #[test]
 fn unknown_knob_errors_carry_suggestions() {
     let mut hive = HiveSession::in_memory();
@@ -235,18 +402,29 @@ fn ill_typed_and_out_of_range_knobs_are_rejected() {
 
 #[test]
 fn readme_knob_table_matches_registry() {
-    let readme = include_str!("../README.md");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md");
+    let readme = std::fs::read_to_string(&path).expect("README.md readable");
     let begin_marker = "<!-- BEGIN GENERATED KNOB TABLE";
     let end_marker = "<!-- END GENERATED KNOB TABLE -->";
     let begin = readme.find(begin_marker).expect("README has begin marker");
     let begin = begin + readme[begin..].find('\n').unwrap() + 1;
     let end = readme.find(end_marker).expect("README has end marker");
-    let region = readme[begin..end].trim_end();
     let expected = knob_table_markdown();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        let updated = format!(
+            "{}{}\n{}",
+            &readme[..begin],
+            expected.trim_end(),
+            &readme[end..]
+        );
+        std::fs::write(&path, updated).unwrap();
+        return;
+    }
+    let region = readme[begin..end].trim_end();
     assert_eq!(
         region,
         expected.trim_end(),
-        "README knob table drifted from the registry; paste the output of \
-         hive_common::config::knob_table_markdown() between the markers"
+        "README knob table drifted from the registry; run \
+         UPDATE_GOLDENS=1 cargo test --test metrics to regenerate"
     );
 }

@@ -535,6 +535,131 @@ fn sorted_rows(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Differential cache harness: random tables and query batches must produce
+// byte-identical sorted results and identical row counts whether the server
+// caches are cold, warm (second run against the same server), disabled
+// (`hive.io.cache.bytes=0`), or hammered from 4 client threads at once —
+// always compared against a fresh single-use session per query.
+// ---------------------------------------------------------------------------
+
+/// A random cache workload: table shape plus a batch of parameterized
+/// queries spanning sarg scans, group-bys, map-joins, and the
+/// stats-answered path (which reads footers through the metadata cache).
+fn cache_workload_strategy() -> impl Strategy<Value = (u32, u32, Vec<(usize, i64)>)> {
+    (
+        50u32..400,
+        2u32..20,
+        proptest::collection::vec((0usize..4, 0i64..400), 1..6),
+    )
+}
+
+fn cache_query(template: usize, threshold: i64) -> String {
+    match template {
+        0 => format!("SELECT k, v FROM t WHERE v < {threshold}"),
+        1 => "SELECT k, COUNT(*) AS n, SUM(v) AS sv FROM t GROUP BY k".to_string(),
+        2 => format!("SELECT t.k, d.name FROM t JOIN d ON (t.k = d.key) WHERE t.v < {threshold}"),
+        _ => "SELECT COUNT(*), MIN(v), MAX(v) FROM t".to_string(),
+    }
+}
+
+/// Deterministic-clock builder for the differential harness; `cache_on`
+/// false disables both cache tiers via the master knob.
+fn cache_builder(cache_on: bool) -> hive::SessionBuilder {
+    let b = hive::HiveSession::builder().knob(
+        hive::common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU,
+        true,
+    );
+    if cache_on {
+        b
+    } else {
+        b.set(hive::common::config::keys::IO_CACHE_BYTES, "0")
+            .unwrap()
+    }
+}
+
+fn load_cache_tables(hive: &mut hive::HiveSession, rows: u32, modulus: u32) {
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT, s STRING) STORED AS orc")
+        .unwrap();
+    hive.execute("CREATE TABLE d (key BIGINT, name STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        (0..rows as i64).map(|i| {
+            Row::new(vec![
+                Value::Int(i % modulus as i64),
+                Value::Int(i),
+                Value::String(format!("s{}", i % 7)),
+            ])
+        }),
+    )
+    .unwrap();
+    hive.load_rows(
+        "d",
+        (0..modulus as i64).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("d{i}"))])),
+    )
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cache_cold_warm_and_concurrent_match_single_use_sessions(
+        (rows, modulus, batch) in cache_workload_strategy(),
+    ) {
+        // Reference: a fresh single-use session per query — nothing shared,
+        // nothing cached across statements.
+        let expected: Vec<Vec<Row>> = batch
+            .iter()
+            .map(|&(t, th)| {
+                let mut fresh = cache_builder(true).build().unwrap();
+                load_cache_tables(&mut fresh, rows, modulus);
+                sorted_rows(fresh.execute(&cache_query(t, th)).unwrap().rows)
+            })
+            .collect();
+
+        for cache_on in [true, false] {
+            let server = cache_builder(cache_on).build_server().unwrap();
+            {
+                let mut s = server.new_session();
+                load_cache_tables(&mut s, rows, modulus);
+                // Cold pass fills the caches; warm pass must serve from them
+                // with identical rows.
+                for pass in ["cold", "warm"] {
+                    for (&(t, th), want) in batch.iter().zip(&expected) {
+                        let got = sorted_rows(s.execute(&cache_query(t, th)).unwrap().rows);
+                        prop_assert_eq!(
+                            &got, want,
+                            "{} pass diverged (cache_on={}) on {}",
+                            pass, cache_on, cache_query(t, th)
+                        );
+                    }
+                }
+            }
+            // Concurrent: 4 client threads replay the batch against the same
+            // (now warm) server.
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let srv = server.clone();
+                    let batch = &batch;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        for (&(t, th), want) in batch.iter().zip(expected) {
+                            let got = sorted_rows(srv.execute(&cache_query(t, th)).unwrap().rows);
+                            assert_eq!(
+                                &got, want,
+                                "concurrent run diverged (cache_on={cache_on}) on {}",
+                                cache_query(t, th)
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
