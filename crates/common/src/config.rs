@@ -357,8 +357,11 @@ knobs! {
     /// at admission control until a slot frees (HiveServer2-style).
     SERVER_MAX_CONCURRENT: u64 = "hive.server.max.concurrent.queries", "8", range(1.0, 4096.0);
     /// Capacity of the DFS block-level byte cache in bytes (sharded LRU,
-    /// LLAP-style). `0` disables *both* cache tiers — byte caching and the
-    /// ORC metadata cache — restoring uncached scan behavior exactly.
+    /// LLAP-style), sized once at server startup from the server defaults.
+    /// Per-session or per-query, the value is an on/off switch: `0` makes
+    /// the statement bypass *both* cache tiers — byte caching and the ORC
+    /// metadata cache — restoring uncached scan behavior exactly, without
+    /// affecting concurrent statements.
     IO_CACHE_BYTES: u64 = "hive.io.cache.bytes", "33554432";
     /// Cache decoded ORC file footers, stripe footers, and row-index
     /// statistics across readers, keyed by `(path, file generation)` so an

@@ -62,14 +62,22 @@ pub fn run_statement(
     // a bad `SET` surfaces on the next statement rather than deep inside a
     // task.
     conf.validate()?;
-    // Install a fresh fault plan per statement (None when the `dfs.fault.*`
-    // knobs are inert): the first-touch ledger resets between statements so
-    // each query sees its own deterministic fault schedule.
-    dfs.set_fault_plan(FaultPlan::from_conf(conf)?);
-    // Apply the block-cache budget for this statement. Same value → cheap
-    // no-op; `hive.io.cache.bytes=0` drops every cached block so the read
-    // path is byte-for-byte the pre-cache one.
-    dfs.set_cache_capacity(conf.get_i64(keys::IO_CACHE_BYTES)? as u64);
+    // Build a statement-scoped DFS view: the statement's fault plan (fresh
+    // per statement, so the first-touch ledger resets and each query sees
+    // its own deterministic fault schedule) and its cache participation
+    // ride on this handle and its clones instead of mutating shared
+    // filesystem state. Concurrent statements admitted against the same
+    // server therefore cannot clobber each other's `dfs.fault.*` or
+    // `hive.io.cache.bytes` settings mid-query. The block cache's byte
+    // capacity is process state, sized once at server startup;
+    // `hive.io.cache.bytes=0` here bypasses both cache tiers for exactly
+    // this statement, keeping its read path byte-for-byte the pre-cache
+    // one.
+    let scoped = dfs.for_statement(
+        FaultPlan::from_conf(conf)?,
+        conf.get_i64(keys::IO_CACHE_BYTES)? > 0,
+    );
+    let dfs = &scoped;
     registry.counter("query.count").inc();
     match parse(sql)? {
         Statement::Select(stmt) => execute_select(sql, &stmt, dfs, conf, metastore, registry),

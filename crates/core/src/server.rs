@@ -116,6 +116,12 @@ impl HiveServer {
     ) -> Result<HiveServer> {
         defaults.validate()?;
         let max = defaults.get_i64(keys::SERVER_MAX_CONCURRENT)? as u64;
+        // The block cache's byte budget is process state, sized once here
+        // from the server defaults. Per-session / per-query
+        // `hive.io.cache.bytes` values only opt a statement in or out of
+        // the shared cache (0 = bypass); they never resize it, so
+        // concurrent statements cannot clobber each other's budget.
+        dfs.set_cache_capacity(defaults.get_i64(keys::IO_CACHE_BYTES)? as u64);
         let metastore = Metastore::new(dfs.clone());
         Ok(HiveServer {
             inner: Arc::new(ServerInner {

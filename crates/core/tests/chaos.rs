@@ -333,3 +333,88 @@ proptest! {
         }
     }
 }
+
+/// Statement isolation under admission-control concurrency: the fault plan
+/// and cache participation of one statement ride on its scoped DFS view,
+/// never on shared server state. A thread hammering the server with
+/// `dfs.fault.read.error.rate=1.0` must not make a concurrent clean
+/// statement retry tasks, and a concurrent `hive.io.cache.bytes=0`
+/// statement must stay fully uncached even while other statements keep the
+/// shared cache hot.
+#[test]
+fn concurrent_statements_with_different_fault_and_cache_confs_stay_isolated() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let hive = chaos_session();
+    let server = hive.server().clone();
+    let reference = sorted(server.execute(QUERIES[1]).unwrap().rows);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let faulty = {
+        let srv = server.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Every first-touch read errors and there is no retry budget,
+            // so these statements mostly fail — which is fine; the test is
+            // that their plan never leaks into the other threads.
+            let mut seed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seed += 1;
+                let _ = srv.execute_with(
+                    QUERIES[1],
+                    &[
+                        (keys::DFS_FAULT_READ_ERROR_RATE, "1.0"),
+                        (keys::DFS_FAULT_SEED, &seed.to_string()),
+                        (keys::MAP_MAX_ATTEMPTS, "1"),
+                        (keys::REDUCE_MAX_ATTEMPTS, "1"),
+                    ],
+                );
+            }
+        })
+    };
+    let bypass = {
+        let srv = server.clone();
+        let reference = reference.clone();
+        std::thread::spawn(move || {
+            for _ in 0..15 {
+                let r = srv
+                    .execute_with(QUERIES[1], &[(keys::IO_CACHE_BYTES, "0")])
+                    .unwrap();
+                assert_eq!(sorted(r.rows), reference);
+                assert_eq!(r.report.task_retries, 0, "leaked fault plan");
+                let cache_touches: u64 = r
+                    .report
+                    .jobs
+                    .iter()
+                    .map(|j| {
+                        j.scan.footer_cache_hits
+                            + j.scan.footer_cache_misses
+                            + j.scan.index_cache_hits
+                            + j.scan.index_cache_misses
+                            + j.scan.data_cache_hits
+                            + j.scan.data_cache_misses
+                    })
+                    .sum();
+                assert_eq!(cache_touches, 0, "cache-bypass statement used a cache");
+            }
+        })
+    };
+    let clean = {
+        let srv = server.clone();
+        let reference = reference.clone();
+        std::thread::spawn(move || {
+            for _ in 0..15 {
+                let r = srv.execute(QUERIES[1]).unwrap();
+                assert_eq!(sorted(r.rows), reference);
+                assert_eq!(r.report.task_retries, 0, "leaked fault plan");
+            }
+        })
+    };
+    let bypass_result = bypass.join();
+    let clean_result = clean.join();
+    stop.store(true, Ordering::Relaxed);
+    faulty.join().unwrap();
+    bypass_result.unwrap();
+    clean_result.unwrap();
+}

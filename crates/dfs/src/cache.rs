@@ -5,16 +5,20 @@
 //! Entries are keyed by `(path, generation, offset, len)`. The generation
 //! is bumped every time a path is published or tampered with, so a cached
 //! range of an overwritten file is structurally unreachable: a stale read
-//! is impossible, not merely unlikely.
+//! is impossible, not merely unlikely. Invalidation additionally records a
+//! per-path generation *floor*, so a fill that was already in flight for
+//! an older generation is dropped at completion instead of parking
+//! unreachable bytes in an LRU slot.
 //!
 //! Fills are **single-flight**: when several readers miss on the same key
 //! concurrently, exactly one performs the DFS read (and pays its byte and
 //! fault accounting) while the rest wait on the shard's condvar and then
 //! take the hit path. This keeps aggregate I/O counters byte-identical
 //! across thread interleavings, which the metrics-determinism gates rely
-//! on. A failed fill removes the pending marker and wakes the waiters —
-//! errors propagate to the filler and the cache is never poisoned with a
-//! partial entry.
+//! on. The claimed slot is held by an RAII [`FillGuard`] that aborts the
+//! fill on drop unless completed — a failed *or panicking* fill removes
+//! the pending marker and wakes the waiters, so the cache is never
+//! poisoned with a partial entry and waiters can never be stranded.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,14 +50,42 @@ struct ShardLock {
 }
 
 /// Outcome of a cache lookup.
-pub enum Lookup {
-    /// Served from cache.
+pub enum Lookup<'a> {
+    /// Served from cache (a shared handle — no copy).
     Hit(Arc<Vec<u8>>),
-    /// Caller must perform the read and then call
-    /// [`BlockCache::complete_fill`] or [`BlockCache::abort_fill`].
-    Fill,
+    /// Caller must perform the read and then call [`FillGuard::complete`];
+    /// dropping the guard (error or panic) aborts the fill and wakes
+    /// waiters so one of them can retry.
+    Fill(FillGuard<'a>),
     /// Cache disabled (or entry larger than a shard) — read uncached.
     Bypass,
+}
+
+/// RAII ownership of a claimed single-flight fill slot.
+pub struct FillGuard<'a> {
+    cache: &'a BlockCache,
+    key: Key,
+    done: bool,
+}
+
+impl FillGuard<'_> {
+    /// Publish the bytes for the claimed slot. Returns the number of LRU
+    /// evictions the insertion forced.
+    pub fn complete(mut self, bytes: Arc<Vec<u8>>) -> u64 {
+        self.done = true;
+        self.cache.complete_fill(&self.key, bytes)
+    }
+}
+
+impl Drop for FillGuard<'_> {
+    /// Abort-on-drop: any exit from the fill path that did not publish —
+    /// an error return or a panic mid-read — removes the pending marker
+    /// and wakes waiters instead of stranding them on the condvar.
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.abort_fill(&self.key);
+        }
+    }
 }
 
 /// The sharded LRU block cache. One instance per [`crate::Dfs`].
@@ -63,6 +95,11 @@ pub struct BlockCache {
     capacity: AtomicU64,
     /// Monotonic LRU clock.
     clock: AtomicU64,
+    /// Lowest admissible generation per invalidated path: a fill whose key
+    /// carries an older generation completed after the invalidation and is
+    /// dropped instead of inserted (bounded by the number of distinct
+    /// overwritten paths).
+    floors: Mutex<HashMap<String, u64>>,
 }
 
 impl BlockCache {
@@ -76,6 +113,7 @@ impl BlockCache {
                 .collect(),
             capacity: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            floors: Mutex::new(HashMap::new()),
         }
     }
 
@@ -116,7 +154,7 @@ impl BlockCache {
 
     /// Look up `key`; on miss, claim the fill slot (single-flight). Blocks
     /// while another thread's fill for the same key is in flight.
-    pub fn lookup_or_begin_fill(&self, key: &Key) -> Lookup {
+    pub fn lookup_or_begin_fill(&self, key: &Key) -> Lookup<'_> {
         if !self.enabled() {
             return Lookup::Bypass;
         }
@@ -133,23 +171,39 @@ impl BlockCache {
                 }
                 None => {
                     s.map.insert(key.clone(), Slot::Pending);
-                    return Lookup::Fill;
+                    return Lookup::Fill(FillGuard {
+                        cache: self,
+                        key: key.clone(),
+                        done: false,
+                    });
                 }
             }
         }
     }
 
     /// Publish the bytes for a claimed fill slot. Returns the number of
-    /// LRU evictions the insertion forced.
-    pub fn complete_fill(&self, key: &Key, bytes: Arc<Vec<u8>>) -> u64 {
+    /// LRU evictions the insertion forced. Fills whose generation fell
+    /// below the path's invalidation floor while they were in flight are
+    /// dropped, not inserted.
+    fn complete_fill(&self, key: &Key, bytes: Arc<Vec<u8>>) -> u64 {
         let per_shard = self.capacity() / SHARDS as u64;
         let shard = self.shard_of(key);
         let mut s = shard.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Doom check under the shard lock: `invalidate_path` records the
+        // floor *before* pruning, so a fill that slips in ahead of the
+        // prune is removed by it and one that lands after sees the floor.
+        let doomed = {
+            let floors = self.floors.lock().unwrap_or_else(|e| e.into_inner());
+            floors.get(&key.0).is_some_and(|&floor| key.1 < floor)
+        };
         let len = bytes.len() as u64;
-        if len > per_shard {
-            // Too large to ever be resident: drop the pending marker so
-            // the range stays uncached instead of thrashing the shard.
-            s.map.remove(key);
+        if doomed || len > per_shard {
+            // Stale generation, or too large to ever be resident: drop the
+            // pending marker so the range stays uncached instead of
+            // wasting capacity / thrashing the shard.
+            if matches!(s.map.get(key), Some(Slot::Pending)) {
+                s.map.remove(key);
+            }
             shard.cv.notify_all();
             return 0;
         }
@@ -163,7 +217,7 @@ impl BlockCache {
 
     /// Drop the pending marker after a failed fill, waking waiters so one
     /// of them can retry. The cache never holds a partial entry.
-    pub fn abort_fill(&self, key: &Key) {
+    fn abort_fill(&self, key: &Key) {
         let shard = self.shard_of(key);
         let mut s = shard.inner.lock().unwrap_or_else(|e| e.into_inner());
         if matches!(s.map.get(key), Some(Slot::Pending)) {
@@ -172,10 +226,15 @@ impl BlockCache {
         shard.cv.notify_all();
     }
 
-    /// Drop every Ready entry for `path` (all generations). Generations
-    /// already make stale entries unreachable; this frees their bytes
-    /// eagerly on overwrite/delete.
-    pub fn invalidate_path(&self, path: &str) {
+    /// Invalidate `path`: entries with generation below `floor` become
+    /// inadmissible (covers fills still in flight), and every resident
+    /// Ready entry for the path is dropped eagerly to free its bytes.
+    pub fn invalidate_path(&self, path: &str, floor: u64) {
+        {
+            let mut floors = self.floors.lock().unwrap_or_else(|e| e.into_inner());
+            let e = floors.entry(path.to_string()).or_insert(0);
+            *e = (*e).max(floor);
+        }
         for shard in &self.shards {
             let mut s = shard.inner.lock().unwrap_or_else(|e| e.into_inner());
             let doomed: Vec<Key> = s
@@ -237,6 +296,14 @@ mod tests {
         (path.to_string(), generation, offset, end)
     }
 
+    fn begin_fill<'a>(c: &'a BlockCache, k: &Key) -> FillGuard<'a> {
+        match c.lookup_or_begin_fill(k) {
+            Lookup::Fill(g) => g,
+            Lookup::Hit(_) => panic!("expected fill, got hit"),
+            Lookup::Bypass => panic!("expected fill, got bypass"),
+        }
+    }
+
     #[test]
     fn disabled_cache_bypasses() {
         let c = BlockCache::new();
@@ -251,8 +318,7 @@ mod tests {
         let c = BlockCache::new();
         c.set_capacity(1 << 20);
         let k = key("/a", 1, 0, 10);
-        assert!(matches!(c.lookup_or_begin_fill(&k), Lookup::Fill));
-        c.complete_fill(&k, Arc::new(vec![7; 10]));
+        begin_fill(&c, &k).complete(Arc::new(vec![7; 10]));
         match c.lookup_or_begin_fill(&k) {
             Lookup::Hit(b) => assert_eq!(*b, vec![7; 10]),
             _ => panic!("expected hit"),
@@ -265,29 +331,46 @@ mod tests {
         let c = BlockCache::new();
         c.set_capacity(1 << 20);
         let k1 = key("/a", 1, 0, 10);
-        assert!(matches!(c.lookup_or_begin_fill(&k1), Lookup::Fill));
-        c.complete_fill(&k1, Arc::new(vec![1; 10]));
-        // Same path and range, next generation: structurally a miss.
+        begin_fill(&c, &k1).complete(Arc::new(vec![1; 10]));
+        // Same path and range, next generation: structurally a miss. The
+        // guard dropped without completing leaves no entry behind.
         let k2 = key("/a", 2, 0, 10);
-        assert!(matches!(c.lookup_or_begin_fill(&k2), Lookup::Fill));
-        c.abort_fill(&k2);
+        drop(begin_fill(&c, &k2));
+        assert_eq!(c.resident_bytes(), 10);
     }
 
     #[test]
-    fn aborted_fill_leaves_no_entry_and_unblocks_waiters() {
+    fn dropped_guard_leaves_no_entry_and_unblocks_waiters() {
         let c = Arc::new(BlockCache::new());
         c.set_capacity(1 << 20);
         let k = key("/a", 1, 0, 10);
-        assert!(matches!(c.lookup_or_begin_fill(&k), Lookup::Fill));
+        let guard = begin_fill(&c, &k);
         let c2 = Arc::clone(&c);
         let k2 = k.clone();
-        let waiter = std::thread::spawn(move || c2.lookup_or_begin_fill(&k2));
+        let waiter =
+            std::thread::spawn(move || matches!(c2.lookup_or_begin_fill(&k2), Lookup::Fill(_)));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        c.abort_fill(&k);
+        drop(guard);
         // The waiter must come back as the next filler, not hang or hit.
-        assert!(matches!(waiter.join().unwrap(), Lookup::Fill));
-        c.abort_fill(&k);
+        assert!(waiter.join().unwrap());
         assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn panicking_fill_aborts_instead_of_stranding_waiters() {
+        let c = Arc::new(BlockCache::new());
+        c.set_capacity(1 << 20);
+        let k = key("/a", 1, 0, 10);
+        let c2 = Arc::clone(&c);
+        let k2 = k.clone();
+        let filler = std::thread::spawn(move || {
+            let _guard = begin_fill(&c2, &k2);
+            panic!("decode blew up mid-fill");
+        });
+        assert!(filler.join().is_err());
+        // The marker is gone: the next reader becomes the filler instead
+        // of blocking forever on the shard condvar.
+        assert!(matches!(c.lookup_or_begin_fill(&k), Lookup::Fill(_)));
     }
 
     #[test]
@@ -302,9 +385,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let k = key("/shared", 3, 0, 100);
                 match c.lookup_or_begin_fill(&k) {
-                    Lookup::Fill => {
+                    Lookup::Fill(g) => {
                         fills.fetch_add(1, Ordering::Relaxed);
-                        c.complete_fill(&k, Arc::new(vec![9; 100]));
+                        g.complete(Arc::new(vec![9; 100]));
                     }
                     Lookup::Hit(_) => {
                         hits.fetch_add(1, Ordering::Relaxed);
@@ -328,8 +411,7 @@ mod tests {
         let mut evictions = 0;
         for i in 0..5u64 {
             let k = key("/lru", 1, 0, i + 1); // same shard (same path+offset)
-            assert!(matches!(c.lookup_or_begin_fill(&k), Lookup::Fill));
-            evictions += c.complete_fill(&k, Arc::new(vec![0; 30]));
+            evictions += begin_fill(&c, &k).complete(Arc::new(vec![0; 30]));
         }
         // 5 × 30B into an 80B shard: at least three entries got evicted.
         assert!(evictions >= 3, "evictions={evictions}");
@@ -347,13 +429,31 @@ mod tests {
         c.set_capacity(1 << 20);
         for (p, n) in [("/x", 10usize), ("/y", 20)] {
             let k = key(p, 1, 0, n as u64);
-            assert!(matches!(c.lookup_or_begin_fill(&k), Lookup::Fill));
-            c.complete_fill(&k, Arc::new(vec![1; n]));
+            begin_fill(&c, &k).complete(Arc::new(vec![1; n]));
         }
-        c.invalidate_path("/x");
+        c.invalidate_path("/x", 2);
         assert_eq!(c.resident_bytes(), 20);
         c.set_capacity(0);
         assert_eq!(c.resident_bytes(), 0);
         assert!(!c.enabled());
+    }
+
+    #[test]
+    fn late_fill_for_invalidated_generation_is_dropped() {
+        let c = BlockCache::new();
+        c.set_capacity(1 << 20);
+        let k = key("/race", 1, 0, 50);
+        let guard = begin_fill(&c, &k);
+        // The path is overwritten while the fill is in flight: the old
+        // generation is now below the floor.
+        c.invalidate_path("/race", 2);
+        assert_eq!(guard.complete(Arc::new(vec![4; 50])), 0);
+        // The stale payload was dropped, not parked in an LRU slot...
+        assert_eq!(c.resident_bytes(), 0);
+        // ...and the new generation caches normally.
+        let k2 = key("/race", 2, 0, 50);
+        begin_fill(&c, &k2).complete(Arc::new(vec![5; 50]));
+        assert_eq!(c.resident_bytes(), 50);
+        assert!(matches!(c.lookup_or_begin_fill(&k2), Lookup::Hit(_)));
     }
 }

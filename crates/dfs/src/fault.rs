@@ -40,11 +40,14 @@ pub enum FaultOutcome {
     CorruptByte { pos: u64, mask: u8 },
 }
 
-/// A seeded, deterministic schedule of read faults. Installed on a [`Dfs`]
-/// via [`Dfs::set_fault_plan`]; one plan per query statement so the
-/// first-touch ledger resets between statements.
+/// A seeded, deterministic schedule of read faults. Carried by a
+/// statement-scoped [`Dfs`] view ([`Dfs::for_statement`]) — one plan per
+/// query statement, so the first-touch ledger resets between statements
+/// and concurrent statements never see each other's plans — or installed
+/// process-wide via [`Dfs::set_fault_plan`] for direct filesystem users.
 ///
 /// [`Dfs`]: crate::Dfs
+/// [`Dfs::for_statement`]: crate::Dfs::for_statement
 /// [`Dfs::set_fault_plan`]: crate::Dfs::set_fault_plan
 #[derive(Debug)]
 pub struct FaultPlan {

@@ -79,9 +79,26 @@ impl Default for DfsConfig {
 }
 
 /// The simulated distributed filesystem. Cheap to clone (shared state).
+///
+/// A handle optionally carries a [statement scope](Dfs::for_statement):
+/// a per-statement fault plan and cache-participation flag that ride on
+/// the handle (and every clone made from it) instead of mutating shared
+/// filesystem state. Concurrent statements against one filesystem can
+/// therefore run under different `dfs.fault.*` / cache confs without
+/// clobbering each other.
 #[derive(Clone)]
 pub struct Dfs {
     inner: Arc<DfsInner>,
+    scope: Option<Arc<StatementScope>>,
+}
+
+/// Per-statement view riding on a [`Dfs`] handle: the statement's fault
+/// plan (overriding the shared one even when `None` — a scoped statement
+/// is otherwise fault-free) and whether its reads participate in the
+/// shared block cache.
+struct StatementScope {
+    fault: Option<Arc<FaultPlan>>,
+    cache_enabled: bool,
 }
 
 struct DfsInner {
@@ -110,6 +127,24 @@ impl Dfs {
                 next_gen: AtomicU64::new(1),
                 id: NEXT_DFS_ID.fetch_add(1, Ordering::Relaxed),
             }),
+            scope: None,
+        }
+    }
+
+    /// A statement-scoped view of this filesystem. `fault` is the
+    /// statement's fault plan (replacing, not layering over, the shared
+    /// one — `None` means this statement sees a healthy cluster), and
+    /// `cache_enabled = false` routes every read through this handle (and
+    /// its clones) down the uncached path, byte-identical to the pre-cache
+    /// engine. The scope travels with `clone()`, so handing the view to an
+    /// execution engine propagates it to every task reader.
+    pub fn for_statement(&self, fault: Option<FaultPlan>, cache_enabled: bool) -> Dfs {
+        Dfs {
+            inner: Arc::clone(&self.inner),
+            scope: Some(Arc::new(StatementScope {
+                fault: fault.map(Arc::new),
+                cache_enabled,
+            })),
         }
     }
 
@@ -161,16 +196,27 @@ impl Dfs {
         self.inner.files.read().get(path).map(|f| f.generation)
     }
 
-    /// Install (or clear, with `None`) the fault-injection plan. The driver
-    /// installs a fresh plan per statement so the plan's first-touch ledger
-    /// resets between queries.
+    /// Install (or clear, with `None`) the shared fault-injection plan.
+    /// Statement execution does not use this: the driver scopes its plan to
+    /// the statement via [`Dfs::for_statement`] so concurrent statements
+    /// cannot fault each other. This setter remains for direct filesystem
+    /// users (tests, tools) exercising one handle at a time.
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         *self.inner.fault.write() = plan.map(Arc::new);
     }
 
-    /// The currently installed fault plan, if any.
+    /// The effective fault plan for this handle: the statement scope's
+    /// plan when scoped (even if that is `None`), else the shared one.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
-        self.inner.fault.read().clone()
+        match &self.scope {
+            Some(scope) => scope.fault.clone(),
+            None => self.inner.fault.read().clone(),
+        }
+    }
+
+    /// Whether reads through this handle participate in the block cache.
+    fn cache_enabled_here(&self) -> bool {
+        self.scope.as_ref().is_none_or(|s| s.cache_enabled)
     }
 
     /// Create a file for writing. Overwrites any existing file at `path`
@@ -232,11 +278,13 @@ impl Dfs {
     }
 
     pub fn delete(&self, path: &str) -> bool {
-        let removed = self.inner.files.write().remove(path).is_some();
-        if removed {
-            self.inner.cache.invalidate_path(path);
+        let removed = self.inner.files.write().remove(path);
+        if let Some(entry) = &removed {
+            // Floor above the deleted generation: a fill still in flight
+            // for it is dropped at completion instead of being parked.
+            self.inner.cache.invalidate_path(path, entry.generation + 1);
         }
-        removed
+        removed.is_some()
     }
 
     /// All paths with the given prefix, sorted (used to list a "directory").
@@ -299,16 +347,17 @@ impl Dfs {
         }
         let mut data = entry.data.clone();
         data[pos as usize] ^= mask;
+        let generation = self.inner.next_gen.fetch_add(1, Ordering::Relaxed);
         let tampered = Arc::new(FileEntry {
             data,
             block_size: entry.block_size,
             blocks: entry.blocks.clone(),
             block_crcs: entry.block_crcs.clone(), // stale on purpose
-            generation: self.inner.next_gen.fetch_add(1, Ordering::Relaxed),
+            generation,
         });
         files.insert(path.to_string(), tampered);
         drop(files);
-        self.inner.cache.invalidate_path(path);
+        self.inner.cache.invalidate_path(path, generation);
         Ok(())
     }
 
@@ -319,19 +368,20 @@ impl Dfs {
             .map(|b| crc::crc32(&data[b.offset as usize..(b.offset + b.len) as usize]))
             .collect();
         self.inner.stats.add_bytes_written(data.len() as u64);
-        self.inner.files.write().insert(
-            path.clone(),
-            Arc::new(FileEntry {
-                data,
-                block_size,
-                blocks,
-                block_crcs,
-                generation: self.inner.next_gen.fetch_add(1, Ordering::Relaxed),
-            }),
-        );
+        let generation = self.inner.next_gen.fetch_add(1, Ordering::Relaxed);
+        let blocks_entry = Arc::new(FileEntry {
+            data,
+            block_size,
+            blocks,
+            block_crcs,
+            generation,
+        });
+        self.inner.files.write().insert(path.clone(), blocks_entry);
         // Overwrite invalidation: generations already make the old entries
-        // unreachable; dropping them eagerly frees their bytes too.
-        self.inner.cache.invalidate_path(&path);
+        // unreachable; dropping them eagerly frees their bytes, and the
+        // floor at the new generation dooms fills still in flight for the
+        // old one.
+        self.inner.cache.invalidate_path(&path, generation);
     }
 }
 
@@ -431,6 +481,68 @@ impl DfsWriter {
     }
 }
 
+/// Bytes returned by [`DfsReader::read_at`]: either freshly read (owned)
+/// or a zero-copy handle into the shared block cache. Derefs to `[u8]`,
+/// so slicing/indexing and `&buf` as `&[u8]` work directly; call
+/// [`DfsBuf::into_vec`] only when an owned `Vec<u8>` is genuinely needed.
+#[derive(Clone)]
+pub struct DfsBuf(BufRepr);
+
+#[derive(Clone)]
+enum BufRepr {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl DfsBuf {
+    fn owned(bytes: Vec<u8>) -> DfsBuf {
+        DfsBuf(BufRepr::Owned(bytes))
+    }
+
+    fn shared(bytes: Arc<Vec<u8>>) -> DfsBuf {
+        DfsBuf(BufRepr::Shared(bytes))
+    }
+
+    /// Extract an owned vector; copies only when the bytes are shared
+    /// with the block cache.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.0 {
+            BufRepr::Owned(v) => v,
+            BufRepr::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+impl std::ops::Deref for DfsBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match &self.0 {
+            BufRepr::Owned(v) => v,
+            BufRepr::Shared(a) => a,
+        }
+    }
+}
+
+impl AsRef<[u8]> for DfsBuf {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for DfsBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: AsRef<[u8]> + ?Sized> PartialEq<T> for DfsBuf {
+    fn eq(&self, other: &T) -> bool {
+        **self == *other.as_ref()
+    }
+}
+
+impl Eq for DfsBuf {}
+
 /// Positional reader with locality and seek accounting, checksum
 /// verification, and fault injection.
 pub struct DfsReader {
@@ -461,15 +573,17 @@ impl DfsReader {
 
     /// Read `len` bytes at `offset`. Short reads at EOF return fewer bytes.
     ///
-    /// When the block cache is enabled, the exact range `(path, generation,
-    /// offset, end)` is served from cache on a hit — no wire transfer, no
-    /// fault injection, no re-verification (the bytes were CRC-checked when
-    /// filled). Misses claim a single-flight fill slot: exactly one reader
-    /// performs the uncached read (and pays its accounting) per distinct
-    /// range, concurrent readers of the same range block and then hit. A
-    /// failed fill leaves no entry behind, so the cache can never hold
-    /// partial data from a faulted read.
-    pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+    /// When the block cache is enabled (and the handle's statement scope
+    /// participates in it), the exact range `(path, generation, offset,
+    /// end)` is served from cache on a hit — no wire transfer, no fault
+    /// injection, no re-verification (the bytes were CRC-checked when
+    /// filled), and no copy: the returned [`DfsBuf`] shares the cached
+    /// allocation. Misses claim a single-flight fill slot: exactly one
+    /// reader performs the uncached read (and pays its accounting) per
+    /// distinct range, concurrent readers of the same range block and then
+    /// hit. A failed or panicking fill leaves no entry behind, so the
+    /// cache can never hold partial data from a faulted read.
+    pub fn read_at(&mut self, offset: u64, len: usize) -> Result<DfsBuf> {
         let total = self.entry.data.len() as u64;
         if offset > total {
             return Err(HiveError::Dfs(format!(
@@ -477,38 +591,37 @@ impl DfsReader {
             )));
         }
         let end = (offset + len as u64).min(total);
-        if end <= offset {
-            // Empty reads carry no payload worth caching.
-            return self.read_at_uncached(offset, end);
+        if end <= offset || !self.dfs.cache_enabled_here() {
+            // Empty reads carry no payload worth caching; a scoped-out
+            // statement takes the pre-cache path byte-for-byte.
+            return self.read_at_uncached(offset, end).map(DfsBuf::owned);
         }
         let key = (self.path.clone(), self.entry.generation, offset, end);
-        match self.dfs.inner.cache.lookup_or_begin_fill(&key) {
+        // Borrow the cache through a local handle so the fill guard's
+        // lifetime does not pin `self` (the fill path reads through
+        // `&mut self` while holding the guard).
+        let dfs = self.dfs.clone();
+        let result = match dfs.inner.cache.lookup_or_begin_fill(&key) {
             cache::Lookup::Hit(bytes) => {
                 self.dfs.stats().add_cache_hit(bytes.len() as u64);
                 // Keep seek bookkeeping consistent for later misses.
                 self.last_end = Some(end);
-                Ok(bytes.as_ref().clone())
+                Ok(DfsBuf::shared(bytes))
             }
-            cache::Lookup::Fill => match self.read_at_uncached(offset, end) {
-                Ok(data) => {
-                    self.dfs.stats().add_cache_miss();
-                    let evicted = self
-                        .dfs
-                        .inner
-                        .cache
-                        .complete_fill(&key, Arc::new(data.clone()));
-                    if evicted > 0 {
-                        self.dfs.stats().add_cache_evictions(evicted);
-                    }
-                    Ok(data)
+            cache::Lookup::Fill(guard) => {
+                // On error the guard's drop aborts the fill and wakes
+                // waiters; nothing partial is ever published.
+                let data = Arc::new(self.read_at_uncached(offset, end)?);
+                self.dfs.stats().add_cache_miss();
+                let evicted = guard.complete(Arc::clone(&data));
+                if evicted > 0 {
+                    self.dfs.stats().add_cache_evictions(evicted);
                 }
-                Err(e) => {
-                    self.dfs.inner.cache.abort_fill(&key);
-                    Err(e)
-                }
-            },
-            cache::Lookup::Bypass => self.read_at_uncached(offset, end),
-        }
+                Ok(DfsBuf::shared(data))
+            }
+            cache::Lookup::Bypass => self.read_at_uncached(offset, end).map(DfsBuf::owned),
+        };
+        result
     }
 
     /// The pre-cache read path: wire accounting, locality split, fault
@@ -624,10 +737,11 @@ impl DfsReader {
         Ok(())
     }
 
-    /// Read the whole file (convenience for footers/tests).
+    /// Read the whole file into an owned vector (convenience for
+    /// footers/tests).
     pub fn read_all(&mut self) -> Result<Vec<u8>> {
         let len = self.len() as usize;
-        self.read_at(0, len)
+        Ok(self.read_at(0, len)?.into_vec())
     }
 }
 
@@ -944,6 +1058,94 @@ mod tests {
         // Disabled cache: plain uncached read, no cache counters move.
         assert_eq!(after.cache_hits + after.cache_misses, 0);
         assert_eq!(after.bytes_remote, 64);
+    }
+
+    #[test]
+    fn statement_scopes_isolate_fault_plans_and_cache_participation() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/scope");
+        w.write(&[8u8; 100]);
+        w.close();
+
+        let mut conf = hive_common::HiveConf::new();
+        conf.set("dfs.fault.read.error.rate", "1.0");
+        let faulty = fs.for_statement(FaultPlan::from_conf(&conf).unwrap(), true);
+        let clean = fs.for_statement(None, true);
+        let bypass = fs.for_statement(None, false);
+
+        // The faulty view errors; the clean view of the same filesystem
+        // never sees its plan — scopes ride on handles, not shared state.
+        assert!(matches!(
+            faulty.open("/t/scope", None).unwrap().read_at(0, 100),
+            Err(HiveError::Transient(_))
+        ));
+        let mut r = clean.open("/t/scope", None).unwrap();
+        assert_eq!(r.read_at(0, 100).unwrap(), vec![8u8; 100]);
+
+        // The bypass view reads uncached even though the shared cache is
+        // warm: no cache counters move, bytes go over the wire.
+        let before = fs.stats().snapshot();
+        let mut r = bypass.open("/t/scope", None).unwrap();
+        assert_eq!(r.read_at(0, 100).unwrap(), vec![8u8; 100]);
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.cache_hits + after.cache_misses, 0);
+        assert_eq!(after.bytes_remote, 100);
+
+        // A scoped view also shadows any shared plan (scoped statements
+        // are exactly as faulty as their own conf says).
+        faulted_fs(&fs, &[("dfs.fault.read.error.rate", "1.0")]);
+        let mut r = clean.open("/t/scope", None).unwrap();
+        assert!(r.read_at(0, 100).is_ok());
+        fs.set_fault_plan(None);
+    }
+
+    #[test]
+    fn statement_scope_survives_clone() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/scopeclone");
+        w.write(&[4u8; 50]);
+        w.close();
+        // Warm the cache through an unscoped handle.
+        fs.open("/t/scopeclone", None)
+            .unwrap()
+            .read_at(0, 50)
+            .unwrap();
+
+        // A clone of a bypass view (as handed to engine tasks) stays out
+        // of the cache too.
+        let bypass = fs.for_statement(None, false).clone();
+        let before = fs.stats().snapshot();
+        bypass
+            .open("/t/scopeclone", None)
+            .unwrap()
+            .read_at(0, 50)
+            .unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.cache_hits + after.cache_misses, 0);
+    }
+
+    #[test]
+    fn late_fill_after_overwrite_leaves_no_resident_bytes() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/t/late");
+        w.write(&[1u8; 60]);
+        w.close();
+        // Open a reader against generation 1, then overwrite the path
+        // before the reader's first (filling) read completes. The fill
+        // lands after invalidation and must be dropped, not parked.
+        let mut r = fs.open("/t/late", None).unwrap();
+        let mut w = fs.create("/t/late");
+        w.write(&[2u8; 60]);
+        w.close();
+        assert_eq!(r.read_at(0, 60).unwrap(), vec![1u8; 60]);
+        assert_eq!(fs.cache_resident_bytes(), 0);
+        // The live generation still caches normally.
+        let mut r2 = fs.open("/t/late", None).unwrap();
+        assert_eq!(r2.read_at(0, 60).unwrap(), vec![2u8; 60]);
+        assert_eq!(fs.cache_resident_bytes(), 60);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //!
 //! All maps are **single-flight**: concurrent readers missing on the same
 //! key block while exactly one performs the read + decode, then share the
-//! result. A failed fill removes the pending marker (the error goes to the
-//! filler; waiters retry), so a fault-injected read can never leave a
-//! partial entry behind.
+//! result. The claimed pending marker is held by an RAII guard that
+//! removes it on drop unless the fill published — a failed *or panicking*
+//! fill wakes the waiters (the error goes to the filler; a waiter becomes
+//! the next filler), so a fault-injected read can never leave a partial
+//! entry behind or strand waiters on the condvar.
 
 use crate::orc::stats::ColumnStatistics;
 use crate::orc::{FileFooter, PostScript, StripeFooter};
@@ -46,11 +48,34 @@ impl<K: Eq + Hash + Clone, V> Default for SfMap<K, V> {
     }
 }
 
+/// RAII ownership of a claimed [`SfMap`] pending marker: removes it and
+/// wakes waiters on drop unless disarmed by a successful publish, so a
+/// fill that errors *or panics* can never strand waiters.
+struct PendingGuard<'a, K: Eq + Hash + Clone, V> {
+    map: &'a SfMap<K, V>,
+    key: K,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for PendingGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut m = self.map.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(m.get(&self.key), Some(Slot::Pending)) {
+            m.remove(&self.key);
+        }
+        drop(m);
+        self.map.cv.notify_all();
+    }
+}
+
 impl<K: Eq + Hash + Clone, V> SfMap<K, V> {
     /// Look up `key`, filling it with `fill` on a miss. Returns the value
     /// and whether it was served from cache (`true` = hit). Blocks while
-    /// another thread fills the same key; if that fill fails, a waiter
-    /// becomes the next filler.
+    /// another thread fills the same key; if that fill fails (or panics),
+    /// a waiter becomes the next filler.
     pub fn get_or_fill(&self, key: K, fill: impl FnOnce() -> Result<V>) -> Result<(Arc<V>, bool)> {
         {
             let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -67,21 +92,18 @@ impl<K: Eq + Hash + Clone, V> SfMap<K, V> {
                 }
             }
         }
-        match fill() {
-            Ok(v) => {
-                let v = Arc::new(v);
-                let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-                m.insert(key, Slot::Ready(Arc::clone(&v)));
-                self.cv.notify_all();
-                Ok((v, false))
-            }
-            Err(e) => {
-                let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-                m.remove(&key);
-                self.cv.notify_all();
-                Err(e)
-            }
-        }
+        let mut guard = PendingGuard {
+            map: self,
+            key: key.clone(),
+            armed: true,
+        };
+        let v = Arc::new(fill()?); // on error/panic the guard cleans up
+        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        m.insert(key, Slot::Ready(Arc::clone(&v)));
+        guard.armed = false;
+        drop(m);
+        self.cv.notify_all();
+        Ok((v, false))
     }
 
     /// Number of Ready entries (test hook).
@@ -173,34 +195,64 @@ pub fn file_meta(
             }
         }
     }
-    match open() {
-        Ok(meta) => {
-            let meta = Arc::new(meta);
-            let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
-            // Older generations of this path are unreachable now; drop them.
-            m.retain(|(d, p, g), _| !(*d == dfs_id && p == path && *g < generation));
-            let stamp = cache.clock.fetch_add(1, Ordering::Relaxed);
-            m.insert(key, FileSlot::Ready(Arc::clone(&meta), stamp));
-            while m.len() > MAX_CACHED_FILES {
-                let victim = m
-                    .iter()
-                    .filter_map(|(k, s)| match s {
-                        FileSlot::Ready(_, stamp) => Some((*stamp, k.clone())),
-                        FileSlot::Pending => None,
-                    })
-                    .min();
-                let Some((_, k)) = victim else { break };
-                m.remove(&k);
-            }
-            cache.cv.notify_all();
-            Ok((meta, false))
+    let mut guard = FilePendingGuard {
+        cache,
+        key: key.clone(),
+        armed: true,
+    };
+    let meta = Arc::new(open()?); // on error/panic the guard cleans up
+    let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+    // Older generations of this path are unreachable now; drop their
+    // *Ready* entries only. A Pending marker of an older generation
+    // belongs to a fill still in flight — removing it would let that fill
+    // resurrect a stale entry unchecked and make its waiters (who wake to
+    // find no marker) redo the decode.
+    m.retain(|(d, p, g), slot| {
+        !(*d == dfs_id && p == path && *g < generation && matches!(slot, FileSlot::Ready(..)))
+    });
+    // Publish only while our own claim marker is still in place; if it
+    // was pruned by a newer generation's insert, this generation is
+    // already unreachable and the decoded meta is returned uncached.
+    if matches!(m.get(&key), Some(FileSlot::Pending)) {
+        let stamp = cache.clock.fetch_add(1, Ordering::Relaxed);
+        m.insert(key, FileSlot::Ready(Arc::clone(&meta), stamp));
+        while m.len() > MAX_CACHED_FILES {
+            let victim = m
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    FileSlot::Ready(_, stamp) => Some((*stamp, k.clone())),
+                    FileSlot::Pending => None,
+                })
+                .min();
+            let Some((_, k)) = victim else { break };
+            m.remove(&k);
         }
-        Err(e) => {
-            let mut m = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
-            m.remove(&key);
-            cache.cv.notify_all();
-            Err(e)
+    }
+    guard.armed = false;
+    drop(m);
+    cache.cv.notify_all();
+    Ok((meta, false))
+}
+
+/// RAII twin of [`PendingGuard`] for the global file cache: drops the
+/// claimed marker and wakes waiters unless the fill published.
+struct FilePendingGuard {
+    cache: &'static FileCache,
+    key: FileKey,
+    armed: bool,
+}
+
+impl Drop for FilePendingGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
         }
+        let mut m = self.cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(m.get(&self.key), Some(FileSlot::Pending)) {
+            m.remove(&self.key);
+        }
+        drop(m);
+        self.cache.cv.notify_all();
     }
 }
 
@@ -259,6 +311,65 @@ mod tests {
         assert!(m.is_empty());
         let (_, hit) = m.get_or_fill(1, || Ok("ok".to_string())).unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn sfmap_panicking_fill_unblocks_and_retries() {
+        let m: Arc<SfMap<u64, String>> = Arc::new(SfMap::default());
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let _ = m2.get_or_fill(5, || -> Result<String> { panic!("decode panic") });
+        });
+        assert!(t.join().is_err());
+        // The pending marker died with the panicking filler; the next
+        // reader fills instead of blocking forever.
+        let (v, hit) = m.get_or_fill(5, || Ok("ok".to_string())).unwrap();
+        assert!(!hit);
+        assert_eq!(v.as_str(), "ok");
+    }
+
+    #[test]
+    fn in_flight_old_generation_fill_survives_new_generation_insert() {
+        let id = u64::MAX - 4;
+        let path = "/w/t/race";
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let fills = Arc::new(AtomicU64::new(0));
+        let fills2 = Arc::clone(&fills);
+        let filler = std::thread::spawn(move || {
+            file_meta(id, path, 1, || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                fills2.fetch_add(1, Ordering::Relaxed);
+                Ok(meta())
+            })
+            .unwrap()
+        });
+        started_rx.recv().unwrap();
+        // While generation 1's fill is in flight, generation 2 lands and
+        // prunes older entries — Ready ones only, never the live marker.
+        let (_, hit) = file_meta(id, path, 2, || Ok(meta())).unwrap();
+        assert!(!hit);
+        // A waiter on generation 1 must share the in-flight fill rather
+        // than finding its marker gone and redoing the decode.
+        let waiter = std::thread::spawn(move || {
+            file_meta(id, path, 1, || {
+                panic!("waiter must not refill; the in-flight fill owns the marker")
+            })
+            .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        release_tx.send(()).unwrap();
+        let (_, filler_hit) = filler.join().unwrap();
+        assert!(!filler_hit);
+        let (_, waiter_hit) = waiter.join().unwrap();
+        assert!(waiter_hit);
+        assert_eq!(fills.load(Ordering::Relaxed), 1, "exactly one decode");
+        // Generation 1 stays cached for readers still holding its file
+        // snapshot; generation 2 serves new opens.
+        let m = global().inner.lock().unwrap();
+        assert!(m.contains_key(&(id, path.to_string(), 1)));
+        assert!(m.contains_key(&(id, path.to_string(), 2)));
     }
 
     #[test]

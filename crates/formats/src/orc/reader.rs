@@ -161,12 +161,13 @@ impl OrcReader {
             let footer_start = footer_end
                 .checked_sub(ps.footer_len)
                 .ok_or_else(|| HiveError::Format("footer length exceeds file".into()))?;
-            let footer_buf = if (ps.footer_len as usize + ps_total) <= tail.len() {
-                tail[tail.len() - ps_total - ps.footer_len as usize..tail.len() - ps_total].to_vec()
+            let footer = if (ps.footer_len as usize + ps_total) <= tail.len() {
+                let buf =
+                    &tail[tail.len() - ps_total - ps.footer_len as usize..tail.len() - ps_total];
+                decode_file_footer(buf)?
             } else {
-                reader.read_at(footer_start, ps.footer_len as usize)?
+                decode_file_footer(&reader.read_at(footer_start, ps.footer_len as usize)?)?
             };
-            let footer = decode_file_footer(&footer_buf)?;
             Ok(crate::orc::cache::FileMeta::new(ps, footer))
         };
         let (meta, meta_hit) = if opts.cache_metadata {

@@ -270,7 +270,7 @@ impl RcFileReader {
                     let blob = self.reader.read_at(data_off + key_len as u64, comp_len)?;
                     let buf = match &codec {
                         Some(codec) => codec.decompress(&blob)?,
-                        None => blob,
+                        None => blob.into_vec(),
                     };
                     by_file_order.push((c, cell_lens, buf));
                 }
