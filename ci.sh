@@ -57,6 +57,14 @@ HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_joins --offl
 echo "==> server cache bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_cache --offline -- --check
 
+# Workload-management gate: under a low-priority etl flood, the
+# high-priority interactive pool's p99 latency (queue wait + deterministic
+# sim time) must stay within 1.5x of its unloaded p99, and at least one
+# preemption with its re-run must be observed (--check exits non-zero
+# otherwise). Emits schema-valid BENCH_wm.json.
+echo "==> workload management bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_wm --offline -- --check
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

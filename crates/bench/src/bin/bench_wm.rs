@@ -1,0 +1,277 @@
+//! Workload-management benchmark: does a high-priority pool keep its
+//! latency when a low-priority tenant floods the server?
+//!
+//! One server, two pools: `interactive` (small share, high priority) and
+//! `etl` (the flood). Phase 1 measures interactive latency on an idle
+//! server; phase 2 floods every slot with etl statements — which borrow
+//! the idle interactive slots — and measures interactive latency again.
+//! The workload manager has to queue each interactive arrival, preempt
+//! the youngest borrowing etl statement, and hand the reclaimed slot
+//! over; preempted etl statements re-queue and re-run to completion, so
+//! every flood query still returns correct results.
+//!
+//! Latency is `queue_wait + sim_elapsed`: the scheduling delay the
+//! manager controls plus the deterministic simulated execution time
+//! (`hive.exec.sim.deterministic.cpu`), so the gate measures scheduling,
+//! not host noise.
+//!
+//! Writes `results/BENCH_wm.json` (validated against
+//! `results/bench_wm.schema.json`) and, with `--check`, exits non-zero
+//! unless flooded interactive p99 ≤ 1.5× unloaded p99 and at least one
+//! preemption (with its re-run) was observed — the ci.sh gate.
+
+use hive_bench::{fmt_s, print_table, scale_factor};
+use hive_common::{Row, Value};
+use hive_core::{HiveServer, HiveSession};
+use hive_obs::json::{self, Json};
+use hive_obs::SpanKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PLAN: &str = "interactive:share=2,priority=10;etl:share=2";
+const MAPPING: &str = "ann=interactive;*=etl";
+
+const INTERACTIVE_QUERY: &str =
+    "SELECT cust, COUNT(*) AS n FROM orders WHERE total > 200.0 GROUP BY cust ORDER BY cust";
+const ETL_QUERY: &str = "SELECT cust, COUNT(*) AS n, SUM(total) AS rev, AVG(total) AS avg_rev \
+     FROM orders GROUP BY cust ORDER BY cust";
+
+/// Interactive statements measured per phase.
+const RUNS: usize = 20;
+/// etl flood threads — enough to keep all four slots saturated.
+const FLOOD_THREADS: usize = 6;
+
+fn wm_server() -> HiveServer {
+    let server = HiveSession::builder()
+        .set("hive.server.wm.plan", PLAN)
+        .expect("plan knob")
+        .set("hive.server.wm.mapping", MAPPING)
+        .expect("mapping knob")
+        .set("hive.exec.sim.deterministic.cpu", "true")
+        .expect("deterministic cpu knob")
+        .build_server()
+        .expect("bring up wm server");
+    let mut s = server.new_session();
+    let sf = scale_factor();
+    let orders = ((1_500_000.0 * sf) as i64).max(20_000);
+    s.execute("CREATE TABLE orders (okey BIGINT, cust BIGINT, total DOUBLE) STORED AS orc")
+        .expect("create orders");
+    s.load_rows(
+        "orders",
+        (0..orders).map(move |i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Double((i % 500) as f64 / 2.0),
+            ])
+        }),
+    )
+    .expect("load orders");
+    server
+}
+
+/// Run one interactive statement as user `ann`; returns
+/// `(queue_wait_s, sim_s)`. The queue wait comes from the admission span,
+/// which only exists when the statement actually waited.
+fn interactive_once(server: &HiveServer) -> (f64, f64) {
+    let r = server
+        .execute_with(INTERACTIVE_QUERY, &[("hive.session.user", "ann")])
+        .expect("interactive query");
+    assert!(!r.rows.is_empty(), "interactive query must produce rows");
+    let wait = r
+        .metrics
+        .trace
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Admission)
+        .map(|s| s.sim_s)
+        .unwrap_or(0.0);
+    (wait, r.report.sim_total_s)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct PhaseResult {
+    name: &'static str,
+    latencies: Vec<f64>,
+    queue_waits: Vec<f64>,
+}
+
+impl PhaseResult {
+    fn p99(&self) -> f64 {
+        let mut l = self.latencies.clone();
+        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile(&l, 0.99)
+    }
+
+    fn p50(&self) -> f64 {
+        let mut l = self.latencies.clone();
+        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile(&l, 0.50)
+    }
+
+    fn mean_queue_wait(&self) -> f64 {
+        self.queue_waits.iter().sum::<f64>() / self.queue_waits.len() as f64
+    }
+}
+
+fn run_phase(name: &'static str, server: &HiveServer, runs: usize) -> PhaseResult {
+    let mut latencies = Vec::with_capacity(runs);
+    let mut queue_waits = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let (wait, sim) = interactive_once(server);
+        latencies.push(wait + sim);
+        queue_waits.push(wait);
+    }
+    PhaseResult {
+        name,
+        latencies,
+        queue_waits,
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let sf = scale_factor();
+    println!("Workload-management benchmark — scale factor {sf}");
+    println!("plan: {PLAN}");
+
+    let server = wm_server();
+    let wm = server.workload_manager();
+
+    // Phase 1: unloaded — interactive statements on an idle server.
+    let unloaded = run_phase("unloaded", &server, RUNS);
+
+    // Phase 2: flood etl until every slot (including interactive's idle
+    // share, via borrowing) is busy, then measure interactive latency
+    // while the flood keeps refilling.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut flood = Vec::new();
+    for _ in 0..FLOOD_THREADS {
+        let srv = server.clone();
+        let stop2 = Arc::clone(&stop);
+        flood.push(std::thread::spawn(move || {
+            let mut completed = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                // Preempted runs re-queue and re-run inside execute_with;
+                // the result must be complete either way.
+                let r = srv
+                    .execute_with(ETL_QUERY, &[("hive.session.user", "bob")])
+                    .expect("etl query");
+                assert_eq!(r.rows.len(), 100, "etl results complete despite preemption");
+                completed += 1;
+            }
+            completed
+        }));
+    }
+    // Wait until the flood has saturated all four slots (etl borrows both
+    // interactive slots), so every measured arrival contends.
+    let etl_pool = 1;
+    while wm.active_count(etl_pool) < wm.total_slots() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let loaded = run_phase("loaded", &server, RUNS);
+    // The gate needs at least one observed preemption + re-run; at this
+    // saturation every interactive arrival should force one, but give the
+    // scenario bounded room to produce it.
+    let mut extra = 0;
+    while (wm.preemptions_fired() == 0 || wm.requeues() == 0) && extra < 50 {
+        while wm.active_count(etl_pool) < wm.total_slots() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        interactive_once(&server);
+        extra += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let etl_completed: u64 = flood.into_iter().map(|h| h.join().expect("flood")).sum();
+
+    let preemptions = wm.preemptions_fired();
+    let requeues = wm.requeues();
+    // Every admission the manager granted was released exactly once; the
+    // re-run accounting must balance: grants = statements + requeues.
+    let statements = 1 /* create */ + 2 * RUNS as u64 + extra + etl_completed;
+    assert_eq!(
+        server.admitted_total(),
+        statements + requeues,
+        "every preempted statement re-ran exactly once per requeue"
+    );
+
+    let phases = [unloaded, loaded];
+    print_table(
+        "Interactive latency (queue wait + deterministic sim time)",
+        &["phase", "p50", "p99", "mean queue wait"],
+        &phases
+            .iter()
+            .map(|p| {
+                (
+                    p.name.to_string(),
+                    vec![
+                        fmt_s(p.p50()),
+                        fmt_s(p.p99()),
+                        format!("{:.1} ms", p.mean_queue_wait() * 1e3),
+                    ],
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let p99_ratio = phases[1].p99() / phases[0].p99();
+    println!(
+        "\nflooded p99 / unloaded p99 = {p99_ratio:.3} \
+         (preemptions={preemptions} requeues={requeues} etl_completed={etl_completed})"
+    );
+
+    let mut doc = Json::obj();
+    doc.push("format_version", Json::U64(1));
+    doc.push("benchmark", Json::Str("wm".into()));
+    doc.push("scale_factor", Json::F64(sf));
+    doc.push("plan", Json::Str(PLAN.into()));
+    doc.push("interactive_query", Json::Str(INTERACTIVE_QUERY.into()));
+    doc.push("etl_query", Json::Str(ETL_QUERY.into()));
+    let mut phase_docs = Vec::new();
+    for p in &phases {
+        let mut d = Json::obj();
+        d.push("name", Json::Str(p.name.into()));
+        d.push("runs", Json::U64(p.latencies.len() as u64));
+        d.push("p50_latency_s", Json::F64(p.p50()));
+        d.push("p99_latency_s", Json::F64(p.p99()));
+        d.push("mean_queue_wait_s", Json::F64(p.mean_queue_wait()));
+        phase_docs.push(d);
+    }
+    doc.push("phases", Json::Array(phase_docs));
+    doc.push("p99_ratio", Json::F64(p99_ratio));
+    doc.push("preemptions", Json::U64(preemptions));
+    doc.push("requeues", Json::U64(requeues));
+    doc.push("etl_statements_completed", Json::U64(etl_completed));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let schema_src = std::fs::read_to_string(format!("{root}/results/bench_wm.schema.json"))
+        .expect("read results/bench_wm.schema.json");
+    let schema = json::parse(&schema_src).expect("parse schema");
+    json::validate(&doc, &schema).expect("BENCH_wm.json matches its schema");
+
+    let out = format!("{root}/results/BENCH_wm.json");
+    std::fs::write(&out, doc.render_pretty()).expect("write BENCH_wm.json");
+    println!("wrote results/BENCH_wm.json");
+
+    if check {
+        let mut failed = false;
+        if p99_ratio > 1.5 {
+            eprintln!("FAIL: flooded interactive p99 is {p99_ratio:.3}x unloaded (gate: 1.5x)");
+            failed = true;
+        }
+        if preemptions == 0 || requeues == 0 {
+            eprintln!(
+                "FAIL: expected at least one preemption with a re-run \
+                 (preemptions={preemptions} requeues={requeues})"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

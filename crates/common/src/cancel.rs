@@ -1,0 +1,86 @@
+//! Cooperative cancellation: the handle the workload manager uses to
+//! preempt a running statement.
+//!
+//! A [`CancelToken`] is shared between the admission layer (which may
+//! request cancellation) and the execution layers (driver, MapReduce
+//! engine), which poll it at checkpoints — between jobs, between task
+//! claims, between attempts. Cancellation is *cooperative*: nothing is
+//! killed mid-write; the statement unwinds with
+//! [`HiveError::Preempted`](crate::HiveError::Preempted) at the next
+//! checkpoint and the caller decides what to do (the server re-queues and
+//! re-runs it).
+
+use crate::error::{HiveError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared cancellation flag with a reason.
+///
+/// Cheap to clone behind an `Arc`; `cancel` is idempotent (the first
+/// reason wins).
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    reason: std::sync::Mutex<String>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. The first call's reason is kept.
+    pub fn cancel(&self, reason: &str) {
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            let mut r = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+            *r = reason.to_string();
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoint: `Err(HiveError::Preempted)` once cancellation was
+    /// requested, `Ok(())` otherwise. Execution layers call this wherever
+    /// abandoning work is safe.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            let reason = self
+                .reason
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            Err(HiveError::Preempted(reason))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_passes_until_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        t.cancel("yield slot to pool `interactive`");
+        t.cancel("second reason is ignored");
+        assert!(t.is_cancelled());
+        match t.check() {
+            Err(HiveError::Preempted(r)) => {
+                assert_eq!(r, "yield slot to pool `interactive`")
+            }
+            other => panic!("expected Preempted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempted_is_not_retryable() {
+        // The task-attempt loop must not swallow a preemption into retries:
+        // it has to unwind the whole statement so the server can re-queue.
+        assert!(!HiveError::Preempted("x".into()).is_retryable());
+    }
+}

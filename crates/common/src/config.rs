@@ -368,6 +368,37 @@ knobs! {
     /// overwritten file can never serve stale metadata. Effective only
     /// while `hive.io.cache.bytes` is non-zero.
     ORC_CACHE_METADATA: bool = "hive.orc.cache.metadata", "true";
+    /// Workload-management resource plan: `;`-separated pools, each
+    /// `name:share=<slots>[,priority=<p>]` (priority defaults to 0; higher
+    /// preempts lower). Total server concurrency is the sum of shares.
+    /// Empty = one `default` pool whose share is
+    /// `hive.server.max.concurrent.queries` — byte-identical to the flat
+    /// admission semaphore this layer replaced.
+    SERVER_WM_PLAN: String = "hive.server.wm.plan", "";
+    /// Session→pool mapping rules: `;`-separated `user=pool` pairs matched
+    /// (in order) against `hive.session.user`; `*=pool` is the catch-all.
+    /// Sessions matching no rule land in the plan's first pool.
+    SERVER_WM_MAPPING: String = "hive.server.wm.mapping", "";
+    /// Tenant identity of a session; the workload manager's mapping rules
+    /// match it to a resource pool.
+    SESSION_USER: String = "hive.session.user", "";
+    /// Preempt a statement borrowing beyond its pool's share when a
+    /// statement of a higher-priority under-share pool is queued. The
+    /// victim stops at its next cancellation checkpoint, re-queues at the
+    /// front of its pool, and re-runs from scratch — it never returns
+    /// partial results. Only meaningful with a multi-pool resource plan.
+    SERVER_WM_PREEMPTION: bool = "hive.server.wm.preemption.enabled", "true";
+    /// Times one statement may be preempted before it becomes immune and
+    /// runs to completion (starvation bound for low-priority pools).
+    SERVER_WM_PREEMPTION_LIMIT: u64 = "hive.server.wm.preemption.limit", "8", range(1.0, 1000.0);
+    /// Cache compiled query plans in the server, keyed on normalized SQL +
+    /// a planning-knob fingerprint + the metastore and DFS generations, so
+    /// repeat statement shapes skip parse/plan entirely. DDL and data
+    /// overwrites bump a generation and make cached plans structurally
+    /// unreachable (PR 5's cache-invalidation pattern).
+    PLAN_CACHE_ENABLED: bool = "hive.query.plan.cache.enabled", "false";
+    /// Maximum cached plans (least-recently-used eviction).
+    PLAN_CACHE_SIZE: u64 = "hive.query.plan.cache.size", "64", range(1.0, 65536.0);
 }
 
 /// Look up a knob's type-erased registry entry by key.

@@ -54,6 +54,12 @@ pub enum HiveError {
     /// A task attempt died (worker panic, or retries exhausted). The
     /// MapReduce engine raises this instead of aborting the process.
     TaskFailed(String),
+    /// The workload manager preempted this statement at a cooperative
+    /// cancellation checkpoint to give its slot to a higher-priority pool.
+    /// Not retryable at the task level: it must unwind the whole statement
+    /// so the server can re-queue and re-run it from scratch (a preempted
+    /// statement never returns partial results).
+    Preempted(String),
     /// Anything that does not fit the categories above.
     Internal(String),
 }
@@ -78,6 +84,7 @@ impl HiveError {
             HiveError::Transient(_) => "transient",
             HiveError::Corrupt(_) => "corrupt",
             HiveError::TaskFailed(_) => "task",
+            HiveError::Preempted(_) => "preempted",
             HiveError::Internal(_) => "internal",
         }
     }
@@ -100,6 +107,7 @@ impl HiveError {
             | HiveError::Transient(m)
             | HiveError::Corrupt(m)
             | HiveError::TaskFailed(m)
+            | HiveError::Preempted(m)
             | HiveError::Internal(m) => m,
             HiveError::UnknownKnob { key, .. } => key,
         }

@@ -4,6 +4,7 @@
 //! Every other crate in the workspace builds on these definitions, mirroring
 //! how Hive's `serde2` type system underpins its storage and execution layers.
 
+pub mod cancel;
 pub mod config;
 pub mod error;
 pub mod row;
@@ -11,6 +12,7 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use config::HiveConf;
 pub use error::{HiveError, Result};
 pub use row::Row;

@@ -3,13 +3,35 @@
 //! structured trace, registry metrics, and `EXPLAIN ANALYZE` renderings.
 
 use crate::metastore::Metastore;
+use crate::plan_cache::{PlanCache, PlanCacheKey};
 use hive_common::config::keys;
-use hive_common::{HiveConf, HiveError, Result, Row};
+use hive_common::{CancelToken, HiveConf, HiveError, Result, Row};
 use hive_dfs::{Dfs, FaultPlan, IoScope};
 use hive_mapreduce::{DagReport, MrEngine};
 use hive_obs::{MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot, SpanKind, Trace};
-use hive_planner::plan_query;
+use hive_planner::fingerprint::{knob_fingerprint, normalize_sql};
+use hive_planner::{plan_query, CompiledQuery};
 use hive_ql::{parse, SelectStmt, Statement};
+use std::sync::Arc;
+
+/// Per-statement context the server's admission layer hands the driver:
+/// the preemption token execution must poll, where the statement landed
+/// (pool, queue wait) for observability, and the plan cache when this
+/// statement opted in. `Default` is a standalone, non-preemptible,
+/// uncached statement — exactly the pre-workload-management behavior.
+#[derive(Default, Clone, Copy)]
+pub struct StatementCtx<'a> {
+    /// Preemption handle; `None` means not preemptible.
+    pub cancel: Option<&'a Arc<CancelToken>>,
+    /// Pool name, only when a resource plan is configured.
+    pub pool: Option<&'a str>,
+    /// Whether admission made this statement wait for a slot.
+    pub queued: bool,
+    /// Wall-clock seconds spent queued (0.0 unless `queued`).
+    pub queue_wait_s: f64,
+    /// The server's plan cache, when `hive.query.plan.cache.enabled`.
+    pub plan_cache: Option<&'a PlanCache>,
+}
 
 /// Observability payload attached to every [`QueryResult`].
 #[derive(Debug, Clone, Default)]
@@ -50,13 +72,16 @@ impl QueryResult {
     }
 }
 
-/// Compile and run one statement, recording into `registry`.
+/// Compile and run one statement, recording into `registry`. `ctx` is the
+/// admission context the server established for this statement
+/// ([`StatementCtx::default`] for a standalone run).
 pub fn run_statement(
     sql: &str,
     dfs: &Dfs,
     conf: &HiveConf,
     metastore: &Metastore,
     registry: &MetricsRegistry,
+    ctx: &StatementCtx<'_>,
 ) -> Result<QueryResult> {
     // Reject ill-typed or out-of-range overrides before doing any work, so
     // a bad `SET` surfaces on the next statement rather than deep inside a
@@ -80,7 +105,7 @@ pub fn run_statement(
     let dfs = &scoped;
     registry.counter("query.count").inc();
     match parse(sql)? {
-        Statement::Select(stmt) => execute_select(sql, &stmt, dfs, conf, metastore, registry),
+        Statement::Select(stmt) => execute_select(sql, &stmt, dfs, conf, metastore, registry, ctx),
         Statement::CreateTable(ct) => {
             let schema = hive_common::Schema::new(
                 ct.columns
@@ -120,7 +145,7 @@ pub fn run_statement(
             let Statement::Select(stmt) = *stmt else {
                 return Err(HiveError::Plan("EXPLAIN supports SELECT only".into()));
             };
-            let compiled = plan_query(&stmt, metastore, conf)?;
+            let compiled = plan_with_cache(sql, &stmt, dfs, conf, metastore, registry, ctx)?;
             let plan = scrub_query_paths(&compiled.explain);
             if !analyze {
                 return Ok(QueryResult {
@@ -132,8 +157,8 @@ pub fn run_statement(
             // the observed runtime profile. Result rows are discarded — the
             // statement's output is the report, like EXPLAIN ANALYZE in
             // PostgreSQL.
-            let res = execute_select(sql, &stmt, dfs, conf, metastore, registry)?;
-            let text = render_analyze(&plan, res.rows.len(), &res.report);
+            let res = execute_select(sql, &stmt, dfs, conf, metastore, registry, ctx)?;
+            let text = render_analyze(&plan, res.rows.len(), &res.report, ctx);
             Ok(QueryResult {
                 report: res.report,
                 explain: Some(text),
@@ -142,6 +167,40 @@ pub fn run_statement(
             })
         }
     }
+}
+
+/// Plan a SELECT through the statement's plan cache when it opted in
+/// (`hive.query.plan.cache.enabled`), else straight through the planner.
+/// The cache key pins normalized SQL, the planning-knob fingerprint, and
+/// both generation counters, so a hit is exactly the plan compilation
+/// would produce; it is rebased onto a fresh scratch prefix so concurrent
+/// reuses never share intermediate paths.
+fn plan_with_cache(
+    sql: &str,
+    stmt: &SelectStmt,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    ctx: &StatementCtx<'_>,
+) -> Result<CompiledQuery> {
+    let Some(cache) = ctx.plan_cache else {
+        return plan_query(stmt, metastore, conf);
+    };
+    let key = PlanCacheKey {
+        sql: normalize_sql(sql),
+        knobs: knob_fingerprint(conf),
+        catalog_gen: metastore.catalog_generation(),
+        dfs_gen: dfs.generation_watermark(),
+    };
+    if let Some(hit) = cache.get(&key) {
+        registry.counter("plan_cache.hit").inc();
+        return Ok(hit.rebase());
+    }
+    let compiled = plan_query(stmt, metastore, conf)?;
+    registry.counter("plan_cache.miss").inc();
+    cache.insert(key, Arc::new(compiled.clone()));
+    Ok(compiled)
 }
 
 /// Plan and execute one SELECT, then fold its report into the registry and
@@ -153,6 +212,7 @@ fn execute_select(
     conf: &HiveConf,
     metastore: &Metastore,
     registry: &MetricsRegistry,
+    ctx: &StatementCtx<'_>,
 ) -> Result<QueryResult> {
     // Simple aggregations can come straight from ORC footers (paper §4.2),
     // skipping the whole engine. Footer reads happen on this thread, so an
@@ -170,6 +230,7 @@ fn execute_select(
         let q = trace.span(None, SpanKind::Query, sql, 0.0);
         trace.attr(q, "stats_answered", 1u64);
         trace.attr(q, "bytes_read", io.bytes_read());
+        attach_admission_span(&mut trace, q, ctx);
         return Ok(QueryResult {
             columns,
             rows: vec![row],
@@ -180,8 +241,11 @@ fn execute_select(
             ..Default::default()
         });
     }
-    let compiled = plan_query(stmt, metastore, conf)?;
-    let engine = MrEngine::new(dfs.clone(), conf.clone());
+    let compiled = plan_with_cache(sql, stmt, dfs, conf, metastore, registry, ctx)?;
+    let mut engine = MrEngine::new(dfs.clone(), conf.clone());
+    if let Some(cancel) = ctx.cancel {
+        engine = engine.with_cancel(Arc::clone(cancel));
+    }
     let (report, mut rows) = engine.run_dag(&compiled.jobs)?;
     // Driver-side final ordering and limit (see DESIGN.md).
     if !compiled.order_by.is_empty() {
@@ -200,7 +264,7 @@ fn execute_select(
         }
     }
     record_report(registry, &report);
-    let trace = build_trace(sql, &report);
+    let trace = build_trace(sql, &report, ctx);
     Ok(QueryResult {
         columns: compiled.output_names,
         rows,
@@ -256,13 +320,28 @@ fn record_report(registry: &MetricsRegistry, report: &DagReport) {
     }
 }
 
+/// Attach the admission span — pool assignment and queue wait — under the
+/// query root, but only when the statement actually waited for a slot.
+/// Statements granted immediately (every statement on an idle server, and
+/// everything in the pre-workload-management world) trace byte-identically
+/// to before.
+fn attach_admission_span(t: &mut Trace, q: u32, ctx: &StatementCtx<'_>) {
+    if !ctx.queued {
+        return;
+    }
+    let a = t.span(Some(q), SpanKind::Admission, "admission", ctx.queue_wait_s);
+    t.attr(a, "pool", ctx.pool.unwrap_or("default"));
+    t.attr(a, "queue_wait_s", ctx.queue_wait_s);
+}
+
 /// Build the span tree for one executed statement:
 /// query → plan phase + DAG stage → job → task / operator.
-fn build_trace(sql: &str, report: &DagReport) -> Trace {
+fn build_trace(sql: &str, report: &DagReport, ctx: &StatementCtx<'_>) -> Trace {
     let mut t = Trace::new();
     let q = t.span(None, SpanKind::Query, sql, report.sim_total_s);
     t.attr(q, "jobs", report.jobs.len() as u64);
     t.attr(q, "rows_out", report.counters.rows_out);
+    attach_admission_span(&mut t, q, ctx);
     let plan = t.span(Some(q), SpanKind::PlanPhase, "plan", 0.0);
     t.attr(plan, "jobs", report.jobs.len() as u64);
     let stage = t.span(Some(q), SpanKind::Stage, "dag", report.sim_total_s);
@@ -359,11 +438,25 @@ fn scrub_query_paths(plan: &str) -> String {
 
 /// Render the `EXPLAIN ANALYZE` report: the static plan followed by the
 /// observed per-job runtime profile (tasks, bytes, scan pruning, and
-/// per-operator rows/CPU).
-fn render_analyze(plan: &str, result_rows: usize, report: &DagReport) -> String {
+/// per-operator rows/CPU). Statements that waited in an admission queue
+/// get one extra `admission:` line; ones granted immediately render
+/// byte-identically to the pre-workload-management output.
+fn render_analyze(
+    plan: &str,
+    result_rows: usize,
+    report: &DagReport,
+    ctx: &StatementCtx<'_>,
+) -> String {
     let mut out = String::new();
     out.push_str(plan.trim_end());
     out.push_str("\n\n== Runtime Profile ==\n");
+    if ctx.queued {
+        out.push_str(&format!(
+            "admission: pool={} queue_wait={:.1}ms\n",
+            ctx.pool.unwrap_or("default"),
+            ctx.queue_wait_s * 1e3,
+        ));
+    }
     out.push_str(&format!(
         "sim_total={:.6}s jobs={} result_rows={}\n",
         report.sim_total_s,

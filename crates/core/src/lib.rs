@@ -4,11 +4,15 @@
 
 pub mod driver;
 pub mod metastore;
+pub mod plan_cache;
 pub mod server;
 pub mod session;
 pub mod stats_answer;
+pub mod wm;
 
-pub use driver::{QueryMetrics, QueryResult};
+pub use driver::{QueryMetrics, QueryResult, StatementCtx};
 pub use metastore::{Metastore, TableInfo};
+pub use plan_cache::{PlanCache, PlanCacheKey};
 pub use server::HiveServer;
 pub use session::{HiveSession, SessionBuilder};
+pub use wm::{PoolSpec, ResourcePlan, WorkloadManager};

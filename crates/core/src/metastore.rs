@@ -9,6 +9,7 @@ use hive_formats::FormatKind;
 use hive_planner::{Catalog, TableMeta};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Metadata of one table.
@@ -26,6 +27,10 @@ pub struct TableInfo {
 pub struct Metastore {
     dfs: Dfs,
     tables: Arc<RwLock<BTreeMap<String, TableInfo>>>,
+    /// Catalog generation: bumped by every successful DDL. The plan cache
+    /// keys entries on it, so plans compiled against an older catalog
+    /// become unreachable the moment a table appears or disappears.
+    generation: Arc<AtomicU64>,
 }
 
 impl Metastore {
@@ -33,7 +38,13 @@ impl Metastore {
         Metastore {
             dfs,
             tables: Arc::new(RwLock::new(BTreeMap::new())),
+            generation: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Current catalog generation (see the field docs).
+    pub fn catalog_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Register a table. Its location is `/warehouse/<name>/`.
@@ -57,6 +68,7 @@ impl Metastore {
             location: format!("/warehouse/{key}/"),
         };
         tables.insert(key, info.clone());
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(info)
     }
 
@@ -66,6 +78,7 @@ impl Metastore {
             for f in self.dfs.list(&info.location) {
                 self.dfs.delete(&f);
             }
+            self.generation.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false

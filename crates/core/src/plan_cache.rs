@@ -1,0 +1,176 @@
+//! The prepared-plan cache: compiled query plans keyed on what could
+//! possibly invalidate them.
+//!
+//! A cache entry is reachable only under the exact key
+//! `(normalized SQL, planning-knob fingerprint, metastore catalog
+//! generation, DFS generation watermark)`. Rather than tracking which
+//! tables a plan touches and invalidating entries on change, the key
+//! *includes* the generation counters (the same pattern the ORC/DFS cache
+//! tiers use): any DDL bumps the catalog generation, any file publish or
+//! tamper moves the DFS watermark, and every older entry becomes
+//! unreachable garbage that LRU eviction eventually drains. Stale reuse is
+//! impossible by construction.
+//!
+//! Entries hold the compiled plan behind an `Arc`; a hit is
+//! [rebased](hive_planner::CompiledQuery::rebase) onto a fresh
+//! `/tmp/query-<N>` scratch prefix before execution so concurrent reuses
+//! of one entry never collide on intermediate files.
+
+use hive_planner::CompiledQuery;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything that must match for a cached plan to be reusable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// `fingerprint::normalize_sql` of the statement text.
+    pub sql: String,
+    /// `fingerprint::knob_fingerprint` of the statement's configuration.
+    pub knobs: u64,
+    /// Metastore catalog generation (bumped by CREATE/DROP TABLE).
+    pub catalog_gen: u64,
+    /// DFS generation watermark (moved by any publish or tamper).
+    pub dfs_gen: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanCacheKey, Arc<CompiledQuery>>,
+    /// Recency order, least-recent at the front.
+    order: VecDeque<PlanCacheKey>,
+}
+
+/// A bounded LRU over compiled plans. Shared process-wide by the server;
+/// per-statement participation is the `hive.query.plan.cache.enabled`
+/// knob (off by default, so the untouched execution path records nothing).
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a plan; a hit refreshes the entry's recency.
+    pub fn get(&self, key: &PlanCacheKey) -> Option<Arc<CompiledQuery>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(key).cloned() {
+            Some(plan) => {
+                if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                    inner.order.remove(pos);
+                }
+                inner.order.push_back(key.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting the least recently used
+    /// entry past capacity.
+    pub fn insert(&self, key: PlanCacheKey, plan: Arc<CompiledQuery>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key.clone(), plan).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sql: &str, dfs_gen: u64) -> PlanCacheKey {
+        PlanCacheKey {
+            sql: sql.into(),
+            knobs: 1,
+            catalog_gen: 1,
+            dfs_gen,
+        }
+    }
+
+    fn plan() -> Arc<CompiledQuery> {
+        Arc::new(CompiledQuery {
+            jobs: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            output_names: Vec::new(),
+            explain: String::new(),
+            tmp_base: "/tmp/query-0".into(),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = PlanCache::new(2);
+        c.insert(key("a", 1), plan());
+        c.insert(key("b", 1), plan());
+        assert!(c.get(&key("a", 1)).is_some()); // refresh `a`
+        c.insert(key("c", 1), plan());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key("b", 1)).is_none(), "b was the LRU victim");
+        assert!(c.get(&key("a", 1)).is_some());
+        assert!(c.get(&key("c", 1)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn generation_shift_makes_old_entries_unreachable() {
+        let c = PlanCache::new(8);
+        c.insert(key("select 1", 1), plan());
+        assert!(c.get(&key("select 1", 1)).is_some());
+        // A write moved the DFS watermark: same SQL, new key → miss.
+        assert!(c.get(&key("select 1", 2)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}

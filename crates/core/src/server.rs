@@ -1,83 +1,38 @@
 //! `HiveServer`: a long-lived, `Send + Sync` serving process in the
 //! HiveServer2 mold — one shared metastore, one shared DFS (with its block
 //! cache), one shared metrics registry, typed-knob defaults with per-query
-//! overrides, and a bounded admission-control semaphore
-//! (`hive.server.max.concurrent.queries`) so N threads can run queries
-//! concurrently against a single process.
+//! overrides, and a [`WorkloadManager`] in front of execution: per-tenant
+//! resource pools with FIFO-fair queues, work-conserving borrowing, and
+//! cooperative preemption (`hive.server.wm.*`). With no resource plan
+//! configured the manager is a single `default` pool sized by
+//! `hive.server.max.concurrent.queries` — the old admission semaphore,
+//! minus its wakeup barging.
 //!
-//! A [`HiveSession`] is now a thin per-client overlay: its own mutable
+//! A [`HiveSession`] is a thin per-client overlay: its own mutable
 //! `HiveConf` (for `SET key=value`) on top of a shared server. Every
 //! statement — from the server directly or through a session — passes
-//! through admission control.
+//! through admission control; preempted statements are re-queued at the
+//! front of their pool and re-run from scratch, so callers only ever see
+//! complete results.
 
-use crate::driver::{run_statement, QueryResult};
+use crate::driver::{run_statement, QueryResult, StatementCtx};
 use crate::metastore::Metastore;
+use crate::plan_cache::PlanCache;
 use crate::session::HiveSession;
+use crate::wm::{Requeue, ResourcePlan, WorkloadManager};
 use hive_common::config::keys;
-use hive_common::{HiveConf, Result};
+use hive_common::{HiveConf, HiveError, Result};
 use hive_dfs::Dfs;
 use hive_obs::MetricsRegistry;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-
-/// Bounded admission control: at most `max` statements execute at once;
-/// further arrivals block until a slot frees (HiveServer2-style).
-struct Admission {
-    max: u64,
-    active: Mutex<u64>,
-    cv: Condvar,
-    /// High-water mark of concurrently admitted statements.
-    peak: AtomicU64,
-    /// Total statements ever admitted.
-    admitted: AtomicU64,
-}
-
-impl Admission {
-    fn new(max: u64) -> Admission {
-        Admission {
-            max: max.max(1),
-            active: Mutex::new(0),
-            cv: Condvar::new(),
-            peak: AtomicU64::new(0),
-            admitted: AtomicU64::new(0),
-        }
-    }
-
-    fn acquire(&self) -> AdmissionGuard<'_> {
-        let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
-        while *active >= self.max {
-            active = self.cv.wait(active).unwrap_or_else(|e| e.into_inner());
-        }
-        *active += 1;
-        self.peak.fetch_max(*active, Ordering::Relaxed);
-        self.admitted.fetch_add(1, Ordering::Relaxed);
-        AdmissionGuard { admission: self }
-    }
-}
-
-/// RAII admission slot; releasing wakes one blocked arrival.
-struct AdmissionGuard<'a> {
-    admission: &'a Admission,
-}
-
-impl Drop for AdmissionGuard<'_> {
-    fn drop(&mut self) {
-        let mut active = self
-            .admission
-            .active
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        *active -= 1;
-        self.admission.cv.notify_one();
-    }
-}
+use std::sync::Arc;
 
 struct ServerInner {
     dfs: Dfs,
     defaults: HiveConf,
     metastore: Metastore,
     metrics: MetricsRegistry,
-    admission: Admission,
+    wm: WorkloadManager,
+    plan_cache: PlanCache,
 }
 
 /// A long-lived Hive serving process. Cheap to clone (shared state); safe
@@ -115,7 +70,12 @@ impl HiveServer {
         metrics: MetricsRegistry,
     ) -> Result<HiveServer> {
         defaults.validate()?;
-        let max = defaults.get_i64(keys::SERVER_MAX_CONCURRENT)? as u64;
+        // The resource plan and plan-cache capacity are process state,
+        // resolved once from the server defaults; sessions cannot resize
+        // pools mid-flight (they *can* opt statements in and out of the
+        // plan cache, which only gates participation).
+        let wm = WorkloadManager::new(ResourcePlan::from_conf(&defaults)?, &defaults)?;
+        let plan_cache = PlanCache::new(defaults.get_i64(keys::PLAN_CACHE_SIZE)? as usize);
         // The block cache's byte budget is process state, sized once here
         // from the server defaults. Per-session / per-query
         // `hive.io.cache.bytes` values only opt a statement in or out of
@@ -129,7 +89,8 @@ impl HiveServer {
                 defaults,
                 metastore,
                 metrics,
-                admission: Admission::new(max),
+                wm,
+                plan_cache,
             }),
         })
     }
@@ -163,16 +124,59 @@ impl HiveServer {
     }
 
     /// The single execution path: every statement, whichever front door it
-    /// came through, takes an admission slot first.
+    /// came through, takes a slot in its resource pool first. A statement
+    /// the workload manager preempts mid-flight is re-queued at the front
+    /// of its pool (original ticket, preemption count bumped) and re-run
+    /// from scratch — the caller never sees `Preempted`, only the final
+    /// complete result.
     pub(crate) fn execute_conf(&self, sql: &str, conf: &HiveConf) -> Result<QueryResult> {
-        let _slot = self.inner.admission.acquire();
-        run_statement(
-            sql,
-            &self.inner.dfs,
-            conf,
-            &self.inner.metastore,
-            &self.inner.metrics,
-        )
+        let inner = &*self.inner;
+        let wm = &inner.wm;
+        let pool = wm.resolve_pool(conf);
+        let wm_mode = wm.plan().configured();
+        let cache_on = conf.get_bool(keys::PLAN_CACHE_ENABLED)?;
+        let mut requeue: Option<Requeue> = None;
+        loop {
+            let grant = wm.admit(pool, requeue.take());
+            if wm_mode {
+                let labels = &[("pool", wm.pool_name(pool))];
+                inner.metrics.counter_with("wm.admitted", labels).inc();
+                if grant.queued {
+                    inner.metrics.counter_with("wm.queued", labels).inc();
+                }
+            }
+            let ctx = StatementCtx {
+                cancel: Some(&grant.cancel),
+                pool: wm_mode.then(|| wm.pool_name(pool)),
+                queued: grant.queued,
+                queue_wait_s: grant.queue_wait_s,
+                plan_cache: cache_on.then_some(&inner.plan_cache),
+            };
+            let result = run_statement(
+                sql,
+                &inner.dfs,
+                conf,
+                &inner.metastore,
+                &inner.metrics,
+                &ctx,
+            );
+            match result {
+                Err(HiveError::Preempted(_)) => {
+                    // Drop any claim on the slot, then loop back into the
+                    // pool queue. `wm_mode` is a precondition of firing a
+                    // preemption, so the legacy path never gets here.
+                    requeue = Some(wm.release_preempted(&grant));
+                    if wm_mode {
+                        let labels = &[("pool", wm.pool_name(pool))];
+                        inner.metrics.counter_with("wm.preempted", labels).inc();
+                    }
+                }
+                result => {
+                    wm.release(&grant);
+                    return result;
+                }
+            }
+        }
     }
 
     /// The server-wide knob defaults.
@@ -193,19 +197,32 @@ impl HiveServer {
         &self.inner.metrics
     }
 
-    /// `hive.server.max.concurrent.queries` as resolved at server start.
+    /// The admission layer: resource pools, queues, preemption counters.
+    pub fn workload_manager(&self) -> &WorkloadManager {
+        &self.inner.wm
+    }
+
+    /// The process-wide prepared-plan cache (participation is per
+    /// statement via `hive.query.plan.cache.enabled`).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.inner.plan_cache
+    }
+
+    /// Total concurrency slots: `hive.server.max.concurrent.queries` when
+    /// no resource plan is configured, else the sum of pool shares.
     pub fn max_concurrent(&self) -> u64 {
-        self.inner.admission.max
+        self.inner.wm.total_slots()
     }
 
     /// High-water mark of concurrently admitted statements.
     pub fn admitted_peak(&self) -> u64 {
-        self.inner.admission.peak.load(Ordering::Relaxed)
+        self.inner.wm.admitted_peak()
     }
 
-    /// Total statements admitted since the server came up.
+    /// Total statements admitted since the server came up (a preempted
+    /// statement's re-run counts as another admission).
     pub fn admitted_total(&self) -> u64 {
-        self.inner.admission.admitted.load(Ordering::Relaxed)
+        self.inner.wm.admitted_total()
     }
 }
 
@@ -213,24 +230,6 @@ impl HiveServer {
 mod tests {
     use super::*;
     use std::thread;
-    use std::time::Duration;
-
-    #[test]
-    fn admission_blocks_at_capacity_and_releases() {
-        let adm = Arc::new(Admission::new(2));
-        let g1 = adm.acquire();
-        let _g2 = adm.acquire();
-        let adm2 = Arc::clone(&adm);
-        let t = thread::spawn(move || {
-            let _g3 = adm2.acquire(); // blocks until a slot frees
-            adm2.admitted.load(Ordering::Relaxed)
-        });
-        thread::sleep(Duration::from_millis(30));
-        assert_eq!(adm.admitted.load(Ordering::Relaxed), 2, "third blocked");
-        drop(g1);
-        assert_eq!(t.join().unwrap(), 3);
-        assert_eq!(adm.peak.load(Ordering::Relaxed), 2);
-    }
 
     #[test]
     fn concurrent_queries_respect_the_admission_knob() {
@@ -305,5 +304,33 @@ mod tests {
                 .get_raw("hive.vectorized.execution.enabled"),
             before
         );
+    }
+
+    #[test]
+    fn sessions_map_to_pools_by_user() {
+        let server = HiveSession::builder()
+            .set("hive.server.wm.plan", "etl:share=2;fast:share=1,priority=5")
+            .unwrap()
+            .set("hive.server.wm.mapping", "ann=fast;*=etl")
+            .unwrap()
+            .build_server()
+            .unwrap();
+        let wm = server.workload_manager();
+        assert_eq!(server.max_concurrent(), 3);
+        let ann = server.defaults().clone().with("hive.session.user", "ann");
+        assert_eq!(wm.pool_name(wm.resolve_pool(&ann)), "fast");
+        let bob = server.defaults().clone().with("hive.session.user", "bob");
+        assert_eq!(wm.pool_name(wm.resolve_pool(&bob)), "etl");
+    }
+
+    #[test]
+    fn invalid_resource_plan_fails_at_startup() {
+        let err = HiveSession::builder()
+            .set("hive.server.wm.plan", "etl:share=0")
+            .unwrap()
+            .build_server()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("share"), "{err}");
     }
 }

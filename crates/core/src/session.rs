@@ -127,6 +127,13 @@ impl SessionBuilder {
         self
     }
 
+    /// The tenant identity (`hive.session.user`) the workload manager's
+    /// mapping rules match sessions onto pools by.
+    pub fn user(mut self, name: &str) -> SessionBuilder {
+        self.conf.set(keys::SESSION_USER, name);
+        self
+    }
+
     /// Validate the assembled configuration and bring up a long-lived,
     /// shareable [`HiveServer`]; the overrides become its defaults.
     pub fn build_server(self) -> Result<HiveServer> {
@@ -196,6 +203,19 @@ impl HiveSession {
     pub fn try_set(&mut self, key: &str, value: impl Into<String>) -> Result<&mut Self> {
         self.conf.try_set(key, value)?;
         Ok(self)
+    }
+
+    /// Become `name` for workload-management pool mapping
+    /// (`SET hive.session.user=<name>`).
+    pub fn set_user(&mut self, name: &str) -> &mut Self {
+        self.conf.set(keys::SESSION_USER, name);
+        self
+    }
+
+    /// The resource pool this session's statements currently land in.
+    pub fn pool_name(&self) -> String {
+        let wm = self.server.workload_manager();
+        wm.pool_name(wm.resolve_pool(&self.conf)).to_string()
     }
 
     pub fn dfs(&self) -> &Dfs {

@@ -111,6 +111,11 @@ struct DfsInner {
     cache: cache::BlockCache,
     /// Source of per-file generations.
     next_gen: AtomicU64,
+    /// Count of table-data mutations: publishes, deletes, and tampering of
+    /// paths outside the `/tmp/` query-scratch namespace. Scratch writes
+    /// (shuffle intermediates) do not move it, so it only advances when
+    /// data a compiled plan could have read actually changed.
+    data_gen: AtomicU64,
     /// Process-unique id of this filesystem instance.
     id: u64,
 }
@@ -125,6 +130,7 @@ impl Dfs {
                 fault: RwLock::new(None),
                 cache: cache::BlockCache::new(),
                 next_gen: AtomicU64::new(1),
+                data_gen: AtomicU64::new(0),
                 id: NEXT_DFS_ID.fetch_add(1, Ordering::Relaxed),
             }),
             scope: None,
@@ -194,6 +200,22 @@ impl Dfs {
     /// or tamper of the path.
     pub fn generation(&self, path: &str) -> Option<u64> {
         self.inner.files.read().get(path).map(|f| f.generation)
+    }
+
+    /// Filesystem-wide table-data watermark: bumped by every publish,
+    /// delete, or tamper of a path outside the `/tmp/` query-scratch
+    /// namespace. A cheap staleness fence — the server's plan cache keys
+    /// entries on it, so a plan compiled before a data write is never
+    /// reused after one, while scratch traffic (shuffle intermediates
+    /// under `/tmp/query-*`) leaves cached plans reachable.
+    pub fn generation_watermark(&self) -> u64 {
+        self.inner.data_gen.load(Ordering::Relaxed)
+    }
+
+    fn bump_data_gen(&self, path: &str) {
+        if !path.starts_with("/tmp/") {
+            self.inner.data_gen.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Install (or clear, with `None`) the shared fault-injection plan.
@@ -283,6 +305,7 @@ impl Dfs {
             // Floor above the deleted generation: a fill still in flight
             // for it is dropped at completion instead of being parked.
             self.inner.cache.invalidate_path(path, entry.generation + 1);
+            self.bump_data_gen(path);
         }
         removed.is_some()
     }
@@ -358,6 +381,7 @@ impl Dfs {
         files.insert(path.to_string(), tampered);
         drop(files);
         self.inner.cache.invalidate_path(path, generation);
+        self.bump_data_gen(path);
         Ok(())
     }
 
@@ -382,6 +406,7 @@ impl Dfs {
         // floor at the new generation dooms fills still in flight for the
         // old one.
         self.inner.cache.invalidate_path(&path, generation);
+        self.bump_data_gen(&path);
     }
 }
 
@@ -755,6 +780,25 @@ mod tests {
             replication: 2,
             nodes: 4,
         })
+    }
+
+    #[test]
+    fn data_watermark_ignores_query_scratch() {
+        let fs = small_fs();
+        let start = fs.generation_watermark();
+        // Scratch traffic (shuffle intermediates) leaves the watermark alone.
+        fs.create("/tmp/query-1/part-m-00000").close();
+        fs.delete("/tmp/query-1/part-m-00000");
+        assert_eq!(fs.generation_watermark(), start);
+        // Table publishes, tampering, and deletes each move it.
+        let mut w = fs.create("/warehouse/t/part-0");
+        w.write(b"rows");
+        w.close();
+        assert_eq!(fs.generation_watermark(), start + 1);
+        fs.corrupt_stored("/warehouse/t/part-0", 0, 0xff).unwrap();
+        assert_eq!(fs.generation_watermark(), start + 2);
+        fs.delete("/warehouse/t/part-0");
+        assert_eq!(fs.generation_watermark(), start + 3);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::cost::{CostModel, TaskWork};
 use crate::job::{JobInput, JobOutput, JobSpec, ReducePipelineFactory, SideInput};
-use hive_common::{config::keys, HiveConf, HiveError, Result, Row, Value};
+use hive_common::{config::keys, CancelToken, HiveConf, HiveError, Result, Row, Value};
 use hive_dfs::{Dfs, IoScope, IoSnapshot};
 use hive_exec::graph::{Message, ShuffleRecord};
 use hive_formats::{open_reader, ReadOptions, TableWriter};
@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-row CPU charge substituted for measured wall-clock CPU when
@@ -105,6 +105,11 @@ pub struct MrEngine {
     /// `mapred.max.tracker.failures` are excluded from replica selection,
     /// like Hadoop's tracker blacklist.
     node_failures: Mutex<HashMap<usize, u32>>,
+    /// Cooperative preemption handle installed by the workload manager.
+    /// Polled between jobs, between task claims, and at the top of every
+    /// attempt; `None` (the default) means the statement is not
+    /// preemptible and execution is exactly as before.
+    cancel: Option<Arc<CancelToken>>,
 }
 
 // `run_dag` shares `&MrEngine` across job-runner threads.
@@ -209,6 +214,23 @@ impl MrEngine {
             conf,
             cost: CostModel::default(),
             node_failures: Mutex::new(HashMap::new()),
+            cancel: None,
+        }
+    }
+
+    /// Make this engine preemptible: execution polls `cancel` at its
+    /// checkpoints and unwinds with [`HiveError::Preempted`] once the
+    /// workload manager fires it.
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> MrEngine {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Cooperative cancellation checkpoint (no-op without a token).
+    fn checkpoint(&self) -> Result<()> {
+        match &self.cancel {
+            Some(c) => c.check(),
+            None => Ok(()),
         }
     }
 
@@ -307,6 +329,19 @@ impl MrEngine {
         let mut backoff_s = 0.0;
         let mut attempt = 0u32;
         loop {
+            // Preemption checkpoint: abandoning work between attempts (and
+            // before the first — workers reach here on every task claim) is
+            // always safe. `Preempted` is not retryable, so it falls through
+            // the match below and unwinds the whole statement.
+            if let Err(e) = self.checkpoint() {
+                return TaskOutcome {
+                    result: Err(e),
+                    attempts: attempt.max(1),
+                    failed_io,
+                    failed_wall_s,
+                    backoff_s,
+                };
+            }
             // A scope of our own so a *failed* attempt's I/O is still
             // attributed and priced (the bytes went over the wire before
             // the attempt died). The guard lives inside the closure so an
@@ -398,6 +433,7 @@ impl MrEngine {
             let mut report = DagReport::default();
             let mut last_rows = Vec::new();
             for spec in jobs {
+                self.checkpoint()?; // between-jobs preemption checkpoint
                 let (jr, rows) = self.run_job_caught(spec)?;
                 report.sim_total_s += jr.sim_total_s;
                 Self::accumulate_job(&mut report, &jr);
@@ -413,6 +449,7 @@ impl MrEngine {
         let mut results: Vec<Option<(JobReport, Vec<Row>)>> =
             (0..jobs.len()).map(|_| None).collect();
         for stage in 0..=max_stage {
+            self.checkpoint()?; // between-stages preemption checkpoint
             let idxs: Vec<usize> = (0..jobs.len()).filter(|&j| stage_of[j] == stage).collect();
             if idxs.len() == 1 {
                 results[idxs[0]] = Some(self.run_job_caught(&jobs[idxs[0]])?);
@@ -682,6 +719,9 @@ impl MrEngine {
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
             let median = sorted[sorted.len() / 2];
             for i in 0..winners.len() {
+                // Preemption checkpoint: don't launch new speculative
+                // duplicates for a statement that is being cancelled.
+                self.checkpoint()?;
                 if median <= 0.0 || map_durations[i] <= threshold * median {
                     continue;
                 }

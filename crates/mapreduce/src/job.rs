@@ -73,7 +73,10 @@ pub enum JobOutput {
     Intermediate { path_prefix: String },
 }
 
-/// One MapReduce job.
+/// One MapReduce job. Cloning is cheap — the pipeline factories are
+/// shared behind `Arc`s — which is what lets the server's plan cache hand
+/// the same compiled jobs to many executions.
+#[derive(Clone)]
 pub struct JobSpec {
     pub name: String,
     pub inputs: Vec<JobInput>,

@@ -27,6 +27,10 @@ pub enum SpanKind {
     Operator,
     /// Cache activity (metadata/block caches) observed during a job.
     Cache,
+    /// Admission control: time a statement spent queued in its resource
+    /// pool before getting a slot. Only emitted when the wait was nonzero,
+    /// so unqueued statements trace exactly as before.
+    Admission,
 }
 
 impl SpanKind {
@@ -39,6 +43,7 @@ impl SpanKind {
             SpanKind::Task => "task",
             SpanKind::Operator => "operator",
             SpanKind::Cache => "cache",
+            SpanKind::Admission => "admission",
         }
     }
 }

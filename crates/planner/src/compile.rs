@@ -36,7 +36,10 @@ use std::sync::Arc;
 
 static QUERY_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// A fully compiled query.
+/// A fully compiled query. Cloneable (job pipeline factories are shared
+/// `Arc`s) so the server's plan cache can reuse one compilation across
+/// executions; see [`CompiledQuery::rebase`].
+#[derive(Clone)]
 pub struct CompiledQuery {
     pub jobs: Vec<JobSpec>,
     /// Driver-side final sort: output column index + ascending.
@@ -44,6 +47,51 @@ pub struct CompiledQuery {
     pub limit: Option<u64>,
     pub output_names: Vec<String>,
     pub explain: String,
+    /// Scratch prefix (`/tmp/query-<N>`) this compilation's intermediate
+    /// job outputs live under. Unique per compilation.
+    pub tmp_base: String,
+}
+
+impl CompiledQuery {
+    /// A copy of this plan with every intermediate path moved under a
+    /// fresh `/tmp/query-<N>` prefix. A cached plan must be rebased before
+    /// each execution: two statements running the same cached plan
+    /// concurrently would otherwise collide on intermediate part files.
+    pub fn rebase(&self) -> CompiledQuery {
+        let fresh = fresh_tmp_base();
+        let moved = |p: &str| {
+            if let Some(rest) = p.strip_prefix(&self.tmp_base) {
+                format!("{fresh}{rest}")
+            } else {
+                p.to_string()
+            }
+        };
+        let mut out = self.clone();
+        for job in &mut out.jobs {
+            for input in &mut job.inputs {
+                for p in &mut input.paths {
+                    *p = moved(p);
+                }
+            }
+            for side in &mut job.side_inputs {
+                for p in &mut side.paths {
+                    *p = moved(p);
+                }
+            }
+            if let JobOutput::Intermediate { path_prefix } = &mut job.output {
+                *path_prefix = moved(path_prefix);
+            }
+        }
+        out.explain = out.explain.replace(&self.tmp_base, &fresh);
+        out.tmp_base = fresh;
+        out
+    }
+}
+
+/// A fresh, process-unique scratch prefix for one query's intermediates.
+pub fn fresh_tmp_base() -> String {
+    let qid = QUERY_COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("/tmp/query-{qid}")
 }
 
 /// One map-side input of a job (compile-time form).
@@ -66,8 +114,7 @@ struct MapInput {
 pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
     let mut g = t.graph.clone();
     insert_cuts(&mut g, conf)?;
-    let qid = QUERY_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let tmp_base = format!("/tmp/query-{qid}");
+    let tmp_base = fresh_tmp_base();
 
     let frag_of = fragments(&g);
     // Fragment → members.
@@ -318,6 +365,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
         limit: t.limit,
         output_names: t.output_names.clone(),
         explain,
+        tmp_base,
     })
 }
 

@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod cbo;
 pub mod compile;
 pub mod correlation;
+pub mod fingerprint;
 pub mod mapjoin;
 pub mod plan;
 pub mod semantic;

@@ -281,6 +281,10 @@ fn warm_queries_carry_a_cache_trace_span() {
 /// correct, and the final metrics snapshot is deterministic across engine
 /// worker-thread counts.
 fn stress_snapshot(worker_threads: u64) -> hive::obs::MetricsSnapshot {
+    stress_snapshot_conf(worker_threads, false)
+}
+
+fn stress_snapshot_conf(worker_threads: u64, plan_cache: bool) -> hive::obs::MetricsSnapshot {
     const MIXED: [(&str, usize); 3] = [
         (SARG_PROBE, 99),
         (JOIN_AGG, 100),
@@ -295,6 +299,11 @@ fn stress_snapshot(worker_threads: u64) -> hive::obs::MetricsSnapshot {
         .knob(knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
         .knob(knobs::EXEC_WORKER_THREADS, worker_threads)
         .set("hive.server.max.concurrent.queries", "4")
+        .unwrap()
+        .set(
+            "hive.query.plan.cache.enabled",
+            if plan_cache { "true" } else { "false" },
+        )
         .unwrap()
         .build_server()
         .unwrap();
@@ -361,6 +370,37 @@ fn server_stress_is_deadlock_free_and_deterministic() {
         assert_eq!((a.count, a.min, a.max), (b.count, b.min, b.max), "{k:?}");
         assert!(close(a.sum, b.sum), "{k:?}: {} vs {}", a.sum, b.sum);
     }
+}
+
+/// The plan cache is an observability no-op below its own counters: the
+/// same stress stream with caching on must produce byte-identical
+/// execution counters (plans are reused, never changed), deterministic
+/// hit/miss totals, and snapshot determinism across worker widths.
+#[test]
+fn plan_cache_keeps_execution_counters_and_determinism() {
+    let cached_narrow = stress_snapshot_conf(1, true);
+    let cached_wide = stress_snapshot_conf(4, true);
+    assert_eq!(
+        cached_narrow.counters, cached_wide.counters,
+        "plan-cached counters depend on worker-thread count"
+    );
+    // Warm-up compiles the 3 distinct statements; all 8×32 concurrent
+    // replays hit — no mutation moves either generation counter.
+    assert_eq!(cached_narrow.counter("plan_cache.miss", &[]), Some(3));
+    assert_eq!(cached_narrow.counter("plan_cache.hit", &[]), Some(256));
+    let uncached = stress_snapshot(1);
+    let execution_only = |s: &hive::obs::MetricsSnapshot| {
+        s.counters
+            .iter()
+            .filter(|(k, _)| !k.name.starts_with("plan_cache."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        execution_only(&cached_narrow),
+        execution_only(&uncached),
+        "a cached plan must execute exactly like a freshly compiled one"
+    );
 }
 
 #[test]

@@ -660,6 +660,93 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plan-cache differential: the prepared-plan cache must be semantically
+// invisible. A random batch of statements interleaved with table reloads
+// (which move the DFS data watermark) and DDL (which moves the catalog
+// generation) replays against two servers — plan cache on and off — and
+// every statement must return identical rows on both. Each statement runs
+// twice so repeats exercise the hit path, and hits are asserted to have
+// actually happened whenever the batch contains a query.
+// ---------------------------------------------------------------------------
+
+/// Ops: 0..4 = the [`cache_query`] templates, 4 = reload table `t`,
+/// 5 = unrelated DDL.
+fn plan_cache_op_strategy() -> impl Strategy<Value = Vec<(usize, i64, u32)>> {
+    proptest::collection::vec((0usize..6, 0i64..400, 20u32..150), 2..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn plan_cache_is_semantically_invisible(ops in plan_cache_op_strategy()) {
+        let build = |on: bool| {
+            let server = cache_builder(true)
+                .set(
+                    "hive.query.plan.cache.enabled",
+                    if on { "true" } else { "false" },
+                )
+                .unwrap()
+                .build_server()
+                .unwrap();
+            let mut s = server.new_session();
+            load_cache_tables(&mut s, 120, 10);
+            server
+        };
+        let cached = build(true);
+        let plain = build(false);
+        let mut queries = 0u64;
+        for (i, &(op, th, rows)) in ops.iter().enumerate() {
+            match op {
+                4 => {
+                    for srv in [&cached, &plain] {
+                        let mut s = srv.new_session();
+                        s.load_rows(
+                            "t",
+                            (0..rows as i64).map(|i| {
+                                Row::new(vec![
+                                    Value::Int(i % 9),
+                                    Value::Int(i * 3),
+                                    Value::String(format!("r{}", i % 4)),
+                                ])
+                            }),
+                        )
+                        .unwrap();
+                    }
+                }
+                5 => {
+                    for srv in [&cached, &plain] {
+                        srv.execute(&format!("CREATE TABLE ddl_{i} (x BIGINT) STORED AS orc"))
+                            .unwrap();
+                    }
+                }
+                t => {
+                    queries += 1;
+                    let q = cache_query(t, th);
+                    // Twice: the second run on the cached server is a
+                    // guaranteed hit (query scratch writes do not move the
+                    // data watermark).
+                    for _ in 0..2 {
+                        let got = sorted_rows(cached.execute(&q).unwrap().rows);
+                        let want = sorted_rows(plain.execute(&q).unwrap().rows);
+                        prop_assert_eq!(got, want, "cache on/off diverged on {}", q);
+                    }
+                }
+            }
+        }
+        if queries > 0 {
+            prop_assert!(
+                cached.plan_cache().hits() >= queries,
+                "every repeated statement should have hit ({} hits, {} queries)",
+                cached.plan_cache().hits(),
+                queries
+            );
+        }
+        prop_assert_eq!(plain.plan_cache().hits() + plain.plan_cache().misses(), 0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
