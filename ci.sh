@@ -20,6 +20,13 @@ cargo test -q --workspace --offline
 echo "==> chaos gate (deterministic fault injection)"
 cargo test -q -p hive-core --test chaos --offline
 
+# ACID chaos gate: kill the writer and the compactor at every registered
+# crash point, lose rename acks, tear writes, randomize write-fault plans —
+# readers must see the old or the new snapshot (never a hybrid) and a
+# restarted writer must recover to a clean, writable table.
+echo "==> ACID chaos gate (kill-anywhere crash points)"
+cargo test -q -p hive-core --test acid --test acid_chaos --offline
+
 # Observability gate: metrics-registry determinism across worker-thread
 # counts, EXPLAIN ANALYZE goldens, knob-registry errors, README knob table.
 echo "==> metrics determinism gate"
@@ -64,6 +71,14 @@ HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_cache --offl
 # otherwise). Emits schema-valid BENCH_wm.json.
 echo "==> workload management bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_wm --offline -- --check
+
+# ACID gate: merge-on-read must actually read deltas and mask deletes, the
+# merged and post-compaction answers must be identical, and a major
+# compaction must bring scan time back within 10% of the pre-churn
+# baseline (--check exits non-zero otherwise). Emits schema-valid
+# BENCH_acid.json.
+echo "==> ACID merge-on-read bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_acid --offline -- --check
 
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"

@@ -334,6 +334,23 @@ knobs! {
     DFS_FAULT_FAIL_NODES: String = "dfs.fault.fail.nodes", "";
     /// Extra simulated latency on slow nodes, in milliseconds per MiB read.
     DFS_FAULT_SLOW_MS_PER_MB: u64 = "dfs.fault.slow.ms.per.mb", "200";
+    /// Probability that the *first* publish of a path fails with a retryable
+    /// `Transient` error before any byte lands. Re-publishing the same path
+    /// succeeds (first-touch, like the read faults).
+    DFS_FAULT_WRITE_ERROR_RATE: f64 = "dfs.fault.write.error.rate", "0.0", range(0.0, 1.0);
+    /// Probability that the first publish of a path is *torn*: a strict
+    /// prefix of the bytes lands and the writer gets a `Transient` error —
+    /// modeling a client that died mid-write. Commit protocols must detect
+    /// the partial file via their barrier read-back, never trust it.
+    DFS_FAULT_WRITE_TORN_RATE: f64 = "dfs.fault.write.torn.rate", "0.0", range(0.0, 1.0);
+    /// Probability that the first rename of a source path fails with a
+    /// retryable `Transient` error without moving anything.
+    DFS_FAULT_RENAME_ERROR_RATE: f64 = "dfs.fault.rename.error.rate", "0.0", range(0.0, 1.0);
+    /// Probability that the first rename of a source path *succeeds on the
+    /// namenode but the ack is lost*: the caller sees a `Transient` error
+    /// although the move happened. A duplicate retry of the committed
+    /// rename must be recognized as already-done, not re-applied.
+    DFS_FAULT_RENAME_ACK_LOST_RATE: f64 = "dfs.fault.rename.ack.lost.rate", "0.0", range(0.0, 1.0);
     /// Maximum attempts per map task, Hadoop's `mapred.map.max.attempts`.
     MAP_MAX_ATTEMPTS: u64 = "mapred.map.max.attempts", "4", range(1.0, 100.0);
     /// Maximum attempts per reduce task.
@@ -399,6 +416,18 @@ knobs! {
     PLAN_CACHE_ENABLED: bool = "hive.query.plan.cache.enabled", "false";
     /// Maximum cached plans (least-recently-used eviction).
     PLAN_CACHE_SIZE: u64 = "hive.query.plan.cache.size", "64", range(1.0, 65536.0);
+    /// Armed crash point for ACID chaos tests: when a writer or compactor
+    /// reaches the named point of its commit protocol it dies there with a
+    /// non-retryable `Crashed` error, skipping all cleanup — `kill -9` at a
+    /// deterministic instruction. Empty (the default) disarms. See the
+    /// crash-point registries in `hive-core::acid`.
+    TXN_CRASH_POINT: String = "hive.txn.crash.point", "";
+    /// Run a minor compaction automatically after a DML commit leaves a
+    /// table with at least `hive.compactor.delta.threshold` delta files.
+    /// Off by default: compaction is explicit (`ALTER TABLE t COMPACT`).
+    COMPACTOR_AUTO: bool = "hive.compactor.auto.enabled", "false";
+    /// Delta-file count at which auto compaction (when enabled) kicks in.
+    COMPACTOR_DELTA_THRESHOLD: u64 = "hive.compactor.delta.threshold", "10", range(1.0, 100000.0);
 }
 
 /// Look up a knob's type-erased registry entry by key.

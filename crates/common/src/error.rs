@@ -60,6 +60,12 @@ pub enum HiveError {
     /// so the server can re-queue and re-run it from scratch (a preempted
     /// statement never returns partial results).
     Preempted(String),
+    /// A deterministic crash point fired: chaos tests arm one named point
+    /// (`hive.txn.crash.point`) and the writer/compactor dies there, *before*
+    /// any cleanup runs — exactly like `kill -9`. Never retryable: the whole
+    /// point is to leave the process-visible state as the crash left it so
+    /// recovery (not retry) is what gets exercised.
+    Crashed(String),
     /// Anything that does not fit the categories above.
     Internal(String),
 }
@@ -85,6 +91,7 @@ impl HiveError {
             HiveError::Corrupt(_) => "corrupt",
             HiveError::TaskFailed(_) => "task",
             HiveError::Preempted(_) => "preempted",
+            HiveError::Crashed(_) => "crash",
             HiveError::Internal(_) => "internal",
         }
     }
@@ -108,6 +115,7 @@ impl HiveError {
             | HiveError::Corrupt(m)
             | HiveError::TaskFailed(m)
             | HiveError::Preempted(m)
+            | HiveError::Crashed(m)
             | HiveError::Internal(m) => m,
             HiveError::UnknownKnob { key, .. } => key,
         }

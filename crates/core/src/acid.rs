@@ -1,0 +1,936 @@
+//! Crash-safe ACID writes: the transactional side of the delta store
+//! (paper Section 7 outlook; Hive's ACID tables).
+//!
+//! Every INSERT / UPDATE / DELETE / compaction follows one commit
+//! protocol and never mutates a committed file in place:
+//!
+//!  1. build the transaction's output under the commit scratch space
+//!     (`/tmp/txn/<table>/`, invisible to every reader),
+//!  2. barrier: read the just-written file back and verify it (row count
+//!     for data files, CRC decode for delete files and manifests) — a torn
+//!     write can never be renamed into place,
+//!  3. atomically rename data/delete files into the table directory
+//!     (still invisible: no manifest lists them),
+//!  4. atomically rename the new `_manifest_<N+1>` into place — **the
+//!     commit point**. Readers pin the newest valid manifest at plan
+//!     time, so they observe the old snapshot or the new one, never a
+//!     hybrid.
+//!
+//! A writer killed anywhere in that sequence leaves only scratch files
+//! and unreferenced warehouse files, both swept by [`recover`] the next
+//! time anyone locks the table. The deterministic crash-point registry
+//! ([`WRITER_CRASH_POINTS`], [`COMPACTOR_CRASH_POINTS`]) lets tests kill
+//! a transaction at every step via `hive.txn.crash.point` and prove
+//! exactly that.
+//!
+//! Compaction reuses the same protocol: minor folds the delta/delete
+//! chain into one delta (+ one base-only delete file); major rewrites the
+//! table into a fresh `base_<txn>` by running a full merge-on-read scan
+//! through the MapReduce engine — task scheduling, workload-management
+//! preemption token and all. Old snapshot files are retained, not
+//! deleted, so readers that pinned an earlier generation keep working.
+
+use crate::metastore::{Metastore, TableInfo};
+use hive_common::config::keys;
+use hive_common::{CancelToken, HiveConf, HiveError, Result, Row, Schema, Value};
+use hive_dfs::Dfs;
+use hive_exec::expr::{cast_value, BinaryOp, ExprNode, UnaryOp};
+use hive_formats::delta::{
+    decode_delete_file, encode_delete_file, is_acid_path, load_delete_set, load_snapshot,
+    manifest_path, DeleteKey, DeleteSet, TableSnapshot, BASE_PREFIX, DELETE_PREFIX, DELTA_PREFIX,
+    MANIFEST_PREFIX,
+};
+use hive_formats::{create_writer, open_reader, FormatKind, ReadOptions, WriteOptions};
+use hive_mapreduce::MrEngine;
+use hive_obs::MetricsRegistry;
+use hive_planner::plan_query;
+use hive_ql::{CompactMode, DeleteStmt, InsertStmt, UpdateStmt};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Every crash point on the DML write path, in execution order. Tests
+/// enumerate these, killing one transaction per point.
+pub const WRITER_CRASH_POINTS: &[&str] = &[
+    "writer.before.delta.temp",
+    "writer.after.delta.temp",
+    "writer.before.delta.rename",
+    "writer.after.delta.rename",
+    "writer.before.delete.rename",
+    "writer.after.delete.rename",
+    "writer.before.manifest.temp",
+    "writer.after.manifest.temp",
+    "writer.before.manifest.rename",
+    "writer.after.manifest.rename",
+];
+
+/// Every crash point on the compaction path, in execution order.
+pub const COMPACTOR_CRASH_POINTS: &[&str] = &[
+    "compactor.before.read",
+    "compactor.before.output.rename",
+    "compactor.after.output.rename",
+    "compactor.before.delete.rename",
+    "compactor.after.delete.rename",
+    "compactor.before.manifest.temp",
+    "compactor.after.manifest.temp",
+    "compactor.before.manifest.rename",
+    "compactor.after.manifest.rename",
+];
+
+/// Deterministic crash injection: when `hive.txn.crash.point` names the
+/// point the transaction is currently passing, die right there — no
+/// cleanup, no unwinding of the steps already taken — exactly like a
+/// `kill -9` of the writer process. Recovery, not error handling, must
+/// cope with whatever state is left behind.
+pub fn crash_point(conf: &HiveConf, name: &str) -> Result<()> {
+    if conf.get_raw(keys::TXN_CRASH_POINT) == Some(name) {
+        return Err(HiveError::Crashed(name.to_string()));
+    }
+    Ok(())
+}
+
+/// Table write locks. One writer or compactor per table at a time; the
+/// manifest chain makes reads lock-free (they just pin a snapshot).
+#[derive(Default)]
+pub struct TxnManager {
+    locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl TxnManager {
+    pub fn new() -> TxnManager {
+        TxnManager::default()
+    }
+
+    fn lock_for(&self, location: &str) -> Arc<Mutex<()>> {
+        self.locks
+            .lock()
+            .entry(location.to_string())
+            .or_default()
+            .clone()
+    }
+}
+
+/// Commit scratch space. Lives under `/tmp/` on purpose: writes here do
+/// not advance the DFS data generation, so a half-built transaction never
+/// churns the plan cache — only the renames into the warehouse do, which
+/// is precisely when cached plans must become unreachable.
+fn txn_tmp_dir(table: &str) -> String {
+    format!("/tmp/txn/{table}/")
+}
+
+fn lookup(metastore: &Metastore, table: &str) -> Result<TableInfo> {
+    metastore
+        .get(table)
+        .ok_or_else(|| HiveError::Metastore(format!("unknown table `{table}`")))
+}
+
+/// The snapshot a new transaction builds on: the newest valid manifest,
+/// or — for a table that has never committed one — the existing data
+/// files as the initial base. ACID-prefixed names are excluded from that
+/// raw listing: their visibility is the manifest's call, and there is no
+/// manifest.
+fn current_snapshot(dfs: &Dfs, location: &str) -> Result<TableSnapshot> {
+    Ok(match load_snapshot(dfs, location)? {
+        Some(snap) => snap,
+        None => TableSnapshot::initial(
+            dfs.list(location)
+                .into_iter()
+                .filter(|p| !is_acid_path(p))
+                .collect(),
+        ),
+    })
+}
+
+/// Crash recovery, run under the table lock before every transaction.
+/// The protocol guarantees a died writer left only (a) scratch files and
+/// (b) warehouse files tagged with a transaction id beyond the committed
+/// high-water mark (including a manifest that failed validation) — all
+/// invisible to readers, all deleted here. Files of *older* snapshots are
+/// untouched: a reader that pinned one is still scanning them.
+fn recover(dfs: &Dfs, location: &str, tmp: &str) -> Result<TableSnapshot> {
+    for p in dfs.list(tmp) {
+        dfs.delete(&p);
+    }
+    let snap = current_snapshot(dfs, location)?;
+    for p in dfs.list(location) {
+        let name = p.rsplit('/').next().unwrap_or("");
+        let txn_of = |prefix: &str| {
+            name.strip_prefix(prefix)
+                .and_then(|s| s.parse::<u64>().ok())
+        };
+        let stale = if let Some(v) = txn_of(MANIFEST_PREFIX) {
+            // A manifest newer than the loaded snapshot exists only if it
+            // failed CRC/parse validation — a torn commit that never was.
+            v > snap.version
+        } else if let Some(t) = txn_of(DELTA_PREFIX)
+            .or_else(|| txn_of(DELETE_PREFIX))
+            .or_else(|| txn_of(BASE_PREFIX))
+        {
+            t > snap.last_txn
+        } else {
+            false
+        };
+        if stale {
+            dfs.delete(&p);
+        }
+    }
+    Ok(snap)
+}
+
+/// Write `bytes` to `path` and barrier: the bytes must be back-readable
+/// at full length before the caller may rename the file into visibility.
+/// Any failure deletes the partial file so a retry starts clean.
+fn write_bytes_checked(dfs: &Dfs, path: &str, bytes: &[u8]) -> Result<()> {
+    let mut w = dfs.create(path);
+    w.write(bytes);
+    if let Err(e) = w.try_close() {
+        dfs.delete(path);
+        return Err(e);
+    }
+    if dfs.len(path)? != bytes.len() as u64 {
+        dfs.delete(path);
+        return Err(HiveError::Dfs(format!(
+            "write barrier: `{path}` landed short"
+        )));
+    }
+    Ok(())
+}
+
+/// Write `rows` to `path` in the table's format, then barrier by reading
+/// the file back and recounting — a torn or short data file never gets
+/// past this point.
+fn write_rows_checked(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    path: &str,
+    schema: &Schema,
+    format: FormatKind,
+    rows: &[Row],
+) -> Result<()> {
+    let mut w = create_writer(
+        dfs,
+        path,
+        schema,
+        conf,
+        &WriteOptions {
+            format,
+            ..Default::default()
+        },
+    )?;
+    for r in rows {
+        w.write_row(r)?;
+    }
+    if let Err(e) = w.close() {
+        dfs.delete(path);
+        return Err(e);
+    }
+    let mut reader = open_reader(
+        dfs,
+        path,
+        schema,
+        conf,
+        &ReadOptions {
+            format,
+            ..Default::default()
+        },
+    )?;
+    let mut n = 0u64;
+    while reader.next_row()?.is_some() {
+        n += 1;
+    }
+    if n != rows.len() as u64 {
+        dfs.delete(path);
+        return Err(HiveError::Dfs(format!(
+            "write barrier: `{path}` holds {n} rows, expected {}",
+            rows.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Atomic move with duplicate-retry tolerance: if the rename reports an
+/// error but the destination exists and the source is gone, the move
+/// happened and only the acknowledgement was lost — a retried commit of
+/// an already-committed step must not fail.
+fn rename_durable(dfs: &Dfs, from: &str, to: &str) -> Result<()> {
+    match dfs.rename(from, to) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if dfs.exists(to) && !dfs.exists(from) {
+                Ok(())
+            } else {
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Rename a prepared scratch file into the table directory, with the
+/// `<who>.{before,after}.<what>.rename` crash points around the move.
+fn install(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    tmp_path: &str,
+    final_path: &str,
+    who: &str,
+    what: &str,
+) -> Result<()> {
+    crash_point(conf, &format!("{who}.before.{what}.rename"))?;
+    rename_durable(dfs, tmp_path, final_path)?;
+    crash_point(conf, &format!("{who}.after.{what}.rename"))?;
+    Ok(())
+}
+
+/// The commit point: write the next manifest to scratch, verify it
+/// decodes (CRC included), and rename it into place. Until that last
+/// rename lands, readers resolve the previous snapshot; after it, the
+/// new one. There is no in-between.
+fn publish_manifest(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    location: &str,
+    tmp: &str,
+    next: &TableSnapshot,
+    who: &str,
+) -> Result<()> {
+    crash_point(conf, &format!("{who}.before.manifest.temp"))?;
+    let tmp_path = format!("{tmp}{MANIFEST_PREFIX}{:010}", next.version);
+    write_bytes_checked(dfs, &tmp_path, &next.encode())?;
+    crash_point(conf, &format!("{who}.after.manifest.temp"))?;
+    let landed = dfs.open(&tmp_path, None)?.read_all()?;
+    TableSnapshot::decode(&landed)?;
+    crash_point(conf, &format!("{who}.before.manifest.rename"))?;
+    rename_durable(dfs, &tmp_path, &manifest_path(location, next.version))?;
+    crash_point(conf, &format!("{who}.after.manifest.rename"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Expression resolution: the QL AST against the table schema, compiled to
+// the row engine's `ExprNode`. DML predicates and SET expressions are
+// scalar-only — aggregates have no meaning against a single row.
+
+fn bin_op(op: hive_ql::BinOp) -> BinaryOp {
+    match op {
+        hive_ql::BinOp::Add => BinaryOp::Add,
+        hive_ql::BinOp::Subtract => BinaryOp::Subtract,
+        hive_ql::BinOp::Multiply => BinaryOp::Multiply,
+        hive_ql::BinOp::Divide => BinaryOp::Divide,
+        hive_ql::BinOp::Modulo => BinaryOp::Modulo,
+        hive_ql::BinOp::Eq => BinaryOp::Eq,
+        hive_ql::BinOp::NotEq => BinaryOp::NotEq,
+        hive_ql::BinOp::Lt => BinaryOp::Lt,
+        hive_ql::BinOp::LtEq => BinaryOp::LtEq,
+        hive_ql::BinOp::Gt => BinaryOp::Gt,
+        hive_ql::BinOp::GtEq => BinaryOp::GtEq,
+        hive_ql::BinOp::And => BinaryOp::And,
+        hive_ql::BinOp::Or => BinaryOp::Or,
+    }
+}
+
+fn un_op(op: hive_ql::UnOp) -> UnaryOp {
+    match op {
+        hive_ql::UnOp::Neg => UnaryOp::Neg,
+        hive_ql::UnOp::Not => UnaryOp::Not,
+    }
+}
+
+fn resolve(e: &hive_ql::Expr, schema: &Schema) -> Result<ExprNode> {
+    use hive_ql::Expr as E;
+    Ok(match e {
+        E::Column { name, .. } => ExprNode::col(schema.index_of(name)?),
+        E::Literal(v) => ExprNode::lit(v.clone()),
+        E::Binary { op, left, right } => ExprNode::Binary {
+            op: bin_op(*op),
+            left: Box::new(resolve(left, schema)?),
+            right: Box::new(resolve(right, schema)?),
+        },
+        E::Unary { op, expr } => ExprNode::Unary {
+            op: un_op(*op),
+            expr: Box::new(resolve(expr, schema)?),
+        },
+        E::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => ExprNode::Between {
+            expr: Box::new(resolve(expr, schema)?),
+            lo: Box::new(resolve(lo, schema)?),
+            hi: Box::new(resolve(hi, schema)?),
+            negated: *negated,
+        },
+        E::IsNull { expr, negated } => ExprNode::IsNull {
+            expr: Box::new(resolve(expr, schema)?),
+            negated: *negated,
+        },
+        E::InList {
+            expr,
+            list,
+            negated,
+        } => ExprNode::InList {
+            expr: Box::new(resolve(expr, schema)?),
+            list: list
+                .iter()
+                .map(|x| resolve(x, schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        E::Cast { expr, target } => ExprNode::Cast {
+            expr: Box::new(resolve(expr, schema)?),
+            target: target.clone(),
+        },
+        E::Case {
+            branches,
+            else_value,
+        } => ExprNode::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((resolve(c, schema)?, resolve(v, schema)?)))
+                .collect::<Result<_>>()?,
+            else_value: match else_value {
+                Some(v) => Some(Box::new(resolve(v, schema)?)),
+                None => None,
+            },
+        },
+        E::Function { name, .. } => {
+            return Err(HiveError::Plan(format!(
+                "function `{name}` is not allowed in DML expressions"
+            )));
+        }
+        E::Star => {
+            return Err(HiveError::Plan(
+                "`*` is not allowed in DML expressions".into(),
+            ));
+        }
+    })
+}
+
+fn matches(pred: &Option<ExprNode>, row: &Row) -> Result<bool> {
+    match pred {
+        Some(p) => p.eval_predicate(row),
+        None => Ok(true),
+    }
+}
+
+/// Materialize INSERT literal tuples as rows, cast to the column types.
+fn literal_rows(ins: &InsertStmt, schema: &Schema) -> Result<Vec<Row>> {
+    let empty = Row::new(Vec::new());
+    ins.rows
+        .iter()
+        .map(|tuple| {
+            if tuple.len() != schema.len() {
+                return Err(HiveError::Plan(format!(
+                    "INSERT row has {} value(s) but `{}` has {} column(s)",
+                    tuple.len(),
+                    ins.table,
+                    schema.len()
+                )));
+            }
+            let vals = tuple
+                .iter()
+                .zip(schema.fields())
+                .map(|(e, f)| {
+                    let v = resolve(e, schema)?.eval(&empty)?;
+                    cast_value(&v, &f.data_type)
+                })
+                .collect::<Result<Vec<Value>>>()?;
+            Ok(Row::new(vals))
+        })
+        .collect()
+}
+
+/// Visit every live row of `snap` — base files then deltas, physical row
+/// order, delete-masked rows skipped — exactly the order and visibility a
+/// merge-on-read scan produces.
+fn scan_live_rows<F>(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    info: &TableInfo,
+    snap: &TableSnapshot,
+    deletes: &DeleteSet,
+    cancel: Option<&Arc<CancelToken>>,
+    mut visit: F,
+) -> Result<()>
+where
+    F: FnMut(&str, u64, Row) -> Result<()>,
+{
+    for path in snap.scan_paths() {
+        if let Some(c) = cancel {
+            c.check()?;
+        }
+        let mut reader = open_reader(
+            dfs,
+            &path,
+            &info.schema,
+            conf,
+            &ReadOptions {
+                format: info.format,
+                ..Default::default()
+            },
+        )?;
+        let mut ordinal = 0u64;
+        while let Some(row) = reader.next_row()? {
+            let ord = ordinal;
+            ordinal += 1;
+            if deletes.contains(&path, ord) {
+                continue;
+            }
+            visit(&path, ord, row)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The transactions.
+
+/// `INSERT INTO t VALUES ...`: append one delta file, bump the manifest.
+pub fn execute_insert(
+    ins: &InsertStmt,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    txn: &TxnManager,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<u64> {
+    let info = lookup(metastore, &ins.table)?;
+    let rows = literal_rows(ins, &info.schema)?;
+    let lock = txn.lock_for(&info.location);
+    let _guard = lock.lock();
+    let tmp = txn_tmp_dir(&info.name);
+    let snap = recover(dfs, &info.location, &tmp)?;
+    let txn_id = snap.last_txn + 1;
+
+    crash_point(conf, "writer.before.delta.temp")?;
+    let tmp_delta = format!("{tmp}{DELTA_PREFIX}{txn_id:010}");
+    write_rows_checked(dfs, conf, &tmp_delta, &info.schema, info.format, &rows)?;
+    crash_point(conf, "writer.after.delta.temp")?;
+    let delta = format!("{}{DELTA_PREFIX}{txn_id:010}", info.location);
+    install(dfs, conf, &tmp_delta, &delta, "writer", "delta")?;
+
+    let mut next = snap.clone();
+    next.version += 1;
+    next.last_txn = txn_id;
+    next.deltas.push((txn_id, delta));
+    publish_manifest(dfs, conf, &info.location, &tmp, &next, "writer")?;
+
+    registry
+        .counter_with("acid.txn.committed", &[("op", "insert")])
+        .inc();
+    registry
+        .counter_with("acid.rows_written", &[("op", "insert")])
+        .add(rows.len() as u64);
+    maybe_auto_compact(dfs, conf, metastore, registry, &info, &next, cancel)?;
+    Ok(rows.len() as u64)
+}
+
+/// `DELETE FROM t [WHERE ...]`: scan the live snapshot, record matching
+/// `(file, ordinal)` keys in one delete file, bump the manifest. Row data
+/// is never touched — the mask is the deletion.
+pub fn execute_delete(
+    del: &DeleteStmt,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    txn: &TxnManager,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<u64> {
+    let info = lookup(metastore, &del.table)?;
+    let pred = del
+        .predicate
+        .as_ref()
+        .map(|e| resolve(e, &info.schema))
+        .transpose()?;
+    let lock = txn.lock_for(&info.location);
+    let _guard = lock.lock();
+    let tmp = txn_tmp_dir(&info.name);
+    let snap = recover(dfs, &info.location, &tmp)?;
+    let existing = load_delete_set(dfs, &snap)?;
+
+    let mut keys: Vec<DeleteKey> = Vec::new();
+    scan_live_rows(
+        dfs,
+        conf,
+        &info,
+        &snap,
+        &existing,
+        cancel,
+        |path, ord, row| {
+            if matches(&pred, &row)? {
+                keys.push((path.to_string(), ord));
+            }
+            Ok(())
+        },
+    )?;
+    if keys.is_empty() {
+        return Ok(0); // nothing matched: no transaction, no new snapshot
+    }
+    let txn_id = snap.last_txn + 1;
+    let del_path = install_delete_file(dfs, conf, &info, &tmp, txn_id, &keys, "writer")?;
+
+    let mut next = snap.clone();
+    next.version += 1;
+    next.last_txn = txn_id;
+    next.deletes.push((txn_id, del_path));
+    publish_manifest(dfs, conf, &info.location, &tmp, &next, "writer")?;
+
+    registry
+        .counter_with("acid.txn.committed", &[("op", "delete")])
+        .inc();
+    registry.counter("acid.rows_deleted").add(keys.len() as u64);
+    Ok(keys.len() as u64)
+}
+
+/// `UPDATE t SET ... [WHERE ...]`: delete-plus-reinsert in one
+/// transaction — the matching rows are masked by a delete file and their
+/// rewritten versions appended as a delta, published by a single manifest
+/// bump so readers see either all old or all new versions.
+pub fn execute_update(
+    upd: &UpdateStmt,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    txn: &TxnManager,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<u64> {
+    let info = lookup(metastore, &upd.table)?;
+    let schema = &info.schema;
+    let pred = upd
+        .predicate
+        .as_ref()
+        .map(|e| resolve(e, schema))
+        .transpose()?;
+    let sets: Vec<(usize, ExprNode)> = upd
+        .sets
+        .iter()
+        .map(|(name, e)| Ok((schema.index_of(name)?, resolve(e, schema)?)))
+        .collect::<Result<_>>()?;
+    let lock = txn.lock_for(&info.location);
+    let _guard = lock.lock();
+    let tmp = txn_tmp_dir(&info.name);
+    let snap = recover(dfs, &info.location, &tmp)?;
+    let existing = load_delete_set(dfs, &snap)?;
+
+    let mut keys: Vec<DeleteKey> = Vec::new();
+    let mut rewritten: Vec<Row> = Vec::new();
+    scan_live_rows(
+        dfs,
+        conf,
+        &info,
+        &snap,
+        &existing,
+        cancel,
+        |path, ord, row| {
+            if matches(&pred, &row)? {
+                keys.push((path.to_string(), ord));
+                let mut vals: Vec<Value> = row.values().to_vec();
+                for (idx, e) in &sets {
+                    let v = e.eval(&row)?;
+                    vals[*idx] = cast_value(&v, &schema.fields()[*idx].data_type)?;
+                }
+                rewritten.push(Row::new(vals));
+            }
+            Ok(())
+        },
+    )?;
+    if keys.is_empty() {
+        return Ok(0);
+    }
+    let txn_id = snap.last_txn + 1;
+
+    crash_point(conf, "writer.before.delta.temp")?;
+    let tmp_delta = format!("{tmp}{DELTA_PREFIX}{txn_id:010}");
+    write_rows_checked(dfs, conf, &tmp_delta, schema, info.format, &rewritten)?;
+    crash_point(conf, "writer.after.delta.temp")?;
+    let delta = format!("{}{DELTA_PREFIX}{txn_id:010}", info.location);
+    install(dfs, conf, &tmp_delta, &delta, "writer", "delta")?;
+    let del_path = install_delete_file(dfs, conf, &info, &tmp, txn_id, &keys, "writer")?;
+
+    let mut next = snap.clone();
+    next.version += 1;
+    next.last_txn = txn_id;
+    next.deltas.push((txn_id, delta));
+    next.deletes.push((txn_id, del_path));
+    publish_manifest(dfs, conf, &info.location, &tmp, &next, "writer")?;
+
+    registry
+        .counter_with("acid.txn.committed", &[("op", "update")])
+        .inc();
+    registry
+        .counter_with("acid.rows_written", &[("op", "update")])
+        .add(rewritten.len() as u64);
+    maybe_auto_compact(dfs, conf, metastore, registry, &info, &next, cancel)?;
+    Ok(keys.len() as u64)
+}
+
+/// Write, verify, and install one delete file for `txn_id`.
+fn install_delete_file(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    info: &TableInfo,
+    tmp: &str,
+    txn_id: u64,
+    keys: &[DeleteKey],
+    who: &str,
+) -> Result<String> {
+    let tmp_del = format!("{tmp}{DELETE_PREFIX}{txn_id:010}");
+    write_bytes_checked(dfs, &tmp_del, &encode_delete_file(keys))?;
+    let landed = dfs.open(&tmp_del, None)?.read_all()?;
+    decode_delete_file(&landed)?;
+    let del_path = format!("{}{DELETE_PREFIX}{txn_id:010}", info.location);
+    install(dfs, conf, &tmp_del, &del_path, who, "delete")?;
+    Ok(del_path)
+}
+
+/// `ALTER TABLE t COMPACT 'minor'|'major'`.
+#[allow(clippy::too_many_arguments)] // mirrors run_statement's parameter list + mode
+pub fn execute_compact(
+    table: &str,
+    mode: CompactMode,
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    txn: &TxnManager,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<u64> {
+    let info = lookup(metastore, table)?;
+    let lock = txn.lock_for(&info.location);
+    let _guard = lock.lock();
+    let tmp = txn_tmp_dir(&info.name);
+    let snap = recover(dfs, &info.location, &tmp)?;
+    compact_snapshot(dfs, conf, metastore, registry, &info, &snap, mode, cancel)
+}
+
+/// One compaction transaction over an already-recovered snapshot, caller
+/// holding the table lock. Files of the old snapshot are retained — a
+/// reader that pinned it mid-compaction keeps scanning them; only a later
+/// transaction's recovery of *uncommitted* files deletes anything.
+#[allow(clippy::too_many_arguments)]
+fn compact_snapshot(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    info: &TableInfo,
+    snap: &TableSnapshot,
+    mode: CompactMode,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<u64> {
+    if snap.deltas.is_empty() && snap.deletes.is_empty() && mode == CompactMode::Minor {
+        return Ok(0); // nothing to fold
+    }
+    crash_point(conf, "compactor.before.read")?;
+    let tmp = txn_tmp_dir(&info.name);
+    let txn_id = snap.last_txn + 1;
+    let mut next = TableSnapshot {
+        version: snap.version + 1,
+        last_txn: txn_id,
+        base: snap.base.clone(),
+        deltas: Vec::new(),
+        deletes: Vec::new(),
+    };
+    let rows_out: u64;
+    match mode {
+        CompactMode::Minor => {
+            // Fold every live delta row into one merged delta, applying the
+            // delta-addressed delete keys as we go.
+            let deletes = load_delete_set(dfs, snap)?;
+            let mut merged: Vec<Row> = Vec::new();
+            for (_, path) in &snap.deltas {
+                if let Some(c) = cancel {
+                    c.check()?;
+                }
+                let mut reader = open_reader(
+                    dfs,
+                    path,
+                    &info.schema,
+                    conf,
+                    &ReadOptions {
+                        format: info.format,
+                        ..Default::default()
+                    },
+                )?;
+                let mut ordinal = 0u64;
+                while let Some(row) = reader.next_row()? {
+                    let ord = ordinal;
+                    ordinal += 1;
+                    if deletes.contains(path, ord) {
+                        continue;
+                    }
+                    merged.push(row);
+                }
+            }
+            if !merged.is_empty() {
+                let tmp_delta = format!("{tmp}{DELTA_PREFIX}{txn_id:010}");
+                write_rows_checked(dfs, conf, &tmp_delta, &info.schema, info.format, &merged)?;
+                let delta = format!("{}{DELTA_PREFIX}{txn_id:010}", info.location);
+                install(dfs, conf, &tmp_delta, &delta, "compactor", "output")?;
+                next.deltas.push((txn_id, delta));
+            }
+            // Keys masking *base* rows survive (base files are untouched);
+            // keys masking delta rows were applied by the merge and die
+            // with the old deltas.
+            let base_keys: Vec<DeleteKey> = deletes
+                .iter()
+                .filter(|(p, _)| snap.base.contains(p))
+                .cloned()
+                .collect();
+            if !base_keys.is_empty() {
+                let del_path =
+                    install_delete_file(dfs, conf, info, &tmp, txn_id, &base_keys, "compactor")?;
+                next.deletes.push((txn_id, del_path));
+            }
+            rows_out = merged.len() as u64;
+        }
+        CompactMode::Major => {
+            // Rewrite the whole table into a fresh base by running a full
+            // merge-on-read scan through the MapReduce engine — real task
+            // scheduling, and the statement's preemption token polled at
+            // every engine checkpoint.
+            let rows = read_table_rows(dfs, conf, metastore, info, cancel)?;
+            next.base = Vec::new();
+            if !rows.is_empty() {
+                let tmp_base = format!("{tmp}{BASE_PREFIX}{txn_id:010}");
+                write_rows_checked(dfs, conf, &tmp_base, &info.schema, info.format, &rows)?;
+                let base = format!("{}{BASE_PREFIX}{txn_id:010}", info.location);
+                install(dfs, conf, &tmp_base, &base, "compactor", "output")?;
+                next.base.push(base);
+            }
+            rows_out = rows.len() as u64;
+        }
+    }
+    publish_manifest(dfs, conf, &info.location, &tmp, &next, "compactor")?;
+    let mode_label = match mode {
+        CompactMode::Minor => "minor",
+        CompactMode::Major => "major",
+    };
+    registry
+        .counter_with("compaction.runs", &[("mode", mode_label)])
+        .inc();
+    registry.counter("compaction.rows_written").add(rows_out);
+    Ok(rows_out)
+}
+
+/// All live rows of the table, via a planned-and-executed engine scan
+/// (merge-on-read overlay included): base rows first, then delta rows, in
+/// physical order.
+fn read_table_rows(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    info: &TableInfo,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<Vec<Row>> {
+    let cols: Vec<&str> = info
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    let sql = format!("SELECT {} FROM {}", cols.join(", "), info.name);
+    let hive_ql::Statement::Select(stmt) = hive_ql::parse(&sql)? else {
+        return Err(HiveError::Internal(
+            "compaction scan did not parse as SELECT".into(),
+        ));
+    };
+    let compiled = plan_query(&stmt, metastore, conf)?;
+    let mut engine = MrEngine::new(dfs.clone(), conf.clone());
+    if let Some(c) = cancel {
+        engine = engine.with_cancel(Arc::clone(c));
+    }
+    let (_report, rows) = engine.run_dag(&compiled.jobs)?;
+    Ok(rows)
+}
+
+/// After a committed DML: fold the delta chain when it crossed
+/// `hive.compactor.delta.threshold` and `hive.compactor.auto.enabled` is
+/// on. Runs inline under the same table lock — the DML's commit already
+/// happened, so a crash here loses only the compaction.
+fn maybe_auto_compact(
+    dfs: &Dfs,
+    conf: &HiveConf,
+    metastore: &Metastore,
+    registry: &MetricsRegistry,
+    info: &TableInfo,
+    snap: &TableSnapshot,
+    cancel: Option<&Arc<CancelToken>>,
+) -> Result<()> {
+    if !conf.get_bool(keys::COMPACTOR_AUTO)? {
+        return Ok(());
+    }
+    if snap.deltas.len() < conf.get_i64(keys::COMPACTOR_DELTA_THRESHOLD)? as usize {
+        return Ok(());
+    }
+    registry.counter("compaction.auto_triggered").inc();
+    compact_snapshot(
+        dfs,
+        conf,
+        metastore,
+        registry,
+        info,
+        snap,
+        CompactMode::Minor,
+        cancel,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_point_fires_only_on_its_name() {
+        let conf = HiveConf::default().with("hive.txn.crash.point", "writer.after.delta.rename");
+        assert!(crash_point(&conf, "writer.before.delta.temp").is_ok());
+        let err = crash_point(&conf, "writer.after.delta.rename").unwrap_err();
+        assert!(!err.is_retryable(), "a crash is not a retryable fault");
+        assert!(matches!(err, HiveError::Crashed(_)));
+        assert!(crash_point(&HiveConf::default(), "writer.after.delta.rename").is_ok());
+    }
+
+    #[test]
+    fn crash_point_registries_are_distinct_and_ordered() {
+        for points in [WRITER_CRASH_POINTS, COMPACTOR_CRASH_POINTS] {
+            let mut seen = std::collections::BTreeSet::new();
+            for p in points {
+                assert!(seen.insert(*p), "duplicate crash point {p}");
+            }
+        }
+        assert!(WRITER_CRASH_POINTS.iter().all(|p| p.starts_with("writer.")));
+        assert!(COMPACTOR_CRASH_POINTS
+            .iter()
+            .all(|p| p.starts_with("compactor.")));
+    }
+
+    #[test]
+    fn dml_expressions_resolve_against_the_schema() {
+        let schema = Schema::parse(&[("k", "bigint"), ("v", "string")]).unwrap();
+        let e = hive_ql::Expr::Binary {
+            op: hive_ql::BinOp::Eq,
+            left: Box::new(hive_ql::Expr::col("k")),
+            right: Box::new(hive_ql::Expr::Literal(Value::Int(3))),
+        };
+        let node = resolve(&e, &schema).unwrap();
+        assert!(node
+            .eval_predicate(&Row::new(vec![Value::Int(3), Value::String("x".into())]))
+            .unwrap());
+        assert!(!node
+            .eval_predicate(&Row::new(vec![Value::Int(4), Value::String("x".into())]))
+            .unwrap());
+        // Aggregates are meaningless against a single row.
+        let agg = hive_ql::Expr::Function {
+            name: "sum".into(),
+            args: vec![hive_ql::Expr::col("k")],
+            distinct: false,
+        };
+        assert!(resolve(&agg, &schema).is_err());
+        // Unknown columns are a plan error, not a panic.
+        assert!(resolve(&hive_ql::Expr::col("nope"), &schema).is_err());
+    }
+}

@@ -31,6 +31,10 @@ pub struct StatementCtx<'a> {
     pub queue_wait_s: f64,
     /// The server's plan cache, when `hive.query.plan.cache.enabled`.
     pub plan_cache: Option<&'a PlanCache>,
+    /// The server's transaction manager (per-table write locks). DML and
+    /// compaction refuse to run without one — a standalone driver cannot
+    /// serialize writers against anybody.
+    pub txn: Option<&'a crate::acid::TxnManager>,
 }
 
 /// Observability payload attached to every [`QueryResult`].
@@ -147,6 +151,18 @@ pub fn run_statement(
             };
             let compiled = plan_with_cache(sql, &stmt, dfs, conf, metastore, registry, ctx)?;
             let plan = scrub_query_paths(&compiled.explain);
+            // Which snapshot the plan pinned, when any scanned table is
+            // ACID. `None` for plain tables keeps the output byte-identical
+            // to the pre-ACID rendering.
+            let acid = compiled
+                .jobs
+                .iter()
+                .flat_map(|j| j.inputs.iter())
+                .find_map(|i| {
+                    i.overlay
+                        .as_ref()
+                        .map(|o| (o.snapshot_gen, o.delta_paths.len()))
+                });
             if !analyze {
                 return Ok(QueryResult {
                     explain: Some(plan),
@@ -158,7 +174,7 @@ pub fn run_statement(
             // statement's output is the report, like EXPLAIN ANALYZE in
             // PostgreSQL.
             let res = execute_select(sql, &stmt, dfs, conf, metastore, registry, ctx)?;
-            let text = render_analyze(&plan, res.rows.len(), &res.report, ctx);
+            let text = render_analyze(&plan, res.rows.len(), &res.report, ctx, acid);
             Ok(QueryResult {
                 report: res.report,
                 explain: Some(text),
@@ -166,6 +182,49 @@ pub fn run_statement(
                 ..Default::default()
             })
         }
+        Statement::Insert(ins) => {
+            let txn = require_txn(ctx)?;
+            let n =
+                crate::acid::execute_insert(&ins, dfs, conf, metastore, registry, txn, ctx.cancel)?;
+            Ok(dml_result("rows_inserted", n))
+        }
+        Statement::Update(upd) => {
+            let txn = require_txn(ctx)?;
+            let n =
+                crate::acid::execute_update(&upd, dfs, conf, metastore, registry, txn, ctx.cancel)?;
+            Ok(dml_result("rows_updated", n))
+        }
+        Statement::Delete(del) => {
+            let txn = require_txn(ctx)?;
+            let n =
+                crate::acid::execute_delete(&del, dfs, conf, metastore, registry, txn, ctx.cancel)?;
+            Ok(dml_result("rows_deleted", n))
+        }
+        Statement::Compact { table, mode } => {
+            let txn = require_txn(ctx)?;
+            let n = crate::acid::execute_compact(
+                &table, mode, dfs, conf, metastore, registry, txn, ctx.cancel,
+            )?;
+            Ok(dml_result("rows_compacted", n))
+        }
+    }
+}
+
+fn require_txn<'a>(ctx: &StatementCtx<'a>) -> Result<&'a crate::acid::TxnManager> {
+    ctx.txn.ok_or_else(|| {
+        HiveError::Execution(
+            "ACID statements need the server's transaction manager; run them through a HiveServer"
+                .into(),
+        )
+    })
+}
+
+/// The one-row `rows_affected`-style result every write statement returns.
+fn dml_result(column: &str, n: u64) -> QueryResult {
+    QueryResult {
+        columns: vec![column.to_string()],
+        rows: vec![Row::new(vec![hive_common::Value::Int(n as i64)])],
+        ..Default::default()
     }
 }
 
@@ -366,6 +425,10 @@ fn build_trace(sql: &str, report: &DagReport, ctx: &StatementCtx<'_>) -> Trace {
             t.attr(j, "scan_rows_read", jr.scan.rows_read);
             t.attr(j, "scan_selected_density", jr.scan.selected_density());
         }
+        if jr.scan.delta_rows_read > 0 || jr.scan.rows_masked > 0 {
+            t.attr(j, "scan_delta_rows", jr.scan.delta_rows_read);
+            t.attr(j, "scan_rows_masked", jr.scan.rows_masked);
+        }
         if cache_activity(&jr.scan) > 0 {
             let c = t.span(Some(j), SpanKind::Cache, "cache", 0.0);
             t.attr(c, "footer_hits", jr.scan.footer_cache_hits);
@@ -446,6 +509,7 @@ fn render_analyze(
     result_rows: usize,
     report: &DagReport,
     ctx: &StatementCtx<'_>,
+    acid: Option<(u64, usize)>,
 ) -> String {
     let mut out = String::new();
     out.push_str(plan.trim_end());
@@ -463,6 +527,11 @@ fn render_analyze(
         report.jobs.len(),
         result_rows
     ));
+    if let Some((gen, delta_files)) = acid {
+        out.push_str(&format!(
+            "acid: snapshot_gen={gen} delta_files={delta_files}\n"
+        ));
+    }
     for jr in &report.jobs {
         out.push_str(&format!(
             "{}: sim={:.6}s map_tasks={} reduce_tasks={} attempts={} retries={} speculative={}\n",
@@ -492,6 +561,12 @@ fn render_analyze(
                 jr.scan.groups_total,
                 jr.scan.rows_salvaged,
                 jr.scan.selected_density(),
+            ));
+        }
+        if jr.scan.delta_rows_read > 0 || jr.scan.rows_masked > 0 {
+            out.push_str(&format!(
+                "  acid: delta_rows={} rows_masked={}\n",
+                jr.scan.delta_rows_read, jr.scan.rows_masked,
             ));
         }
         if cache_activity(&jr.scan) > 0 {

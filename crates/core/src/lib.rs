@@ -2,6 +2,7 @@
 //! [`HiveSession`] API — the analogue of Hive's CLI/HiveServer2 → Driver →
 //! Planner → execution flow from the paper's Figure 1.
 
+pub mod acid;
 pub mod driver;
 pub mod metastore;
 pub mod plan_cache;
@@ -10,6 +11,7 @@ pub mod session;
 pub mod stats_answer;
 pub mod wm;
 
+pub use acid::{crash_point, TxnManager, COMPACTOR_CRASH_POINTS, WRITER_CRASH_POINTS};
 pub use driver::{QueryMetrics, QueryResult, StatementCtx};
 pub use metastore::{Metastore, TableInfo};
 pub use plan_cache::{PlanCache, PlanCacheKey};

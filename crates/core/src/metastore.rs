@@ -5,7 +5,8 @@
 
 use hive_common::{HiveError, Result, Schema};
 use hive_dfs::Dfs;
-use hive_formats::FormatKind;
+use hive_formats::delta::{is_acid_path, load_delete_set, load_snapshot};
+use hive_formats::{AcidOverlay, FormatKind};
 use hive_planner::{Catalog, TableMeta};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -111,12 +112,49 @@ impl Metastore {
 impl Catalog for Metastore {
     fn table(&self, name: &str) -> Option<TableMeta> {
         let info = self.get(name)?;
+        if let Ok(Some(snap)) = load_snapshot(&self.dfs, &info.location) {
+            // ACID table: the manifest, not the directory listing, decides
+            // which files a reader sees. Pin this snapshot here — every
+            // job the plan produces scans exactly these files with exactly
+            // this delete mask, whatever commits land meanwhile. The
+            // second load attempt rides out a first-touch injected read
+            // fault, same as a task retry would.
+            let deletes = load_delete_set(&self.dfs, &snap)
+                .or_else(|_| load_delete_set(&self.dfs, &snap))
+                .ok()?;
+            let paths = snap.scan_paths();
+            let size_bytes = paths.iter().map(|p| self.dfs.len(p).unwrap_or(0)).sum();
+            // A base-only, delete-free snapshot (fresh after a major
+            // compaction) needs no merge-on-read: scans of it get the full
+            // vectorized + SARG path back, same as a plain table.
+            let acid = (!snap.deltas.is_empty() || !deletes.is_empty()).then(|| AcidOverlay {
+                snapshot_gen: snap.version,
+                delta_paths: snap.deltas.iter().map(|(_, p)| p.clone()).collect(),
+                deletes: std::sync::Arc::new(deletes),
+            });
+            return Some(TableMeta {
+                name: info.name.clone(),
+                schema: info.schema.clone(),
+                format: info.format,
+                paths,
+                size_bytes,
+                acid,
+            });
+        }
         Some(TableMeta {
             name: info.name.clone(),
             schema: info.schema.clone(),
             format: info.format,
-            paths: self.dfs.list(&info.location),
+            // No manifest yet: plain table. ACID-prefixed names (orphans
+            // of a crashed first transaction) stay invisible regardless.
+            paths: self
+                .dfs
+                .list(&info.location)
+                .into_iter()
+                .filter(|p| !is_acid_path(p))
+                .collect(),
             size_bytes: self.dfs.size_of(&info.location),
+            acid: None,
         })
     }
 }

@@ -33,6 +33,8 @@ struct ServerInner {
     metrics: MetricsRegistry,
     wm: WorkloadManager,
     plan_cache: PlanCache,
+    /// Per-table write locks for ACID DML and compaction.
+    txn: crate::acid::TxnManager,
 }
 
 /// A long-lived Hive serving process. Cheap to clone (shared state); safe
@@ -91,6 +93,7 @@ impl HiveServer {
                 metrics,
                 wm,
                 plan_cache,
+                txn: crate::acid::TxnManager::new(),
             }),
         })
     }
@@ -151,6 +154,7 @@ impl HiveServer {
                 queued: grant.queued,
                 queue_wait_s: grant.queue_wait_s,
                 plan_cache: cache_on.then_some(&inner.plan_cache),
+                txn: Some(&inner.txn),
             };
             let result = run_statement(
                 sql,

@@ -50,6 +50,12 @@ pub fn try_answer(
     if info.format != FormatKind::Orc {
         return Ok(None);
     }
+    // ACID tables must answer through merge-on-read: footer statistics are
+    // per-file, blind to delete masks, and the raw listing they would be
+    // merged over is not the manifest's view of the table.
+    if hive_formats::delta::load_snapshot(dfs, &info.location)?.is_some() {
+        return Ok(None);
+    }
 
     // Recognize the projections.
     let mut aggs = Vec::with_capacity(stmt.projections.len());

@@ -1,0 +1,427 @@
+//! End-to-end ACID: DML through the server, merge-on-read scans, snapshot
+//! isolation, compaction, plan-cache interaction, and the observability
+//! surface. The kill-anywhere crash suite lives in `acid_chaos.rs`.
+
+use hive_common::config::keys;
+use hive_common::{Row, Value};
+use hive_core::{HiveSession, StatementCtx};
+use hive_formats::delta::load_snapshot;
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let c = x.sql_cmp(y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// A session over a server with one ORC table `t(k, v)` holding 30 base
+/// rows loaded the pre-ACID way (plain files, no manifest).
+fn acid_session() -> HiveSession {
+    let mut hive = HiveSession::builder()
+        .knob(hive_common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
+        .build()
+        .unwrap();
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        (0..30).map(|i| Row::new(vec![Value::Int(i % 6), Value::Int(i)])),
+    )
+    .unwrap();
+    hive
+}
+
+fn select_all(hive: &mut HiveSession) -> Vec<Row> {
+    sorted(hive.execute("SELECT k, v FROM t").unwrap().rows)
+}
+
+fn count(hive: &mut HiveSession) -> i64 {
+    let r = hive.execute("SELECT COUNT(*) FROM t").unwrap();
+    match r.rows[0][0] {
+        Value::Int(n) => n,
+        ref other => panic!("COUNT(*) returned {other:?}"),
+    }
+}
+
+#[test]
+fn insert_appends_rows_through_a_delta() {
+    let mut hive = acid_session();
+    let r = hive
+        .execute("INSERT INTO t VALUES (100, 1), (101, 2)")
+        .unwrap();
+    assert_eq!(r.columns, vec!["rows_inserted"]);
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(2)])]);
+    assert_eq!(count(&mut hive), 32);
+    let got = sorted(
+        hive.execute("SELECT k, v FROM t WHERE k >= 100")
+            .unwrap()
+            .rows,
+    );
+    assert_eq!(
+        got,
+        vec![
+            Row::new(vec![Value::Int(100), Value::Int(1)]),
+            Row::new(vec![Value::Int(101), Value::Int(2)]),
+        ]
+    );
+    // The commit is a manifest + one delta beside the untouched base files.
+    let snap = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap.version, 1);
+    assert_eq!(snap.deltas.len(), 1);
+    assert!(snap.deletes.is_empty());
+}
+
+#[test]
+fn update_rewrites_only_matching_rows() {
+    let mut hive = acid_session();
+    let before = select_all(&mut hive);
+    let r = hive
+        .execute("UPDATE t SET v = v + 1000 WHERE k = 3")
+        .unwrap();
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(5)])]);
+    let after = select_all(&mut hive);
+    assert_eq!(
+        after.len(),
+        before.len(),
+        "UPDATE must not change row count"
+    );
+    let expected: Vec<Row> = sorted(
+        before
+            .iter()
+            .map(|row| {
+                let (k, v) = (row[0].clone(), row[1].clone());
+                if k == Value::Int(3) {
+                    let Value::Int(v) = v else { unreachable!() };
+                    Row::new(vec![k, Value::Int(v + 1000)])
+                } else {
+                    Row::new(vec![k, v])
+                }
+            })
+            .collect(),
+    );
+    assert_eq!(after, expected);
+    // An UPDATE that matches nothing commits nothing.
+    let snap_before = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    let r = hive.execute("UPDATE t SET v = 0 WHERE k = 99").unwrap();
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(0)])]);
+    let snap_after = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap_before.version, snap_after.version);
+}
+
+#[test]
+fn delete_masks_rows_without_touching_data() {
+    let mut hive = acid_session();
+    let r = hive.execute("DELETE FROM t WHERE k < 2").unwrap();
+    assert_eq!(r.columns, vec!["rows_deleted"]);
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(10)])]);
+    assert_eq!(count(&mut hive), 20);
+    assert!(hive
+        .execute("SELECT k FROM t WHERE k < 2")
+        .unwrap()
+        .rows
+        .is_empty());
+    // Base files are intact; only a delete file + manifest appeared.
+    let snap = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap.deletes.len(), 1);
+    assert!(snap.deltas.is_empty());
+    // Deleting the same rows again is a no-op, not a new transaction.
+    let r = hive.execute("DELETE FROM t WHERE k < 2").unwrap();
+    assert_eq!(r.rows, vec![Row::new(vec![Value::Int(0)])]);
+    let again = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(again.version, snap.version);
+}
+
+#[test]
+fn compaction_preserves_results_and_shrinks_the_chain() {
+    let mut hive = acid_session();
+    for i in 0..4 {
+        hive.execute(&format!(
+            "INSERT INTO t VALUES ({}, {i}), (2, {i})",
+            200 + i
+        ))
+        .unwrap();
+    }
+    hive.execute("UPDATE t SET v = v * 2 WHERE k = 2").unwrap();
+    hive.execute("DELETE FROM t WHERE k = 1").unwrap();
+    let want = select_all(&mut hive);
+
+    // Minor: deltas and delta-addressed deletes fold into one delta; keys
+    // masking base rows survive in one delete file; base untouched.
+    let r = hive.execute("ALTER TABLE t COMPACT 'minor'").unwrap();
+    assert_eq!(r.columns, vec!["rows_compacted"]);
+    assert_eq!(
+        select_all(&mut hive),
+        want,
+        "minor compaction changed results"
+    );
+    let snap = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap.deltas.len(), 1, "minor must fold deltas into one");
+    assert_eq!(snap.deletes.len(), 1, "base delete keys must survive minor");
+
+    // Major: the whole table becomes one fresh base file.
+    hive.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+    assert_eq!(
+        select_all(&mut hive),
+        want,
+        "major compaction changed results"
+    );
+    let snap = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap.base.len(), 1);
+    assert!(snap.base[0].contains("base_"), "{:?}", snap.base);
+    assert!(snap.deltas.is_empty());
+    assert!(snap.deletes.is_empty());
+    // And the table keeps working transactionally afterwards.
+    hive.execute("INSERT INTO t VALUES (300, 300)").unwrap();
+    assert_eq!(count(&mut hive), want.len() as i64 + 1);
+}
+
+#[test]
+fn auto_compaction_triggers_at_the_delta_threshold() {
+    let mut hive = acid_session();
+    hive.set(keys::COMPACTOR_AUTO, "true")
+        .set(keys::COMPACTOR_DELTA_THRESHOLD, "3");
+    for i in 0..3 {
+        hive.execute(&format!("INSERT INTO t VALUES ({}, 0)", 400 + i))
+            .unwrap();
+    }
+    // The third commit crossed the threshold and folded the chain inline.
+    let snap = load_snapshot(hive.dfs(), "/warehouse/t/").unwrap().unwrap();
+    assert_eq!(snap.deltas.len(), 1, "auto compaction did not run");
+    assert_eq!(count(&mut hive), 33);
+    let snapshot = hive.server().metrics().snapshot();
+    assert_eq!(snapshot.counter("compaction.auto_triggered", &[]), Some(1));
+}
+
+/// The snapshot-isolation guarantee itself: a plan pinned before a commit
+/// keeps reading the generation it pinned, even when executed after the
+/// commit landed — old rows exactly, never a hybrid.
+#[test]
+fn pinned_plan_reads_its_snapshot_after_a_later_commit() {
+    let mut hive = acid_session();
+    hive.execute("INSERT INTO t VALUES (100, 1)").unwrap();
+    let old = select_all(&mut hive);
+
+    // Pin: plan the scan against the current manifest.
+    let hive_ql::Statement::Select(stmt) = hive_ql::parse("SELECT k, v FROM t").unwrap() else {
+        unreachable!()
+    };
+    let server = hive.server().clone();
+    let compiled = hive_planner::plan_query(&stmt, server.metastore(), server.defaults()).unwrap();
+
+    // Commit two more transactions after the pin.
+    hive.execute("INSERT INTO t VALUES (101, 2)").unwrap();
+    hive.execute("DELETE FROM t WHERE k = 100").unwrap();
+    assert_ne!(select_all(&mut hive), old);
+
+    // The pinned plan still reads generation-1 rows, bit for bit.
+    let engine = hive_mapreduce::MrEngine::new(server.dfs().clone(), server.defaults().clone());
+    let (_report, rows) = engine.run_dag(&compiled.jobs).unwrap();
+    assert_eq!(sorted(rows), old, "pinned snapshot drifted");
+}
+
+/// Satellite: a cached plan must be invalidated by a committed UPDATE (and
+/// by compaction) — the commit bumps the DFS data generation, which is part
+/// of the plan-cache key, so staleness is structural.
+#[test]
+fn plan_cache_entry_is_invalidated_by_committed_update() {
+    let mut hive = acid_session();
+    hive.set(keys::PLAN_CACHE_ENABLED, "true");
+    let sql = "SELECT k, v FROM t WHERE k = 4";
+    let hits = |hive: &HiveSession| {
+        let s = hive.server().metrics().snapshot();
+        (
+            s.counter("plan_cache.hit", &[]).unwrap_or(0),
+            s.counter("plan_cache.miss", &[]).unwrap_or(0),
+        )
+    };
+    let first = sorted(hive.execute(sql).unwrap().rows);
+    assert_eq!(sorted(hive.execute(sql).unwrap().rows), first);
+    let (h, m) = hits(&hive);
+    assert_eq!((h, m), (1, 1), "second run must hit the cache");
+
+    hive.execute("UPDATE t SET v = v + 500 WHERE k = 4")
+        .unwrap();
+    let updated = sorted(hive.execute(sql).unwrap().rows);
+    assert_ne!(updated, first, "UPDATE must be visible");
+    let (h, m) = hits(&hive);
+    assert_eq!((h, m), (1, 2), "committed UPDATE must invalidate the plan");
+
+    // Compaction rewrites files — also a new generation, also a miss.
+    assert_eq!(sorted(hive.execute(sql).unwrap().rows), updated);
+    hive.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+    assert_eq!(sorted(hive.execute(sql).unwrap().rows), updated);
+    let (h, m) = hits(&hive);
+    assert_eq!((h, m), (2, 3), "compaction must invalidate the plan");
+}
+
+/// ORC footer-stats answers are per-file and blind to delete masks; an
+/// ACID table must fall back to merge-on-read for correctness.
+#[test]
+fn stats_answers_stand_down_on_acid_tables() {
+    let mut hive = acid_session();
+    hive.set(keys::COMPUTE_USING_STATS, "true");
+    assert_eq!(count(&mut hive), 30); // plain table: stats may answer
+    let answered_before = hive
+        .server()
+        .metrics()
+        .snapshot()
+        .counter("query.stats_answered", &[])
+        .unwrap_or(0);
+    assert!(
+        answered_before > 0,
+        "expected the plain COUNT(*) from stats"
+    );
+    hive.execute("DELETE FROM t WHERE v < 5").unwrap();
+    assert_eq!(count(&mut hive), 25, "stale footer answer after DELETE");
+    let answered_after = hive
+        .server()
+        .metrics()
+        .snapshot()
+        .counter("query.stats_answered", &[])
+        .unwrap_or(0);
+    assert_eq!(
+        answered_before, answered_after,
+        "ACID COUNT(*) must not come from footers"
+    );
+}
+
+/// Observability: ACID scans report delta/masked rows and the pinned
+/// generation in EXPLAIN ANALYZE; scans of plain tables render
+/// byte-identically to the pre-ACID output — even while other tables in
+/// the same server carry deltas.
+#[test]
+fn explain_analyze_acid_lines_are_gated_on_acid_state() {
+    let mut hive = acid_session();
+    // Bypass the block cache so repeated runs render identical profiles
+    // (cache hit counters would otherwise differ run to run).
+    hive.set(keys::IO_CACHE_BYTES, "0");
+    hive.execute("CREATE TABLE plain (k BIGINT, v BIGINT) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "plain",
+        (0..20).map(|i| Row::new(vec![Value::Int(i % 4), Value::Int(i)])),
+    )
+    .unwrap();
+    let plain_sql = "EXPLAIN ANALYZE SELECT k, COUNT(*) FROM plain GROUP BY k";
+    let before = hive.execute(plain_sql).unwrap().explain.unwrap();
+    assert!(
+        !before.contains("acid"),
+        "plain scan mentions acid:\n{before}"
+    );
+
+    hive.execute("INSERT INTO t VALUES (100, 1), (101, 2)")
+        .unwrap();
+    hive.execute("DELETE FROM t WHERE k = 0").unwrap();
+    let acid = hive
+        .execute("EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t GROUP BY k")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(
+        acid.contains("acid: snapshot_gen=2 delta_files=1"),
+        "missing snapshot line:\n{acid}"
+    );
+    assert!(
+        acid.contains("delta_rows=2") && acid.contains("rows_masked=5"),
+        "missing merge-on-read stats:\n{acid}"
+    );
+
+    // The plain table's rendering is untouched by ACID activity elsewhere.
+    let after = hive.execute(plain_sql).unwrap().explain.unwrap();
+    assert_eq!(before, after, "plain EXPLAIN ANALYZE drifted");
+
+    // Major compaction leaves a base-only, delete-free snapshot: no more
+    // merge-on-read, so the acid lines disappear again.
+    hive.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+    let compacted = hive
+        .execute("EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t GROUP BY k")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(
+        !compacted.contains("acid"),
+        "compacted table still renders acid lines:\n{compacted}"
+    );
+}
+
+#[test]
+fn concurrent_inserts_serialize_into_one_manifest_chain() {
+    let hive = acid_session();
+    let server = hive.server().clone();
+    let mut handles = Vec::new();
+    for th in 0..4 {
+        let srv = server.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..5 {
+                srv.execute(&format!(
+                    "INSERT INTO t VALUES ({}, {th})",
+                    1000 + th * 10 + i
+                ))
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = load_snapshot(server.dfs(), "/warehouse/t/")
+        .unwrap()
+        .unwrap();
+    assert_eq!(snap.version, 20, "every commit bumps the manifest once");
+    assert_eq!(snap.last_txn, 20);
+    assert_eq!(snap.deltas.len(), 20);
+    let r = server.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(50));
+}
+
+/// DML needs the server's transaction manager; a bare driver context must
+/// refuse rather than write without a lock.
+#[test]
+fn dml_without_a_transaction_manager_is_refused() {
+    let hive = acid_session();
+    let server = hive.server();
+    let err = hive_core::driver::run_statement(
+        "INSERT INTO t VALUES (1, 1)",
+        server.dfs(),
+        server.defaults(),
+        server.metastore(),
+        server.metrics(),
+        &StatementCtx::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("transaction manager"), "{err}");
+}
+
+/// The delta store is format-agnostic: deltas are written in the table's
+/// own format, so a text table is just as transactional as an ORC one.
+#[test]
+fn text_tables_support_the_full_dml_surface() {
+    let mut hive = HiveSession::builder().build().unwrap();
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT) STORED AS textfile")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        (0..12).map(|i| Row::new(vec![Value::Int(i % 3), Value::Int(i)])),
+    )
+    .unwrap();
+    hive.execute("INSERT INTO t VALUES (7, 70), (8, 80)")
+        .unwrap();
+    hive.execute("UPDATE t SET v = 0 WHERE k = 1").unwrap();
+    assert_eq!(
+        hive.execute("DELETE FROM t WHERE k = 2").unwrap().rows[0][0],
+        Value::Int(4)
+    );
+    assert_eq!(count(&mut hive), 10);
+    assert_eq!(
+        sorted(hive.execute("SELECT v FROM t WHERE k = 1").unwrap().rows),
+        vec![Row::new(vec![Value::Int(0)]); 4]
+    );
+    hive.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+    assert_eq!(count(&mut hive), 10);
+}

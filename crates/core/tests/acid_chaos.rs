@@ -1,0 +1,342 @@
+//! ACID chaos suite: kill the writer and the compactor at every registered
+//! crash point, lose rename acks, tear writes, and randomize write-path
+//! fault plans — then prove the snapshot contract holds: a reader sees the
+//! OLD snapshot or the NEW snapshot, never a hybrid, and a restarted
+//! writer recovers to a clean, writable table.
+//!
+//! The crash-point registry makes every interleaving deterministic:
+//! `hive.txn.crash.point=<name>` turns exactly one protocol step into a
+//! process death (`HiveError::Crashed`, non-retryable), so "kill -9
+//! anywhere" becomes an enumerable test matrix instead of a race.
+
+use hive_common::config::keys;
+use hive_common::{HiveError, Row, Value};
+use hive_core::{HiveSession, COMPACTOR_CRASH_POINTS, WRITER_CRASH_POINTS};
+use hive_formats::delta::load_snapshot;
+use proptest::prelude::*;
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let c = x.sql_cmp(y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// One ORC table `t(k, v)` with 40 base rows and one committed delta, so
+/// crashes land on a table that already has a manifest chain.
+fn seeded() -> HiveSession {
+    let mut hive = HiveSession::builder()
+        .knob(hive_common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU, true)
+        .build()
+        .unwrap();
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        (0..40).map(|i| Row::new(vec![Value::Int(i % 8), Value::Int(i)])),
+    )
+    .unwrap();
+    hive.execute("INSERT INTO t VALUES (500, 500), (501, 501)")
+        .unwrap();
+    hive
+}
+
+/// `seeded()` plus more history: several deltas and a delete file that
+/// masks rows in BOTH the base and a delta — so minor compaction exercises
+/// its fold-and-carry-base-keys branches, not just the happy path.
+fn seeded_with_history() -> HiveSession {
+    let mut hive = seeded();
+    hive.execute("INSERT INTO t VALUES (502, 502)").unwrap();
+    hive.execute("INSERT INTO t VALUES (2, 900)").unwrap();
+    hive.execute("INSERT INTO t VALUES (503, 503)").unwrap();
+    hive.execute("DELETE FROM t WHERE k = 2").unwrap();
+    hive
+}
+
+fn select_all(hive: &HiveSession) -> Vec<Row> {
+    sorted(hive.server().execute("SELECT k, v FROM t").unwrap().rows)
+}
+
+/// The three DML shapes, each with the rows they are expected to leave
+/// behind once committed (computed per run from a twin session).
+const OPS: [&str; 3] = [
+    "INSERT INTO t VALUES (900, 1), (901, 2)",
+    "UPDATE t SET v = v + 1000 WHERE k = 3",
+    "DELETE FROM t WHERE k = 5",
+];
+
+/// Satellite 3, writer half: for every DML shape × every writer crash
+/// point, the visible table is the old snapshot or the new one — decided
+/// entirely by whether the manifest rename (the commit point) happened.
+/// After a "restart" (recovery runs on the next statement), the scratch
+/// area is empty and the op can be completed exactly once.
+#[test]
+fn kill_at_every_writer_crash_point_yields_old_or_new_snapshot() {
+    for op in OPS {
+        // What committing `op` on the seeded history produces.
+        let new = {
+            let hive = seeded_with_history();
+            hive.server().execute(op).unwrap();
+            select_all(&hive)
+        };
+        for &point in WRITER_CRASH_POINTS {
+            let hive = seeded_with_history();
+            let server = hive.server().clone();
+            let old = select_all(&hive);
+            assert_ne!(old, new, "op must change the table: {op}");
+
+            let committed = match server.execute_with(op, &[("hive.txn.crash.point", point)]) {
+                // Crash point not on this op's path: the statement commits.
+                Ok(_) => true,
+                Err(e) => {
+                    assert!(
+                        matches!(e, HiveError::Crashed(_)),
+                        "{op} at {point}: expected a crash, got {e}"
+                    );
+                    // The commit point is the manifest rename; only a crash
+                    // AFTER it may expose the new snapshot.
+                    point == "writer.after.manifest.rename"
+                }
+            };
+            let visible = select_all(&hive);
+            let want = if committed { &new } else { &old };
+            assert_eq!(
+                &visible, want,
+                "{op} killed at {point}: visible rows are neither old nor new snapshot"
+            );
+
+            // "Restart": any later statement runs recovery first. If the op
+            // never committed, re-running it must land exactly once; if it
+            // did, a no-op DML still sweeps the scratch space.
+            if committed {
+                server.execute("DELETE FROM t WHERE k < 0").unwrap();
+            } else {
+                server.execute(op).unwrap();
+            }
+            assert_eq!(select_all(&hive), new, "{op} after restart at {point}");
+            assert!(
+                server.dfs().list("/tmp/txn/").is_empty(),
+                "{op} at {point}: recovery left scratch files"
+            );
+        }
+    }
+}
+
+/// Satellite 3, compactor half: compaction is content-neutral, so killing
+/// it at ANY point — before or after its own commit — must leave the
+/// visible rows untouched. A clean retry then finishes the job.
+#[test]
+fn kill_anywhere_during_compaction_is_never_visible() {
+    for mode in ["minor", "major"] {
+        let sql = format!("ALTER TABLE t COMPACT '{mode}'");
+        for &point in COMPACTOR_CRASH_POINTS {
+            let hive = seeded_with_history();
+            let server = hive.server().clone();
+            let old = select_all(&hive);
+
+            match server.execute_with(&sql, &[("hive.txn.crash.point", point)]) {
+                Ok(_) => {}
+                Err(e) => assert!(matches!(e, HiveError::Crashed(_)), "{mode} at {point}: {e}"),
+            }
+            assert_eq!(
+                select_all(&hive),
+                old,
+                "{mode} compaction killed at {point} changed visible rows"
+            );
+
+            // Retry clean: must complete and still be invisible to readers.
+            server.execute(&sql).unwrap();
+            assert_eq!(select_all(&hive), old, "clean {mode} retry after {point}");
+            assert!(
+                server.dfs().list("/tmp/txn/").is_empty(),
+                "{mode} at {point}: recovery left scratch files"
+            );
+            let snap = load_snapshot(server.dfs(), "/warehouse/t/")
+                .unwrap()
+                .unwrap();
+            if mode == "major" {
+                assert_eq!(snap.base.len(), 1, "{point}");
+                assert!(snap.deltas.is_empty() && snap.deletes.is_empty(), "{point}");
+            }
+        }
+    }
+}
+
+/// A lost rename acknowledgement (the rename happened, the reply didn't)
+/// must not abort the commit, and must never double-apply it.
+#[test]
+fn lost_rename_acks_still_commit_exactly_once() {
+    let hive = seeded();
+    let server = hive.server().clone();
+    let before = select_all(&hive);
+    server
+        .execute_with(
+            "INSERT INTO t VALUES (600, 1), (601, 2)",
+            &[
+                (keys::DFS_FAULT_RENAME_ACK_LOST_RATE, "1.0"),
+                (keys::DFS_FAULT_SEED, "7"),
+            ],
+        )
+        .unwrap();
+    let after = select_all(&hive);
+    assert_eq!(after.len(), before.len() + 2);
+    let landed: Vec<&Row> = after
+        .iter()
+        .filter(|r| r[0] == Value::Int(600) || r[0] == Value::Int(601))
+        .collect();
+    assert_eq!(landed.len(), 2, "ack-lost commit duplicated or lost rows");
+}
+
+/// A rename that genuinely fails aborts the statement pre-commit; retrying
+/// on a clean connection lands the rows exactly once (not zero, not twice).
+#[test]
+fn failed_then_retried_commit_lands_exactly_once() {
+    let hive = seeded();
+    let server = hive.server().clone();
+    let before = select_all(&hive);
+    let err = server
+        .execute_with(
+            "INSERT INTO t VALUES (600, 1), (601, 2)",
+            &[
+                (keys::DFS_FAULT_RENAME_ERROR_RATE, "1.0"),
+                (keys::DFS_FAULT_SEED, "7"),
+            ],
+        )
+        .unwrap_err();
+    assert!(!matches!(err, HiveError::Crashed(_)), "{err}");
+    assert_eq!(select_all(&hive), before, "failed commit left rows behind");
+
+    server
+        .execute("INSERT INTO t VALUES (600, 1), (601, 2)")
+        .unwrap();
+    assert_eq!(
+        select_all(&hive).len(),
+        before.len() + 2,
+        "retry must land once"
+    );
+}
+
+/// Torn (truncated) writes are caught by the verify barrier before the
+/// commit point: the statement fails, the old snapshot stays intact, and
+/// the table remains writable.
+#[test]
+fn torn_writes_never_become_visible() {
+    for seed in [1u64, 17, 4242] {
+        let hive = seeded();
+        let server = hive.server().clone();
+        let before = select_all(&hive);
+        let res = server.execute_with(
+            "INSERT INTO t VALUES (700, 7)",
+            &[
+                (keys::DFS_FAULT_WRITE_TORN_RATE, "1.0"),
+                (keys::DFS_FAULT_SEED, &seed.to_string()),
+            ],
+        );
+        assert!(res.is_err(), "seed={seed}: torn write passed the barrier");
+        assert_eq!(select_all(&hive), before, "seed={seed}: torn data visible");
+        server.execute("INSERT INTO t VALUES (700, 7)").unwrap();
+        assert_eq!(select_all(&hive).len(), before.len() + 1, "seed={seed}");
+    }
+}
+
+// Randomized write-path chaos: under any mix of write errors, torn
+// writes, rename errors and lost acks, every statement either commits its
+// rows exactly or leaves the table untouched — the visible state always
+// equals the model, and the table always stays writable afterwards.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn write_faults_yield_old_or_new_snapshot_never_hybrid(
+        seed in 0u64..=1_000_000,
+        write_err in (0u32..=40).prop_map(|x| x as f64 / 100.0),
+        torn in (0u32..=40).prop_map(|x| x as f64 / 100.0),
+        rename_err in (0u32..=40).prop_map(|x| x as f64 / 100.0),
+        ack_lost in (0u32..=40).prop_map(|x| x as f64 / 100.0),
+    ) {
+        let hive = seeded();
+        let server = hive.server().clone();
+        let mut model = select_all(&hive);
+        for i in 0..6i64 {
+            let k = 800 + i;
+            let res = server.execute_with(
+                &format!("INSERT INTO t VALUES ({k}, {i})"),
+                &[
+                    (keys::DFS_FAULT_SEED, &(seed + i as u64).to_string()),
+                    (keys::DFS_FAULT_WRITE_ERROR_RATE, &write_err.to_string()),
+                    (keys::DFS_FAULT_WRITE_TORN_RATE, &torn.to_string()),
+                    (keys::DFS_FAULT_RENAME_ERROR_RATE, &rename_err.to_string()),
+                    (keys::DFS_FAULT_RENAME_ACK_LOST_RATE, &ack_lost.to_string()),
+                ],
+            );
+            if res.is_ok() {
+                model.push(Row::new(vec![Value::Int(k), Value::Int(i)]));
+                model = sorted(model);
+            }
+            prop_assert_eq!(
+                &select_all(&hive), &model,
+                "seed={} rates=({},{},{},{}) stmt={}: visible state is neither \
+                 pre- nor post-statement snapshot",
+                seed, write_err, torn, rename_err, ack_lost, i
+            );
+        }
+        // Whatever the faults did, a clean writer must still get through.
+        server.execute("INSERT INTO t VALUES (999, 999)").unwrap();
+        model.push(Row::new(vec![Value::Int(999), Value::Int(999)]));
+        prop_assert_eq!(&select_all(&hive), &sorted(model), "table left unwritable");
+    }
+}
+
+/// Satellite 2 at the server level: a statement's write-fault plan rides
+/// on its scoped DFS view. A thread whose INSERTs always fail must not
+/// make a concurrent clean writer fail or lose rows.
+#[test]
+fn write_fault_confs_stay_statement_scoped() {
+    let hive = seeded();
+    let server = hive.server().clone();
+    let faulty = {
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            for i in 0..10i64 {
+                let res = srv.execute_with(
+                    &format!("INSERT INTO t VALUES ({}, 0)", 600 + i),
+                    &[
+                        (keys::DFS_FAULT_WRITE_ERROR_RATE, "1.0"),
+                        (keys::DFS_FAULT_SEED, &(i as u64).to_string()),
+                    ],
+                );
+                assert!(res.is_err(), "statement {i} should have hit its fault");
+            }
+        })
+    };
+    let clean = {
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            for i in 0..10i64 {
+                srv.execute(&format!("INSERT INTO t VALUES ({}, 0)", 700 + i))
+                    .unwrap();
+            }
+        })
+    };
+    faulty.join().unwrap();
+    clean.join().unwrap();
+
+    let rows = select_all(&hive);
+    let count = |lo: i64, hi: i64| {
+        rows.iter()
+            .filter(|r| matches!(r[0], Value::Int(k) if k >= lo && k < hi))
+            .count()
+    };
+    assert_eq!(count(600, 700), 0, "a faulted statement leaked rows");
+    assert_eq!(
+        count(700, 800),
+        10,
+        "the fault plan leaked onto clean writers"
+    );
+}

@@ -22,6 +22,12 @@
 //! Node-targeted faults are the exception: reads from a node listed in
 //! `dfs.fault.fail.nodes` *always* fail, so recovery must come from replica
 //! rotation and blacklisting rather than simple retry.
+//!
+//! Write-path faults follow the same first-touch discipline keyed by path:
+//! a publish can fail outright or land *torn* (a strict byte prefix), and a
+//! rename can fail without moving anything or move the file and lose the
+//! ack — the two halves of the classic "did my commit land?" ambiguity that
+//! the ACID commit protocol has to resolve.
 
 use crate::NodeId;
 use hive_common::{config::keys, HiveConf, HiveError, Result};
@@ -40,6 +46,33 @@ pub enum FaultOutcome {
     CorruptByte { pos: u64, mask: u8 },
 }
 
+/// What the plan decided for one file publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultOutcome {
+    /// Publish every byte.
+    Success,
+    /// Publish nothing; the writer gets a retryable transient error.
+    TransientError,
+    /// Publish only the first `keep` bytes (a strict prefix) and report a
+    /// transient error — the client died mid-write and the partial file is
+    /// what the cluster keeps. Commit barriers must catch this.
+    Torn { keep: u64 },
+}
+
+/// What the plan decided for one rename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameFaultOutcome {
+    /// Move the file.
+    Success,
+    /// Move nothing; the caller gets a retryable transient error.
+    TransientError,
+    /// Move the file but report a transient error anyway (the namenode
+    /// committed, the ack was lost). A retry of the "failed" rename finds
+    /// the source gone and the destination present — duplicate-retry
+    /// handling must treat that as already committed.
+    AckLost,
+}
+
 /// A seeded, deterministic schedule of read faults. Carried by a
 /// statement-scoped [`Dfs`] view ([`Dfs::for_statement`]) — one plan per
 /// query statement, so the first-touch ledger resets between statements
@@ -54,13 +87,26 @@ pub struct FaultPlan {
     seed: u64,
     read_error_rate: f64,
     corrupt_rate: f64,
+    write_error_rate: f64,
+    write_torn_rate: f64,
+    rename_error_rate: f64,
+    rename_ack_lost_rate: f64,
     slow_nodes: Vec<NodeId>,
     fail_nodes: Vec<NodeId>,
     /// Extra simulated seconds per byte read from a slow node.
     slow_s_per_byte: f64,
     /// Locations (path-hash, offset) that have already been read once.
     touched: Mutex<HashSet<(u64, u64)>>,
+    /// Paths that have already been published once.
+    touched_writes: Mutex<HashSet<u64>>,
+    /// Source paths that have already been renamed once.
+    touched_renames: Mutex<HashSet<u64>>,
 }
+
+/// Domain-separation tags so a path's write, rename, and read decisions
+/// draw independent uniforms from the same seed.
+const WRITE_TAG: u64 = 0x7772_6974_655f_7461; // "write_ta"
+const RENAME_TAG: u64 = 0x7265_6e61_6d65_5f74; // "rename_t"
 
 impl FaultPlan {
     /// Build a plan from session configuration. Returns `Ok(None)` when
@@ -68,10 +114,18 @@ impl FaultPlan {
     pub fn from_conf(conf: &HiveConf) -> Result<Option<FaultPlan>> {
         let read_error_rate = unit_rate(conf, keys::DFS_FAULT_READ_ERROR_RATE)?;
         let corrupt_rate = unit_rate(conf, keys::DFS_FAULT_CORRUPT_RATE)?;
+        let write_error_rate = unit_rate(conf, keys::DFS_FAULT_WRITE_ERROR_RATE)?;
+        let write_torn_rate = unit_rate(conf, keys::DFS_FAULT_WRITE_TORN_RATE)?;
+        let rename_error_rate = unit_rate(conf, keys::DFS_FAULT_RENAME_ERROR_RATE)?;
+        let rename_ack_lost_rate = unit_rate(conf, keys::DFS_FAULT_RENAME_ACK_LOST_RATE)?;
         let slow_nodes = node_list(conf, keys::DFS_FAULT_SLOW_NODES)?;
         let fail_nodes = node_list(conf, keys::DFS_FAULT_FAIL_NODES)?;
         if read_error_rate == 0.0
             && corrupt_rate == 0.0
+            && write_error_rate == 0.0
+            && write_torn_rate == 0.0
+            && rename_error_rate == 0.0
+            && rename_ack_lost_rate == 0.0
             && slow_nodes.is_empty()
             && fail_nodes.is_empty()
         {
@@ -83,15 +137,33 @@ impl FaultPlan {
                 read_error_rate + corrupt_rate
             )));
         }
+        if write_error_rate + write_torn_rate > 1.0 {
+            return Err(HiveError::Config(format!(
+                "dfs.fault.write rates sum to {} > 1",
+                write_error_rate + write_torn_rate
+            )));
+        }
+        if rename_error_rate + rename_ack_lost_rate > 1.0 {
+            return Err(HiveError::Config(format!(
+                "dfs.fault.rename rates sum to {} > 1",
+                rename_error_rate + rename_ack_lost_rate
+            )));
+        }
         let slow_ms_per_mb = conf.get_f64(keys::DFS_FAULT_SLOW_MS_PER_MB)?.max(0.0);
         Ok(Some(FaultPlan {
             seed: conf.get_i64(keys::DFS_FAULT_SEED)? as u64,
             read_error_rate,
             corrupt_rate,
+            write_error_rate,
+            write_torn_rate,
+            rename_error_rate,
+            rename_ack_lost_rate,
             slow_nodes,
             fail_nodes,
             slow_s_per_byte: slow_ms_per_mb / 1e3 / (1u64 << 20) as f64,
             touched: Mutex::new(HashSet::new()),
+            touched_writes: Mutex::new(HashSet::new()),
+            touched_renames: Mutex::new(HashSet::new()),
         }))
     }
 
@@ -147,6 +219,54 @@ impl FaultPlan {
             }
         } else {
             FaultOutcome::Success
+        }
+    }
+
+    /// Decide the fate of publishing `len` bytes at `path`. First-touch per
+    /// path: one publish of a given path can misbehave, its retry is clean
+    /// (the client re-drives the pipeline). Thread-safe.
+    pub fn decide_write(&self, path: &str, len: u64) -> WriteFaultOutcome {
+        if self.write_error_rate == 0.0 && self.write_torn_rate == 0.0 {
+            return WriteFaultOutcome::Success;
+        }
+        let ph = fnv1a(path.as_bytes());
+        if !self.touched_writes.lock().insert(ph) {
+            return WriteFaultOutcome::Success;
+        }
+        let h = mix(self.seed ^ ph, WRITE_TAG);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.write_error_rate {
+            WriteFaultOutcome::TransientError
+        } else if u < self.write_error_rate + self.write_torn_rate {
+            // Keep a strict prefix: at least 0, at most len-1 bytes.
+            let keep = if len == 0 {
+                0
+            } else {
+                mix(h, 0x9e3779b9) % len
+            };
+            WriteFaultOutcome::Torn { keep }
+        } else {
+            WriteFaultOutcome::Success
+        }
+    }
+
+    /// Decide the fate of renaming `from`. First-touch per source path.
+    pub fn decide_rename(&self, from: &str) -> RenameFaultOutcome {
+        if self.rename_error_rate == 0.0 && self.rename_ack_lost_rate == 0.0 {
+            return RenameFaultOutcome::Success;
+        }
+        let ph = fnv1a(from.as_bytes());
+        if !self.touched_renames.lock().insert(ph) {
+            return RenameFaultOutcome::Success;
+        }
+        let h = mix(self.seed ^ ph, RENAME_TAG);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.rename_error_rate {
+            RenameFaultOutcome::TransientError
+        } else if u < self.rename_error_rate + self.rename_ack_lost_rate {
+            RenameFaultOutcome::AckLost
+        } else {
+            RenameFaultOutcome::Success
         }
     }
 }
@@ -291,6 +411,60 @@ mod tests {
         assert!(!p.is_slow(0));
         assert_eq!(p.slow_penalty_us(1 << 20), 200_000);
         assert_eq!(p.slow_penalty_us(0), 0);
+    }
+
+    #[test]
+    fn write_faults_are_first_touch_per_path() {
+        let p = plan(&[(keys::DFS_FAULT_WRITE_ERROR_RATE, "1.0")]);
+        assert_eq!(
+            p.decide_write("/t/w", 100),
+            WriteFaultOutcome::TransientError
+        );
+        // Retrying the same path succeeds; a fresh path faults anew.
+        assert_eq!(p.decide_write("/t/w", 100), WriteFaultOutcome::Success);
+        assert_eq!(
+            p.decide_write("/t/w2", 100),
+            WriteFaultOutcome::TransientError
+        );
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix() {
+        let p = plan(&[(keys::DFS_FAULT_WRITE_TORN_RATE, "1.0")]);
+        match p.decide_write("/t/torn", 100) {
+            WriteFaultOutcome::Torn { keep } => assert!(keep < 100),
+            other => panic!("expected torn write, got {other:?}"),
+        }
+        match p.decide_write("/t/empty", 0) {
+            WriteFaultOutcome::Torn { keep } => assert_eq!(keep, 0),
+            other => panic!("expected torn write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_faults_split_error_from_ack_loss() {
+        let p = plan(&[(keys::DFS_FAULT_RENAME_ERROR_RATE, "1.0")]);
+        assert_eq!(
+            p.decide_rename("/t/src"),
+            RenameFaultOutcome::TransientError
+        );
+        assert_eq!(p.decide_rename("/t/src"), RenameFaultOutcome::Success);
+
+        let p = plan(&[(keys::DFS_FAULT_RENAME_ACK_LOST_RATE, "1.0")]);
+        assert_eq!(p.decide_rename("/t/src"), RenameFaultOutcome::AckLost);
+        assert_eq!(p.decide_rename("/t/src"), RenameFaultOutcome::Success);
+    }
+
+    #[test]
+    fn write_rate_sums_validate() {
+        let conf = HiveConf::new()
+            .with(keys::DFS_FAULT_WRITE_ERROR_RATE, "0.7")
+            .with(keys::DFS_FAULT_WRITE_TORN_RATE, "0.7");
+        assert!(FaultPlan::from_conf(&conf).is_err());
+        let conf = HiveConf::new()
+            .with(keys::DFS_FAULT_RENAME_ERROR_RATE, "0.6")
+            .with(keys::DFS_FAULT_RENAME_ACK_LOST_RATE, "0.6");
+        assert!(FaultPlan::from_conf(&conf).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod crc;
 pub mod fault;
 pub mod stats;
 
-pub use fault::{FaultOutcome, FaultPlan};
+pub use fault::{FaultOutcome, FaultPlan, RenameFaultOutcome, WriteFaultOutcome};
 pub use stats::{IoScope, IoScopeGuard, IoSnapshot, IoStats};
 
 use hive_common::{HiveError, Result};
@@ -385,6 +385,59 @@ impl Dfs {
         Ok(())
     }
 
+    /// Atomically move `from` to `to` (namenode metadata operation: readers
+    /// see either the old namespace or the new one, never a partial copy).
+    /// The destination gets a fresh generation and path-keyed block
+    /// placement; an existing file at `to` is replaced. Consults the
+    /// handle's (statement-scoped) fault plan: a rename can fail without
+    /// moving anything, or move the file and *then* report failure (lost
+    /// ack) — callers with commit semantics must probe for the latter.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let outcome = self
+            .fault_plan()
+            .map(|p| p.decide_rename(from))
+            .unwrap_or(fault::RenameFaultOutcome::Success);
+        if outcome == fault::RenameFaultOutcome::TransientError {
+            return Err(HiveError::Transient(format!(
+                "injected rename failure: {from} -> {to}"
+            )));
+        }
+        let mut files = self.inner.files.write();
+        let entry = files
+            .remove(from)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {from}")))?;
+        let generation = self.inner.next_gen.fetch_add(1, Ordering::Relaxed);
+        let blocks = placement(
+            to,
+            entry.data.len() as u64,
+            entry.block_size,
+            &self.inner.config,
+        );
+        let block_crcs = blocks
+            .iter()
+            .map(|b| crc::crc32(&entry.data[b.offset as usize..(b.offset + b.len) as usize]))
+            .collect();
+        let moved = Arc::new(FileEntry {
+            data: entry.data.clone(),
+            block_size: entry.block_size,
+            blocks,
+            block_crcs,
+            generation,
+        });
+        files.insert(to.to_string(), moved);
+        drop(files);
+        self.inner.cache.invalidate_path(from, entry.generation + 1);
+        self.inner.cache.invalidate_path(to, generation);
+        self.bump_data_gen(from);
+        self.bump_data_gen(to);
+        if outcome == fault::RenameFaultOutcome::AckLost {
+            return Err(HiveError::Transient(format!(
+                "injected rename ack loss: {from} -> {to} (the move happened)"
+            )));
+        }
+        Ok(())
+    }
+
     fn finish_file(&self, path: String, data: Vec<u8>, block_size: u64) {
         let blocks = placement(&path, data.len() as u64, block_size, &self.inner.config);
         let block_crcs = blocks
@@ -495,14 +548,54 @@ impl DfsWriter {
     }
 
     /// Finish the file: compute block placement and publish it.
-    pub fn close(mut self) -> u64 {
+    ///
+    /// Infallible convenience over [`DfsWriter::try_close`] for the many
+    /// callers that never write under an injected fault plan; panics if a
+    /// write fault fires. Fault-aware paths (the ACID commit protocol)
+    /// must use `try_close`.
+    pub fn close(self) -> u64 {
+        let path = self.path.clone();
+        self.try_close().unwrap_or_else(|e| {
+            panic!("close({path}) hit an injected write fault ({e}); use try_close")
+        })
+    }
+
+    /// Finish the file, consulting the handle's (statement-scoped) fault
+    /// plan: the publish can fail cleanly (nothing lands) or land *torn* —
+    /// a strict byte prefix becomes visible and the writer still gets an
+    /// error, modeling a client death mid-write. Both surface as retryable
+    /// [`HiveError::Transient`]; first-touch semantics make the retry of
+    /// the same path clean.
+    pub fn try_close(mut self) -> Result<u64> {
         self.closed = true;
         let len = self.data.len() as u64;
         let data = std::mem::take(&mut self.data);
+        if let Some(plan) = self.dfs.fault_plan() {
+            match plan.decide_write(&self.path, len) {
+                WriteFaultOutcome::Success => {}
+                WriteFaultOutcome::TransientError => {
+                    return Err(HiveError::Transient(format!(
+                        "injected write failure: {} ({len} bytes lost)",
+                        self.path
+                    )));
+                }
+                WriteFaultOutcome::Torn { keep } => {
+                    let mut torn = data;
+                    torn.truncate(keep as usize);
+                    self.dfs
+                        .clone()
+                        .finish_file(self.path.clone(), torn, self.block_size);
+                    return Err(HiveError::Transient(format!(
+                        "injected torn write: {} kept {keep}/{len} bytes",
+                        self.path
+                    )));
+                }
+            }
+        }
         self.dfs
             .clone()
             .finish_file(self.path.clone(), data, self.block_size);
-        len
+        Ok(len)
     }
 }
 
@@ -1190,6 +1283,104 @@ mod tests {
         let mut r2 = fs.open("/t/late", None).unwrap();
         assert_eq!(r2.read_at(0, 60).unwrap(), vec![2u8; 60]);
         assert_eq!(fs.cache_resident_bytes(), 60);
+    }
+
+    #[test]
+    fn rename_moves_atomically_and_rekeys_generation() {
+        let fs = small_fs();
+        fs.set_cache_capacity(1 << 20);
+        let mut w = fs.create("/tmp/txn/t/delta.tmp");
+        w.write(&[6u8; 120]);
+        w.close();
+        let data_gen_before = fs.generation_watermark();
+        fs.rename("/tmp/txn/t/delta.tmp", "/warehouse/t/delta_1")
+            .unwrap();
+        assert!(!fs.exists("/tmp/txn/t/delta.tmp"));
+        assert_eq!(fs.len("/warehouse/t/delta_1").unwrap(), 120);
+        // Scratch source does not bump the data watermark; the warehouse
+        // destination does (exactly once).
+        assert_eq!(fs.generation_watermark(), data_gen_before + 1);
+        // Blocks are re-placed for the destination path and still verify.
+        let mut r = fs.open("/warehouse/t/delta_1", None).unwrap();
+        assert_eq!(r.read_all().unwrap(), vec![6u8; 120]);
+        assert!(fs.rename("/no/such", "/anywhere").is_err());
+    }
+
+    #[test]
+    fn write_fault_fails_publish_then_retry_is_clean() {
+        let fs = small_fs();
+        faulted_fs(&fs, &[("dfs.fault.write.error.rate", "1.0")]);
+        let mut w = fs.create("/t/wf");
+        w.write(&[1u8; 40]);
+        assert!(matches!(w.try_close(), Err(HiveError::Transient(_))));
+        assert!(!fs.exists("/t/wf"), "failed publish must leave no file");
+        // First-touch: re-driving the same path succeeds.
+        let mut w = fs.create("/t/wf");
+        w.write(&[1u8; 40]);
+        assert_eq!(w.try_close().unwrap(), 40);
+        fs.set_fault_plan(None);
+    }
+
+    #[test]
+    fn torn_write_publishes_a_strict_prefix_and_errors() {
+        let fs = small_fs();
+        faulted_fs(&fs, &[("dfs.fault.write.torn.rate", "1.0")]);
+        let mut w = fs.create("/t/torn");
+        w.write(&[9u8; 80]);
+        assert!(matches!(w.try_close(), Err(HiveError::Transient(_))));
+        // The partial file is visible — that is the fault being modeled —
+        // and holds strictly fewer bytes than were written.
+        let len = fs.len("/t/torn").unwrap();
+        assert!(len < 80, "torn write kept {len} of 80 bytes");
+        fs.set_fault_plan(None);
+    }
+
+    #[test]
+    fn rename_ack_loss_moves_the_file_but_reports_failure() {
+        let fs = small_fs();
+        let mut w = fs.create("/t/src");
+        w.write(&[2u8; 30]);
+        w.close();
+        faulted_fs(&fs, &[("dfs.fault.rename.ack.lost.rate", "1.0")]);
+        assert!(matches!(
+            fs.rename("/t/src", "/t/dst"),
+            Err(HiveError::Transient(_))
+        ));
+        // The move actually happened: duplicate-retry handling probes this.
+        assert!(!fs.exists("/t/src"));
+        assert_eq!(fs.len("/t/dst").unwrap(), 30);
+        fs.set_fault_plan(None);
+    }
+
+    #[test]
+    fn statement_scopes_isolate_write_faults_between_writers() {
+        let fs = small_fs();
+        let mut conf = hive_common::HiveConf::new();
+        conf.set("dfs.fault.write.error.rate", "1.0");
+        let faulty = fs.for_statement(FaultPlan::from_conf(&conf).unwrap(), true);
+        let clean = fs.for_statement(None, true);
+
+        // Writers capture their statement's scope at create time, so two
+        // concurrent writers with different `dfs.fault.*` confs stay
+        // isolated: the faulty statement's publish dies, the clean one
+        // lands untouched.
+        let mut wf = faulty.create("/t/iso-faulty");
+        wf.write(&[1u8; 10]);
+        let mut wc = clean.create("/t/iso-clean");
+        wc.write(&[2u8; 10]);
+        assert!(matches!(wf.try_close(), Err(HiveError::Transient(_))));
+        assert_eq!(wc.try_close().unwrap(), 10);
+        assert!(!fs.exists("/t/iso-faulty"));
+        assert!(fs.exists("/t/iso-clean"));
+
+        // Rename is scoped the same way.
+        let mut conf = hive_common::HiveConf::new();
+        conf.set("dfs.fault.rename.error.rate", "1.0");
+        let faulty = fs.for_statement(FaultPlan::from_conf(&conf).unwrap(), true);
+        assert!(faulty.rename("/t/iso-clean", "/t/moved").is_err());
+        assert!(fs.exists("/t/iso-clean"), "faulted rename moved nothing");
+        clean.rename("/t/iso-clean", "/t/moved").unwrap();
+        assert!(fs.exists("/t/moved"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!   pointers, predicate pushdown, two-level compression, a writer memory
 //!   manager, and a vectorized reader.
 
+pub mod delta;
 pub mod factory;
 pub mod orc;
 pub mod rcfile;
@@ -19,6 +20,7 @@ pub mod sequence;
 pub mod serde;
 pub mod text;
 
+pub use delta::{AcidOverlay, DeleteSet, TableSnapshot};
 pub use factory::{create_writer, open_reader, FormatKind, ReadOptions, WriteOptions};
 pub use orc::sarg::{PredicateLeaf, PredicateOp, SearchArgument, TruthValue};
 

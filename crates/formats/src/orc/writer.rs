@@ -407,7 +407,7 @@ impl TableWriter for OrcWriter {
             &mut ps_buf,
         );
         self.writer.write(&ps_buf);
-        Ok(self.writer.close())
+        self.writer.try_close()
     }
 
     fn memory_estimate(&self) -> usize {

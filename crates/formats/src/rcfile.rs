@@ -141,7 +141,7 @@ impl TableWriter for RcFileWriter {
 
     fn close(mut self: Box<Self>) -> Result<u64> {
         self.flush_group()?;
-        Ok(self.writer.close())
+        self.writer.try_close()
     }
 
     fn memory_estimate(&self) -> usize {

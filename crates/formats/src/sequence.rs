@@ -41,7 +41,7 @@ impl TableWriter for SequenceWriter {
     }
 
     fn close(self: Box<Self>) -> Result<u64> {
-        Ok(self.writer.close())
+        self.writer.try_close()
     }
 }
 

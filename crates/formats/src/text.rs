@@ -32,7 +32,7 @@ impl TableWriter for TextWriter {
     }
 
     fn close(self: Box<Self>) -> Result<u64> {
-        Ok(self.writer.close())
+        self.writer.try_close()
     }
 }
 

@@ -889,6 +889,8 @@ impl MrEngine {
         let mut task_out: Vec<Row> = Vec::new();
         let mut shuffle_records = 0u64;
         let mut rows_processed = 0u64;
+        let mut delta_rows_read = 0u64;
+        let mut rows_masked = 0u64;
         {
             let graph = &mut pipeline.graph;
             let mut on_shuffle = |rec: ShuffleRecord| {
@@ -940,8 +942,25 @@ impl MrEngine {
                     }
                 }
                 None => {
+                    // ACID merge-on-read: ordinals count *physical* rows of
+                    // the file (masked ones included) so they line up with
+                    // the delete keys; masked rows never enter the graph.
+                    let overlay = split.input.overlay.as_ref();
+                    let in_delta = overlay.is_some_and(|o| o.is_delta(&split.path));
+                    let mut ordinal = 0u64;
                     while let Some(row) = reader.next_row()? {
+                        if let Some(o) = overlay {
+                            let ord = ordinal;
+                            ordinal += 1;
+                            if o.deletes.contains(&split.path, ord) {
+                                rows_masked += 1;
+                                continue;
+                            }
+                        }
                         rows_processed += 1;
+                        if in_delta {
+                            delta_rows_read += 1;
+                        }
                         graph.push(
                             root,
                             Message::Row { row, tag: 0 },
@@ -988,6 +1007,8 @@ impl MrEngine {
             footer_cache_misses: read_stats.footer_cache_misses,
             index_cache_hits: read_stats.index_cache_hits,
             index_cache_misses: read_stats.index_cache_misses,
+            delta_rows_read,
+            rows_masked,
             ..Default::default()
         };
         // Vector-stage operator profiles (e.g. the vectorized map-join)
@@ -1173,6 +1194,20 @@ impl MrEngine {
                 if blocks.is_empty() || self.dfs.len(&path)? == 0 {
                     continue;
                 }
+                if input.overlay.is_some() {
+                    // ACID merge-on-read: delete keys address rows by
+                    // ordinal within the whole file, so the file cannot be
+                    // carved into block-range splits — one task scans it
+                    // start to end in physical row order.
+                    splits.push(Split {
+                        input,
+                        path: path.clone(),
+                        start: 0,
+                        end: self.dfs.len(&path)?,
+                        replicas: blocks[0].replicas.clone(),
+                    });
+                    continue;
+                }
                 match input.format {
                     hive_formats::FormatKind::Sequence => {
                         // No sync markers in this SequenceFile: one split.
@@ -1312,6 +1347,7 @@ mod tests {
                 schema,
                 projection: None,
                 sarg: None,
+                overlay: None,
             }],
             side_inputs: vec![],
             map_factory,
@@ -1389,6 +1425,7 @@ mod tests {
                 schema: schema.clone(),
                 projection: None,
                 sarg: None,
+                overlay: None,
             }],
             side_inputs: vec![],
             map_factory,

@@ -2,7 +2,7 @@
 
 use hive_common::{DataType, Result, Row, Schema};
 use hive_exec::graph::OperatorGraph;
-use hive_formats::{FormatKind, SearchArgument};
+use hive_formats::{AcidOverlay, FormatKind, SearchArgument};
 use hive_vector::operators::VectorPipeline;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,6 +20,10 @@ pub struct JobInput {
     pub projection: Option<Vec<usize>>,
     /// Predicates pushed down to the reader (ORC PPD).
     pub sarg: Option<SearchArgument>,
+    /// ACID merge-on-read overlay. When present, each file in `paths` is
+    /// scanned whole (one split per file, no PPD) so row ordinals line up
+    /// with the delete mask, and masked rows never reach the map graph.
+    pub overlay: Option<AcidOverlay>,
 }
 
 /// A broadcast ("distributed cache") input: small tables of Map Joins.

@@ -113,6 +113,7 @@ fn group_sum_job(schema: Schema, dir: &str, poison_first_reduce_calls: usize) ->
             schema,
             projection: None,
             sarg: None,
+            overlay: None,
         }],
         side_inputs: vec![],
         map_factory,
@@ -214,6 +215,7 @@ fn panicking_map_task_returns_task_failed_error() {
             schema,
             projection: None,
             sarg: None,
+            overlay: None,
         }],
         side_inputs: vec![],
         map_factory,

@@ -94,6 +94,7 @@ fn group_sum_job(schema: Schema, dir: &str) -> JobSpec {
             schema,
             projection: None,
             sarg: None,
+            overlay: None,
         }],
         side_inputs: vec![],
         map_factory,
@@ -186,6 +187,7 @@ fn map_only_collect_has_no_shuffle_state() {
             schema,
             projection: None,
             sarg: None,
+            overlay: None,
         }],
         side_inputs: vec![],
         map_factory,

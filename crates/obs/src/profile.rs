@@ -90,6 +90,10 @@ counters! {
         data_cache_hit_bytes: u64,
         /// Block-cache LRU evictions forced by this scan's fills.
         data_cache_evictions: u64,
+        /// Rows read from ACID delta files during merge-on-read.
+        delta_rows_read: u64,
+        /// Rows suppressed by ACID delete files during merge-on-read.
+        rows_masked: u64,
     }
 }
 
@@ -201,6 +205,6 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(a.rows_read, 15);
-        assert_eq!(a.entries().len(), 17);
+        assert_eq!(a.entries().len(), 19);
     }
 }

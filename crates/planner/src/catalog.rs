@@ -1,7 +1,7 @@
 //! The planner's view of the metastore.
 
 use hive_common::Schema;
-use hive_formats::FormatKind;
+use hive_formats::{AcidOverlay, FormatKind};
 
 /// Everything the planner needs to know about a table.
 #[derive(Debug, Clone)]
@@ -9,10 +9,14 @@ pub struct TableMeta {
     pub name: String,
     pub schema: Schema,
     pub format: FormatKind,
-    /// Files of the table in the DFS.
+    /// Files of the table in the DFS. For ACID tables these are the
+    /// snapshot's base + delta files, in manifest order.
     pub paths: Vec<String>,
     /// Total on-disk bytes — drives the Map Join small-table decision.
     pub size_bytes: u64,
+    /// ACID merge-on-read state: present when the table has a manifest.
+    /// Scans of such tables overlay delete masks onto `paths`.
+    pub acid: Option<AcidOverlay>,
 }
 
 /// Resolution of table names, implemented by the metastore.

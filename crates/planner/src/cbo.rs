@@ -130,6 +130,7 @@ mod tests {
             format: hive_formats::FormatKind::Orc,
             paths: vec![],
             size_bytes: size,
+            acid: None,
         };
         StaticCatalog {
             tables: vec![

@@ -284,13 +284,22 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
                     else {
                         unreachable!()
                     };
+                    // ACID merge-on-read: delete masks address rows by
+                    // (file, ordinal), so every row of every file must be
+                    // decoded in physical order — predicate pushdown would
+                    // desynchronize the ordinals.
                     job_inputs.push(JobInput {
                         alias: mi.alias.clone(),
                         paths: table.paths.clone(),
                         format: table.format,
                         schema: table.schema.clone(),
                         projection: Some(projection.clone()),
-                        sarg: sarg.clone(),
+                        sarg: if table.acid.is_some() {
+                            None
+                        } else {
+                            sarg.clone()
+                        },
+                        overlay: table.acid.clone(),
                     });
                 }
                 (None, Some((prefix, schema_node))) => {
@@ -308,6 +317,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
                         schema,
                         projection: None,
                         sarg: None,
+                        overlay: None,
                     });
                 }
                 _ => return Err(HiveError::Plan("map input without a source".into())),
@@ -722,7 +732,13 @@ impl MapBuildSpec {
             // Vectorization applies to single-sink table-scan chains.
             let mut remaining: Vec<usize> = mi.nodes.clone();
             let mut entry_after_vector: Option<(usize, hive_mapreduce::job::VectorStage)> = None;
-            if self.vectorize && mi.scan.is_some() && mi.rs_tags.len() <= 1 {
+            // ACID scans stay row-mode: the engine masks deleted rows by
+            // ordinal before they reach the pipeline, and the vectorized
+            // reader path would bypass that mask.
+            let acid_scan = mi.scan.is_some_and(|s| {
+                matches!(&self.nodes[s].op, PlanOp::TableScan { table, .. } if table.acid.is_some())
+            });
+            if self.vectorize && mi.scan.is_some() && !acid_scan && mi.rs_tags.len() <= 1 {
                 let view = vectorize::MapInputView {
                     scan: mi.scan,
                     nodes: &mi.nodes,

@@ -422,6 +422,7 @@ mod tests {
             format: hive_formats::FormatKind::Orc,
             paths: vec![format!("/w/{name}")],
             size_bytes: size,
+            acid: None,
         };
         StaticCatalog {
             tables: vec![

@@ -383,6 +383,7 @@ mod tests {
             format: hive_formats::FormatKind::Orc,
             paths: vec!["/w/t".into()],
             size_bytes: 10,
+            acid: None,
         }
     }
 

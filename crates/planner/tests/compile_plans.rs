@@ -14,6 +14,7 @@ fn catalog() -> StaticCatalog {
         format: hive_formats::FormatKind::Orc,
         paths: vec![format!("/w/{name}/part-0")],
         size_bytes: size,
+        acid: None,
     };
     StaticCatalog {
         tables: vec![

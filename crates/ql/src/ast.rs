@@ -16,6 +16,51 @@ pub enum Statement {
     },
     /// `DESCRIBE <table>` — column names and types.
     Describe(String),
+    /// `INSERT INTO <table> VALUES (...), (...)` — append rows as an ACID
+    /// insert delta.
+    Insert(InsertStmt),
+    /// `UPDATE <table> SET col = expr, ... [WHERE pred]` — delete-plus-
+    /// reinsert through the delta store, committed atomically.
+    Update(UpdateStmt),
+    /// `DELETE FROM <table> [WHERE pred]` — mask rows via a delete file.
+    Delete(DeleteStmt),
+    /// `ALTER TABLE <table> COMPACT 'minor'|'major'` — run a compaction.
+    Compact {
+        table: String,
+        mode: CompactMode,
+    },
+}
+
+/// `INSERT INTO name VALUES (expr, ...), ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    /// Literal row tuples; each inner vec is one row in column order.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE name SET col = expr, ... [WHERE pred]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: String,
+    pub sets: Vec<(String, Expr)>,
+    pub predicate: Option<Expr>,
+}
+
+/// `DELETE FROM name [WHERE pred]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub predicate: Option<Expr>,
+}
+
+/// Which compaction `ALTER TABLE ... COMPACT` requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactMode {
+    /// Merge delta/delete files; base files untouched.
+    Minor,
+    /// Rewrite the table into fresh base files.
+    Major,
 }
 
 /// `CREATE TABLE name (col type, ...) STORED AS format`.

@@ -120,7 +120,99 @@ impl Parser {
             let name = self.ident("table name")?;
             return Ok(Statement::Describe(name));
         }
-        Err(self.error("expected SELECT, CREATE TABLE, DESCRIBE or EXPLAIN"))
+        if self.eat_kw("insert") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("update") {
+            return self.parse_update();
+        }
+        if self.eat_kw("delete") {
+            return self.parse_delete();
+        }
+        if self.eat_kw("alter") {
+            return self.parse_alter();
+        }
+        Err(self.error(
+            "expected SELECT, CREATE TABLE, DESCRIBE, EXPLAIN, INSERT, UPDATE, DELETE or ALTER",
+        ))
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        self.eat_kw("table"); // Hive allows `INSERT INTO TABLE t`
+        let table = self.ident("table name")?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(InsertStmt { table, rows }))
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        let table = self.ident("table name")?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            sets.push((col, self.parse_expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            sets,
+            predicate,
+        }))
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident("table name")?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(DeleteStmt { table, predicate }))
+    }
+
+    fn parse_alter(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("compact")?;
+        let mode = match self.advance() {
+            TokenKind::StringLit(s) => match s.to_ascii_lowercase().as_str() {
+                "minor" => CompactMode::Minor,
+                "major" => CompactMode::Major,
+                other => {
+                    return Err(HiveError::Parse(format!(
+                        "unknown compaction type `{other}` (expected 'minor' or 'major')"
+                    )));
+                }
+            },
+            _ => return Err(self.error("expected compaction type string")),
+        };
+        Ok(Statement::Compact { table, mode })
     }
 
     fn parse_create_table(&mut self) -> Result<Statement> {
@@ -778,6 +870,61 @@ mod tests {
         assert!(e.to_string().contains("expected expression"), "{e}");
         let e2 = parse("SELECT a FROM").unwrap_err();
         assert!(e2.to_string().contains("table name"), "{e2}");
+    }
+
+    #[test]
+    fn insert_update_delete_compact() {
+        let stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
+        assert_eq!(ins.table, "t");
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[0].len(), 2);
+
+        let stmt = parse("INSERT INTO TABLE t VALUES (-3)").unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!()
+        };
+        assert_eq!(ins.rows.len(), 1);
+
+        let stmt = parse("UPDATE t SET b = 'x', a = a + 1 WHERE a > 5").unwrap();
+        let Statement::Update(up) = stmt else {
+            panic!()
+        };
+        assert_eq!(up.table, "t");
+        assert_eq!(up.sets.len(), 2);
+        assert_eq!(up.sets[0].0, "b");
+        assert!(up.predicate.is_some());
+
+        let stmt = parse("DELETE FROM t WHERE a = 1").unwrap();
+        let Statement::Delete(del) = stmt else {
+            panic!()
+        };
+        assert!(del.predicate.is_some());
+        let Statement::Delete(del) = parse("DELETE FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(del.predicate.is_none());
+
+        let stmt = parse("ALTER TABLE t COMPACT 'major'").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Compact {
+                table: "t".into(),
+                mode: CompactMode::Major
+            }
+        );
+        let stmt = parse("ALTER TABLE t COMPACT 'minor'").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Compact {
+                mode: CompactMode::Minor,
+                ..
+            }
+        ));
+        assert!(parse("ALTER TABLE t COMPACT 'sideways'").is_err());
+        assert!(parse("INSERT INTO t").is_err());
     }
 
     #[test]
