@@ -58,6 +58,14 @@ diff target/metrics-1.json results/metrics-snapshot.json
 echo "==> vectorized map-join bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_joins --offline -- --check
 
+# Vectorized-execution gate: the scan-heavy filter + group-by aggregation
+# must plan batch-native, emit schema-valid BENCH_vector.json, and beat the
+# row-mode pipeline's measured CPU by at least 1.3x (--check exits
+# non-zero otherwise; the paper's target is 2x and typical runs are well
+# above it).
+echo "==> batch-native execution bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_vector --offline -- --check
+
 # Cache-bench gate: the same scan against one long-lived server must emit
 # schema-valid BENCH_cache.json and show the warm-cache run's measured CPU
 # below the cold run's (--check exits non-zero otherwise).

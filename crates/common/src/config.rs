@@ -281,6 +281,19 @@ knobs! {
     /// probe it a batch at a time (inner + binary left-outer; other shapes
     /// keep the row-mode fallback). Requires vectorized execution.
     VECTORIZED_MAPJOIN_ENABLED: bool = "hive.vectorized.execution.mapjoin.enabled", "true";
+    /// Per-operator vectorization gates. Turning one off breaks the batch
+    /// chain at that operator: upstream stays vectorized, a single
+    /// RowBridge crosses to row mode, and everything downstream (including
+    /// otherwise-eligible operators) runs row-mode.
+    VECTORIZED_FILTER_ENABLED: bool = "hive.vectorized.execution.filter.enabled", "true";
+    /// Vectorize Select projections (see filter gate for chain semantics).
+    VECTORIZED_SELECT_ENABLED: bool = "hive.vectorized.execution.select.enabled", "true";
+    /// Vectorize map-side hash aggregation into the fused batch
+    /// aggregate-and-shuffle sink. Requires the reducesink gate.
+    VECTORIZED_GROUPBY_ENABLED: bool = "hive.vectorized.execution.groupby.enabled", "true";
+    /// Vectorize the shuffle boundary: serialize key/value pairs straight
+    /// from batches without materializing intermediate rows.
+    VECTORIZED_REDUCESINK_ENABLED: bool = "hive.vectorized.execution.reducesink.enabled", "true";
     /// Cost-based join reordering (the paper's Section 9 outlook).
     CBO_ENABLE: bool = "hive.cbo.enable", "false";
     /// Answer COUNT/MIN/MAX/SUM-only queries from ORC file statistics

@@ -174,7 +174,25 @@ pub fn run_statement(
             // statement's output is the report, like EXPLAIN ANALYZE in
             // PostgreSQL.
             let res = execute_select(sql, &stmt, dfs, conf, metastore, registry, ctx)?;
-            let text = render_analyze(&plan, res.rows.len(), &res.report, ctx, acid);
+            // A stats-answered query never ran the compiled jobs: reporting
+            // the (vectorized) plan's operator profile would attribute work
+            // that did not happen. Say where the answer came from instead.
+            let stats_answered = res
+                .metrics
+                .trace
+                .spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Query && s.attr("stats_answered").is_some());
+            let text = if stats_answered {
+                format!(
+                    "{}\n\n== Runtime Profile ==\nanswered from table statistics \
+                     (no jobs run, no operator profile)\nresult_rows={}\n",
+                    plan.trim_end(),
+                    res.rows.len()
+                )
+            } else {
+                render_analyze(&plan, res.rows.len(), &res.report, ctx, acid)
+            };
             Ok(QueryResult {
                 report: res.report,
                 explain: Some(text),

@@ -334,6 +334,63 @@ proptest! {
     }
 }
 
+// Same salvage contract for a whole vectorized map chain: a
+// filter + expression + partial-aggregate pipeline over corrupt ORC files
+// must skip the same rows and produce the same degraded answer whether it
+// runs batch-native or in row-mode fallback (`hive.vectorized.enabled`
+// off). Reader-level salvage counts are compared too, so the EXPLAIN
+// ANALYZE scan profile agrees between the modes as well.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn vectorized_full_query_matches_row_mode_on_salvaged_data(
+        seed in 0u64..=1_000_000,
+        corrupt in (5u32..=30).prop_map(|x| x as f64 / 100.0),
+    ) {
+        let sql = "SELECT k, COUNT(*) AS n, SUM(v) AS sv, MIN(v) AS mn, \
+                   MAX(v) AS mx FROM t WHERE v + k < 500 GROUP BY k";
+        let run = |vectorize: bool| {
+            let mut hive = chaos_session();
+            hive.set(keys::DFS_FAULT_SEED, seed.to_string())
+                .set(keys::DFS_FAULT_CORRUPT_RATE, corrupt.to_string())
+                .set(keys::ORC_SKIP_CORRUPT, "true")
+                .set(keys::MAP_MAX_ATTEMPTS, "12")
+                .set(keys::REDUCE_MAX_ATTEMPTS, "12")
+                .set(
+                    keys::VECTORIZED_ENABLED,
+                    if vectorize { "true" } else { "false" },
+                )
+                .set(keys::EXEC_SIM_DETERMINISTIC_CPU, "true");
+            hive.execute(sql)
+        };
+        match (run(true), run(false)) {
+            (Ok(v), Ok(r)) => {
+                prop_assert_eq!(
+                    v.report.rows_skipped, r.report.rows_skipped,
+                    "engines salvaged different row counts: seed={} corrupt={}", seed, corrupt
+                );
+                let scan_rows = |res: &hive_core::QueryResult| -> u64 {
+                    res.report.jobs.iter().map(|j| j.scan.rows_read).sum()
+                };
+                prop_assert_eq!(
+                    scan_rows(&v), scan_rows(&r),
+                    "engines scanned different row counts: seed={} corrupt={}", seed, corrupt
+                );
+                prop_assert_eq!(
+                    sorted(v.rows), sorted(r.rows),
+                    "engines disagreed on salvaged aggregate: seed={} corrupt={}", seed, corrupt
+                );
+            }
+            (v, r) => return Err(TestCaseError(format!(
+                "seed={seed} corrupt={corrupt}: expected both engines to recover, got \
+                 vec={:?} row={:?}",
+                v.map(|x| x.rows.len()), r.map(|x| x.rows.len())
+            ))),
+        }
+    }
+}
+
 /// Statement isolation under admission-control concurrency: the fault plan
 /// and cache participation of one statement ride on its scoped DFS view,
 /// never on shared server state. A thread hammering the server with

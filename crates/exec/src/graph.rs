@@ -9,18 +9,46 @@
 
 use hive_common::{HiveError, Result, Row, Value};
 use hive_obs::OpProfile;
+use hive_vector::VectorizedRowBatch;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A message flowing between operators (or from the task driver).
+///
+/// Data arrives either row-at-a-time or as a shared 1024-row column batch —
+/// the batch-native redesign makes `Batch` the common case on the map side,
+/// with `Row` the explicit fallback. Batches are `Arc`-shared so broadcast
+/// fan-out is zero-copy; an operator that mutates its input batch does so
+/// copy-on-write (`Arc::make_mut`), cloning only when the batch is actually
+/// shared.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// A row with its input tag ("used to identify the source of a row").
     Row { row: Row, tag: usize },
+    /// A shared vectorized row batch with its input tag.
+    Batch {
+        batch: Arc<VectorizedRowBatch>,
+        tag: usize,
+    },
     /// A new key group is starting (reduce side only).
     StartGroup,
     /// The current key group has ended; buffering operators emit results.
     EndGroup,
+}
+
+impl Message {
+    /// Logical rows carried by this message: the *selected* count for a
+    /// batch (`size` already reflects `selected[]`), 1 for a row. Profile
+    /// accounting is pinned to logical rows so row- and batch-mode plans
+    /// report identical `rows_in`/`rows_out`.
+    pub fn logical_rows(&self) -> u64 {
+        match self {
+            Message::Row { .. } => 1,
+            Message::Batch { batch, .. } => batch.size as u64,
+            Message::StartGroup | Message::EndGroup => 0,
+        }
+    }
 }
 
 /// A record destined for the shuffle, produced by ReduceSinkOperators.
@@ -57,6 +85,12 @@ pub trait Operator: Send {
     /// the children close.
     fn close(&mut self) -> Result<Vec<Emit>> {
         Ok(Vec::new())
+    }
+
+    /// Operator-specific profile counters surfaced as `OpProfile.detail`
+    /// in `EXPLAIN ANALYZE` (e.g. batch counts for vectorized operators).
+    fn profile_detail(&self) -> Vec<(String, u64)> {
+        Vec::new()
     }
 }
 
@@ -165,9 +199,7 @@ impl OperatorGraph {
         output: &mut dyn FnMut(Row),
     ) -> Result<()> {
         while let Some((op_id, msg)) = queue.pop_front() {
-            if matches!(msg, Message::Row { .. }) {
-                self.rows_in[op_id] += 1;
-            }
+            self.rows_in[op_id] += msg.logical_rows();
             let start = Instant::now();
             let emits = self.ops[op_id].receive(msg)?;
             self.cpu_ns[op_id] += start.elapsed().as_nanos() as u64;
@@ -193,15 +225,13 @@ impl OperatorGraph {
                                 "operator #{op_id} has no child slot {child_slot}"
                             ))
                         })?;
-                    if matches!(msg, Message::Row { .. }) {
-                        self.rows_out[op_id] += 1;
-                    }
+                    self.rows_out[op_id] += msg.logical_rows();
                     queue.push_back((child, apply_tag(msg, tag_override)));
                 }
                 Emit::Broadcast(msg) => {
-                    if matches!(msg, Message::Row { .. }) {
-                        self.rows_out[op_id] += self.edges[op_id].len() as u64;
-                    }
+                    self.rows_out[op_id] += msg.logical_rows() * self.edges[op_id].len() as u64;
+                    // Cloning a `Batch` message clones the `Arc`, not the
+                    // columns: fan-out stays zero-copy.
                     for &(child, tag_override) in &self.edges[op_id] {
                         queue.push_back((child, apply_tag(msg.clone(), tag_override)));
                     }
@@ -276,9 +306,19 @@ impl OperatorGraph {
                 rows_in: self.rows_in[i],
                 rows_out: self.rows_out[i],
                 cpu_ns: self.cpu_ns[i],
-                detail: Vec::new(),
+                detail: op.profile_detail(),
             })
             .collect()
+    }
+
+    /// Logical rows received by one operator so far.
+    pub fn rows_in_of(&self, op_id: usize) -> u64 {
+        self.rows_in[op_id]
+    }
+
+    /// Logical rows sent downstream by one operator so far.
+    pub fn rows_out_of(&self, op_id: usize) -> u64 {
+        self.rows_out[op_id]
     }
 
     /// Number of parents of each operator (MuxOperator setup needs this).
@@ -302,6 +342,7 @@ impl Default for OperatorGraph {
 fn apply_tag(msg: Message, tag_override: Option<usize>) -> Message {
     match (msg, tag_override) {
         (Message::Row { row, .. }, Some(t)) => Message::Row { row, tag: t },
+        (Message::Batch { batch, .. }, Some(t)) => Message::Batch { batch, tag: t },
         (m, _) => m,
     }
 }
@@ -435,6 +476,66 @@ mod tests {
         assert_eq!(profiles[1].rows_in, 3);
         assert_eq!(profiles[1].rows_out, 3); // Sink emits Output rows
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn batch_broadcast_is_zero_copy_and_counts_logical_rows() {
+        use hive_common::DataType;
+
+        /// Remembers the Arc of every batch it sees, then forwards nothing.
+        struct BatchSink(Vec<Arc<VectorizedRowBatch>>);
+        impl Operator for BatchSink {
+            fn name(&self) -> String {
+                "BatchSink".into()
+            }
+            fn receive(&mut self, msg: Message) -> Result<Vec<Emit>> {
+                if let Message::Batch { batch, .. } = msg {
+                    self.0.push(batch);
+                }
+                Ok(vec![])
+            }
+        }
+        /// Broadcasts whatever it receives.
+        struct Fan;
+        impl Operator for Fan {
+            fn name(&self) -> String {
+                "Fan".into()
+            }
+            fn receive(&mut self, msg: Message) -> Result<Vec<Emit>> {
+                Ok(vec![Emit::Broadcast(msg)])
+            }
+        }
+
+        let mut g = OperatorGraph::new();
+        let f = g.add(Box::new(Fan));
+        let a = g.add(Box::new(BatchSink(Vec::new())));
+        let b = g.add(Box::new(BatchSink(Vec::new())));
+        g.connect(f, a, None);
+        g.connect(f, b, Some(3));
+
+        let mut batch = VectorizedRowBatch::new(&[DataType::Int], 8).unwrap();
+        // 5 valid rows, 3 selected → 3 logical rows.
+        batch.size = 3;
+        batch.selected_in_use = true;
+        batch.selected[..3].copy_from_slice(&[0, 2, 4]);
+        let shared = Arc::new(batch);
+        g.push(
+            f,
+            Message::Batch {
+                batch: Arc::clone(&shared),
+                tag: 0,
+            },
+            &mut |_| {},
+            &mut |_| {},
+        )
+        .unwrap();
+
+        assert_eq!(g.rows_in_of(f), 3);
+        assert_eq!(g.rows_out_of(f), 6, "3 logical rows × 2 children");
+        assert_eq!(g.rows_in_of(a), 3);
+        assert_eq!(g.rows_in_of(b), 3);
+        // Zero-copy: this handle plus both sinks share one allocation.
+        assert_eq!(Arc::strong_count(&shared), 3);
     }
 
     #[test]

@@ -13,8 +13,12 @@ pub mod agg;
 pub mod expr;
 pub mod graph;
 pub mod operators;
+pub mod vector_ops;
 
 pub use agg::{AggFunction, AggMode, RowAggState};
 pub use expr::ExprNode;
 pub use graph::{Emit, Message, OperatorGraph, ShuffleRecord};
 pub use operators::*;
+pub use vector_ops::{
+    RowBridgeOperator, VectorGroupBySinkOperator, VectorOpAdapter, VectorReduceSinkOperator,
+};

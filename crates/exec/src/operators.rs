@@ -282,6 +282,9 @@ impl Operator for GroupByOperator {
                 }
                 Ok(vec![])
             }
+            Message::Batch { .. } => Err(HiveError::Execution(
+                "GroupByOperator is row-mode; a batch reaching it is a planner wiring bug".into(),
+            )),
             Message::StartGroup => {
                 if matches!(self.mode, GroupByMode::Streaming) {
                     self.current = None;
@@ -470,6 +473,9 @@ impl Operator for CommonJoinOperator {
                 self.buffers[tag].push(row);
                 Ok(vec![])
             }
+            Message::Batch { .. } => Err(HiveError::Execution(
+                "JoinOperator is row-mode; a batch reaching it is a planner wiring bug".into(),
+            )),
             Message::StartGroup => Ok(vec![Emit::Broadcast(Message::StartGroup)]),
             Message::EndGroup => {
                 let mut emits = self.emit_group()?;
@@ -670,6 +676,9 @@ impl Operator for MuxOperator {
                     tag: self.assign_tag.unwrap_or(tag),
                 },
             }]),
+            Message::Batch { .. } => Err(HiveError::Execution(
+                "MuxOperator is row-mode; a batch reaching it is a planner wiring bug".into(),
+            )),
             Message::StartGroup => {
                 self.starts_seen += 1;
                 if self.starts_seen == self.num_parents {

@@ -8,7 +8,7 @@ use hive_exec::graph::{Message, ShuffleRecord};
 use hive_formats::{open_reader, ReadOptions, TableWriter};
 use hive_obs::profile::merge_profiles;
 use hive_obs::{ExecCounters, OpProfile, ScanProfile, TaskPhase, TaskTrace};
-use hive_vector::{VectorPipelineProfile, VectorizedRowBatch};
+use hive_vector::VectorizedRowBatch;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -863,12 +863,6 @@ impl MrEngine {
         let t0 = Instant::now();
 
         let mut pipeline = (spec.map_factory)(side)?;
-        let root = *pipeline.roots.get(&split.input.alias).ok_or_else(|| {
-            HiveError::Execution(format!(
-                "map pipeline lacks a root for alias `{}`",
-                split.input.alias
-            ))
-        })?;
         let reader_opts = ReadOptions {
             format: split.input.format,
             projection: split.input.projection.clone(),
@@ -889,6 +883,7 @@ impl MrEngine {
         let mut task_out: Vec<Row> = Vec::new();
         let mut shuffle_records = 0u64;
         let mut rows_processed = 0u64;
+        let mut batches_read = 0u64;
         let mut delta_rows_read = 0u64;
         let mut rows_masked = 0u64;
         {
@@ -906,42 +901,42 @@ impl MrEngine {
             };
             let mut on_output = |row: Row| task_out.push(row);
 
-            match pipeline.vector.get_mut(&split.input.alias) {
+            match pipeline.vector.get(&split.input.alias) {
                 Some(stage) => {
-                    // Vectorized scan path (paper Section 6.5).
-                    let mut batch = VectorizedRowBatch::new(&stage.batch_types, stage.batch_size)?;
-                    let mut staged: Vec<Row> = Vec::new();
+                    // Batch-native scan path (paper Section 6.5): reader
+                    // batches go straight into the operator graph as shared
+                    // `Batch` messages — no row materialization. A fresh
+                    // batch per iteration keeps the Arc unshared, so the
+                    // first operator's copy-on-write is a no-op.
                     loop {
+                        let mut batch =
+                            VectorizedRowBatch::new(&stage.batch_types, stage.batch_size)?;
                         let more = reader.next_batch(&mut batch)?;
                         if batch.size > 0 {
                             rows_processed += batch.size as u64;
-                            let mut sink = |r: Row| staged.push(r);
-                            stage.pipeline.process(&mut batch, &mut sink)?;
-                            for row in staged.drain(..) {
-                                graph.push(
-                                    root,
-                                    Message::Row { row, tag: 0 },
-                                    &mut on_shuffle,
-                                    &mut on_output,
-                                )?;
-                            }
+                            batches_read += 1;
+                            graph.push(
+                                stage.root,
+                                Message::Batch {
+                                    batch: Arc::new(batch),
+                                    tag: 0,
+                                },
+                                &mut on_shuffle,
+                                &mut on_output,
+                            )?;
                         }
                         if !more {
                             break;
                         }
                     }
-                    let mut sink = |r: Row| staged.push(r);
-                    stage.pipeline.close(&mut sink)?;
-                    for row in staged {
-                        graph.push(
-                            root,
-                            Message::Row { row, tag: 0 },
-                            &mut on_shuffle,
-                            &mut on_output,
-                        )?;
-                    }
                 }
                 None => {
+                    let root = *pipeline.roots.get(&split.input.alias).ok_or_else(|| {
+                        HiveError::Execution(format!(
+                            "map pipeline lacks a root for alias `{}`",
+                            split.input.alias
+                        ))
+                    })?;
                     // ACID merge-on-read: ordinals count *physical* rows of
                     // the file (masked ones included) so they line up with
                     // the delete keys; masked rows never enter the graph.
@@ -988,16 +983,23 @@ impl MrEngine {
 
         let rows_skipped = reader.rows_skipped();
         let read_stats = reader.read_stats();
-        let vector_profile = pipeline
+        // Selected-lane flow through this alias's vectorized chain: logical
+        // rows into its first node vs. out of its last vectorized node.
+        let (vector_rows_in, vector_rows_out) = pipeline
             .vector
             .get(&split.input.alias)
-            .map(|stage| stage.pipeline.profile())
-            .unwrap_or_else(VectorPipelineProfile::default);
+            .map(|stage| {
+                (
+                    pipeline.graph.rows_in_of(stage.root),
+                    pipeline.graph.rows_out_of(stage.terminal),
+                )
+            })
+            .unwrap_or((0, 0));
         let mut scan = ScanProfile {
             rows_read: rows_processed,
-            batches: vector_profile.batches,
-            vector_rows_in: vector_profile.rows_in,
-            vector_rows_out: vector_profile.rows_out,
+            batches: batches_read,
+            vector_rows_in,
+            vector_rows_out,
             stripes_total: read_stats.stripes_total,
             stripes_read: read_stats.stripes_read,
             groups_total: read_stats.groups_total,
@@ -1011,24 +1013,10 @@ impl MrEngine {
             rows_masked,
             ..Default::default()
         };
-        // Vector-stage operator profiles (e.g. the vectorized map-join)
-        // lead the list, sorted by alias so merging across tasks aligns.
-        let mut op_profiles = Vec::new();
-        let mut vector_aliases: Vec<&String> = pipeline.vector.keys().collect();
-        vector_aliases.sort();
-        for alias in vector_aliases {
-            for p in pipeline.vector[alias].pipeline.op_profiles() {
-                op_profiles.push(OpProfile {
-                    name: p.name,
-                    rows_in: p.rows_in,
-                    rows_out: p.rows_out,
-                    cpu_ns: 0,
-                    detail: p.detail,
-                });
-            }
-        }
-        op_profiles.extend(pipeline.graph.profiles());
-        let op_profiles = self.finalize_profiles(op_profiles);
+        // Vectorized operators are ordinary graph nodes now, so one profile
+        // pass covers the whole task (indexes align across tasks because
+        // every task builds the same graph from the same factory).
+        let op_profiles = self.finalize_profiles(pipeline.graph.profiles());
         let cpu_seconds = self.task_cpu(t0.elapsed().as_secs_f64(), rows_processed);
         drop(io_guard);
         let io = scope.snapshot();

@@ -3,7 +3,6 @@
 use hive_common::{DataType, Result, Row, Schema};
 use hive_exec::graph::OperatorGraph;
 use hive_formats::{AcidOverlay, FormatKind, SearchArgument};
-use hive_vector::operators::VectorPipeline;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -37,23 +36,29 @@ pub struct SideInput {
     pub projection: Option<Vec<usize>>,
 }
 
-/// A vectorized prefix of the map pipeline for one input alias
-/// (paper Section 6): batches flow through `pipeline`; rows it emits are
-/// pushed into the row graph at the alias's root operator.
+/// The batch-mode entry of the map pipeline for one input alias (paper
+/// Section 6): the engine wraps reader batches in `Message::Batch` and
+/// pushes them straight into the graph at `root`. The vectorized operators
+/// themselves are ordinary graph nodes (adapters, sinks, or a `RowBridge`
+/// fallback into the row-mode suffix).
 pub struct VectorStage {
-    pub pipeline: VectorPipeline,
     /// Column types of the scan batch.
     pub batch_types: Vec<DataType>,
     pub batch_size: usize,
+    /// Graph node batches are pushed into.
+    pub root: usize,
+    /// Last vectorized node of the alias's chain (scan profile reads its
+    /// logical row counters).
+    pub terminal: usize,
 }
 
-/// The per-task map pipeline: a row-mode operator graph with one entry
-/// root per input alias, plus optional vectorized prefixes.
+/// The per-task map pipeline: one operator graph with one entry root per
+/// input alias; aliases in `vector` are fed batches, the rest rows.
 pub struct MapPipeline {
     pub graph: OperatorGraph,
-    /// alias → root operator id rows are pushed into.
+    /// alias → root operator id rows are pushed into (row-mode aliases).
     pub roots: HashMap<String, usize>,
-    /// alias → vectorized prefix; aliases absent here are row-mode scans.
+    /// alias → batch entry; aliases absent here are row-mode scans.
     pub vector: HashMap<String, VectorStage>,
 }
 

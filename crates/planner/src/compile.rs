@@ -270,6 +270,10 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
         // ----- JobSpec inputs and factories. ------------------------------
         let vectorize_on = conf.get_bool(keys::VECTORIZED_ENABLED)?;
         let vectorize_mapjoin = conf.get_bool(keys::VECTORIZED_MAPJOIN_ENABLED)?;
+        let vectorize_filter = conf.get_bool(keys::VECTORIZED_FILTER_ENABLED)?;
+        let vectorize_select = conf.get_bool(keys::VECTORIZED_SELECT_ENABLED)?;
+        let vectorize_groupby = conf.get_bool(keys::VECTORIZED_GROUPBY_ENABLED)?;
+        let vectorize_reducesink = conf.get_bool(keys::VECTORIZED_REDUCESINK_ENABLED)?;
         let batch_size = conf.get_usize(keys::VECTORIZED_BATCH_SIZE)?;
         let mut job_inputs = Vec::new();
         for mi in &map_inputs {
@@ -330,6 +334,10 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
             num_reducers,
             vectorize: vectorize_on,
             vectorize_mapjoin,
+            vectorize_filter,
+            vectorize_select,
+            vectorize_groupby,
+            vectorize_reducesink,
             batch_size,
         });
         let map_factory: MapPipelineFactory = {
@@ -720,6 +728,10 @@ struct MapBuildSpec {
     num_reducers: usize,
     vectorize: bool,
     vectorize_mapjoin: bool,
+    vectorize_filter: bool,
+    vectorize_select: bool,
+    vectorize_groupby: bool,
+    vectorize_reducesink: bool,
     batch_size: usize,
 }
 
@@ -731,7 +743,7 @@ impl MapBuildSpec {
         for mi in &self.inputs {
             // Vectorization applies to single-sink table-scan chains.
             let mut remaining: Vec<usize> = mi.nodes.clone();
-            let mut entry_after_vector: Option<(usize, hive_mapreduce::job::VectorStage)> = None;
+            let mut chain: Option<vectorize::VectorizedChain> = None;
             // ACID scans stay row-mode: the engine masks deleted rows by
             // ordinal before they reach the pipeline, and the vectorized
             // reader path would bypass that mask.
@@ -742,29 +754,41 @@ impl MapBuildSpec {
                 let view = vectorize::MapInputView {
                     scan: mi.scan,
                     nodes: &mi.nodes,
+                    rs_tags: &mi.rs_tags,
                 };
                 let opts = vectorize::VectorizeOpts {
                     batch_size: self.batch_size,
+                    num_reducers: self.num_reducers.max(1),
                     mapjoin: self.vectorize_mapjoin,
+                    filter: self.vectorize_filter,
+                    select: self.vectorize_select,
+                    groupby: self.vectorize_groupby,
+                    reducesink: self.vectorize_reducesink,
                 };
-                if let Some((stage, consumed)) =
-                    vectorize::try_vectorize(&self.nodes, &view, side, &opts)?
-                {
-                    remaining.retain(|n| !consumed.contains(n));
-                    // Entry = the first non-consumed node downstream.
-                    let entry = remaining
-                        .iter()
-                        .copied()
-                        .find(|&n| {
-                            self.nodes[n]
-                                .parents
-                                .iter()
-                                .any(|p| consumed.contains(p) || *p == mi.source)
-                        })
-                        .or_else(|| remaining.first().copied());
-                    if let Some(entry) = entry {
-                        entry_after_vector = Some((entry, stage));
-                    }
+                if let Some(c) = vectorize::try_vectorize(&self.nodes, &view, side, &opts)? {
+                    remaining.retain(|n| !c.consumed.contains(n));
+                    chain = Some(c);
+                }
+            }
+
+            // Add the batch-native chain first (display order: batches flow
+            // scan → ... → sink/bridge), linearly connected.
+            let mut stage: Option<hive_mapreduce::job::VectorStage> = None;
+            let mut bridge: Option<(usize, std::collections::HashSet<usize>)> = None;
+            if let Some(c) = chain {
+                let ids: Vec<usize> = c.operators.into_iter().map(|op| graph.add(op)).collect();
+                for w in ids.windows(2) {
+                    graph.connect(w[0], w[1], None);
+                }
+                let (&root, &terminal) = (ids.first().unwrap(), ids.last().unwrap());
+                stage = Some(hive_mapreduce::job::VectorStage {
+                    batch_types: c.batch_types,
+                    batch_size: self.batch_size,
+                    root,
+                    terminal,
+                });
+                if c.bridged {
+                    bridge = Some((terminal, c.consumed));
                 }
             }
 
@@ -788,33 +812,51 @@ impl MapBuildSpec {
                     }
                 }
             }
-            // Root: scan's first exec child, or the entry after the vector
-            // stage, or (for intermediate inputs) the RS itself.
-            let root = match &entry_after_vector {
-                Some((entry, _)) => *exec_of
-                    .get(entry)
-                    .ok_or_else(|| HiveError::Plan("vectorized entry not materialized".into()))?,
-                None => {
-                    let first = match mi.scan {
-                        Some(scan) => {
-                            // First node whose parent is the scan.
-                            order
-                                .iter()
-                                .copied()
-                                .find(|&n| self.nodes[n].parents.contains(&scan))
-                        }
-                        None => Some(mi.source),
-                    };
-                    let first =
-                        first.ok_or_else(|| HiveError::Plan("map chain has no entry".into()))?;
-                    *exec_of
-                        .get(&first)
-                        .ok_or_else(|| HiveError::Plan("entry not materialized".into()))?
+
+            if let Some((bridge_id, consumed)) = bridge {
+                // The RowBridge's rows enter the row-mode graph at the
+                // first non-consumed node downstream of the chain.
+                let entry = remaining
+                    .iter()
+                    .copied()
+                    .find(|&n| {
+                        self.nodes[n]
+                            .parents
+                            .iter()
+                            .any(|p| consumed.contains(p) || *p == mi.source)
+                    })
+                    .or_else(|| remaining.first().copied())
+                    .ok_or_else(|| HiveError::Plan("bridged chain has no row entry".into()))?;
+                let entry = *exec_of
+                    .get(&entry)
+                    .ok_or_else(|| HiveError::Plan("row entry not materialized".into()))?;
+                graph.connect(bridge_id, entry, None);
+            }
+
+            if let Some(stage) = stage {
+                vector.insert(mi.alias.clone(), stage);
+                continue; // batches enter at stage.root; no row root
+            }
+
+            // Row-mode alias: scan's first exec child, or (for
+            // intermediate inputs) the RS itself.
+            let first = match mi.scan {
+                Some(scan) => {
+                    // First node whose parent is the scan.
+                    order
+                        .iter()
+                        .copied()
+                        .find(|&n| self.nodes[n].parents.contains(&scan))
                 }
+                None => Some(mi.source),
             };
+            let first = first.ok_or_else(|| HiveError::Plan("map chain has no entry".into()))?;
+            let root = *exec_of
+                .get(&first)
+                .ok_or_else(|| HiveError::Plan("entry not materialized".into()))?;
             // Shared scans need a fan-out point: if the scan has several
             // exec children, interpose a PassThrough.
-            let root = if let (Some(scan), None) = (mi.scan, &entry_after_vector) {
+            let root = if let Some(scan) = mi.scan {
                 let heads: Vec<usize> = order
                     .iter()
                     .copied()
@@ -834,9 +876,6 @@ impl MapBuildSpec {
                 root
             };
             roots.insert(mi.alias.clone(), root);
-            if let Some((_, stage)) = entry_after_vector {
-                vector.insert(mi.alias.clone(), stage);
-            }
         }
         Ok(MapPipeline {
             graph,

@@ -7,26 +7,30 @@
 //! expressions."
 //!
 //! Here the pass runs per map-side scan chain: a prefix of
-//! Filter / Select / GroupBy(MapHash) operators over primitive columns is
-//! replaced by a [`VectorPipeline`] fed by the format's vectorized reader;
-//! rows re-enter the row-mode graph at the first non-vectorizable operator
-//! (usually the ReduceSink).
+//! Filter / Select / MapJoin / GroupBy(MapHash) / ReduceSink operators over
+//! primitive columns is replaced by batch-native exec-graph nodes fed by the
+//! format's vectorized reader. A fully vectorized chain ends in a batch
+//! shuffle sink (`VectorReduceSink`, or the fused `VectorGroupBySink`); a
+//! partially vectorized chain ends in exactly one `RowBridge`, where rows
+//! re-enter the row-mode graph at the first non-vectorizable operator.
+//! Per-operator gates (`hive.vectorized.execution.<op>.enabled`) break the
+//! chain at the gated operator, falling back the same way.
 
 use crate::plan::{GroupByPhase, PlanNode, PlanOp};
 use hive_common::{DataType, HiveError, Result, Row, Value};
 use hive_exec::agg::AggFunction;
-use hive_exec::expr::{BinaryOp, ExprNode};
+use hive_exec::expr::{BinaryOp, ExprNode, UnaryOp};
+use hive_exec::graph::Operator;
 use hive_exec::operators::JoinType;
-use hive_mapreduce::job::VectorStage;
-use hive_vector::aggregates::{AggKind, AggSpec};
+use hive_exec::vector_ops::{
+    RowBridgeOperator, VectorGroupBySinkOperator, VectorOpAdapter, VectorReduceSinkOperator,
+};
+use hive_vector::aggregates::{AggKind, AggSpec, VectorHashAggregator};
 use hive_vector::expressions as vx;
 use hive_vector::expressions::VectorExpression;
 use hive_vector::mapjoin::{KeyPart, MapJoinHashTable, MapJoinKind, VectorMapJoinOperator};
-use hive_vector::operators::{
-    VectorFilterOperator, VectorGroupByOperator, VectorOperator, VectorPipeline,
-    VectorRowEmitOperator, VectorSelectOperator,
-};
-use std::collections::{HashMap, HashSet};
+use hive_vector::operators::{VectorFilterOperator, VectorSelectOperator};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The compiler's view of one map input handed to the vectorizer.
 pub struct MapInputView<'a> {
@@ -34,31 +38,82 @@ pub struct MapInputView<'a> {
     pub scan: Option<usize>,
     /// Plan node ids belonging to this input's chain.
     pub nodes: &'a [usize],
+    /// ReduceSink plan node → shuffle tag.
+    pub rs_tags: &'a BTreeMap<usize, usize>,
 }
 
 /// Vectorizer configuration derived from the session knobs.
 pub struct VectorizeOpts {
     pub batch_size: usize,
-    /// `hive.vectorized.execution.mapjoin.enabled`.
+    pub num_reducers: usize,
+    /// The `hive.vectorized.execution.<op>.enabled` per-operator gates.
     pub mapjoin: bool,
+    pub filter: bool,
+    pub select: bool,
+    pub groupby: bool,
+    pub reducesink: bool,
 }
 
-/// What one (possibly nested) chain compilation produced.
-struct ChainOut {
-    operators: Vec<Box<dyn VectorOperator>>,
-    consumed: HashSet<usize>,
-    /// Physical batch column types for this chain's batch.
-    types: Vec<DataType>,
+/// A compiled batch-native chain: exec-graph operators to run in order,
+/// starting from the scan batch.
+pub struct VectorizedChain {
+    /// Graph nodes in chain order (adapters, sinks, possibly a bridge).
+    pub operators: Vec<Box<dyn Operator>>,
+    /// Plan nodes the chain replaces.
+    pub consumed: HashSet<usize>,
+    /// Column types of the scan batch the engine allocates.
+    pub batch_types: Vec<DataType>,
+    /// When true the chain's last operator is the `RowBridge`, whose rows
+    /// must be routed into the row-mode graph at the fallback entry.
+    pub bridged: bool,
 }
 
-/// Attempt to vectorize the prefix of a map chain. Returns the stage and
-/// the set of plan nodes it replaces, or `None` when validation fails.
+/// A map-join whose output batch types aren't final yet: downstream
+/// operators may still allocate scratch columns in the join's output
+/// segment, so the operator is constructed only when the segment ends
+/// (at the next join, or at the end of the chain).
+struct PendingJoin {
+    /// Position reserved in the operator list.
+    slot: usize,
+    kind: MapJoinKind,
+    key_expressions: Vec<Box<dyn VectorExpression>>,
+    key_columns: Vec<(usize, DataType)>,
+    stream_columns: Vec<(usize, DataType)>,
+    table: MapJoinHashTable,
+    build_width: usize,
+}
+
+fn seal_pending_join(
+    pending: &mut Option<PendingJoin>,
+    operators: &mut [Option<Box<dyn Operator>>],
+    out_types: &[DataType],
+    batch_size: usize,
+) -> Result<()> {
+    if let Some(pj) = pending.take() {
+        let op = VectorMapJoinOperator::new(
+            pj.kind,
+            pj.key_expressions,
+            pj.key_columns,
+            pj.stream_columns,
+            pj.table,
+            pj.build_width,
+            out_types,
+            batch_size,
+        )?;
+        operators[pj.slot] = Some(Box::new(VectorOpAdapter::new(Box::new(op))));
+    }
+    Ok(())
+}
+
+/// Attempt to vectorize the prefix of a map chain. Returns the compiled
+/// chain, or `None` when validation fails and the whole input stays
+/// row-mode.
 pub fn try_vectorize(
     nodes: &[PlanNode],
     input: &MapInputView<'_>,
     side: &HashMap<String, Vec<Row>>,
     opts: &VectorizeOpts,
-) -> Result<Option<(VectorStage, HashSet<usize>)>> {
+) -> Result<Option<VectorizedChain>> {
     let Some(scan_id) = input.scan else {
         return Ok(None);
     };
@@ -83,37 +138,34 @@ pub fn try_vectorize(
         types: scan_types,
         pending: Vec::new(),
     };
-    let out = compile_chain(nodes, input.nodes, side, opts, c, scan_id)?;
+    let out = compile_chain(nodes, input, side, opts, c, scan_id)?;
     if out.consumed.is_empty() {
         return Ok(None);
     }
-    Ok(Some((
-        VectorStage {
-            pipeline: VectorPipeline::new(out.operators),
-            batch_types: out.types,
-            batch_size: opts.batch_size,
-        },
-        out.consumed,
-    )))
+    Ok(Some(out))
 }
 
-/// Compile the linear operator chain starting below `start` into vectorized
-/// operators. A terminal row-emit is appended unless the chain ends in an
-/// operator that sinks rows itself (GroupBy) or nests its downstream
-/// (MapJoin). Recursion happens at MapJoins: everything after the join
-/// compiles against the join's output batch and runs nested inside it.
+/// Compile the linear operator chain starting below `start` into
+/// batch-native graph operators. The chain ends either in a shuffle sink
+/// (fully vectorized map task) or in a single `RowBridge` where row mode
+/// takes over.
 fn compile_chain(
     nodes: &[PlanNode],
-    input_nodes: &[usize],
+    input: &MapInputView<'_>,
     side: &HashMap<String, Vec<Row>>,
     opts: &VectorizeOpts,
     mut c: VecCompiler,
     start: usize,
-) -> Result<ChainOut> {
-    let mut operators: Vec<Box<dyn VectorOperator>> = Vec::new();
+) -> Result<VectorizedChain> {
+    let input_nodes = input.nodes;
+    let mut operators: Vec<Option<Box<dyn Operator>>> = Vec::new();
     let mut consumed: HashSet<usize> = HashSet::new();
     let mut cur = start;
-    let mut ended_without_emit = false;
+    let mut ended_in_sink = false;
+    // Types of the scan batch: frozen at the first re-batching operator
+    // (map join); until then scratch columns keep extending it.
+    let mut scan_types: Option<Vec<DataType>> = None;
+    let mut pending_join: Option<PendingJoin> = None;
 
     loop {
         // The chain must be linear within this input.
@@ -128,40 +180,32 @@ fn compile_chain(
         }
         let n = next[0];
         match &nodes[n].op {
-            PlanOp::Filter { predicate } => {
+            PlanOp::Filter { predicate } if opts.filter => {
                 let Some(f) = c.compile_filter(predicate)? else {
                     break;
                 };
                 let mut children: Vec<Box<dyn VectorExpression>> = c.drain_pending();
                 children.push(f);
-                operators.push(Box::new(VectorFilterOperator {
-                    predicate: Box::new(vx::FilterAnd { children }),
-                }));
+                operators.push(Some(Box::new(VectorOpAdapter::new(Box::new(
+                    VectorFilterOperator {
+                        predicate: Box::new(vx::FilterAnd { children }),
+                    },
+                )))));
                 consumed.insert(n);
                 cur = n;
             }
-            PlanOp::Select { exprs } => {
-                let mut outputs = Vec::with_capacity(exprs.len());
-                let mut ok = true;
-                for e in exprs {
-                    match c.compile_value(e)? {
-                        Some(out) => outputs.push(out),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
+            PlanOp::Select { exprs } if opts.select => {
+                let Some(outputs) = c.compile_values(exprs)? else {
                     break;
-                }
+                };
                 let expressions = c.drain_pending();
-                operators.push(Box::new(VectorSelectOperator {
-                    expressions,
-                    output_columns: outputs.clone(),
-                }));
-                c.layout = outputs.iter().map(|(i, _)| *i).collect();
-                c.layout_types = outputs.into_iter().map(|(_, t)| t).collect();
+                operators.push(Some(Box::new(VectorOpAdapter::new(Box::new(
+                    VectorSelectOperator {
+                        expressions,
+                        output_columns: outputs.clone(),
+                    },
+                )))));
+                c.set_layout(outputs);
                 consumed.insert(n);
                 cur = n;
             }
@@ -169,7 +213,30 @@ fn compile_chain(
                 phase: GroupByPhase::MapHash,
                 keys,
                 aggs,
-            } => {
+            } if opts.groupby && opts.reducesink => {
+                // Fused partial-aggregate + reduce-sink: requires the
+                // in-chain child to be a plain (non-degenerate) ReduceSink,
+                // which is the planner's invariant shape for map-side
+                // hash aggregation.
+                let rs: Vec<usize> = nodes[n]
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|x| input_nodes.contains(x))
+                    .collect();
+                if rs.len() != 1 {
+                    break;
+                }
+                let rs_n = rs[0];
+                let PlanOp::ReduceSink {
+                    keys: rs_keys,
+                    values: rs_values,
+                    degenerate: false,
+                    ..
+                } = &nodes[rs_n].op
+                else {
+                    break;
+                };
                 let mut key_cols = Vec::with_capacity(keys.len());
                 let mut ok = true;
                 for k in keys {
@@ -197,63 +264,142 @@ fn compile_chain(
                     break;
                 }
                 let expressions = c.drain_pending();
-                operators.push(Box::new(
-                    VectorGroupByOperator::new(expressions, key_cols, specs).partial(),
-                ));
+                let tag = input.rs_tags.get(&rs_n).copied().unwrap_or(0);
+                operators.push(Some(Box::new(VectorGroupBySinkOperator::new(
+                    expressions,
+                    VectorHashAggregator::new(key_cols, specs),
+                    rs_keys.clone(),
+                    rs_values.clone(),
+                    tag,
+                    opts.num_reducers,
+                ))));
                 consumed.insert(n);
-                ended_without_emit = true;
-                break; // a GroupBy flushes rows at close; the chain ends.
+                consumed.insert(rs_n);
+                ended_in_sink = true;
+                break;
+            }
+            PlanOp::ReduceSink {
+                keys,
+                values,
+                degenerate: true,
+                ..
+            } if opts.select => {
+                // A degenerate sink is a plain projection (keys ++ values);
+                // the chain continues through it in batch mode.
+                let mut exprs: Vec<ExprNode> = keys.clone();
+                exprs.extend(values.iter().cloned());
+                let Some(outputs) = c.compile_values(&exprs)? else {
+                    break;
+                };
+                let expressions = c.drain_pending();
+                operators.push(Some(Box::new(VectorOpAdapter::new(Box::new(
+                    VectorSelectOperator {
+                        expressions,
+                        output_columns: outputs.clone(),
+                    },
+                )))));
+                c.set_layout(outputs);
+                consumed.insert(n);
+                cur = n;
+            }
+            PlanOp::ReduceSink {
+                keys,
+                values,
+                degenerate: false,
+                ..
+            } if opts.reducesink => {
+                let Some(key_columns) = c.compile_values(keys)? else {
+                    break;
+                };
+                let Some(value_columns) = c.compile_values(values)? else {
+                    break;
+                };
+                let expressions = c.drain_pending();
+                let tag = input.rs_tags.get(&n).copied().unwrap_or(0);
+                operators.push(Some(Box::new(VectorReduceSinkOperator::new(
+                    expressions,
+                    key_columns,
+                    value_columns,
+                    tag,
+                    opts.num_reducers,
+                ))));
+                consumed.insert(n);
+                ended_in_sink = true;
+                break;
             }
             PlanOp::MapJoin { sides } => {
-                let Some(join) = compile_mapjoin(nodes, input_nodes, side, opts, &mut c, n, sides)?
-                else {
+                let Some(pj) = prepare_mapjoin(nodes, side, opts, &mut c, n, sides)? else {
                     break; // row-mode fallback for the join and everything after
                 };
+                // This segment's types are final now (the new join's key
+                // scratch included): seal the previous join, freeze the
+                // scan batch types, and reseed the compiler against the
+                // join's output batch.
+                seal_pending_join(&mut pending_join, &mut operators, &c.types, opts.batch_size)?;
+                if scan_types.is_none() {
+                    scan_types = Some(c.types.clone());
+                }
+                let mut out_types: Vec<DataType> =
+                    pj.stream_columns.iter().map(|(_, t)| t.clone()).collect();
+                out_types.extend(
+                    nodes[n].schema[pj.stream_columns.len()..]
+                        .iter()
+                        .map(|ci| ci.data_type.clone()),
+                );
+                let slot = operators.len();
+                operators.push(None);
+                pending_join = Some(PendingJoin { slot, ..pj });
+                c = VecCompiler {
+                    layout: (0..out_types.len()).collect(),
+                    layout_types: out_types.clone(),
+                    types: out_types,
+                    pending: Vec::new(),
+                };
                 consumed.insert(n);
-                consumed.extend(join.consumed.iter().copied());
-                operators.push(join.operator);
-                ended_without_emit = true;
-                break; // the join nests its downstream; the chain ends here.
+                cur = n;
             }
             _ => break,
         }
     }
 
-    if !ended_without_emit && !consumed.is_empty() {
-        // Emit the current layout back as rows.
+    if !ended_in_sink && !consumed.is_empty() {
+        // The single batch→row crossing: bridge the current layout into
+        // the row-mode graph.
         let output_columns: Vec<(usize, DataType)> = c
             .layout
             .iter()
             .copied()
             .zip(c.layout_types.iter().cloned())
             .collect();
-        operators.push(Box::new(VectorRowEmitOperator { output_columns }));
+        operators.push(Some(Box::new(RowBridgeOperator::new(output_columns))));
     }
-    Ok(ChainOut {
+    // The last segment's types are final: seal the trailing join (if any).
+    seal_pending_join(&mut pending_join, &mut operators, &c.types, opts.batch_size)?;
+    let batch_types = scan_types.unwrap_or(c.types);
+    let operators: Vec<Box<dyn Operator>> = operators
+        .into_iter()
+        .map(|o| o.ok_or_else(|| HiveError::Plan("unsealed vectorized join".into())))
+        .collect::<Result<_>>()?;
+    Ok(VectorizedChain {
         operators,
         consumed,
-        types: c.types,
+        batch_types,
+        bridged: !ended_in_sink,
     })
-}
-
-/// A compiled vectorized map-join plus the plan nodes its nested downstream
-/// chain consumed.
-struct CompiledJoin {
-    operator: Box<dyn VectorOperator>,
-    consumed: HashSet<usize>,
 }
 
 /// Try to vectorize one MapJoin plan node. `Ok(None)` means the shape is
 /// not eligible and the chain should fall back to row mode at this point.
-fn compile_mapjoin(
+/// On success the compiler's scratch state includes the probe-key columns;
+/// the operator itself is constructed later (see [`PendingJoin`]).
+fn prepare_mapjoin(
     nodes: &[PlanNode],
-    input_nodes: &[usize],
     side: &HashMap<String, Vec<Row>>,
     opts: &VectorizeOpts,
     c: &mut VecCompiler,
     n: usize,
     sides: &[crate::plan::MapJoinSide],
-) -> Result<Option<CompiledJoin>> {
+) -> Result<Option<PendingJoin>> {
     if !opts.mapjoin || sides.len() != 1 {
         return Ok(None);
     }
@@ -316,44 +462,49 @@ fn compile_mapjoin(
         table.entry(key).or_default().push(Row::new(vals));
     }
 
-    // Everything after the join runs nested, against the join's output
-    // batch: streamed columns first, then the build row.
-    let mut out_types: Vec<DataType> = c.layout_types.clone();
-    out_types.extend(build_types);
-    let sub = VecCompiler {
-        layout: (0..out_types.len()).collect(),
-        layout_types: out_types.clone(),
-        types: out_types.clone(),
-        pending: Vec::new(),
-    };
-    let mut downstream = compile_chain(nodes, input_nodes, side, opts, sub, n)?;
-    if downstream.operators.is_empty() {
-        // Nothing below the join vectorized: emit the join output as rows.
-        downstream.operators.push(Box::new(VectorRowEmitOperator {
-            output_columns: out_types.iter().cloned().enumerate().collect(),
-        }));
-    }
     let stream_columns: Vec<(usize, DataType)> = c
         .layout
         .iter()
         .copied()
         .zip(c.layout_types.iter().cloned())
         .collect();
-    let operator = VectorMapJoinOperator::new(
+    Ok(Some(PendingJoin {
+        slot: 0, // assigned by the caller
         kind,
         key_expressions,
         key_columns,
         stream_columns,
         table,
-        s.width,
-        downstream.operators,
-        &downstream.types,
-        opts.batch_size,
-    )?;
-    Ok(Some(CompiledJoin {
-        operator: Box::new(operator),
-        consumed: downstream.consumed,
+        build_width: s.width,
     }))
+}
+
+/// Fold a (possibly unary-negated) numeric literal down to a plain value,
+/// so `-10` compiles through the same col-scalar templates as `10`.
+fn fold_literal(e: &ExprNode) -> Option<Value> {
+    match e {
+        ExprNode::Literal(v) => Some(v.clone()),
+        ExprNode::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match fold_literal(expr)? {
+            Value::Int(x) => Some(Value::Int(-x)),
+            Value::Double(x) => Some(Value::Double(-x)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Normalize a possibly-negated literal node to a plain `Literal` so the
+/// scalar template matches below see `-10` the same as `10`.
+fn normalized(e: &ExprNode) -> std::borrow::Cow<'_, ExprNode> {
+    match fold_literal(e) {
+        Some(v) if !matches!(e, ExprNode::Literal(_)) => {
+            std::borrow::Cow::Owned(ExprNode::Literal(v))
+        }
+        _ => std::borrow::Cow::Borrowed(e),
+    }
 }
 
 fn is_vector_type(t: &DataType) -> bool {
@@ -402,6 +553,25 @@ impl VecCompiler {
 
     fn drain_pending(&mut self) -> Vec<Box<dyn VectorExpression>> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Compile a list of value expressions; `None` when any fails.
+    fn compile_values(&mut self, exprs: &[ExprNode]) -> Result<Option<Vec<(usize, DataType)>>> {
+        let mut outputs = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            match self.compile_value(e)? {
+                Some(out) => outputs.push(out),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(outputs))
+    }
+
+    /// Reset the logical layout to the given physical columns (after a
+    /// projection changed the row shape).
+    fn set_layout(&mut self, outputs: Vec<(usize, DataType)>) {
+        self.layout = outputs.iter().map(|(i, _)| *i).collect();
+        self.layout_types = outputs.into_iter().map(|(_, t)| t).collect();
     }
 
     /// Compile a value expression; returns its physical column + type.
@@ -466,6 +636,39 @@ impl VecCompiler {
                     _ => None,
                 }
             }
+            ExprNode::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => {
+                if let Some(v) = fold_literal(e) {
+                    return self.compile_value(&ExprNode::Literal(v));
+                }
+                let Some((col, t)) = self.compile_value(expr)? else {
+                    return Ok(None);
+                };
+                match vtype(&t) {
+                    VType::Long => {
+                        let out = self.scratch(t.clone());
+                        self.pending.push(Box::new(vx::LongColMultiplyLongScalar {
+                            input_column: col,
+                            output_column: out,
+                            scalar: -1,
+                        }));
+                        Some((out, t))
+                    }
+                    VType::Double => {
+                        let out = self.scratch(DataType::Double);
+                        self.pending
+                            .push(Box::new(vx::DoubleColMultiplyDoubleScalar {
+                                input_column: col,
+                                output_column: out,
+                                scalar: -1.0,
+                            }));
+                        Some((out, DataType::Double))
+                    }
+                    VType::Bytes => None,
+                }
+            }
             ExprNode::Binary { op, left, right } => self.compile_binary(*op, left, right)?,
             _ => None,
         })
@@ -492,9 +695,9 @@ impl VecCompiler {
             return Ok(None);
         }
         // Scalar fast paths (the paper's col-scalar templates).
-        let scalar = match right {
-            ExprNode::Literal(Value::Int(x)) => Some((*x as f64, true)),
-            ExprNode::Literal(Value::Double(x)) => Some((*x, false)),
+        let scalar = match fold_literal(right) {
+            Some(Value::Int(x)) => Some((x as f64, true)),
+            Some(Value::Double(x)) => Some((x, false)),
             _ => None,
         };
         let Some((lcol, lt)) = self.compile_value(left)? else {
@@ -802,7 +1005,8 @@ impl VecCompiler {
                 let Some((col, t)) = self.compile_value(expr)? else {
                     return Ok(None);
                 };
-                match (vtype(&t), &**lo, &**hi) {
+                let (lo, hi) = (normalized(lo), normalized(hi));
+                match (vtype(&t), &*lo, &*hi) {
                     (
                         VType::Long,
                         ExprNode::Literal(Value::Int(a)),
@@ -904,7 +1108,8 @@ impl VecCompiler {
         let Some((lcol, lt)) = self.compile_value(left)? else {
             return Ok(None);
         };
-        match right {
+        let right = normalized(right);
+        match &*right {
             ExprNode::Literal(Value::String(s)) if vtype(&lt) == VType::Bytes => {
                 let scalar = s.as_bytes().to_vec();
                 Ok(Some(match op {
@@ -1002,7 +1207,7 @@ impl VecCompiler {
             }
             _ => {
                 // Column-column filters (long/double subset).
-                let Some((rcol, rt)) = self.compile_value(right)? else {
+                let Some((rcol, rt)) = self.compile_value(&right)? else {
                     return Ok(None);
                 };
                 match (vtype(&lt), vtype(&rt), op) {

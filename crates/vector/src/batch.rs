@@ -9,7 +9,7 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A column of `i64` values. Represents "all varieties of integers, boolean
 /// and timestamp data types" (paper Figure 7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LongColumnVector {
     pub vector: Vec<i64>,
     /// Per-row null flags; only meaningful when `no_nulls` is false.
@@ -22,7 +22,7 @@ pub struct LongColumnVector {
 }
 
 /// A column of `f64` values.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DoubleColumnVector {
     pub vector: Vec<f64>,
     pub null: Vec<bool>,
@@ -32,7 +32,7 @@ pub struct DoubleColumnVector {
 
 /// A column of byte strings, stored arena-style: one shared buffer plus
 /// per-row `(start, length)` — no per-row allocation in the hot path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BytesColumnVector {
     pub data: Vec<u8>,
     pub start: Vec<u32>,
@@ -156,7 +156,7 @@ impl BytesColumnVector {
 }
 
 /// A typed column vector (paper Figure 7 models this with subclassing).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnVector {
     Long(LongColumnVector),
     Double(DoubleColumnVector),
@@ -246,7 +246,7 @@ impl ColumnVector {
 /// expressions shrink the selection in place rather than copying data —
 /// "the array selected[] ... is used to keep track of valid rows without a
 /// branch instruction".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VectorizedRowBatch {
     pub selected_in_use: bool,
     pub selected: Vec<usize>,

@@ -24,4 +24,4 @@ pub use batch::{
 };
 pub use expressions::VectorExpression;
 pub use mapjoin::{KeyPart, MapJoinHashTable, MapJoinKind, VectorMapJoinOperator};
-pub use operators::{VectorOpProfile, VectorOperator, VectorPipeline, VectorPipelineProfile};
+pub use operators::{VectorFilterOperator, VectorOperator, VectorSelectOperator};

@@ -4,14 +4,14 @@
 //!
 //! Probing is `selected[]`-aware and has an `is_repeating` fast path: when
 //! every key column of a batch repeats, one lookup serves the whole batch
-//! (the benefit run-length-encoded storage hands to execution). Output is
-//! assembled batch-granular into an owned output batch that flows through
-//! the nested downstream operators (and on into the row sink), so a join
+//! (the benefit run-length-encoded storage hands to execution). This is the
+//! one re-batching operator: it consumes probe batches and emits freshly
+//! assembled output batches (stream columns ++ build columns), so a join
 //! followed by vectorized filters/aggregates never leaves batch mode.
 
 use crate::batch::{ColumnVector, VectorizedRowBatch};
 use crate::expressions::VectorExpression;
-use crate::operators::{VectorOpProfile, VectorOperator};
+use crate::operators::VectorOperator;
 use crate::row_convert::set_value;
 use hive_common::{DataType, HiveError, Result, Row, Value};
 use std::collections::HashMap;
@@ -115,10 +115,9 @@ pub struct VectorMapJoinOperator {
     table: MapJoinHashTable,
     /// Width of a stored build row (for null padding on outer misses).
     build_width: usize,
-    /// Operators run over the assembled output batch.
-    downstream: Vec<Box<dyn VectorOperator>>,
+    out_types: Vec<DataType>,
+    batch_size: usize,
     out: VectorizedRowBatch,
-    profile: VectorOpProfile,
     build_rows: u64,
     probe_batches: u64,
     repeat_probes: u64,
@@ -133,7 +132,6 @@ impl VectorMapJoinOperator {
         stream_columns: Vec<(usize, DataType)>,
         table: MapJoinHashTable,
         build_width: usize,
-        downstream: Vec<Box<dyn VectorOperator>>,
         out_batch_types: &[DataType],
         batch_size: usize,
     ) -> Result<VectorMapJoinOperator> {
@@ -145,9 +143,9 @@ impl VectorMapJoinOperator {
             stream_columns,
             table,
             build_width,
-            downstream,
+            out_types: out_batch_types.to_vec(),
+            batch_size,
             out: VectorizedRowBatch::new(out_batch_types, batch_size)?,
-            profile: VectorOpProfile::default(),
             build_rows,
             probe_batches: 0,
             repeat_probes: 0,
@@ -161,7 +159,7 @@ impl VectorMapJoinOperator {
         batch: &VectorizedRowBatch,
         i: usize,
         build: Option<&Row>,
-        sink: &mut dyn FnMut(Row),
+        out: &mut dyn FnMut(VectorizedRowBatch),
     ) -> Result<()> {
         let j = self.out.size;
         for (o, (c, _)) in self.stream_columns.iter().enumerate() {
@@ -181,24 +179,19 @@ impl VectorMapJoinOperator {
             }
         }
         self.out.size = j + 1;
-        self.profile.rows_out += 1;
         if self.out.size == self.out.max_size {
-            self.flush(sink)?;
+            self.flush(out)?;
         }
         Ok(())
     }
 
-    /// Run the buffered output batch through the downstream operators.
-    fn flush(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
+    /// Hand the buffered output batch to `out`, replacing it with a fresh
+    /// empty one.
+    fn flush(&mut self, out: &mut dyn FnMut(VectorizedRowBatch)) -> Result<()> {
         if self.out.size > 0 {
-            for op in &mut self.downstream {
-                if self.out.size == 0 {
-                    break;
-                }
-                op.process(&mut self.out, sink)?;
-            }
+            let fresh = VectorizedRowBatch::new(&self.out_types, self.batch_size)?;
+            out(std::mem::replace(&mut self.out, fresh));
         }
-        self.out.reset();
         Ok(())
     }
 
@@ -223,7 +216,7 @@ impl VectorMapJoinOperator {
         &mut self,
         table: &MapJoinHashTable,
         batch: &VectorizedRowBatch,
-        sink: &mut dyn FnMut(Row),
+        out: &mut dyn FnMut(VectorizedRowBatch),
     ) -> Result<()> {
         // is_repeating fast path: every key column repeats → one lookup
         // serves the whole batch.
@@ -248,13 +241,13 @@ impl VectorMapJoinOperator {
                 (None, MapJoinKind::Inner) => {}
                 (None, MapJoinKind::LeftOuter) => {
                     for i in batch.iter_selected() {
-                        self.emit(batch, i, None, sink)?;
+                        self.emit(batch, i, None, out)?;
                     }
                 }
                 (Some(rows), _) => {
                     for i in batch.iter_selected() {
                         for row in rows {
-                            self.emit(batch, i, Some(row), sink)?;
+                            self.emit(batch, i, Some(row), out)?;
                         }
                     }
                 }
@@ -271,10 +264,10 @@ impl VectorMapJoinOperator {
             match (matches, self.kind) {
                 (Some(rows), _) => {
                     for row in rows {
-                        self.emit(batch, i, Some(row), sink)?;
+                        self.emit(batch, i, Some(row), out)?;
                     }
                 }
-                (None, MapJoinKind::LeftOuter) => self.emit(batch, i, None, sink)?,
+                (None, MapJoinKind::LeftOuter) => self.emit(batch, i, None, out)?,
                 (None, MapJoinKind::Inner) => {}
             }
         }
@@ -283,25 +276,24 @@ impl VectorMapJoinOperator {
 }
 
 impl VectorOperator for VectorMapJoinOperator {
-    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()> {
+    fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        out: &mut dyn FnMut(VectorizedRowBatch),
+    ) -> Result<bool> {
         for e in &self.key_expressions {
             e.evaluate(batch)?;
         }
         self.probe_batches += 1;
-        self.profile.rows_in += batch.size as u64;
         // Detach the table so match slices and `emit` coexist borrow-wise.
         let table = std::mem::take(&mut self.table);
-        let result = self.probe_all(&table, batch, sink);
+        let result = self.probe_all(&table, batch, out);
         self.table = table;
-        result
-    }
-
-    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
-        self.flush(sink)?;
-        for op in &mut self.downstream {
-            op.close(sink)?;
-        }
-        Ok(())
+        result?;
+        // Flush the partial tail too: output batches never straddle input
+        // batches, so there is no buffered state between `process` calls.
+        self.flush(out)?;
+        Ok(false)
     }
 
     fn name(&self) -> String {
@@ -311,26 +303,19 @@ impl VectorOperator for VectorMapJoinOperator {
         }
     }
 
-    fn profiles(&self, out: &mut Vec<VectorOpProfile>) {
-        let mut p = self.profile.clone();
-        p.name = self.name();
-        p.detail = vec![
+    fn profile_detail(&self) -> Vec<(String, u64)> {
+        vec![
             ("probe_batches".to_string(), self.probe_batches),
             ("build_rows".to_string(), self.build_rows),
             ("repeat_probes".to_string(), self.repeat_probes),
-        ];
-        out.push(p);
-        for op in &self.downstream {
-            op.profiles(out);
-        }
+        ]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operators::VectorRowEmitOperator;
-    use crate::row_convert::rows_to_batch;
+    use crate::row_convert::{batch_to_rows, rows_to_batch};
 
     fn table_from(rows: &[(i64, &str)]) -> MapJoinHashTable {
         let mut t = MapJoinHashTable::new();
@@ -344,6 +329,13 @@ mod tests {
         }
         t
     }
+
+    const OUT_COLS: [(usize, DataType); 4] = [
+        (0, DataType::Int),
+        (1, DataType::Int),
+        (2, DataType::Int),
+        (3, DataType::String),
+    ];
 
     fn join_op(kind: MapJoinKind, batch_size: usize) -> VectorMapJoinOperator {
         let out_types = vec![
@@ -359,29 +351,27 @@ mod tests {
             vec![(0, DataType::Int), (1, DataType::Int)],
             table_from(&[(1, "one"), (3, "three"), (3, "trois")]),
             2,
-            vec![Box::new(VectorRowEmitOperator {
-                output_columns: vec![
-                    (0, DataType::Int),
-                    (1, DataType::Int),
-                    (2, DataType::Int),
-                    (3, DataType::String),
-                ],
-            })],
             &out_types,
             batch_size,
         )
         .unwrap()
     }
 
-    fn probe(op: &mut VectorMapJoinOperator, rows: &[Row]) -> Vec<Row> {
+    /// Probe `rows` and materialize every emitted output batch.
+    fn probe(op: &mut VectorMapJoinOperator, rows: &[Row]) -> (Vec<Row>, usize) {
         let mut batch =
             VectorizedRowBatch::new(&[DataType::Int, DataType::Int], rows.len().max(1)).unwrap();
         rows_to_batch(rows, &mut batch).unwrap();
-        let mut out = Vec::new();
-        let mut sink = |r: Row| out.push(r);
-        op.process(&mut batch, &mut sink).unwrap();
-        op.close(&mut sink).unwrap();
-        out
+        let mut out_rows = Vec::new();
+        let mut batches = 0;
+        let mut out = |b: VectorizedRowBatch| {
+            batches += 1;
+            out_rows.extend(batch_to_rows(&b, &OUT_COLS));
+        };
+        let flows = op.process(&mut batch, &mut out).unwrap();
+        assert!(!flows, "map join consumes its input batch");
+        op.close(&mut out).unwrap();
+        (out_rows, batches)
     }
 
     fn row2(a: i64, b: i64) -> Row {
@@ -391,7 +381,7 @@ mod tests {
     #[test]
     fn inner_join_matches_and_duplicates() {
         let mut op = join_op(MapJoinKind::Inner, 4);
-        let out = probe(&mut op, &[row2(1, 10), row2(2, 20), row2(3, 30)]);
+        let (out, _) = probe(&mut op, &[row2(1, 10), row2(2, 20), row2(3, 30)]);
         assert_eq!(
             out,
             vec![
@@ -420,7 +410,7 @@ mod tests {
     #[test]
     fn left_outer_pads_misses_and_null_keys() {
         let mut op = join_op(MapJoinKind::LeftOuter, 4);
-        let out = probe(
+        let (out, _) = probe(
             &mut op,
             &[row2(2, 20), Row::new(vec![Value::Null, Value::Int(9)])],
         );
@@ -440,18 +430,15 @@ mod tests {
 
     #[test]
     fn output_flushes_across_batch_boundary() {
-        // batch_size 2 forces a mid-probe flush; all rows still appear.
+        // batch_size 2 forces a mid-probe flush; all rows still appear, in
+        // two full batches of 2 (no partial-tail batch left buffered).
         let mut op = join_op(MapJoinKind::Inner, 2);
-        let out = probe(&mut op, &[row2(1, 10), row2(3, 30), row2(1, 11)]);
+        let (out, batches) = probe(&mut op, &[row2(1, 10), row2(3, 30), row2(1, 11)]);
         assert_eq!(out.len(), 4);
-        let mut profs = Vec::new();
-        op.profiles(&mut profs);
-        assert_eq!(profs[0].rows_in, 3);
-        assert_eq!(profs[0].rows_out, 4);
-        assert!(profs[0]
-            .detail
-            .iter()
-            .any(|(k, v)| k == "build_rows" && *v == 3));
+        assert_eq!(batches, 2);
+        let detail = op.profile_detail();
+        assert!(detail.iter().any(|(k, v)| k == "build_rows" && *v == 3));
+        assert!(detail.iter().any(|(k, v)| k == "probe_batches" && *v == 1));
     }
 
     #[test]
@@ -462,15 +449,13 @@ mod tests {
         if let ColumnVector::Long(v) = &mut batch.columns[0] {
             v.is_repeating = true;
         }
-        let mut out = Vec::new();
-        let mut sink = |r: Row| out.push(r);
-        op.process(&mut batch, &mut sink).unwrap();
-        op.close(&mut sink).unwrap();
-        assert_eq!(out.len(), 4, "2 probe rows × 2 matches for key 3");
-        let mut profs = Vec::new();
-        op.profiles(&mut profs);
-        assert!(profs[0]
-            .detail
+        let mut out_rows = Vec::new();
+        let mut out = |b: VectorizedRowBatch| out_rows.extend(batch_to_rows(&b, &OUT_COLS));
+        op.process(&mut batch, &mut out).unwrap();
+        op.close(&mut out).unwrap();
+        assert_eq!(out_rows.len(), 4, "2 probe rows × 2 matches for key 3");
+        assert!(op
+            .profile_detail()
             .iter()
             .any(|(k, v)| k == "repeat_probes" && *v == 1));
     }

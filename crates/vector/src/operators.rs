@@ -1,45 +1,44 @@
-//! Vectorized operators: the batch-at-a-time pipeline that replaces the
-//! row-mode operator chain inside a Map task when the vectorization
-//! optimizer validates a plan (paper Sections 6.1 and 6.4).
+//! Vectorized operators: the batch-at-a-time stages of the batch-native
+//! execution layer (paper Sections 6.1 and 6.4).
 //!
 //! "In vectorized execution, a whole row batch is processed through the
-//! operator tree" — each operator here consumes and transforms a
-//! [`VectorizedRowBatch`] in place, then hands it to its child.
+//! operator tree." Every operator here implements one unified
+//! batch-in/batch-out trait: consume a [`VectorizedRowBatch`] — usually
+//! narrowing its `selected[]` view or filling scratch columns in place —
+//! and optionally emit freshly assembled batches (the map join re-batches
+//! its output). No vectorized operator produces rows; the only batch→row
+//! crossing in the engine is the exec layer's `RowBridgeOperator`.
 
-use crate::aggregates::{AggSpec, VectorHashAggregator};
 use crate::batch::VectorizedRowBatch;
 use crate::expressions::VectorExpression;
-use crate::row_convert;
-use hive_common::{DataType, Result, Row};
+use hive_common::Result;
 
-/// A vectorized operator in a linear map-side pipeline.
+/// A vectorized operator. Operators run as nodes of the push-based exec
+/// graph (wrapped in an adapter that handles `Arc` sharing and profiling),
+/// so the trait is pure batch dataflow.
 pub trait VectorOperator: Send {
-    /// Process one batch (possibly mutating its selection and columns) and
-    /// forward it. Implementations call the next stage themselves when they
-    /// produce output per input batch.
-    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()>;
-
-    /// Flush any buffered state (e.g. hash-aggregation results) at end of
-    /// input.
-    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()>;
-
     fn name(&self) -> String;
 
-    /// Append this operator's runtime profile (and those of any nested
-    /// operators). Most operators have nothing beyond the pipeline-level
-    /// counters; the map-join overrides this.
-    fn profiles(&self, _out: &mut Vec<VectorOpProfile>) {}
-}
+    /// Process one batch. Returns `true` when the (possibly mutated) input
+    /// batch flows on to this operator's child; re-batching operators (the
+    /// map join) consume the input and emit fresh batches through `out`.
+    fn process(
+        &mut self,
+        batch: &mut VectorizedRowBatch,
+        out: &mut dyn FnMut(VectorizedRowBatch),
+    ) -> Result<bool>;
 
-/// Runtime profile of one vectorized operator that tracks its own counters
-/// (the pipeline tracks batch flow; this adds per-operator row counts and
-/// operator-specific `detail` pairs).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct VectorOpProfile {
-    pub name: String,
-    pub rows_in: u64,
-    pub rows_out: u64,
-    pub detail: Vec<(String, u64)>,
+    /// End of input: flush buffered output as batches.
+    fn close(&mut self, _out: &mut dyn FnMut(VectorizedRowBatch)) -> Result<()> {
+        Ok(())
+    }
+
+    /// Operator-specific profile counters (merged across tasks and shown
+    /// next to the graph-level row counters in `EXPLAIN ANALYZE`). Row
+    /// in/out and CPU are tracked by the operator graph itself.
+    fn profile_detail(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// Applies a compiled filter expression, shrinking the selection in place.
@@ -51,13 +50,10 @@ impl VectorOperator for VectorFilterOperator {
     fn process(
         &mut self,
         batch: &mut VectorizedRowBatch,
-        _sink: &mut dyn FnMut(Row),
-    ) -> Result<()> {
-        self.predicate.evaluate(batch)
-    }
-
-    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
-        Ok(())
+        _out: &mut dyn FnMut(VectorizedRowBatch),
+    ) -> Result<bool> {
+        self.predicate.evaluate(batch)?;
+        Ok(true)
     }
 
     fn name(&self) -> String {
@@ -71,23 +67,19 @@ pub struct VectorSelectOperator {
     /// Expressions in topological order (children before parents).
     pub expressions: Vec<Box<dyn VectorExpression>>,
     /// Batch column index + logical type of each projected output.
-    pub output_columns: Vec<(usize, DataType)>,
+    pub output_columns: Vec<(usize, hive_common::DataType)>,
 }
 
 impl VectorOperator for VectorSelectOperator {
     fn process(
         &mut self,
         batch: &mut VectorizedRowBatch,
-        _sink: &mut dyn FnMut(Row),
-    ) -> Result<()> {
+        _out: &mut dyn FnMut(VectorizedRowBatch),
+    ) -> Result<bool> {
         for e in &self.expressions {
             e.evaluate(batch)?;
         }
-        Ok(())
-    }
-
-    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
-        Ok(())
+        Ok(true)
     }
 
     fn name(&self) -> String {
@@ -95,253 +87,59 @@ impl VectorOperator for VectorSelectOperator {
     }
 }
 
-/// Vectorized hash group-by. Buffers group states across batches; emits one
-/// row per group at close (map-side partial aggregation emits partial
-/// states; the reduce side merges them in row mode).
-pub struct VectorGroupByOperator {
-    /// Expressions computing key/aggregate inputs (run before aggregation).
-    pub expressions: Vec<Box<dyn VectorExpression>>,
-    pub aggregator: VectorHashAggregator,
-    /// Emit map-side partial states (true on the map side of a shuffle).
-    pub emit_partial: bool,
-}
-
-impl VectorGroupByOperator {
-    pub fn new(
-        expressions: Vec<Box<dyn VectorExpression>>,
-        key_columns: Vec<usize>,
-        specs: Vec<AggSpec>,
-    ) -> VectorGroupByOperator {
-        VectorGroupByOperator {
-            expressions,
-            aggregator: VectorHashAggregator::new(key_columns, specs),
-            emit_partial: false,
-        }
-    }
-
-    pub fn partial(mut self) -> VectorGroupByOperator {
-        self.emit_partial = true;
-        self
-    }
-}
-
-impl VectorOperator for VectorGroupByOperator {
-    fn process(
-        &mut self,
-        batch: &mut VectorizedRowBatch,
-        _sink: &mut dyn FnMut(Row),
-    ) -> Result<()> {
-        for e in &self.expressions {
-            e.evaluate(batch)?;
-        }
-        self.aggregator.process(batch)
-    }
-
-    fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
-        // Swap out the aggregator so close is idempotent.
-        let agg = std::mem::replace(
-            &mut self.aggregator,
-            VectorHashAggregator::new(vec![], vec![]),
-        );
-        let rows = if self.emit_partial {
-            agg.finish_partial()
-        } else {
-            agg.finish()
-        };
-        for row in rows {
-            sink(row);
-        }
-        Ok(())
-    }
-
-    fn name(&self) -> String {
-        "VectorGroupBy".to_string()
-    }
-}
-
-/// Materializes selected rows of chosen columns as [`Row`]s into the sink —
-/// the bridge back to the row-oriented shuffle / file sink.
-pub struct VectorRowEmitOperator {
-    pub output_columns: Vec<(usize, DataType)>,
-}
-
-impl VectorOperator for VectorRowEmitOperator {
-    fn process(&mut self, batch: &mut VectorizedRowBatch, sink: &mut dyn FnMut(Row)) -> Result<()> {
-        for row in row_convert::batch_to_rows(batch, &self.output_columns) {
-            sink(row);
-        }
-        Ok(())
-    }
-
-    fn close(&mut self, _sink: &mut dyn FnMut(Row)) -> Result<()> {
-        Ok(())
-    }
-
-    fn name(&self) -> String {
-        "VectorRowEmit".to_string()
-    }
-}
-
-/// What a [`VectorPipeline`] observed while running: batch count and the
-/// selected-lane flow before/after the operators (their ratio is the
-/// selected-lane density `EXPLAIN ANALYZE` reports).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct VectorPipelineProfile {
-    /// Batches pushed through the pipeline.
-    pub batches: u64,
-    /// Selected rows entering the pipeline.
-    pub rows_in: u64,
-    /// Selected rows surviving the pipeline's filters.
-    pub rows_out: u64,
-}
-
-impl VectorPipelineProfile {
-    pub fn merge(&mut self, other: &VectorPipelineProfile) {
-        self.batches += other.batches;
-        self.rows_in += other.rows_in;
-        self.rows_out += other.rows_out;
-    }
-}
-
-/// A linear vectorized pipeline: run each batch through all operators in
-/// order; rows emitted by any stage flow into `sink`.
-pub struct VectorPipeline {
-    pub operators: Vec<Box<dyn VectorOperator>>,
-    profile: VectorPipelineProfile,
-}
-
-impl VectorPipeline {
-    pub fn new(operators: Vec<Box<dyn VectorOperator>>) -> VectorPipeline {
-        VectorPipeline {
-            operators,
-            profile: VectorPipelineProfile::default(),
-        }
-    }
-
-    pub fn process(
-        &mut self,
-        batch: &mut VectorizedRowBatch,
-        sink: &mut dyn FnMut(Row),
-    ) -> Result<()> {
-        self.profile.batches += 1;
-        self.profile.rows_in += batch.size as u64;
-        for op in &mut self.operators {
-            if batch.size == 0 {
-                break;
-            }
-            op.process(batch, sink)?;
-        }
-        self.profile.rows_out += batch.size as u64;
-        Ok(())
-    }
-
-    /// What the pipeline has observed so far.
-    pub fn profile(&self) -> VectorPipelineProfile {
-        self.profile
-    }
-
-    /// Per-operator profiles for operators that track their own counters
-    /// (nested operators included), in pipeline order.
-    pub fn op_profiles(&self) -> Vec<VectorOpProfile> {
-        let mut out = Vec::new();
-        for op in &self.operators {
-            op.profiles(&mut out);
-        }
-        out
-    }
-
-    pub fn close(&mut self, sink: &mut dyn FnMut(Row)) -> Result<()> {
-        for op in &mut self.operators {
-            op.close(sink)?;
-        }
-        Ok(())
-    }
-
-    /// Human-readable stage list for EXPLAIN output.
-    pub fn describe(&self) -> Vec<String> {
-        self.operators.iter().map(|o| o.name()).collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregates::AggKind;
+    use crate::aggregates::{AggKind, AggSpec, VectorHashAggregator};
     use crate::expressions::filters::FilterLongColGreaterLongScalar;
     use crate::expressions::testutil::batch_with;
     use hive_common::Value;
 
     #[test]
-    fn filter_then_aggregate_pipeline() {
-        // SELECT SUM(a), COUNT(*) WHERE a > 2 over [1,2,3,4,5] → (12, 3)
-        let mut pipeline = VectorPipeline::new(vec![
-            Box::new(VectorFilterOperator {
-                predicate: Box::new(FilterLongColGreaterLongScalar {
-                    column: 0,
-                    scalar: 2,
-                }),
-            }),
-            Box::new(VectorGroupByOperator::new(
-                vec![],
-                vec![],
-                vec![
-                    AggSpec {
-                        kind: AggKind::SumLong,
-                        input_column: Some(0),
-                    },
-                    AggSpec {
-                        kind: AggKind::CountStar,
-                        input_column: None,
-                    },
-                ],
-            )),
-        ]);
-        let mut out = Vec::new();
-        let mut sink = |r: Row| out.push(r);
-        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
-        pipeline.process(&mut b, &mut sink).unwrap();
-        pipeline.close(&mut sink).unwrap();
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values(), &[Value::Int(12), Value::Int(3)]);
-    }
-
-    #[test]
-    fn row_emit_respects_filter() {
-        let mut pipeline = VectorPipeline::new(vec![
-            Box::new(VectorFilterOperator {
-                predicate: Box::new(FilterLongColGreaterLongScalar {
-                    column: 0,
-                    scalar: 3,
-                }),
-            }),
-            Box::new(VectorRowEmitOperator {
-                output_columns: vec![(0, DataType::Int)],
-            }),
-        ]);
-        let mut out = Vec::new();
-        let mut sink = |r: Row| out.push(r);
-        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
-        pipeline.process(&mut b, &mut sink).unwrap();
-        pipeline.close(&mut sink).unwrap();
-        assert_eq!(
-            out,
-            vec![Row::new(vec![Value::Int(4)]), Row::new(vec![Value::Int(5)])]
-        );
-    }
-
-    #[test]
-    fn empty_batch_short_circuits() {
-        let mut pipeline = VectorPipeline::new(vec![Box::new(VectorFilterOperator {
+    fn filter_narrows_selection_in_place() {
+        let mut op = VectorFilterOperator {
             predicate: Box::new(FilterLongColGreaterLongScalar {
                 column: 0,
-                scalar: 100,
+                scalar: 2,
             }),
-        })]);
-        let mut out = Vec::new();
-        let mut sink = |r: Row| out.push(r);
-        let mut b = batch_with(&[1, 2], &[]);
-        pipeline.process(&mut b, &mut sink).unwrap();
-        assert_eq!(b.size, 0);
-        assert!(out.is_empty());
+        };
+        let mut emitted = Vec::new();
+        let mut out = |b: VectorizedRowBatch| emitted.push(b);
+        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
+        assert!(op.process(&mut b, &mut out).unwrap());
+        assert!(emitted.is_empty(), "in-place operators never re-batch");
+        assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn filter_then_aggregate_on_batches() {
+        // SELECT SUM(a), COUNT(*) WHERE a > 2 over [1,2,3,4,5] → (12, 3):
+        // the narrowed selection feeds the typed hash aggregator directly.
+        let mut filter = VectorFilterOperator {
+            predicate: Box::new(FilterLongColGreaterLongScalar {
+                column: 0,
+                scalar: 2,
+            }),
+        };
+        let mut agg = VectorHashAggregator::new(
+            vec![],
+            vec![
+                AggSpec {
+                    kind: AggKind::SumLong,
+                    input_column: Some(0),
+                },
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    input_column: None,
+                },
+            ],
+        );
+        let mut out = |_b: VectorizedRowBatch| {};
+        let mut b = batch_with(&[1, 2, 3, 4, 5], &[]);
+        filter.process(&mut b, &mut out).unwrap();
+        agg.process(&b).unwrap();
+        let rows = agg.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values(), &[Value::Int(12), Value::Int(3)]);
     }
 }

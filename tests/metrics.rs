@@ -184,6 +184,81 @@ fn explain_analyze_vectorized_mapjoin_golden() {
 }
 
 #[test]
+fn vectorization_knob_off_matches_pre_vectorization_engine() {
+    // `hive.vectorized.execution.enabled=false` must reproduce the row-mode
+    // engine byte-for-byte. This golden was captured before the batch-native
+    // execution redesign, so matching it proves the knob restores the
+    // pre-vectorization profile exactly (no Vector* operators, no bridge).
+    let text = analyze_text_conf(
+        "SELECT cust, COUNT(*) AS n, SUM(total) AS rev FROM orders \
+         WHERE total > 50.0 GROUP BY cust ORDER BY cust",
+        |hive| {
+            hive.try_set("hive.vectorized.execution.enabled", "false")
+                .unwrap();
+        },
+    );
+    assert!(!text.contains("Vector"), "{text}");
+    assert!(!text.contains("RowBridge"), "{text}");
+    assert_golden("explain_analyze_vectorization_off.txt", &text);
+}
+
+#[test]
+fn stats_answered_explain_analyze_has_no_vectorized_profile() {
+    // A stats-answered query never executes the compiled jobs, so its
+    // EXPLAIN ANALYZE must not report the vectorized plan's operator
+    // profile — the report would attribute work that did not happen.
+    let mut hive = session(2);
+    hive.try_set("hive.compute.query.using.stats", "true")
+        .unwrap();
+    load_tpch_style(&mut hive);
+    let r = hive
+        .execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM orders")
+        .unwrap();
+    let text = r.explain.unwrap();
+    assert!(text.contains("answered from table statistics"), "{text}");
+    assert!(!text.contains("Vector"), "{text}");
+    assert!(!text.contains("scan:"), "{text}");
+    assert!(!text.contains("map operators"), "{text}");
+    // The same statement without the knob runs for real and profiles the
+    // vectorized chain.
+    let mut hive = session(2);
+    load_tpch_style(&mut hive);
+    let r = hive
+        .execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM orders")
+        .unwrap();
+    let text = r.explain.unwrap();
+    assert!(text.contains("map operators"), "{text}");
+}
+
+#[test]
+fn fallback_boundaries_cross_exactly_one_row_bridge() {
+    // Fully vectorized chains have no batch→row crossing at all.
+    let text = analyze_text(JOIN_AGG, false);
+    assert_eq!(text.matches("RowBridge").count(), 0, "{text}");
+    // A mid-chain gate breaks the chain at that operator: upstream stays
+    // vectorized and exactly ONE RowBridge crosses into row mode.
+    for knob in [
+        "hive.vectorized.execution.mapjoin.enabled",
+        "hive.vectorized.execution.groupby.enabled",
+        "hive.vectorized.execution.reducesink.enabled",
+    ] {
+        let text = analyze_text_conf(JOIN_AGG, |hive| {
+            hive.try_set(knob, "false").unwrap();
+        });
+        assert_eq!(text.matches("RowBridge").count(), 1, "{knob} off:\n{text}");
+        assert!(text.contains("Vector"), "{knob} off:\n{text}");
+    }
+    // Gating the FIRST operator of a chain leaves nothing to vectorize:
+    // the whole input falls back to row mode — no bridge, no vector ops.
+    let text = analyze_text_conf(JOIN_AGG, |hive| {
+        hive.try_set("hive.vectorized.execution.select.enabled", "false")
+            .unwrap();
+    });
+    assert_eq!(text.matches("RowBridge").count(), 0, "{text}");
+    assert!(!text.contains("Vector"), "{text}");
+}
+
+#[test]
 fn explain_analyze_mapjoin_knob_off_golden() {
     // Same query with hive.vectorized.execution.mapjoin.enabled=false:
     // the join runs in row mode (no VectorMapJoin operator in the profile)

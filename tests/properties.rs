@@ -747,6 +747,187 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential row-vs-vector FULL-QUERY harness: random filter + expression
+// + group-by pipelines over nullable data must produce identical results in
+// batch-native and row mode, and the EXPLAIN ANALYZE profiles must agree on
+// every comparable row count — scan rows, per-boundary logical rows, the
+// whole reduce side, and the result cardinality.
+// ---------------------------------------------------------------------------
+
+/// One random full-query shape over `t (k BIGINT, v BIGINT, d DOUBLE,
+/// s STRING)`: a WHERE template (0 = none) plus either a grouped aggregate
+/// (over an int or string key) or an expression projection.
+fn full_query(filter: usize, th: i64, shape: usize) -> String {
+    let w = match filter {
+        1 => format!(" WHERE v > {th}"),
+        2 => format!(" WHERE v + k < {th}"),
+        3 => format!(" WHERE v BETWEEN {th} AND {}", th + 250),
+        4 => " WHERE d IS NOT NULL".to_string(),
+        _ => String::new(),
+    };
+    match shape {
+        0 => format!(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS sv, MIN(v) AS mn, MAX(v) AS mx, \
+             AVG(d) AS ad FROM t{w} GROUP BY k"
+        ),
+        1 => format!("SELECT s, COUNT(*) AS n, SUM(v) AS sv FROM t{w} GROUP BY s"),
+        _ => format!("SELECT k, v * 2 AS v2, v + k AS vk, d FROM t{w}"),
+    }
+}
+
+/// Nullable rows for the full-query harness: narrow key domains so groups
+/// collide, nulls in every column, doubles exact in binary.
+fn full_query_rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    let k = prop_oneof![4 => (0i64..8).prop_map(Value::Int), 1 => Just(Value::Null)];
+    let v = prop_oneof![4 => (-500i64..500).prop_map(Value::Int), 1 => Just(Value::Null)];
+    let d = prop_oneof![
+        4 => (-64i32..64).prop_map(|x| Value::Double(x as f64 / 4.0)),
+        1 => Just(Value::Null)
+    ];
+    let s = prop_oneof![
+        4 => (0u8..5).prop_map(|x| Value::String(format!("g{x}"))),
+        1 => Just(Value::Null)
+    ];
+    proptest::collection::vec(
+        (k, v, d, s).prop_map(|(k, v, d, s)| Row::new(vec![k, v, d, s])),
+        1..220,
+    )
+}
+
+fn full_query_session(rows: &[Row], vectorize: bool) -> hive::HiveSession {
+    let mut hive = hive::HiveSession::builder()
+        .knob(
+            hive::common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU,
+            true,
+        )
+        .build()
+        .unwrap();
+    hive.set(
+        hive::common::config::keys::VECTORIZED_ENABLED,
+        if vectorize { "true" } else { "false" },
+    );
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT, d DOUBLE, s STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows("t", rows.iter().cloned()).unwrap();
+    hive
+}
+
+/// The row counts a profile commits to, independent of operator naming:
+/// scan rows, result rows, logical rows entering the first and leaving the
+/// last map-side operator, and the entire reduce side (both modes run the
+/// identical row-mode reduce graph, so it must match name-for-name).
+#[allow(clippy::type_complexity)]
+fn profile_row_counts(text: &str) -> (u64, u64, Vec<(u64, u64)>, Vec<(String, u64, u64)>) {
+    let grab = |line: &str, key: &str| -> u64 {
+        let at = line
+            .find(key)
+            .unwrap_or_else(|| panic!("no {key} in {line}"));
+        line[at + key.len()..]
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let mut scan_rows = 0;
+    let mut result_rows = 0;
+    let mut map_ops = Vec::new();
+    let mut reduce_ops = Vec::new();
+    let mut section = "";
+    for line in text.lines() {
+        if line.contains("result_rows=") {
+            result_rows = grab(line, "result_rows=");
+        } else if line.trim_start().starts_with("scan: rows=") {
+            scan_rows += grab(line, "rows=");
+        } else if line.contains("map operators:") {
+            section = "map";
+        } else if line.contains("reduce operators:") {
+            section = "reduce";
+        } else if line.contains("rows_in=") {
+            let rows_in = grab(line, "rows_in=");
+            let rows_out = grab(line, "rows_out=");
+            match section {
+                "map" => map_ops.push((rows_in, rows_out)),
+                "reduce" => {
+                    let name = line.trim_start().split(" rows_in=").next().unwrap();
+                    reduce_ops.push((name.trim_end().to_string(), rows_in, rows_out));
+                }
+                _ => {}
+            }
+        }
+    }
+    (scan_rows, result_rows, map_ops, reduce_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vectorized_full_queries_match_row_mode(
+        rows in full_query_rows_strategy(),
+        filter in 0usize..5,
+        th in -300i64..300,
+        shape in 0usize..3,
+    ) {
+        let sql = full_query(filter, th, shape);
+
+        let mut vec_s = full_query_session(&rows, true);
+        let vec_rows = vec_s.execute(&sql).unwrap().rows;
+        let vec_text = vec_s
+            .execute(&format!("EXPLAIN ANALYZE {sql}"))
+            .unwrap()
+            .explain
+            .unwrap();
+        prop_assert!(
+            vec_text.contains("Vector"),
+            "query silently fell back to row mode:\n{vec_text}"
+        );
+
+        let mut row_s = full_query_session(&rows, false);
+        let row_rows = row_s.execute(&sql).unwrap().rows;
+        let row_text = row_s
+            .execute(&format!("EXPLAIN ANALYZE {sql}"))
+            .unwrap()
+            .explain
+            .unwrap();
+        prop_assert!(!row_text.contains("Vector"), "{row_text}");
+
+        prop_assert_eq!(
+            sorted_rows(vec_rows),
+            sorted_rows(row_rows),
+            "results diverged on {}",
+            sql
+        );
+
+        let (vscan, vres, vmap, vreduce) = profile_row_counts(&vec_text);
+        let (rscan, rres, rmap, rreduce) = profile_row_counts(&row_text);
+        prop_assert_eq!(vscan, rscan, "scan rows diverged on {}", sql);
+        prop_assert_eq!(vres, rres, "result rows diverged on {}", sql);
+        // Logical rows entering the map chain and leaving it must agree;
+        // the chains differ structurally (fusion, bridge) in between.
+        prop_assert_eq!(
+            vmap.first().map(|o| o.0),
+            rmap.first().map(|o| o.0),
+            "map-entry rows diverged on {}\nvec:\n{}\nrow:\n{}",
+            sql, vec_text, row_text
+        );
+        prop_assert_eq!(
+            vmap.last().map(|o| o.1),
+            rmap.last().map(|o| o.1),
+            "map-exit rows diverged on {}\nvec:\n{}\nrow:\n{}",
+            sql, vec_text, row_text
+        );
+        // Both modes run the identical row-mode reduce graph: every reduce
+        // operator must report the same logical rows, name for name.
+        prop_assert_eq!(
+            vreduce, rreduce,
+            "reduce-side profiles diverged on {}\nvec:\n{}\nrow:\n{}",
+            sql, vec_text, row_text
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
