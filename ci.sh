@@ -80,11 +80,13 @@ HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_cache --offl
 echo "==> workload management bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_wm --offline -- --check
 
-# ACID gate: merge-on-read must actually read deltas and mask deletes, the
-# merged and post-compaction answers must be identical, and a major
-# compaction must bring scan time back within 10% of the pre-churn
-# baseline (--check exits non-zero otherwise). Emits schema-valid
-# BENCH_acid.json.
+# ACID gate: merge-on-read must actually read deltas and mask deletes with
+# identical accounting in batch-native and row mode, SARG index skipping
+# must stay active under the overlay, the vectorized merge must beat the
+# row-mode merge by at least 1.3x, the merged and post-compaction answers
+# must be identical, and a major compaction must bring scan time back
+# within 10% of the pre-churn baseline (--check exits non-zero otherwise).
+# Emits schema-valid BENCH_acid.json.
 echo "==> ACID merge-on-read bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_acid --offline -- --check
 

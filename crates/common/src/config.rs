@@ -294,6 +294,11 @@ knobs! {
     /// Vectorize the shuffle boundary: serialize key/value pairs straight
     /// from batches without materializing intermediate rows.
     VECTORIZED_REDUCESINK_ENABLED: bool = "hive.vectorized.execution.reducesink.enabled", "true";
+    /// Run ACID merge-on-read scans batch-native: deltas are merged as
+    /// batches and delete masks are applied to the `selected[]` lane by
+    /// file ordinal. When off, scans of transactional tables fall back to
+    /// the row-at-a-time merge path.
+    VECTORIZED_ACID_ENABLED: bool = "hive.vectorized.execution.acid.enabled", "true";
     /// Cost-based join reordering (the paper's Section 9 outlook).
     CBO_ENABLE: bool = "hive.cbo.enable", "false";
     /// Answer COUNT/MIN/MAX/SUM-only queries from ORC file statistics

@@ -59,8 +59,28 @@ fn seeded_with_history() -> HiveSession {
     hive
 }
 
+/// Every chaos read runs BOTH execution modes — the default batch-native
+/// merge and the row-at-a-time path (`hive.vectorized.execution.acid.
+/// enabled=false`) — and they must agree before either counts as "the
+/// visible snapshot". This folds the vectorized reader into every
+/// crash-point assertion below: at any writer/compactor death, vectorized
+/// reads see exactly the old or the new snapshot, never a hybrid.
 fn select_all(hive: &HiveSession) -> Vec<Row> {
-    sorted(hive.server().execute("SELECT k, v FROM t").unwrap().rows)
+    let vec_rows = sorted(hive.server().execute("SELECT k, v FROM t").unwrap().rows);
+    let row_rows = sorted(
+        hive.server()
+            .execute_with(
+                "SELECT k, v FROM t",
+                &[(keys::VECTORIZED_ACID_ENABLED, "false")],
+            )
+            .unwrap()
+            .rows,
+    );
+    assert_eq!(
+        vec_rows, row_rows,
+        "vectorized and row-mode ACID reads disagree on the visible snapshot"
+    );
+    vec_rows
 }
 
 /// The three DML shapes, each with the rows they are expected to leave
@@ -290,6 +310,79 @@ proptest! {
         server.execute("INSERT INTO t VALUES (999, 999)").unwrap();
         model.push(Row::new(vec![Value::Int(999), Value::Int(999)]));
         prop_assert_eq!(&select_all(&hive), &sorted(model), "table left unwritable");
+    }
+}
+
+/// Salvage × delete-mask interaction: when `hive.exec.orc.skip.corrupt.
+/// data` drops corrupt index groups from a base file that live delete
+/// masks address, the masked ordinals must stay aligned — every stripe and
+/// group advances the ordinal clock whether it was read, pruned, or
+/// salvaged away, so surviving rows keep their true file ordinals. An
+/// off-by-one after the corrupt region would resurrect deleted rows (or
+/// silently drop survivors), in either execution mode.
+#[test]
+fn salvaged_corrupt_stripes_keep_delete_masks_aligned() {
+    const NROWS: i64 = 8000;
+    let mut hive = HiveSession::with_dfs_config(hive_dfs::DfsConfig {
+        block_size: 4 << 10,
+        replication: 2,
+        nodes: 4,
+    });
+    // Small stripes and a 100-row index stride: one corrupt 4 KB block
+    // costs index groups, not the table, and ordinals span many groups.
+    hive.set(keys::ORC_STRIPE_SIZE, "16384")
+        .set(keys::ORC_ROW_INDEX_STRIDE, "100");
+    hive.execute("CREATE TABLE c (k BIGINT, v BIGINT, s STRING) STORED AS orc")
+        .unwrap();
+    // Unique strings defeat dictionary encoding so the file is large and
+    // the corrupt mid-file block misses the footer tail.
+    hive.load_rows(
+        "c",
+        (0..NROWS).map(|i| {
+            Row::new(vec![
+                Value::Int(i % 17),
+                Value::Int(i),
+                Value::String(format!("unique-row-padding-{i:024}")),
+            ])
+        }),
+    )
+    .unwrap();
+    // Mask every 17th row — deletes spread across every stripe.
+    hive.execute("DELETE FROM c WHERE k = 5").unwrap();
+    // Corrupt the base file at rest AFTER the delete committed.
+    let snap = load_snapshot(hive.dfs(), "/warehouse/c/").unwrap().unwrap();
+    let base = snap.base[0].clone();
+    let len = hive.dfs().len(&base).unwrap();
+    assert!(len > 64 << 10, "fixture file too small ({len} bytes)");
+    hive.dfs().corrupt_stored(&base, len / 2, 0x5a).unwrap();
+
+    let server = hive.server().clone();
+    let read = |knobs: &[(&str, &str)]| {
+        let mut knobs = knobs.to_vec();
+        knobs.push((keys::ORC_SKIP_CORRUPT, "true"));
+        let r = server.execute_with("SELECT k, v FROM c", &knobs).unwrap();
+        assert!(
+            r.report.rows_skipped > 0,
+            "corruption cost no rows — fixture no longer covers salvage"
+        );
+        sorted(r.rows)
+    };
+    let vec_rows = read(&[]);
+    let row_rows = read(&[(keys::VECTORIZED_ACID_ENABLED, "false")]);
+    assert_eq!(vec_rows, row_rows, "salvage + masks diverge across modes");
+    assert!(!vec_rows.is_empty(), "salvage lost every row");
+    for row in &vec_rows {
+        let v = row[1].as_int().unwrap();
+        assert_eq!(
+            row[0],
+            Value::Int(v % 17),
+            "surviving row has corrupt values"
+        );
+        assert_ne!(
+            row[0],
+            Value::Int(5),
+            "deleted row resurrected after salvage — delete mask misaligned"
+        );
     }
 }
 

@@ -274,6 +274,15 @@ impl DeleteSet {
         self.keys.contains(&(path.to_string(), ordinal))
     }
 
+    /// Deleted ordinals of `path` inside `[start, start + len)`, ascending.
+    /// One ranged probe per batch run keeps selected[]-level masking
+    /// O(log n + hits) instead of O(batch size) point lookups.
+    pub fn masked_in(&self, path: &str, start: u64, len: u64) -> impl Iterator<Item = u64> + '_ {
+        let lo = (path.to_string(), start);
+        let hi = (path.to_string(), start.saturating_add(len));
+        self.keys.range(lo..hi).map(|(_, ord)| *ord)
+    }
+
     pub fn len(&self) -> usize {
         self.keys.len()
     }
@@ -301,9 +310,11 @@ pub fn load_delete_set(dfs: &Dfs, snapshot: &TableSnapshot) -> Result<DeleteSet>
 
 /// The merge-on-read overlay a planner attaches to an ACID table's scan:
 /// which snapshot the statement pinned, which of its paths are deltas, and
-/// which rows are masked out. Scans of overlay inputs read whole files in
-/// physical order (no predicate pushdown) so row ordinals line up with the
-/// delete keys.
+/// which rows are masked out. Delete keys address rows by skip-aware file
+/// ordinal, which readers that support data skipping (ORC) report per row
+/// or per batch run — so predicate pushdown and block-range splits stay
+/// enabled under an overlay. Formats without ordinal tracking are scanned
+/// whole-file so sequential counting still lines up.
 #[derive(Debug, Clone)]
 pub struct AcidOverlay {
     /// Manifest version pinned at plan time.

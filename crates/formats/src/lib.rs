@@ -94,6 +94,26 @@ pub trait TableReader {
         Ok(n > 0)
     }
 
+    /// Physical file ordinal of the row most recently returned by
+    /// `next_row` — *skip-aware*: stripes and index groups the reader
+    /// skipped (splits, predicate pushdown, corrupt-data salvage) still
+    /// advance the ordinal, so it always addresses the row's true position
+    /// in the file. ACID delete keys are `(file, ordinal)`, so merge-on-read
+    /// uses this to mask deleted rows even when data skipping is active.
+    /// `None` means the format does not track ordinals; callers must fall
+    /// back to sequential counting (correct only for whole-file scans).
+    fn last_row_ordinal(&self) -> Option<u64> {
+        None
+    }
+
+    /// Contiguous `(start ordinal, rows)` runs covering, in order, the
+    /// physical rows filled by the most recent `next_batch` call. The run
+    /// lengths sum to the batch's physical size. Same skip-awareness and
+    /// `None` semantics as [`TableReader::last_row_ordinal`].
+    fn batch_ordinal_runs(&self) -> Option<&[(u64, u64)]> {
+        None
+    }
+
     /// Rows dropped by corrupt-data degradation
     /// (`hive.exec.orc.skip.corrupt.data`). Formats without salvage
     /// support never skip anything.

@@ -125,6 +125,12 @@ impl DecodedColumn {
 struct StripeCursor {
     cols: Vec<Option<DecodedColumn>>,
     rows_remaining: u64,
+    /// Contiguous `(start ordinal, rows)` runs covering the cursor's rows
+    /// in read order. Ordinals are absolute within the file and skip-aware:
+    /// a cursor over index groups 0 and 2 of a stripe carries two runs with
+    /// a gap where group 1's rows would be. Run lengths always sum to
+    /// `rows_remaining`.
+    segments: Vec<(u64, u64)>,
 }
 
 /// The ORC file reader.
@@ -143,6 +149,15 @@ pub struct OrcReader {
     /// Cursors decoded ahead of `current`: group-level salvage under
     /// `skip_corrupt` splits one stripe into several per-group cursors.
     pending: std::collections::VecDeque<StripeCursor>,
+    /// Absolute ordinal of the first row of the next stripe `advance_stripe`
+    /// will consider. Every stripe advances it by its row count — read,
+    /// split-foreign, pruned, or corrupt alike — which is what keeps
+    /// reported ordinals aligned with the file's physical row order.
+    next_stripe_ord: u64,
+    /// Ordinal of the row most recently returned by `next_row`.
+    last_ord: Option<u64>,
+    /// Ordinal runs of the rows filled by the most recent `next_batch`.
+    batch_runs: Vec<(u64, u64)>,
     pub counters: ReadCounters,
 }
 
@@ -225,6 +240,9 @@ impl OrcReader {
             stripe_idx: 0,
             current: None,
             pending: std::collections::VecDeque::new(),
+            next_stripe_ord: 0,
+            last_ord: None,
+            batch_runs: Vec::new(),
             counters,
         })
     }
@@ -272,6 +290,10 @@ impl OrcReader {
             let si = self.meta.footer.stripes[self.stripe_idx].clone();
             let stripe_no = self.stripe_idx;
             self.stripe_idx += 1;
+            // First-row ordinal of this stripe. Skipped stripes advance the
+            // accumulator too: their rows still occupy ordinal space.
+            let stripe_ord = self.next_stripe_ord;
+            self.next_stripe_ord += si.nrows;
 
             // Split ownership: a stripe belongs to the split containing its
             // first byte.
@@ -289,7 +311,7 @@ impl OrcReader {
             }
             self.counters.stripes_read += 1;
 
-            match self.load_stripe(&si) {
+            match self.load_stripe(&si, stripe_ord) {
                 Ok(()) => {}
                 Err(e) if self.opts.skip_corrupt && e.is_data_corruption() => {
                     // The stripe's stream directory or index is itself
@@ -309,7 +331,11 @@ impl OrcReader {
     /// its own (every needed column together, so rows stay aligned across
     /// columns); groups that still fail are dropped and their rows counted
     /// as skipped, groups that decode cleanly become per-group cursors.
-    fn load_stripe(&mut self, si: &crate::orc::StripeInfo) -> Result<()> {
+    ///
+    /// `stripe_ord` is the absolute file ordinal of the stripe's first row;
+    /// cursors carry per-group ordinal segments derived from it so delete
+    /// masks stay aligned however many groups are skipped or salvaged.
+    fn load_stripe(&mut self, si: &crate::orc::StripeInfo, stripe_ord: u64) -> Result<()> {
         // A stripe whose directory entry points past the end of the file is
         // structurally corrupt; catch it before issuing unsatisfiable reads.
         let stripe_end = si
@@ -410,14 +436,22 @@ impl OrcReader {
             }
         }
 
-        match self.decode_cursor(si, sfooter, &stream_offsets, &selected, all_groups) {
+        match self.decode_cursor(
+            si,
+            stripe_ord,
+            sfooter,
+            &stream_offsets,
+            &selected,
+            all_groups,
+        ) {
             Ok(cursor) => {
                 self.pending.push_back(cursor);
                 Ok(())
             }
             Err(e) if self.opts.skip_corrupt && e.is_data_corruption() => {
                 for &g in &selected {
-                    match self.decode_cursor(si, sfooter, &stream_offsets, &[g], false) {
+                    match self.decode_cursor(si, stripe_ord, sfooter, &stream_offsets, &[g], false)
+                    {
                         Ok(cursor) => self.pending.push_back(cursor),
                         Err(e) if e.is_data_corruption() => {
                             self.counters.rows_skipped += self.group_rows(si, g);
@@ -441,6 +475,7 @@ impl OrcReader {
     fn decode_cursor(
         &mut self,
         si: &crate::orc::StripeInfo,
+        stripe_ord: u64,
         sfooter: &StripeFooter,
         stream_offsets: &[Vec<u64>],
         selected: &[usize],
@@ -456,9 +491,22 @@ impl OrcReader {
             cols.push(Some(dc));
         }
         let rows_selected = selected.iter().map(|&g| self.group_rows(si, g)).sum();
+        // Ordinal segments: group g starts `g * stride` rows into the
+        // stripe; runs of adjacent selected groups coalesce.
+        let stride = self.meta.footer.row_index_stride.max(1);
+        let mut segments: Vec<(u64, u64)> = Vec::with_capacity(selected.len());
+        for &g in selected {
+            let start = stripe_ord + g as u64 * stride;
+            let rows = self.group_rows(si, g);
+            match segments.last_mut() {
+                Some(last) if last.0 + last.1 == start => last.1 += rows,
+                _ => segments.push((start, rows)),
+            }
+        }
         Ok(StripeCursor {
             cols,
             rows_remaining: rows_selected,
+            segments,
         })
     }
 
@@ -874,7 +922,18 @@ impl TableReader for OrcReader {
                 }
                 return Err(e);
             }
-            self.current.as_mut().unwrap().rows_remaining -= 1;
+            let cur = self.current.as_mut().unwrap();
+            cur.rows_remaining -= 1;
+            // Consume one ordinal from the front segment.
+            let ord = cur.segments.first().map(|&(s, _)| s);
+            if let Some(seg) = cur.segments.first_mut() {
+                seg.0 += 1;
+                seg.1 -= 1;
+                if seg.1 == 0 {
+                    cur.segments.remove(0);
+                }
+            }
+            self.last_ord = ord;
             return Ok(Some(Row::new(vals)));
         }
     }
@@ -912,9 +971,32 @@ impl TableReader for OrcReader {
                 }
             }
             cur.rows_remaining -= n as u64;
+            // Record which ordinal runs these n physical rows cover.
+            let mut runs: Vec<(u64, u64)> = Vec::with_capacity(2);
+            let mut left = n as u64;
+            while left > 0 {
+                let seg = &mut cur.segments[0];
+                let take = seg.1.min(left);
+                runs.push((seg.0, take));
+                seg.0 += take;
+                seg.1 -= take;
+                left -= take;
+                if seg.1 == 0 {
+                    cur.segments.remove(0);
+                }
+            }
             batch.size = n;
+            self.batch_runs = runs;
             return Ok(n > 0);
         }
+    }
+
+    fn last_row_ordinal(&self) -> Option<u64> {
+        self.last_ord
+    }
+
+    fn batch_ordinal_runs(&self) -> Option<&[(u64, u64)]> {
+        Some(&self.batch_runs)
     }
 
     fn rows_skipped(&self) -> u64 {

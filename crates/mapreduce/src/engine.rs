@@ -901,6 +901,8 @@ impl MrEngine {
             };
             let mut on_output = |row: Row| task_out.push(row);
 
+            let overlay = split.input.overlay.as_ref();
+            let in_delta = overlay.is_some_and(|o| o.is_delta(&split.path));
             match pipeline.vector.get(&split.input.alias) {
                 Some(stage) => {
                     // Batch-native scan path (paper Section 6.5): reader
@@ -908,22 +910,64 @@ impl MrEngine {
                     // `Batch` messages — no row materialization. A fresh
                     // batch per iteration keeps the Arc unshared, so the
                     // first operator's copy-on-write is a no-op.
+                    //
+                    // ACID merge-on-read stays batch-native too: deleted
+                    // ordinals are unselected before the batch enters the
+                    // graph, so masked rows are never materialized and all
+                    // counters see logical (post-mask) rows — identical to
+                    // row mode.
+                    let mut seq_ord = 0u64;
                     loop {
                         let mut batch =
                             VectorizedRowBatch::new(&stage.batch_types, stage.batch_size)?;
                         let more = reader.next_batch(&mut batch)?;
                         if batch.size > 0 {
-                            rows_processed += batch.size as u64;
                             batches_read += 1;
-                            graph.push(
-                                stage.root,
-                                Message::Batch {
-                                    batch: Arc::new(batch),
-                                    tag: 0,
-                                },
-                                &mut on_shuffle,
-                                &mut on_output,
-                            )?;
+                            if let Some(o) = overlay {
+                                // Physical ordinal runs of this batch: the
+                                // reader's skip-aware runs when it tracks
+                                // them (ORC), else sequential counting
+                                // (whole-file scans of other formats).
+                                let runs: Vec<(u64, u64)> = match reader.batch_ordinal_runs() {
+                                    Some(r) => r.to_vec(),
+                                    None => vec![(seq_ord, batch.size as u64)],
+                                };
+                                debug_assert_eq!(
+                                    runs.iter().map(|r| r.1).sum::<u64>(),
+                                    batch.size as u64,
+                                    "ordinal runs must cover the whole batch"
+                                );
+                                seq_ord += batch.size as u64;
+                                let mut drop: Vec<usize> = Vec::new();
+                                let mut base = 0usize;
+                                for (start, len) in runs {
+                                    drop.extend(
+                                        o.deletes
+                                            .masked_in(&split.path, start, len)
+                                            .map(|ord| base + (ord - start) as usize),
+                                    );
+                                    base += len as usize;
+                                }
+                                if !drop.is_empty() {
+                                    rows_masked += drop.len() as u64;
+                                    batch.unselect_rows(&drop);
+                                }
+                            }
+                            if batch.size > 0 {
+                                rows_processed += batch.size as u64;
+                                if in_delta {
+                                    delta_rows_read += batch.size as u64;
+                                }
+                                graph.push(
+                                    stage.root,
+                                    Message::Batch {
+                                        batch: Arc::new(batch),
+                                        tag: 0,
+                                    },
+                                    &mut on_shuffle,
+                                    &mut on_output,
+                                )?;
+                            }
                         }
                         if !more {
                             break;
@@ -937,16 +981,17 @@ impl MrEngine {
                             split.input.alias
                         ))
                     })?;
-                    // ACID merge-on-read: ordinals count *physical* rows of
-                    // the file (masked ones included) so they line up with
-                    // the delete keys; masked rows never enter the graph.
-                    let overlay = split.input.overlay.as_ref();
-                    let in_delta = overlay.is_some_and(|o| o.is_delta(&split.path));
-                    let mut ordinal = 0u64;
+                    // ACID merge-on-read: ordinals address *physical* rows
+                    // of the file (masked ones included) so they line up
+                    // with the delete keys. Readers that skip data report
+                    // true ordinals; sequential counting covers the rest
+                    // (those formats are scanned whole-file under an
+                    // overlay). Masked rows never enter the graph.
+                    let mut seq_ord = 0u64;
                     while let Some(row) = reader.next_row()? {
                         if let Some(o) = overlay {
-                            let ord = ordinal;
-                            ordinal += 1;
+                            let ord = reader.last_row_ordinal().unwrap_or(seq_ord);
+                            seq_ord += 1;
                             if o.deletes.contains(&split.path, ord) {
                                 rows_masked += 1;
                                 continue;
@@ -1182,11 +1227,14 @@ impl MrEngine {
                 if blocks.is_empty() || self.dfs.len(&path)? == 0 {
                     continue;
                 }
-                if input.overlay.is_some() {
-                    // ACID merge-on-read: delete keys address rows by
+                if input.overlay.is_some() && input.format != hive_formats::FormatKind::Orc {
+                    // ACID merge-on-read over a format whose reader cannot
+                    // report file ordinals: delete keys address rows by
                     // ordinal within the whole file, so the file cannot be
                     // carved into block-range splits — one task scans it
-                    // start to end in physical row order.
+                    // start to end in physical row order. ORC files skip
+                    // this: their reader tracks skip-aware ordinals, so
+                    // they split (and prune) like any other input.
                     splits.push(Split {
                         input,
                         path: path.clone(),

@@ -19,9 +19,11 @@ pub struct JobInput {
     pub projection: Option<Vec<usize>>,
     /// Predicates pushed down to the reader (ORC PPD).
     pub sarg: Option<SearchArgument>,
-    /// ACID merge-on-read overlay. When present, each file in `paths` is
-    /// scanned whole (one split per file, no PPD) so row ordinals line up
-    /// with the delete mask, and masked rows never reach the map graph.
+    /// ACID merge-on-read overlay. When present, masked rows never reach
+    /// the map graph: the engine drops them by skip-aware file ordinal —
+    /// reader-reported for formats with data skipping (ORC keeps its
+    /// block-range splits and PPD), sequential for formats scanned
+    /// whole-file (one split per file).
     pub overlay: Option<AcidOverlay>,
 }
 

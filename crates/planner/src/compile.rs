@@ -274,6 +274,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
         let vectorize_select = conf.get_bool(keys::VECTORIZED_SELECT_ENABLED)?;
         let vectorize_groupby = conf.get_bool(keys::VECTORIZED_GROUPBY_ENABLED)?;
         let vectorize_reducesink = conf.get_bool(keys::VECTORIZED_REDUCESINK_ENABLED)?;
+        let vectorize_acid = conf.get_bool(keys::VECTORIZED_ACID_ENABLED)?;
         let batch_size = conf.get_usize(keys::VECTORIZED_BATCH_SIZE)?;
         let mut job_inputs = Vec::new();
         for mi in &map_inputs {
@@ -288,21 +289,19 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
                     else {
                         unreachable!()
                     };
-                    // ACID merge-on-read: delete masks address rows by
-                    // (file, ordinal), so every row of every file must be
-                    // decoded in physical order — predicate pushdown would
-                    // desynchronize the ordinals.
+                    // Predicate pushdown stays on for ACID scans: delete
+                    // masks address rows by (file, ordinal) and the ORC
+                    // reader reports skip-aware ordinals, so index-group
+                    // skipping no longer desynchronizes the mask. A SARG is
+                    // an overapproximation — rows it prunes could never
+                    // reach the output, deleted or not.
                     job_inputs.push(JobInput {
                         alias: mi.alias.clone(),
                         paths: table.paths.clone(),
                         format: table.format,
                         schema: table.schema.clone(),
                         projection: Some(projection.clone()),
-                        sarg: if table.acid.is_some() {
-                            None
-                        } else {
-                            sarg.clone()
-                        },
+                        sarg: sarg.clone(),
                         overlay: table.acid.clone(),
                     });
                 }
@@ -338,6 +337,7 @@ pub fn compile(t: &Translation, conf: &HiveConf) -> Result<CompiledQuery> {
             vectorize_select,
             vectorize_groupby,
             vectorize_reducesink,
+            vectorize_acid,
             batch_size,
         });
         let map_factory: MapPipelineFactory = {
@@ -732,6 +732,7 @@ struct MapBuildSpec {
     vectorize_select: bool,
     vectorize_groupby: bool,
     vectorize_reducesink: bool,
+    vectorize_acid: bool,
     batch_size: usize,
 }
 
@@ -744,13 +745,18 @@ impl MapBuildSpec {
             // Vectorization applies to single-sink table-scan chains.
             let mut remaining: Vec<usize> = mi.nodes.clone();
             let mut chain: Option<vectorize::VectorizedChain> = None;
-            // ACID scans stay row-mode: the engine masks deleted rows by
-            // ordinal before they reach the pipeline, and the vectorized
-            // reader path would bypass that mask.
+            // ACID scans vectorize like any other (gated by the acid
+            // knob): the engine unselects deleted ordinals from each batch
+            // before it enters the pipeline, so the mask survives the
+            // batch-native path.
             let acid_scan = mi.scan.is_some_and(|s| {
                 matches!(&self.nodes[s].op, PlanOp::TableScan { table, .. } if table.acid.is_some())
             });
-            if self.vectorize && mi.scan.is_some() && !acid_scan && mi.rs_tags.len() <= 1 {
+            if self.vectorize
+                && mi.scan.is_some()
+                && (!acid_scan || self.vectorize_acid)
+                && mi.rs_tags.len() <= 1
+            {
                 let view = vectorize::MapInputView {
                     scan: mi.scan,
                     nodes: &mi.nodes,

@@ -280,6 +280,38 @@ impl VectorizedRowBatch {
         (0..self.size).map(move |j| if sel { self.selected[j] } else { j })
     }
 
+    /// Drop the given *physical* row indexes (ascending, deduplicated) from
+    /// the selection without touching column data — ACID delete masking at
+    /// the `selected[]` level: masked rows stay in the buffers but are
+    /// never visited by downstream operators.
+    pub fn unselect_rows(&mut self, drop: &[usize]) {
+        if drop.is_empty() {
+            return;
+        }
+        let mut w = 0usize;
+        if self.selected_in_use {
+            for j in 0..self.size {
+                let r = self.selected[j];
+                if drop.binary_search(&r).is_err() {
+                    self.selected[w] = r;
+                    w += 1;
+                }
+            }
+        } else {
+            let mut di = 0usize;
+            for r in 0..self.size {
+                if di < drop.len() && drop[di] == r {
+                    di += 1;
+                    continue;
+                }
+                self.selected[w] = r;
+                w += 1;
+            }
+            self.selected_in_use = true;
+        }
+        self.size = w;
+    }
+
     /// Reset to an empty, unfiltered batch for refilling.
     pub fn reset(&mut self) {
         self.selected_in_use = false;
@@ -352,6 +384,23 @@ mod tests {
         b.selected[1] = 3;
         b.size = 2;
         assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn unselect_rows_masks_at_the_selected_level() {
+        let mut b = VectorizedRowBatch::new(&[DataType::Int], 8).unwrap();
+        b.size = 6;
+        b.unselect_rows(&[]);
+        assert!(!b.selected_in_use, "empty mask is a no-op");
+        b.unselect_rows(&[0, 3, 5]);
+        assert!(b.selected_in_use);
+        assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![1, 2, 4]);
+        // A second mask composes with the existing selection.
+        b.unselect_rows(&[2]);
+        assert_eq!(b.iter_selected().collect::<Vec<_>>(), vec![1, 4]);
+        // Masking everything empties the batch.
+        b.unselect_rows(&[1, 4]);
+        assert_eq!(b.size, 0);
     }
 
     #[test]

@@ -183,6 +183,65 @@ fn explain_analyze_vectorized_mapjoin_golden() {
     assert_golden("explain_analyze_vector_mapjoin.txt", &text);
 }
 
+/// Like [`analyze_text_conf`] but commits ACID DML against `orders` first —
+/// a delta (two inserted rows that survive the probe's filter) and a delete
+/// mask over the base file — so the profiled scan merges on read.
+fn analyze_acid_text(sql: &str, setup: impl Fn(&mut HiveSession)) -> String {
+    let mut texts = Vec::new();
+    for threads in [1u64, 4] {
+        let mut hive = session(threads);
+        setup(&mut hive);
+        load_tpch_style(&mut hive);
+        hive.execute("INSERT INTO orders VALUES (9000, 7, 60.5), (9001, 8, 72.25)")
+            .unwrap();
+        hive.execute("DELETE FROM orders WHERE okey < 40").unwrap();
+        let r = hive.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        texts.push(r.explain.expect("EXPLAIN ANALYZE sets explain text"));
+    }
+    assert_eq!(
+        texts[0], texts[1],
+        "EXPLAIN ANALYZE differs across worker-thread counts"
+    );
+    texts.pop().unwrap()
+}
+
+/// ACID merge-on-read scan goldens, both modes. The `acid:` delta-merge
+/// lines count LOGICAL rows (post-mask, post-selection), so batch-wise
+/// merging must render them byte-identically to the row-at-a-time path.
+#[test]
+fn explain_analyze_acid_scan_goldens() {
+    const SQL: &str = "SELECT cust, COUNT(*) AS n, SUM(total) AS rev FROM orders \
+         WHERE total > 50.0 GROUP BY cust ORDER BY cust";
+    let vec_text = analyze_acid_text(SQL, |_| {});
+    assert!(
+        vec_text.contains("acid: snapshot_gen=2 delta_files=1"),
+        "{vec_text}"
+    );
+    assert!(vec_text.contains("Vector"), "{vec_text}");
+    assert!(!vec_text.contains("RowBridge"), "{vec_text}");
+    let row_text = analyze_acid_text(SQL, |hive| {
+        hive.try_set("hive.vectorized.execution.acid.enabled", "false")
+            .unwrap();
+    });
+    assert!(
+        !row_text.contains("Vector") && !row_text.contains("RowBridge"),
+        "{row_text}"
+    );
+    // The merge accounting is mode-independent by construction: identical
+    // acid lines, whether deletes were dropped row by row or unselected
+    // from batches by file ordinal.
+    let acid_lines = |t: &str| {
+        t.lines()
+            .filter(|l| l.contains("acid"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert!(!acid_lines(&vec_text).is_empty(), "{vec_text}");
+    assert_eq!(acid_lines(&vec_text), acid_lines(&row_text));
+    assert_golden("explain_analyze_acid_vectorized.txt", &vec_text);
+    assert_golden("explain_analyze_acid_row_mode.txt", &row_text);
+}
+
 #[test]
 fn vectorization_knob_off_matches_pre_vectorization_engine() {
     // `hive.vectorized.execution.enabled=false` must reproduce the row-mode

@@ -928,6 +928,223 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential row-vs-vector ACID harness: a random INSERT/UPDATE/DELETE
+// history against a transactional table, then a random filter / expression /
+// group-by / map-join query, run batch-native and in row mode. Both modes
+// must return identical sorted rows, identical profile row counts, and
+// identical `acid:` merge accounting — before AND after major compaction.
+// ---------------------------------------------------------------------------
+
+/// One random DML statement, parameterized so inserts collide with existing
+/// keys, updates sometimes match nothing, and deletes span ranges that may
+/// cross base and delta files.
+fn acid_dml(op: usize, a: i64, b: i64) -> String {
+    match op {
+        0 => format!(
+            "INSERT INTO t VALUES ({}, {}), ({}, {})",
+            a % 8,
+            b,
+            (a + 3) % 8,
+            b + 7
+        ),
+        1 => format!(
+            "UPDATE t SET v = v + {} WHERE k = {}",
+            (b % 97) + 100,
+            a % 8
+        ),
+        _ => format!("DELETE FROM t WHERE v BETWEEN {} AND {}", b, b + (a % 120)),
+    }
+}
+
+/// A random query over the ACID table `t (k, v)` joined (shape 2) against
+/// the plain dimension `d (key, name)`.
+fn acid_query(filter: usize, th: i64, shape: usize) -> String {
+    let w = |p: &str| match filter {
+        1 => format!(" WHERE {p}v > {th}"),
+        2 => format!(" WHERE {p}v + {p}k < {th}"),
+        3 => format!(" WHERE {p}v BETWEEN {th} AND {}", th + 250),
+        _ => String::new(),
+    };
+    match shape {
+        0 => format!(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS sv, MIN(v) AS mn, MAX(v) AS mx \
+             FROM t{} GROUP BY k",
+            w("")
+        ),
+        1 => format!("SELECT k, v * 2 AS v2, v + k AS vk FROM t{}", w("")),
+        _ => format!(
+            "SELECT d.name, COUNT(*) AS n, SUM(t.v) AS sv FROM t \
+             JOIN d ON (t.k = d.key){} GROUP BY d.name",
+            w("t.")
+        ),
+    }
+}
+
+fn acid_diff_session(rows: &[(i64, i64)], vectorize: bool) -> hive::HiveSession {
+    let mut hive = hive::HiveSession::builder()
+        .knob(
+            hive::common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU,
+            true,
+        )
+        .build()
+        .unwrap();
+    hive.set(
+        hive::common::config::keys::VECTORIZED_ENABLED,
+        if vectorize { "true" } else { "false" },
+    );
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        rows.iter()
+            .map(|&(k, v)| Row::new(vec![Value::Int(k), Value::Int(v)])),
+    )
+    .unwrap();
+    hive.execute("CREATE TABLE d (key BIGINT, name STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "d",
+        (0..8i64).map(|i| Row::new(vec![Value::Int(i), Value::String(format!("d{i}"))])),
+    )
+    .unwrap();
+    hive
+}
+
+/// The `acid:` lines of a profile — merge-on-read accounting (snapshot
+/// generation, delta files, delta rows, masked rows) that must be
+/// mode-independent.
+fn acid_profile_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| l.trim_start().starts_with("acid:"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// One differential checkpoint: run `sql` in both sessions and compare
+/// rows, profile row counts, and acid accounting.
+fn acid_diff_check(
+    vec_s: &mut hive::HiveSession,
+    row_s: &mut hive::HiveSession,
+    sql: &str,
+    bridges: usize,
+    phase: &str,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let vec_rows = vec_s.execute(sql).unwrap().rows;
+    let vec_text = vec_s
+        .execute(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .explain
+        .unwrap();
+    prop_assert!(
+        vec_text.contains("Vector"),
+        "{phase}: ACID query fell back to row mode:\n{vec_text}"
+    );
+    // ACID-ness must not add fallback crossings: aggregation chains end in
+    // a vector sink (zero bridges); a map-only projection crosses exactly
+    // the one bridge into the row-mode FileSink that plain tables cross.
+    prop_assert_eq!(
+        vec_text.matches("RowBridge").count(),
+        bridges,
+        "{}: unexpected bridge count on {}:\n{}",
+        phase,
+        sql,
+        vec_text
+    );
+    let row_rows = row_s.execute(sql).unwrap().rows;
+    let row_text = row_s
+        .execute(&format!("EXPLAIN ANALYZE {sql}"))
+        .unwrap()
+        .explain
+        .unwrap();
+    prop_assert!(!row_text.contains("Vector"), "{row_text}");
+
+    prop_assert_eq!(
+        sorted_rows(vec_rows),
+        sorted_rows(row_rows),
+        "{}: results diverged on {}",
+        phase,
+        sql
+    );
+    let (vscan, vres, vmap, vreduce) = profile_row_counts(&vec_text);
+    let (rscan, rres, rmap, rreduce) = profile_row_counts(&row_text);
+    prop_assert_eq!(vscan, rscan, "{}: scan rows diverged on {}", phase, sql);
+    prop_assert_eq!(vres, rres, "{}: result rows diverged on {}", phase, sql);
+    prop_assert_eq!(
+        vmap.first().map(|o| o.0),
+        rmap.first().map(|o| o.0),
+        "{}: map-entry rows diverged on {}\nvec:\n{}\nrow:\n{}",
+        phase,
+        sql,
+        vec_text,
+        row_text
+    );
+    prop_assert_eq!(
+        vmap.last().map(|o| o.1),
+        rmap.last().map(|o| o.1),
+        "{}: map-exit rows diverged on {}\nvec:\n{}\nrow:\n{}",
+        phase,
+        sql,
+        vec_text,
+        row_text
+    );
+    prop_assert_eq!(
+        vreduce,
+        rreduce,
+        "{}: reduce-side profiles diverged on {}\nvec:\n{}\nrow:\n{}",
+        phase,
+        sql,
+        vec_text,
+        row_text
+    );
+    // Batch-wise delta merge and selected[]-level masking must account
+    // logical rows exactly like the row-at-a-time path.
+    prop_assert_eq!(
+        acid_profile_lines(&vec_text),
+        acid_profile_lines(&row_text),
+        "{}: acid merge accounting diverged on {}\nvec:\n{}\nrow:\n{}",
+        phase,
+        sql,
+        vec_text,
+        row_text
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn vectorized_acid_full_queries_match_row_mode(
+        base in proptest::collection::vec((0i64..8, -500i64..500), 0..120),
+        history in proptest::collection::vec(
+            (0usize..3, 0i64..1000, -400i64..400), 1..6),
+        filter in 0usize..4,
+        th in -300i64..300,
+        shape in 0usize..3,
+    ) {
+        let sql = acid_query(filter, th, shape);
+        let mut vec_s = acid_diff_session(&base, true);
+        let mut row_s = acid_diff_session(&base, false);
+
+        // Replay the same DML history against both sessions; the affected
+        // row counts must already agree statement by statement.
+        for &(op, a, b) in &history {
+            let dml = acid_dml(op, a, b);
+            let vec_n = vec_s.execute(&dml).unwrap().rows;
+            let row_n = row_s.execute(&dml).unwrap().rows;
+            prop_assert_eq!(vec_n, row_n, "DML disagreed on {}", dml);
+        }
+        let bridges = if shape == 1 { 1 } else { 0 };
+        acid_diff_check(&mut vec_s, &mut row_s, &sql, bridges, "pre-compaction")?;
+
+        for s in [&mut vec_s, &mut row_s] {
+            s.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+        }
+        acid_diff_check(&mut vec_s, &mut row_s, &sql, bridges, "post-compaction")?;
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
