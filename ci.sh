@@ -90,6 +90,15 @@ HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_wm --offline
 echo "==> ACID merge-on-read bench gate"
 HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_acid --offline -- --check
 
+# Data-skipping gate: on a selective point-plus-range lookup, bloom
+# filters plus a replica sorted on the range column must cut bytes read by
+# at least 1.5x versus stats-only min/max pruning, with at least one
+# bloom-pruned row group and identical answers across all three skipping
+# regimes (--check exits non-zero otherwise). Emits schema-valid
+# BENCH_skip.json.
+echo "==> data skipping bench gate"
+HIVE_BENCH_SF=0.02 cargo run -q --release -p hive-bench --bin bench_skip --offline -- --check
+
 if [[ "${1:-}" == "--release" ]]; then
     echo "==> cargo build --release"
     cargo build --release --workspace --offline

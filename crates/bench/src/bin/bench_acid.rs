@@ -34,10 +34,10 @@
 //! merged answer equals the compacted answer, and post-compaction scan
 //! time is back within 10% of the pre-churn baseline — the ci.sh gate.
 
-use hive_bench::{fmt_s, print_table, scale_factor};
+use hive_bench::{fmt_s, measure_runs, print_table, scale_factor};
 use hive_common::config::keys;
 use hive_common::{Row, Value};
-use hive_core::{HiveServer, HiveSession, QueryResult};
+use hive_core::{HiveServer, HiveSession};
 use hive_formats::delta::load_snapshot;
 use hive_obs::json::{self, Json};
 
@@ -92,27 +92,22 @@ struct Phase {
 }
 
 fn run_phase(name: &'static str, server: &HiveServer, knobs: &[(&str, &str)]) -> Phase {
-    let mut sims = Vec::with_capacity(RUNS);
-    let mut last: Option<QueryResult> = None;
-    for _ in 0..RUNS {
-        let r = server.execute_with(QUERY, knobs).expect("phase query");
-        sims.push(r.report.sim_total_s);
-        last = Some(r);
-    }
+    let sim = measure_runs(RUNS, || {
+        server.execute_with(QUERY, knobs).expect("phase query")
+    });
     // Measured-CPU passes: the server's deterministic clock charges per
     // logical row, which cannot distinguish batch-native from row-at-a-time
     // merge — override it off and take the best of RUNS so scheduler noise
     // cannot fail the gate (the bench_vector convention).
     let mut measured_knobs = knobs.to_vec();
     measured_knobs.push((keys::EXEC_SIM_DETERMINISTIC_CPU, "false"));
-    let mut best_cpu_s = f64::INFINITY;
-    for _ in 0..RUNS {
-        let r = server
+    let best_cpu_s = measure_runs(RUNS, || {
+        server
             .execute_with(QUERY, &measured_knobs)
-            .expect("phase query (measured cpu)");
-        best_cpu_s = best_cpu_s.min(r.report.cpu_seconds);
-    }
-    let last = last.expect("at least one run");
+            .expect("phase query (measured cpu)")
+    })
+    .best_cpu_s;
+    let last = sim.last;
     let (delta_rows_read, rows_masked, index_skipped) = last
         .report
         .jobs
@@ -128,7 +123,7 @@ fn run_phase(name: &'static str, server: &HiveServer, knobs: &[(&str, &str)]) ->
         .fold((0, 0, 0), |(a, b, c), (d, e, f)| (a + d, b + e, c + f));
     Phase {
         name,
-        mean_sim_s: sims.iter().sum::<f64>() / sims.len() as f64,
+        mean_sim_s: sim.mean_sim_s,
         best_cpu_s,
         rows: last.rows,
         delta_rows_read,

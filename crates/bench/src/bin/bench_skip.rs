@@ -1,0 +1,260 @@
+//! Data-skipping benchmark (ROADMAP item 2, HAIL-style): a selective
+//! point-plus-range lookup over ORC run under three skipping regimes on
+//! identical data — no skipping (storage predicate pushdown off),
+//! stats-only skipping (min/max row-group pruning, the Fig. 10 baseline),
+//! and aggressive skipping (per-column bloom filters on the point column
+//! plus a replica sorted on the range column, steered to by
+//! replica-aware split planning).
+//!
+//! Writes `results/BENCH_skip.json` (validated against
+//! `results/bench_skip.schema.json`) and, with `--check`, exits non-zero
+//! unless the aggressive configuration reads at least 1.5x fewer bytes
+//! than stats-only skipping while returning identical rows — the ci.sh
+//! regression gate.
+
+use hive_bench::{fmt_bytes, fmt_s, measure_runs, print_table, scale_factor};
+use hive_common::config::keys;
+use hive_common::{Row, Value};
+use hive_core::HiveSession;
+use hive_obs::json::{self, Json};
+
+/// The lookup: a range on the replica sort column plus a point predicate
+/// on the bloom column. On the okey-sorted replica the range clusters
+/// into a handful of row groups, so min/max stats prune the rest; the
+/// bloom filter on scattered vkey then prunes the survivors that contain
+/// no matching key — the range spans several index strides on purpose so
+/// both mechanisms contribute.
+const QUERY: &str = "SELECT okey, vkey, total FROM fact \
+     WHERE okey BETWEEN 0 AND 4000 AND vkey = 13";
+
+/// Measurement runs per configuration; the best (minimum) CPU is reported
+/// so scheduler noise cannot fail the gate.
+const RUNS: usize = 3;
+
+/// The gate: aggressive skipping must read at least this factor fewer
+/// bytes than stats-only min/max pruning.
+const MIN_BYTES_REDUCTION: f64 = 1.5;
+
+fn row_count() -> i64 {
+    ((2_000_000.0 * scale_factor()) as i64).max(40_000)
+}
+
+/// A fresh session with the given write-side skipping knobs, loaded with
+/// the scattered fact table. Both predicate columns are scattered in the
+/// base file (okey by multiplication, vkey by a different stride), so
+/// min/max statistics on the base copy prune almost nothing — skipping
+/// gains must come from the sorted replica and the bloom filter.
+fn skip_session(bloom: bool, replica: bool, ppd: bool) -> HiveSession {
+    let mut s = HiveSession::in_memory();
+    // Small stripes and strides keep pruning granular at laptop scale,
+    // and a disabled block cache keeps bytes_read identical across the
+    // repeat runs (a warm cache would understate the later phases).
+    s.set(keys::ORC_STRIPE_SIZE, format!("{}", 256 << 10));
+    s.set(keys::ORC_ROW_INDEX_STRIDE, "1000");
+    s.set(keys::IO_CACHE_BYTES, "0");
+    s.set(keys::OPT_PPD_STORAGE, if ppd { "true" } else { "false" });
+    if bloom {
+        s.set(keys::ORC_BLOOM_FILTER_COLUMNS, "vkey");
+    }
+    if replica {
+        s.set(keys::ORC_REPLICA_SORT_COLUMNS, "okey");
+    }
+    let rows = row_count();
+    s.execute("CREATE TABLE fact (okey BIGINT, vkey BIGINT, total DOUBLE) STORED AS orc")
+        .expect("create fact");
+    s.load_rows(
+        "fact",
+        (0..rows).map(move |i| {
+            Row::new(vec![
+                Value::Int(i * 7919 % rows),
+                Value::Int((i * 104_729 + 13) % (rows / 4)),
+                Value::Double((i % 400) as f64 / 4.0),
+            ])
+        }),
+    )
+    .expect("load fact");
+    s
+}
+
+struct ConfigResult {
+    name: &'static str,
+    bloom: bool,
+    replica: bool,
+    ppd: bool,
+    cpu_s: f64,
+    sim_s: f64,
+    bytes_read: u64,
+    groups_read: u64,
+    groups_total: u64,
+    groups_bloom_pruned: u64,
+    rows: Vec<Row>,
+}
+
+fn run_config(name: &'static str, bloom: bool, replica: bool, ppd: bool) -> ConfigResult {
+    let mut s = skip_session(bloom, replica, ppd);
+    let analyze = s
+        .execute(&format!("EXPLAIN ANALYZE {QUERY}"))
+        .expect("explain analyze")
+        .explain
+        .expect("explain text");
+    assert_eq!(
+        analyze.contains("replica: "),
+        replica,
+        "config `{name}` made the wrong replica decision:\n{analyze}"
+    );
+    assert_eq!(
+        analyze.contains("skip: "),
+        bloom,
+        "config `{name}` made the wrong bloom decision:\n{analyze}"
+    );
+    let m = measure_runs(RUNS, || s.execute(QUERY).expect("lookup query"));
+    assert!(!m.last.rows.is_empty(), "lookup must produce output");
+    let report = &m.last.report;
+    let (groups_read, groups_total, groups_bloom_pruned) =
+        report.jobs.iter().fold((0, 0, 0), |(r, t, b), jr| {
+            (
+                r + jr.scan.groups_read,
+                t + jr.scan.groups_total,
+                b + jr.scan.groups_bloom_pruned,
+            )
+        });
+    ConfigResult {
+        name,
+        bloom,
+        replica,
+        ppd,
+        cpu_s: m.best_cpu_s,
+        sim_s: m.best_sim_s,
+        bytes_read: report.counters.bytes_read,
+        groups_read,
+        groups_total,
+        groups_bloom_pruned,
+        rows: m.last.rows,
+    }
+}
+
+fn sorted_rows(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let sf = scale_factor();
+    println!(
+        "Data-skipping benchmark — scale factor {sf} ({} rows)",
+        row_count()
+    );
+
+    let results = [
+        run_config("no-skipping", false, false, false),
+        run_config("stats-only", false, false, true),
+        run_config("bloom+replica", true, true, true),
+    ];
+
+    print_table(
+        "Selective lookup under three skipping regimes (best of 3)",
+        &[
+            "config",
+            "cpu",
+            "sim elapsed",
+            "bytes read",
+            "groups",
+            "bloom pruned",
+        ],
+        &results
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    vec![
+                        fmt_s(r.cpu_s),
+                        fmt_s(r.sim_s),
+                        fmt_bytes(r.bytes_read),
+                        format!("{}/{}", r.groups_read, r.groups_total),
+                        r.groups_bloom_pruned.to_string(),
+                    ],
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let reduction = results[1].bytes_read as f64 / results[2].bytes_read.max(1) as f64;
+    println!(
+        "\naggressive vs stats-only bytes-read reduction: {reduction:.2}x \
+         (gate: >={MIN_BYTES_REDUCTION}x)"
+    );
+
+    let baseline = sorted_rows(&results[0].rows);
+    let mut identical = true;
+    for r in &results[1..] {
+        if sorted_rows(&r.rows) != baseline {
+            eprintln!("FAIL: config `{}` changed the query answer", r.name);
+            identical = false;
+        }
+    }
+
+    let mut doc = Json::obj();
+    doc.push("format_version", Json::U64(1));
+    doc.push("benchmark", Json::Str("skip".into()));
+    doc.push("scale_factor", Json::F64(sf));
+    doc.push("query", Json::Str(QUERY.into()));
+    let mut configs = Vec::new();
+    for r in &results {
+        let mut c = Json::obj();
+        c.push("name", Json::Str(r.name.into()));
+        c.push("bloom", Json::Bool(r.bloom));
+        c.push("replica", Json::Bool(r.replica));
+        c.push("ppd", Json::Bool(r.ppd));
+        c.push("cpu_seconds", Json::F64(r.cpu_s));
+        c.push("sim_elapsed_s", Json::F64(r.sim_s));
+        c.push("bytes_read", Json::U64(r.bytes_read));
+        c.push("groups_read", Json::U64(r.groups_read));
+        c.push("groups_total", Json::U64(r.groups_total));
+        c.push("groups_bloom_pruned", Json::U64(r.groups_bloom_pruned));
+        c.push("result_rows", Json::U64(r.rows.len() as u64));
+        configs.push(c);
+    }
+    doc.push("configs", Json::Array(configs));
+    doc.push("bytes_reduction", Json::F64(reduction));
+    doc.push("results_identical", Json::Bool(identical));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let schema_src = std::fs::read_to_string(format!("{root}/results/bench_skip.schema.json"))
+        .expect("read results/bench_skip.schema.json");
+    let schema = json::parse(&schema_src).expect("parse schema");
+    json::validate(&doc, &schema).expect("BENCH_skip.json matches its schema");
+
+    let out = format!("{root}/results/BENCH_skip.json");
+    std::fs::write(&out, doc.render_pretty()).expect("write BENCH_skip.json");
+    println!("wrote results/BENCH_skip.json");
+
+    if check {
+        let mut failed = !identical;
+        if reduction < MIN_BYTES_REDUCTION {
+            eprintln!(
+                "FAIL: aggressive skipping read {} vs stats-only {} — \
+                 reduction {reduction:.2}x is below {MIN_BYTES_REDUCTION}x",
+                fmt_bytes(results[2].bytes_read),
+                fmt_bytes(results[1].bytes_read)
+            );
+            failed = true;
+        }
+        if results[2].groups_bloom_pruned == 0 {
+            eprintln!("FAIL: aggressive configuration never pruned a group by bloom");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

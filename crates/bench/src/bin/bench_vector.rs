@@ -10,7 +10,7 @@
 //! mode by at least 1.3x (the paper reports well over 2x) — the ci.sh
 //! regression gate.
 
-use hive_bench::{bench_session_with_block, fmt_s, print_table, scale_factor};
+use hive_bench::{bench_session_with_block, fmt_s, measure_runs, print_table, scale_factor};
 use hive_common::config::keys;
 use hive_common::{Row, Value};
 use hive_core::HiveSession;
@@ -73,21 +73,14 @@ fn run_config(name: &'static str, vectorized: bool) -> ConfigResult {
         vectorized,
         "config `{name}` planned the wrong map pipeline:\n{analyze}"
     );
-    let mut best_cpu = f64::INFINITY;
-    let mut best_sim = f64::INFINITY;
-    let mut rows = 0;
-    for _ in 0..RUNS {
-        let r = s.execute(QUERY).expect("aggregation query");
-        rows = r.rows.len();
-        best_cpu = best_cpu.min(r.report.cpu_seconds);
-        best_sim = best_sim.min(r.report.sim_total_s);
-    }
+    let m = measure_runs(RUNS, || s.execute(QUERY).expect("aggregation query"));
+    let rows = m.last.rows.len();
     assert!(rows > 0, "aggregation must produce output");
     ConfigResult {
         name,
         vectorized,
-        cpu_s: best_cpu,
-        sim_s: best_sim,
+        cpu_s: m.best_cpu_s,
+        sim_s: m.best_sim_s,
         rows,
     }
 }

@@ -446,6 +446,23 @@ knobs! {
     COMPACTOR_AUTO: bool = "hive.compactor.auto.enabled", "false";
     /// Delta-file count at which auto compaction (when enabled) kicks in.
     COMPACTOR_DELTA_THRESHOLD: u64 = "hive.compactor.delta.threshold", "10", range(1.0, 100000.0);
+    /// Comma-separated top-level column names the ORC writer builds
+    /// per-index-group bloom filters for (pruning equality and IN
+    /// predicates that min/max stats cannot). Empty = no bloom filters.
+    ORC_BLOOM_FILTER_COLUMNS: String = "hive.orc.bloom.filter.columns", "";
+    /// Target false-positive probability of ORC bloom filters; lower
+    /// means bigger filters and fewer wasted group reads.
+    ORC_BLOOM_FILTER_FPP: f64 = "hive.orc.bloom.filter.fpp", "0.05", range(0.001, 0.5);
+    /// Comma-separated column names: replica k+1 of each ORC file is
+    /// written with its rows sorted on the k-th name (HAIL-style
+    /// per-replica sort orders; replica 1 always keeps insertion order).
+    /// Empty = all replicas byte-identical.
+    ORC_REPLICA_SORT_COLUMNS: String = "hive.orc.replica.sort.columns", "";
+    /// Let split planning hand the pushed-down predicate to the DFS and
+    /// read the replica whose sort order best matches it, falling back to
+    /// locality. Inert unless files were written with
+    /// `hive.orc.replica.sort.columns`.
+    ORC_REPLICA_SELECTION: bool = "hive.orc.replica.selection.enabled", "true";
 }
 
 /// Look up a knob's type-erased registry entry by key.

@@ -581,6 +581,22 @@ fn render_analyze(
                 jr.scan.selected_density(),
             ));
         }
+        if jr.scan.groups_bloom_pruned > 0 || jr.scan.bloom_corrupt > 0 {
+            out.push_str(&format!(
+                "  skip: groups_stats_pruned={} groups_bloom_pruned={} bloom_corrupt={} read={}B\n",
+                jr.scan
+                    .groups_total
+                    .saturating_sub(jr.scan.groups_read + jr.scan.groups_bloom_pruned),
+                jr.scan.groups_bloom_pruned,
+                jr.scan.bloom_corrupt,
+                jr.counters.bytes_read,
+            ));
+        }
+        for (path, variant, sort_column) in &jr.replica_choices {
+            out.push_str(&format!(
+                "  replica: path={path} variant={variant} sorted_by={sort_column}\n"
+            ));
+        }
         if jr.scan.delta_rows_read > 0 || jr.scan.rows_masked > 0 {
             out.push_str(&format!(
                 "  acid: delta_rows={} rows_masked={}\n",

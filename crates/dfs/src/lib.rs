@@ -58,6 +58,15 @@ struct FileEntry {
     /// (re)published or tampered with. Cache keys include it, so entries
     /// for an overwritten file are structurally unreachable.
     generation: u64,
+    /// Column this copy's rows are clustered on (HAIL-style per-replica
+    /// sort orders); empty for insertion order.
+    sort_column: String,
+    /// Alternative sorted copies of this file, one per extra replica slot
+    /// (variant `k` lives on replica slot `k`; the base entry is variant 0
+    /// and always keeps insertion order). Each variant carries its own
+    /// generation, so block- and metadata-cache keys never collide across
+    /// copies. Empty for ordinary files.
+    variants: Vec<Arc<FileEntry>>,
 }
 
 /// Cluster-level configuration of the simulated filesystem.
@@ -281,6 +290,179 @@ impl Dfs {
         })
     }
 
+    /// Open a specific sorted copy of `path` for reading. Variant `0` is
+    /// the base file (identical to [`Dfs::open`]); variant `k > 0` is the
+    /// copy adopted into replica slot `k` via [`Dfs::adopt_variant`].
+    pub fn open_variant(
+        &self,
+        path: &str,
+        variant: usize,
+        reader_node: Option<NodeId>,
+    ) -> Result<DfsReader> {
+        if variant == 0 {
+            return self.open(path, reader_node);
+        }
+        let base = self
+            .inner
+            .files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        let entry = base.variants.get(variant - 1).cloned().ok_or_else(|| {
+            HiveError::Dfs(format!(
+                "no variant {variant} of {path} ({} available)",
+                base.variants.len() + 1
+            ))
+        })?;
+        let verified = vec![false; entry.blocks.len()];
+        Ok(DfsReader {
+            dfs: self.clone(),
+            path: path.to_string(),
+            entry,
+            reader_node,
+            last_end: None,
+            verified,
+        })
+    }
+
+    /// Adopt the file at `tmp_path` as sorted variant `slot` (1-based) of
+    /// `dest`, recording the column its rows are clustered on. The bytes
+    /// move out of the namespace at `tmp_path` and become reachable only
+    /// through `dest`'s variant list. Each variant block is hosted on a
+    /// single node — the `slot`-th replica of the base placement — so the
+    /// copy models HAIL's "each replica holds a different sort order" at
+    /// zero extra logical-storage cost.
+    pub fn adopt_variant(
+        &self,
+        dest: &str,
+        tmp_path: &str,
+        slot: usize,
+        sort_column: &str,
+    ) -> Result<()> {
+        if slot == 0 {
+            return Err(HiveError::Dfs(
+                "variant slot 0 is the base file; sorted variants start at 1".into(),
+            ));
+        }
+        let mut files = self.inner.files.write();
+        let tmp = files
+            .remove(tmp_path)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {tmp_path}")))?;
+        let base = files
+            .get(dest)
+            .cloned()
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {dest}")))?;
+        // Same-path placement, reduced to the slot's replica: block i of
+        // variant k sits on the node holding replica k of base block i.
+        let repl = self
+            .inner
+            .config
+            .replication
+            .clamp(1, self.inner.config.nodes.max(1));
+        let blocks: Vec<BlockInfo> = placement(
+            dest,
+            tmp.data.len() as u64,
+            tmp.block_size,
+            &self.inner.config,
+        )
+        .into_iter()
+        .map(|b| BlockInfo {
+            offset: b.offset,
+            len: b.len,
+            replicas: vec![b.replicas[slot % repl.max(1)]],
+        })
+        .collect();
+        let generation = self.inner.next_gen.fetch_add(1, Ordering::Relaxed);
+        let variant = Arc::new(FileEntry {
+            data: tmp.data.clone(),
+            block_size: tmp.block_size,
+            block_crcs: blocks
+                .iter()
+                .map(|b| crc::crc32(&tmp.data[b.offset as usize..(b.offset + b.len) as usize]))
+                .collect(),
+            blocks,
+            generation,
+            sort_column: sort_column.to_string(),
+            variants: Vec::new(),
+        });
+        let mut variants = base.variants.clone();
+        while variants.len() < slot {
+            // Unfilled intermediate slots alias the base bytes: a reader
+            // landing there sees insertion order, never an error.
+            variants.push(Arc::new(FileEntry {
+                data: base.data.clone(),
+                block_size: base.block_size,
+                blocks: base.blocks.clone(),
+                block_crcs: base.block_crcs.clone(),
+                generation: base.generation,
+                sort_column: String::new(),
+                variants: Vec::new(),
+            }));
+        }
+        variants[slot - 1] = variant;
+        let updated = Arc::new(FileEntry {
+            data: base.data.clone(),
+            block_size: base.block_size,
+            blocks: base.blocks.clone(),
+            block_crcs: base.block_crcs.clone(),
+            generation: base.generation,
+            sort_column: base.sort_column.clone(),
+            variants,
+        });
+        files.insert(dest.to_string(), updated);
+        drop(files);
+        self.inner
+            .cache
+            .invalidate_path(tmp_path, tmp.generation + 1);
+        self.bump_data_gen(dest);
+        Ok(())
+    }
+
+    /// Sort columns of every copy of `path`, by variant index (entry 0 is
+    /// the base file and is always empty = insertion order).
+    pub fn variant_sort_columns(&self, path: &str) -> Result<Vec<String>> {
+        let files = self.inner.files.read();
+        let f = files
+            .get(path)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        let mut cols = vec![f.sort_column.clone()];
+        cols.extend(f.variants.iter().map(|v| v.sort_column.clone()));
+        Ok(cols)
+    }
+
+    /// Block metadata of variant `v` of `path` (`0` = the base file).
+    pub fn variant_blocks(&self, path: &str, variant: usize) -> Result<Vec<BlockInfo>> {
+        let files = self.inner.files.read();
+        let f = files
+            .get(path)
+            .ok_or_else(|| HiveError::Dfs(format!("no such file: {path}")))?;
+        if variant == 0 {
+            return Ok(f.blocks.clone());
+        }
+        f.variants
+            .get(variant - 1)
+            .map(|v| v.blocks.clone())
+            .ok_or_else(|| HiveError::Dfs(format!("no variant {variant} of {path}")))
+    }
+
+    /// Replica selection (HAIL): given the columns a pushed-down predicate
+    /// constrains, pick the copy of `path` whose clustered sort order
+    /// serves it best. Returns `Some((variant, sort_column))` for the
+    /// first sorted copy clustered on a predicate column; `None` means no
+    /// copy helps and the caller should fall back to locality over the
+    /// base replicas.
+    pub fn select_variant(&self, path: &str, pred_cols: &[String]) -> Option<(usize, String)> {
+        let files = self.inner.files.read();
+        let f = files.get(path)?;
+        for (i, v) in f.variants.iter().enumerate() {
+            if !v.sort_column.is_empty() && pred_cols.iter().any(|c| *c == v.sort_column) {
+                return Some((i + 1, v.sort_column.clone()));
+            }
+        }
+        None
+    }
+
     pub fn exists(&self, path: &str) -> bool {
         self.inner.files.read().contains_key(path)
     }
@@ -302,9 +484,15 @@ impl Dfs {
     pub fn delete(&self, path: &str) -> bool {
         let removed = self.inner.files.write().remove(path);
         if let Some(entry) = &removed {
-            // Floor above the deleted generation: a fill still in flight
-            // for it is dropped at completion instead of being parked.
-            self.inner.cache.invalidate_path(path, entry.generation + 1);
+            // Floor above the highest generation any copy carries: a fill
+            // still in flight for the base *or a sorted variant* is
+            // dropped at completion instead of being parked.
+            let top = entry
+                .variants
+                .iter()
+                .map(|v| v.generation)
+                .fold(entry.generation, u64::max);
+            self.inner.cache.invalidate_path(path, top + 1);
             self.bump_data_gen(path);
         }
         removed.is_some()
@@ -377,6 +565,8 @@ impl Dfs {
             blocks: entry.blocks.clone(),
             block_crcs: entry.block_crcs.clone(), // stale on purpose
             generation,
+            sort_column: entry.sort_column.clone(),
+            variants: entry.variants.clone(),
         });
         files.insert(path.to_string(), tampered);
         drop(files);
@@ -423,6 +613,11 @@ impl Dfs {
             blocks,
             block_crcs,
             generation,
+            sort_column: entry.sort_column.clone(),
+            // Sorted variants do not follow a rename: the delta/compaction
+            // paths that rename never write them, and a fresh destination
+            // generation keys the caches either way.
+            variants: Vec::new(),
         });
         files.insert(to.to_string(), moved);
         drop(files);
@@ -452,6 +647,8 @@ impl Dfs {
             blocks,
             block_crcs,
             generation,
+            sort_column: String::new(),
+            variants: Vec::new(),
         });
         self.inner.files.write().insert(path.clone(), blocks_entry);
         // Overwrite invalidation: generations already make the old entries
@@ -1399,5 +1596,67 @@ mod tests {
         assert_eq!(fs.size_of("/w/t1/"), 30);
         assert!(fs.delete("/w/t2/x"));
         assert!(!fs.exists("/w/t2/x"));
+    }
+
+    #[test]
+    fn sorted_variants_adopt_open_and_select() {
+        let fs = small_fs();
+        let mut w = fs.create("/w/t/part-0");
+        w.write(&[7u8; 250]);
+        w.close();
+        // Stage a differently-ordered copy and adopt it as variant 1.
+        let mut w = fs.create("/tmp/v1");
+        w.write(&[9u8; 250]);
+        w.close();
+        fs.adopt_variant("/w/t/part-0", "/tmp/v1", 1, "k").unwrap();
+        // The staging path left the namespace; the base file is unchanged.
+        assert!(!fs.exists("/tmp/v1"));
+        let mut base = fs.open("/w/t/part-0", None).unwrap();
+        assert_eq!(base.read_all().unwrap(), vec![7u8; 250]);
+
+        // Reading variant 1 serves the adopted bytes, CRC-verified.
+        let mut v1 = fs.open_variant("/w/t/part-0", 1, None).unwrap();
+        assert_eq!(v1.read_all().unwrap(), vec![9u8; 250]);
+        assert!(fs.open_variant("/w/t/part-0", 2, None).is_err());
+
+        // Each variant block collapses to one replica: the slot's node of
+        // the base placement.
+        for (b, vb) in fs
+            .variant_blocks("/w/t/part-0", 0)
+            .unwrap()
+            .iter()
+            .zip(fs.variant_blocks("/w/t/part-0", 1).unwrap())
+        {
+            assert_eq!(vb.replicas.len(), 1);
+            assert_eq!(vb.replicas[0], b.replicas[1 % b.replicas.len()]);
+        }
+
+        // Selection matches the predicate column against variant sort
+        // orders; unknown columns fall back to the base replicas.
+        assert_eq!(
+            fs.variant_sort_columns("/w/t/part-0").unwrap(),
+            vec![String::new(), "k".to_string()]
+        );
+        assert_eq!(
+            fs.select_variant("/w/t/part-0", &["v".into(), "k".into()]),
+            Some((1, "k".to_string()))
+        );
+        assert_eq!(fs.select_variant("/w/t/part-0", &["v".into()]), None);
+
+        // Out-of-order adoption grows placeholder slots aliasing the base.
+        let mut w = fs.create("/tmp/v3");
+        w.write(&[3u8; 50]);
+        w.close();
+        fs.adopt_variant("/w/t/part-0", "/tmp/v3", 3, "s").unwrap();
+        let mut v2 = fs.open_variant("/w/t/part-0", 2, None).unwrap();
+        assert_eq!(v2.read_all().unwrap(), vec![7u8; 250]);
+        assert_eq!(
+            fs.select_variant("/w/t/part-0", &["s".into()]),
+            Some((3, "s".to_string()))
+        );
+
+        // Deleting the file takes every variant with it.
+        assert!(fs.delete("/w/t/part-0"));
+        assert!(fs.open_variant("/w/t/part-0", 1, None).is_err());
     }
 }

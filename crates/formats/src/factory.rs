@@ -69,6 +69,8 @@ pub struct ReadOptions {
     /// Input-split byte range (Text/RCFile/ORC honour it; SequenceFile is
     /// read whole by one task).
     pub split: Option<(u64, u64)>,
+    /// Sorted copy of the file to read (ORC only; `0` = base file).
+    pub variant: usize,
 }
 
 /// Create a writer for one file of a table.
@@ -93,21 +95,72 @@ pub fn create_writer(
             conf.get_usize(keys::RCFILE_ROWGROUP_SIZE)?,
             compression,
         )),
-        FormatKind::Orc => Box::new(OrcWriter::create(
-            dfs,
-            path,
-            schema,
-            OrcWriterOptions {
+        FormatKind::Orc => {
+            let wopts = OrcWriterOptions {
                 stripe_size: conf.get_usize(keys::ORC_STRIPE_SIZE)?,
                 row_index_stride: conf.get_usize(keys::ORC_ROW_INDEX_STRIDE)?,
                 dictionary_threshold: conf.get_f64(keys::ORC_DICT_THRESHOLD)?,
                 compression,
                 compress_unit: conf.get_usize(keys::ORC_COMPRESS_UNIT)?,
                 block_padding: conf.get_bool(keys::ORC_BLOCK_PADDING)?,
-            },
-            opts.memory.as_ref(),
-        )),
+                bloom_columns: resolve_columns(
+                    conf.get_raw(keys::ORC_BLOOM_FILTER_COLUMNS).unwrap_or(""),
+                    schema,
+                )
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect(),
+                bloom_fpp: conf.get_f64(keys::ORC_BLOOM_FILTER_FPP)?,
+                sort_column: String::new(),
+            };
+            // Per-replica sort orders apply to table data only: scratch
+            // files (shuffle intermediates, ACID txn staging under /tmp/)
+            // are read once, whole, and never via replica selection.
+            let sort_columns = if path.starts_with("/tmp/") {
+                Vec::new()
+            } else {
+                resolve_columns(
+                    conf.get_raw(keys::ORC_REPLICA_SORT_COLUMNS).unwrap_or(""),
+                    schema,
+                )
+            };
+            if sort_columns.is_empty() {
+                Box::new(OrcWriter::create(
+                    dfs,
+                    path,
+                    schema,
+                    wopts,
+                    opts.memory.as_ref(),
+                ))
+            } else {
+                Box::new(crate::orc::ReplicatedOrcWriter::create(
+                    dfs,
+                    path,
+                    schema,
+                    wopts,
+                    sort_columns,
+                    opts.memory.as_ref(),
+                ))
+            }
+        }
     })
+}
+
+/// Resolve a comma-separated column-name list against a schema, keeping
+/// list order. Names the schema does not have are skipped: the knobs are
+/// session-global and tables legitimately differ.
+fn resolve_columns(raw: &str, schema: &Schema) -> Vec<(usize, String)> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter_map(|name| {
+            schema
+                .fields()
+                .iter()
+                .position(|f| f.name == name)
+                .map(|i| (i, name.to_string()))
+        })
+        .collect()
 }
 
 /// Open a reader for one file of a table.
@@ -159,6 +212,7 @@ pub fn open_reader(
                 // cache tiers; metadata caching piggybacks on it.
                 cache_metadata: conf.get_bool(keys::ORC_CACHE_METADATA)?
                     && conf.get_i64(keys::IO_CACHE_BYTES)? > 0,
+                variant: opts.variant,
             },
         )?),
     })

@@ -64,6 +64,12 @@ pub struct ReadStats {
     /// into the metadata cache. Zero when the cache is off.
     pub index_cache_hits: u64,
     pub index_cache_misses: u64,
+    /// Index groups pruned by bloom-filter probes after surviving min/max
+    /// statistics (ORC only; zero without configured bloom columns).
+    pub groups_bloom_pruned: u64,
+    /// Bloom sections that failed CRC/decode and degraded to stats-only
+    /// group selection.
+    pub bloom_corrupt: u64,
 }
 
 /// A row-at-a-time reader over one file. Projection is applied by the

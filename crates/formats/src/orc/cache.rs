@@ -287,6 +287,7 @@ mod tests {
                 stripes: Vec::new(),
                 stripe_stats: Vec::new(),
                 file_stats: Vec::new(),
+                sort_column: String::new(),
             },
         )
     }

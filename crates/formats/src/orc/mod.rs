@@ -15,15 +15,18 @@
 //! starts), stripe-level statistics and file-level statistics; the
 //! postscript records how to read the footer.
 
+pub mod bloom;
 pub mod cache;
 pub mod memory;
 pub mod reader;
+pub mod replicated;
 pub mod sarg;
 pub mod stats;
 pub mod writer;
 
 pub use memory::MemoryManager;
 pub use reader::OrcReader;
+pub use replicated::ReplicatedOrcWriter;
 pub use stats::ColumnStatistics;
 pub use writer::{OrcWriter, OrcWriterOptions};
 
@@ -138,10 +141,17 @@ pub struct StripeFooter {
 }
 
 /// Stripe location in the file footer (position pointers to stripes).
+///
+/// Stripe layout on disk: `[index][bloom][data][stripe footer]` — the
+/// bloom-filter section (possibly empty) sits between the index and the
+/// row data so the reader can consult both index levels with one
+/// contiguous metadata read before touching any data stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StripeInfo {
     pub offset: u64,
     pub index_len: u64,
+    /// Length of the per-column bloom-filter section (0 = none written).
+    pub bloom_len: u64,
     pub data_len: u64,
     pub footer_len: u64,
     pub nrows: u64,
@@ -149,7 +159,7 @@ pub struct StripeInfo {
 
 impl StripeInfo {
     pub fn total_len(&self) -> u64 {
-        self.index_len + self.data_len + self.footer_len
+        self.index_len + self.bloom_len + self.data_len + self.footer_len
     }
 }
 
@@ -165,6 +175,10 @@ pub struct FileFooter {
     pub stripe_stats: Vec<Vec<stats::ColumnStatistics>>,
     /// File-level statistics per column of the column tree.
     pub file_stats: Vec<stats::ColumnStatistics>,
+    /// Top-level column this file's rows are clustered on (HAIL-style
+    /// per-replica sort orders record it per copy); empty = insertion
+    /// order.
+    pub sort_column: String,
 }
 
 impl FileFooter {
@@ -256,6 +270,7 @@ pub(crate) fn encode_file_footer(f: &FileFooter, out: &mut Vec<u8>) {
     for s in &f.stripes {
         varint::write_unsigned(out, s.offset);
         varint::write_unsigned(out, s.index_len);
+        varint::write_unsigned(out, s.bloom_len);
         varint::write_unsigned(out, s.data_len);
         varint::write_unsigned(out, s.footer_len);
         varint::write_unsigned(out, s.nrows);
@@ -271,6 +286,8 @@ pub(crate) fn encode_file_footer(f: &FileFooter, out: &mut Vec<u8>) {
     for st in &f.file_stats {
         st.encode(out);
     }
+    varint::write_unsigned(out, f.sort_column.len() as u64);
+    out.extend_from_slice(f.sort_column.as_bytes());
 }
 
 pub(crate) fn decode_file_footer(buf: &[u8]) -> Result<FileFooter> {
@@ -289,6 +306,7 @@ pub(crate) fn decode_file_footer(buf: &[u8]) -> Result<FileFooter> {
         stripes.push(StripeInfo {
             offset: varint::read_unsigned(buf, &mut pos)?,
             index_len: varint::read_unsigned(buf, &mut pos)?,
+            bloom_len: varint::read_unsigned(buf, &mut pos)?,
             data_len: varint::read_unsigned(buf, &mut pos)?,
             footer_len: varint::read_unsigned(buf, &mut pos)?,
             nrows: varint::read_unsigned(buf, &mut pos)?,
@@ -309,6 +327,11 @@ pub(crate) fn decode_file_footer(buf: &[u8]) -> Result<FileFooter> {
     for _ in 0..nfs {
         file_stats.push(stats::ColumnStatistics::decode(buf, &mut pos)?);
     }
+    let sclen = varint::read_unsigned(buf, &mut pos)? as usize;
+    if pos + sclen > buf.len() {
+        return Err(HiveError::Format("footer sort column truncated".into()));
+    }
+    let sort_column = String::from_utf8_lossy(&buf[pos..pos + sclen]).into_owned();
     Ok(FileFooter {
         nrows,
         type_string,
@@ -316,6 +339,7 @@ pub(crate) fn decode_file_footer(buf: &[u8]) -> Result<FileFooter> {
         stripes,
         stripe_stats,
         file_stats,
+        sort_column,
     })
 }
 
@@ -504,6 +528,7 @@ mod tests {
             stripes: vec![StripeInfo {
                 offset: 0,
                 index_len: 10,
+                bloom_len: 6,
                 data_len: 100,
                 footer_len: 20,
                 nrows: 42,
@@ -519,6 +544,7 @@ mod tests {
                 max: Some(41),
                 sum: Some(861),
             }],
+            sort_column: "a".into(),
         };
         let mut buf = Vec::new();
         encode_file_footer(&f, &mut buf);

@@ -21,7 +21,7 @@ use crate::orc::sarg::{SearchArgument, TruthValue};
 use crate::orc::stats::ColumnStatistics;
 use crate::orc::{
     decode_file_footer, decode_postscript, decode_stripe_footer, deframe_chunk, ColumnEncoding,
-    StreamKind, StripeFooter,
+    StreamKind, StripeFooter, StripeInfo,
 };
 use crate::TableReader;
 use hive_codec::{bitfield, byte_rle, int_rle};
@@ -55,6 +55,11 @@ pub struct OrcReadOptions {
     /// keyed by `(dfs instance, path, file generation)`. When false the
     /// reader decodes privately, exactly as before the cache existed.
     pub cache_metadata: bool,
+    /// Which sorted copy of the file to read (`0` = the base file in
+    /// insertion order; `k > 0` = the replica-slot-`k` variant chosen by
+    /// replica-aware split planning). Variants carry their own DFS
+    /// generations, so every cache tier stays copy-safe automatically.
+    pub variant: usize,
 }
 
 /// Skipping counters for experiments and tests.
@@ -74,6 +79,12 @@ pub struct ReadCounters {
     /// when `cache_metadata` is off.
     pub index_cache_hits: u64,
     pub index_cache_misses: u64,
+    /// Index groups that survived min/max statistics but were pruned by a
+    /// bloom-filter probe on an equality/IN literal.
+    pub groups_bloom_pruned: u64,
+    /// Bloom sections that failed their CRC or decode and degraded to
+    /// stats-only selection ("read the group" — never a wrong answer).
+    pub bloom_corrupt: u64,
 }
 
 /// Decoded data of one column for the selected groups of a stripe.
@@ -162,8 +173,14 @@ pub struct OrcReader {
 }
 
 impl OrcReader {
+    /// Stripe layout metadata of the open file (section offsets and
+    /// lengths) — lets chaos tests aim tampering at one section.
+    pub fn stripe_infos(&self) -> &[StripeInfo] {
+        &self.meta.footer.stripes
+    }
+
     pub fn open(dfs: &Dfs, path: &str, opts: OrcReadOptions) -> Result<OrcReader> {
-        let mut reader = dfs.open(path, opts.node)?;
+        let mut reader = dfs.open_variant(path, opts.variant, opts.node)?;
         // Decode postscript + file footer (one generous tail read). Runs at
         // most once per (file, generation) process-wide when the metadata
         // cache is on; always, privately, when it is off.
@@ -341,6 +358,7 @@ impl OrcReader {
         let stripe_end = si
             .offset
             .checked_add(si.index_len)
+            .and_then(|x| x.checked_add(si.bloom_len))
             .and_then(|x| x.checked_add(si.data_len))
             .and_then(|x| x.checked_add(si.footer_len));
         if stripe_end.is_none_or(|end| end > self.reader.len()) {
@@ -354,7 +372,7 @@ impl OrcReader {
         let meta = Arc::clone(&self.meta);
         let (sfooter, sf_hit) = meta.stripe_footers.get_or_fill(si.offset, || {
             let footer_buf = self.reader.read_at(
-                si.offset + si.index_len + si.data_len,
+                si.offset + si.index_len + si.bloom_len + si.data_len,
                 si.footer_len as usize,
             )?;
             decode_stripe_footer(&footer_buf)
@@ -408,6 +426,15 @@ impl OrcReader {
             } else {
                 (0..ngroups).collect()
             };
+        // Bloom filters answer equality probes the stats could not: consult
+        // them only for groups that already survived the min/max filter, so
+        // pruning is strictly monotone (the ordinal clock is untouched —
+        // fewer selected groups just means more gap between segments).
+        let selected = if self.opts.use_index && si.bloom_len > 0 {
+            self.bloom_prune(si, selected)
+        } else {
+            selected
+        };
         if selected.is_empty() {
             return Ok(());
         }
@@ -415,7 +442,7 @@ impl OrcReader {
         let all_groups = selected.len() == ngroups;
 
         // Stream start offsets, cumulative over the stripe's data section.
-        let data_base = si.offset + si.index_len;
+        let data_base = si.offset + si.index_len + si.bloom_len;
         let mut stream_offsets: Vec<Vec<u64>> = Vec::with_capacity(sfooter.columns.len());
         {
             let mut cum = 0u64;
@@ -469,6 +496,79 @@ impl OrcReader {
     fn group_rows(&self, si: &crate::orc::StripeInfo, g: usize) -> u64 {
         let stride = self.meta.footer.row_index_stride.max(1);
         (si.nrows.saturating_sub(g as u64 * stride)).min(stride)
+    }
+
+    /// Drop stats-surviving groups whose bloom filters prove an equality
+    /// or IN literal definitely absent. Any failure — unreadable section,
+    /// CRC mismatch, torn framing — degrades to the stats-only selection
+    /// and counts once in `bloom_corrupt`: a broken filter can cost a
+    /// group read, never an answer.
+    fn bloom_prune(&mut self, si: &crate::orc::StripeInfo, selected: Vec<usize>) -> Vec<usize> {
+        use crate::orc::sarg::PredicateOp;
+        let Some(sarg) = &self.opts.sarg else {
+            return selected;
+        };
+        // One probe per equality-shaped leaf: the hashes any of which must
+        // be present for a group to survive. Leaves with unhashable
+        // literals contribute nothing (always "maybe").
+        let probes: Vec<(usize, Vec<u64>)> = sarg
+            .leaves
+            .iter()
+            .filter_map(|leaf| match leaf.op {
+                PredicateOp::Equals => leaf
+                    .literal
+                    .as_ref()
+                    .and_then(crate::orc::bloom::probe_hashes)
+                    .map(|h| (leaf.column, h)),
+                PredicateOp::In => {
+                    let mut hashes = Vec::new();
+                    for v in &leaf.literal_list {
+                        hashes.extend(crate::orc::bloom::probe_hashes(v)?);
+                    }
+                    (!hashes.is_empty()).then_some((leaf.column, hashes))
+                }
+                _ => None,
+            })
+            .collect();
+        if probes.is_empty() || selected.is_empty() {
+            return selected;
+        }
+        let section = match self
+            .reader
+            .read_at(si.offset + si.index_len, si.bloom_len as usize)
+        {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.counters.bloom_corrupt += 1;
+                return selected;
+            }
+        };
+        let cols = match crate::orc::bloom::decode_section(&section) {
+            Ok(cols) => cols,
+            Err(_) => {
+                self.counters.bloom_corrupt += 1;
+                return selected;
+            }
+        };
+        let before = selected.len();
+        let kept: Vec<usize> = selected
+            .into_iter()
+            .filter(|&g| {
+                probes.iter().all(|(column, hashes)| {
+                    match cols
+                        .iter()
+                        .find(|cb| cb.column == *column)
+                        .and_then(|cb| cb.groups.get(g))
+                    {
+                        Some(f) => hashes.iter().any(|&h| f.might_contain_hash(h)),
+                        // No filter for this column/group: maybe present.
+                        None => true,
+                    }
+                })
+            })
+            .collect();
+        self.counters.groups_bloom_pruned += (before - kept.len()) as u64;
+        kept
     }
 
     /// Decode the needed columns for `selected` groups into one cursor.
@@ -1014,6 +1114,8 @@ impl TableReader for OrcReader {
             footer_cache_misses: self.counters.footer_cache_misses,
             index_cache_hits: self.counters.index_cache_hits,
             index_cache_misses: self.counters.index_cache_misses,
+            groups_bloom_pruned: self.counters.groups_bloom_pruned,
+            bloom_corrupt: self.counters.bloom_corrupt,
         }
     }
 }

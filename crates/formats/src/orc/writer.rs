@@ -8,6 +8,7 @@
 //! DFS blocks, and cooperates with the [`MemoryManager`] to bound the
 //! footprint of many concurrent writers.
 
+use crate::orc::bloom::{self, BloomFilter, ColumnBloom};
 use crate::orc::memory::{MemoryManager, Registration};
 use crate::orc::stats::ColumnStatistics;
 use crate::orc::{
@@ -35,6 +36,14 @@ pub struct OrcWriterOptions {
     pub compress_unit: usize,
     /// Pad so a stripe never straddles a DFS block (Section 4.1).
     pub block_padding: bool,
+    /// Top-level column indices to build per-index-group bloom filters
+    /// for (`hive.orc.bloom.filter.columns` resolved against the schema).
+    pub bloom_columns: Vec<usize>,
+    /// Target false-positive probability of those filters.
+    pub bloom_fpp: f64,
+    /// Column this file's rows are clustered on, recorded in the footer
+    /// (per-replica sort orders); empty = insertion order.
+    pub sort_column: String,
 }
 
 impl Default for OrcWriterOptions {
@@ -46,6 +55,9 @@ impl Default for OrcWriterOptions {
             compression: Compression::None,
             compress_unit: DEFAULT_COMPRESS_UNIT,
             block_padding: true,
+            bloom_columns: Vec::new(),
+            bloom_fpp: 0.05,
+            sort_column: String::new(),
         }
     }
 }
@@ -286,6 +298,12 @@ impl OrcWriter {
             }
         }
 
+        // Bloom-filter section: one filter per (configured column, index
+        // group), CRC-trailed so tampering degrades independently of the
+        // DFS block checksums. Empty when no bloom columns are configured,
+        // costing zero bytes.
+        let bloom_section = self.build_bloom_section();
+
         // Stripe footer.
         let footer = StripeFooter {
             nrows: self.rows_in_stripe,
@@ -296,7 +314,7 @@ impl OrcWriter {
 
         // Block padding (Section 4.1): if the stripe would straddle a block
         // and fits in one, pad to the block boundary first.
-        let stripe_len = (index.len() + data.len() + footer_buf.len()) as u64;
+        let stripe_len = (index.len() + bloom_section.len() + data.len() + footer_buf.len()) as u64;
         if self.options.block_padding {
             let remaining = self.writer.block_remaining();
             if stripe_len > remaining && stripe_len <= self.writer.block_size() {
@@ -307,11 +325,13 @@ impl OrcWriter {
 
         let offset = self.writer.position();
         self.writer.write(&index);
+        self.writer.write(&bloom_section);
         self.writer.write(&data);
         self.writer.write(&footer_buf);
         self.stripes.push(StripeInfo {
             offset,
             index_len: index.len() as u64,
+            bloom_len: bloom_section.len() as u64,
             data_len: data.len() as u64,
             footer_len: footer_buf.len() as u64,
             nrows: self.rows_in_stripe,
@@ -338,6 +358,86 @@ impl OrcWriter {
         self.rows_in_stripe = 0;
         self.rows_in_group = 0;
         Ok(())
+    }
+
+    /// Build the serialized bloom section for the stripe being flushed:
+    /// for each configured top-level column of a hashable type, one
+    /// filter per completed index group, sized for the group's value
+    /// count at the configured false-positive probability.
+    fn build_bloom_section(&self) -> Vec<u8> {
+        if self.options.bloom_columns.is_empty() {
+            return Vec::new();
+        }
+        let fpp = self.options.bloom_fpp;
+        let mut cols: Vec<ColumnBloom> = Vec::new();
+        for &i in &self.options.bloom_columns {
+            if i >= self.schema.len() {
+                continue;
+            }
+            let node = self.tree.top_level(i);
+            let dt = &self.tree.node(node).data_type;
+            let buf = &self.buffers[node];
+            let ngroups = buf.marks.len();
+            let mark_at = |g: usize| -> Mark {
+                if g == 0 {
+                    Mark::default()
+                } else {
+                    buf.marks[g - 1]
+                }
+            };
+            let mut groups: Vec<BloomFilter> = Vec::with_capacity(ngroups);
+            for g in 0..ngroups {
+                let (m0, m1) = (mark_at(g), buf.marks[g]);
+                let filter = match dt {
+                    DataType::Int | DataType::Timestamp => {
+                        let vals = &buf.longs[m0.longs..m1.longs];
+                        let mut f = BloomFilter::with_expected(vals.len(), fpp);
+                        for v in vals {
+                            f.add_hash(bloom::hash_i64(*v));
+                        }
+                        f
+                    }
+                    DataType::Double => {
+                        let vals = &buf.doubles[m0.doubles..m1.doubles];
+                        let mut f = BloomFilter::with_expected(vals.len(), fpp);
+                        for v in vals {
+                            f.add_hash(bloom::hash_f64(*v));
+                        }
+                        f
+                    }
+                    DataType::Boolean => {
+                        let vals = &buf.bools[m0.bools..m1.bools];
+                        let mut f = BloomFilter::with_expected(vals.len(), fpp);
+                        for v in vals {
+                            f.add_hash(bloom::hash_i64(*v as i64));
+                        }
+                        f
+                    }
+                    DataType::String => {
+                        let entries = buf.dict.entries();
+                        let ids = &buf.dict.row_ids()[m0.strings..m1.strings];
+                        let mut f = BloomFilter::with_expected(ids.len(), fpp);
+                        for &id in ids {
+                            // Dictionary entries are the strings' UTF-8
+                            // bytes, so this matches `hash_str` on the
+                            // predicate literal exactly.
+                            f.add_hash(bloom::hash_bytes(&entries[id as usize]));
+                        }
+                        f
+                    }
+                    // Complex types carry no bloom filters.
+                    _ => break,
+                };
+                groups.push(filter);
+            }
+            if groups.len() == ngroups {
+                cols.push(ColumnBloom { column: i, groups });
+            }
+        }
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        bloom::encode_section(&cols)
     }
 }
 
@@ -393,6 +493,7 @@ impl TableWriter for OrcWriter {
             stripes: std::mem::take(&mut self.stripes),
             stripe_stats: std::mem::take(&mut self.stripe_stats),
             file_stats,
+            sort_column: self.options.sort_column.clone(),
         };
         let mut footer_buf = Vec::new();
         encode_file_footer(&footer, &mut footer_buf);

@@ -367,6 +367,207 @@ fn skip_corrupt_data_absorbs_bit_flips_everywhere() {
     }
 }
 
+/// A tampered or torn bloom-filter section must degrade to "read the
+/// group": same rows as a clean file, never a wrong answer, never a
+/// panic, with the degradation counted for EXPLAIN ANALYZE's skip
+/// accounting. The file is *republished* after tampering (fresh DFS block
+/// CRCs), so only the bloom section's own CRC can catch it.
+#[test]
+fn tampered_bloom_section_degrades_to_stats_only() {
+    use hive_formats::orc::sarg::{PredicateLeaf, PredicateOp, SearchArgument};
+
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        &fs,
+        "/c/bloom",
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: 16 << 10,
+            row_index_stride: 100,
+            bloom_columns: vec![1], // the string column `b`
+            bloom_fpp: 0.02,
+            ..Default::default()
+        },
+        None,
+    ));
+    // Scattered string values: every group's lexical min/max spans nearly
+    // the whole domain (useless to stats), but each concrete value lives
+    // in only a handful of groups (prunable by bloom).
+    let scatter = |i: i64| format!("value-{}", (i * 7919) % 509);
+    let check = |row: &Row| {
+        let a = row[0].as_int().unwrap();
+        assert_eq!(row[1], Value::String(scatter(a)));
+        a
+    };
+    for i in 0..4000i64 {
+        w.write_row(&Row::new(vec![
+            Value::Int(i),
+            Value::String(scatter(i)),
+            Value::Double(i as f64 / 3.0),
+        ]))
+        .unwrap();
+    }
+    w.close().unwrap();
+
+    // An equality predicate on `b` that stats can't prune but bloom can.
+    let sarg = SearchArgument::new(vec![PredicateLeaf::new(
+        1,
+        PredicateOp::Equals,
+        Some(Value::String("value-11".into())),
+    )]);
+    let opts = |sarg: &SearchArgument| OrcReadOptions {
+        sarg: Some(sarg.clone()),
+        use_index: true,
+        ..Default::default()
+    };
+
+    // Clean baseline: bloom pruning fires and every matching row is
+    // still returned (the reader skips groups; row-level filtering is the
+    // query engine's job, so surviving groups return non-matching rows
+    // too).
+    let mut clean = OrcReader::open(&fs, "/c/bloom", opts(&sarg)).unwrap();
+    let infos: Vec<_> = clean.stripe_infos().to_vec();
+    assert!(infos.iter().all(|si| si.bloom_len > 0), "bloom emitted");
+    let mut clean_total = 0usize;
+    let mut clean_rows: Vec<i64> = Vec::new();
+    while let Some(row) = clean.next_row().unwrap() {
+        let a = check(&row);
+        clean_total += 1;
+        if scatter(a) == "value-11" {
+            clean_rows.push(a);
+        }
+    }
+    let expect: Vec<i64> = (0..4000).filter(|&i| scatter(i) == "value-11").collect();
+    assert_eq!(clean_rows, expect, "bloom pruning lost matching rows");
+    assert!(
+        clean.counters.groups_bloom_pruned > 0,
+        "bloom filters should prune groups stats cannot"
+    );
+    assert_eq!(clean.counters.bloom_corrupt, 0);
+
+    let mut data = fs.open("/c/bloom", None).unwrap().read_all().unwrap();
+    let si = &infos[0];
+    let bloom_start = (si.offset + si.index_len) as usize;
+    let bloom_end = bloom_start + si.bloom_len as usize;
+
+    // Tamper variants inside the first stripe's bloom section: single-bit
+    // flips spread across it, plus a torn (half-zeroed) section.
+    let mut variants: Vec<Vec<u8>> = (0..8)
+        .map(|k| {
+            let mut v = data.clone();
+            v[bloom_start + k * si.bloom_len as usize / 8] ^= 0x5A;
+            v
+        })
+        .collect();
+    let mid = (bloom_start + bloom_end) / 2;
+    data[mid..bloom_end].fill(0);
+    variants.push(data);
+
+    for (i, v) in variants.into_iter().enumerate() {
+        let mut w = fs.create("/c/bloom-bad");
+        w.write(&v);
+        w.close();
+        let mut r = OrcReader::open(&fs, "/c/bloom-bad", opts(&sarg)).unwrap();
+        let mut got_total = 0usize;
+        let mut got: Vec<i64> = Vec::new();
+        while let Some(row) = r.next_row().unwrap() {
+            let a = check(&row);
+            got_total += 1;
+            if scatter(a) == "value-11" {
+                got.push(a);
+            }
+        }
+        assert_eq!(got, expect, "variant {i}: degraded read lost rows");
+        // Degradation means "read the group": never fewer rows than the
+        // bloom-pruned clean read produced.
+        assert!(
+            got_total >= clean_total,
+            "variant {i}: degraded read skipped groups it cannot vouch for"
+        );
+        assert!(
+            r.counters.bloom_corrupt > 0,
+            "variant {i}: degradation must be counted"
+        );
+    }
+}
+
+/// Bloom pruning must be exact for equality and IN predicates: never
+/// drop a matching row, whatever the literal's type representation.
+#[test]
+fn bloom_pruning_never_loses_rows() {
+    use hive_formats::orc::sarg::{PredicateLeaf, PredicateOp, SearchArgument};
+
+    let fs = dfs();
+    let mut w: Box<dyn TableWriter> = Box::new(OrcWriter::create(
+        &fs,
+        "/c/bloom2",
+        &schema(),
+        OrcWriterOptions {
+            stripe_size: 16 << 10,
+            row_index_stride: 100,
+            bloom_columns: vec![0, 1, 2],
+            ..Default::default()
+        },
+        None,
+    ));
+    for r in rows() {
+        w.write_row(&r).unwrap();
+    }
+    w.close().unwrap();
+
+    type RowPred = Box<dyn Fn(&Row) -> bool>;
+    let cases: Vec<(PredicateLeaf, RowPred)> = vec![
+        (
+            PredicateLeaf::new(0, PredicateOp::Equals, Some(Value::Int(777))),
+            Box::new(|r: &Row| r[0] == Value::Int(777)),
+        ),
+        (
+            // Double literal against the bigint column: numeric coercion.
+            PredicateLeaf::new(0, PredicateOp::Equals, Some(Value::Double(777.0))),
+            Box::new(|r: &Row| r[0] == Value::Int(777)),
+        ),
+        (
+            PredicateLeaf {
+                column: 1,
+                op: PredicateOp::In,
+                literal: None,
+                literal2: None,
+                literal_list: vec![
+                    Value::String("value-3".into()),
+                    Value::String("value-19".into()),
+                ],
+            },
+            Box::new(|r: &Row| {
+                r[1] == Value::String("value-3".into()) || r[1] == Value::String("value-19".into())
+            }),
+        ),
+        (
+            PredicateLeaf::new(2, PredicateOp::Equals, Some(Value::Double(300.0))),
+            Box::new(|r: &Row| r[2] == Value::Double(300.0)),
+        ),
+    ];
+    for (leaf, want) in cases {
+        let mut r = OrcReader::open(
+            &fs,
+            "/c/bloom2",
+            OrcReadOptions {
+                sarg: Some(SearchArgument::new(vec![leaf.clone()])),
+                use_index: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut got = 0usize;
+        while let Some(row) = r.next_row().unwrap() {
+            if want(&row) {
+                got += 1;
+            }
+        }
+        let expect = rows().iter().filter(|r| want(r)).count();
+        assert_eq!(got, expect, "bloom pruning lost rows for {leaf:?}");
+    }
+}
+
 #[test]
 fn sequencefile_survives_corruption() {
     let fs = dfs();

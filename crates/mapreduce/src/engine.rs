@@ -52,6 +52,10 @@ pub struct JobReport {
     /// One record per task (map then reduce, by index): winning node,
     /// attempts launched, simulated duration.
     pub tasks: Vec<TaskTrace>,
+    /// Replica-aware split planning decisions: one
+    /// `(path, variant, sort column)` per input file the planner steered
+    /// to a sorted copy instead of the base replica.
+    pub replica_choices: Vec<(String, usize, String)>,
 }
 
 impl Deref for JobReport {
@@ -127,6 +131,9 @@ struct Split<'a> {
     start: u64,
     end: u64,
     replicas: Vec<usize>,
+    /// Which stored copy of the file to read (`0` = base; higher values
+    /// name per-replica sorted copies picked by replica-aware planning).
+    variant: usize,
 }
 
 /// Retry budget for one task kind, from `mapred.*.max.attempts`.
@@ -646,7 +653,8 @@ impl MrEngine {
         report.bytes_read += side_io.bytes_read();
 
         // --- Plan splits. ----------------------------------------------
-        let splits = self.compute_splits(&spec.inputs)?;
+        let (splits, replica_choices) = self.compute_splits(&spec.inputs)?;
+        report.replica_choices = replica_choices;
         report.map_tasks = splits.len();
         let num_reducers = if spec.reduce_factory.is_some() {
             spec.num_reducers.max(1)
@@ -869,6 +877,7 @@ impl MrEngine {
             sarg: split.input.sarg.clone(),
             node: Some(node),
             split: Some((split.start, split.end)),
+            variant: split.variant,
         };
         let mut reader = open_reader(
             &self.dfs,
@@ -1054,6 +1063,8 @@ impl MrEngine {
             footer_cache_misses: read_stats.footer_cache_misses,
             index_cache_hits: read_stats.index_cache_hits,
             index_cache_misses: read_stats.index_cache_misses,
+            groups_bloom_pruned: read_stats.groups_bloom_pruned,
+            bloom_corrupt: read_stats.bloom_corrupt,
             delta_rows_read,
             rows_masked,
             ..Default::default()
@@ -1216,9 +1227,35 @@ impl MrEngine {
         out
     }
 
-    fn compute_splits<'a>(&self, inputs: &'a [JobInput]) -> Result<Vec<Split<'a>>> {
+    /// Plan input splits. Returns the splits plus one record per file the
+    /// planner steered to a per-replica sorted copy (HAIL-style
+    /// replica-aware planning): among a file's stored variants, the first
+    /// whose sort column matches a pushed-down predicate column wins, so
+    /// min/max + bloom pruning see clustered data. ACID overlays pin
+    /// reads to the base copy — delete ordinals address physical rows of
+    /// variant 0 — and non-ORC formats have no variants.
+    #[allow(clippy::type_complexity)]
+    fn compute_splits<'a>(
+        &self,
+        inputs: &'a [JobInput],
+    ) -> Result<(Vec<Split<'a>>, Vec<(String, usize, String)>)> {
+        let replica_selection = self.conf.get_bool(keys::ORC_REPLICA_SELECTION)?;
         let mut splits = Vec::new();
+        let mut choices = Vec::new();
         for input in inputs {
+            // Predicate columns by name; a replica sorted on one of them
+            // clusters the matching rows together.
+            let pred_cols: Vec<String> = input
+                .sarg
+                .as_ref()
+                .map(|s| {
+                    s.leaves
+                        .iter()
+                        .filter_map(|l| input.schema.fields().get(l.column))
+                        .map(|f| f.name.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
             for path in self.expand_paths(&input.paths) {
                 if !self.dfs.exists(&path) {
                     continue;
@@ -1226,6 +1263,30 @@ impl MrEngine {
                 let blocks = self.dfs.blocks(&path)?;
                 if blocks.is_empty() || self.dfs.len(&path)? == 0 {
                     continue;
+                }
+                if replica_selection
+                    && input.format == hive_formats::FormatKind::Orc
+                    && input.overlay.is_none()
+                    && !pred_cols.is_empty()
+                {
+                    if let Some((variant, sort_column)) = self.dfs.select_variant(&path, &pred_cols)
+                    {
+                        for b in self.dfs.variant_blocks(&path, variant)? {
+                            if b.len == 0 {
+                                continue;
+                            }
+                            splits.push(Split {
+                                input,
+                                path: path.clone(),
+                                start: b.offset,
+                                end: b.offset + b.len,
+                                replicas: b.replicas.clone(),
+                                variant,
+                            });
+                        }
+                        choices.push((path.clone(), variant, sort_column));
+                        continue;
+                    }
                 }
                 if input.overlay.is_some() && input.format != hive_formats::FormatKind::Orc {
                     // ACID merge-on-read over a format whose reader cannot
@@ -1241,6 +1302,7 @@ impl MrEngine {
                         start: 0,
                         end: self.dfs.len(&path)?,
                         replicas: blocks[0].replicas.clone(),
+                        variant: 0,
                     });
                     continue;
                 }
@@ -1253,6 +1315,7 @@ impl MrEngine {
                             start: 0,
                             end: self.dfs.len(&path)?,
                             replicas: blocks[0].replicas.clone(),
+                            variant: 0,
                         });
                     }
                     _ => {
@@ -1269,13 +1332,14 @@ impl MrEngine {
                                 start: b.offset,
                                 end: b.offset + b.len,
                                 replicas: b.replicas.clone(),
+                                variant: 0,
                             });
                         }
                     }
                 }
             }
         }
-        Ok(splits)
+        Ok((splits, choices))
     }
 
     fn write_part(&self, path: &str, rows: &[Row]) -> Result<u64> {

@@ -72,6 +72,12 @@ counters! {
         groups_total: u64,
         /// ORC row index groups read after predicate-pushdown skipping.
         groups_read: u64,
+        /// ORC index groups pruned by bloom-filter probes after surviving
+        /// min/max statistics.
+        groups_bloom_pruned: u64,
+        /// Bloom sections that failed CRC/decode and degraded to
+        /// stats-only group selection.
+        bloom_corrupt: u64,
         /// Rows skipped by corrupt-record salvage.
         rows_salvaged: u64,
         /// Decoded ORC file footers served from the metadata cache.
@@ -205,6 +211,6 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(a.rows_read, 15);
-        assert_eq!(a.entries().len(), 19);
+        assert_eq!(a.entries().len(), 21);
     }
 }

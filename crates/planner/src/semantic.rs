@@ -658,6 +658,24 @@ fn attach_sarg(g: &mut PlanGraph, rel: &Rel, pred: &ExprNode) {
     }
 }
 
+/// A literal usable in a sarg leaf: plain literals, plus negated numeric
+/// literals — the parser keeps `-181` as `Neg(181)`, and a pushed-down
+/// range like `v BETWEEN -181 AND -121` must not lose its sarg over it.
+fn sarg_literal(e: &ExprNode) -> Option<Value> {
+    match e {
+        ExprNode::Literal(v) => Some(v.clone()),
+        ExprNode::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match &**expr {
+            ExprNode::Literal(Value::Int(i)) => Some(Value::Int(-i)),
+            ExprNode::Literal(Value::Double(d)) => Some(Value::Double(-d)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<PredicateLeaf>) {
     match e {
         ExprNode::Binary {
@@ -671,18 +689,24 @@ fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<Predica
         ExprNode::Binary { op, left, right } => {
             let mapped = |i: usize| projection.get(i).copied();
             let (col, lit, op) = match (&**left, &**right) {
-                (ExprNode::Column(i), ExprNode::Literal(v)) => (mapped(*i), v.clone(), *op),
-                (ExprNode::Literal(v), ExprNode::Column(i)) => {
-                    // Flip the comparison: lit OP col ≡ col OP' lit.
-                    let flipped = match op {
-                        BinaryOp::Lt => BinaryOp::Gt,
-                        BinaryOp::LtEq => BinaryOp::GtEq,
-                        BinaryOp::Gt => BinaryOp::Lt,
-                        BinaryOp::GtEq => BinaryOp::LtEq,
-                        other => *other,
-                    };
-                    (mapped(*i), v.clone(), flipped)
-                }
+                (ExprNode::Column(i), rhs) => match sarg_literal(rhs) {
+                    Some(v) => (mapped(*i), v, *op),
+                    None => return,
+                },
+                (lhs, ExprNode::Column(i)) => match sarg_literal(lhs) {
+                    Some(v) => {
+                        // Flip the comparison: lit OP col ≡ col OP' lit.
+                        let flipped = match op {
+                            BinaryOp::Lt => BinaryOp::Gt,
+                            BinaryOp::LtEq => BinaryOp::GtEq,
+                            BinaryOp::Gt => BinaryOp::Lt,
+                            BinaryOp::GtEq => BinaryOp::LtEq,
+                            other => *other,
+                        };
+                        (mapped(*i), v, flipped)
+                    }
+                    None => return,
+                },
                 _ => return,
             };
             let Some(col) = col else { return };
@@ -703,11 +727,13 @@ fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<Predica
             hi,
             negated: false,
         } => {
-            if let (ExprNode::Column(i), ExprNode::Literal(l), ExprNode::Literal(h)) =
-                (&**expr, &**lo, &**hi)
-            {
-                if let Some(col) = projection.get(*i).copied() {
-                    out.push(PredicateLeaf::between(col, l.clone(), h.clone()));
+            if let ExprNode::Column(i) = &**expr {
+                if let (Some(col), Some(l), Some(h)) = (
+                    projection.get(*i).copied(),
+                    sarg_literal(lo),
+                    sarg_literal(hi),
+                ) {
+                    out.push(PredicateLeaf::between(col, l, h));
                 }
             }
         }
@@ -732,13 +758,7 @@ fn collect_sarg_leaves(e: &ExprNode, projection: &[usize], out: &mut Vec<Predica
             negated: false,
         } => {
             if let ExprNode::Column(i) = &**expr {
-                let values: Option<Vec<_>> = list
-                    .iter()
-                    .map(|e| match e {
-                        ExprNode::Literal(v) => Some(v.clone()),
-                        _ => None,
-                    })
-                    .collect();
+                let values: Option<Vec<_>> = list.iter().map(sarg_literal).collect();
                 if let (Some(col), Some(values)) = (projection.get(*i).copied(), values) {
                     out.push(PredicateLeaf::in_list(col, values));
                 }

@@ -242,6 +242,72 @@ fn explain_analyze_acid_scan_goldens() {
     assert_golden("explain_analyze_acid_row_mode.txt", &row_text);
 }
 
+/// `EXPLAIN ANALYZE` over a scattered fact table with the skipping knobs
+/// set per `on`: every stripe's min/max spans nearly the whole key domain
+/// (stats cannot prune a point lookup) but each key lives in only a few
+/// index groups (bloom filters and a key-sorted replica can).
+fn analyze_skipping_text(sql: &str, on: bool) -> String {
+    use hive::common::config::keys;
+    let mut texts = Vec::new();
+    for threads in [1u64, 4] {
+        let mut hive = session(threads);
+        if on {
+            hive.set(keys::ORC_BLOOM_FILTER_COLUMNS, "vkey");
+            hive.set(keys::ORC_REPLICA_SORT_COLUMNS, "okey");
+        }
+        hive.set(keys::ORC_STRIPE_SIZE, "4000");
+        hive.set(keys::ORC_ROW_INDEX_STRIDE, "100");
+        hive.execute("CREATE TABLE fact (okey BIGINT, vkey BIGINT, total DOUBLE) STORED AS orc")
+            .unwrap();
+        hive.load_rows(
+            "fact",
+            (0..4000i64).map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 509),
+                    Value::Int((i * 7919 + (i / 509) * 101) % 509),
+                    Value::Double((i % 400) as f64 / 4.0),
+                ])
+            }),
+        )
+        .unwrap();
+        let r = hive.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        texts.push(r.explain.expect("EXPLAIN ANALYZE sets explain text"));
+    }
+    assert_eq!(
+        texts[0], texts[1],
+        "EXPLAIN ANALYZE differs across worker-thread counts"
+    );
+    texts.pop().unwrap()
+}
+
+/// Aggressive-skipping goldens. The range on `okey` is served by the
+/// okey-sorted replica (min/max pruning over clustered data); the point
+/// lookup on the scattered `vkey` is exactly what min/max statistics are
+/// helpless against, so the surviving groups fall to the bloom filters.
+/// With the knobs on, the profile pins the new `skip:` and `replica:`
+/// lines; with the knobs off, the very same query renders the
+/// pre-skipping profile with not a byte of difference — no conditional
+/// lines leak.
+#[test]
+fn explain_analyze_skipping_goldens() {
+    const SQL: &str =
+        "SELECT okey, vkey, total FROM fact WHERE okey BETWEEN 100 AND 300 AND vkey = 7";
+    let on = analyze_skipping_text(SQL, true);
+    assert!(on.contains("replica: "), "no replica choice in:\n{on}");
+    assert!(
+        on.contains("skip: ") && on.contains(" bloom_corrupt=0"),
+        "no bloom skipping in:\n{on}"
+    );
+    assert_golden("explain_analyze_skipping.txt", &on);
+
+    let off = analyze_skipping_text(SQL, false);
+    assert!(
+        !off.contains("skip: ") && !off.contains("replica: "),
+        "knob-off profile grew skipping lines:\n{off}"
+    );
+    assert_golden("explain_analyze_skipping_off.txt", &off);
+}
+
 #[test]
 fn vectorization_knob_off_matches_pre_vectorization_engine() {
     // `hive.vectorized.execution.enabled=false` must reproduce the row-mode

@@ -1179,3 +1179,359 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential skipping matrix: ORC bloom filters and HAIL-style per-replica
+// sort orders are *pure skipping* — they may change what gets read, never
+// what comes out. Random data and random point/range predicates must return
+// identical results under all four knob combos, on clean files, on files
+// with a salvaged-corrupt stripe, and through an ACID delete/update overlay
+// (delete masks stay ordinal-aligned however many groups bloom prunes).
+// ---------------------------------------------------------------------------
+
+/// All four skipping-knob combinations: (bloom filters, replica sort).
+const SKIP_COMBOS: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+/// Small DFS block for the skipping matrix: with wide rows and ~6 KB
+/// stripes, block padding gives every stripe a block of its own, so the
+/// corrupt-stripe matrix can tamper one stripe without collateral damage.
+const SKIP_BLOCK: u64 = 8192;
+
+/// Wide payload string keyed by `k` — wide enough that an encoded stripe
+/// exceeds half a DFS block, so no two stripes ever share one.
+fn skip_str(k: i64) -> String {
+    format!("s{k:0>120}")
+}
+
+/// One random skipping query over `t (k BIGINT, v BIGINT, s STRING)`:
+/// point lookups and IN lists (bloom territory), a range (min/max stats
+/// territory), and a grouped aggregate on top of a point predicate.
+fn skip_query(shape: usize, a: i64, b: i64) -> String {
+    match shape {
+        0 => format!("SELECT k, v, s FROM t WHERE k = {}", a % 240),
+        1 => format!("SELECT k, v FROM t WHERE s = '{}'", skip_str(a % 240)),
+        2 => format!("SELECT k, v FROM t WHERE v BETWEEN {b} AND {}", b + 60),
+        3 => format!(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS sv FROM t WHERE k = {} GROUP BY k",
+            a % 240
+        ),
+        _ => format!(
+            "SELECT k, v FROM t WHERE k IN ({}, {}, {})",
+            a % 240,
+            (a + 13) % 240,
+            (a + 29) % 240
+        ),
+    }
+}
+
+/// Row-mode oracle for `skip_query`, evaluated directly over the base rows
+/// (minus any salvage-dropped prefix): what every knob combo must return.
+fn skip_oracle(shape: usize, a: i64, b: i64, rows: &[(i64, i64)]) -> Vec<Row> {
+    let key = a % 240;
+    let kv = |&(k, v): &(i64, i64)| Row::new(vec![Value::Int(k), Value::Int(v)]);
+    match shape {
+        0 => rows
+            .iter()
+            .filter(|r| r.0 == key)
+            .map(|&(k, v)| {
+                Row::new(vec![
+                    Value::Int(k),
+                    Value::Int(v),
+                    Value::String(skip_str(k)),
+                ])
+            })
+            .collect(),
+        1 => rows.iter().filter(|r| r.0 == key).map(kv).collect(),
+        2 => rows
+            .iter()
+            .filter(|r| r.1 >= b && r.1 <= b + 60)
+            .map(kv)
+            .collect(),
+        3 => {
+            let hits: Vec<i64> = rows.iter().filter(|r| r.0 == key).map(|r| r.1).collect();
+            if hits.is_empty() {
+                vec![]
+            } else {
+                vec![Row::new(vec![
+                    Value::Int(key),
+                    Value::Int(hits.len() as i64),
+                    Value::Int(hits.iter().sum()),
+                ])]
+            }
+        }
+        _ => {
+            let ks = [a % 240, (a + 13) % 240, (a + 29) % 240];
+            rows.iter().filter(|r| ks.contains(&r.0)).map(kv).collect()
+        }
+    }
+}
+
+/// Session for one knob combo. The skipping knobs are set *before* the
+/// load so the writer sees them; small stripes and groups give even tiny
+/// tables several of each.
+fn skip_session(rows: &[(i64, i64)], bloom: bool, replica: bool) -> hive::HiveSession {
+    use hive::common::config::keys;
+    let mut hive = hive::HiveSession::builder()
+        .knob(
+            hive::common::config::knobs::EXEC_SIM_DETERMINISTIC_CPU,
+            true,
+        )
+        .dfs_config(DfsConfig {
+            block_size: SKIP_BLOCK,
+            replication: 3,
+            nodes: 10,
+        })
+        .build()
+        .unwrap();
+    // ~40 wide rows per stripe, encoded well past half a block, so block
+    // padding deterministically gives every stripe its own block. Direct
+    // string encoding keeps stripe sizes independent of key collisions.
+    hive.set(keys::ORC_STRIPE_SIZE, "12000");
+    hive.set(keys::ORC_ROW_INDEX_STRIDE, "25");
+    hive.set(keys::ORC_DICT_THRESHOLD, "0.0");
+    hive.set(
+        keys::ORC_BLOOM_FILTER_COLUMNS,
+        if bloom { "k,s" } else { "" },
+    );
+    hive.set(
+        keys::ORC_REPLICA_SORT_COLUMNS,
+        if replica { "k,v" } else { "" },
+    );
+    hive.execute("CREATE TABLE t (k BIGINT, v BIGINT, s STRING) STORED AS orc")
+        .unwrap();
+    hive.load_rows(
+        "t",
+        rows.iter().map(|&(k, v)| {
+            Row::new(vec![
+                Value::Int(k),
+                Value::Int(v),
+                Value::String(skip_str(k)),
+            ])
+        }),
+    )
+    .unwrap();
+    hive
+}
+
+/// Total `salvaged=` rows across a profile's scan lines (0 when absent).
+fn salvaged_rows(text: &str) -> u64 {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim_start();
+            if !l.starts_with("scan:") {
+                return None;
+            }
+            let at = l.find("salvaged=")?;
+            l[at + 9..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse::<u64>()
+                .ok()
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn skipping_knobs_never_change_results(
+        rows in proptest::collection::vec((0i64..240, -500i64..500), 120..360),
+        shape in 0usize..5,
+        a in 0i64..1000,
+        b in -400i64..400,
+    ) {
+        let sql = skip_query(shape, a, b);
+        let expect = sorted_rows(skip_oracle(shape, a, b, &rows));
+        for (bloom, replica) in SKIP_COMBOS {
+            let mut s = skip_session(&rows, bloom, replica);
+            let got = sorted_rows(s.execute(&sql).unwrap().rows);
+            let text = s
+                .execute(&format!("EXPLAIN ANALYZE {sql}"))
+                .unwrap()
+                .explain
+                .unwrap();
+            prop_assert_eq!(
+                &got, &expect,
+                "results diverged (bloom={} replica={}) on {}\n{}",
+                bloom, replica, sql, text
+            );
+            // Sorted variants must be picked whenever the predicate hits a
+            // sort column — every shape but the string lookup (s is not a
+            // sort column, so the planner has nothing to offer the DFS).
+            if replica && shape != 1 {
+                prop_assert!(
+                    text.contains("replica: "),
+                    "no replica choice under {}:\n{}",
+                    sql, text
+                );
+            }
+            if !replica {
+                prop_assert!(!text.contains("replica: "), "{}", text);
+            }
+            if !bloom {
+                prop_assert!(!text.contains("skip: "), "{}", text);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn skipping_knobs_agree_on_salvaged_corruption(
+        rows in proptest::collection::vec((0i64..240, -500i64..500), 160..320),
+        shape in 0usize..5,
+        a in 0i64..1000,
+        b in -400i64..400,
+    ) {
+        let sql = skip_query(shape, a, b);
+        let mut baseline: Option<(Vec<Row>, u64, u64)> = None;
+        for (bloom, replica) in SKIP_COMBOS {
+            let mut s = skip_session(&rows, bloom, replica);
+            // Salvage is physical and per copy: the sorted replicas lay
+            // rows out differently, so replica selection is turned off to
+            // make every combo read the tampered base copy.
+            s.set(hive::common::config::keys::ORC_SKIP_CORRUPT, "true");
+            s.set(hive::common::config::keys::ORC_REPLICA_SELECTION, "false");
+            let parts: Vec<String> = s
+                .dfs()
+                .list("/warehouse/t/")
+                .into_iter()
+                .filter(|p| p.contains("part-"))
+                .collect();
+            prop_assert_eq!(parts.len(), 1, "expected one part file, got {:?}", parts);
+            let (first_byte, s0_nrows) = {
+                let r = OrcReader::open(s.dfs(), &parts[0], OrcReadOptions::default()).unwrap();
+                let infos = r.stripe_infos();
+                prop_assert!(infos.len() >= 2, "need >= 2 stripes, got {}", infos.len());
+                // Block padding must have isolated stripe 0 in its own
+                // block — the whole corrupt-matrix design rests on it.
+                prop_assert_eq!(
+                    (infos[0].offset + infos[0].total_len() - 1) / SKIP_BLOCK,
+                    infos[0].offset / SKIP_BLOCK,
+                    "stripe 0 crosses a block boundary"
+                );
+                prop_assert!(
+                    infos[1].offset / SKIP_BLOCK > infos[0].offset / SKIP_BLOCK,
+                    "stripes 0 and 1 share a block"
+                );
+                (infos[0].offset, infos[0].nrows)
+            };
+            // One flipped byte fails the whole block's CRC: every read of
+            // stripe 0 now errors and salvage drops the entire stripe.
+            s.dfs().corrupt_stored(&parts[0], first_byte, 0x5a).unwrap();
+
+            let got = sorted_rows(s.execute(&sql).unwrap().rows);
+            let text = s
+                .execute(&format!("EXPLAIN ANALYZE {sql}"))
+                .unwrap()
+                .explain
+                .unwrap();
+            let salvaged = salvaged_rows(&text);
+            // Whether stripe 0 was stats-pruned (salvaged=0, had no
+            // matches) or salvaged away, the surviving answer is exactly
+            // the oracle over the rows after the dropped prefix.
+            let expect = sorted_rows(skip_oracle(shape, a, b, &rows[s0_nrows as usize..]));
+            prop_assert_eq!(
+                &got, &expect,
+                "salvaged results diverged (bloom={} replica={}) on {}\n{}",
+                bloom, replica, sql, text
+            );
+            match &baseline {
+                None => baseline = Some((got, salvaged, s0_nrows)),
+                Some((rows0, salvaged0, nrows0)) => {
+                    prop_assert_eq!(&got, rows0, "combos disagreed on {}", sql);
+                    prop_assert_eq!(
+                        salvaged, *salvaged0,
+                        "salvage accounting diverged (bloom={} replica={}) on {}\n{}",
+                        bloom, replica, sql, text
+                    );
+                    prop_assert_eq!(
+                        s0_nrows, *nrows0,
+                        "stripe-0 row boundary moved between combos"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One random DML statement over `t (k, v, s)`; `s` stays keyed by `k` so
+/// the string point-lookup shape remains meaningful after updates.
+fn skip_dml(op: usize, a: i64, b: i64) -> String {
+    let k1 = a % 240;
+    let k2 = (a + 31) % 240;
+    match op {
+        0 => format!(
+            "INSERT INTO t VALUES ({k1}, {b}, '{}'), ({k2}, {}, '{}')",
+            skip_str(k1),
+            b + 7,
+            skip_str(k2)
+        ),
+        1 => format!("UPDATE t SET v = v + {} WHERE k = {}", (b % 97) + 100, k1),
+        _ => format!("DELETE FROM t WHERE v BETWEEN {b} AND {}", b + (a % 120)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn skipping_knobs_never_change_acid_results(
+        rows in proptest::collection::vec((0i64..240, -500i64..500), 80..200),
+        history in proptest::collection::vec(
+            (0usize..3, 0i64..1000, -400i64..400), 1..5),
+        shape in 0usize..5,
+        a in 0i64..1000,
+        b in -400i64..400,
+    ) {
+        let sql = skip_query(shape, a, b);
+        let mut baseline: Option<(Vec<u64>, Vec<Row>, Vec<Row>)> = None;
+        for (bloom, replica) in SKIP_COMBOS {
+            let mut s = skip_session(&rows, bloom, replica);
+            let dml_counts: Vec<u64> = history
+                .iter()
+                .map(|&(op, da, db)| s.execute(&skip_dml(op, da, db)).unwrap().rows.len() as u64)
+                .collect();
+            let got = sorted_rows(s.execute(&sql).unwrap().rows);
+            let text = s
+                .execute(&format!("EXPLAIN ANALYZE {sql}"))
+                .unwrap()
+                .explain
+                .unwrap();
+            // Merge-on-read pins every file to the base copy: delete masks
+            // are keyed to variant 0's row ordinals, so replica selection
+            // must sit out ACID reads entirely.
+            prop_assert!(
+                !text.contains("replica: "),
+                "replica selection leaked into an ACID read:\n{}",
+                text
+            );
+            s.execute("ALTER TABLE t COMPACT 'major'").unwrap();
+            let post = sorted_rows(s.execute(&sql).unwrap().rows);
+            prop_assert_eq!(
+                &post, &got,
+                "compaction changed results (bloom={} replica={}) on {}",
+                bloom, replica, sql
+            );
+            match &baseline {
+                None => baseline = Some((dml_counts, got, post)),
+                Some((counts0, rows0, post0)) => {
+                    prop_assert_eq!(
+                        &dml_counts, counts0,
+                        "DML row counts diverged (bloom={} replica={})",
+                        bloom, replica
+                    );
+                    prop_assert_eq!(
+                        &got, rows0,
+                        "ACID results diverged (bloom={} replica={}) on {}\n{}",
+                        bloom, replica, sql, text
+                    );
+                    prop_assert_eq!(&post, post0, "post-compaction divergence on {}", sql);
+                }
+            }
+        }
+    }
+}
